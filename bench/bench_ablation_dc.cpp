@@ -1,0 +1,152 @@
+// E10 — ablation of the consistency measure (DESIGN.md "key semantic
+// decisions"): paper-literal Dc (normalised by the measured side only) vs
+// this library's symmetric extension vs crisp interval overlap.
+//
+// Protocol: sample healthy and faulted divider-cascade scenarios, compare
+// each measured tap against its fuzzy nominal prediction under the three
+// rules, and tabulate false-alarm and detection rates. Expected shape:
+// the paper-literal rule false-alarms whenever a prediction is *narrower*
+// than the meter spread (precisely determined nodes), the crisp rule misses
+// soft faults, and the symmetric rule keeps both rates sane.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "constraints/model_builder.h"
+#include "fuzzy/consistency.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+using fuzzy::FuzzyInterval;
+
+// Paper-literal Dc: area(min)/area(Vm) only (with the point extensions).
+double paperDc(const FuzzyInterval& vm, const FuzzyInterval& vn) {
+  if (vm.area() <= 1e-12) return vn.membership(vm.coreMidpoint());
+  if (vn.area() <= 1e-12) return vm.membership(vn.coreMidpoint());
+  const auto inter = vm.toPiecewiseLinear().min(vn.toPiecewiseLinear());
+  return std::clamp(inter.area() / vm.area(), 0.0, 1.0);
+}
+
+bool crispConflict(const FuzzyInterval& vm, const FuzzyInterval& vn) {
+  return !vm.supportsOverlap(vn);
+}
+
+struct Rates {
+  std::size_t flagged = 0;
+  std::size_t total = 0;
+  [[nodiscard]] double rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(flagged) /
+                                  static_cast<double>(total);
+  }
+};
+
+void printAblationTable() {
+  std::cout << "==== E10: consistency-rule ablation (divider cascades) ====\n";
+  // Stage 1 uses laser-trimmed (0.2%) resistors: its tap prediction is
+  // *narrower* than the 0.02 V meter spread, which is precisely the regime
+  // where the paper-literal normalisation misreads precision as conflict.
+  auto net = workload::dividerCascade(6);
+  net.component("Rt1").relTol = 0.002;
+  net.component("Rb1").relTol = 0.002;
+  const auto built = constraints::buildDiagnosticModel(net);
+  auto probes = workload::tapsOf(net);
+  probes.push_back("m1");  // the precisely-predicted internal node
+
+  // Nominal predictions per probe.
+  std::map<std::string, FuzzyInterval> nominal;
+  for (const auto& p : built.model.predictions()) {
+    for (const auto& probe : probes) {
+      if (p.quantity == built.voltage(probe)) nominal.emplace(probe, p.value);
+    }
+  }
+
+  const double kThreshold = 0.7;  // Dc below this flags a discrepancy
+  Rates paperFa, symFa, crispFa;    // false alarms on healthy boards
+  Rates paperDet, symDet, crispDet; // detections on faulted boards
+
+  auto evaluate = [&](const std::vector<circuit::Fault>& faults, Rates& paper,
+                      Rates& sym, Rates& crisp) {
+    std::vector<workload::ProbeReading> readings;
+    try {
+      readings = workload::simulateMeasurements(net, faults, probes);
+    } catch (const std::runtime_error&) {
+      return;
+    }
+    bool paperFlag = false, symFlag = false, crispFlag = false;
+    for (const auto& r : readings) {
+      const auto vm = FuzzyInterval::about(r.volts, 0.02);
+      const auto& vn = nominal.at(r.node);
+      if (paperDc(vm, vn) < kThreshold) paperFlag = true;
+      if (fuzzy::degreeOfConsistency(vm, vn).dc < kThreshold) symFlag = true;
+      if (crispConflict(vm, vn)) crispFlag = true;
+    }
+    ++paper.total;
+    ++sym.total;
+    ++crisp.total;
+    if (paperFlag) ++paper.flagged;
+    if (symFlag) ++sym.flagged;
+    if (crispFlag) ++crisp.flagged;
+  };
+
+  // Healthy boards (component values randomly inside tolerance).
+  workload::ScenarioOptions healthyOpts;
+  healthyOpts.includeOpens = false;
+  healthyOpts.includeShorts = false;
+  healthyOpts.softFactors = {1.001, 0.999};  // inside every tolerance band
+  for (const auto& s : workload::sampleScenarios(net, 30, 11, healthyOpts)) {
+    evaluate(s.faults, paperFa, symFa, crispFa);
+  }
+
+  // Faulted boards: soft deviations well outside tolerance.
+  workload::ScenarioOptions faultyOpts;
+  faultyOpts.includeOpens = false;
+  faultyOpts.includeShorts = false;
+  faultyOpts.softFactors = {1.3, 0.7};
+  for (const auto& s : workload::sampleScenarios(net, 30, 23, faultyOpts)) {
+    evaluate(s.faults, paperDet, symDet, crispDet);
+  }
+
+  std::cout << "rule | false-alarm rate (in-tolerance boards) | detection "
+               "rate (30% soft faults)\n";
+  std::cout << "  paper-literal Dc | " << paperFa.rate() << " | "
+            << paperDet.rate() << '\n';
+  std::cout << "  symmetric Dc (ours) | " << symFa.rate() << " | "
+            << symDet.rate() << '\n';
+  std::cout << "  crisp overlap | " << crispFa.rate() << " | "
+            << crispDet.rate() << '\n';
+  std::cout << "(shape: crisp misses soft faults; the paper-literal rule "
+               "pays false alarms wherever predictions are narrower than "
+               "the meter; the symmetric extension keeps detection without "
+               "the false alarms)\n\n";
+}
+
+void BM_SymmetricDc(benchmark::State& state) {
+  const auto vm = FuzzyInterval::about(5.0, 0.02);
+  const auto vn = FuzzyInterval::about(5.05, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzzy::degreeOfConsistency(vm, vn));
+  }
+}
+BENCHMARK(BM_SymmetricDc);
+
+void BM_PaperDc(benchmark::State& state) {
+  const auto vm = FuzzyInterval::about(5.0, 0.02);
+  const auto vn = FuzzyInterval::about(5.05, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paperDc(vm, vn));
+  }
+}
+BENCHMARK(BM_PaperDc);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printAblationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

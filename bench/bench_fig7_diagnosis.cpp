@@ -1,0 +1,148 @@
+// E3 — Fig. 7: the five defect scenarios on the 3-stage amplifier (Fig. 6),
+// printing DEFECT / DIAGNOSIS / Dc rows like the paper's table, plus
+// end-to-end diagnosis timings.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "circuit/catalog.h"
+#include "circuit/mna.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/report.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+using circuit::Fault;
+
+struct Row {
+  const char* defect;
+  std::vector<Fault> faults;
+  const char* paperDiagnosis;
+};
+
+const std::vector<Row>& rows() {
+  // Rows 2 and 3 are run twice: once with the paper's exact fault values
+  // (which our reconstructed feedback-biased wiring renders unobservable —
+  // the shift they induce at the probes is <0.1%, below any tolerance
+  // band; see EXPERIMENTS.md E3) and once scaled to the smallest deviation
+  // this topology makes observable, which exercises the same partial-
+  // conflict mechanism the paper's rows demonstrate.
+  static const std::vector<Row> kRows = {
+      {"Short circuit on R2",
+       {Fault::shortCircuit("R2")},
+       "{R1,R2,R3,T1} => {R2}"},
+      {"R2 slightly high (12.18k, paper value)",
+       {Fault::paramExact("R2", 12.18)},
+       "{R2} via Dc ~ 0.89"},
+      {"R2 slightly high (14.4k, observable-scaled)",
+       {Fault::paramExact("R2", 14.4)},
+       "{R2} via Dc ~ 0.89"},
+      {"Beta2 slightly low (194, paper value)",
+       {Fault::paramExact("T2", 194.0)},
+       "{T2} via Dc ~ 0.96"},
+      {"Beta2 low (60, observable-scaled)",
+       {Fault::paramExact("T2", 60.0)},
+       "{T2} via Dc ~ 0.96"},
+      {"Open circuit on R3", {Fault::open("R3")}, "{R2} {R3} via Dc signs"},
+      {"Open circuit in N1",
+       {Fault::pinOpen("T1", 1)},
+       "{T2},{R4} / transistor model, V1 decisive"},
+  };
+  return kRows;
+}
+
+void printFig7Table() {
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "==== E3 / Fig. 7: experimental results on the 3-stage "
+               "amplifier ====\n";
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto nominal = circuit::DcSolver(net).solve();
+  std::cout << "nominal: V1 = " << nominal.v(net.findNode("V1"))
+            << ", V2 = " << nominal.v(net.findNode("V2"))
+            << ", Vs = " << nominal.v(net.findNode("Vs")) << " (V)\n\n";
+
+  for (const Row& row : rows()) {
+    std::cout << "DEFECT: " << row.defect
+              << "   [paper: " << row.paperDiagnosis << "]\n";
+    std::vector<workload::ProbeReading> readings;
+    try {
+      readings =
+          workload::simulateMeasurements(net, row.faults, {"V1", "V2", "Vs"});
+    } catch (const std::exception& e) {
+      std::cout << "  unsolvable faulted circuit: " << e.what() << "\n\n";
+      continue;
+    }
+    diagnosis::FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    const auto report = engine.diagnose();
+
+    std::cout << "  Dc:";
+    for (const auto& m : report.measurements) {
+      std::cout << "  " << m.quantity << " = " << m.signedDc;
+    }
+    std::cout << "\n  nogoods:";
+    for (const auto& ng : report.nogoods) {
+      std::cout << "  " << diagnosis::renderComponents(ng.components) << '('
+                << ng.degree << ')';
+    }
+    std::cout << "\n  candidates (refined):";
+    std::size_t shown = 0;
+    for (const auto& c : report.candidates) {
+      if (++shown > 4) break;
+      std::cout << "  " << diagnosis::renderComponents(c.components) << '('
+                << c.plausibility << ')';
+    }
+    std::cout << "\n  => " << diagnosis::summarizeReport(report) << "\n\n";
+  }
+}
+
+void BM_Fig7FullDiagnosis(benchmark::State& state) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto& row = rows()[static_cast<std::size_t>(state.range(0))];
+  const auto readings =
+      workload::simulateMeasurements(net, row.faults, {"V1", "V2", "Vs"});
+  for (auto _ : state) {
+    diagnosis::FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    benchmark::DoNotOptimize(engine.diagnose());
+  }
+  state.SetLabel(row.defect);
+}
+BENCHMARK(BM_Fig7FullDiagnosis)->DenseRange(0, 6);
+
+void BM_Fig7PropagationOnly(benchmark::State& state) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  for (auto _ : state) {
+    constraints::Propagator p(built.model);
+    for (const auto& r : readings) {
+      p.addMeasurement(built.voltage(r.node),
+                       fuzzy::FuzzyInterval::about(r.volts, 0.05));
+    }
+    p.run();
+    benchmark::DoNotOptimize(p.nogoods().size());
+  }
+}
+BENCHMARK(BM_Fig7PropagationOnly);
+
+void BM_Fig7ModelBuild(benchmark::State& state) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraints::buildDiagnosticModel(net));
+  }
+}
+BENCHMARK(BM_Fig7ModelBuild);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFig7Table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

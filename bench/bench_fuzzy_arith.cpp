@@ -1,0 +1,143 @@
+// E7 — fuzzy-arithmetic microbenchmarks: the primitive operation costs that
+// everything else is built on (add/sub closed-form, mul/div via cuts, exact
+// piecewise-linear Dc, entropy terms).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "fuzzy/consistency.h"
+#include "fuzzy/entropy.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace {
+
+using namespace flames::fuzzy;
+
+std::vector<FuzzyInterval> randomIntervals(std::size_t n, unsigned seed,
+                                           double lo, double hi) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> mid(lo, hi);
+  std::uniform_real_distribution<double> w(0.0, 1.0);
+  std::vector<FuzzyInterval> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m = mid(rng);
+    out.emplace_back(m, m + w(rng), w(rng), w(rng));
+  }
+  return out;
+}
+
+void BM_Add(benchmark::State& state) {
+  const auto xs = randomIntervals(256, 1, -10, 10);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i % 256].add(xs[(i + 7) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Add);
+
+void BM_Sub(benchmark::State& state) {
+  const auto xs = randomIntervals(256, 2, -10, 10);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i % 256].sub(xs[(i + 7) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Sub);
+
+void BM_Mul(benchmark::State& state) {
+  const auto xs = randomIntervals(256, 3, -10, 10);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i % 256].mul(xs[(i + 7) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Mul);
+
+void BM_Div(benchmark::State& state) {
+  const auto xs = randomIntervals(256, 4, 1.0, 10.0);  // positive
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i % 256].div(xs[(i + 7) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Div);
+
+void BM_Membership(benchmark::State& state) {
+  const auto xs = randomIntervals(256, 5, -10, 10);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xs[i % 256].membership(0.0));
+    ++i;
+  }
+}
+BENCHMARK(BM_Membership);
+
+void BM_DcOverlapping(benchmark::State& state) {
+  const auto a = FuzzyInterval::about(3.1, 0.4);
+  const auto b = FuzzyInterval::about(3.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degreeOfConsistency(a, b));
+  }
+}
+BENCHMARK(BM_DcOverlapping);
+
+void BM_DcDisjoint(benchmark::State& state) {
+  const auto a = FuzzyInterval::about(1.0, 0.1);
+  const auto b = FuzzyInterval::about(9.0, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degreeOfConsistency(a, b));
+  }
+}
+BENCHMARK(BM_DcDisjoint);
+
+void BM_PossibilityOfEquality(benchmark::State& state) {
+  const auto a = FuzzyInterval::about(3.0, 0.5);
+  const auto b = FuzzyInterval::about(3.6, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.possibilityOfEquality(b));
+  }
+}
+BENCHMARK(BM_PossibilityOfEquality);
+
+void BM_Necessity(benchmark::State& state) {
+  const auto a = FuzzyInterval::about(3.0, 0.5);
+  const auto b = FuzzyInterval::about(3.6, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(necessity(a, b));
+  }
+}
+BENCHMARK(BM_Necessity);
+
+void BM_EntropyTermTied(benchmark::State& state) {
+  const auto f = FuzzyInterval(0.3, 0.5, 0.1, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entropyTerm(f, EntropyTermSemantics::kTied));
+  }
+}
+BENCHMARK(BM_EntropyTermTied);
+
+void BM_EntropyTermIndependent(benchmark::State& state) {
+  const auto f = FuzzyInterval(0.3, 0.5, 0.1, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        entropyTerm(f, EntropyTermSemantics::kIndependent));
+  }
+}
+BENCHMARK(BM_EntropyTermIndependent);
+
+void BM_Centroid(benchmark::State& state) {
+  const auto f = FuzzyInterval(1.0, 2.0, 0.5, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.centroid());
+  }
+}
+BENCHMARK(BM_Centroid);
+
+}  // namespace
+
+BENCHMARK_MAIN();

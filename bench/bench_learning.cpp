@@ -1,0 +1,134 @@
+// E8 — learning ablation: repeated fault scenarios on the Fig. 6 amplifier
+// with and without the experience base. With learning, the confirmed
+// symptom-failure rules surface the culprit as a hint before any fault-mode
+// search; the table reports hint hit-rates across sessions.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "circuit/catalog.h"
+#include "diagnosis/flames.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+using circuit::Fault;
+
+struct Scenario {
+  const char* name;
+  Fault fault;
+  const char* mode;
+};
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"R2 short", Fault::shortCircuit("R2"), "short"},
+      {"R3 open", Fault::open("R3"), "open"},
+      {"R5 drift high", Fault::paramScale("R5", 1.5), "high"},
+      {"R6 drift low", Fault::paramScale("R6", 0.6), "low"},
+  };
+  return kScenarios;
+}
+
+void printLearningTable() {
+  std::cout << "==== E8: learning-from-experience ablation (Fig. 6 "
+               "circuit) ====\n";
+  const auto net = circuit::paperFig6ThreeStageAmp();
+
+  diagnosis::FlamesEngine engine(net);
+  std::cout << "pass 1 (cold): hints available per scenario\n";
+  for (const Scenario& s : scenarios()) {
+    const auto readings =
+        workload::simulateMeasurements(net, {s.fault}, {"V1", "V2", "Vs"});
+    engine.clearMeasurements();
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    const auto report = engine.diagnose();
+    std::cout << "  " << s.name << ": " << report.hints.size() << " hints\n";
+    engine.confirm(report, s.fault.component, s.mode);
+  }
+
+  std::cout << "pass 2 (warm): correct-hint rank per scenario\n";
+  std::size_t correctTop = 0;
+  for (const Scenario& s : scenarios()) {
+    const auto readings =
+        workload::simulateMeasurements(net, {s.fault}, {"V1", "V2", "Vs"});
+    engine.clearMeasurements();
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    const auto report = engine.diagnose();
+    std::size_t rank = 0;
+    bool found = false;
+    for (const auto& h : report.hints) {
+      ++rank;
+      if (h.component == s.fault.component) {
+        found = true;
+        break;
+      }
+    }
+    if (found && rank == 1) ++correctTop;
+    std::cout << "  " << s.name << ": culprit hint rank "
+              << (found ? std::to_string(rank) : std::string("absent"))
+              << " of " << report.hints.size() << '\n';
+  }
+  std::cout << "top-1 hint accuracy after one confirmation each: "
+            << correctTop << "/" << scenarios().size() << "\n";
+  std::cout << "(shape: learning turns the second encounter of a known "
+               "failure into an immediate hint)\n\n";
+}
+
+void BM_DiagnoseCold(benchmark::State& state) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto readings = workload::simulateMeasurements(
+      net, {Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  for (auto _ : state) {
+    diagnosis::FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    benchmark::DoNotOptimize(engine.diagnose());
+  }
+}
+BENCHMARK(BM_DiagnoseCold);
+
+void BM_DiagnoseWarm(benchmark::State& state) {
+  // Engine reused across sessions: the model build is amortised and the
+  // experience base is populated.
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto readings = workload::simulateMeasurements(
+      net, {Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  diagnosis::FlamesEngine engine(net);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto first = engine.diagnose();
+  engine.confirm(first, "R2", "short");
+  for (auto _ : state) {
+    engine.clearMeasurements();
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    benchmark::DoNotOptimize(engine.diagnose());
+  }
+}
+BENCHMARK(BM_DiagnoseWarm);
+
+void BM_ExperienceMatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  diagnosis::ExperienceBase eb;
+  for (std::size_t i = 0; i < n; ++i) {
+    eb.recordSuccess({{"V(V1)", -1.0 + 2.0 * static_cast<double>(i) /
+                                     static_cast<double>(n)},
+                      {"V(Vs)", 0.5}},
+                     "C" + std::to_string(i), "open");
+  }
+  const std::vector<diagnosis::Symptom> probe = {{"V(V1)", 0.1},
+                                                 {"V(Vs)", 0.5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eb.match(probe));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExperienceMatch)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printLearningTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E5 — propagation cost: fuzzy vs crisp constraint propagation over growing
+// synthetic circuits. Expected shape: fuzzy within a small constant factor
+// of crisp (the paper's claim that fuzzy intervals "avoid possible
+// explosions" rather than causing them).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "constraints/model_builder.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+
+void runOnce(const circuit::Netlist& net, constraints::ConflictPolicy policy,
+             bool crispify, std::size_t& steps, std::size_t& nogoods) {
+  const auto built = constraints::buildDiagnosticModel(net);
+  const auto probes = workload::tapsOf(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {circuit::Fault::paramScale(net.components().back().name, 1.4)},
+      probes);
+  constraints::PropagatorOptions opts;
+  opts.policy = policy;
+  opts.crispifyValues = crispify;
+  constraints::Propagator p(built.model, opts);
+  for (const auto& r : readings) {
+    p.addMeasurement(built.voltage(r.node),
+                     fuzzy::FuzzyInterval::about(r.volts, 0.02));
+  }
+  p.run();
+  steps = p.steps();
+  nogoods = p.nogoods().size();
+}
+
+void printCostTable() {
+  std::cout << "==== E5: propagation steps, fuzzy vs crisp, divider "
+               "cascades ====\n";
+  std::cout << "stages | fuzzy steps | fuzzy nogoods | crisp steps | crisp "
+               "nogoods\n";
+  for (std::size_t stages : {2u, 4u, 8u, 16u}) {
+    const auto net = workload::dividerCascade(stages);
+    std::size_t fs = 0, fn = 0, cs = 0, cn = 0;
+    runOnce(net, constraints::ConflictPolicy::kFuzzy, false, fs, fn);
+    runOnce(net, constraints::ConflictPolicy::kCrisp, true, cs, cn);
+    std::cout << "  " << stages << " | " << fs << " | " << fn << " | " << cs
+              << " | " << cn << '\n';
+  }
+  std::cout << '\n';
+}
+
+void BM_FuzzyPropagation(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  const auto net = workload::dividerCascade(stages);
+  const auto built = constraints::buildDiagnosticModel(net);
+  const auto probes = workload::tapsOf(net);
+  const auto readings = workload::simulateMeasurements(net, {}, probes);
+  for (auto _ : state) {
+    constraints::Propagator p(built.model);
+    for (const auto& r : readings) {
+      p.addMeasurement(built.voltage(r.node),
+                       fuzzy::FuzzyInterval::about(r.volts, 0.02));
+    }
+    p.run();
+    benchmark::DoNotOptimize(p.steps());
+  }
+  state.SetLabel(std::to_string(stages) + " stages");
+}
+BENCHMARK(BM_FuzzyPropagation)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CrispPropagation(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  const auto net = workload::dividerCascade(stages);
+  const auto built = constraints::buildDiagnosticModel(net);
+  const auto probes = workload::tapsOf(net);
+  const auto readings = workload::simulateMeasurements(net, {}, probes);
+  constraints::PropagatorOptions opts;
+  opts.policy = constraints::ConflictPolicy::kCrisp;
+  opts.crispifyValues = true;
+  for (auto _ : state) {
+    constraints::Propagator p(built.model, opts);
+    for (const auto& r : readings) {
+      p.addMeasurement(built.voltage(r.node),
+                       fuzzy::FuzzyInterval::about(r.volts, 0.02));
+    }
+    p.run();
+    benchmark::DoNotOptimize(p.steps());
+  }
+  state.SetLabel(std::to_string(stages) + " stages");
+}
+BENCHMARK(BM_CrispPropagation)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ModelBuildScaling(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  const auto net = workload::dividerCascade(stages);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraints::buildDiagnosticModel(net));
+  }
+}
+BENCHMARK(BM_ModelBuildScaling)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printCostTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

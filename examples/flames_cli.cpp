@@ -1,0 +1,93 @@
+// flames_cli — diagnose a board from files, no C++ required.
+//
+//   flames_cli <netlist.cir> <measurements.txt> [experience.txt]
+//
+// The netlist uses the SPICE-style card format of circuit/parser.h; the
+// measurements file holds one "<node> <volts>" pair per line ('#' comments).
+// If an experience file is given it is loaded before and saved after the
+// session, so confirmed diagnoses accumulate across runs (confirmation is
+// entered interactively when stdin is a terminal — here we simply persist
+// the base untouched).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/parser.h"
+#include "diagnosis/experience_io.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/report.h"
+
+namespace {
+
+struct Measurement {
+  std::string node;
+  double volts = 0.0;
+};
+
+std::vector<Measurement> readMeasurements(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open measurements: " + path);
+  std::vector<Measurement> out;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    Measurement m;
+    if (!(ls >> m.node)) continue;  // blank line
+    if (!(ls >> m.volts)) {
+      throw std::runtime_error("measurements line " + std::to_string(lineNo) +
+                               ": expected '<node> <volts>'");
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flames;
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: flames_cli <netlist.cir> <measurements.txt> "
+                 "[experience.txt]\n";
+    return 2;
+  }
+  try {
+    const circuit::Netlist net = circuit::parseNetlistFile(argv[1]);
+    const auto measurements = readMeasurements(argv[2]);
+    if (measurements.empty()) {
+      std::cerr << "no measurements given\n";
+      return 2;
+    }
+
+    diagnosis::FlamesEngine engine(net);
+    if (argc == 4) {
+      try {
+        const std::size_t n =
+            diagnosis::loadExperienceFile(engine.experience(), argv[3]);
+        std::cout << "loaded " << n << " learned rule(s) from " << argv[3]
+                  << "\n";
+      } catch (const std::runtime_error&) {
+        std::cout << "starting a fresh experience base at " << argv[3] << "\n";
+      }
+    }
+
+    for (const Measurement& m : measurements) {
+      engine.measure(m.node, m.volts);
+    }
+    const auto report = engine.diagnose();
+    std::cout << diagnosis::renderReport(report);
+    std::cout << "=> " << diagnosis::summarizeReport(report) << '\n';
+
+    if (argc == 4) {
+      diagnosis::saveExperienceFile(engine.experience(), argv[3]);
+    }
+    return report.faultDetected() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,60 @@
+// Guided troubleshooting session (the paper's Fig. 3 control loop).
+//
+// The technician measures only the output; FLAMES alternates diagnosis and
+// best-test recommendation until one explanation dominates, printing the
+// audit trail — which probe was chosen at each step and how the candidate
+// set narrowed.
+#include <iomanip>
+#include <iostream>
+
+#include "circuit/fault.h"
+#include "circuit/mna.h"
+#include "diagnosis/report.h"
+#include "diagnosis/session.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace flames;
+  using circuit::Fault;
+
+  const auto net = workload::dividerCascade(5);
+  const Fault hidden = Fault::shortCircuit("Rb2");
+  std::cout << "hidden defect: " << hidden.describe() << "\n\n";
+
+  // The "bench": the faulted board the oracle reads.
+  const auto faulted = circuit::applyFaults(net, {hidden});
+  const auto op = circuit::DcSolver(faulted).solve();
+  const diagnosis::ProbeOracle oracle = [&](const std::string& node) {
+    return op.v(faulted.findNode(node));
+  };
+
+  diagnosis::FlamesEngine engine(net);
+  engine.measure("t5", oracle("t5"));  // initial symptom: output only
+
+  std::vector<diagnosis::TestPoint> probes;
+  for (int i = 1; i <= 5; ++i) {
+    probes.push_back({"m" + std::to_string(i)});
+    if (i < 5) probes.push_back({"t" + std::to_string(i)});
+  }
+
+  const auto result = diagnosis::runGuidedSession(engine, probes, oracle);
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "session trail:\n";
+  for (const auto& step : result.trail) {
+    if (step.probedNode.empty()) {
+      std::cout << "  initial diagnosis: ";
+    } else {
+      std::cout << "  probed " << step.probedNode << " = "
+                << step.measuredVolts << " V: ";
+    }
+    std::cout << step.candidateCount << " candidate(s), top "
+              << diagnosis::renderComponents(step.topCandidate)
+              << " plausibility " << step.topPlausibility << '\n';
+  }
+  std::cout << "\noutcome: " << diagnosis::sessionOutcomeName(result.outcome)
+            << " after " << result.probesUsed << " guided probe(s)\n";
+  std::cout << "final report:\n"
+            << diagnosis::renderReport(result.finalReport);
+  return result.outcome == diagnosis::SessionOutcome::kIsolated ? 0 : 1;
+}

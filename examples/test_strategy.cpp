@@ -1,0 +1,53 @@
+// Best-test strategies (paper §8): after an ambiguous first measurement the
+// engine recommends the probe that minimises expected fuzzy entropy, the
+// technician measures it, and the diagnosis sharpens.
+#include <iomanip>
+#include <iostream>
+
+#include "circuit/catalog.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/report.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace flames;
+  using circuit::Fault;
+
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const Fault trueFault = Fault::open("R3");
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "hidden defect: " << trueFault.describe() << "\n\n";
+
+  // Session step 1: only the output Vs is measured — ambiguous.
+  const auto vsOnly = workload::simulateMeasurements(net, {trueFault}, {"Vs"});
+  diagnosis::FlamesEngine engine(net);
+  engine.measure("Vs", vsOnly.front().volts);
+  auto report = engine.diagnose();
+  std::cout << "-- after measuring Vs only --\n";
+  std::cout << "suspects:";
+  for (const auto& [comp, s] : report.suspicion) {
+    std::cout << ' ' << comp << '(' << s << ')';
+  }
+  std::cout << "\ncandidates: " << report.candidates.size() << '\n';
+
+  // Ask FLAMES which internal node to probe next.
+  const auto tests = engine.recommendTests({{"V1"}, {"V2"}, {"E2"}}, report);
+  std::cout << "\n-- recommended next tests (lower expected entropy wins) --\n";
+  for (const auto& t : tests) {
+    std::cout << "  probe " << t.node << ": expected entropy "
+              << t.expectedEntropy.str() << "  score " << t.score << "  ("
+              << t.outcomeClusters << " outcome clusters)\n";
+  }
+  if (tests.empty()) return 1;
+
+  // Session step 2: measure the recommended node and re-diagnose.
+  const std::string probe = tests.front().node;
+  const auto more = workload::simulateMeasurements(net, {trueFault}, {probe});
+  engine.measure(probe, more.front().volts);
+  report = engine.diagnose();
+  std::cout << "\n-- after measuring " << probe << " --\n";
+  std::cout << diagnosis::renderReport(report);
+  std::cout << "=> " << diagnosis::summarizeReport(report) << '\n';
+  return 0;
+}

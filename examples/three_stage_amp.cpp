@@ -1,0 +1,73 @@
+// The paper's evaluation circuit (Fig. 6): a 3-stage BJT amplifier.
+//
+// Replays the five defect scenarios of Fig. 7 and prints, for each, the
+// Dc table, the ranked nogoods and the refined candidates — the same
+// columns the paper tabulates.
+#include <iomanip>
+#include <iostream>
+
+#include "circuit/catalog.h"
+#include "circuit/mna.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/report.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace flames;
+  using circuit::Fault;
+
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+
+  // Show the nominal operating point first (all transistors linear).
+  const auto nominal = circuit::DcSolver(net).solve();
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "nominal operating point: V1 = " << nominal.v(net.findNode("V1"))
+            << " V, V2 = " << nominal.v(net.findNode("V2"))
+            << " V, Vs = " << nominal.v(net.findNode("Vs")) << " V\n";
+  std::cout << "saturation warning: " << std::boolalpha
+            << nominal.saturationWarning << "\n\n";
+
+  struct Scenario {
+    const char* name;
+    std::vector<Fault> faults;
+  };
+  // The two "slight" rows also run in an observable-scaled variant: with
+  // this reconstruction of the (partly implicit) Fig. 6 wiring, the paper's
+  // exact deviations shift the probes by less than 0.1% and are reported as
+  // masked; the scaled variants exercise the same partial-conflict
+  // machinery (see EXPERIMENTS.md, E3).
+  const std::vector<Scenario> scenarios = {
+      {"short circuit on R2", {Fault::shortCircuit("R2")}},
+      {"R2 slightly high (12.18 kOhm, paper value)",
+       {Fault::paramExact("R2", 12.18)}},
+      {"R2 slightly high (14.4 kOhm, observable-scaled)",
+       {Fault::paramExact("R2", 14.4)}},
+      {"Beta2 slightly low (194, paper value)",
+       {Fault::paramExact("T2", 194.0)}},
+      {"Beta2 low (60, observable-scaled)", {Fault::paramExact("T2", 60.0)}},
+      {"open circuit on R3", {Fault::open("R3")}},
+      {"open circuit in N1", {Fault::pinOpen("T1", 1)}},
+  };
+
+  for (const Scenario& s : scenarios) {
+    std::cout << "==================================================\n";
+    std::cout << "DEFECT: " << s.name << '\n';
+    std::vector<workload::ProbeReading> readings;
+    try {
+      readings =
+          workload::simulateMeasurements(net, s.faults, {"V1", "V2", "Vs"});
+    } catch (const std::exception& e) {
+      std::cout << "  (faulted circuit unsolvable: " << e.what() << ")\n";
+      continue;
+    }
+    diagnosis::FlamesEngine engine(net);
+    for (const auto& r : readings) {
+      std::cout << "  measured " << r.node << " = " << r.volts << " V\n";
+      engine.measure(r.node, r.volts);
+    }
+    const auto report = engine.diagnose();
+    std::cout << diagnosis::renderReport(report);
+    std::cout << "=> " << diagnosis::summarizeReport(report) << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,360 @@
+#include "atms/atms.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace flames::atms {
+
+// --- NogoodDb ---------------------------------------------------------------
+
+bool NogoodDb::add(Environment env, double degree, std::string note) {
+  degree = std::clamp(degree, 0.0, 1.0);
+  // Subsumed by an existing stronger-or-equal, smaller-or-equal entry?
+  for (const Nogood& n : entries_) {
+    if (n.degree >= degree && n.env.isSubsetOf(env)) return false;
+  }
+  // Remove entries the new one subsumes.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Nogood& n) {
+                                  return degree >= n.degree &&
+                                         env.isSubsetOf(n.env);
+                                }),
+                 entries_.end());
+  entries_.push_back({std::move(env), degree, std::move(note)});
+  return true;
+}
+
+double NogoodDb::degreeOf(const Environment& env) const {
+  double best = 0.0;
+  for (const Nogood& n : entries_) {
+    if (n.degree > best && n.env.isSubsetOf(env)) best = n.degree;
+  }
+  return best;
+}
+
+bool NogoodDb::isInconsistent(const Environment& env, double lambda) const {
+  for (const Nogood& n : entries_) {
+    if (n.degree >= lambda && n.env.isSubsetOf(env)) return true;
+  }
+  return false;
+}
+
+std::vector<Nogood> NogoodDb::minimalNogoods(double lambda) const {
+  std::vector<Nogood> cut;
+  for (const Nogood& n : entries_) {
+    if (n.degree >= lambda) cut.push_back(n);
+  }
+  std::vector<Nogood> minimal;
+  for (const Nogood& n : cut) {
+    const bool dominated = std::any_of(
+        cut.begin(), cut.end(), [&](const Nogood& m) {
+          return &m != &n && m.env.isSubsetOf(n.env) && !(n.env == m.env);
+        });
+    if (!dominated) minimal.push_back(n);
+  }
+  std::sort(minimal.begin(), minimal.end(), [](const Nogood& a,
+                                               const Nogood& b) {
+    if (a.degree != b.degree) return a.degree > b.degree;
+    const std::size_t sa = a.env.size(), sb = b.env.size();
+    if (sa != sb) return sa < sb;
+    return a.env.orderedBefore(b.env);
+  });
+  return minimal;
+}
+
+// --- Atms -------------------------------------------------------------------
+
+Atms::Atms() {
+  Node contradictionNode;
+  contradictionNode.datum = "_|_";
+  nodes_.push_back(std::move(contradictionNode));
+}
+
+NodeId Atms::addAssumption(std::string datum) {
+  Node n;
+  n.datum = std::move(datum);
+  n.assumption = true;
+  n.assumptionId = nextAssumption_++;
+  Environment e;
+  e.insert(n.assumptionId);
+  n.label.push_back({std::move(e), 1.0});
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Atms::addNode(std::string datum) {
+  Node n;
+  n.datum = std::move(datum);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Atms::justify(std::vector<NodeId> antecedents, NodeId consequent,
+                   double degree, std::string note) {
+  for (NodeId a : antecedents) {
+    if (a >= nodes_.size()) throw std::out_of_range("justify: bad antecedent");
+  }
+  if (consequent >= nodes_.size()) {
+    throw std::out_of_range("justify: bad consequent");
+  }
+  justifications_.push_back({antecedents, consequent,
+                             std::clamp(degree, 0.0, 1.0), std::move(note)});
+  const std::size_t jIdx = justifications_.size() - 1;
+  for (NodeId a : antecedents) {
+    auto& feeds = nodes_[a].consequentOf;
+    if (std::find(feeds.begin(), feeds.end(), jIdx) == feeds.end()) {
+      feeds.push_back(jIdx);
+    }
+  }
+
+  // Fire the new justification once; label updates cascade from there.
+  const Justification& j = justifications_[jIdx];
+  // Cross product of antecedent labels.
+  std::vector<LabelEnv> combos{{Environment{}, j.degree}};
+  for (NodeId a : j.antecedents) {
+    std::vector<LabelEnv> next;
+    for (const LabelEnv& partial : combos) {
+      for (const LabelEnv& le : nodes_[a].label) {
+        next.push_back({partial.env.unionWith(le.env),
+                        std::min(partial.degree, le.degree)});
+      }
+    }
+    combos = std::move(next);
+    if (combos.empty()) return;  // some antecedent label is empty
+  }
+  bool changed = false;
+  for (const LabelEnv& c : combos) {
+    if (j.consequent == kContradiction) {
+      recordConflict(c, j.note);
+    } else if (updateLabel(j.consequent, c)) {
+      changed = true;
+    }
+  }
+  if (changed) propagateFrom(j.consequent);
+}
+
+void Atms::premise(NodeId node, double degree) {
+  if (node == kContradiction) {
+    throw std::invalid_argument("premise: cannot premise the contradiction");
+  }
+  if (updateLabel(node, {Environment{}, degree})) propagateFrom(node);
+}
+
+void Atms::addNogood(Environment env, double degree, std::string note) {
+  if (nogoodDb_.add(std::move(env), degree, std::move(note)) &&
+      degree >= hardThreshold_) {
+    pruneLabels();
+  }
+}
+
+const std::vector<LabelEnv>& Atms::label(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("label: bad node");
+  return nodes_[node].label;
+}
+
+bool Atms::isIn(NodeId node, double minDegree) const {
+  for (const LabelEnv& le : label(node)) {
+    if (le.degree >= minDegree) return true;
+  }
+  return false;
+}
+
+bool Atms::holdsIn(NodeId node, const Environment& env,
+                   double minDegree) const {
+  for (const LabelEnv& le : label(node)) {
+    if (le.degree >= minDegree && le.env.isSubsetOf(env)) return true;
+  }
+  return false;
+}
+
+const std::string& Atms::datum(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("datum: bad node");
+  return nodes_[node].datum;
+}
+
+bool Atms::isAssumption(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("isAssumption: bad node");
+  return nodes_[node].assumption;
+}
+
+std::optional<AssumptionId> Atms::assumptionIdOf(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("assumptionIdOf");
+  if (!nodes_[node].assumption) return std::nullopt;
+  return nodes_[node].assumptionId;
+}
+
+bool Atms::updateLabel(NodeId node, const LabelEnv& candidate) {
+  if (nogoodDb_.isInconsistent(candidate.env, hardThreshold_)) return false;
+  auto& label = nodes_[node].label;
+  // Subsumed by an existing env (subset with >= degree)?
+  for (const LabelEnv& le : label) {
+    if (le.degree >= candidate.degree && le.env.isSubsetOf(candidate.env)) {
+      return false;
+    }
+  }
+  // Remove envs the candidate subsumes.
+  label.erase(std::remove_if(label.begin(), label.end(),
+                             [&](const LabelEnv& le) {
+                               return candidate.degree >= le.degree &&
+                                      candidate.env.isSubsetOf(le.env);
+                             }),
+              label.end());
+  label.push_back(candidate);
+  return true;
+}
+
+void Atms::propagateFrom(NodeId start) {
+  std::deque<NodeId> queue{start};
+  // Each pass refires all justifications fed by the changed node. Labels
+  // only grow (or get replaced by subsets), so this terminates.
+  int guard = 0;
+  const int kMaxRounds = 100000;
+  while (!queue.empty()) {
+    if (++guard > kMaxRounds) {
+      throw std::runtime_error("Atms: propagation did not settle");
+    }
+    const NodeId node = queue.front();
+    queue.pop_front();
+    for (std::size_t jIdx : nodes_[node].consequentOf) {
+      const Justification& j = justifications_[jIdx];
+      std::vector<LabelEnv> combos{{Environment{}, j.degree}};
+      for (NodeId a : j.antecedents) {
+        std::vector<LabelEnv> next;
+        for (const LabelEnv& partial : combos) {
+          for (const LabelEnv& le : nodes_[a].label) {
+            next.push_back({partial.env.unionWith(le.env),
+                            std::min(partial.degree, le.degree)});
+          }
+        }
+        combos = std::move(next);
+        if (combos.empty()) break;
+      }
+      bool changed = false;
+      for (const LabelEnv& c : combos) {
+        if (j.consequent == kContradiction) {
+          recordConflict(c, j.note);
+        } else if (updateLabel(j.consequent, c)) {
+          changed = true;
+        }
+      }
+      if (changed) queue.push_back(j.consequent);
+    }
+  }
+}
+
+void Atms::recordConflict(const LabelEnv& env, const std::string& note) {
+  // The degree of the conflict is the derivation degree of the environment
+  // that reached the contradiction node.
+  if (nogoodDb_.add(env.env, env.degree, note) &&
+      env.degree >= hardThreshold_) {
+    pruneLabels();
+  }
+}
+
+namespace {
+
+// Appends `line` to `out` unless already present (shared sub-derivations).
+void pushUnique(std::vector<std::string>& out, std::string line) {
+  if (std::find(out.begin(), out.end(), line) == out.end()) {
+    out.push_back(std::move(line));
+  }
+}
+
+}  // namespace
+
+bool Atms::explainInto(NodeId node, const Environment& env,
+                       std::vector<std::string>& out,
+                       std::vector<NodeId>& visiting) const {
+  const Node& n = nodes_[node];
+  if (n.assumption) {
+    if (!env.contains(n.assumptionId)) return false;
+    pushUnique(out, n.datum + ": assumption");
+    return true;
+  }
+  // Premise-style label env (empty environment, no justification needed to
+  // re-derive for the trace).
+  for (const LabelEnv& le : n.label) {
+    if (le.env.empty()) {
+      pushUnique(out, n.datum + ": premise");
+      return true;
+    }
+  }
+  // Guard against justification cycles.
+  if (std::find(visiting.begin(), visiting.end(), node) != visiting.end()) {
+    return false;
+  }
+  visiting.push_back(node);
+
+  for (std::size_t jIdx = 0; jIdx < justifications_.size(); ++jIdx) {
+    const Justification& j = justifications_[jIdx];
+    if (j.consequent != node) continue;
+    // Every antecedent must hold under some label env contained in `env`.
+    bool ok = true;
+    std::vector<std::string> sub;
+    for (NodeId a : j.antecedents) {
+      bool found = false;
+      for (const LabelEnv& le : nodes_[a].label) {
+        if (!le.env.isSubsetOf(env)) continue;
+        std::vector<NodeId> branchVisiting = visiting;
+        if (explainInto(a, env, sub, branchVisiting)) {
+          found = true;
+          break;
+        }
+      }
+      // Assumptions and premises have label envs too, handled recursively.
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (std::string& line : sub) pushUnique(out, std::move(line));
+      std::string line = n.datum + " <= ";
+      if (!j.note.empty()) line += "[" + j.note + "] ";
+      line += "(";
+      for (std::size_t i = 0; i < j.antecedents.size(); ++i) {
+        if (i != 0) line += ", ";
+        line += nodes_[j.antecedents[i]].datum;
+      }
+      line += ")";
+      if (j.degree < 1.0) {
+        line += " degree " + std::to_string(j.degree);
+      }
+      pushUnique(out, std::move(line));
+      visiting.pop_back();
+      return true;
+    }
+  }
+  visiting.pop_back();
+  return false;
+}
+
+std::vector<std::string> Atms::explain(NodeId node,
+                                       const Environment& env) const {
+  if (node >= nodes_.size()) throw std::out_of_range("explain: bad node");
+  if (!holdsIn(node, env)) return {};
+  std::vector<std::string> out;
+  std::vector<NodeId> visiting;
+  if (!explainInto(node, env, out, visiting)) return {};
+  return out;
+}
+
+std::vector<std::string> Atms::explain(NodeId node) const {
+  const auto& lbl = label(node);
+  if (lbl.empty()) return {};
+  return explain(node, lbl.front().env);
+}
+
+void Atms::pruneLabels() {
+  for (Node& n : nodes_) {
+    n.label.erase(std::remove_if(n.label.begin(), n.label.end(),
+                                 [&](const LabelEnv& le) {
+                                   return nogoodDb_.isInconsistent(
+                                       le.env, hardThreshold_);
+                                 }),
+                  n.label.end());
+  }
+}
+
+}  // namespace flames::atms

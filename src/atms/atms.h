@@ -1,0 +1,180 @@
+// A fuzzy Assumption-based Truth Maintenance System (paper §6).
+//
+// The classic ATMS (de Kleer 1986) maintains, for every datum node, a label:
+// the set of minimal, consistent assumption environments under which the
+// datum holds. FLAMES extends it in two ways (paper §6.1.2):
+//
+//  * justifications carry a certainty degree in [0, 1] (the expert may add
+//    fault models / qualitative rules that are only partially certain), and
+//    a label environment's degree is the min (t-norm) of the degrees along
+//    its derivation;
+//  * nogoods carry a degree in [0, 1]: degree 1 is a hard contradiction
+//    (the environment is removed from labels, as in the classic ATMS);
+//    degree < 1 is a *partial* conflict — it is recorded and ranked but
+//    only prunes labels when it reaches the configured hard threshold.
+//
+// The diagnosis-side consumers (candidate generation, ranked nogood lists)
+// live in atms/candidates.*.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atms/environment.h"
+
+namespace flames::atms {
+
+using NodeId = std::uint32_t;
+
+/// One environment in a node's label, with its derivation degree.
+struct LabelEnv {
+  Environment env;
+  double degree = 1.0;
+};
+
+/// A justification: antecedents (conjunction) => consequent, with a
+/// certainty degree.
+struct Justification {
+  std::vector<NodeId> antecedents;
+  NodeId consequent = 0;
+  double degree = 1.0;
+  std::string note;
+};
+
+/// A recorded (possibly partial) conflict.
+struct Nogood {
+  Environment env;
+  double degree = 1.0;  ///< 1 = hard contradiction, <1 = partial conflict
+  std::string note;
+};
+
+/// Database of fuzzy nogoods with subsumption.
+///
+/// Entry A subsumes entry B iff A.env ⊆ B.env and A.degree >= B.degree:
+/// a stronger conflict on fewer assumptions makes the weaker one redundant.
+class NogoodDb {
+ public:
+  /// Records a conflict; returns true if it was kept (not subsumed).
+  bool add(Environment env, double degree, std::string note = {});
+
+  /// Strongest degree of any recorded nogood contained in `env` (0 if none).
+  [[nodiscard]] double degreeOf(const Environment& env) const;
+
+  /// True if env contains a nogood of at least `lambda` degree.
+  [[nodiscard]] bool isInconsistent(const Environment& env,
+                                    double lambda = 1.0) const;
+
+  /// All entries with degree >= lambda that are subset-minimal within that
+  /// cut, sorted by degree descending then size ascending.
+  [[nodiscard]] std::vector<Nogood> minimalNogoods(double lambda = 0.0) const;
+
+  [[nodiscard]] const std::vector<Nogood>& all() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Nogood> entries_;
+};
+
+/// The fuzzy ATMS.
+class Atms {
+ public:
+  Atms();
+
+  /// The distinguished contradiction node.
+  [[nodiscard]] NodeId contradiction() const { return kContradiction; }
+
+  /// Creates an assumption node; its label is {{a}} with degree 1.
+  NodeId addAssumption(std::string datum);
+
+  /// Creates an ordinary datum node with an empty label.
+  NodeId addNode(std::string datum);
+
+  /// Installs `antecedents => consequent` with a certainty degree and
+  /// propagates labels. Justifying the contradiction node records nogoods.
+  void justify(std::vector<NodeId> antecedents, NodeId consequent,
+               double degree = 1.0, std::string note = {});
+
+  /// Premise: node holds under the empty environment (degree d).
+  void premise(NodeId node, double degree = 1.0);
+
+  /// Directly records a conflict environment with a degree.
+  void addNogood(Environment env, double degree, std::string note = {});
+
+  /// Label of a node: minimal consistent environments with degrees.
+  [[nodiscard]] const std::vector<LabelEnv>& label(NodeId node) const;
+
+  /// True if the node holds in at least one consistent environment with
+  /// degree >= minDegree.
+  [[nodiscard]] bool isIn(NodeId node, double minDegree = 0.0) const;
+
+  /// True if the node holds under the given environment (some label env is
+  /// a subset of it), at degree >= minDegree.
+  [[nodiscard]] bool holdsIn(NodeId node, const Environment& env,
+                             double minDegree = 0.0) const;
+
+  [[nodiscard]] const std::string& datum(NodeId node) const;
+  [[nodiscard]] bool isAssumption(NodeId node) const;
+  [[nodiscard]] std::optional<AssumptionId> assumptionIdOf(NodeId node) const;
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+  [[nodiscard]] const NogoodDb& nogoods() const { return nogoodDb_; }
+  [[nodiscard]] const std::vector<Justification>& justifications() const {
+    return justifications_;
+  }
+
+  /// Environments with a nogood degree >= this threshold are removed from
+  /// labels (default: only hard, degree-1 conflicts prune, as in the paper).
+  void setHardConflictThreshold(double t) { hardThreshold_ = t; }
+  [[nodiscard]] double hardConflictThreshold() const { return hardThreshold_; }
+
+  /// Derivation trace: how `node` comes to hold under `env` (one line per
+  /// step, leaves first, e.g. "ok(R1): assumption" then
+  /// "i1 <= [ohm] (ok(R1), v1)"). Empty if the node does not hold in env.
+  /// The trace is found by a greedy search over the current labels, so it
+  /// is one valid derivation, not necessarily the one first discovered.
+  [[nodiscard]] std::vector<std::string> explain(
+      NodeId node, const Environment& env) const;
+
+  /// Trace for the node's first (minimal) label environment.
+  [[nodiscard]] std::vector<std::string> explain(NodeId node) const;
+
+ private:
+  static constexpr NodeId kContradiction = 0;
+
+  struct Node {
+    std::string datum;
+    bool assumption = false;
+    AssumptionId assumptionId = 0;
+    std::vector<LabelEnv> label;
+    std::vector<std::size_t> consequentOf;  // justification indices it feeds
+  };
+
+  // Inserts a candidate env into a node's label (minimality + consistency
+  // maintained); returns true if the label changed.
+  bool updateLabel(NodeId node, const LabelEnv& candidate);
+
+  // Recomputes consequences of a changed node, breadth-first.
+  void propagateFrom(NodeId node);
+
+  // Handles new envs arriving at the contradiction node.
+  void recordConflict(const LabelEnv& env, const std::string& note);
+
+  // Removes label envs that became inconsistent after a new hard nogood.
+  void pruneLabels();
+
+  // Recursive greedy trace search used by explain().
+  bool explainInto(NodeId node, const Environment& env,
+                   std::vector<std::string>& out,
+                   std::vector<NodeId>& visiting) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Justification> justifications_;
+  NogoodDb nogoodDb_;
+  AssumptionId nextAssumption_ = 0;
+  double hardThreshold_ = 1.0;
+};
+
+}  // namespace flames::atms

@@ -1,0 +1,138 @@
+#include "atms/candidates.h"
+
+#include <algorithm>
+#include <set>
+
+namespace flames::atms {
+
+namespace {
+
+// Branch-and-prune minimal hitting set enumeration. Classic scheme: pick the
+// first unhit set, branch on each of its elements, prune supersets of found
+// hitting sets at the end (cheap at these sizes).
+void hitRecurse(const std::vector<std::vector<AssumptionId>>& sets,
+                std::vector<AssumptionId>& partial, std::size_t maxCard,
+                std::size_t maxCount,
+                std::vector<std::vector<AssumptionId>>& out) {
+  if (out.size() >= maxCount) return;
+  // First set not hit by `partial`.
+  const std::vector<AssumptionId>* unhit = nullptr;
+  for (const auto& s : sets) {
+    const bool hit = std::any_of(s.begin(), s.end(), [&](AssumptionId a) {
+      return std::find(partial.begin(), partial.end(), a) != partial.end();
+    });
+    if (!hit) {
+      unhit = &s;
+      break;
+    }
+  }
+  if (unhit == nullptr) {
+    out.push_back(partial);
+    std::sort(out.back().begin(), out.back().end());
+    return;
+  }
+  if (partial.size() >= maxCard) return;
+  for (AssumptionId a : *unhit) {
+    partial.push_back(a);
+    hitRecurse(sets, partial, maxCard, maxCount, out);
+    partial.pop_back();
+    if (out.size() >= maxCount) return;
+  }
+}
+
+void sortAndMinimize(std::vector<std::vector<AssumptionId>>& hits) {
+  std::sort(hits.begin(), hits.end(),
+            [](const std::vector<AssumptionId>& a,
+               const std::vector<AssumptionId>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  // Remove supersets of earlier (smaller) hitting sets.
+  std::vector<std::vector<AssumptionId>> minimal;
+  for (const auto& h : hits) {
+    const bool dominated =
+        std::any_of(minimal.begin(), minimal.end(), [&](const auto& m) {
+          return std::includes(h.begin(), h.end(), m.begin(), m.end());
+        });
+    if (!dominated) minimal.push_back(h);
+  }
+  hits = std::move(minimal);
+}
+
+}  // namespace
+
+std::vector<std::vector<AssumptionId>> minimalHittingSets(
+    const std::vector<std::vector<AssumptionId>>& sets,
+    std::size_t maxCardinality, std::size_t maxCandidates) {
+  // An empty conflict set is unhittable: no candidates.
+  for (const auto& s : sets) {
+    if (s.empty()) return {};
+  }
+  if (sets.empty()) return {{}};  // nothing to explain: the empty candidate
+
+  std::vector<std::vector<AssumptionId>> out;
+  std::vector<AssumptionId> partial;
+  hitRecurse(sets, partial, maxCardinality, maxCandidates, out);
+  sortAndMinimize(out);
+  return out;
+}
+
+std::map<AssumptionId, double> componentSuspicion(const NogoodDb& db) {
+  std::map<AssumptionId, double> suspicion;
+  for (const Nogood& n : db.all()) {
+    for (AssumptionId a : n.env.ids()) {
+      auto [it, inserted] = suspicion.emplace(a, n.degree);
+      if (!inserted) it->second = std::max(it->second, n.degree);
+    }
+  }
+  return suspicion;
+}
+
+std::vector<Candidate> candidatesAt(const NogoodDb& db, double lambda,
+                                    std::size_t maxCardinality,
+                                    std::size_t maxCandidates) {
+  std::vector<std::vector<AssumptionId>> sets;
+  for (const Nogood& n : db.minimalNogoods(lambda)) {
+    sets.push_back(n.env.ids());
+  }
+  const auto hits = minimalHittingSets(sets, maxCardinality, maxCandidates);
+  const auto suspicion = componentSuspicion(db);
+
+  std::vector<Candidate> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) {
+    Candidate c;
+    c.members = h;
+    c.lambda = lambda;
+    c.suspicion = h.empty() ? 0.0 : 1.0;
+    for (AssumptionId a : h) {
+      const auto it = suspicion.find(a);
+      const double s = it == suspicion.end() ? 0.0 : it->second;
+      c.suspicion = std::min(c.suspicion, s);
+    }
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.members.size() != b.members.size()) {
+      return a.members.size() < b.members.size();
+    }
+    if (a.suspicion != b.suspicion) return a.suspicion > b.suspicion;
+    return a.members < b.members;
+  });
+  return out;
+}
+
+std::vector<std::pair<double, std::vector<Candidate>>> candidateLattice(
+    const NogoodDb& db, std::size_t maxCardinality,
+    std::size_t maxCandidates) {
+  std::set<double, std::greater<>> lambdas;
+  for (const Nogood& n : db.all()) lambdas.insert(n.degree);
+  std::vector<std::pair<double, std::vector<Candidate>>> out;
+  for (double l : lambdas) {
+    out.emplace_back(l, candidatesAt(db, l, maxCardinality, maxCandidates));
+  }
+  return out;
+}
+
+}  // namespace flames::atms

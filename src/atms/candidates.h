@@ -1,0 +1,56 @@
+// Candidate generation from the fuzzy nogood database (paper §6.1, §6.3).
+//
+// A candidate is a set of assumptions (in diagnosis: component-correctness
+// assumptions) whose retraction explains every conflict — i.e. a hitting set
+// of the nogood environments (GDE / Reiter). FLAMES works with *fuzzy*
+// nogoods, so candidates are generated per λ-cut: at confidence λ only
+// nogoods of degree >= λ must be explained. Lower λ means more conflicts are
+// taken seriously and candidates grow; the ranked λ structure is what the
+// paper uses to "restrict the effect of explosion".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atms/atms.h"
+
+namespace flames::atms {
+
+/// One candidate diagnosis.
+struct Candidate {
+  /// Assumptions to retract (components to suspect).
+  std::vector<AssumptionId> members;
+  /// λ-cut the candidate was generated at.
+  double lambda = 1.0;
+  /// min over members of the member's suspicion (see componentSuspicion).
+  double suspicion = 0.0;
+};
+
+/// Computes all minimal hitting sets of `sets` (each a non-empty id list).
+///
+/// `maxCardinality` bounds the search depth (the paper entertains multiple
+/// faults but the space grows exponentially; typical use is 2 or 3);
+/// `maxCandidates` caps the output size. Results are subset-minimal and
+/// sorted by cardinality then lexicographically.
+[[nodiscard]] std::vector<std::vector<AssumptionId>> minimalHittingSets(
+    const std::vector<std::vector<AssumptionId>>& sets,
+    std::size_t maxCardinality = 4, std::size_t maxCandidates = 10000);
+
+/// Suspicion of each assumption: the strongest nogood it participates in.
+[[nodiscard]] std::map<AssumptionId, double> componentSuspicion(
+    const NogoodDb& db);
+
+/// Candidates at a λ-cut: minimal hitting sets of the subset-minimal nogoods
+/// with degree >= λ, ranked by (cardinality asc, suspicion desc).
+[[nodiscard]] std::vector<Candidate> candidatesAt(
+    const NogoodDb& db, double lambda, std::size_t maxCardinality = 4,
+    std::size_t maxCandidates = 10000);
+
+/// The full λ-structure: candidates at every distinct nogood degree,
+/// strongest cut first. Each entry pairs the λ value with its candidates.
+[[nodiscard]] std::vector<std::pair<double, std::vector<Candidate>>>
+candidateLattice(const NogoodDb& db, std::size_t maxCardinality = 4,
+                 std::size_t maxCandidates = 10000);
+
+}  // namespace flames::atms

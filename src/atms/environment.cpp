@@ -1,0 +1,133 @@
+#include "atms/environment.h"
+
+#include <bit>
+#include <sstream>
+
+namespace flames::atms {
+
+namespace {
+constexpr std::size_t kBits = 64;
+}
+
+Environment Environment::of(std::initializer_list<AssumptionId> ids) {
+  Environment e;
+  for (AssumptionId id : ids) e.insert(id);
+  return e;
+}
+
+Environment Environment::fromIds(const std::vector<AssumptionId>& ids) {
+  Environment e;
+  for (AssumptionId id : ids) e.insert(id);
+  return e;
+}
+
+bool Environment::empty() const { return words_.empty(); }
+
+std::size_t Environment::size() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool Environment::contains(AssumptionId id) const {
+  const std::size_t word = id / kBits;
+  if (word >= words_.size()) return false;
+  return (words_[word] >> (id % kBits)) & 1u;
+}
+
+bool Environment::isSubsetOf(const Environment& other) const {
+  if (words_.size() > other.words_.size()) return false;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Environment::intersects(const Environment& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+void Environment::insert(AssumptionId id) {
+  const std::size_t word = id / kBits;
+  if (word >= words_.size()) words_.resize(word + 1, 0);
+  words_[word] |= std::uint64_t{1} << (id % kBits);
+}
+
+void Environment::erase(AssumptionId id) {
+  const std::size_t word = id / kBits;
+  if (word >= words_.size()) return;
+  words_[word] &= ~(std::uint64_t{1} << (id % kBits));
+  normalize();
+}
+
+Environment Environment::unionWith(const Environment& other) const {
+  Environment out;
+  out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    std::uint64_t w = 0;
+    if (i < words_.size()) w |= words_[i];
+    if (i < other.words_.size()) w |= other.words_[i];
+    out.words_[i] = w;
+  }
+  out.normalize();
+  return out;
+}
+
+Environment Environment::intersectWith(const Environment& other) const {
+  Environment out;
+  out.words_.resize(std::min(words_.size(), other.words_.size()), 0);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  out.normalize();
+  return out;
+}
+
+std::vector<AssumptionId> Environment::ids() const {
+  std::vector<AssumptionId> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<AssumptionId>(w * kBits +
+                                              static_cast<std::size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string Environment::str() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (AssumptionId id : ids()) {
+    if (!first) os << ',';
+    os << id;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+bool Environment::orderedBefore(const Environment& other) const {
+  const std::size_t sa = size(), sb = other.size();
+  if (sa != sb) return sa < sb;
+  const std::size_t n = std::max(words_.size(), other.words_.size());
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t wa = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t wb = i < other.words_.size() ? other.words_[i] : 0;
+    if (wa != wb) return wa < wb;
+  }
+  return false;
+}
+
+void Environment::normalize() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+}  // namespace flames::atms

@@ -1,0 +1,80 @@
+// Assumption environments for the (fuzzy) ATMS.
+//
+// An environment is a set of assumptions; labels, nogoods and candidate
+// diagnoses are all built from environments (de Kleer 1986, paper §6). The
+// hot operations are union, subset test and subsumption filtering, so the
+// representation is a dynamic bitset over assumption ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flames::atms {
+
+using AssumptionId = std::uint32_t;
+
+/// A set of assumptions, stored as a dynamic bitset.
+class Environment {
+ public:
+  Environment() = default;
+
+  /// Builds from an explicit id list.
+  static Environment of(std::initializer_list<AssumptionId> ids);
+  static Environment fromIds(const std::vector<AssumptionId>& ids);
+
+  /// The empty environment (holds unconditionally).
+  [[nodiscard]] bool empty() const;
+
+  /// Number of assumptions in the set.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] bool contains(AssumptionId id) const;
+
+  /// This ⊆ other.
+  [[nodiscard]] bool isSubsetOf(const Environment& other) const;
+
+  /// This ⊇ other.
+  [[nodiscard]] bool isSupersetOf(const Environment& other) const {
+    return other.isSubsetOf(*this);
+  }
+
+  /// True if the intersection is non-empty.
+  [[nodiscard]] bool intersects(const Environment& other) const;
+
+  /// In-place insertion.
+  void insert(AssumptionId id);
+
+  /// In-place removal.
+  void erase(AssumptionId id);
+
+  /// Set union (the env of a derived value is the union of its supports).
+  [[nodiscard]] Environment unionWith(const Environment& other) const;
+
+  /// Set intersection.
+  [[nodiscard]] Environment intersectWith(const Environment& other) const;
+
+  /// Sorted list of member ids.
+  [[nodiscard]] std::vector<AssumptionId> ids() const;
+
+  /// Deterministic render like "{1,4,7}".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Environment&, const Environment&) = default;
+
+  /// Strict weak order (by size, then lexicographic on words) for use as a
+  /// map key and for deterministic output.
+  [[nodiscard]] bool orderedBefore(const Environment& other) const;
+
+ private:
+  void normalize();
+  std::vector<std::uint64_t> words_;
+};
+
+struct EnvironmentLess {
+  bool operator()(const Environment& a, const Environment& b) const {
+    return a.orderedBefore(b);
+  }
+};
+
+}  // namespace flames::atms

@@ -1,0 +1,48 @@
+#include "baselines/crisp_diagnosis.h"
+
+namespace flames::baselines {
+
+using constraints::ConflictPolicy;
+using constraints::Model;
+using constraints::Propagator;
+using constraints::PropagatorOptions;
+
+CrispDiagnosis diagnoseCrisp(const Model& model,
+                             const std::vector<CrispMeasurement>& measurements,
+                             std::size_t maxFaultCardinality,
+                             PropagatorOptions baseOptions) {
+  PropagatorOptions options = baseOptions;
+  options.policy = ConflictPolicy::kCrisp;
+  options.crispifyValues = true;
+
+  Propagator prop(model, options);
+  for (const CrispMeasurement& m : measurements) {
+    prop.addMeasurement(m.quantity, m.value);
+  }
+  prop.run();
+
+  CrispDiagnosis result;
+  result.propagationCompleted = prop.completed();
+  result.steps = prop.steps();
+
+  const auto minimal = prop.nogoods().minimalNogoods(1.0);
+  std::vector<std::vector<atms::AssumptionId>> sets;
+  for (const atms::Nogood& n : minimal) {
+    std::vector<std::string> names;
+    for (atms::AssumptionId id : n.env.ids()) {
+      names.push_back(model.assumptionName(id));
+    }
+    result.nogoods.push_back(std::move(names));
+    sets.push_back(n.env.ids());
+  }
+
+  for (const auto& hit :
+       atms::minimalHittingSets(sets, maxFaultCardinality)) {
+    std::vector<std::string> names;
+    for (atms::AssumptionId id : hit) names.push_back(model.assumptionName(id));
+    result.candidates.push_back(std::move(names));
+  }
+  return result;
+}
+
+}  // namespace flames::baselines

@@ -1,0 +1,48 @@
+// DIANA-style crisp-interval diagnosis baseline (paper §2.1, §4.2, Fig. 5).
+//
+// The comparator the paper argues against: values are crisp intervals
+// (supports only), propagation is interval arithmetic, and a coincidence is
+// a conflict only when the intersection is empty — there are no degrees, so
+// every nogood and every candidate carries the same weight. Running the same
+// model through this baseline and through the fuzzy engine reproduces the
+// paper's comparisons: the crisp engine misses slight (soft) faults that the
+// fuzzy Dc flags (Fig. 2 masking example), and it cannot rank candidates
+// (Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atms/candidates.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+
+namespace flames::baselines {
+
+/// One observation fed to the baseline.
+struct CrispMeasurement {
+  constraints::QuantityId quantity;
+  fuzzy::FuzzyInterval value;  // widened to its support internally
+};
+
+/// Result of a crisp diagnosis run.
+struct CrispDiagnosis {
+  bool propagationCompleted = false;
+  /// Minimal conflict sets (all degree 1 by construction).
+  std::vector<std::vector<std::string>> nogoods;
+  /// Minimal hitting sets — unranked, as the crisp approach cannot order
+  /// them (paper §6.3: "we can only suspect the three components with the
+  /// same weight").
+  std::vector<std::vector<std::string>> candidates;
+  std::size_t steps = 0;
+};
+
+/// Runs crisp-interval propagation + classic candidate generation over a
+/// diagnostic model.
+[[nodiscard]] CrispDiagnosis diagnoseCrisp(
+    const constraints::Model& model,
+    const std::vector<CrispMeasurement>& measurements,
+    std::size_t maxFaultCardinality = 3,
+    constraints::PropagatorOptions baseOptions = {});
+
+}  // namespace flames::baselines

@@ -1,0 +1,197 @@
+#include "circuit/ac.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace flames::circuit {
+
+namespace {
+
+using linalg::ComplexMatrix;
+using linalg::ComplexVector;
+using Cplx = std::complex<double>;
+
+}  // namespace
+
+double AcPoint::magnitudeDb(NodeId n) const {
+  const double m = magnitude(n);
+  return 20.0 * std::log10(std::max(m, 1e-30));
+}
+
+double AcPoint::phaseDegrees(NodeId n) const {
+  return std::arg(v(n)) * 180.0 / std::numbers::pi;
+}
+
+AcSolver::AcSolver(Netlist net, AcOptions options)
+    : net_(std::move(net)), options_(options) {
+  dc_ = DcSolver(net_).solve();
+  if (!dc_.converged) {
+    throw std::runtime_error("AcSolver: DC operating point did not converge");
+  }
+}
+
+AcPoint AcSolver::solve(double omega, const std::string& acSource) const {
+  const Component& src = net_.component(acSource);
+  if (src.kind != ComponentKind::kVSource) {
+    throw std::runtime_error("AcSolver: AC source must be a vsource");
+  }
+
+  const std::size_t nodes = net_.nodeCount();
+  auto nodeRow = [&](NodeId n) -> long {
+    return n == kGround ? -1 : static_cast<long>(n - 1);
+  };
+
+  // Branch unknowns: every vsource (AC-shorted or driving), every gain
+  // output and every inductor.
+  std::map<std::string, std::size_t> branchIndex;
+  std::size_t next = nodes - 1;
+  for (const Component& c : net_.components()) {
+    if (c.kind == ComponentKind::kVSource || c.kind == ComponentKind::kGain ||
+        c.kind == ComponentKind::kInductor) {
+      branchIndex[c.name] = next++;
+    }
+  }
+
+  ComplexMatrix a(next, next);
+  ComplexVector b(next, Cplx{});
+
+  auto stampAdmittance = [&](NodeId p, NodeId q, Cplx y) {
+    const long rp = nodeRow(p), rq = nodeRow(q);
+    if (rp >= 0) a.addAt(static_cast<std::size_t>(rp),
+                         static_cast<std::size_t>(rp), y);
+    if (rq >= 0) a.addAt(static_cast<std::size_t>(rq),
+                         static_cast<std::size_t>(rq), y);
+    if (rp >= 0 && rq >= 0) {
+      a.addAt(static_cast<std::size_t>(rp), static_cast<std::size_t>(rq), -y);
+      a.addAt(static_cast<std::size_t>(rq), static_cast<std::size_t>(rp), -y);
+    }
+  };
+  auto stampBranchCurrent = [&](NodeId p, NodeId q, std::size_t col,
+                                Cplx w = Cplx{1.0}) {
+    const long rp = nodeRow(p), rq = nodeRow(q);
+    if (rp >= 0) a.addAt(static_cast<std::size_t>(rp), col, w);
+    if (rq >= 0) a.addAt(static_cast<std::size_t>(rq), col, -w);
+  };
+  auto stampBranchVoltage = [&](std::size_t row, NodeId p, NodeId q, Cplx e,
+                                Cplx impedance = Cplx{}) {
+    const long rp = nodeRow(p), rq = nodeRow(q);
+    if (rp >= 0) a.addAt(row, static_cast<std::size_t>(rp), Cplx{1.0});
+    if (rq >= 0) a.addAt(row, static_cast<std::size_t>(rq), Cplx{-1.0});
+    if (impedance != Cplx{}) a.addAt(row, row, -impedance);
+    b[row] = e;
+  };
+
+  const double vt = options_.thermalVoltage;
+  for (const Component& c : net_.components()) {
+    switch (c.kind) {
+      case ComponentKind::kResistor:
+        stampAdmittance(c.pins[0], c.pins[1], Cplx{1.0 / c.value});
+        break;
+      case ComponentKind::kCapacitor:
+        stampAdmittance(c.pins[0], c.pins[1], Cplx{0.0, omega * c.value});
+        break;
+      case ComponentKind::kInductor: {
+        // Branch with V = jwL * I (handles the w = 0 short cleanly).
+        const std::size_t j = branchIndex.at(c.name);
+        stampBranchCurrent(c.pins[0], c.pins[1], j);
+        stampBranchVoltage(j, c.pins[0], c.pins[1], Cplx{},
+                           Cplx{0.0, omega * c.value});
+        break;
+      }
+      case ComponentKind::kVSource: {
+        const std::size_t j = branchIndex.at(c.name);
+        stampBranchCurrent(c.pins[0], c.pins[1], j);
+        stampBranchVoltage(j, c.pins[0], c.pins[1],
+                           c.name == acSource ? Cplx{1.0} : Cplx{});
+        break;
+      }
+      case ComponentKind::kGain: {
+        const std::size_t j = branchIndex.at(c.name);
+        const long rOut = nodeRow(c.pins[1]);
+        const long rIn = nodeRow(c.pins[0]);
+        if (rOut >= 0) {
+          a.addAt(static_cast<std::size_t>(rOut), j, Cplx{1.0});
+          a.addAt(j, static_cast<std::size_t>(rOut), Cplx{1.0});
+        }
+        if (rIn >= 0) a.addAt(j, static_cast<std::size_t>(rIn), Cplx{-c.value});
+        break;
+      }
+      case ComponentKind::kDiode: {
+        const auto it = dc_.states.find(c.name);
+        if (it == dc_.states.end() || it->second != DeviceState::kOn) break;
+        const double id = dc_.branchCurrents.count(c.name) != 0
+                              ? dc_.branchCurrents.at(c.name)
+                              : 0.0;
+        if (id <= 0.0) break;
+        const double rd = options_.diodeIdeality * vt / id;
+        stampAdmittance(c.pins[0], c.pins[1], Cplx{1.0 / rd});
+        break;
+      }
+      case ComponentKind::kNpn: {
+        const auto it = dc_.states.find(c.name);
+        if (it == dc_.states.end() || it->second != DeviceState::kOn) break;
+        const double ib = dc_.branchCurrents.count(c.name) != 0
+                              ? dc_.branchCurrents.at(c.name)
+                              : 0.0;
+        const double ic = c.value * ib;
+        if (ic <= 0.0) break;
+        const double gm = ic / vt;
+        const double rpi = c.value / gm;
+        const NodeId collector = c.pins[0], base = c.pins[1],
+                     emitter = c.pins[2];
+        // r_pi between base and emitter.
+        stampAdmittance(base, emitter, Cplx{1.0 / rpi});
+        // g_m * v_be from collector to emitter (VCCS stamp).
+        const long rc = nodeRow(collector), re = nodeRow(emitter);
+        const long rb = nodeRow(base);
+        auto add = [&](long row, long col, double v) {
+          if (row >= 0 && col >= 0) {
+            a.addAt(static_cast<std::size_t>(row),
+                    static_cast<std::size_t>(col), Cplx{v});
+          }
+        };
+        add(rc, rb, gm);
+        add(rc, re, -gm);
+        add(re, rb, -gm);
+        add(re, re, gm);
+        break;
+      }
+    }
+  }
+
+  const auto solution = linalg::solveLinearComplex(a, b);
+  if (!solution) throw std::runtime_error("AcSolver: singular AC system");
+
+  AcPoint point;
+  point.omega = omega;
+  point.nodeVoltages.assign(nodes, Cplx{});
+  for (NodeId n = 1; n < nodes; ++n) {
+    point.nodeVoltages[n] = (*solution)[static_cast<std::size_t>(nodeRow(n))];
+  }
+  return point;
+}
+
+double AcSolver::gainMagnitude(double hertz, const std::string& acSource,
+                               const std::string& node) const {
+  const double omega = 2.0 * std::numbers::pi * hertz;
+  return solve(omega, acSource).magnitude(net_.findNode(node));
+}
+
+std::vector<double> acMagnitudeSweep(const Netlist& net,
+                                     const std::string& acSource,
+                                     const std::string& node,
+                                     const std::vector<double>& hertz,
+                                     AcOptions options) {
+  const AcSolver solver(net, options);
+  std::vector<double> out;
+  out.reserve(hertz.size());
+  for (double f : hertz) {
+    out.push_back(solver.gainMagnitude(f, acSource, node));
+  }
+  return out;
+}
+
+}  // namespace flames::circuit

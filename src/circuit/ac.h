@@ -1,0 +1,80 @@
+// AC small-signal analysis (the paper's "dynamic mode", §9).
+//
+// The circuit is linearised around its DC operating point and solved in the
+// frequency domain with complex MNA:
+//
+//  * resistor: conductance 1/R;
+//  * capacitor: admittance j w C;  inductor: impedance j w L (branch);
+//  * gain block: ideal V(out) = A * V(in), as at DC;
+//  * diode ON: small-signal resistance r_d = n VT / Id (const-drop model
+//    idealises this to a short; we use the physical r_d so filters behave);
+//    diode OFF: open;
+//  * NPN active: hybrid-pi — g_m = Ic / VT into the collector, r_pi =
+//    beta / g_m base-emitter; cutoff: open.
+//
+// Independent DC sources are AC grounds (shorted); the designated AC input
+// source drives amplitude 1 at phase 0, so node results are transfer
+// functions H(jw) from that input.
+#pragma once
+
+#include <complex>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+
+namespace flames::circuit {
+
+/// One AC solution at a single frequency.
+struct AcPoint {
+  double omega = 0.0;  ///< rad/s
+  std::vector<std::complex<double>> nodeVoltages;  // indexed by NodeId
+
+  [[nodiscard]] std::complex<double> v(NodeId n) const {
+    return nodeVoltages.at(n);
+  }
+  [[nodiscard]] double magnitude(NodeId n) const { return std::abs(v(n)); }
+  [[nodiscard]] double magnitudeDb(NodeId n) const;
+  [[nodiscard]] double phaseDegrees(NodeId n) const;
+};
+
+struct AcOptions {
+  /// Thermal voltage used for the hybrid-pi linearisation (volt). The
+  /// default matches the V / kOhm / mA unit system used throughout.
+  double thermalVoltage = 0.02585;
+  /// Diode ideality factor for r_d = n VT / Id.
+  double diodeIdeality = 1.0;
+};
+
+/// AC solver owning a copy of the netlist; the DC operating point is solved
+/// once at construction to obtain conduction states and bias currents.
+class AcSolver {
+ public:
+  /// Throws std::runtime_error if the DC operating point cannot be solved.
+  explicit AcSolver(Netlist net, AcOptions options = {});
+
+  /// Solves at angular frequency `omega` with `acSource` (a kVSource name)
+  /// driving unit amplitude; all other sources are AC-shorted.
+  /// Throws std::runtime_error on a singular system or unknown source.
+  [[nodiscard]] AcPoint solve(double omega, const std::string& acSource) const;
+
+  /// Convenience: |H| at a node for a frequency in hertz.
+  [[nodiscard]] double gainMagnitude(double hertz, const std::string& acSource,
+                                     const std::string& node) const;
+
+  [[nodiscard]] const OperatingPoint& operatingPoint() const { return dc_; }
+
+ private:
+  Netlist net_;
+  AcOptions options_;
+  OperatingPoint dc_;
+};
+
+/// Sweep helper: |H| at `node` for each frequency (hertz).
+[[nodiscard]] std::vector<double> acMagnitudeSweep(
+    const Netlist& net, const std::string& acSource, const std::string& node,
+    const std::vector<double>& hertz, AcOptions options = {});
+
+}  // namespace flames::circuit

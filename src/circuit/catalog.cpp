@@ -1,0 +1,65 @@
+#include "circuit/catalog.h"
+
+namespace flames::circuit {
+
+Netlist paperFig2Chain() {
+  Netlist n;
+  // Absolute spreads of 0.05 expressed as relative tolerances on the
+  // nominals: 0.05/1, 0.05/2, 0.05/3.
+  n.addVSource("Va", "A", "0", 3.0, 0.0);
+  n.addGain("amp1", "A", "B", 1.0, 0.05);
+  n.addGain("amp2", "B", "C", 2.0, 0.025);
+  n.addGain("amp3", "B", "D", 3.0, 0.05 / 3.0);
+  return n;
+}
+
+Netlist paperFig5DiodeNetwork() {
+  Netlist n;
+  // Units: volts, kilo-ohms, milliamps — so 100 microamps reads as 0.1 and
+  // the paper's fuzzy rating [-1, 100, 0, 10] uA becomes [-1e-3, .1, 0, .01].
+  // The source level keeps the nominal diode current (~90 uA) inside the
+  // rating, so only a faulted circuit trips the bound.
+  n.addVSource("Vin", "in", "0", 0.8, 0.0);
+  Component& d1 = n.addDiode("d1", "in", "n1", 0.2, 0.0);
+  d1.maxCurrent = fuzzy::FuzzyInterval(-0.001, 0.100, 0.0, 0.010);
+  n.addResistor("r1", "n1", "0", 10.0, 0.02);   // 10 kOhm
+  n.addResistor("r2", "n1", "n2", 10.0, 0.02);  // 10 kOhm to the n2 tap
+  n.addResistor("rload", "n2", "0", 10.0, 0.02);
+  return n;
+}
+
+Netlist paperFig6ThreeStageAmp() {
+  // Reconstruction of Fig. 6 with the figure's exact component inventory
+  // (R1 200k, R2 12k, R3 24k, R4 3k, R5 2.2k, R6 1.8k; T1 beta 300,
+  // T2 beta 200, T3 beta 100; Vbe = 0.7 V; Vcc = 18 V). The figure leaves
+  // the wiring partly implicit; this arrangement keeps the single-path
+  // property (Vs downstream of everything) and all transistors in the
+  // linear region, which §9 states the chosen values ensure:
+  //
+  //   stage 1: collector-feedback common emitter
+  //     R2: Vcc -> V1 (load), R1: V1 -> N1 (feedback), R3: N1 -> gnd,
+  //     T1: C = V1, B = N1, E = gnd               => V1 ~ 7.1 V
+  //   stage 2: degenerated common emitter, direct coupled
+  //     T2: B = V1, C = V2, E = E2; R4: E2 -> gnd; R5: Vcc -> V2
+  //                                                => V2 ~ 13 V
+  //   stage 3: emitter follower output
+  //     T3: B = V2, C = Vcc, E = Vs; R6: Vs -> gnd => Vs ~ 12.4 V
+  // Tolerances are tight (1% resistors, 2% beta, 10 mV Vbe): §9 diagnoses
+  // *slightly* deviated components through partial conflicts, which requires
+  // nominal-prediction spreads comparable to the fault-induced shifts — a
+  // bench-calibrated board, not a loose production one.
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 18.0, 0.0);
+  n.addResistor("R2", "vcc", "V1", 12.0, 0.01);   // kOhm
+  n.addResistor("R1", "V1", "N1", 200.0, 0.01);
+  n.addResistor("R3", "N1", "0", 24.0, 0.01);
+  n.addNpn("T1", "V1", "N1", "0", 300.0, 0.02, 0.7, 0.01);
+  n.addResistor("R5", "vcc", "V2", 2.2, 0.01);
+  n.addResistor("R4", "E2", "0", 3.0, 0.01);
+  n.addNpn("T2", "V2", "V1", "E2", 200.0, 0.02, 0.7, 0.01);
+  n.addResistor("R6", "Vs", "0", 1.8, 0.01);
+  n.addNpn("T3", "vcc", "V2", "Vs", 100.0, 0.02, 0.7, 0.01);
+  return n;
+}
+
+}  // namespace flames::circuit

@@ -1,0 +1,39 @@
+// Reference circuits from the paper, ready to instantiate.
+//
+//  * paperFig2Chain()        — the 3-amplifier chain of Fig. 2 (gains 1, 2,
+//                              3; amp2 and amp3 both driven from node B).
+//  * paperFig5DiodeNetwork() — diode d1 feeding r1 (node n1) and r2 (node
+//                              n2) of Fig. 5, with the fuzzy 100 uA rating.
+//  * paperFig6ThreeStageAmp()— the 3-stage BJT amplifier of Fig. 6 used for
+//                              the experimental results of Fig. 7.
+#pragma once
+
+#include "circuit/netlist.h"
+
+namespace flames::circuit {
+
+/// Fig. 2: Va --[amp1 x1]--> B --[amp2 x2]--> C, and B --[amp3 x3]--> D.
+/// All gains carry +/-0.05 absolute spread (modelled as relTol on the
+/// nominal), matching amp1[1,1,.05,.05], amp2[2,2,.05,.05], amp3[3,3,.05,.05].
+[[nodiscard]] Netlist paperFig2Chain();
+
+/// Fig. 5: source -> diode d1 (Vf = 0.2 V) -> node n1 -> r1 (10 kOhm) to
+/// ground, and n1 -> r2 (10 kOhm) to node n2 -> ground... The paper's
+/// fragment has d1 feeding two resistor branches whose voltages Vr1, Vr2 are
+/// separately measurable; currents are limited by the diode rating
+/// Id <= [−1, 100, 0, 10] microamps.
+[[nodiscard]] Netlist paperFig5DiodeNetwork();
+
+/// Fig. 6: 18 V supply; stage 1: R1 (200k) Vcc->N1, R2 (12k) N1->gnd,
+/// T1 (beta 300) with collector load R3 (24k) producing V1; stage 2: T2
+/// (beta 200) base at V1 via direct coupling, emitter resistor R4 (3k),
+/// collector load R5 (2.2k) producing V2; stage 3: T3 (beta 100) with
+/// emitter resistor R6 (1.8k) producing Vs. Vbe = 0.7 V for all transistors.
+///
+/// The paper's figure leaves some wiring implicit; this reconstruction keeps
+/// every component of the figure (R1..R6, T1..T3) in a 3-stage
+/// direct-coupled topology whose nominal operating point keeps all three
+/// transistors in the linear region, which is the property §9 relies on.
+[[nodiscard]] Netlist paperFig6ThreeStageAmp();
+
+}  // namespace flames::circuit

@@ -1,0 +1,122 @@
+#include "circuit/fault.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace flames::circuit {
+
+std::string_view faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kOpen: return "open";
+    case FaultKind::kShort: return "short";
+    case FaultKind::kParamExact: return "param-exact";
+    case FaultKind::kParamScale: return "param-scale";
+    case FaultKind::kPinOpen: return "pin-open";
+  }
+  return "unknown";
+}
+
+std::string Fault::describe() const {
+  std::ostringstream os;
+  os << component << ": " << faultKindName(kind);
+  if (kind == FaultKind::kParamExact || kind == FaultKind::kParamScale) {
+    os << ' ' << param;
+  } else if (kind == FaultKind::kPinOpen) {
+    os << " pin " << static_cast<std::size_t>(param);
+  }
+  return os.str();
+}
+
+namespace {
+
+// Replaces `comp` (by name) with an extreme-valued resistor network so the
+// faulted circuit remains solvable.
+void replaceWithResistance(Netlist& net, const std::string& name,
+                           double ohms) {
+  Component& c = net.component(name);
+  switch (c.kind) {
+    case ComponentKind::kResistor:
+    case ComponentKind::kDiode:
+    case ComponentKind::kVSource:
+    case ComponentKind::kCapacitor:
+    case ComponentKind::kInductor:
+      c.kind = ComponentKind::kResistor;
+      c.pins.resize(2);
+      c.value = ohms;
+      c.relTol = 0.0;
+      c.maxCurrent.reset();
+      break;
+    case ComponentKind::kGain: {
+      // An open gain block leaves the output floating; a shorted one passes
+      // the input through. Model both as a resistor bridge in->out.
+      c.kind = ComponentKind::kResistor;
+      c.value = ohms;
+      c.relTol = 0.0;
+      break;
+    }
+    case ComponentKind::kNpn: {
+      // Dead transistor: replace with resistors C-E and B-E so no node is
+      // left floating.
+      const NodeId collector = c.pins[0], base = c.pins[1], emitter = c.pins[2];
+      c.kind = ComponentKind::kResistor;
+      c.pins = {collector, emitter};
+      c.value = ohms;
+      c.relTol = 0.0;
+      Component be;
+      be.name = c.name + "__be";
+      be.kind = ComponentKind::kResistor;
+      be.pins = {base, emitter};
+      be.value = kOpenResistance;
+      net.components().push_back(std::move(be));
+      break;
+    }
+  }
+}
+
+void applyOne(Netlist& net, const Fault& f) {
+  switch (f.kind) {
+    case FaultKind::kOpen:
+      replaceWithResistance(net, f.component, kOpenResistance);
+      return;
+    case FaultKind::kShort:
+      replaceWithResistance(net, f.component, kShortResistance);
+      return;
+    case FaultKind::kParamExact:
+      net.component(f.component).value = f.param;
+      return;
+    case FaultKind::kParamScale:
+      net.component(f.component).value *= f.param;
+      return;
+    case FaultKind::kPinOpen: {
+      Component& c = net.component(f.component);
+      const auto pin = static_cast<std::size_t>(f.param);
+      if (pin >= c.pins.size()) {
+        throw std::invalid_argument("pinOpen: pin index out of range for " +
+                                    f.component);
+      }
+      const NodeId oldNode = c.pins[pin];
+      const NodeId floating =
+          net.node(f.component + "__float" + std::to_string(pin));
+      c.pins[pin] = floating;
+      Component bridge;
+      bridge.name = f.component + "__open" + std::to_string(pin);
+      bridge.kind = ComponentKind::kResistor;
+      bridge.pins = {oldNode, floating};
+      bridge.value = kOpenResistance;
+      net.components().push_back(std::move(bridge));
+      return;
+    }
+  }
+  throw std::logic_error("applyOne: unhandled fault kind");
+}
+
+}  // namespace
+
+Netlist applyFaults(const Netlist& nominal, const std::vector<Fault>& faults) {
+  Netlist net = nominal;
+  for (const Fault& f : faults) applyOne(net, f);
+  return net;
+}
+
+}  // namespace flames::circuit

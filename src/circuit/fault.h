@@ -1,0 +1,64 @@
+// Fault injection (paper §7's common fault modes, plus connection opens).
+//
+// Faults are applied to a *copy* of the nominal netlist before simulation;
+// the diagnostic engine never sees them — it only sees the resulting
+// measurements, exactly as a bench technician would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace flames::circuit {
+
+/// The kinds of injected defects supported by the simulator.
+enum class FaultKind {
+  kOpen,        ///< component becomes (almost) an open circuit
+  kShort,       ///< component becomes (almost) a short circuit
+  kParamExact,  ///< headline parameter forced to `param`
+  kParamScale,  ///< headline parameter multiplied by `param`
+  kPinOpen,     ///< connection at pin index `param` breaks (node open)
+};
+
+[[nodiscard]] std::string_view faultKindName(FaultKind k);
+
+/// One injected defect.
+struct Fault {
+  std::string component;
+  FaultKind kind = FaultKind::kOpen;
+  double param = 0.0;
+
+  static Fault open(std::string comp) {
+    return {std::move(comp), FaultKind::kOpen, 0.0};
+  }
+  static Fault shortCircuit(std::string comp) {
+    return {std::move(comp), FaultKind::kShort, 0.0};
+  }
+  static Fault paramExact(std::string comp, double value) {
+    return {std::move(comp), FaultKind::kParamExact, value};
+  }
+  static Fault paramScale(std::string comp, double factor) {
+    return {std::move(comp), FaultKind::kParamScale, factor};
+  }
+  static Fault pinOpen(std::string comp, std::size_t pin) {
+    return {std::move(comp), FaultKind::kPinOpen, static_cast<double>(pin)};
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Resistance used to emulate an open connection (kOhm units: 1e9 = 1 TOhm).
+inline constexpr double kOpenResistance = 1e9;
+/// Resistance used to emulate a short (kOhm units: 1e-6 = 1 mOhm).
+inline constexpr double kShortResistance = 1e-6;
+
+/// Returns a copy of the netlist with the faults applied.
+///
+/// Opens/shorts replace the component with an extreme resistor network so
+/// the MNA matrix stays regular; pin opens splice a kOpenResistance between
+/// the original node and a fresh floating node that the pin is moved to.
+[[nodiscard]] Netlist applyFaults(const Netlist& nominal,
+                                  const std::vector<Fault>& faults);
+
+}  // namespace flames::circuit

@@ -1,0 +1,245 @@
+#include "circuit/mna.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace flames::circuit {
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// Index plan: node voltages for nodes 1..N-1 occupy [0, N-2]; each
+// voltage-defined branch (vsource, gain output, conducting diode, active BJT
+// base-emitter) appends one current unknown.
+struct IndexPlan {
+  std::size_t nodeCount = 0;  // including ground
+  std::size_t unknowns = 0;
+
+  [[nodiscard]] long nodeRow(NodeId n) const {
+    return n == kGround ? -1 : static_cast<long>(n - 1);
+  }
+};
+
+}  // namespace
+
+DcSolver::DcSolver(const Netlist& net, MnaOptions options)
+    : net_(net), options_(options) {}
+
+OperatingPoint DcSolver::solve() const {
+  const std::size_t nodes = net_.nodeCount();
+  IndexPlan plan;
+  plan.nodeCount = nodes;
+
+  // Conduction states, iterated to consistency.
+  std::map<std::string, DeviceState> states;
+  for (const Component& c : net_.components()) {
+    if (c.kind == ComponentKind::kDiode) states[c.name] = DeviceState::kOn;
+    if (c.kind == ComponentKind::kNpn) states[c.name] = DeviceState::kOn;
+  }
+
+  OperatingPoint op;
+  for (int iter = 1; iter <= options_.maxStateIterations; ++iter) {
+    // Count branch unknowns for the current state assignment.
+    std::map<std::string, std::size_t> branchIndex;
+    std::size_t next = nodes - 1;
+    for (const Component& c : net_.components()) {
+      const bool needsBranch =
+          c.kind == ComponentKind::kVSource || c.kind == ComponentKind::kGain ||
+          c.kind == ComponentKind::kInductor ||  // 0 V branch (DC short)
+          (c.kind == ComponentKind::kDiode &&
+           states[c.name] == DeviceState::kOn) ||
+          (c.kind == ComponentKind::kNpn &&
+           states[c.name] == DeviceState::kOn);
+      if (needsBranch) branchIndex[c.name] = next++;
+    }
+    plan.unknowns = next;
+
+    Matrix a = Matrix::square(plan.unknowns);
+    Vector b(plan.unknowns, 0.0);
+
+    auto stampConductance = [&](NodeId p, NodeId q, double g) {
+      const long rp = plan.nodeRow(p), rq = plan.nodeRow(q);
+      if (rp >= 0) a.addAt(static_cast<std::size_t>(rp),
+                           static_cast<std::size_t>(rp), g);
+      if (rq >= 0) a.addAt(static_cast<std::size_t>(rq),
+                           static_cast<std::size_t>(rq), g);
+      if (rp >= 0 && rq >= 0) {
+        a.addAt(static_cast<std::size_t>(rp), static_cast<std::size_t>(rq),
+                -g);
+        a.addAt(static_cast<std::size_t>(rq), static_cast<std::size_t>(rp),
+                -g);
+      }
+    };
+
+    // Couples branch current `col` into the KCL rows of p (leaving, +w) and
+    // q (entering, -w).
+    auto stampBranchCurrent = [&](NodeId p, NodeId q, std::size_t col,
+                                  double w = 1.0) {
+      const long rp = plan.nodeRow(p), rq = plan.nodeRow(q);
+      if (rp >= 0) a.addAt(static_cast<std::size_t>(rp), col, w);
+      if (rq >= 0) a.addAt(static_cast<std::size_t>(rq), col, -w);
+    };
+
+    // Branch voltage equation row: V(p) - V(q) = e.
+    auto stampBranchVoltage = [&](std::size_t row, NodeId p, NodeId q,
+                                  double e) {
+      const long rp = plan.nodeRow(p), rq = plan.nodeRow(q);
+      if (rp >= 0) a.addAt(row, static_cast<std::size_t>(rp), 1.0);
+      if (rq >= 0) a.addAt(row, static_cast<std::size_t>(rq), -1.0);
+      b[row] = e;
+    };
+
+    for (const Component& c : net_.components()) {
+      switch (c.kind) {
+        case ComponentKind::kResistor:
+          stampConductance(c.pins[0], c.pins[1], 1.0 / c.value);
+          break;
+        case ComponentKind::kVSource: {
+          const std::size_t j = branchIndex[c.name];
+          stampBranchCurrent(c.pins[0], c.pins[1], j);
+          stampBranchVoltage(j, c.pins[0], c.pins[1], c.value);
+          break;
+        }
+        case ComponentKind::kCapacitor:
+          break;  // open at DC
+        case ComponentKind::kInductor: {
+          // Short at DC: a 0 V branch whose current is an unknown.
+          const std::size_t j = branchIndex[c.name];
+          stampBranchCurrent(c.pins[0], c.pins[1], j);
+          stampBranchVoltage(j, c.pins[0], c.pins[1], 0.0);
+          break;
+        }
+        case ComponentKind::kGain: {
+          // V(out) = A * V(in); output behaves as an ideal source to ground.
+          const std::size_t j = branchIndex[c.name];
+          const long rOut = plan.nodeRow(c.pins[1]);
+          const long rIn = plan.nodeRow(c.pins[0]);
+          if (rOut >= 0) {
+            a.addAt(static_cast<std::size_t>(rOut), j, 1.0);
+            a.addAt(j, static_cast<std::size_t>(rOut), 1.0);
+          }
+          if (rIn >= 0) a.addAt(j, static_cast<std::size_t>(rIn), -c.value);
+          break;
+        }
+        case ComponentKind::kDiode: {
+          if (states[c.name] != DeviceState::kOn) break;  // open when off
+          const std::size_t j = branchIndex[c.name];
+          stampBranchCurrent(c.pins[0], c.pins[1], j);
+          stampBranchVoltage(j, c.pins[0], c.pins[1], c.value);
+          break;
+        }
+        case ComponentKind::kNpn: {
+          if (states[c.name] != DeviceState::kOn) break;  // cutoff
+          const NodeId collector = c.pins[0], base = c.pins[1],
+                       emitter = c.pins[2];
+          const std::size_t j = branchIndex[c.name];  // Ib unknown
+          // Base-emitter branch: V(b) - V(e) = Vbe, current Ib.
+          stampBranchCurrent(base, emitter, j);
+          stampBranchVoltage(j, base, emitter, c.vbe);
+          // Collector current beta * Ib from collector to emitter.
+          stampBranchCurrent(collector, emitter, j, c.value);
+          break;
+        }
+      }
+    }
+
+    const auto solution = linalg::solveLinear(a, b);
+    if (!solution) {
+      throw std::runtime_error("DcSolver: singular MNA system");
+    }
+    const Vector& x = *solution;
+
+    // Extract node voltages.
+    op.nodeVoltages.assign(nodes, 0.0);
+    for (NodeId n = 1; n < nodes; ++n) {
+      op.nodeVoltages[n] = x[static_cast<std::size_t>(plan.nodeRow(n))];
+    }
+    op.branchCurrents.clear();
+    for (const auto& [name, idx] : branchIndex) op.branchCurrents[name] = x[idx];
+
+    // Check state consistency and flip inconsistent devices.
+    bool consistent = true;
+    for (const Component& c : net_.components()) {
+      if (c.kind == ComponentKind::kDiode) {
+        DeviceState& s = states[c.name];
+        if (s == DeviceState::kOn) {
+          if (op.branchCurrents[c.name] < -options_.currentTolerance) {
+            s = DeviceState::kOff;
+            consistent = false;
+          }
+        } else {
+          const double vd = op.v(c.pins[0]) - op.v(c.pins[1]);
+          if (vd > c.value + 1e-9) {
+            s = DeviceState::kOn;
+            consistent = false;
+          }
+        }
+      } else if (c.kind == ComponentKind::kNpn) {
+        DeviceState& s = states[c.name];
+        if (s == DeviceState::kOn) {
+          if (op.branchCurrents[c.name] < -options_.currentTolerance) {
+            s = DeviceState::kOff;
+            consistent = false;
+          }
+        } else {
+          const double vbe = op.v(c.pins[1]) - op.v(c.pins[2]);
+          if (vbe > c.vbe + 1e-9) {
+            s = DeviceState::kOn;
+            consistent = false;
+          }
+        }
+      }
+    }
+
+    op.iterations = iter;
+    if (consistent) {
+      op.converged = true;
+      op.states = states;
+      // Saturation check on active BJTs.
+      for (const Component& c : net_.components()) {
+        if (c.kind == ComponentKind::kNpn &&
+            states[c.name] == DeviceState::kOn) {
+          const double vce = op.v(c.pins[0]) - op.v(c.pins[2]);
+          if (vce < options_.vceSaturationMargin) op.saturationWarning = true;
+        }
+      }
+      return op;
+    }
+  }
+
+  op.converged = false;
+  op.states = states;
+  return op;
+}
+
+double DcSolver::voltage(const OperatingPoint& op,
+                         const std::string& nodeName) const {
+  return op.v(net_.findNode(nodeName));
+}
+
+double DcSolver::current(const OperatingPoint& op,
+                         const std::string& componentName) const {
+  const Component& c = net_.component(componentName);
+  switch (c.kind) {
+    case ComponentKind::kResistor:
+      return (op.v(c.pins[0]) - op.v(c.pins[1])) / c.value;
+    case ComponentKind::kCapacitor:
+      return 0.0;  // open at DC
+    case ComponentKind::kVSource:
+    case ComponentKind::kGain:
+    case ComponentKind::kInductor:
+      return op.branchCurrents.at(componentName);
+    case ComponentKind::kDiode:
+    case ComponentKind::kNpn: {
+      const auto it = op.branchCurrents.find(componentName);
+      return it == op.branchCurrents.end() ? 0.0 : it->second;
+    }
+  }
+  throw std::logic_error("DcSolver::current: unhandled kind");
+}
+
+}  // namespace flames::circuit

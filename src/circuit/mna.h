@@ -1,0 +1,78 @@
+// DC operating-point simulator (modified nodal analysis).
+//
+// This is the substitute for the paper's physical bench: the faulted netlist
+// is solved for its DC operating point and selected node voltages are handed
+// to the diagnostic engine as "measurements" (optionally fuzzified with a
+// measurement-equipment spread).
+//
+// Device models match the diagnostic constraint models of §6.2:
+//  * resistor: Ohm's law;
+//  * independent voltage source;
+//  * ideal gain block (Vout = A * Vin, infinite input impedance);
+//  * diode: constant-drop Vf when conducting, open otherwise (state
+//    iteration);
+//  * NPN BJT: forward-active linear model Vbe = const, Ic = beta * Ib,
+//    with a cutoff state (state iteration); saturation is detected and
+//    reported, not modelled (the paper's circuits stay in the linear
+//    region, §9).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace flames::circuit {
+
+/// Per-transistor / per-diode conduction state after convergence.
+enum class DeviceState { kOff, kOn };
+
+/// Solved DC operating point.
+struct OperatingPoint {
+  bool converged = false;
+  int iterations = 0;
+  /// True if some BJT ended with Vce below the saturation margin — the
+  /// linear-region assumption of the diagnostic model is then violated.
+  bool saturationWarning = false;
+
+  std::vector<double> nodeVoltages;          // indexed by NodeId
+  std::map<std::string, double> branchCurrents;  // sources, diodes, BJT Ib
+  std::map<std::string, DeviceState> states;     // diodes and BJTs
+
+  /// Voltage of a node by id; ground is 0 by construction.
+  [[nodiscard]] double v(NodeId n) const { return nodeVoltages.at(n); }
+};
+
+/// Simulator options.
+struct MnaOptions {
+  int maxStateIterations = 100;
+  double vceSaturationMargin = 0.2;  ///< warn if an active BJT has Vce below
+  double currentTolerance = 1e-12;
+};
+
+/// DC solver bound to one netlist.
+class DcSolver {
+ public:
+  explicit DcSolver(const Netlist& net, MnaOptions options = {});
+
+  /// Solves for the DC operating point. Throws std::runtime_error if the
+  /// system is singular (badly formed circuit).
+  [[nodiscard]] OperatingPoint solve() const;
+
+  /// Convenience: node voltage by name from a solved point.
+  [[nodiscard]] double voltage(const OperatingPoint& op,
+                               const std::string& nodeName) const;
+
+  /// Current through a component (resistor currents are recomputed from the
+  /// node voltages; sources/diodes report their branch unknown; BJTs report
+  /// base current — collector current is beta * Ib).
+  [[nodiscard]] double current(const OperatingPoint& op,
+                               const std::string& componentName) const;
+
+ private:
+  const Netlist& net_;
+  MnaOptions options_;
+};
+
+}  // namespace flames::circuit

@@ -1,0 +1,167 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+
+namespace flames::circuit {
+
+std::string_view kindName(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kResistor: return "resistor";
+    case ComponentKind::kVSource: return "vsource";
+    case ComponentKind::kDiode: return "diode";
+    case ComponentKind::kGain: return "gain";
+    case ComponentKind::kNpn: return "npn";
+    case ComponentKind::kCapacitor: return "capacitor";
+    case ComponentKind::kInductor: return "inductor";
+  }
+  return "unknown";
+}
+
+Netlist::Netlist() { nodeNames_.push_back("0"); }
+
+NodeId Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  for (NodeId i = 0; i < nodeNames_.size(); ++i) {
+    if (nodeNames_[i] == name) return i;
+  }
+  nodeNames_.push_back(name);
+  return static_cast<NodeId>(nodeNames_.size() - 1);
+}
+
+NodeId Netlist::findNode(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  for (NodeId i = 0; i < nodeNames_.size(); ++i) {
+    if (nodeNames_[i] == name) return i;
+  }
+  throw std::out_of_range("Netlist: unknown node '" + name + "'");
+}
+
+const std::string& Netlist::nodeName(NodeId id) const {
+  if (id >= nodeNames_.size()) throw std::out_of_range("Netlist::nodeName");
+  return nodeNames_[id];
+}
+
+Component& Netlist::add(Component c) {
+  if (hasComponent(c.name)) {
+    throw std::invalid_argument("Netlist: duplicate component '" + c.name +
+                                "'");
+  }
+  components_.push_back(std::move(c));
+  return components_.back();
+}
+
+Component& Netlist::addResistor(const std::string& name, const std::string& a,
+                                const std::string& b, double ohms,
+                                double relTol) {
+  if (ohms <= 0.0) throw std::invalid_argument("addResistor: ohms <= 0");
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kResistor;
+  c.pins = {node(a), node(b)};
+  c.value = ohms;
+  c.relTol = relTol;
+  return add(std::move(c));
+}
+
+Component& Netlist::addVSource(const std::string& name,
+                               const std::string& plus,
+                               const std::string& minus, double volts,
+                               double relTol) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kVSource;
+  c.pins = {node(plus), node(minus)};
+  c.value = volts;
+  c.relTol = relTol;
+  return add(std::move(c));
+}
+
+Component& Netlist::addDiode(const std::string& name, const std::string& anode,
+                             const std::string& cathode, double vf,
+                             double relTol) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kDiode;
+  c.pins = {node(anode), node(cathode)};
+  c.value = vf;
+  c.relTol = relTol;
+  return add(std::move(c));
+}
+
+Component& Netlist::addGain(const std::string& name, const std::string& in,
+                            const std::string& out, double gain,
+                            double relTol) {
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kGain;
+  c.pins = {node(in), node(out)};
+  c.value = gain;
+  c.relTol = relTol;
+  return add(std::move(c));
+}
+
+Component& Netlist::addNpn(const std::string& name,
+                           const std::string& collector,
+                           const std::string& base, const std::string& emitter,
+                           double beta, double betaRelTol, double vbe,
+                           double vbeSpread) {
+  if (beta <= 0.0) throw std::invalid_argument("addNpn: beta <= 0");
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kNpn;
+  c.pins = {node(collector), node(base), node(emitter)};
+  c.value = beta;
+  c.relTol = betaRelTol;
+  c.vbe = vbe;
+  c.vbeSpread = vbeSpread;
+  return add(std::move(c));
+}
+
+Component& Netlist::addCapacitor(const std::string& name, const std::string& a,
+                                 const std::string& b, double farads,
+                                 double relTol) {
+  if (farads <= 0.0) throw std::invalid_argument("addCapacitor: farads <= 0");
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kCapacitor;
+  c.pins = {node(a), node(b)};
+  c.value = farads;
+  c.relTol = relTol;
+  return add(std::move(c));
+}
+
+Component& Netlist::addInductor(const std::string& name, const std::string& a,
+                                const std::string& b, double henries,
+                                double relTol) {
+  if (henries <= 0.0) {
+    throw std::invalid_argument("addInductor: henries <= 0");
+  }
+  Component c;
+  c.name = name;
+  c.kind = ComponentKind::kInductor;
+  c.pins = {node(a), node(b)};
+  c.value = henries;
+  c.relTol = relTol;
+  return add(std::move(c));
+}
+
+const Component& Netlist::component(const std::string& name) const {
+  for (const Component& c : components_) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("Netlist: unknown component '" + name + "'");
+}
+
+Component& Netlist::component(const std::string& name) {
+  for (Component& c : components_) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("Netlist: unknown component '" + name + "'");
+}
+
+bool Netlist::hasComponent(const std::string& name) const {
+  return std::any_of(components_.begin(), components_.end(),
+                     [&](const Component& c) { return c.name == name; });
+}
+
+}  // namespace flames::circuit

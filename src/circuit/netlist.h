@@ -1,0 +1,128 @@
+// Circuit netlist: nodes and components with toleranced nominal parameters.
+//
+// The same netlist feeds two consumers:
+//  * the DC operating-point simulator (circuit/mna.*), which plays the role
+//    of the physical bench — faults are injected into a copy and the
+//    simulated voltages become "measurements";
+//  * the diagnostic model builder (constraints/model_builder.*), which turns
+//    the nominal, toleranced netlist into the fuzzy constraint network the
+//    FLAMES engine propagates through (paper §6.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::circuit {
+
+/// Node handle; kGround (node 0) is the reference node.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kGround = 0;
+
+/// Component families supported by both the simulator and the diagnostic
+/// model builder.
+enum class ComponentKind {
+  kResistor,   ///< pins {a, b}; value = resistance (ohm)
+  kVSource,    ///< pins {plus, minus}; value = EMF (volt)
+  kDiode,      ///< pins {anode, cathode}; value = forward drop Vf (volt)
+  kGain,       ///< pins {in, out}; ideal voltage amplifier, value = gain
+  kNpn,        ///< pins {collector, base, emitter}; value = beta
+  kCapacitor,  ///< pins {a, b}; value = capacitance (open at DC)
+  kInductor,   ///< pins {a, b}; value = inductance (short at DC)
+};
+
+[[nodiscard]] std::string_view kindName(ComponentKind k);
+
+/// One circuit component with its nominal parameters and tolerances.
+///
+/// `value` is the headline parameter (see ComponentKind); `relTol` is the
+/// relative tolerance used to fuzzify it for the diagnostic model. BJTs
+/// additionally carry vbe (with absolute spread vbeSpread); diodes may carry
+/// a maximum-current rating expressed directly as a fuzzy set (paper Fig. 5
+/// uses [-1, 100, 0, 10] microamps).
+struct Component {
+  std::string name;
+  ComponentKind kind = ComponentKind::kResistor;
+  std::vector<NodeId> pins;
+  double value = 0.0;
+  double relTol = 0.0;
+
+  // BJT-only fields.
+  double vbe = 0.7;
+  double vbeSpread = 0.0;
+
+  // Diode-only optional rating (in the same current unit used throughout).
+  std::optional<fuzzy::FuzzyInterval> maxCurrent;
+
+  /// Fuzzy nominal of the headline parameter: [v, v, |v|*relTol, |v|*relTol].
+  [[nodiscard]] fuzzy::FuzzyInterval fuzzyValue() const {
+    return fuzzy::FuzzyInterval::withTolerance(value, relTol);
+  }
+
+  /// Fuzzy nominal of the BJT base-emitter drop.
+  [[nodiscard]] fuzzy::FuzzyInterval fuzzyVbe() const {
+    return fuzzy::FuzzyInterval::about(vbe, vbeSpread);
+  }
+};
+
+/// A named-node netlist builder and container.
+class Netlist {
+ public:
+  Netlist();
+
+  /// Creates (or returns) the node with this name. "0", "gnd" and "GND" are
+  /// aliases of the ground node.
+  NodeId node(const std::string& name);
+
+  /// Looks up an existing node by name; throws if absent.
+  [[nodiscard]] NodeId findNode(const std::string& name) const;
+
+  [[nodiscard]] const std::string& nodeName(NodeId id) const;
+  [[nodiscard]] std::size_t nodeCount() const { return nodeNames_.size(); }
+
+  // --- component factories -------------------------------------------------
+  Component& addResistor(const std::string& name, const std::string& a,
+                         const std::string& b, double ohms,
+                         double relTol = 0.05);
+  Component& addVSource(const std::string& name, const std::string& plus,
+                        const std::string& minus, double volts,
+                        double relTol = 0.0);
+  Component& addDiode(const std::string& name, const std::string& anode,
+                      const std::string& cathode, double vf = 0.7,
+                      double relTol = 0.0);
+  Component& addGain(const std::string& name, const std::string& in,
+                     const std::string& out, double gain, double relTol = 0.0);
+  Component& addNpn(const std::string& name, const std::string& collector,
+                    const std::string& base, const std::string& emitter,
+                    double beta, double betaRelTol = 0.05, double vbe = 0.7,
+                    double vbeSpread = 0.05);
+  Component& addCapacitor(const std::string& name, const std::string& a,
+                          const std::string& b, double farads,
+                          double relTol = 0.05);
+  Component& addInductor(const std::string& name, const std::string& a,
+                         const std::string& b, double henries,
+                         double relTol = 0.05);
+
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::vector<Component>& components() { return components_; }
+
+  /// Finds a component by name; throws std::out_of_range if absent.
+  [[nodiscard]] const Component& component(const std::string& name) const;
+  [[nodiscard]] Component& component(const std::string& name);
+
+  [[nodiscard]] bool hasComponent(const std::string& name) const;
+
+ private:
+  Component& add(Component c);
+
+  std::vector<std::string> nodeNames_;
+  std::vector<Component> components_;
+};
+
+}  // namespace flames::circuit

@@ -1,0 +1,310 @@
+#include "circuit/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace flames::circuit {
+
+namespace {
+
+// Splits a line into whitespace-separated tokens, dropping comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == '*' || ch == ';') break;  // comment to end of line
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+// Splits "key=value" into its parts; returns false for a bare token.
+bool splitKeyValue(const std::string& token, std::string& key,
+                   std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    return false;
+  }
+  key = token.substr(0, eq);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  value = token.substr(eq + 1);
+  return true;
+}
+
+double parseTolerance(const std::string& text, std::size_t line) {
+  try {
+    if (!text.empty() && text.back() == '%') {
+      return parseEngineeringValue(text.substr(0, text.size() - 1)) / 100.0;
+    }
+    return parseEngineeringValue(text);
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(line, std::string("bad tolerance: ") + e.what());
+  }
+}
+
+// Parses "[m1,m2,alpha,beta]" into a fuzzy interval.
+fuzzy::FuzzyInterval parseFuzzy(const std::string& text, std::size_t line) {
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    throw ParseError(line, "fuzzy literal must look like [m1,m2,a,b]");
+  }
+  std::vector<double> parts;
+  std::string cur;
+  for (char ch : text.substr(1, text.size() - 2)) {
+    if (ch == ',') {
+      parts.push_back(parseEngineeringValue(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) parts.push_back(parseEngineeringValue(cur));
+  if (parts.size() != 4) {
+    throw ParseError(line, "fuzzy literal needs exactly 4 numbers");
+  }
+  try {
+    return {parts[0], parts[1], parts[2], parts[3]};
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(line, std::string("bad fuzzy literal: ") + e.what());
+  }
+}
+
+struct CardOptions {
+  double tol = -1.0;  // unset
+  double vbe = 0.7;
+  double vbeSpread = 0.0;
+  std::optional<fuzzy::FuzzyInterval> imax;
+};
+
+CardOptions parseOptions(const std::vector<std::string>& tokens,
+                         std::size_t firstOption, std::size_t line) {
+  CardOptions opts;
+  for (std::size_t i = firstOption; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (!splitKeyValue(tokens[i], key, value)) {
+      throw ParseError(line, "expected key=value, got '" + tokens[i] + "'");
+    }
+    if (key == "tol") {
+      opts.tol = parseTolerance(value, line);
+    } else if (key == "vbe") {
+      opts.vbe = parseEngineeringValue(value);
+    } else if (key == "vbespread") {
+      opts.vbeSpread = parseEngineeringValue(value);
+    } else if (key == "imax") {
+      opts.imax = parseFuzzy(value, line);
+    } else {
+      throw ParseError(line, "unknown option '" + key + "'");
+    }
+  }
+  return opts;
+}
+
+void requireTokens(const std::vector<std::string>& tokens, std::size_t n,
+                   std::size_t line, const char* what) {
+  if (tokens.size() < n) {
+    throw ParseError(line, std::string(what) + ": expected at least " +
+                               std::to_string(n - 1) + " fields");
+  }
+}
+
+}  // namespace
+
+double parseEngineeringValue(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty numeric token");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not a number: '" + token + "'");
+  }
+  std::string suffix = token.substr(pos);
+  std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  static const std::map<std::string, double> kScales = {
+      {"", 1.0},    {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+      {"m", 1e-3},  {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},
+  };
+  // Datasheet-style uppercase 'M' means mega and must be resolved before
+  // the case-folded lookup would read it as milli; lowercase 'm' and SPICE
+  // 'meg' keep their usual meanings.
+  if (token.substr(pos) == "M") return value * 1e6;
+  auto it = kScales.find(suffix);
+  if (it == kScales.end()) {
+    throw std::invalid_argument("unknown magnitude suffix '" +
+                                token.substr(pos) + "'");
+  }
+  return value * it->second;
+}
+
+Netlist parseNetlist(std::istream& is) {
+  Netlist net;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head[0] == '.') {
+      std::string directive = head;
+      std::transform(directive.begin(), directive.end(), directive.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (directive == ".end") break;
+      throw ParseError(lineNo, "unknown directive '" + head + "'");
+    }
+
+    const char kind =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(head[0])));
+    try {
+      switch (kind) {
+        case 'R': {
+          requireTokens(tokens, 4, lineNo, "resistor");
+          const auto opts = parseOptions(tokens, 4, lineNo);
+          net.addResistor(head, tokens[1], tokens[2],
+                          parseEngineeringValue(tokens[3]),
+                          opts.tol < 0.0 ? 0.0 : opts.tol);
+          break;
+        }
+        case 'C': {
+          requireTokens(tokens, 4, lineNo, "capacitor");
+          const auto opts = parseOptions(tokens, 4, lineNo);
+          net.addCapacitor(head, tokens[1], tokens[2],
+                           parseEngineeringValue(tokens[3]),
+                           opts.tol < 0.0 ? 0.0 : opts.tol);
+          break;
+        }
+        case 'L': {
+          requireTokens(tokens, 4, lineNo, "inductor");
+          const auto opts = parseOptions(tokens, 4, lineNo);
+          net.addInductor(head, tokens[1], tokens[2],
+                          parseEngineeringValue(tokens[3]),
+                          opts.tol < 0.0 ? 0.0 : opts.tol);
+          break;
+        }
+        case 'V': {
+          requireTokens(tokens, 4, lineNo, "vsource");
+          const auto opts = parseOptions(tokens, 4, lineNo);
+          net.addVSource(head, tokens[1], tokens[2],
+                         parseEngineeringValue(tokens[3]),
+                         opts.tol < 0.0 ? 0.0 : opts.tol);
+          break;
+        }
+        case 'D': {
+          requireTokens(tokens, 4, lineNo, "diode");
+          const auto opts = parseOptions(tokens, 4, lineNo);
+          Component& d = net.addDiode(head, tokens[1], tokens[2],
+                                      parseEngineeringValue(tokens[3]),
+                                      opts.tol < 0.0 ? 0.0 : opts.tol);
+          d.maxCurrent = opts.imax;
+          break;
+        }
+        case 'Q': {
+          requireTokens(tokens, 5, lineNo, "transistor");
+          const auto opts = parseOptions(tokens, 5, lineNo);
+          net.addNpn(head, tokens[1], tokens[2], tokens[3],
+                     parseEngineeringValue(tokens[4]),
+                     opts.tol < 0.0 ? 0.05 : opts.tol, opts.vbe,
+                     opts.vbeSpread);
+          break;
+        }
+        case 'A': {
+          requireTokens(tokens, 4, lineNo, "gain block");
+          const auto opts = parseOptions(tokens, 4, lineNo);
+          net.addGain(head, tokens[1], tokens[2],
+                      parseEngineeringValue(tokens[3]),
+                      opts.tol < 0.0 ? 0.0 : opts.tol);
+          break;
+        }
+        default:
+          throw ParseError(lineNo,
+                           std::string("unknown component kind '") + head[0] +
+                               "' (expected R C L V D Q or A)");
+      }
+    } catch (const ParseError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ParseError(lineNo, e.what());
+    }
+  }
+  return net;
+}
+
+Netlist parseNetlistString(const std::string& text) {
+  std::istringstream is(text);
+  return parseNetlist(is);
+}
+
+namespace {
+
+char kindLetter(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kResistor: return 'R';
+    case ComponentKind::kVSource: return 'V';
+    case ComponentKind::kDiode: return 'D';
+    case ComponentKind::kGain: return 'A';
+    case ComponentKind::kNpn: return 'Q';
+    case ComponentKind::kCapacitor: return 'C';
+    case ComponentKind::kInductor: return 'L';
+  }
+  return '?';
+}
+
+std::string cardName(const Component& c) {
+  const char want = kindLetter(c.kind);
+  if (!c.name.empty() &&
+      std::toupper(static_cast<unsigned char>(c.name[0])) == want) {
+    return c.name;
+  }
+  return std::string(1, want) + c.name;
+}
+
+}  // namespace
+
+void writeNetlist(const Netlist& net, std::ostream& os) {
+  os << "* written by flames::circuit::writeNetlist\n";
+  os.precision(17);
+  for (const Component& c : net.components()) {
+    os << cardName(c);
+    for (NodeId pin : c.pins) os << ' ' << net.nodeName(pin);
+    os << ' ' << c.value;
+    if (c.relTol > 0.0) os << " tol=" << c.relTol;
+    if (c.kind == ComponentKind::kNpn) {
+      os << " vbe=" << c.vbe;
+      if (c.vbeSpread > 0.0) os << " vbespread=" << c.vbeSpread;
+    }
+    if (c.kind == ComponentKind::kDiode && c.maxCurrent) {
+      os << " imax=[" << c.maxCurrent->m1() << ',' << c.maxCurrent->m2()
+         << ',' << c.maxCurrent->alpha() << ',' << c.maxCurrent->beta()
+         << ']';
+    }
+    os << '\n';
+  }
+  os << ".end\n";
+}
+
+std::string writeNetlistString(const Netlist& net) {
+  std::ostringstream os;
+  writeNetlist(net, os);
+  return os.str();
+}
+
+Netlist parseNetlistFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("parseNetlistFile: cannot open " + path);
+  }
+  return parseNetlist(is);
+}
+
+}  // namespace flames::circuit

@@ -1,0 +1,61 @@
+// SPICE-style netlist parser.
+//
+// One component card per line, first letter selecting the kind (SPICE
+// convention), '*' or ';' starting comments, '.end' optional:
+//
+//   * three-stage amplifier, units V / kOhm / mA
+//   Vcc vcc 0 18
+//   R2  vcc V1 12k tol=1%
+//   Q1  V1 N1 0 300 tol=2% vbe=0.7 vbespread=0.01
+//   D1  in n1 0.2 imax=[-0.001,0.1,0,0.01]
+//   C1  out 0 1u tol=5%
+//   L1  a b 2m
+//   A1  in out 2.5 tol=2%        ; ideal gain block
+//
+// Numeric values accept the usual magnitude suffixes (p n u m k M G,
+// with 'meg' also accepted for 1e6). Tolerances accept "5%" or "0.05".
+// The parser is unit-agnostic: values are stored as written (scaled by the
+// suffix), matching the library's V / kOhm / mA convention when the cards
+// are authored that way.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace flames::circuit {
+
+/// Thrown on malformed input; carries the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a netlist from a stream; throws ParseError on malformed cards.
+[[nodiscard]] Netlist parseNetlist(std::istream& is);
+
+/// Parses a netlist from a string.
+[[nodiscard]] Netlist parseNetlistString(const std::string& text);
+
+/// Parses a netlist file; throws std::runtime_error if unreadable.
+[[nodiscard]] Netlist parseNetlistFile(const std::string& path);
+
+/// Parses one numeric token with an optional magnitude suffix
+/// (p n u m k M/meg G); throws std::invalid_argument on garbage.
+[[nodiscard]] double parseEngineeringValue(const std::string& token);
+
+/// Serialises a netlist back to the card format; the output re-parses to an
+/// equivalent netlist (component names must start with their kind letter —
+/// they do for anything built through the Netlist factories or the parser;
+/// a leading kind letter is prepended otherwise).
+void writeNetlist(const Netlist& net, std::ostream& os);
+[[nodiscard]] std::string writeNetlistString(const Netlist& net);
+
+}  // namespace flames::circuit

@@ -1,0 +1,177 @@
+#include "circuit/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flames::circuit {
+
+TransientSolver::TransientSolver(Netlist net, TransientOptions options)
+    : net_(std::move(net)), options_(options) {
+  if (options_.timeStep <= 0.0) {
+    throw std::invalid_argument("TransientSolver: timeStep <= 0");
+  }
+}
+
+void TransientSolver::setWaveform(const std::string& sourceName,
+                                  SourceWaveform waveform) {
+  const Component& c = net_.component(sourceName);
+  if (c.kind != ComponentKind::kVSource) {
+    throw std::invalid_argument("setWaveform: '" + sourceName +
+                                "' is not a vsource");
+  }
+  waveforms_[sourceName] = std::move(waveform);
+}
+
+TransientResult TransientSolver::run(double duration) {
+  const double h = options_.timeStep;
+
+  // Initial condition: DC solution with waveforms evaluated at t = 0
+  // (capacitors open, inductors short — the original netlist semantics).
+  Netlist init = net_;
+  for (const auto& [name, wf] : waveforms_) {
+    init.component(name).value = wf(0.0);
+  }
+  MnaOptions mnaOpts;
+  mnaOpts.maxStateIterations = options_.maxStateIterationsPerStep;
+  const DcSolver initSolver(init, mnaOpts);
+  const OperatingPoint init0 = initSolver.solve();
+  if (!init0.converged) {
+    throw std::runtime_error("TransientSolver: initial DC point diverged");
+  }
+
+  // Reactive-element state.
+  std::map<std::string, double> capVoltage;  // v(pin0) - v(pin1)
+  std::map<std::string, double> indCurrent;  // through, pin0 -> pin1
+  for (const Component& c : net_.components()) {
+    if (c.kind == ComponentKind::kCapacitor) {
+      capVoltage[c.name] = init0.v(c.pins[0]) - init0.v(c.pins[1]);
+    } else if (c.kind == ComponentKind::kInductor) {
+      indCurrent[c.name] = initSolver.current(init0, c.name);
+    }
+  }
+
+  TransientResult result;
+  result.time.push_back(0.0);
+  result.waveforms.assign(net_.nodeCount(), {});
+  for (NodeId n = 0; n < net_.nodeCount(); ++n) {
+    result.waveforms[n].push_back(init0.v(n));
+  }
+
+  const auto steps = static_cast<std::size_t>(std::ceil(duration / h));
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t = static_cast<double>(k) * h;
+
+    // Build the companion-model netlist for this step.
+    Netlist companion;
+    for (const Component& c : net_.components()) {
+      switch (c.kind) {
+        case ComponentKind::kCapacitor: {
+          // Thevenin backward Euler: series EMF v_prev then R = h/C.
+          const std::string mid = c.name + "__x";
+          Component src;
+          src.name = c.name + "__v";
+          src.kind = ComponentKind::kVSource;
+          src.pins = {companion.node(net_.nodeName(c.pins[0])),
+                      companion.node(mid)};
+          src.value = capVoltage.at(c.name);
+          companion.components().push_back(std::move(src));
+          companion.addResistor(c.name + "__r", mid, net_.nodeName(c.pins[1]),
+                                h / c.value, 0.0);
+          break;
+        }
+        case ComponentKind::kInductor: {
+          // Thevenin backward Euler: R = L/h then EMF -R * i_prev.
+          const double rl = c.value / h;
+          const std::string mid = c.name + "__x";
+          companion.addResistor(c.name + "__r", net_.nodeName(c.pins[0]), mid,
+                                rl, 0.0);
+          Component src;
+          src.name = c.name + "__v";
+          src.kind = ComponentKind::kVSource;
+          src.pins = {companion.node(mid),
+                      companion.node(net_.nodeName(c.pins[1]))};
+          src.value = -rl * indCurrent.at(c.name);
+          companion.components().push_back(std::move(src));
+          break;
+        }
+        case ComponentKind::kVSource: {
+          const auto wf = waveforms_.find(c.name);
+          Component src = c;
+          src.pins = {companion.node(net_.nodeName(c.pins[0])),
+                      companion.node(net_.nodeName(c.pins[1]))};
+          if (wf != waveforms_.end()) src.value = wf->second(t);
+          companion.components().push_back(std::move(src));
+          break;
+        }
+        default: {
+          Component copy = c;
+          copy.pins.clear();
+          for (NodeId pin : c.pins) {
+            copy.pins.push_back(companion.node(net_.nodeName(pin)));
+          }
+          companion.components().push_back(std::move(copy));
+          break;
+        }
+      }
+    }
+
+    const DcSolver solver(companion, mnaOpts);
+    const OperatingPoint op = solver.solve();
+    if (!op.converged) {
+      throw std::runtime_error("TransientSolver: step " + std::to_string(k) +
+                               " did not converge");
+    }
+
+    // Update reactive state.
+    for (const Component& c : net_.components()) {
+      if (c.kind == ComponentKind::kCapacitor) {
+        capVoltage[c.name] =
+            op.v(companion.findNode(net_.nodeName(c.pins[0]))) -
+            op.v(companion.findNode(net_.nodeName(c.pins[1])));
+      } else if (c.kind == ComponentKind::kInductor) {
+        indCurrent[c.name] = solver.current(op, c.name + "__r");
+      }
+    }
+
+    result.time.push_back(t);
+    for (NodeId n = 0; n < net_.nodeCount(); ++n) {
+      result.waveforms[n].push_back(
+          op.v(companion.findNode(net_.nodeName(n))));
+    }
+  }
+  return result;
+}
+
+std::vector<double> TransientSolver::stepResponse(
+    const std::string& sourceName, double level, const std::string& node,
+    double duration) {
+  setWaveform(sourceName,
+              [level](double t) { return t > 0.0 ? level : 0.0; });
+  const TransientResult r = run(duration);
+  return r.waveform(net_.findNode(node));
+}
+
+double riseTime(const std::vector<double>& time,
+                const std::vector<double>& waveform) {
+  if (time.size() != waveform.size() || waveform.empty()) return -1.0;
+  const double v0 = waveform.front();
+  const double v1 = waveform.back();
+  const double lo = v0 + 0.1 * (v1 - v0);
+  const double hi = v0 + 0.9 * (v1 - v0);
+  double tLo = -1.0, tHi = -1.0;
+  const bool rising = v1 >= v0;
+  for (std::size_t i = 0; i < waveform.size(); ++i) {
+    const double v = waveform[i];
+    const bool pastLo = rising ? v >= lo : v <= lo;
+    const bool pastHi = rising ? v >= hi : v <= hi;
+    if (tLo < 0.0 && pastLo) tLo = time[i];
+    if (tHi < 0.0 && pastHi) {
+      tHi = time[i];
+      break;
+    }
+  }
+  if (tLo < 0.0 || tHi < 0.0) return -1.0;
+  return tHi - tLo;
+}
+
+}  // namespace flames::circuit

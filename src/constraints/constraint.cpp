@@ -1,0 +1,106 @@
+#include "constraints/constraint.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flames::constraints {
+
+using fuzzy::FuzzyInterval;
+
+// --- SumConstraint -----------------------------------------------------------
+
+SumConstraint::SumConstraint(std::string name,
+                             std::vector<QuantityId> variables,
+                             std::vector<double> coefficients,
+                             FuzzyInterval rhs, atms::Environment validity,
+                             double degree)
+    : Constraint(std::move(name), std::move(variables), std::move(validity),
+                 degree),
+      coefficients_(std::move(coefficients)),
+      rhs_(std::move(rhs)) {
+  if (coefficients_.size() != this->variables().size()) {
+    throw std::invalid_argument("SumConstraint: coefficient count mismatch");
+  }
+  for (double c : coefficients_) {
+    if (c == 0.0) {
+      throw std::invalid_argument("SumConstraint: zero coefficient");
+    }
+  }
+}
+
+std::optional<FuzzyInterval> SumConstraint::solveFor(
+    std::size_t target, const std::vector<FuzzyInterval>& inputs) const {
+  if (target >= variables().size()) return std::nullopt;
+  FuzzyInterval acc = rhs_;
+  for (std::size_t i = 0; i < variables().size(); ++i) {
+    if (i == target) continue;
+    acc = acc.sub(inputs[i].scaled(coefficients_[i]));
+  }
+  return acc.scaled(1.0 / coefficients_[target]);
+}
+
+// --- DiffConstraint ----------------------------------------------------------
+
+DiffConstraint::DiffConstraint(std::string name, QuantityId a, QuantityId b,
+                               FuzzyInterval drop, atms::Environment validity,
+                               double degree)
+    : Constraint(std::move(name), {a, b}, std::move(validity), degree),
+      drop_(std::move(drop)) {}
+
+std::optional<FuzzyInterval> DiffConstraint::solveFor(
+    std::size_t target, const std::vector<FuzzyInterval>& inputs) const {
+  if (target == 0) return inputs[1].add(drop_);   // a = b + drop
+  if (target == 1) return inputs[0].sub(drop_);   // b = a - drop
+  return std::nullopt;
+}
+
+// --- ScaleConstraint ---------------------------------------------------------
+
+ScaleConstraint::ScaleConstraint(std::string name, QuantityId input,
+                                 QuantityId output, FuzzyInterval factor,
+                                 atms::Environment validity, double degree)
+    : Constraint(std::move(name), {input, output}, std::move(validity),
+                 degree),
+      factor_(std::move(factor)) {
+  const fuzzy::Cut s = factor_.support();
+  if (s.lo <= 0.0 && s.hi >= 0.0) {
+    throw std::invalid_argument(
+        "ScaleConstraint: factor support must exclude zero (non-invertible)");
+  }
+}
+
+std::optional<FuzzyInterval> ScaleConstraint::solveFor(
+    std::size_t target, const std::vector<FuzzyInterval>& inputs) const {
+  if (target == 1) return inputs[0].mul(factor_);  // out = in * k
+  if (target == 0) return inputs[1].div(factor_);  // in = out / k
+  return std::nullopt;
+}
+
+// --- OhmConstraint -----------------------------------------------------------
+
+OhmConstraint::OhmConstraint(std::string name, QuantityId va, QuantityId vb,
+                             QuantityId i, FuzzyInterval resistance,
+                             atms::Environment validity, double degree)
+    : Constraint(std::move(name), {va, vb, i}, std::move(validity), degree),
+      resistance_(std::move(resistance)) {
+  const fuzzy::Cut s = resistance_.support();
+  if (s.lo <= 0.0) {
+    throw std::invalid_argument("OhmConstraint: resistance must be > 0");
+  }
+}
+
+std::optional<FuzzyInterval> OhmConstraint::solveFor(
+    std::size_t target, const std::vector<FuzzyInterval>& inputs) const {
+  switch (target) {
+    case 0:  // Va = Vb + I * R
+      return inputs[1].add(inputs[2].mul(resistance_));
+    case 1:  // Vb = Va - I * R
+      return inputs[0].sub(inputs[2].mul(resistance_));
+    case 2:  // I = (Va - Vb) / R
+      return inputs[0].sub(inputs[1]).div(resistance_);
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace flames::constraints

@@ -1,0 +1,126 @@
+// Non-directional constraints over fuzzy quantities (paper §6.2).
+//
+// The model of the circuit is a network of constraints (Ohm's law,
+// Kirchhoff's current law, device models). Analog behaviour is
+// non-directional — any variable of a constraint can be solved for from the
+// others — so each constraint exposes solveFor(target, inputs). Component
+// parameters (R, gain, beta, Vf, Vbe) enter as *fuzzy constants* embedded in
+// the constraint, and the constraint carries the assumption environment
+// governing its validity (typically {component-is-correct}).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atms/environment.h"
+#include "constraints/quantity.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::constraints {
+
+/// Abstract non-directional constraint.
+class Constraint {
+ public:
+  Constraint(std::string name, std::vector<QuantityId> variables,
+             atms::Environment validity, double degree = 1.0)
+      : name_(std::move(name)),
+        variables_(std::move(variables)),
+        validity_(std::move(validity)),
+        degree_(degree) {}
+  virtual ~Constraint() = default;
+
+  Constraint(const Constraint&) = delete;
+  Constraint& operator=(const Constraint&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<QuantityId>& variables() const {
+    return variables_;
+  }
+  /// Assumptions under which the constraint is a valid model.
+  [[nodiscard]] const atms::Environment& validity() const { return validity_; }
+  /// Certainty degree of the constraint (expert rules may be < 1).
+  [[nodiscard]] double degree() const { return degree_; }
+
+  /// Solves for variables()[target] given fuzzy values of all the others
+  /// (`inputs` is aligned with variables(); inputs[target] is ignored).
+  /// Returns nullopt if this direction is not solvable.
+  [[nodiscard]] virtual std::optional<fuzzy::FuzzyInterval> solveFor(
+      std::size_t target,
+      const std::vector<fuzzy::FuzzyInterval>& inputs) const = 0;
+
+ private:
+  std::string name_;
+  std::vector<QuantityId> variables_;
+  atms::Environment validity_;
+  double degree_;
+};
+
+/// sum_i coeff[i] * var[i] = rhs, with crisp coefficients and fuzzy rhs.
+/// Models KCL (currents sum to zero) and general linear relations.
+class SumConstraint final : public Constraint {
+ public:
+  SumConstraint(std::string name, std::vector<QuantityId> variables,
+                std::vector<double> coefficients, fuzzy::FuzzyInterval rhs,
+                atms::Environment validity, double degree = 1.0);
+
+  [[nodiscard]] std::optional<fuzzy::FuzzyInterval> solveFor(
+      std::size_t target,
+      const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
+
+ private:
+  std::vector<double> coefficients_;
+  fuzzy::FuzzyInterval rhs_;
+};
+
+/// var[0] - var[1] = drop (fuzzy constant): voltage sources, diode drops,
+/// base-emitter junctions.
+class DiffConstraint final : public Constraint {
+ public:
+  DiffConstraint(std::string name, QuantityId a, QuantityId b,
+                 fuzzy::FuzzyInterval drop, atms::Environment validity,
+                 double degree = 1.0);
+
+  [[nodiscard]] std::optional<fuzzy::FuzzyInterval> solveFor(
+      std::size_t target,
+      const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
+
+ private:
+  fuzzy::FuzzyInterval drop_;
+};
+
+/// var[1] = factor * var[0] (fuzzy factor): ideal gain blocks and the BJT
+/// current relation Ic = beta * Ib.
+class ScaleConstraint final : public Constraint {
+ public:
+  ScaleConstraint(std::string name, QuantityId input, QuantityId output,
+                  fuzzy::FuzzyInterval factor, atms::Environment validity,
+                  double degree = 1.0);
+
+  [[nodiscard]] std::optional<fuzzy::FuzzyInterval> solveFor(
+      std::size_t target,
+      const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
+
+ private:
+  fuzzy::FuzzyInterval factor_;
+};
+
+/// V(a) - V(b) = I * R (fuzzy R): Ohm's law; variables are {Va, Vb, I}.
+class OhmConstraint final : public Constraint {
+ public:
+  OhmConstraint(std::string name, QuantityId va, QuantityId vb, QuantityId i,
+                fuzzy::FuzzyInterval resistance, atms::Environment validity,
+                double degree = 1.0);
+
+  [[nodiscard]] std::optional<fuzzy::FuzzyInterval> solveFor(
+      std::size_t target,
+      const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
+
+ private:
+  fuzzy::FuzzyInterval resistance_;
+};
+
+using ConstraintPtr = std::unique_ptr<Constraint>;
+
+}  // namespace flames::constraints

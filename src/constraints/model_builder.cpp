@@ -1,0 +1,318 @@
+#include "constraints/model_builder.h"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace flames::constraints {
+
+using atms::Environment;
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::DcSolver;
+using circuit::Netlist;
+using circuit::NodeId;
+using fuzzy::FuzzyInterval;
+
+std::string voltageQuantityName(const std::string& node) {
+  return "V(" + node + ")";
+}
+
+std::string currentQuantityName(const std::string& component) {
+  return "I(" + component + ")";
+}
+
+namespace {
+
+// Perturbs one parameter of one component and returns the voltage deltas at
+// every node; empty if the perturbed circuit cannot be solved.
+std::vector<double> voltageDeltas(const Netlist& net,
+                                  const circuit::OperatingPoint& base,
+                                  const std::string& comp, bool perturbVbe,
+                                  double factorOrDelta) {
+  Netlist copy = net;
+  Component& c = copy.component(comp);
+  if (perturbVbe) {
+    c.vbe += factorOrDelta;
+  } else {
+    c.value *= factorOrDelta;
+  }
+  try {
+    const auto op = DcSolver(copy).solve();
+    if (!op.converged) return {};
+    std::vector<double> deltas(base.nodeVoltages.size(), 0.0);
+    for (std::size_t n = 0; n < deltas.size(); ++n) {
+      deltas[n] = op.nodeVoltages[n] - base.nodeVoltages[n];
+    }
+    return deltas;
+  } catch (const std::runtime_error&) {
+    return {};
+  }
+}
+
+}  // namespace
+
+BuiltModel buildDiagnosticModel(const Netlist& net, ModelBuildOptions options) {
+  BuiltModel built;
+  Model& model = built.model;
+
+  // --- assumptions ---
+  for (const Component& c : net.components()) {
+    if (c.kind == ComponentKind::kVSource && options.trustSources) continue;
+    built.assumptionOf[c.name] = model.addAssumption(c.name);
+  }
+  auto envOf = [&](const std::string& comp) {
+    Environment e;
+    const auto it = built.assumptionOf.find(comp);
+    if (it != built.assumptionOf.end()) e.insert(it->second);
+    return e;
+  };
+
+  // --- quantities ---
+  for (NodeId n = 0; n < net.nodeCount(); ++n) {
+    model.addQuantity(voltageQuantityName(net.nodeName(n)),
+                      QuantityKind::kVoltage);
+  }
+  const QuantityId vGround = model.quantity(voltageQuantityName("0"));
+  model.addPrediction(vGround, FuzzyInterval::crisp(0.0), Environment{});
+
+  // Nominal operating point first: device conduction states shape the model.
+  const DcSolver solver(net);
+  built.nominalOp = solver.solve();
+  if (!built.nominalOp.converged && options.addNominalPredictions) {
+    throw std::runtime_error(
+        "buildDiagnosticModel: nominal operating point did not converge");
+  }
+
+  auto vq = [&](NodeId n) {
+    return model.quantity(voltageQuantityName(net.nodeName(n)));
+  };
+
+  // --- component constraints ---
+  for (const Component& c : net.components()) {
+    const Environment env = envOf(c.name);
+    switch (c.kind) {
+      case ComponentKind::kResistor: {
+        const QuantityId i = model.addQuantity(currentQuantityName(c.name),
+                                               QuantityKind::kCurrent);
+        model.addConstraint(std::make_unique<OhmConstraint>(
+            "ohm(" + c.name + ")", vq(c.pins[0]), vq(c.pins[1]), i,
+            c.fuzzyValue(), env));
+        break;
+      }
+      case ComponentKind::kVSource: {
+        model.addQuantity(currentQuantityName(c.name), QuantityKind::kCurrent);
+        model.addConstraint(std::make_unique<DiffConstraint>(
+            "emf(" + c.name + ")", vq(c.pins[0]), vq(c.pins[1]),
+            c.fuzzyValue(), env));
+        break;
+      }
+      case ComponentKind::kGain: {
+        model.addConstraint(std::make_unique<ScaleConstraint>(
+            "gain(" + c.name + ")", vq(c.pins[0]), vq(c.pins[1]),
+            c.fuzzyValue(), env));
+        break;
+      }
+      case ComponentKind::kCapacitor: {
+        // Open at DC: zero current under the capacitor's correctness.
+        const QuantityId i = model.addQuantity(currentQuantityName(c.name),
+                                               QuantityKind::kCurrent);
+        model.addPrediction(i, FuzzyInterval::crisp(0.0), env);
+        break;
+      }
+      case ComponentKind::kInductor: {
+        // Short at DC: equal node voltages under the inductor's
+        // correctness; its current is a free branch variable for KCL.
+        model.addQuantity(currentQuantityName(c.name), QuantityKind::kCurrent);
+        model.addConstraint(std::make_unique<DiffConstraint>(
+            "short(" + c.name + ")", vq(c.pins[0]), vq(c.pins[1]),
+            FuzzyInterval::crisp(0.0), env));
+        break;
+      }
+      case ComponentKind::kDiode: {
+        const QuantityId i = model.addQuantity(currentQuantityName(c.name),
+                                               QuantityKind::kCurrent);
+        const bool conducting =
+            !built.nominalOp.converged ||
+            (built.nominalOp.states.count(c.name) != 0 &&
+             built.nominalOp.states.at(c.name) == circuit::DeviceState::kOn);
+        if (conducting) {
+          model.addConstraint(std::make_unique<DiffConstraint>(
+              "vf(" + c.name + ")", vq(c.pins[0]), vq(c.pins[1]),
+              c.fuzzyValue(), env));
+          if (c.maxCurrent) {
+            // The rating enters as a model prediction for the current; any
+            // derived current is checked against it via Dc (paper Fig. 5).
+            model.addPrediction(i, *c.maxCurrent, env);
+          }
+        } else {
+          model.addPrediction(i, FuzzyInterval::crisp(0.0), env);
+        }
+        break;
+      }
+      case ComponentKind::kNpn: {
+        const QuantityId ib = model.addQuantity("Ib(" + c.name + ")",
+                                                QuantityKind::kCurrent);
+        const QuantityId ic = model.addQuantity("Ic(" + c.name + ")",
+                                                QuantityKind::kCurrent);
+        const QuantityId ie = model.addQuantity("Ie(" + c.name + ")",
+                                                QuantityKind::kCurrent);
+        const bool active =
+            !built.nominalOp.converged ||
+            (built.nominalOp.states.count(c.name) != 0 &&
+             built.nominalOp.states.at(c.name) == circuit::DeviceState::kOn);
+        if (active) {
+          model.addConstraint(std::make_unique<DiffConstraint>(
+              "vbe(" + c.name + ")", vq(c.pins[1]), vq(c.pins[2]),
+              c.fuzzyVbe(), env));
+          model.addConstraint(std::make_unique<ScaleConstraint>(
+              "beta(" + c.name + ")", ib, ic, c.fuzzyValue(), env));
+          // Ie = Ic + Ib  <=>  1*ie - 1*ic - 1*ib = 0.
+          model.addConstraint(std::make_unique<SumConstraint>(
+              "kcl(" + c.name + ")", std::vector<QuantityId>{ie, ic, ib},
+              std::vector<double>{1.0, -1.0, -1.0}, FuzzyInterval::crisp(0.0),
+              env));
+        } else {
+          model.addPrediction(ib, FuzzyInterval::crisp(0.0), env);
+          model.addPrediction(ic, FuzzyInterval::crisp(0.0), env);
+          model.addPrediction(ie, FuzzyInterval::crisp(0.0), env);
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Kirchhoff's current law per node ---
+  for (NodeId n = 1; n < net.nodeCount(); ++n) {
+    std::vector<QuantityId> vars;
+    std::vector<double> coeffs;
+    bool skip = false;
+    for (const Component& c : net.components()) {
+      for (std::size_t pin = 0; pin < c.pins.size(); ++pin) {
+        if (c.pins[pin] != n) continue;
+        switch (c.kind) {
+          case ComponentKind::kResistor:
+          case ComponentKind::kVSource:
+          case ComponentKind::kDiode:
+          case ComponentKind::kCapacitor:
+          case ComponentKind::kInductor: {
+            // Branch current flows pin0 -> pin1 through the element.
+            const QuantityId i = model.quantity(currentQuantityName(c.name));
+            vars.push_back(i);
+            coeffs.push_back(pin == 0 ? 1.0 : -1.0);
+            break;
+          }
+          case ComponentKind::kGain:
+            // Input draws nothing; an ideal output can source any current,
+            // so KCL at the output node is uninformative.
+            if (pin == 1) skip = true;
+            break;
+          case ComponentKind::kNpn: {
+            const char* names[3] = {"Ic(", "Ib(", "Ie("};
+            const QuantityId i = model.quantity(std::string(names[pin]) +
+                                                c.name + ")");
+            // Ic and Ib flow into the device; Ie flows out of it.
+            coeffs.push_back(pin == 2 ? -1.0 : 1.0);
+            vars.push_back(i);
+            break;
+          }
+        }
+      }
+    }
+    if (skip || vars.empty()) continue;
+    // Merge duplicate variables (a component with both pins on one node).
+    std::vector<QuantityId> mergedVars;
+    std::vector<double> mergedCoeffs;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      bool found = false;
+      for (std::size_t j = 0; j < mergedVars.size(); ++j) {
+        if (mergedVars[j] == vars[i]) {
+          mergedCoeffs[j] += coeffs[i];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        mergedVars.push_back(vars[i]);
+        mergedCoeffs.push_back(coeffs[i]);
+      }
+    }
+    // Drop zeroed terms.
+    std::vector<QuantityId> finalVars;
+    std::vector<double> finalCoeffs;
+    for (std::size_t i = 0; i < mergedVars.size(); ++i) {
+      if (mergedCoeffs[i] != 0.0) {
+        finalVars.push_back(mergedVars[i]);
+        finalCoeffs.push_back(mergedCoeffs[i]);
+      }
+    }
+    if (finalVars.empty()) continue;
+    model.addConstraint(std::make_unique<SumConstraint>(
+        "kcl(" + net.nodeName(n) + ")", finalVars, finalCoeffs,
+        FuzzyInterval::crisp(0.0), Environment{}));
+  }
+
+  // --- nominal fuzzy predictions by sensitivity analysis ---
+  if (options.addNominalPredictions && built.nominalOp.converged) {
+    const std::size_t nodes = net.nodeCount();
+    std::vector<double> spread(nodes, 0.0);
+    std::vector<Environment> envs(nodes);
+
+    for (const Component& c : net.components()) {
+      const Environment env = envOf(c.name);
+      if (env.empty()) continue;  // trusted component: no contribution
+
+      // Tolerance bumps contribute to the prediction *spread*; components
+      // without a tolerance still get a small dependency probe so that the
+      // prediction's *environment* names every component it structurally
+      // relies on (e.g. an exact diode drop pins a node voltage: zero
+      // spread, but the prediction is wrong the moment the diode is).
+      std::vector<std::vector<double>> deltaSets;
+      if (c.relTol > 0.0) {
+        deltaSets.push_back(
+            voltageDeltas(net, built.nominalOp, c.name, false, 1.0 + c.relTol));
+        deltaSets.push_back(
+            voltageDeltas(net, built.nominalOp, c.name, false, 1.0 - c.relTol));
+      }
+      if (c.kind == ComponentKind::kNpn && c.vbeSpread > 0.0) {
+        deltaSets.push_back(
+            voltageDeltas(net, built.nominalOp, c.name, true, c.vbeSpread));
+        deltaSets.push_back(
+            voltageDeltas(net, built.nominalOp, c.name, true, -c.vbeSpread));
+      }
+      std::vector<double> worst(nodes, 0.0);
+      for (const auto& ds : deltaSets) {
+        for (std::size_t n = 0; n < ds.size() && n < nodes; ++n) {
+          worst[n] = std::max(worst[n], std::abs(ds[n]));
+        }
+      }
+      for (std::size_t n = 1; n < nodes; ++n) {
+        if (worst[n] > options.sensitivityThreshold) {
+          spread[n] += worst[n];
+          envs[n] = envs[n].unionWith(env);
+        }
+      }
+
+      constexpr double kDependencyProbe = 0.01;
+      const auto depDeltas = voltageDeltas(net, built.nominalOp, c.name,
+                                           false, 1.0 + kDependencyProbe);
+      for (std::size_t n = 1; n < depDeltas.size() && n < nodes; ++n) {
+        if (std::abs(depDeltas[n]) > options.sensitivityThreshold) {
+          envs[n] = envs[n].unionWith(env);
+        }
+      }
+    }
+
+    for (NodeId n = 1; n < nodes; ++n) {
+      const double v0 = built.nominalOp.nodeVoltages[n];
+      const double s = spread[n] * options.spreadScale;
+      model.addPrediction(vq(n), FuzzyInterval::about(v0, std::max(s, 1e-12)),
+                          envs[n]);
+    }
+  }
+
+  return built;
+}
+
+}  // namespace flames::constraints

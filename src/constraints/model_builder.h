@@ -1,0 +1,69 @@
+// Builds the diagnostic constraint model from a netlist (paper §6.2).
+//
+// For every component a correctness *assumption* is created; the component's
+// behavioural constraints (Ohm's law, junction drops, current gain) are
+// guarded by it. Kirchhoff's current law is stamped per node
+// (assumption-free by default — wiring is trusted, as in the paper's Fig. 7
+// where a node open surfaces through the component assumptions around it).
+//
+// Because analog networks contain simultaneous (feedback) loops that local
+// propagation cannot solve from scratch, the builder also computes *nominal
+// predictions* for the node voltages: the nominal operating point is solved
+// once, every component parameter is perturbed by its tolerance, and each
+// observable gets a fuzzy nominal [v, v, s, s] whose spread s is the sum of
+// the per-component sensitivities and whose environment contains exactly the
+// components the observable is sensitive to. This mirrors the paper's
+// "Model / Prediction / Assumption" triples (Fig. 5) and gives measured
+// quantities their Vn for the Dc evaluation.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "constraints/propagator.h"
+
+namespace flames::constraints {
+
+struct ModelBuildOptions {
+  /// Give independent sources no assumption (they are trusted test
+  /// equipment); matches the paper's candidate sets, which never contain the
+  /// supply.
+  bool trustSources = true;
+  /// Add nominal fuzzy predictions for node voltages via sensitivity
+  /// analysis (needs a solvable nominal operating point).
+  bool addNominalPredictions = true;
+  /// Voltage change below this does not count as sensitivity (volt).
+  double sensitivityThreshold = 1e-7;
+  /// Extra multiplier on the summed sensitivity spread (1 = linear sum).
+  double spreadScale = 1.0;
+};
+
+/// The constructed model plus its bookkeeping.
+struct BuiltModel {
+  Model model;
+  /// component name -> correctness assumption.
+  std::map<std::string, atms::AssumptionId> assumptionOf;
+  /// Nominal DC operating point of the un-faulted netlist.
+  circuit::OperatingPoint nominalOp;
+
+  /// Quantity ids of the standard magnitudes.
+  [[nodiscard]] QuantityId voltage(const std::string& node) const {
+    return model.quantity("V(" + node + ")");
+  }
+  [[nodiscard]] QuantityId current(const std::string& component) const {
+    return model.quantity("I(" + component + ")");
+  }
+};
+
+/// Quantity naming helpers shared by the builder and its consumers.
+[[nodiscard]] std::string voltageQuantityName(const std::string& node);
+[[nodiscard]] std::string currentQuantityName(const std::string& component);
+
+/// Builds the diagnostic model. Throws std::runtime_error if the nominal
+/// operating point cannot be solved while predictions were requested.
+[[nodiscard]] BuiltModel buildDiagnosticModel(const circuit::Netlist& net,
+                                              ModelBuildOptions options = {});
+
+}  // namespace flames::constraints

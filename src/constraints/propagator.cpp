@@ -1,0 +1,443 @@
+#include "constraints/propagator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace flames::constraints {
+
+using atms::Environment;
+using fuzzy::FuzzyInterval;
+
+// --- Model -------------------------------------------------------------------
+
+QuantityId Model::addQuantity(const std::string& name, QuantityKind kind) {
+  if (const auto existing = findQuantity(name)) return *existing;
+  quantities_.push_back({name, kind});
+  incidenceDirty_ = true;
+  return static_cast<QuantityId>(quantities_.size() - 1);
+}
+
+std::optional<QuantityId> Model::findQuantity(const std::string& name) const {
+  for (QuantityId i = 0; i < quantities_.size(); ++i) {
+    if (quantities_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+QuantityId Model::quantity(const std::string& name) const {
+  if (const auto q = findQuantity(name)) return *q;
+  throw std::out_of_range("Model: unknown quantity '" + name + "'");
+}
+
+const Quantity& Model::quantityInfo(QuantityId id) const {
+  if (id >= quantities_.size()) throw std::out_of_range("Model::quantityInfo");
+  return quantities_[id];
+}
+
+atms::AssumptionId Model::addAssumption(const std::string& name) {
+  if (const auto existing = findAssumption(name)) return *existing;
+  assumptionNames_.push_back(name);
+  return static_cast<atms::AssumptionId>(assumptionNames_.size() - 1);
+}
+
+std::optional<atms::AssumptionId> Model::findAssumption(
+    const std::string& name) const {
+  for (atms::AssumptionId i = 0; i < assumptionNames_.size(); ++i) {
+    if (assumptionNames_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+const std::string& Model::assumptionName(atms::AssumptionId id) const {
+  if (id >= assumptionNames_.size()) {
+    throw std::out_of_range("Model::assumptionName");
+  }
+  return assumptionNames_[id];
+}
+
+std::string Model::describe(const Environment& env) const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (atms::AssumptionId id : env.ids()) {
+    if (!first) os << ',';
+    os << (id < assumptionNames_.size() ? assumptionNames_[id]
+                                        : "#" + std::to_string(id));
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::size_t Model::addConstraint(ConstraintPtr c) {
+  if (!c) throw std::invalid_argument("Model::addConstraint: null");
+  for (QuantityId v : c->variables()) {
+    if (v >= quantities_.size()) {
+      throw std::out_of_range("Model::addConstraint: unknown quantity");
+    }
+  }
+  constraints_.push_back(std::move(c));
+  incidenceDirty_ = true;
+  return constraints_.size() - 1;
+}
+
+void Model::addPrediction(QuantityId q, FuzzyInterval value, Environment env,
+                          double degree) {
+  if (q >= quantities_.size()) {
+    throw std::out_of_range("Model::addPrediction: unknown quantity");
+  }
+  predictions_.push_back({q, std::move(value), std::move(env), degree});
+}
+
+const std::vector<std::size_t>& Model::constraintsOn(QuantityId q) const {
+  if (incidenceDirty_) {
+    incidence_.assign(quantities_.size(), {});
+    for (std::size_t ci = 0; ci < constraints_.size(); ++ci) {
+      for (QuantityId v : constraints_[ci]->variables()) {
+        incidence_[v].push_back(ci);
+      }
+    }
+    incidenceDirty_ = false;
+  }
+  if (q >= incidence_.size()) throw std::out_of_range("Model::constraintsOn");
+  return incidence_[q];
+}
+
+// --- Propagator --------------------------------------------------------------
+
+Propagator::Propagator(const Model& model, PropagatorOptions options)
+    : model_(model), options_(options) {
+  values_.resize(model.quantityCount());
+}
+
+void Propagator::addMeasurement(QuantityId q, FuzzyInterval value,
+                                Environment env) {
+  ValueEntry e;
+  e.value = options_.crispifyValues
+                ? FuzzyInterval::crispInterval(value.support().lo,
+                                               value.support().hi)
+                : std::move(value);
+  e.env = std::move(env);
+  e.source = ValueSource::kMeasured;
+  e.fromMeasurement = true;
+  addEntry(q, std::move(e));
+}
+
+void Propagator::run() {
+  if (!seeded_) {
+    seeded_ = true;
+    for (const Model::Prediction& p : model_.predictions()) {
+      ValueEntry e;
+      e.value = options_.crispifyValues
+                    ? FuzzyInterval::crispInterval(p.value.support().lo,
+                                                   p.value.support().hi)
+                    : p.value;
+      e.env = p.env;
+      e.source = ValueSource::kNominal;
+      e.degree = p.degree;
+      addEntry(p.quantity, std::move(e));
+    }
+  }
+  completed_ = true;
+  while (!queue_.empty()) {
+    if (++steps_ > options_.maxSteps) {
+      completed_ = false;
+      queue_.clear();
+      return;
+    }
+    const WorkItem item = queue_.front();
+    queue_.pop_front();
+    fire(item.quantity, item.entryIndex);
+  }
+}
+
+const std::vector<ValueEntry>& Propagator::values(QuantityId q) const {
+  if (q >= values_.size()) throw std::out_of_range("Propagator::values");
+  return values_[q];
+}
+
+std::optional<CoincidenceRecord> Propagator::worstCoincidence(
+    QuantityId q) const {
+  // The paper tabulates Dc(Vm, Vn) of measurement against nominal; prefer
+  // those records and fall back to arbitrary pairs only when no direct
+  // measured-vs-nominal coincidence happened at this quantity.
+  std::optional<CoincidenceRecord> worst;
+  for (int pass = 0; pass < 2 && !worst; ++pass) {
+    const bool requireNominal = pass == 0;
+    for (const CoincidenceRecord& c : coincidences_) {
+      if (c.quantity != q) continue;
+      if (requireNominal && !c.measuredVsNominal) continue;
+      if (!worst || c.consistency.dc < worst->consistency.dc) worst = c;
+    }
+  }
+  return worst;
+}
+
+bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
+  if (q >= values_.size()) throw std::out_of_range("Propagator::addEntry");
+  auto& entries = values_[q];
+
+  // Exact duplicate or subsumed-by-more-informative check. Root entries
+  // (measurements, nominal predictions) are always kept so the diagnostic
+  // coincidences remain visible.
+  for (const ValueEntry& existing : entries) {
+    if (existing.env == entry.env &&
+        existing.value.approxEquals(entry.value, 1e-12)) {
+      return false;
+    }
+    if (entry.source == ValueSource::kDerived &&
+        existing.degree >= entry.degree &&
+        existing.env.isSubsetOf(entry.env) &&
+        existing.value.subsetOf(entry.value)) {
+      return false;  // the new entry carries no extra information
+    }
+  }
+
+  // Resolve coincidences against the entries that will be kept.
+  for (const ValueEntry& existing : entries) {
+    resolveCoincidence(q, existing, entry);
+  }
+
+  // Remove derived entries that the new one renders redundant.
+  if (entry.source != ValueSource::kDerived ||
+      entries.size() < options_.maxEntriesPerQuantity) {
+    entries.erase(
+        std::remove_if(entries.begin(), entries.end(),
+                       [&](const ValueEntry& e) {
+                         return e.source == ValueSource::kDerived &&
+                                entry.degree >= e.degree &&
+                                entry.env.isSubsetOf(e.env) &&
+                                entry.value.subsetOf(e.value);
+                       }),
+        entries.end());
+    if (entries.size() >= options_.maxEntriesPerQuantity &&
+        entry.source == ValueSource::kDerived) {
+      return false;  // quantity saturated; keep roots flowing regardless
+    }
+    entries.push_back(std::move(entry));
+    queue_.push_back({q, entries.size() - 1});
+
+    // Drain crisp-policy refinements queued by coincidence resolution.
+    if (!drainingRefinements_ && !pendingRefinements_.empty()) {
+      drainingRefinements_ = true;
+      while (!pendingRefinements_.empty()) {
+        auto [rq, re] = std::move(pendingRefinements_.back());
+        pendingRefinements_.pop_back();
+        addEntry(rq, std::move(re));
+      }
+      drainingRefinements_ = false;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Propagator::fire(QuantityId q, std::size_t entryIndex) {
+  // Copy: values_[q] may reallocate while deriving.
+  const ValueEntry source = values_[q][entryIndex];
+
+  for (std::size_t ci : model_.constraintsOn(q)) {
+    if (source.fromConstraint == static_cast<int>(ci)) continue;  // echo
+    const Constraint& c = *model_.constraints()[ci];
+    const auto& vars = c.variables();
+
+    for (std::size_t target = 0; target < vars.size(); ++target) {
+      if (vars[target] == q) continue;
+      if (source.depth >= options_.maxDepth) continue;
+
+      // Build input combinations: the slot(s) holding q use `source`;
+      // every other slot ranges over that quantity's entries.
+      std::vector<std::size_t> openSlots;
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (i == target || vars[i] == q) continue;
+        openSlots.push_back(i);
+      }
+      bool feasible = true;
+      for (std::size_t slot : openSlots) {
+        if (values_[vars[slot]].empty()) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+
+      std::vector<FuzzyInterval> inputs(vars.size());
+      std::vector<const ValueEntry*> chosen(vars.size(), nullptr);
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == q) {
+          inputs[i] = source.value;
+          chosen[i] = &source;
+        }
+      }
+
+      // Depth-first enumeration over open slots (bounded by entry caps).
+      std::vector<std::size_t> cursor(openSlots.size(), 0);
+      while (true) {
+        Environment env = source.env.unionWith(c.validity());
+        double degree = std::min(source.degree, c.degree());
+        bool fromMeasurement = source.fromMeasurement;
+        int depth = source.depth;
+        bool ok = true;
+        for (std::size_t s = 0; s < openSlots.size(); ++s) {
+          const ValueEntry& e = values_[vars[openSlots[s]]][cursor[s]];
+          if (e.fromConstraint == static_cast<int>(ci)) {
+            ok = false;  // echo through the same constraint
+            break;
+          }
+          inputs[openSlots[s]] = e.value;
+          env = env.unionWith(e.env);
+          degree = std::min(degree, e.degree);
+          fromMeasurement = fromMeasurement || e.fromMeasurement;
+          depth = std::max(depth, e.depth);
+        }
+        if (ok && env.size() <= options_.maxEnvSize &&
+            !nogoods_.isInconsistent(env, 1.0)) {
+          std::optional<FuzzyInterval> derived;
+          try {
+            derived = c.solveFor(target, inputs);
+          } catch (const std::domain_error&) {
+            derived = std::nullopt;  // e.g. division by zero-straddling value
+          }
+          if (derived &&
+              derived->support().width() <= options_.maxDerivedWidth) {
+            ValueEntry e;
+            e.value = options_.crispifyValues
+                          ? FuzzyInterval::crispInterval(
+                                derived->support().lo, derived->support().hi)
+                          : *derived;
+            e.env = std::move(env);
+            e.source = ValueSource::kDerived;
+            e.fromConstraint = static_cast<int>(ci);
+            e.fromMeasurement = fromMeasurement;
+            e.degree = degree;
+            e.depth = depth + 1;
+            addEntry(vars[target], std::move(e));
+          }
+        }
+        // Advance the cursor.
+        std::size_t s = 0;
+        for (; s < openSlots.size(); ++s) {
+          if (++cursor[s] < values_[vars[openSlots[s]]].size()) break;
+          cursor[s] = 0;
+        }
+        if (s == openSlots.size()) break;
+        if (openSlots.empty()) break;
+      }
+      if (openSlots.empty()) {
+        // The single-pass body above already ran once via the while loop.
+      }
+    }
+  }
+}
+
+void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
+                                    const ValueEntry& b) {
+  CoincidenceRecord rec;
+  rec.quantity = q;
+  rec.env = a.env.unionWith(b.env);
+
+  if (options_.policy == ConflictPolicy::kCrisp) {
+    // DIANA-style: only empty support intersections conflict; overlapping
+    // values *refine* each other — the intersection, supported by the union
+    // of both environments, is queued as a new (tighter) value. (§4.1: "the
+    // management of intervals is done by an ATMS extension".)
+    const bool overlap = a.value.supportsOverlap(b.value);
+    rec.measuredSide = a.fromMeasurement ? a.value : b.value;
+    rec.nominalSide = a.fromMeasurement ? b.value : a.value;
+    rec.consistency.dc = overlap ? 1.0 : 0.0;
+    rec.consistency.deviation =
+        fuzzy::degreeOfConsistency(rec.measuredSide, rec.nominalSide)
+            .deviation;
+    rec.measuredVsNominal = (a.source != ValueSource::kDerived) &&
+                            (b.source != ValueSource::kDerived);
+    coincidences_.push_back(rec);
+    if (!overlap) {
+      const double degree = std::min({1.0, a.degree, b.degree});
+      nogoods_.add(rec.env, degree,
+                   "conflict on " + model_.quantityInfo(q).name);
+      return;
+    }
+    const fuzzy::Cut sa = a.value.support(), sb = b.value.support();
+    const fuzzy::Cut inter{std::max(sa.lo, sb.lo), std::min(sa.hi, sb.hi)};
+    // Only enqueue a refinement that is strictly tighter than both parents
+    // (otherwise the narrower parent already carries the information).
+    if (inter.width() < sa.width() - 1e-12 &&
+        inter.width() < sb.width() - 1e-12) {
+      ValueEntry refined;
+      refined.value = FuzzyInterval::crispInterval(inter.lo, inter.hi);
+      refined.env = rec.env;
+      refined.source = ValueSource::kDerived;
+      refined.fromMeasurement = a.fromMeasurement || b.fromMeasurement;
+      refined.degree = std::min(a.degree, b.degree);
+      refined.depth = std::max(a.depth, b.depth) + 1;
+      pendingRefinements_.push_back({q, std::move(refined)});
+    }
+    return;
+  }
+
+  // Fuzzy policy. If one value is contained in the other this is a *split*
+  // (Fig. 4 case a): the narrower value refines the wider one — no
+  // conflict, whatever the widths (a wide derived estimate containing the
+  // nominal must not be read as a discrepancy).
+  if (a.value.subsetOf(b.value) || b.value.subsetOf(a.value)) {
+    rec.measuredSide = a.fromMeasurement ? a.value : b.value;
+    rec.nominalSide = a.fromMeasurement ? b.value : a.value;
+    rec.consistency.dc = 1.0;
+    rec.consistency.deviation = fuzzy::Deviation::kNone;
+    rec.measuredVsNominal = (a.source == ValueSource::kMeasured &&
+                             b.source == ValueSource::kNominal) ||
+                            (b.source == ValueSource::kMeasured &&
+                             a.source == ValueSource::kNominal);
+    coincidences_.push_back(rec);
+    return;
+  }
+
+  // Orient the pair (the measurement-rooted side is Vm); when both or
+  // neither are measurement-rooted, evaluate both orders and keep the
+  // worst, per the paper's coincidence-resolution rule (§6.1.1).
+  fuzzy::Consistency cons;
+  if (a.fromMeasurement != b.fromMeasurement) {
+    const ValueEntry& vm = a.fromMeasurement ? a : b;
+    const ValueEntry& vn = a.fromMeasurement ? b : a;
+    cons = fuzzy::degreeOfConsistency(vm.value, vn.value);
+    rec.measuredSide = vm.value;
+    rec.nominalSide = vn.value;
+  } else {
+    const fuzzy::Consistency ab = fuzzy::degreeOfConsistency(a.value, b.value);
+    const fuzzy::Consistency ba = fuzzy::degreeOfConsistency(b.value, a.value);
+    cons = ab.dc <= ba.dc ? ab : ba;
+    rec.measuredSide = ab.dc <= ba.dc ? a.value : b.value;
+    rec.nominalSide = ab.dc <= ba.dc ? b.value : a.value;
+  }
+  // A *derived* value's spread aggregates the component tolerances along
+  // its derivation path, so against the nominal (or another derived value)
+  // its membership is correlated with the other side's and the area ratio
+  // overstates the conflict: both can contain the true value yet overlap
+  // only on a shoulder sliver. The sound consistency for any pair
+  // involving a derived value is Zadeh's compatibility — the possibility
+  // that one common value satisfies both distributions — which still
+  // yields a hard conflict for disjoint estimates (classic GDE) but grades
+  // the shared-shoulder case by its joint membership. The paper's area
+  // formula remains in force for its own case: a root measurement (pure
+  // meter imprecision) against a root prediction.
+  if (a.source == ValueSource::kDerived || b.source == ValueSource::kDerived) {
+    cons.dc = std::max(cons.dc, a.value.possibilityOfEquality(b.value));
+  }
+  rec.consistency = cons;
+  rec.measuredVsNominal =
+      (a.source == ValueSource::kMeasured && b.source == ValueSource::kNominal) ||
+      (b.source == ValueSource::kMeasured && a.source == ValueSource::kNominal) ||
+      (a.fromMeasurement != b.fromMeasurement &&
+       (a.source == ValueSource::kNominal || b.source == ValueSource::kNominal));
+  coincidences_.push_back(rec);
+
+  const double nogoodDegree =
+      std::min({cons.nogoodDegree(), a.degree, b.degree});
+  if (nogoodDegree >= options_.minNogoodDegree) {
+    nogoods_.add(rec.env, nogoodDegree,
+                 "conflict on " + model_.quantityInfo(q).name);
+  }
+}
+
+}  // namespace flames::constraints

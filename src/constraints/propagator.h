@@ -1,0 +1,188 @@
+// Fuzzy value propagation with ATMS conflict recording (paper §6.1).
+//
+// The Model holds quantities, constraints, the assumption registry and the
+// a-priori predictions (fuzzified nominal values and model-implied bounds,
+// each supported by an assumption environment). The Propagator pushes
+// measured and predicted values through the constraint network; every time a
+// quantity that already has a value receives another one (a *coincidence*,
+// paper Fig. 4) the degree of consistency Dc is evaluated:
+//
+//   Dc == 1          corroboration (recorded, does not exonerate — §6.1.2)
+//   0 < Dc < 1       partial conflict: nogood of degree 1 - Dc
+//   Dc == 0          conflict: nogood of degree 1
+//
+// The nogood environment is the union of the two supports. A crisp policy
+// (DIANA-style baseline, §4.2/Fig. 5) is provided for comparison: values are
+// widened to their supports and only empty intersections conflict.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "atms/atms.h"
+#include "constraints/constraint.h"
+#include "constraints/quantity.h"
+#include "fuzzy/consistency.h"
+
+namespace flames::constraints {
+
+/// A diagnostic model: quantities, constraints, assumptions, predictions.
+class Model {
+ public:
+  /// Creates (or finds) a quantity by name.
+  QuantityId addQuantity(const std::string& name,
+                         QuantityKind kind = QuantityKind::kOther);
+
+  [[nodiscard]] std::optional<QuantityId> findQuantity(
+      const std::string& name) const;
+  [[nodiscard]] QuantityId quantity(const std::string& name) const;
+  [[nodiscard]] const Quantity& quantityInfo(QuantityId id) const;
+  [[nodiscard]] std::size_t quantityCount() const { return quantities_.size(); }
+
+  /// Creates (or finds) an assumption by name.
+  atms::AssumptionId addAssumption(const std::string& name);
+  [[nodiscard]] std::optional<atms::AssumptionId> findAssumption(
+      const std::string& name) const;
+  [[nodiscard]] const std::string& assumptionName(atms::AssumptionId id) const;
+  [[nodiscard]] std::size_t assumptionCount() const {
+    return assumptionNames_.size();
+  }
+
+  /// Renders an environment with assumption names: "{R1,T1}".
+  [[nodiscard]] std::string describe(const atms::Environment& env) const;
+
+  /// Installs a constraint; returns its index.
+  std::size_t addConstraint(ConstraintPtr c);
+  [[nodiscard]] const std::vector<ConstraintPtr>& constraints() const {
+    return constraints_;
+  }
+
+  /// Registers an a-priori prediction (nominal value or model bound).
+  void addPrediction(QuantityId q, fuzzy::FuzzyInterval value,
+                     atms::Environment env, double degree = 1.0);
+
+  struct Prediction {
+    QuantityId quantity;
+    fuzzy::FuzzyInterval value;
+    atms::Environment env;
+    double degree = 1.0;
+  };
+  [[nodiscard]] const std::vector<Prediction>& predictions() const {
+    return predictions_;
+  }
+
+  /// Constraint indices touching each quantity (built lazily on demand).
+  [[nodiscard]] const std::vector<std::size_t>& constraintsOn(
+      QuantityId q) const;
+
+ private:
+  std::vector<Quantity> quantities_;
+  std::vector<std::string> assumptionNames_;
+  std::vector<ConstraintPtr> constraints_;
+  std::vector<Prediction> predictions_;
+  mutable std::vector<std::vector<std::size_t>> incidence_;
+  mutable bool incidenceDirty_ = true;
+};
+
+/// How coincidences turn into conflicts.
+enum class ConflictPolicy {
+  kFuzzy,  ///< Dc-based partial conflicts (FLAMES)
+  kCrisp,  ///< DIANA-style: conflict only on empty support intersection
+};
+
+/// One resolved coincidence, kept for reporting (the Fig. 7 table shows the
+/// Dc of each measured-vs-nominal pair).
+struct CoincidenceRecord {
+  QuantityId quantity = 0;
+  fuzzy::FuzzyInterval measuredSide;  // the value treated as Vm
+  fuzzy::FuzzyInterval nominalSide;   // the value treated as Vn
+  fuzzy::Consistency consistency;
+  atms::Environment env;  // union of both supports
+  bool measuredVsNominal = false;  ///< true when Vm is a direct measurement
+};
+
+struct PropagatorOptions {
+  ConflictPolicy policy = ConflictPolicy::kFuzzy;
+  /// Widen every value to its support (crisp-interval arithmetic emulation).
+  bool crispifyValues = false;
+  std::size_t maxEntriesPerQuantity = 24;
+  std::size_t maxEnvSize = 12;
+  int maxDepth = 12;
+  /// Derived values whose support is wider than this are discarded: they
+  /// arise from dividing by near-zero fuzzy factors and carry no
+  /// diagnostic information.
+  double maxDerivedWidth = 1e3;
+  /// Partial conflicts weaker than this are treated as corroborations.
+  /// (Fuzzy subtraction is not the exact inverse of addition, so healthy
+  /// circuits produce sub-5% residual discrepancies between derivation
+  /// paths; the floor keeps those out of the nogood database.)
+  double minNogoodDegree = 0.05;
+  std::size_t maxSteps = 500000;
+};
+
+/// The propagation engine.
+class Propagator {
+ public:
+  explicit Propagator(const Model& model, PropagatorOptions options = {});
+
+  /// Enters an observation for a quantity (optionally guarded by a
+  /// measurement-trust assumption environment) and propagates immediately if
+  /// run() was already called; otherwise it is queued.
+  void addMeasurement(QuantityId q, fuzzy::FuzzyInterval value,
+                      atms::Environment env = {});
+
+  /// Propagates to fixpoint (or until the step budget runs out).
+  void run();
+
+  /// True if run() reached a fixpoint within the step budget.
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] std::size_t steps() const { return steps_; }
+
+  [[nodiscard]] const std::vector<ValueEntry>& values(QuantityId q) const;
+  [[nodiscard]] const atms::NogoodDb& nogoods() const { return nogoods_; }
+  [[nodiscard]] const std::vector<CoincidenceRecord>& coincidences() const {
+    return coincidences_;
+  }
+
+  /// The worst (lowest-Dc) measured-vs-nominal coincidence for a quantity,
+  /// if any — this is the Dc the paper tabulates per measured node.
+  [[nodiscard]] std::optional<CoincidenceRecord> worstCoincidence(
+      QuantityId q) const;
+
+  [[nodiscard]] const Model& model() const { return model_; }
+
+ private:
+  struct WorkItem {
+    QuantityId quantity;
+    std::size_t entryIndex;
+  };
+
+  // Adds an entry (with coincidence resolution and subsumption); returns
+  // true if it was kept.
+  bool addEntry(QuantityId q, ValueEntry entry);
+
+  // Fires all constraints incident on q using entry `idx` as one input.
+  void fire(QuantityId q, std::size_t entryIndex);
+
+  void resolveCoincidence(QuantityId q, const ValueEntry& a,
+                          const ValueEntry& b);
+
+  const Model& model_;
+  PropagatorOptions options_;
+  std::vector<std::vector<ValueEntry>> values_;
+  std::deque<WorkItem> queue_;
+  /// Crisp-policy interval refinements discovered during coincidence
+  /// resolution; drained after the triggering addEntry completes (adding
+  /// entries while iterating the entry list would invalidate iterators).
+  std::vector<std::pair<QuantityId, ValueEntry>> pendingRefinements_;
+  bool drainingRefinements_ = false;
+  atms::NogoodDb nogoods_;
+  std::vector<CoincidenceRecord> coincidences_;
+  std::size_t steps_ = 0;
+  bool completed_ = false;
+  bool seeded_ = false;
+};
+
+}  // namespace flames::constraints

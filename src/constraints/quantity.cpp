@@ -1,0 +1,14 @@
+#include "constraints/quantity.h"
+
+namespace flames::constraints {
+
+std::string_view valueSourceName(ValueSource s) {
+  switch (s) {
+    case ValueSource::kNominal: return "nominal";
+    case ValueSource::kMeasured: return "measured";
+    case ValueSource::kDerived: return "derived";
+  }
+  return "unknown";
+}
+
+}  // namespace flames::constraints

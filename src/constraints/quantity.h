@@ -1,0 +1,56 @@
+// Quantities and their fuzzy value entries (paper §6.1.1).
+//
+// A quantity is a named circuit magnitude (node voltage, branch current).
+// During diagnosis each quantity accumulates *value entries*: fuzzy
+// intervals, each supported by an assumption environment and tagged with its
+// provenance (nominal prediction, measurement, or derivation through a
+// constraint). The paper calls the discovery of a second value for an
+// already-valued point a "coincidence"; the propagator resolves those into
+// corroborations or (partial) conflicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atms/environment.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::constraints {
+
+using QuantityId = std::uint32_t;
+
+/// What a quantity measures.
+enum class QuantityKind { kVoltage, kCurrent, kOther };
+
+/// A named circuit magnitude.
+struct Quantity {
+  std::string name;
+  QuantityKind kind = QuantityKind::kOther;
+};
+
+/// Provenance of a value entry.
+enum class ValueSource {
+  kNominal,   ///< a-priori prediction from the model (fuzzified nominal)
+  kMeasured,  ///< entered as an observation
+  kDerived,   ///< computed through a constraint
+};
+
+[[nodiscard]] std::string_view valueSourceName(ValueSource s);
+
+/// One supported value of a quantity.
+struct ValueEntry {
+  fuzzy::FuzzyInterval value;
+  atms::Environment env;
+  ValueSource source = ValueSource::kDerived;
+  /// Index of the producing constraint (-1 for nominal/measured entries).
+  int fromConstraint = -1;
+  /// True if a measurement participates anywhere in the derivation.
+  bool fromMeasurement = false;
+  /// Certainty of the derivation (min of constraint degrees used).
+  double degree = 1.0;
+  /// Derivation depth (0 for roots), used to bound propagation.
+  int depth = 0;
+};
+
+}  // namespace flames::constraints

@@ -1,0 +1,213 @@
+#include "diagnosis/ac_diagnosis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "atms/candidates.h"
+
+namespace flames::diagnosis {
+
+using atms::Environment;
+using circuit::AcSolver;
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::Netlist;
+using constraints::Propagator;
+using constraints::PropagatorOptions;
+using constraints::QuantityId;
+using fuzzy::FuzzyInterval;
+
+std::string AcDiagnosisEngine::quantityName(const AcProbe& probe) {
+  std::ostringstream os;
+  os << "mag(V(" << probe.node << "))@" << probe.hertz << "Hz";
+  return os.str();
+}
+
+AcDiagnosisEngine::AcDiagnosisEngine(Netlist net, std::string acSource,
+                                     std::vector<AcProbe> probes,
+                                     AcDiagnosisOptions options)
+    : net_(std::move(net)),
+      acSource_(std::move(acSource)),
+      probes_(std::move(probes)),
+      options_(options) {
+  buildModel();
+}
+
+void AcDiagnosisEngine::buildModel() {
+  // Assumptions per non-source component.
+  for (const Component& c : net_.components()) {
+    if (c.kind == ComponentKind::kVSource) continue;
+    assumptionOf_[c.name] = model_.addAssumption(c.name);
+  }
+
+  // Nominal responses.
+  const AcSolver nominalSolver(net_, options_.ac);
+  std::vector<double> nominal(probes_.size(), 0.0);
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    nominal[p] = nominalSolver.gainMagnitude(probes_[p].hertz, acSource_,
+                                             probes_[p].node);
+    model_.addQuantity(quantityName(probes_[p]));
+  }
+
+  // Sensitivity analysis: bump each toleranced parameter, re-solve the AC
+  // response, accumulate per-probe spreads and environments.
+  std::vector<double> spread(probes_.size(), 0.0);
+  std::vector<Environment> envs(probes_.size());
+  for (const Component& c : net_.components()) {
+    if (c.kind == ComponentKind::kVSource || c.relTol <= 0.0) continue;
+    const Environment env = Environment::of({assumptionOf_.at(c.name)});
+    for (double factor : {1.0 + c.relTol, 1.0 - c.relTol}) {
+      Netlist bumped = net_;
+      bumped.component(c.name).value *= factor;
+      try {
+        const AcSolver solver(bumped, options_.ac);
+        for (std::size_t p = 0; p < probes_.size(); ++p) {
+          const double m = solver.gainMagnitude(probes_[p].hertz, acSource_,
+                                                probes_[p].node);
+          const double delta = std::abs(m - nominal[p]);
+          if (delta > options_.sensitivityThreshold) {
+            spread[p] += delta * 0.5;  // average the +/- contributions
+            envs[p] = envs[p].unionWith(env);
+          }
+        }
+      } catch (const std::runtime_error&) {
+        // A bump that breaks the bias is itself strong sensitivity; blame
+        // the component across all probes with a generous spread.
+        for (std::size_t p = 0; p < probes_.size(); ++p) {
+          spread[p] += std::abs(nominal[p]) * c.relTol;
+          envs[p] = envs[p].unionWith(env);
+        }
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    const QuantityId q = model_.quantity(quantityName(probes_[p]));
+    const double s =
+        std::max(spread[p] * options_.spreadScale, 1e-12);
+    model_.addPrediction(q, FuzzyInterval::about(nominal[p], s), envs[p]);
+  }
+}
+
+void AcDiagnosisEngine::measure(const std::string& node, double hertz,
+                                double magnitude) {
+  const double s =
+      std::max(std::abs(magnitude) * options_.measurementRelSpread, 1e-12);
+  measure({node, hertz}, FuzzyInterval::about(magnitude, s));
+}
+
+void AcDiagnosisEngine::measure(const AcProbe& probe,
+                                FuzzyInterval magnitude) {
+  (void)model_.quantity(quantityName(probe));  // validates the probe
+  observations_.push_back({probe, std::move(magnitude)});
+}
+
+void AcDiagnosisEngine::clearMeasurements() { observations_.clear(); }
+
+double AcDiagnosisEngine::explanationDegreeAc(
+    const circuit::Fault& fault,
+    const std::vector<AcObservation>& observations) const {
+  if (observations.empty()) return 0.0;
+  const Netlist faulted = circuit::applyFaults(net_, {fault});
+  double degree = 1.0;
+  try {
+    const AcSolver solver(faulted, options_.ac);
+    for (const AcObservation& obs : observations) {
+      const double sim = solver.gainMagnitude(obs.probe.hertz, acSource_,
+                                              obs.probe.node);
+      const double s =
+          std::max(std::abs(sim) * options_.simulationRelSpread, 1e-9);
+      const auto cons = fuzzy::degreeOfConsistency(
+          obs.magnitude, FuzzyInterval::about(sim, s));
+      degree = std::min(degree, cons.dc);
+      if (degree == 0.0) break;
+    }
+  } catch (const std::runtime_error&) {
+    return 0.0;
+  }
+  return degree;
+}
+
+AcDiagnosisReport AcDiagnosisEngine::diagnose() {
+  AcDiagnosisReport report;
+
+  PropagatorOptions popts;
+  popts.minNogoodDegree = options_.minNogoodDegree;
+  Propagator prop(model_, popts);
+  for (const AcObservation& obs : observations_) {
+    prop.addMeasurement(model_.quantity(quantityName(obs.probe)),
+                        obs.magnitude);
+  }
+  prop.run();
+  report.propagationCompleted = prop.completed();
+
+  for (const AcObservation& obs : observations_) {
+    const QuantityId q = model_.quantity(quantityName(obs.probe));
+    MeasurementSummary ms;
+    ms.quantity = model_.quantityInfo(q).name;
+    ms.measured = obs.magnitude;
+    if (const auto worst = prop.worstCoincidence(q)) {
+      ms.nominal = worst->nominalSide;
+      ms.dc = worst->consistency.dc;
+      ms.signedDc = worst->consistency.signedDc();
+    }
+    report.measurements.push_back(std::move(ms));
+  }
+
+  const auto& db = prop.nogoods();
+  for (const atms::Nogood& n : db.minimalNogoods(options_.minNogoodDegree)) {
+    RankedNogood rn;
+    rn.degree = n.degree;
+    rn.note = n.note;
+    for (atms::AssumptionId id : n.env.ids()) {
+      rn.components.push_back(model_.assumptionName(id));
+    }
+    report.nogoods.push_back(std::move(rn));
+  }
+  for (const auto& [id, s] : atms::componentSuspicion(db)) {
+    report.suspicion[model_.assumptionName(id)] = s;
+  }
+
+  const auto candidates = atms::candidatesAt(db, options_.minNogoodDegree,
+                                             options_.maxFaultCardinality);
+  for (const atms::Candidate& c : candidates) {
+    RankedCandidate rc;
+    rc.suspicion = c.suspicion;
+    for (atms::AssumptionId id : c.members) {
+      rc.components.push_back(model_.assumptionName(id));
+    }
+    if (options_.refineWithFaultModes && rc.components.size() == 1) {
+      // Best AC-matching fault mode of the suspect.
+      FaultModeMatch best;
+      best.component = rc.components.front();
+      best.mode = "none";
+      for (const FaultMode& mode :
+           standardModesFor(net_.component(rc.components.front()))) {
+        const double d = explanationDegreeAc(mode.fault, observations_);
+        if (d > best.matchDegree) {
+          best.matchDegree = d;
+          best.mode = mode.name;
+        }
+      }
+      rc.modeMatch = best;
+      rc.plausibility = best.matchDegree;
+    } else {
+      rc.plausibility = 0.5 * rc.suspicion;
+    }
+    report.candidates.push_back(std::move(rc));
+  }
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.plausibility != b.plausibility) {
+                return a.plausibility > b.plausibility;
+              }
+              if (a.components.size() != b.components.size()) {
+                return a.components.size() < b.components.size();
+              }
+              return a.components < b.components;
+            });
+  return report;
+}
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,109 @@
+// Dynamic-mode diagnosis: FLAMES over AC transfer-function measurements
+// (paper §9 reports trials "either in dynamic mode or in static one").
+//
+// Each probe is a (node, frequency) pair whose measured quantity is the
+// magnitude of the transfer function from the designated AC source. The
+// diagnostic model consists of fuzzy nominal predictions obtained by
+// sensitivity analysis (each component's tolerance is bumped and the AC
+// response re-solved; the prediction's environment contains exactly the
+// components the response is sensitive to). Conflicts come from the Dc of
+// measured vs nominal magnitudes, candidates from the λ-cut hitting sets,
+// and refinement from AC fault-mode simulation matching — the same FLAMES
+// pipeline, driven by the dynamic substrate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/ac.h"
+#include "circuit/fault.h"
+#include "circuit/netlist.h"
+#include "constraints/propagator.h"
+#include "diagnosis/fault_modes.h"
+#include "diagnosis/flames.h"
+
+namespace flames::diagnosis {
+
+/// One dynamic-mode probe: transfer magnitude at a node and frequency.
+struct AcProbe {
+  std::string node;
+  double hertz = 1.0;
+};
+
+/// One dynamic-mode observation.
+struct AcObservation {
+  AcProbe probe;
+  fuzzy::FuzzyInterval magnitude;
+};
+
+struct AcDiagnosisOptions {
+  circuit::AcOptions ac;
+  /// Relative spread attached to crisp measured magnitudes.
+  double measurementRelSpread = 0.02;
+  /// Magnitude change below this does not count as sensitivity.
+  double sensitivityThreshold = 1e-9;
+  /// Scale on the summed sensitivity spread of nominal predictions.
+  double spreadScale = 1.0;
+  double minNogoodDegree = 0.05;
+  std::size_t maxFaultCardinality = 3;
+  /// Relative spread applied to simulated magnitudes in fault-mode matching.
+  double simulationRelSpread = 0.05;
+  bool refineWithFaultModes = true;
+};
+
+/// Dynamic-mode diagnosis result (same vocabulary as the DC report).
+struct AcDiagnosisReport {
+  std::vector<MeasurementSummary> measurements;
+  std::vector<RankedNogood> nogoods;
+  std::vector<RankedCandidate> candidates;
+  std::map<std::string, double> suspicion;
+  bool propagationCompleted = false;
+
+  [[nodiscard]] bool faultDetected() const { return !nogoods.empty(); }
+  [[nodiscard]] std::vector<std::string> bestCandidate() const {
+    return candidates.empty() ? std::vector<std::string>{}
+                              : candidates.front().components;
+  }
+};
+
+/// The dynamic-mode engine.
+class AcDiagnosisEngine {
+ public:
+  /// Builds the fuzzy AC model for the given probes. Throws
+  /// std::runtime_error if the nominal circuit cannot be solved.
+  AcDiagnosisEngine(circuit::Netlist net, std::string acSource,
+                    std::vector<AcProbe> probes, AcDiagnosisOptions options = {});
+
+  /// Enters a measured transfer magnitude for one of the configured probes
+  /// (crisp value, fuzzified with the relative measurement spread).
+  void measure(const std::string& node, double hertz, double magnitude);
+  void measure(const AcProbe& probe, fuzzy::FuzzyInterval magnitude);
+  void clearMeasurements();
+
+  [[nodiscard]] AcDiagnosisReport diagnose();
+
+  /// Quantity naming: "mag(V(<node>))@<hertz>Hz".
+  [[nodiscard]] static std::string quantityName(const AcProbe& probe);
+
+  [[nodiscard]] const constraints::Model& model() const { return model_; }
+  [[nodiscard]] const circuit::Netlist& netlist() const { return net_; }
+
+  /// Degree to which a fault hypothesis explains the AC observations.
+  [[nodiscard]] double explanationDegreeAc(
+      const circuit::Fault& fault,
+      const std::vector<AcObservation>& observations) const;
+
+ private:
+  void buildModel();
+
+  circuit::Netlist net_;
+  std::string acSource_;
+  std::vector<AcProbe> probes_;
+  AcDiagnosisOptions options_;
+  constraints::Model model_;
+  std::map<std::string, atms::AssumptionId> assumptionOf_;
+  std::vector<AcObservation> observations_;
+};
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,126 @@
+#include "diagnosis/deviation_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/fault.h"
+#include "circuit/mna.h"
+
+namespace flames::diagnosis {
+
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::DcSolver;
+using circuit::Netlist;
+
+std::string_view deviationDirectionName(DeviationDirection d) {
+  return d == DeviationDirection::kHigh ? "high" : "low";
+}
+
+SensitivitySigns::SensitivitySigns(const Netlist& nominal,
+                                   DeviationAnalysisOptions options) {
+  circuit::OperatingPoint base;
+  try {
+    base = DcSolver(nominal).solve();
+  } catch (const std::runtime_error&) {
+    return;  // no signs available for unsolvable circuits
+  }
+  if (!base.converged) return;
+
+  for (const Component& c : nominal.components()) {
+    if (c.kind == ComponentKind::kVSource) continue;
+    components_.push_back(c.name);
+
+    Netlist bumped = nominal;
+    bumped.component(c.name).value *= options.probeFactor;
+    circuit::OperatingPoint op;
+    try {
+      op = DcSolver(bumped).solve();
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+    if (!op.converged) continue;
+
+    for (circuit::NodeId n = 1; n < nominal.nodeCount(); ++n) {
+      const double delta = op.nodeVoltages[n] - base.nodeVoltages[n];
+      int s = 0;
+      if (delta > options.senseThreshold) s = 1;
+      if (delta < -options.senseThreshold) s = -1;
+      signs_[{nominal.nodeName(n), c.name}] = s;
+    }
+  }
+}
+
+int SensitivitySigns::sign(const std::string& node,
+                           const std::string& component) const {
+  const auto it = signs_.find({node, component});
+  return it == signs_.end() ? 0 : it->second;
+}
+
+namespace {
+
+// Extracts "<node>" from a "V(<node>)" quantity name; empty if not one.
+std::string nodeOfQuantity(const std::string& quantity) {
+  if (quantity.size() > 3 && quantity.rfind("V(", 0) == 0 &&
+      quantity.back() == ')') {
+    return quantity.substr(2, quantity.size() - 3);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<DirectedHypothesis> explainBySigns(
+    const SensitivitySigns& signs, const std::vector<Symptom>& signature,
+    DeviationAnalysisOptions options) {
+  // Deviating observables and their directions.
+  struct Observed {
+    std::string node;
+    int direction;  // +1 above nominal, -1 below
+  };
+  std::vector<Observed> deviating;
+  for (const Symptom& s : signature) {
+    const std::string node = nodeOfQuantity(s.quantity);
+    if (node.empty()) continue;
+    if (std::abs(s.signedDc) >= options.deviationThreshold) continue;
+    // Prefer the explicit direction; the signed Dc degenerates to +/-0 on
+    // hard conflicts.
+    const int dir =
+        s.direction != 0 ? s.direction : (std::signbit(s.signedDc) ? -1 : 1);
+    deviating.push_back({node, dir});
+  }
+
+  std::vector<DirectedHypothesis> out;
+  for (const std::string& comp : signs.components()) {
+    for (DeviationDirection dir :
+         {DeviationDirection::kHigh, DeviationDirection::kLow}) {
+      const int paramSign = dir == DeviationDirection::kHigh ? 1 : -1;
+      std::size_t matched = 0;
+      bool sensitiveSomewhere = false;
+      for (const Observed& o : deviating) {
+        const int s = signs.sign(o.node, comp);
+        if (s == 0) continue;
+        sensitiveSomewhere = true;
+        if (s * paramSign == o.direction) ++matched;
+      }
+      DirectedHypothesis h;
+      h.component = comp;
+      h.direction = dir;
+      h.symptomCount = deviating.size();
+      h.agreement = (deviating.empty() || !sensitiveSomewhere)
+                        ? 0.0
+                        : static_cast<double>(matched) /
+                              static_cast<double>(deviating.size());
+      out.push_back(std::move(h));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirectedHypothesis& a, const DirectedHypothesis& b) {
+              if (a.agreement != b.agreement) return a.agreement > b.agreement;
+              if (a.component != b.component) return a.component < b.component;
+              return a.direction < b.direction;
+            });
+  return out;
+}
+
+}  // namespace flames::diagnosis

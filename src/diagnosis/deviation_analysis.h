@@ -1,0 +1,81 @@
+// Qualitative deviation analysis from the signs of Dc (paper §6.1.2, Fig. 7).
+//
+// Fig. 7's commentary resolves the "open circuit in N1" row "thanks to the
+// sign of Dc: ... R2 is very low or R3 is very high": the *direction* of
+// each measured deviation, combined with the sign of each observable's
+// sensitivity to each component parameter, picks out which parameter
+// deviations are qualitatively able to explain the symptom pattern.
+//
+// This module computes the sensitivity-sign matrix S[node][component] from
+// the simulator (+1 if raising the parameter raises the node voltage, -1 if
+// it lowers it, 0 if insensitive) and scores directed hypotheses
+// ("component high" / "component low") against the observed signed-Dc
+// signature. It complements the fault-mode unit: deviation analysis is
+// cheap and qualitative (one simulation per component), fault-mode matching
+// is quantitative (a search per candidate).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "diagnosis/learning.h"
+
+namespace flames::diagnosis {
+
+/// Direction of a hypothesised parameter deviation.
+enum class DeviationDirection { kHigh, kLow };
+
+[[nodiscard]] std::string_view deviationDirectionName(DeviationDirection d);
+
+/// A directed explanation hypothesis with its qualitative score.
+struct DirectedHypothesis {
+  std::string component;
+  DeviationDirection direction = DeviationDirection::kHigh;
+  /// Fraction of deviating observables whose sign the hypothesis predicts
+  /// correctly, in [0, 1]; 1 = every deviation sign matches.
+  double agreement = 0.0;
+  /// Number of observables that actually deviate (|signedDc| < 1 bound).
+  std::size_t symptomCount = 0;
+};
+
+struct DeviationAnalysisOptions {
+  /// Relative parameter bump used to probe sensitivity signs.
+  double probeFactor = 1.05;
+  /// |voltage change| below this counts as insensitive (volt).
+  double senseThreshold = 1e-7;
+  /// A measurement counts as deviating when its Dc magnitude drops below
+  /// this (1 - epsilon keeps corroborations out).
+  double deviationThreshold = 0.999;
+};
+
+/// The sensitivity-sign matrix of a netlist: for every non-source component
+/// and every named node, the sign (-1/0/+1) of d V(node) / d parameter.
+class SensitivitySigns {
+ public:
+  SensitivitySigns(const circuit::Netlist& nominal,
+                   DeviationAnalysisOptions options = {});
+
+  /// Sign of d V(node) / d param(component); 0 for unknown pairs.
+  [[nodiscard]] int sign(const std::string& node,
+                         const std::string& component) const;
+
+  [[nodiscard]] const std::vector<std::string>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<std::string> components_;
+  std::map<std::pair<std::string, std::string>, int> signs_;  // (node, comp)
+};
+
+/// Scores every directed single-deviation hypothesis against the signed-Dc
+/// signature of a diagnosis session (Symptom.quantity is "V(<node>)").
+/// Hypotheses are returned best-first; ties break alphabetically. Components
+/// with zero sensitivity to every deviating node score 0.
+[[nodiscard]] std::vector<DirectedHypothesis> explainBySigns(
+    const SensitivitySigns& signs, const std::vector<Symptom>& signature,
+    DeviationAnalysisOptions options = {});
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,72 @@
+#include "diagnosis/experience_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flames::diagnosis {
+
+void saveExperience(const ExperienceBase& base, std::ostream& os) {
+  os << "# FLAMES experience base v1\n";
+  for (const SymptomRule& r : base.rules()) {
+    os << "rule " << r.component << ' ' << r.mode << ' ' << r.certainty << ' '
+       << r.confirmations << ' ' << r.symptoms.size() << '\n';
+    for (const Symptom& s : r.symptoms) {
+      os << "sym " << s.quantity << ' ' << s.signedDc << ' ' << s.direction
+         << '\n';
+    }
+  }
+}
+
+std::size_t loadExperience(ExperienceBase& base, std::istream& is) {
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "rule") {
+      throw std::runtime_error("loadExperience: expected 'rule', got '" +
+                               tag + "'");
+    }
+    SymptomRule rule;
+    std::size_t nSymptoms = 0;
+    if (!(ls >> rule.component >> rule.mode >> rule.certainty >>
+          rule.confirmations >> nSymptoms)) {
+      throw std::runtime_error("loadExperience: malformed rule line");
+    }
+    for (std::size_t i = 0; i < nSymptoms; ++i) {
+      if (!std::getline(is, line)) {
+        throw std::runtime_error("loadExperience: truncated rule body");
+      }
+      std::istringstream ss(line);
+      std::string symTag;
+      Symptom sym;
+      if (!(ss >> symTag >> sym.quantity >> sym.signedDc) || symTag != "sym") {
+        throw std::runtime_error("loadExperience: malformed symptom line");
+      }
+      // Direction is optional for backwards compatibility with v1 files.
+      if (!(ss >> sym.direction)) sym.direction = 0;
+      rule.symptoms.push_back(std::move(sym));
+    }
+    base.restoreRule(std::move(rule));
+    ++loaded;
+  }
+  return loaded;
+}
+
+void saveExperienceFile(const ExperienceBase& base, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("saveExperienceFile: cannot open " + path);
+  saveExperience(base, os);
+  if (!os) throw std::runtime_error("saveExperienceFile: write failed");
+}
+
+std::size_t loadExperienceFile(ExperienceBase& base, const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("loadExperienceFile: cannot open " + path);
+  return loadExperience(base, is);
+}
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,33 @@
+// Persistence for the experience base (paper §7).
+//
+// Learning from experience is only useful if it survives the session: the
+// symptom-failure rules are serialised to a small line-oriented text format
+//
+//   rule <component> <mode> <certainty> <confirmations> <n>
+//   sym <quantity> <signedDc> <direction>     (n times)
+//
+// chosen for diffability and hand-editability (an expert can curate the
+// rule base, which the paper explicitly wants to allow).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "diagnosis/learning.h"
+
+namespace flames::diagnosis {
+
+/// Writes every rule of the base to the stream.
+void saveExperience(const ExperienceBase& base, std::ostream& os);
+
+/// Parses rules from the stream into `base` (appended via the base's
+/// merge-or-add logic is NOT used — rules are restored verbatim).
+/// Returns the number of rules loaded; throws std::runtime_error on a
+/// malformed stream.
+std::size_t loadExperience(ExperienceBase& base, std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void saveExperienceFile(const ExperienceBase& base, const std::string& path);
+std::size_t loadExperienceFile(ExperienceBase& base, const std::string& path);
+
+}  // namespace flames::diagnosis

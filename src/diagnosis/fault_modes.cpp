@@ -1,0 +1,210 @@
+#include "diagnosis/fault_modes.h"
+
+#include <cmath>
+
+#include "fuzzy/consistency.h"
+
+namespace flames::diagnosis {
+
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::DcSolver;
+using circuit::Fault;
+using circuit::Netlist;
+using fuzzy::FuzzyInterval;
+
+std::vector<FaultMode> standardModesFor(const Component& c) {
+  std::vector<FaultMode> modes;
+  switch (c.kind) {
+    case ComponentKind::kResistor:
+      modes.push_back({"open", Fault::open(c.name)});
+      modes.push_back({"short", Fault::shortCircuit(c.name)});
+      modes.push_back({"high", Fault::paramScale(c.name, 2.0)});
+      modes.push_back({"low", Fault::paramScale(c.name, 0.5)});
+      break;
+    case ComponentKind::kDiode:
+      modes.push_back({"open", Fault::open(c.name)});
+      modes.push_back({"short", Fault::shortCircuit(c.name)});
+      break;
+    case ComponentKind::kNpn:
+      modes.push_back({"dead", Fault::open(c.name)});
+      modes.push_back({"beta-low", Fault::paramScale(c.name, 0.5)});
+      modes.push_back({"beta-high", Fault::paramScale(c.name, 2.0)});
+      break;
+    case ComponentKind::kGain:
+      modes.push_back({"dead", Fault::paramScale(c.name, 1e-6)});
+      modes.push_back({"gain-low", Fault::paramScale(c.name, 0.5)});
+      modes.push_back({"gain-high", Fault::paramScale(c.name, 2.0)});
+      break;
+    case ComponentKind::kVSource:
+      modes.push_back({"dead", Fault::paramExact(c.name, 0.0)});
+      modes.push_back({"low", Fault::paramScale(c.name, 0.5)});
+      break;
+    case ComponentKind::kCapacitor:
+    case ComponentKind::kInductor:
+      modes.push_back({"open", Fault::open(c.name)});
+      modes.push_back({"short", Fault::shortCircuit(c.name)});
+      break;
+  }
+  return modes;
+}
+
+double explanationDegree(const Netlist& nominal, const Fault& fault,
+                         const std::vector<Observation>& observations,
+                         double simulationSpread) {
+  if (observations.empty()) return 0.0;
+  Netlist faulted = circuit::applyFaults(nominal, {fault});
+  circuit::OperatingPoint op;
+  try {
+    op = DcSolver(faulted).solve();
+  } catch (const std::runtime_error&) {
+    return 0.0;
+  }
+  if (!op.converged) return 0.0;
+
+  double degree = 1.0;
+  for (const Observation& obs : observations) {
+    double simulated = 0.0;
+    try {
+      simulated = op.v(faulted.findNode(obs.node));
+    } catch (const std::out_of_range&) {
+      return 0.0;
+    }
+    const FuzzyInterval simValue =
+        FuzzyInterval::about(simulated, std::max(simulationSpread, 1e-9));
+    const auto cons = fuzzy::degreeOfConsistency(obs.value, simValue);
+    degree = std::min(degree, cons.dc);
+    if (degree == 0.0) break;
+  }
+  return degree;
+}
+
+namespace {
+
+// Continuous parameter estimation over a log-scale deviation factor.
+//
+// The Dc match degree is flat-zero away from the optimum, so the search
+// minimises a smooth surrogate instead — the summed squared error between
+// the simulated and measured observable centroids — with a coarse log-scan
+// followed by golden-section refinement; the final match degree is then the
+// Dc at the located optimum.
+FaultModeMatch estimateParameter(const Netlist& nominal,
+                                 const std::string& component,
+                                 const std::vector<Observation>& observations,
+                                 const FaultModeOptions& options) {
+  FaultModeMatch best;
+  best.component = component;
+  best.mode = "estimated";
+
+  constexpr double kUnsolvable = 1e18;
+  auto error = [&](double logScale) {
+    Netlist faulted = circuit::applyFaults(
+        nominal, {Fault::paramScale(component, std::exp(logScale))});
+    circuit::OperatingPoint op;
+    try {
+      op = DcSolver(faulted).solve();
+    } catch (const std::runtime_error&) {
+      return kUnsolvable;
+    }
+    if (!op.converged) return kUnsolvable;
+    double sum = 0.0;
+    for (const Observation& obs : observations) {
+      try {
+        const double sim = op.v(faulted.findNode(obs.node));
+        const double d = sim - obs.value.centroid();
+        sum += d * d;
+      } catch (const std::out_of_range&) {
+        return kUnsolvable;
+      }
+    }
+    return sum;
+  };
+
+  const double lo = std::log(options.minScale);
+  const double hi = std::log(options.maxScale);
+  // Dense coarse scan to bracket the global basin.
+  const int kScan = 128;
+  double bestLog = 0.0;
+  double bestErr = error(0.0);  // scale 1 (nominal) as baseline
+  for (int i = 0; i <= kScan; ++i) {
+    const double x = lo + (hi - lo) * i / kScan;
+    const double e = error(x);
+    if (e < bestErr) {
+      bestErr = e;
+      bestLog = x;
+    }
+  }
+  // Golden-section refinement around the best scan point.
+  const double step = (hi - lo) / kScan;
+  double a = bestLog - step, b = bestLog + step;
+  const double invPhi = 0.6180339887498949;
+  double c = b - invPhi * (b - a);
+  double d = a + invPhi * (b - a);
+  double fc = error(c), fd = error(d);
+  for (int i = 0; i < options.estimationIterations; ++i) {
+    if (fc <= fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - invPhi * (b - a);
+      fc = error(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + invPhi * (b - a);
+      fd = error(d);
+    }
+  }
+  double finalLog = fc <= fd ? c : d;
+  if (std::min(fc, fd) > bestErr) finalLog = bestLog;
+
+  best.matchDegree = explanationDegree(
+      nominal, Fault::paramScale(component, std::exp(finalLog)), observations,
+      options.simulationSpread);
+  best.estimatedValue = nominal.component(component).value * std::exp(finalLog);
+  return best;
+}
+
+}  // namespace
+
+FaultModeMatch bestFaultMode(const Netlist& nominal,
+                             const std::string& component,
+                             const std::vector<Observation>& observations,
+                             FaultModeOptions options) {
+  FaultModeMatch best;
+  best.component = component;
+  best.mode = "none";
+  best.matchDegree = 0.0;
+
+  const Component& c = nominal.component(component);
+  for (const FaultMode& mode : standardModesFor(c)) {
+    const double d = explanationDegree(nominal, mode.fault, observations,
+                                       options.simulationSpread);
+    if (d > best.matchDegree) {
+      best.matchDegree = d;
+      best.mode = mode.name;
+      best.estimatedValue.reset();
+    }
+  }
+
+  // Continuous parameter estimation for parameterised components. A located
+  // value that still lies inside the component's toleranced nominal is not a
+  // fault explanation (every component of a healthy circuit "estimates" to
+  // its nominal), so the estimated mode is discounted by the abnormality of
+  // the estimate: 1 - membership in the fuzzy nominal.
+  if (c.kind == ComponentKind::kResistor || c.kind == ComponentKind::kNpn ||
+      c.kind == ComponentKind::kGain) {
+    FaultModeMatch est =
+        estimateParameter(nominal, component, observations, options);
+    if (est.estimatedValue) {
+      const double abnormality =
+          1.0 - c.fuzzyValue().membership(*est.estimatedValue);
+      est.matchDegree *= abnormality;
+    }
+    if (est.matchDegree > best.matchDegree) best = est;
+  }
+  return best;
+}
+
+}  // namespace flames::diagnosis

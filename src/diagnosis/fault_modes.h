@@ -1,0 +1,77 @@
+// Fuzzy fault modes and candidate refinement (paper §7).
+//
+// Common fault modes (open, short, high, low for resistors; open/short for
+// diodes; dead / low-beta for transistors) are defined as fuzzy deviations
+// of the component parameter. They are applied "only as a last step in order
+// to refine candidate sets": for each suspected component, every fault mode
+// is injected into the simulator and the resulting operating point is
+// compared with the actual measurements through the degree of consistency;
+// a component with a well-matching mode is a much stronger candidate than
+// one with none. A continuous parameter-estimation mode (golden-section
+// search on the deviation factor) covers soft faults like "R2 slightly
+// high", reproducing the paper's Fig. 7 commentary ("R2 is very low or R3
+// is very high").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/fault.h"
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::diagnosis {
+
+/// One candidate fault mode of a component.
+struct FaultMode {
+  std::string name;            ///< "open", "short", "high", "low", ...
+  circuit::Fault fault;        ///< the injection realising the mode
+};
+
+/// The standard mode library for a component kind (paper §7's examples).
+[[nodiscard]] std::vector<FaultMode> standardModesFor(
+    const circuit::Component& c);
+
+/// One observation to match against (node name + measured fuzzy value).
+struct Observation {
+  std::string node;
+  fuzzy::FuzzyInterval value;
+};
+
+/// Result of matching one component's fault modes against the observations.
+struct FaultModeMatch {
+  std::string component;
+  std::string mode;            ///< best-matching mode ("estimated" for the
+                               ///< continuous parameter search)
+  double matchDegree = 0.0;    ///< min-over-observations Dc in [0, 1]
+  std::optional<double> estimatedValue;  ///< for the continuous mode
+};
+
+struct FaultModeOptions {
+  /// Spread added to each simulated observable before the Dc comparison
+  /// (absolute; models residual tolerance noise).
+  double simulationSpread = 0.05;
+  /// Golden-section iterations for the continuous parameter search.
+  int estimationIterations = 48;
+  /// Parameter scale-factor search range (log-uniform).
+  double minScale = 1e-4;
+  double maxScale = 1e4;
+};
+
+/// Matches every fault mode of `component` (plus the continuous estimation
+/// mode for parameterised components) against the observations; returns the
+/// best match. Simulation failures (non-convergent faulted circuits) score 0.
+[[nodiscard]] FaultModeMatch bestFaultMode(
+    const circuit::Netlist& nominal, const std::string& component,
+    const std::vector<Observation>& observations, FaultModeOptions options = {});
+
+/// Degree to which a specific fault hypothesis explains the observations:
+/// min over observations of Dc(measured, simulated-with-fault).
+[[nodiscard]] double explanationDegree(const circuit::Netlist& nominal,
+                                       const circuit::Fault& fault,
+                                       const std::vector<Observation>& observations,
+                                       double simulationSpread);
+
+}  // namespace flames::diagnosis

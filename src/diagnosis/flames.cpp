@@ -1,0 +1,284 @@
+#include "diagnosis/flames.h"
+
+#include <algorithm>
+
+#include "atms/candidates.h"
+
+namespace flames::diagnosis {
+
+using atms::AssumptionId;
+using constraints::Propagator;
+using fuzzy::FuzzyInterval;
+
+FlamesEngine::FlamesEngine(circuit::Netlist net, FlamesOptions options)
+    : net_(std::move(net)),
+      options_(options),
+      built_(constraints::buildDiagnosticModel(net_, options.model)),
+      experience_(options.learning) {
+  if (options_.installRegionRules) {
+    addTransistorRegionRules(kb_, net_, built_);
+  }
+}
+
+void FlamesEngine::measure(const std::string& node, double volts) {
+  measure(node, FuzzyInterval::about(
+                    volts, std::max(options_.measurementSpread, 1e-12)));
+}
+
+void FlamesEngine::measure(const std::string& node, FuzzyInterval value) {
+  (void)net_.findNode(node);  // validate early
+  observations_.push_back({node, std::move(value)});
+}
+
+void FlamesEngine::clearMeasurements() { observations_.clear(); }
+
+DiagnosisReport FlamesEngine::diagnose() {
+  DiagnosisReport report;
+
+  Propagator prop(built_.model, options_.propagation);
+  for (const Observation& obs : observations_) {
+    prop.addMeasurement(built_.voltage(obs.node), obs.value);
+  }
+  prop.run();
+  report.propagationCompleted = prop.completed();
+  report.propagationSteps = prop.steps();
+
+  // --- per-measurement Dc summaries (the Fig. 7 table rows) ---
+  for (const Observation& obs : observations_) {
+    const auto q = built_.voltage(obs.node);
+    MeasurementSummary ms;
+    ms.quantity = built_.model.quantityInfo(q).name;
+    ms.measured = obs.value;
+    if (const auto worst = prop.worstCoincidence(q)) {
+      ms.nominal = worst->nominalSide;
+      ms.dc = worst->consistency.dc;
+      ms.signedDc = worst->consistency.signedDc();
+      switch (worst->consistency.deviation) {
+        case fuzzy::Deviation::kBelow: ms.direction = -1; break;
+        case fuzzy::Deviation::kAbove: ms.direction = 1; break;
+        case fuzzy::Deviation::kNone: ms.direction = 0; break;
+      }
+    }
+    report.measurements.push_back(std::move(ms));
+    report.signature.push_back({report.measurements.back().quantity,
+                                report.measurements.back().signedDc,
+                                report.measurements.back().direction});
+  }
+
+  // --- ranked nogoods ---
+  const auto& db = prop.nogoods();
+  for (const atms::Nogood& n :
+       db.minimalNogoods(options_.propagation.minNogoodDegree)) {
+    RankedNogood rn;
+    rn.degree = n.degree;
+    rn.note = n.note;
+    for (AssumptionId id : n.env.ids()) {
+      rn.components.push_back(built_.model.assumptionName(id));
+    }
+    report.nogoods.push_back(std::move(rn));
+  }
+
+  // --- component suspicion ---
+  for (const auto& [id, s] : atms::componentSuspicion(db)) {
+    report.suspicion[built_.model.assumptionName(id)] = s;
+  }
+
+  // --- candidates (λ at the weakest recorded conflict => all conflicts
+  // explained) with fault-mode refinement ---
+  const auto scale = fuzzy::LinguisticScale::defaultFaultiness();
+  auto priorOf = [&](const std::vector<std::string>& comps) {
+    // Prior of a candidate: the largest expert faultiness among members;
+    // components without a stated prior are neutral.
+    double best = 0.5;
+    bool any = false;
+    for (const std::string& comp : comps) {
+      const auto it = options_.expertPriors.find(comp);
+      if (it == options_.expertPriors.end()) continue;
+      const double p = scale.meaningOf(it->second).centroid();
+      best = any ? std::max(best, p) : p;
+      any = true;
+    }
+    return best;
+  };
+
+  const auto candidates =
+      atms::candidatesAt(db, options_.propagation.minNogoodDegree,
+                         options_.maxFaultCardinality);
+  for (const atms::Candidate& c : candidates) {
+    RankedCandidate rc;
+    rc.suspicion = c.suspicion;
+    for (AssumptionId id : c.members) {
+      rc.components.push_back(built_.model.assumptionName(id));
+    }
+    rc.prior = priorOf(rc.components);
+    if (options_.refineWithFaultModes && rc.components.size() == 1) {
+      rc.modeMatch = bestFaultMode(net_, rc.components.front(), observations_,
+                                   options_.faultModes);
+      // A candidate that admits a fault mode reproducing every measurement
+      // is a strong explanation; one that admits none is implausible.
+      rc.plausibility = rc.modeMatch->matchDegree;
+    } else {
+      // Unverified (multi-component or unrefined) candidates are capped at
+      // 0.5: a verified single-fault explanation outranks them, but they
+      // surface when no single fault reproduces the measurements.
+      rc.plausibility = 0.5 * rc.suspicion;
+    }
+    report.candidates.push_back(std::move(rc));
+  }
+  // Fault-model rescue (paper §5: fault models "can help the diagnosis
+  // process"). When a secondary model violation subsumes the informative
+  // conflict — e.g. an open collector load drives the next stage's
+  // operating-region assumption false, and that tiny nogood hides the
+  // stage's own components — the hitting sets contain only candidates no
+  // fault mode can confirm. In that case screen every modelled component
+  // against the observations and admit those whose fault modes reproduce
+  // them.
+  if (options_.refineWithFaultModes && !report.nogoods.empty()) {
+    double bestPlausibility = 0.0;
+    for (const RankedCandidate& rc : report.candidates) {
+      bestPlausibility = std::max(bestPlausibility, rc.plausibility);
+    }
+    if (bestPlausibility < 0.5) {
+      for (const auto& [comp, id] : built_.assumptionOf) {
+        (void)id;
+        bool already = false;
+        for (const RankedCandidate& rc : report.candidates) {
+          if (rc.components.size() == 1 && rc.components.front() == comp) {
+            already = true;
+          }
+        }
+        if (already) continue;
+        auto match =
+            bestFaultMode(net_, comp, observations_, options_.faultModes);
+        if (match.matchDegree >= 0.5) {
+          RankedCandidate rc;
+          rc.components = {comp};
+          rc.suspicion = report.suspicion.count(comp) != 0
+                             ? report.suspicion.at(comp)
+                             : 0.0;
+          rc.plausibility = match.matchDegree;
+          rc.prior = priorOf(rc.components);
+          rc.modeMatch = std::move(match);
+          report.candidates.push_back(std::move(rc));
+        }
+      }
+    }
+  }
+
+  // Plausibilities within this band count as tied: fault-mode match scores
+  // carry simulation noise at the 1e-2 level and must not mask the expert's
+  // a-priori preference between otherwise equivalent explanations.
+  constexpr double kPlausibilityBand = 0.02;
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              if (a.plausibility != b.plausibility) {
+                return a.plausibility > b.plausibility;
+              }
+              if (a.components.size() != b.components.size()) {
+                return a.components.size() < b.components.size();
+              }
+              if (a.suspicion != b.suspicion) return a.suspicion > b.suspicion;
+              return a.components < b.components;
+            });
+  // Within each band of near-equal plausibility (anchored at the band
+  // leader), let the expert's a-priori estimation reorder — stably, so the
+  // no-priors ranking is untouched.
+  for (std::size_t begin = 0; begin < report.candidates.size();) {
+    std::size_t end = begin + 1;
+    while (end < report.candidates.size() &&
+           report.candidates[begin].plausibility -
+                   report.candidates[end].plausibility <=
+               kPlausibilityBand) {
+      ++end;
+    }
+    std::stable_sort(report.candidates.begin() + static_cast<long>(begin),
+                     report.candidates.begin() + static_cast<long>(end),
+                     [](const RankedCandidate& a, const RankedCandidate& b) {
+                       return a.prior > b.prior;
+                     });
+    begin = end;
+  }
+
+  // --- knowledge-base rules ---
+  report.ruleActivations = kb_.evaluate(prop);
+
+  // --- Dc-sign deviation analysis (Fig. 7 commentary) ---
+  if (options_.analyzeDeviationSigns && !report.nogoods.empty()) {
+    if (!sensitivitySigns_) {
+      sensitivitySigns_.emplace(net_, options_.deviationAnalysis);
+    }
+    report.directedHypotheses = explainBySigns(
+        *sensitivitySigns_, report.signature, options_.deviationAnalysis);
+    // Drop non-explanations to keep the report focused.
+    report.directedHypotheses.erase(
+        std::remove_if(report.directedHypotheses.begin(),
+                       report.directedHypotheses.end(),
+                       [](const DirectedHypothesis& h) {
+                         return h.agreement <= 0.0;
+                       }),
+        report.directedHypotheses.end());
+  }
+
+  // --- experience hints ---
+  report.hints = experience_.match(report.signature);
+  for (RankedCandidate& rc : report.candidates) {
+    for (const ExperienceHint& h : report.hints) {
+      if (rc.components.size() == 1 && rc.components.front() == h.component) {
+        rc.hints.push_back(h);
+      }
+    }
+  }
+
+  return report;
+}
+
+void FlamesEngine::confirm(const DiagnosisReport& report,
+                           const std::string& component,
+                           const std::string& mode) {
+  experience_.recordSuccess(report.signature, component, mode);
+}
+
+std::vector<TestRecommendation> FlamesEngine::recommendTests(
+    const std::vector<TestPoint>& probes, const DiagnosisReport& report) {
+  TestSelector selector(net_, fuzzy::LinguisticScale::defaultFaultiness(),
+                        options_.testSelection);
+  // Expert priors seed the estimations: a component the expert already
+  // distrusts stays in the suspect pool even before evidence implicates it.
+  std::map<std::string, double> suspicion = report.suspicion;
+  const auto& scale = selector.scale();
+  for (const auto& [comp, term] : options_.expertPriors) {
+    const double p = scale.meaningOf(term).centroid();
+    auto [it, inserted] = suspicion.emplace(comp, p);
+    if (!inserted) it->second = std::max(it->second, p);
+  }
+  const auto estimations = selector.estimationsFromSuspicion(suspicion);
+
+  // Hypothesis per suspected component: its best fault mode so far.
+  std::map<std::string, circuit::Fault> hypotheses;
+  for (const RankedCandidate& rc : report.candidates) {
+    if (rc.components.size() != 1) continue;
+    const std::string& comp = rc.components.front();
+    if (hypotheses.count(comp) != 0) continue;
+    if (rc.modeMatch && rc.modeMatch->mode != "none") {
+      if (rc.modeMatch->estimatedValue) {
+        hypotheses.emplace(
+            comp, circuit::Fault::paramExact(comp,
+                                             *rc.modeMatch->estimatedValue));
+      } else {
+        for (const FaultMode& m : standardModesFor(net_.component(comp))) {
+          if (m.name == rc.modeMatch->mode) {
+            hypotheses.emplace(comp, m.fault);
+            break;
+          }
+        }
+      }
+    } else {
+      // Fall back to the most disruptive standard mode.
+      const auto modes = standardModesFor(net_.component(comp));
+      if (!modes.empty()) hypotheses.emplace(comp, modes.front().fault);
+    }
+  }
+  return selector.rankTests(probes, estimations, hypotheses);
+}
+
+}  // namespace flames::diagnosis

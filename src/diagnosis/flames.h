@@ -1,0 +1,160 @@
+// FLAMES engine façade (paper §5, Fig. 3).
+//
+// One diagnosis session over a unit under test:
+//
+//   netlist -> diagnostic model (constraints + assumptions + fuzzy nominal
+//   predictions) -> enter measurements -> fuzzy propagation -> ranked
+//   nogoods & Dc table -> candidate generation (λ-cut hitting sets) ->
+//   fault-mode refinement (§7) -> knowledge-base rule activations (§6.2) ->
+//   experience hints (§7) -> best-test recommendation (§8).
+//
+// The engine owns the knowledge base and the experience base so they persist
+// across sessions on the same unit type (that is what "learning from
+// experience" means in the paper).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "diagnosis/deviation_analysis.h"
+#include "diagnosis/fault_modes.h"
+#include "diagnosis/knowledge_base.h"
+#include "diagnosis/learning.h"
+#include "diagnosis/test_selection.h"
+
+namespace flames::diagnosis {
+
+struct FlamesOptions {
+  constraints::ModelBuildOptions model;
+  constraints::PropagatorOptions propagation;
+  FaultModeOptions faultModes;
+  TestSelectorOptions testSelection;
+  LearningOptions learning;
+  /// Absolute spread attached to crisp measured voltages (the measuring
+  /// equipment's imprecision — §4.2 distinguishes it from component
+  /// tolerances).
+  double measurementSpread = 0.05;
+  std::size_t maxFaultCardinality = 3;
+  /// Run the §7 fault-mode refinement on single-component candidates.
+  bool refineWithFaultModes = true;
+  /// Install the §6.2 transistor operating-region rules automatically.
+  bool installRegionRules = true;
+  /// Run the Dc-sign deviation analysis (Fig. 7 commentary) when a fault
+  /// is detected.
+  bool analyzeDeviationSigns = true;
+  DeviationAnalysisOptions deviationAnalysis;
+  /// Expert a-priori faultiness estimations, component name -> linguistic
+  /// term of the default faultiness scale ("correct" ... "faulty"). Used to
+  /// break ties between equally plausible candidates and to seed the
+  /// test-selection estimations (paper §5, §6.3: "he can use the a priori
+  /// estimations of faults to decide").
+  std::map<std::string, std::string> expertPriors;
+};
+
+/// A conflict set rendered with component names.
+struct RankedNogood {
+  std::vector<std::string> components;
+  double degree = 1.0;
+  std::string note;
+};
+
+/// A candidate diagnosis with its refinement results.
+struct RankedCandidate {
+  std::vector<std::string> components;
+  double suspicion = 0.0;     ///< min over members of member suspicion
+  double plausibility = 0.0;  ///< after fault-mode refinement
+  double prior = 0.5;         ///< expert a-priori faultiness (tie-breaker)
+  std::optional<FaultModeMatch> modeMatch;  ///< singletons only
+  std::vector<ExperienceHint> hints;        ///< matching learned rules
+};
+
+/// Per-measurement consistency summary (the Fig. 7 Dc row).
+struct MeasurementSummary {
+  std::string quantity;
+  fuzzy::FuzzyInterval measured;
+  fuzzy::FuzzyInterval nominal;
+  double dc = 1.0;        ///< magnitude in [0, 1]
+  double signedDc = 1.0;  ///< negative when measured below nominal
+  int direction = 0;      ///< -1 below nominal, +1 above, 0 none
+};
+
+/// Everything a session produces.
+struct DiagnosisReport {
+  bool propagationCompleted = false;
+  std::size_t propagationSteps = 0;
+  std::vector<MeasurementSummary> measurements;
+  std::vector<RankedNogood> nogoods;       ///< sorted by degree desc
+  std::vector<RankedCandidate> candidates; ///< best explanation first
+  std::map<std::string, double> suspicion; ///< per-component
+  std::vector<RuleActivation> ruleActivations;
+  std::vector<Symptom> signature;          ///< for the learning unit
+  std::vector<ExperienceHint> hints;       ///< session-level hints
+  /// Directed qualitative explanations from the Dc signs (the Fig. 7
+  /// "R2 is very low or R3 is very high" reasoning), best first.
+  std::vector<DirectedHypothesis> directedHypotheses;
+
+  /// True if some discrepancy was detected at all.
+  [[nodiscard]] bool faultDetected() const { return !nogoods.empty(); }
+
+  /// The components of the top-ranked candidate (empty if none).
+  [[nodiscard]] std::vector<std::string> bestCandidate() const {
+    return candidates.empty() ? std::vector<std::string>{}
+                              : candidates.front().components;
+  }
+};
+
+/// The expert system.
+class FlamesEngine {
+ public:
+  explicit FlamesEngine(circuit::Netlist net, FlamesOptions options = {});
+
+  /// Enters a crisp measured node voltage (fuzzified with the equipment
+  /// spread) for the next diagnose() call.
+  void measure(const std::string& node, double volts);
+  /// Enters an already-fuzzy measured node voltage.
+  void measure(const std::string& node, fuzzy::FuzzyInterval value);
+  void clearMeasurements();
+
+  /// Runs a full diagnosis over the current measurements.
+  [[nodiscard]] DiagnosisReport diagnose();
+
+  /// Confirms the true culprit of the last session: compiles a
+  /// symptom-failure rule into the experience base (§7).
+  void confirm(const DiagnosisReport& report, const std::string& component,
+               const std::string& mode);
+
+  /// Ranks candidate probe points given the current report (§8).
+  [[nodiscard]] std::vector<TestRecommendation> recommendTests(
+      const std::vector<TestPoint>& probes, const DiagnosisReport& report);
+
+  [[nodiscard]] const circuit::Netlist& netlist() const { return net_; }
+  [[nodiscard]] const constraints::BuiltModel& builtModel() const {
+    return built_;
+  }
+  [[nodiscard]] KnowledgeBase& knowledgeBase() { return kb_; }
+  [[nodiscard]] ExperienceBase& experience() { return experience_; }
+  [[nodiscard]] const FlamesOptions& options() const { return options_; }
+
+  /// The observations entered so far (node + fuzzy value).
+  [[nodiscard]] const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+
+ private:
+  circuit::Netlist net_;
+  FlamesOptions options_;
+  constraints::BuiltModel built_;
+  KnowledgeBase kb_;
+  ExperienceBase experience_;
+  std::vector<Observation> observations_;
+  /// Lazily built sensitivity-sign matrix (one bump simulation per
+  /// component, reused across sessions).
+  std::optional<SensitivitySigns> sensitivitySigns_;
+};
+
+}  // namespace flames::diagnosis

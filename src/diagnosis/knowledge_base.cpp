@@ -1,0 +1,151 @@
+#include "diagnosis/knowledge_base.h"
+
+#include <algorithm>
+
+#include "constraints/model_builder.h"
+
+namespace flames::diagnosis {
+
+using constraints::Propagator;
+using fuzzy::FuzzyInterval;
+
+void KnowledgeBase::addRule(FuzzyRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+double KnowledgeBase::activation(const FuzzyRule& rule,
+                                 const Propagator& prop) const {
+  double degree = rule.certainty;
+  for (const FuzzyProposition& p : rule.antecedents) {
+    const auto& entries = prop.values(p.quantity);
+    // Possibilistic semantics: an antecedent holds to the degree it is
+    // *necessary* under some supporting value. Wide derived estimates are
+    // possibility-compatible with everything, but their necessity for any
+    // specific set is ~0, so the max naturally selects the confident
+    // evidence. Observation-rooted entries are preferred over nominal
+    // predictions — rules describe the unit's *actual* state, and the
+    // nominal would otherwise always re-assert the expected behaviour.
+    double best = 0.0;
+    bool sawObservation = false;
+    for (const auto& e : entries) {
+      if (!e.fromMeasurement) continue;
+      sawObservation = true;
+      best = std::max(best, fuzzy::necessity(e.value, p.set) * e.degree);
+    }
+    if (!sawObservation) {
+      for (const auto& e : entries) {
+        best = std::max(best, fuzzy::necessity(e.value, p.set) * e.degree);
+      }
+    }
+    degree = fuzzy::tnorm(tnorm_, degree, best);
+    if (degree == 0.0) break;
+  }
+  return degree;
+}
+
+std::vector<RuleActivation> KnowledgeBase::evaluate(
+    const Propagator& prop) const {
+  std::vector<RuleActivation> out;
+  for (const FuzzyRule& r : rules_) {
+    const double d = activation(r, prop);
+    if (d > 0.0) out.push_back({r.name, r.conclusion, d});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RuleActivation& a, const RuleActivation& b) {
+              if (a.degree != b.degree) return a.degree > b.degree;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+FuzzyInterval KnowledgeBase::atLeast(double threshold, double width,
+                                     double domainMax) {
+  return FuzzyInterval::fromSupportCore(threshold - width, threshold,
+                                        domainMax, domainMax);
+}
+
+FuzzyInterval KnowledgeBase::atMost(double threshold, double width,
+                                    double domainMin) {
+  return FuzzyInterval::fromSupportCore(domainMin, domainMin, threshold,
+                                        threshold + width);
+}
+
+void addTransistorRegionRules(KnowledgeBase& kb, const circuit::Netlist& net,
+                              const constraints::BuiltModel& built,
+                              double certainty) {
+  const constraints::Model& model = built.model;
+  for (const circuit::Component& c : net.components()) {
+    if (c.kind != circuit::ComponentKind::kNpn) continue;
+    const std::string baseName = net.nodeName(c.pins[1]);
+    const auto vb =
+        model.findQuantity(constraints::voltageQuantityName(baseName));
+    if (!vb) continue;
+
+    // The paper states the rule on Vbe; our quantity space has node
+    // voltages, so the rule is expressed on the base voltage with the
+    // emitter's nominal operating-point voltage folded into the threshold.
+    double emitterNominal = 0.0;
+    if (c.pins[2] != circuit::kGround && built.nominalOp.converged &&
+        c.pins[2] < built.nominalOp.nodeVoltages.size()) {
+      emitterNominal = built.nominalOp.nodeVoltages[c.pins[2]];
+    }
+    const double threshold = 0.4 + emitterNominal;
+
+    FuzzyRule conducting;
+    conducting.name = "region(" + c.name + ")/on";
+    conducting.conclusion = c.name + " conducting";
+    conducting.certainty = certainty;
+    conducting.antecedents.push_back(
+        {*vb, KnowledgeBase::atLeast(threshold, 0.1)});
+    kb.addRule(std::move(conducting));
+
+    FuzzyRule cutoff;
+    cutoff.name = "region(" + c.name + ")/off";
+    cutoff.conclusion = c.name + " cut off";
+    cutoff.certainty = certainty;
+    cutoff.antecedents.push_back(
+        {*vb, KnowledgeBase::atMost(threshold, 0.1)});
+    kb.addRule(std::move(cutoff));
+  }
+}
+
+void addDiodeRegionRules(KnowledgeBase& kb, const circuit::Netlist& net,
+                         const constraints::BuiltModel& built,
+                         double certainty) {
+  const constraints::Model& model = built.model;
+  for (const circuit::Component& c : net.components()) {
+    if (c.kind != circuit::ComponentKind::kDiode) continue;
+    const std::string anodeName = net.nodeName(c.pins[0]);
+    const auto va =
+        model.findQuantity(constraints::voltageQuantityName(anodeName));
+    if (!va) continue;
+
+    double cathodeNominal = 0.0;
+    if (c.pins[1] != circuit::kGround && built.nominalOp.converged &&
+        c.pins[1] < built.nominalOp.nodeVoltages.size()) {
+      cathodeNominal = built.nominalOp.nodeVoltages[c.pins[1]];
+    }
+    // Conduction threshold a little below the full drop: a diode begins to
+    // conduct appreciably around ~70% of Vf in this idealised model.
+    const double threshold = cathodeNominal + 0.7 * c.value;
+    const double width = std::max(0.25 * c.value, 1e-3);
+
+    FuzzyRule conducting;
+    conducting.name = "region(" + c.name + ")/on";
+    conducting.conclusion = c.name + " conducting";
+    conducting.certainty = certainty;
+    conducting.antecedents.push_back(
+        {*va, KnowledgeBase::atLeast(threshold, width)});
+    kb.addRule(std::move(conducting));
+
+    FuzzyRule blocking;
+    blocking.name = "region(" + c.name + ")/off";
+    blocking.conclusion = c.name + " blocking";
+    blocking.certainty = certainty;
+    blocking.antecedents.push_back(
+        {*va, KnowledgeBase::atMost(threshold, width)});
+    kb.addRule(std::move(blocking));
+  }
+}
+
+}  // namespace flames::diagnosis

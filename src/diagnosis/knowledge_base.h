@@ -1,0 +1,104 @@
+// Fuzzy qualitative rules (paper §5, §6.2).
+//
+// The knowledge-base unit holds fuzzy production rules of the form
+//
+//   IF  q1 is S1  AND  q2 is S2 ...  THEN  <conclusion>   (certainty c)
+//
+// where each Si is a fuzzy set over the quantity's domain. The paper's
+// example: "If the transistor T is correct and Vbe(T) >= ~0.4 then it should
+// be in an ON state" — the threshold is fuzzy, so the conclusion carries a
+// membership degree. Rules are evaluated against the value entries produced
+// by propagation: the activation of an antecedent is the *necessity* (in the
+// possibilistic sense) that the quantity satisfies its fuzzy set under the
+// best supporting value entry, antecedents combine through a t-norm, and the
+// conclusion degree is capped by the rule certainty.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "fuzzy/fuzzy_interval.h"
+#include "fuzzy/tnorm.h"
+
+namespace flames::diagnosis {
+
+/// "quantity is in set".
+struct FuzzyProposition {
+  constraints::QuantityId quantity = 0;
+  fuzzy::FuzzyInterval set;
+};
+
+/// A fuzzy production rule.
+struct FuzzyRule {
+  std::string name;
+  std::vector<FuzzyProposition> antecedents;
+  std::string conclusion;
+  double certainty = 1.0;
+};
+
+/// A fired rule with its activation degree.
+struct RuleActivation {
+  std::string rule;
+  std::string conclusion;
+  double degree = 0.0;
+};
+
+/// The knowledge-base unit.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(fuzzy::TNorm tnorm = fuzzy::TNorm::kMin)
+      : tnorm_(tnorm) {}
+
+  void addRule(FuzzyRule rule);
+  [[nodiscard]] const std::vector<FuzzyRule>& rules() const { return rules_; }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+
+  /// Activation of one rule against the current value entries: each
+  /// antecedent's degree is the best (max over entries) necessity of the
+  /// quantity lying in the antecedent set; degrees combine by the t-norm and
+  /// are capped by the rule certainty. A quantity with no values yields 0.
+  [[nodiscard]] double activation(const FuzzyRule& rule,
+                                  const constraints::Propagator& prop) const;
+
+  /// Evaluates every rule; results sorted by degree descending, rules with
+  /// zero activation omitted.
+  [[nodiscard]] std::vector<RuleActivation> evaluate(
+      const constraints::Propagator& prop) const;
+
+  /// Helper: a fuzzy ">= threshold" set (soft lower bound with the given
+  /// transition width), e.g. atLeast(0.4, 0.1) for the paper's Vbe rule.
+  [[nodiscard]] static fuzzy::FuzzyInterval atLeast(double threshold,
+                                                    double width,
+                                                    double domainMax = 1e6);
+
+  /// Helper: a fuzzy "<= threshold" set.
+  [[nodiscard]] static fuzzy::FuzzyInterval atMost(double threshold,
+                                                   double width,
+                                                   double domainMin = -1e6);
+
+ private:
+  fuzzy::TNorm tnorm_;
+  std::vector<FuzzyRule> rules_;
+};
+
+/// Installs the transistor operating-region rules of §6.2 for every BJT in
+/// the netlist: conducting if Vbe >= ~0.4, cut off if Vbe <= ~0.4 (each
+/// guarded by the transistor-correct proposition implicitly via certainty).
+/// For transistors whose emitter is not grounded the rule threshold is
+/// shifted by the emitter's nominal voltage from the built model.
+void addTransistorRegionRules(KnowledgeBase& kb,
+                              const circuit::Netlist& net,
+                              const constraints::BuiltModel& built,
+                              double certainty = 0.9);
+
+/// Installs analogous operating-region rules for every diode: conducting if
+/// the anode clears the cathode's nominal by ~Vf, blocking otherwise.
+void addDiodeRegionRules(KnowledgeBase& kb, const circuit::Netlist& net,
+                         const constraints::BuiltModel& built,
+                         double certainty = 0.9);
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,97 @@
+#include "diagnosis/learning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flames::diagnosis {
+
+namespace {
+
+void sortSignature(std::vector<Symptom>& s) {
+  std::sort(s.begin(), s.end(), [](const Symptom& a, const Symptom& b) {
+    return a.quantity < b.quantity;
+  });
+}
+
+}  // namespace
+
+ExperienceBase::ExperienceBase(LearningOptions options) : options_(options) {}
+
+double ExperienceBase::similarity(const std::vector<Symptom>& a,
+                                  const std::vector<Symptom>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].quantity != b[i].quantity) return 0.0;
+    // Signed Dc lives in [-1, 1]; distance normalised to [0, 1].
+    sum += std::abs(a[i].signedDc - b[i].signedDc) / 2.0;
+  }
+  return 1.0 - sum / static_cast<double>(a.size());
+}
+
+void ExperienceBase::recordSuccess(std::vector<Symptom> signature,
+                                   const std::string& component,
+                                   const std::string& mode) {
+  sortSignature(signature);
+  for (SymptomRule& r : rules_) {
+    if (r.component != component || r.mode != mode) continue;
+    const double sim = similarity(r.symptoms, signature);
+    if (sim >= options_.mergeSimilarity) {
+      // Reinforce and pull the stored signature towards the new evidence.
+      r.certainty += (1.0 - r.certainty) * options_.reinforcement;
+      const double w = 1.0 / (r.confirmations + 1.0);
+      for (std::size_t i = 0; i < r.symptoms.size(); ++i) {
+        r.symptoms[i].signedDc =
+            (1.0 - w) * r.symptoms[i].signedDc + w * signature[i].signedDc;
+      }
+      ++r.confirmations;
+      return;
+    }
+  }
+  SymptomRule rule;
+  rule.symptoms = std::move(signature);
+  rule.component = component;
+  rule.mode = mode;
+  rule.certainty = options_.initialCertainty;
+  rule.confirmations = 1;
+  rules_.push_back(std::move(rule));
+}
+
+void ExperienceBase::recordFailure(const std::string& component,
+                                   const std::string& mode) {
+  for (SymptomRule& r : rules_) {
+    if (r.component == component && r.mode == mode) {
+      r.certainty *= 1.0 - options_.reinforcement;
+    }
+  }
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [](const SymptomRule& r) {
+                                return r.certainty < 0.05;
+                              }),
+               rules_.end());
+}
+
+void ExperienceBase::restoreRule(SymptomRule rule) {
+  sortSignature(rule.symptoms);
+  rules_.push_back(std::move(rule));
+}
+
+std::vector<ExperienceHint> ExperienceBase::match(
+    const std::vector<Symptom>& current) const {
+  std::vector<Symptom> sorted = current;
+  sortSignature(sorted);
+  std::vector<ExperienceHint> hints;
+  for (const SymptomRule& r : rules_) {
+    const double sim = similarity(r.symptoms, sorted);
+    if (sim <= 0.0) continue;
+    hints.push_back({r.component, r.mode, sim * r.certainty, r.certainty});
+  }
+  std::sort(hints.begin(), hints.end(),
+            [](const ExperienceHint& a, const ExperienceHint& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.component < b.component;
+            });
+  return hints;
+}
+
+}  // namespace flames::diagnosis

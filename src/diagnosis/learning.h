@@ -1,0 +1,96 @@
+// Learning from experience (paper §7).
+//
+// When a diagnosis session ends with a confirmed faulty component, FLAMES
+// compiles the session into a *symptom-failure rule*: the signature of the
+// observed discrepancies (which measured quantities deviated, how strongly —
+// the signed Dc values) pointing at the confirmed component and fault mode,
+// with a certainty degree. Repeated confirmations strengthen the rule;
+// contradicting outcomes weaken it. In later sessions the experience base is
+// consulted first: rules whose signature matches the current symptoms are
+// surfaced to the expert as hints attached to the corresponding candidates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flames::diagnosis {
+
+/// One symptom: a measured quantity and its signed degree of consistency
+/// against the nominal prediction (-1..1; negative = below nominal).
+/// `direction` carries the deviation side explicitly (-1 below, +1 above,
+/// 0 none) because the signed Dc degenerates to +/-0 for hard conflicts,
+/// where the sign of a floating-point zero is unreliable.
+struct Symptom {
+  std::string quantity;
+  double signedDc = 1.0;
+  int direction = 0;
+};
+
+/// A learned symptom -> failure rule.
+struct SymptomRule {
+  std::vector<Symptom> symptoms;  // sorted by quantity name
+  std::string component;
+  std::string mode;
+  double certainty = 0.5;
+  int confirmations = 1;
+};
+
+/// A matched hint for the current session.
+struct ExperienceHint {
+  std::string component;
+  std::string mode;
+  /// match quality in [0,1] x rule certainty.
+  double score = 0.0;
+  double certainty = 0.0;
+};
+
+struct LearningOptions {
+  /// Signature similarity required before two signatures count as the same
+  /// failure pattern.
+  double mergeSimilarity = 0.85;
+  /// Certainty reinforcement factor: c' = c + (1 - c) * reinforcement.
+  double reinforcement = 0.3;
+  /// Initial certainty of a freshly learned rule.
+  double initialCertainty = 0.5;
+};
+
+/// The experience base.
+class ExperienceBase {
+ public:
+  explicit ExperienceBase(LearningOptions options = {});
+
+  /// Records a confirmed diagnosis. If an existing rule for the same
+  /// component/mode has a similar signature it is reinforced (and its
+  /// signature averaged towards the new one); otherwise a new rule is
+  /// stored.
+  void recordSuccess(std::vector<Symptom> signature,
+                     const std::string& component, const std::string& mode);
+
+  /// Records that a rule's suggestion proved wrong: its certainty decays.
+  void recordFailure(const std::string& component, const std::string& mode);
+
+  /// Restores a rule verbatim (used by deserialisation; bypasses the
+  /// merge-and-reinforce logic of recordSuccess).
+  void restoreRule(SymptomRule rule);
+
+  /// Similarity in [0,1] of two signatures: 0 if they disagree on which
+  /// quantities deviate; otherwise 1 minus the mean signed-Dc distance / 2.
+  [[nodiscard]] static double similarity(const std::vector<Symptom>& a,
+                                         const std::vector<Symptom>& b);
+
+  /// Rules matching the current symptoms, best first.
+  [[nodiscard]] std::vector<ExperienceHint> match(
+      const std::vector<Symptom>& current) const;
+
+  [[nodiscard]] const std::vector<SymptomRule>& rules() const {
+    return rules_;
+  }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  void clear() { rules_.clear(); }
+
+ private:
+  LearningOptions options_;
+  std::vector<SymptomRule> rules_;
+};
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,129 @@
+#include "diagnosis/probe_placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "circuit/mna.h"
+
+namespace flames::diagnosis {
+
+using circuit::DcSolver;
+using circuit::Fault;
+using circuit::Netlist;
+
+ProbePlacement placeProbes(const Netlist& nominal,
+                           const std::vector<Fault>& faults,
+                           std::size_t budget,
+                           std::vector<std::string> candidateNodes,
+                           ProbePlacementOptions options) {
+  ProbePlacement result;
+
+  if (candidateNodes.empty()) {
+    for (circuit::NodeId n = 1; n < nominal.nodeCount(); ++n) {
+      candidateNodes.push_back(nominal.nodeName(n));
+    }
+  }
+
+  const auto base = DcSolver(nominal).solve();
+  if (!base.converged) {
+    throw std::runtime_error("placeProbes: nominal circuit did not converge");
+  }
+
+  // Deviation matrix: dev[f][n] = v_fault(node) - v_nominal(node), NaN when
+  // the faulted circuit cannot be solved.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> dev(
+      faults.size(), std::vector<double>(candidateNodes.size(), kNan));
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    Netlist faulted = circuit::applyFaults(nominal, {faults[f]});
+    circuit::OperatingPoint op;
+    try {
+      op = DcSolver(faulted).solve();
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+    if (!op.converged) continue;
+    for (std::size_t n = 0; n < candidateNodes.size(); ++n) {
+      dev[f][n] = op.v(faulted.findNode(candidateNodes[n])) -
+                  base.v(nominal.findNode(candidateNodes[n]));
+    }
+  }
+
+  auto visible = [&](std::size_t f, std::size_t n) {
+    return !std::isnan(dev[f][n]) &&
+           std::abs(dev[f][n]) > options.visibilityThreshold;
+  };
+  auto separated = [&](std::size_t f, std::size_t g, std::size_t n) {
+    if (std::isnan(dev[f][n]) || std::isnan(dev[g][n])) return false;
+    return std::abs(dev[f][n] - dev[g][n]) > options.separationThreshold;
+  };
+
+  // Per-node diagnostics.
+  for (std::size_t n = 0; n < candidateNodes.size(); ++n) {
+    ProbeScore s;
+    s.node = candidateNodes[n];
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (visible(f, n)) ++s.detects;
+      for (std::size_t g = f + 1; g < faults.size(); ++g) {
+        if (separated(f, g, n)) ++s.separates;
+      }
+    }
+    result.scores.push_back(std::move(s));
+  }
+
+  // Undetectable faults (no candidate node sees them).
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    bool any = false;
+    for (std::size_t n = 0; n < candidateNodes.size(); ++n) {
+      if (visible(f, n)) any = true;
+    }
+    if (!any) result.undetectable.push_back(f);
+  }
+
+  // Greedy cover: objective = newly separated pairs + newly detected faults.
+  std::set<std::pair<std::size_t, std::size_t>> pairsLeft;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    for (std::size_t g = f + 1; g < faults.size(); ++g) {
+      pairsLeft.insert({f, g});
+    }
+  }
+  std::set<std::size_t> faultsLeft;
+  for (std::size_t f = 0; f < faults.size(); ++f) faultsLeft.insert(f);
+  std::vector<bool> used(candidateNodes.size(), false);
+
+  while (result.probes.size() < budget) {
+    std::size_t bestNode = candidateNodes.size();
+    std::size_t bestGain = 0;
+    for (std::size_t n = 0; n < candidateNodes.size(); ++n) {
+      if (used[n]) continue;
+      std::size_t gain = 0;
+      for (const auto& pr : pairsLeft) {
+        if (separated(pr.first, pr.second, n)) ++gain;
+      }
+      for (std::size_t f : faultsLeft) {
+        if (visible(f, n)) ++gain;
+      }
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestNode = n;
+      }
+    }
+    if (bestNode == candidateNodes.size() || bestGain == 0) break;
+    used[bestNode] = true;
+    result.probes.push_back(candidateNodes[bestNode]);
+    for (auto it = pairsLeft.begin(); it != pairsLeft.end();) {
+      it = separated(it->first, it->second, bestNode) ? pairsLeft.erase(it)
+                                                      : std::next(it);
+    }
+    for (auto it = faultsLeft.begin(); it != faultsLeft.end();) {
+      it = visible(*it, bestNode) ? faultsLeft.erase(it) : std::next(it);
+    }
+  }
+
+  result.ambiguous.assign(pairsLeft.begin(), pairsLeft.end());
+  return result;
+}
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,59 @@
+// Design-for-test probe placement.
+//
+// The paper's motivating literature (its ref [1], Novak et al., enhancing
+// design-for-test for analog filters) asks the dual question of test
+// selection: not "which of the available probes should the technician touch
+// next" but "which nodes are worth making accessible at design time". This
+// module answers it with the same machinery: simulate every anticipated
+// fault, build the node-by-fault deviation signature matrix, and greedily
+// pick the probe set that maximises the number of fault pairs it can
+// distinguish (plus detection of each fault at all).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/fault.h"
+#include "circuit/netlist.h"
+
+namespace flames::diagnosis {
+
+struct ProbePlacementOptions {
+  /// |voltage deviation| below this does not count as visible (volt).
+  double visibilityThreshold = 0.05;
+  /// Two faults count as distinguished at a node when their deviations
+  /// there differ by more than this (volt).
+  double separationThreshold = 0.05;
+};
+
+/// One candidate probe node with its contribution.
+struct ProbeScore {
+  std::string node;
+  /// Faults whose deviation is visible at this node.
+  std::size_t detects = 0;
+  /// Fault pairs separated by this node alone.
+  std::size_t separates = 0;
+};
+
+/// Result of a placement run.
+struct ProbePlacement {
+  /// Chosen nodes, in greedy selection order.
+  std::vector<std::string> probes;
+  /// Faults (indices into the fault list) that no candidate node detects.
+  std::vector<std::size_t> undetectable;
+  /// Fault pairs left indistinguishable by the chosen set.
+  std::vector<std::pair<std::size_t, std::size_t>> ambiguous;
+  /// Per-node diagnostics for all candidate nodes.
+  std::vector<ProbeScore> scores;
+};
+
+/// Greedily selects up to `budget` probe nodes from `candidateNodes` (all
+/// non-ground nodes if empty) so that as many of `faults` as possible are
+/// detected and pairwise distinguished. Faults whose circuits cannot be
+/// simulated are reported undetectable.
+[[nodiscard]] ProbePlacement placeProbes(
+    const circuit::Netlist& nominal, const std::vector<circuit::Fault>& faults,
+    std::size_t budget, std::vector<std::string> candidateNodes = {},
+    ProbePlacementOptions options = {});
+
+}  // namespace flames::diagnosis

@@ -1,0 +1,142 @@
+#include "diagnosis/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace flames::diagnosis {
+
+std::string renderComponents(const std::vector<std::string>& components) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (i != 0) os << ',';
+    os << components[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string renderReport(const DiagnosisReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+
+  os << "=== FLAMES diagnosis report ===\n";
+  os << "propagation: " << (report.propagationCompleted ? "complete" : "BUDGET EXHAUSTED")
+     << " (" << report.propagationSteps << " steps)\n";
+
+  os << "-- measurements (Dc vs nominal) --\n";
+  for (const MeasurementSummary& m : report.measurements) {
+    os << "  " << m.quantity << " = " << m.measured.str()
+       << "  nominal " << m.nominal.str() << "  Dc = " << m.signedDc << '\n';
+  }
+
+  os << "-- nogoods (by degree) --\n";
+  if (report.nogoods.empty()) os << "  (none: no discrepancy detected)\n";
+  for (const RankedNogood& n : report.nogoods) {
+    os << "  " << renderComponents(n.components) << "  degree " << n.degree;
+    if (!n.note.empty()) os << "  [" << n.note << "]";
+    os << '\n';
+  }
+
+  os << "-- candidates (ranked) --\n";
+  if (report.candidates.empty()) os << "  (none)\n";
+  for (const RankedCandidate& c : report.candidates) {
+    os << "  " << renderComponents(c.components) << "  plausibility "
+       << c.plausibility << "  suspicion " << c.suspicion;
+    if (c.modeMatch) {
+      os << "  mode=" << c.modeMatch->mode;
+      if (c.modeMatch->estimatedValue) {
+        os << " (value ~ " << *c.modeMatch->estimatedValue << ')';
+      }
+      os << " match " << c.modeMatch->matchDegree;
+    }
+    if (!c.hints.empty()) {
+      os << "  hints:";
+      for (const ExperienceHint& h : c.hints) {
+        os << ' ' << h.mode << '(' << h.score << ')';
+      }
+    }
+    os << '\n';
+  }
+
+  if (!report.directedHypotheses.empty()) {
+    os << "-- deviation-sign explanations (Dc signs) --\n";
+    std::size_t shown = 0;
+    for (const DirectedHypothesis& h : report.directedHypotheses) {
+      if (++shown > 6) break;
+      os << "  " << h.component << ' ' << deviationDirectionName(h.direction)
+         << "  agreement " << h.agreement << " (" << h.symptomCount
+         << " symptoms)\n";
+    }
+  }
+
+  if (!report.ruleActivations.empty()) {
+    os << "-- rule activations --\n";
+    for (const RuleActivation& r : report.ruleActivations) {
+      os << "  " << r.conclusion << "  degree " << r.degree << "  [" << r.rule
+         << "]\n";
+    }
+  }
+
+  if (!report.hints.empty()) {
+    os << "-- experience hints --\n";
+    for (const ExperienceHint& h : report.hints) {
+      os << "  " << h.component << " / " << h.mode << "  score " << h.score
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string renderAcReport(const AcDiagnosisReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "=== FLAMES dynamic-mode report ===\n";
+  os << "-- measurements (Dc vs nominal) --\n";
+  for (const MeasurementSummary& m : report.measurements) {
+    os << "  " << m.quantity << " = " << m.measured.str() << "  nominal "
+       << m.nominal.str() << "  Dc = " << m.signedDc << '\n';
+  }
+  os << "-- nogoods (by degree) --\n";
+  if (report.nogoods.empty()) os << "  (none: no discrepancy detected)\n";
+  for (const RankedNogood& n : report.nogoods) {
+    os << "  " << renderComponents(n.components) << "  degree " << n.degree
+       << '\n';
+  }
+  os << "-- candidates (ranked) --\n";
+  if (report.candidates.empty()) os << "  (none)\n";
+  for (const RankedCandidate& c : report.candidates) {
+    os << "  " << renderComponents(c.components) << "  plausibility "
+       << c.plausibility;
+    if (c.modeMatch) {
+      os << "  mode=" << c.modeMatch->mode;
+      if (c.modeMatch->estimatedValue) {
+        os << " (value ~ " << *c.modeMatch->estimatedValue << ')';
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string summarizeReport(const DiagnosisReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  if (!report.faultDetected()) {
+    os << "no fault detected";
+    return os.str();
+  }
+  os << "fault detected; ";
+  if (report.candidates.empty()) {
+    os << "no candidate explains the conflicts";
+    return os.str();
+  }
+  const RankedCandidate& best = report.candidates.front();
+  os << "best candidate " << renderComponents(best.components);
+  if (best.modeMatch) {
+    os << " (" << best.modeMatch->mode << ", " << best.plausibility << ")";
+  }
+  return os.str();
+}
+
+}  // namespace flames::diagnosis

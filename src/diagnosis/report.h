@@ -1,0 +1,25 @@
+// Human-readable rendering of diagnosis reports (the Fig. 7 table format).
+#pragma once
+
+#include <string>
+
+#include "diagnosis/ac_diagnosis.h"
+#include "diagnosis/flames.h"
+
+namespace flames::diagnosis {
+
+/// Renders a dynamic-mode (AC or step-response) report.
+[[nodiscard]] std::string renderAcReport(const AcDiagnosisReport& report);
+
+/// Renders the full report: Dc table, ranked nogoods, ranked candidates with
+/// fault modes, rule activations and experience hints.
+[[nodiscard]] std::string renderReport(const DiagnosisReport& report);
+
+/// One-line summary: "fault detected; best candidate {R2} (short, 0.97)".
+[[nodiscard]] std::string summarizeReport(const DiagnosisReport& report);
+
+/// Renders a component list like "{R1,R2,T1}".
+[[nodiscard]] std::string renderComponents(
+    const std::vector<std::string>& components);
+
+}  // namespace flames::diagnosis

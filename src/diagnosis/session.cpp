@@ -1,0 +1,86 @@
+#include "diagnosis/session.h"
+
+#include <algorithm>
+
+namespace flames::diagnosis {
+
+std::string_view sessionOutcomeName(SessionOutcome o) {
+  switch (o) {
+    case SessionOutcome::kNoFault: return "no-fault";
+    case SessionOutcome::kIsolated: return "isolated";
+    case SessionOutcome::kAmbiguous: return "ambiguous";
+    case SessionOutcome::kProbesSpent: return "probes-spent";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The stopping rule: one plausible candidate clearly ahead.
+bool isolated(const DiagnosisReport& report, const SessionOptions& options) {
+  if (report.candidates.empty()) return false;
+  const double top = report.candidates.front().plausibility;
+  if (top < options.plausibilityThreshold) return false;
+  if (report.candidates.size() == 1) return true;
+  return top - report.candidates[1].plausibility >= options.margin;
+}
+
+SessionStep snapshot(const DiagnosisReport& report, std::string probed,
+                     double volts) {
+  SessionStep step;
+  step.probedNode = std::move(probed);
+  step.measuredVolts = volts;
+  step.candidateCount = report.candidates.size();
+  if (!report.candidates.empty()) {
+    step.topPlausibility = report.candidates.front().plausibility;
+    step.topCandidate = report.candidates.front().components;
+  }
+  return step;
+}
+
+}  // namespace
+
+SessionResult runGuidedSession(FlamesEngine& engine,
+                               std::vector<TestPoint> availableProbes,
+                               const ProbeOracle& oracle,
+                               SessionOptions options) {
+  SessionResult result;
+  result.finalReport = engine.diagnose();
+  result.trail.push_back(snapshot(result.finalReport, {}, 0.0));
+
+  if (!result.finalReport.faultDetected()) {
+    result.outcome = SessionOutcome::kNoFault;
+    return result;
+  }
+
+  while (!isolated(result.finalReport, options)) {
+    if (availableProbes.empty()) {
+      result.outcome = SessionOutcome::kAmbiguous;
+      return result;
+    }
+    if (result.probesUsed >= options.maxProbes) {
+      result.outcome = SessionOutcome::kProbesSpent;
+      return result;
+    }
+    // Best next test per the search-strategy unit; fall back to the first
+    // remaining probe if ranking produces nothing.
+    const auto ranked =
+        engine.recommendTests(availableProbes, result.finalReport);
+    const std::string node =
+        ranked.empty() ? availableProbes.front().node : ranked.front().node;
+    availableProbes.erase(
+        std::find_if(availableProbes.begin(), availableProbes.end(),
+                     [&](const TestPoint& p) { return p.node == node; }));
+
+    const double volts = oracle(node);
+    engine.measure(node, volts);
+    ++result.probesUsed;
+    result.finalReport = engine.diagnose();
+    result.trail.push_back(snapshot(result.finalReport, node, volts));
+  }
+
+  result.outcome = SessionOutcome::kIsolated;
+  return result;
+}
+
+}  // namespace flames::diagnosis

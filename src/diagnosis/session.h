@@ -1,0 +1,69 @@
+// Guided diagnosis sessions (the control loop of the paper's Fig. 3).
+//
+// FLAMES is meant to be used interactively: enter the symptoms, look at the
+// ranked candidates, ask the search-strategy unit for the best next test,
+// probe it, repeat until one explanation dominates. DiagnosisSession
+// codifies that loop against a probe oracle (on a real bench: the
+// technician's meter; here: any callable, e.g. the fault simulator), with
+// the stopping rule and the audit trail a tool needs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diagnosis/flames.h"
+
+namespace flames::diagnosis {
+
+/// Reads the voltage of a node on the actual unit under test.
+using ProbeOracle = std::function<double(const std::string& node)>;
+
+struct SessionOptions {
+  /// Stop when the top candidate's plausibility is at least this and it
+  /// leads the runner-up by `margin`.
+  double plausibilityThreshold = 0.8;
+  double margin = 0.05;
+  /// Hard cap on guided probes (on top of the initial measurements).
+  std::size_t maxProbes = 16;
+};
+
+/// Why the session ended.
+enum class SessionOutcome {
+  kNoFault,     ///< initial measurements showed no discrepancy
+  kIsolated,    ///< one candidate dominates
+  kAmbiguous,   ///< probes exhausted with several candidates standing
+  kProbesSpent, ///< maxProbes reached
+};
+
+[[nodiscard]] std::string_view sessionOutcomeName(SessionOutcome o);
+
+/// One step of the audit trail.
+struct SessionStep {
+  std::string probedNode;   ///< empty for the initial diagnosis
+  double measuredVolts = 0.0;
+  std::size_t candidateCount = 0;
+  double topPlausibility = 0.0;
+  std::vector<std::string> topCandidate;
+};
+
+/// Result of a guided session.
+struct SessionResult {
+  SessionOutcome outcome = SessionOutcome::kAmbiguous;
+  DiagnosisReport finalReport;
+  std::vector<SessionStep> trail;
+  std::size_t probesUsed = 0;
+};
+
+/// Runs the loop: diagnose, and while the stopping rule is unmet and probes
+/// remain, ask recommendTests for the best unprobed node, read it through
+/// the oracle, enter it, re-diagnose.
+///
+/// `engine` must already hold the initial measurements; `availableProbes`
+/// are the nodes the technician may additionally touch.
+[[nodiscard]] SessionResult runGuidedSession(
+    FlamesEngine& engine, std::vector<TestPoint> availableProbes,
+    const ProbeOracle& oracle, SessionOptions options = {});
+
+}  // namespace flames::diagnosis

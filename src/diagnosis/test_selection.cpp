@@ -1,0 +1,153 @@
+#include "diagnosis/test_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "circuit/mna.h"
+
+namespace flames::diagnosis {
+
+using circuit::DcSolver;
+using circuit::Fault;
+using circuit::Netlist;
+using fuzzy::FuzzyInterval;
+
+TestSelector::TestSelector(const Netlist& nominal,
+                           fuzzy::LinguisticScale scale,
+                           TestSelectorOptions options)
+    : nominal_(nominal), scale_(std::move(scale)), options_(options) {}
+
+std::vector<ComponentEstimation> TestSelector::estimationsFromSuspicion(
+    const std::map<std::string, double>& suspicion) const {
+  std::vector<ComponentEstimation> out;
+  for (const circuit::Component& c : nominal_.components()) {
+    double s = 0.0;
+    const auto it = suspicion.find(c.name);
+    if (it != suspicion.end()) s = std::clamp(it->second, 0.0, 1.0);
+    const fuzzy::LinguisticTerm& term = scale_.classify(s);
+    out.push_back({c.name, term.meaning, term.name});
+  }
+  return out;
+}
+
+FuzzyInterval TestSelector::systemEntropy(
+    const std::vector<ComponentEstimation>& estimations) const {
+  std::vector<FuzzyInterval> fs;
+  fs.reserve(estimations.size());
+  for (const ComponentEstimation& e : estimations) fs.push_back(e.faultiness);
+  return fuzzy::fuzzyEntropy(fs, options_.entropySemantics);
+}
+
+std::vector<TestRecommendation> TestSelector::rankTests(
+    const std::vector<TestPoint>& probes,
+    const std::vector<ComponentEstimation>& estimations,
+    const std::map<std::string, Fault>& hypotheses) const {
+  // Identify the suspects: components estimated away from "correct".
+  const FuzzyInterval correct = scale_.terms().front().meaning;
+  std::vector<std::size_t> suspects;
+  for (std::size_t i = 0; i < estimations.size(); ++i) {
+    if (estimations[i].faultiness.centroid() > correct.centroid() + 0.05) {
+      suspects.push_back(i);
+    }
+  }
+
+  std::vector<TestRecommendation> out;
+  for (const TestPoint& probe : probes) {
+    TestRecommendation rec;
+    rec.node = probe.node;
+
+    // Predicted probe value under each suspect's fault hypothesis.
+    struct Outcome {
+      double value = 0.0;
+      std::vector<std::size_t> suspects;
+    };
+    std::vector<Outcome> clusters;
+    std::vector<std::size_t> unsimulatable;
+    for (std::size_t sIdx : suspects) {
+      const std::string& comp = estimations[sIdx].component;
+      const auto hIt = hypotheses.find(comp);
+      std::optional<double> predicted;
+      if (hIt != hypotheses.end()) {
+        try {
+          const Netlist faulted = circuit::applyFaults(nominal_, {hIt->second});
+          const auto op = DcSolver(faulted).solve();
+          if (op.converged) predicted = op.v(faulted.findNode(probe.node));
+        } catch (const std::exception&) {
+          predicted.reset();
+        }
+      }
+      if (!predicted) {
+        unsimulatable.push_back(sIdx);
+        continue;
+      }
+      bool placed = false;
+      for (Outcome& o : clusters) {
+        if (std::abs(o.value - *predicted) <= options_.clusterTolerance) {
+          o.suspects.push_back(sIdx);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) clusters.push_back({*predicted, {sIdx}});
+    }
+    // Suspects whose hypothesis cannot be simulated stay suspicious under
+    // every outcome: append them to every cluster (worst case — the probe
+    // cannot discriminate them).
+    for (Outcome& o : clusters) {
+      for (std::size_t u : unsimulatable) o.suspects.push_back(u);
+    }
+    if (clusters.empty()) {
+      // No discriminating information at all: expected entropy = current.
+      rec.expectedEntropy = systemEntropy(estimations);
+      rec.outcomeClusters = 0;
+      rec.score = rec.expectedEntropy.centroid() * probe.cost;
+      out.push_back(std::move(rec));
+      continue;
+    }
+
+    // Outcome weights: faultiness mass of the cluster's suspects.
+    double total = 0.0;
+    std::vector<double> weights;
+    for (const Outcome& o : clusters) {
+      double w = 0.0;
+      for (std::size_t sIdx : o.suspects) {
+        w += estimations[sIdx].faultiness.centroid();
+      }
+      weights.push_back(w);
+      total += w;
+    }
+    if (total <= 0.0) total = 1.0;
+
+    // Expected entropy: under outcome K, suspects outside K become
+    // "correct"; suspects inside keep their estimation.
+    FuzzyInterval expected = FuzzyInterval::crisp(0.0);
+    for (std::size_t k = 0; k < clusters.size(); ++k) {
+      std::vector<ComponentEstimation> conditioned = estimations;
+      for (std::size_t sIdx : suspects) {
+        const bool inCluster =
+            std::find(clusters[k].suspects.begin(), clusters[k].suspects.end(),
+                      sIdx) != clusters[k].suspects.end();
+        if (!inCluster) {
+          conditioned[sIdx].faultiness = correct;
+          conditioned[sIdx].term = scale_.terms().front().name;
+        }
+      }
+      expected = expected.add(
+          systemEntropy(conditioned).scaled(weights[k] / total));
+    }
+    rec.expectedEntropy = expected;
+    rec.outcomeClusters = clusters.size();
+    rec.score = expected.centroid() * probe.cost;
+    out.push_back(std::move(rec));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const TestRecommendation& a, const TestRecommendation& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.node < b.node;
+            });
+  return out;
+}
+
+}  // namespace flames::diagnosis

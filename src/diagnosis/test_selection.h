@@ -1,0 +1,88 @@
+// Best-test strategies with fuzzy estimations and fuzzy entropy (paper §8).
+//
+// The module under test is viewed as a system of components with fuzzy
+// faultiness estimations expressed on a linguistic scale ("correct",
+// "likely-correct", ... — §8.1). The uncertainty of the whole system is the
+// fuzzy entropy Ent(S) = (+) F_i (*) log2(1 (/) F_i) (§8.2). To pick the
+// next probe, each available test point is scored by its *expected* entropy:
+// the fault hypotheses of the current suspects are simulated, suspects are
+// clustered by the value the probe would read under their hypothesis, and
+// each cluster ("outcome") contributes the entropy of the estimation vector
+// it would leave behind, weighted by the cluster's faultiness mass. The
+// recommended test minimises expected entropy per unit cost.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/fault.h"
+#include "circuit/netlist.h"
+#include "fuzzy/entropy.h"
+#include "fuzzy/linguistic.h"
+
+namespace flames::diagnosis {
+
+/// A component with its fuzzy faultiness estimation.
+struct ComponentEstimation {
+  std::string component;
+  fuzzy::FuzzyInterval faultiness;  ///< fuzzy subset of [0, 1]
+  std::string term;                 ///< linguistic rendering
+};
+
+/// One probe point that could be measured next.
+struct TestPoint {
+  std::string node;
+  double cost = 1.0;
+};
+
+/// A scored probe recommendation.
+struct TestRecommendation {
+  std::string node;
+  fuzzy::FuzzyInterval expectedEntropy;
+  double score = 0.0;  ///< defuzzified expected entropy x cost (lower wins)
+  std::size_t outcomeClusters = 0;
+};
+
+struct TestSelectorOptions {
+  /// Simulated probe values closer than this land in one outcome cluster.
+  double clusterTolerance = 0.15;
+  fuzzy::EntropyTermSemantics entropySemantics =
+      fuzzy::EntropyTermSemantics::kTied;
+};
+
+/// Best-test recommendation engine.
+class TestSelector {
+ public:
+  TestSelector(const circuit::Netlist& nominal,
+               fuzzy::LinguisticScale scale =
+                   fuzzy::LinguisticScale::defaultFaultiness(),
+               TestSelectorOptions options = {});
+
+  /// Builds linguistic estimations from component suspicion degrees
+  /// (components absent from the map are estimated "correct").
+  [[nodiscard]] std::vector<ComponentEstimation> estimationsFromSuspicion(
+      const std::map<std::string, double>& suspicion) const;
+
+  /// Fuzzy entropy of an estimation vector.
+  [[nodiscard]] fuzzy::FuzzyInterval systemEntropy(
+      const std::vector<ComponentEstimation>& estimations) const;
+
+  /// Scores every probe point; results sorted best (lowest score) first.
+  /// `hypotheses` maps each suspected component to its current best fault
+  /// hypothesis (from the fault-mode unit); suspects without a simulatable
+  /// hypothesis are treated as indistinguishable.
+  [[nodiscard]] std::vector<TestRecommendation> rankTests(
+      const std::vector<TestPoint>& probes,
+      const std::vector<ComponentEstimation>& estimations,
+      const std::map<std::string, circuit::Fault>& hypotheses) const;
+
+  [[nodiscard]] const fuzzy::LinguisticScale& scale() const { return scale_; }
+
+ private:
+  const circuit::Netlist& nominal_;
+  fuzzy::LinguisticScale scale_;
+  TestSelectorOptions options_;
+};
+
+}  // namespace flames::diagnosis

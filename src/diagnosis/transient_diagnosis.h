@@ -1,0 +1,94 @@
+// Time-domain (step-response) diagnosis — the second half of "dynamic
+// mode": where the AC engine reads transfer magnitudes, this one reads
+// step-response *features* (10-90% rise time and settled level) at probe
+// nodes. Reactive faults that barely move the DC operating point (a drifted
+// capacitor) move the rise time directly.
+//
+// Same FLAMES pipeline: fuzzy nominal predictions per feature via tolerance
+// sensitivity, Dc conflicts against measurements, λ-cut candidates, and
+// fault-mode refinement by transient simulation matching.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/fault.h"
+#include "circuit/netlist.h"
+#include "circuit/transient.h"
+#include "constraints/propagator.h"
+#include "diagnosis/ac_diagnosis.h"
+#include "diagnosis/flames.h"
+
+namespace flames::diagnosis {
+
+/// Which scalar feature of the step response a probe reads.
+enum class StepFeature { kRiseTime, kFinalValue };
+
+[[nodiscard]] std::string_view stepFeatureName(StepFeature f);
+
+/// One time-domain probe.
+struct StepProbe {
+  std::string node;
+  StepFeature feature = StepFeature::kRiseTime;
+};
+
+struct TransientDiagnosisOptions {
+  circuit::TransientOptions transient;
+  /// Step source level and duration of the acquisition window.
+  double stepLevel = 1.0;
+  double duration = 10.0;
+  /// Relative spread attached to crisp measured features.
+  double measurementRelSpread = 0.03;
+  double sensitivityThreshold = 1e-9;
+  double spreadScale = 1.0;
+  /// Floor on nominal prediction spreads, relative to the nominal value —
+  /// absorbs integration/truncation noise of the feature extraction.
+  double minRelSpread = 0.01;
+  double minNogoodDegree = 0.05;
+  std::size_t maxFaultCardinality = 3;
+  double simulationRelSpread = 0.05;
+  bool refineWithFaultModes = true;
+};
+
+/// The time-domain engine (mirrors AcDiagnosisEngine).
+class TransientDiagnosisEngine {
+ public:
+  /// Throws std::runtime_error if the nominal circuit cannot be simulated
+  /// or a probe feature is undefined on the nominal response.
+  TransientDiagnosisEngine(circuit::Netlist net, std::string stepSource,
+                           std::vector<StepProbe> probes,
+                           TransientDiagnosisOptions options = {});
+
+  void measure(const StepProbe& probe, double value);
+  void clearMeasurements();
+
+  [[nodiscard]] AcDiagnosisReport diagnose();
+
+  /// Quantity naming: "rise(V(<node>))" / "final(V(<node>))".
+  [[nodiscard]] static std::string quantityName(const StepProbe& probe);
+
+  /// Measures the configured probes on a (possibly faulted) copy of the
+  /// netlist — the bench side; returns nullopt if the response never
+  /// crosses the rise-time thresholds or the simulation fails.
+  [[nodiscard]] std::optional<double> simulateFeature(
+      const circuit::Netlist& board, const StepProbe& probe) const;
+
+ private:
+  void buildModel();
+
+  circuit::Netlist net_;
+  std::string stepSource_;
+  std::vector<StepProbe> probes_;
+  TransientDiagnosisOptions options_;
+  constraints::Model model_;
+  std::map<std::string, atms::AssumptionId> assumptionOf_;
+  struct Obs {
+    StepProbe probe;
+    fuzzy::FuzzyInterval value;
+  };
+  std::vector<Obs> observations_;
+};
+
+}  // namespace flames::diagnosis

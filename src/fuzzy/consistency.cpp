@@ -1,0 +1,114 @@
+#include "fuzzy/consistency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flames::fuzzy {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+Deviation directionOf(const FuzzyInterval& measured,
+                      const FuzzyInterval& nominal) {
+  const double cm = measured.isPoint() ? measured.m1() : measured.centroid();
+  const double cn = nominal.isPoint() ? nominal.m1() : nominal.centroid();
+  // Tolerance scaled by the magnitudes involved.
+  const double scale =
+      std::max({1.0, std::abs(cm), std::abs(cn)});
+  if (std::abs(cm - cn) <= 1e-9 * scale) return Deviation::kNone;
+  return cm < cn ? Deviation::kBelow : Deviation::kAbove;
+}
+
+}  // namespace
+
+Consistency degreeOfConsistency(const FuzzyInterval& measured,
+                                const FuzzyInterval& nominal) {
+  Consistency result;
+  result.deviation = directionOf(measured, nominal);
+
+  const double am = measured.area();
+  const double an = nominal.area();
+
+  if (am <= kEps) {
+    // Point (or degenerate) measurement: Dc is the membership of the point
+    // in the nominal distribution.
+    result.dc = nominal.membership(measured.coreMidpoint());
+    return result;
+  }
+  if (an <= kEps) {
+    // A point nominal has zero area, so the area-ratio formula degenerates.
+    // The natural extension is the possibility of the nominal point under
+    // the measured distribution: Dc = mu_Vm(vn). (E.g. V0 derived as
+    // [0.05, 1.06, 0.1, 0] against the crisp ground 0 V scores 0.5 — the
+    // same degree the bound violation that produced it carries.)
+    result.dc = measured.membership(nominal.coreMidpoint());
+    return result;
+  }
+
+  // The paper's formula normalises by area(Vm), which presumes the nominal
+  // is the wide, toleranced side. When the nominal happens to be *narrower*
+  // than the measurement (a precisely determined prediction against a fuzzy
+  // meter reading) that normalisation reads pure width mismatch as
+  // conflict, so we take the larger of the two normalisations: a pair is
+  // only discrepant when neither distribution substantially contains the
+  // other. In the paper's regime (narrow Vm, wide Vn) this reduces to the
+  // original area(Vm ⊓ Vn) / area(Vm).
+  const PiecewiseLinear inter =
+      measured.toPiecewiseLinear().min(nominal.toPiecewiseLinear());
+  const double ia = inter.area();
+  result.dc = std::clamp(std::max(ia / am, ia / an), 0.0, 1.0);
+  return result;
+}
+
+double possibility(const FuzzyInterval& measured,
+                   const FuzzyInterval& nominal) {
+  return measured.possibilityOfEquality(nominal);
+}
+
+double necessity(const FuzzyInterval& measured, const FuzzyInterval& nominal) {
+  // A crisp point measurement is fully certain, so necessity collapses to
+  // the nominal's membership at the point (the general piecewise-linear
+  // construction below cannot represent the zero-width dip of the
+  // complement).
+  if (measured.isPoint()) return nominal.membership(measured.m1());
+
+  // N = inf_x max(1 - mu_m(x), mu_n(x)). Outside the support of the
+  // measurement the complement is 1, so the infimum is attained on (the
+  // closure of) that support; piecewise-linear functions attain extrema at
+  // breakpoints, which PiecewiseLinear::max computes exactly (including
+  // crossings).
+  const Cut sm = measured.support();
+  const Cut sn = nominal.support();
+  const double lo = std::min(sm.lo, sn.lo) - 1.0;
+  const double hi = std::max(sm.hi, sn.hi) + 1.0;
+
+  // Complement of the measurement membership, materialised on [lo, hi].
+  std::vector<PlPoint> comp;
+  comp.push_back({lo, 1.0});
+  const Cut cm = measured.core();
+  comp.push_back({sm.lo, 1.0});
+  comp.push_back({cm.lo, 0.0});
+  comp.push_back({cm.hi, 0.0});
+  comp.push_back({sm.hi, 1.0});
+  comp.push_back({hi, 1.0});
+  const PiecewiseLinear complement{std::move(comp)};
+
+  // The nominal membership, extended with explicit zero tails so that
+  // "zero outside range" matches on [lo, hi].
+  std::vector<PlPoint> nom;
+  nom.push_back({lo, 0.0});
+  nom.push_back({sn.lo, 0.0});
+  nom.push_back({nominal.core().lo, 1.0});
+  nom.push_back({nominal.core().hi, 1.0});
+  nom.push_back({sn.hi, 0.0});
+  nom.push_back({hi, 0.0});
+  const PiecewiseLinear nomPl{std::move(nom)};
+
+  const PiecewiseLinear combined = complement.max(nomPl);
+  double inf = 1.0;
+  for (const PlPoint& p : combined.points()) inf = std::min(inf, p.y);
+  return std::clamp(inf, 0.0, 1.0);
+}
+
+}  // namespace flames::fuzzy

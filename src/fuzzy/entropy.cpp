@@ -1,0 +1,89 @@
+#include "fuzzy/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flames::fuzzy {
+
+namespace {
+
+constexpr double kPeak = 0.36787944117144233;  // 1/e, argmax of -x log2 x
+
+// Range of h over a crisp interval [a, b] within [0, 1]; h is concave with a
+// single maximum at 1/e, so extrema sit at the endpoints or at the peak.
+Cut shannonRange(double a, double b) {
+  a = std::clamp(a, 0.0, 1.0);
+  b = std::clamp(b, 0.0, 1.0);
+  const double ha = shannonTerm(a);
+  const double hb = shannonTerm(b);
+  double hi = std::max(ha, hb);
+  if (a <= kPeak && kPeak <= b) hi = shannonTerm(kPeak);
+  return {std::min(ha, hb), hi};
+}
+
+// Clamps a fuzzy estimation to the [0, 1] domain of probabilities.
+FuzzyInterval clampToUnit(const FuzzyInterval& f) {
+  const Cut s = f.support();
+  const Cut c = f.core();
+  const double a = std::clamp(s.lo, 0.0, 1.0);
+  const double b = std::clamp(c.lo, 0.0, 1.0);
+  const double cc = std::clamp(c.hi, 0.0, 1.0);
+  const double d = std::clamp(s.hi, 0.0, 1.0);
+  return FuzzyInterval::fromSupportCore(a, std::min(b, cc), std::max(b, cc),
+                                        d);
+}
+
+}  // namespace
+
+double shannonTerm(double x) {
+  if (x <= 0.0 || x >= 1.0) return 0.0;
+  return -x * std::log2(x);
+}
+
+FuzzyInterval entropyTerm(const FuzzyInterval& estimation,
+                          EntropyTermSemantics semantics) {
+  const FuzzyInterval f = clampToUnit(estimation);
+  const Cut s = f.support();
+  const Cut c = f.core();
+
+  if (semantics == EntropyTermSemantics::kTied) {
+    const Cut rs = shannonRange(s.lo, s.hi);
+    const Cut rc = shannonRange(c.lo, c.hi);
+    // The core image must stay inside the support image.
+    const double lo = std::min(rs.lo, rc.lo);
+    const double hi = std::max(rs.hi, rc.hi);
+    return FuzzyInterval::fromSupportCore(lo, std::max(rc.lo, lo),
+                                          std::min(rc.hi, hi), hi);
+  }
+
+  // Independent occurrences: F (*) log2(1 (/) F) with interval arithmetic.
+  // Guard the logarithm against a zero/negative support edge.
+  constexpr double kFloor = 1e-9;
+  const double sl = std::max(s.lo, kFloor);
+  const double cl = std::max(c.lo, kFloor);
+  const double sh = std::max(s.hi, kFloor);
+  const double ch = std::max(c.hi, kFloor);
+  // log2(1/F): decreasing, so interval endpoints swap.
+  const Cut logSupport{-std::log2(sh), -std::log2(sl)};
+  const Cut logCore{-std::log2(ch), -std::log2(cl)};
+  const FuzzyInterval logTerm = FuzzyInterval::fromSupportCore(
+      logSupport.lo, std::max(logCore.lo, logSupport.lo),
+      std::min(logCore.hi, logSupport.hi), logSupport.hi);
+  return f.mul(logTerm);
+}
+
+FuzzyInterval fuzzyEntropy(const std::vector<FuzzyInterval>& estimations,
+                           EntropyTermSemantics semantics) {
+  FuzzyInterval total = FuzzyInterval::crisp(0.0);
+  for (const FuzzyInterval& e : estimations) {
+    total = total.add(entropyTerm(e, semantics));
+  }
+  return total;
+}
+
+double crispEntropy(const std::vector<FuzzyInterval>& estimations,
+                    EntropyTermSemantics semantics) {
+  return fuzzyEntropy(estimations, semantics).centroid();
+}
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,53 @@
+// Fuzzy entropy of a system of fuzzy faultiness estimations (paper §8.2).
+//
+// The paper adapts Shannon entropy to fuzzy probabilities:
+//
+//     Ent(S) = (+)_i  F_i (*) log2( 1 (/) F_i )
+//
+// where F_i is the fuzzy estimation of the faultiness of component i and the
+// arithmetic is possibilistic. FLAMES uses Ent to score candidate test
+// points: the best next test minimises the expected entropy after the
+// measurement (paper §8.2).
+//
+// Two evaluation semantics are provided for the per-component term
+// F (*) log2(1 (/) F):
+//  * kTied (default): the exact extension-principle image of
+//    h(x) = -x log2 x, which treats both occurrences of F as the same
+//    variable (the mathematically tight reading);
+//  * kIndependent: the paper's literal formula evaluated with fuzzy
+//    arithmetic on independent occurrences, which over-spreads but matches
+//    the formula term by term.
+#pragma once
+
+#include <vector>
+
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::fuzzy {
+
+/// How to evaluate F (*) log2(1 (/) F); see file comment.
+enum class EntropyTermSemantics { kTied, kIndependent };
+
+/// The per-component entropy term F (*) log2(1 (/) F) as a fuzzy interval.
+///
+/// Estimations are fuzzy subsets of [0, 1]; supports are clamped to
+/// [0, 1] and the h(0) = h(1) = 0 continuous extension is used.
+[[nodiscard]] FuzzyInterval entropyTerm(
+    const FuzzyInterval& estimation,
+    EntropyTermSemantics semantics = EntropyTermSemantics::kTied);
+
+/// Fuzzy entropy of a set of component estimations: the fuzzy sum of the
+/// per-component terms. Empty input yields crisp 0.
+[[nodiscard]] FuzzyInterval fuzzyEntropy(
+    const std::vector<FuzzyInterval>& estimations,
+    EntropyTermSemantics semantics = EntropyTermSemantics::kTied);
+
+/// Defuzzified (centroid) entropy, convenient for ranking tests.
+[[nodiscard]] double crispEntropy(
+    const std::vector<FuzzyInterval>& estimations,
+    EntropyTermSemantics semantics = EntropyTermSemantics::kTied);
+
+/// Crisp Shannon-like term h(x) = -x log2 x extended with h(0) = 0.
+[[nodiscard]] double shannonTerm(double x);
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,187 @@
+#include "fuzzy/fuzzy_interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flames::fuzzy {
+
+namespace {
+
+// Interval product [a.lo, a.hi] * [b.lo, b.hi] (classic four-corner rule).
+Cut cutMul(const Cut& a, const Cut& b) {
+  const double p1 = a.lo * b.lo, p2 = a.lo * b.hi;
+  const double p3 = a.hi * b.lo, p4 = a.hi * b.hi;
+  return {std::min(std::min(p1, p2), std::min(p3, p4)),
+          std::max(std::max(p1, p2), std::max(p3, p4))};
+}
+
+Cut cutReciprocal(const Cut& c) {
+  if (c.lo <= 0.0 && c.hi >= 0.0) {
+    throw std::domain_error("fuzzy division by an interval containing zero");
+  }
+  return {1.0 / c.hi, 1.0 / c.lo};
+}
+
+}  // namespace
+
+FuzzyInterval::FuzzyInterval(double m1, double m2, double alpha, double beta)
+    : m1_(m1), m2_(m2), alpha_(alpha), beta_(beta) {
+  if (!(m1 <= m2)) throw std::invalid_argument("FuzzyInterval: m1 > m2");
+  if (alpha < 0.0 || beta < 0.0) {
+    throw std::invalid_argument("FuzzyInterval: negative spread");
+  }
+}
+
+FuzzyInterval FuzzyInterval::crisp(double m) { return {m, m, 0.0, 0.0}; }
+
+FuzzyInterval FuzzyInterval::crispInterval(double a, double b) {
+  return {a, b, 0.0, 0.0};
+}
+
+FuzzyInterval FuzzyInterval::number(double m, double alpha, double beta) {
+  return {m, m, alpha, beta};
+}
+
+FuzzyInterval FuzzyInterval::about(double m, double spread) {
+  return {m, m, spread, spread};
+}
+
+FuzzyInterval FuzzyInterval::withTolerance(double m, double relTol) {
+  const double s = std::abs(m) * relTol;
+  return {m, m, s, s};
+}
+
+FuzzyInterval FuzzyInterval::fromSupportCore(double a, double b, double c,
+                                             double d) {
+  // Guard against tiny negative spreads from floating-point noise.
+  const double alpha = std::max(0.0, b - a);
+  const double beta = std::max(0.0, d - c);
+  if (!(b <= c)) throw std::invalid_argument("fromSupportCore: core inverted");
+  return {b, c, alpha, beta};
+}
+
+double FuzzyInterval::membership(double x) const {
+  if (x >= m1_ && x <= m2_) return 1.0;
+  if (x < m1_) {
+    if (alpha_ == 0.0) return 0.0;
+    const double v = (x - m1_ + alpha_) / alpha_;
+    return std::clamp(v, 0.0, 1.0);
+  }
+  if (beta_ == 0.0) return 0.0;
+  const double v = (m2_ + beta_ - x) / beta_;
+  return std::clamp(v, 0.0, 1.0);
+}
+
+Cut FuzzyInterval::alphaCut(double level) const {
+  const double l = std::clamp(level, 0.0, 1.0);
+  return {m1_ - (1.0 - l) * alpha_, m2_ + (1.0 - l) * beta_};
+}
+
+double FuzzyInterval::area() const {
+  return (m2_ - m1_) + 0.5 * (alpha_ + beta_);
+}
+
+double FuzzyInterval::centroid() const {
+  if (isPoint()) return m1_;
+  return toPiecewiseLinear().centroid();
+}
+
+PiecewiseLinear FuzzyInterval::toPiecewiseLinear() const {
+  return PiecewiseLinear::trapezoid(m1_ - alpha_, m1_, m2_, m2_ + beta_);
+}
+
+FuzzyInterval FuzzyInterval::add(const FuzzyInterval& n) const {
+  return {m1_ + n.m1_, m2_ + n.m2_, alpha_ + n.alpha_, beta_ + n.beta_};
+}
+
+FuzzyInterval FuzzyInterval::sub(const FuzzyInterval& n) const {
+  return {m1_ - n.m2_, m2_ - n.m1_, alpha_ + n.beta_, beta_ + n.alpha_};
+}
+
+FuzzyInterval FuzzyInterval::negate() const {
+  return {-m2_, -m1_, beta_, alpha_};
+}
+
+FuzzyInterval FuzzyInterval::mul(const FuzzyInterval& n) const {
+  const Cut s = cutMul(support(), n.support());
+  const Cut c = cutMul(core(), n.core());
+  return fromSupportCore(s.lo, c.lo, c.hi, s.hi);
+}
+
+FuzzyInterval FuzzyInterval::div(const FuzzyInterval& n) const {
+  return mul(n.reciprocal());
+}
+
+FuzzyInterval FuzzyInterval::scaled(double s) const {
+  if (s >= 0.0) return {s * m1_, s * m2_, s * alpha_, s * beta_};
+  return {s * m2_, s * m1_, -s * beta_, -s * alpha_};
+}
+
+FuzzyInterval FuzzyInterval::reciprocal() const {
+  const Cut s = cutReciprocal(support());
+  const Cut c = cutReciprocal(core());
+  return fromSupportCore(s.lo, c.lo, c.hi, s.hi);
+}
+
+FuzzyInterval FuzzyInterval::hull(const FuzzyInterval& n) const {
+  const double a = std::min(support().lo, n.support().lo);
+  const double b = std::min(m1_, n.m1_);
+  const double c = std::max(m2_, n.m2_);
+  const double d = std::max(support().hi, n.support().hi);
+  return fromSupportCore(a, b, c, d);
+}
+
+FuzzyInterval FuzzyInterval::widened(double margin) const {
+  if (margin < 0.0) throw std::invalid_argument("widened: negative margin");
+  return {m1_, m2_, alpha_ + margin, beta_ + margin};
+}
+
+bool FuzzyInterval::supportsOverlap(const FuzzyInterval& n) const {
+  return support().intersects(n.support());
+}
+
+double FuzzyInterval::possibilityOfEquality(const FuzzyInterval& n) const {
+  // For convex fuzzy sets the sup of the min is attained where the right
+  // edge of one meets the left edge of the other (or 1 if cores overlap).
+  if (core().intersects(n.core())) return 1.0;
+  if (!supportsOverlap(n)) return 0.0;
+  // This core entirely left of n's core, or vice versa.
+  const FuzzyInterval& left = (m2_ < n.m1_) ? *this : n;
+  const FuzzyInterval& right = (m2_ < n.m1_) ? n : *this;
+  // Right edge of `left`: mu(x) = (left.m2 + left.beta - x) / left.beta.
+  // Left edge of `right`: mu(x) = (x - right.m1 + right.alpha) / right.alpha.
+  const double lb = left.beta_, ra = right.alpha_;
+  if (lb == 0.0) return right.membership(left.m2_);
+  if (ra == 0.0) return left.membership(right.m1_);
+  const double x =
+      (ra * (left.m2_ + lb) + lb * (right.m1_ - ra)) / (lb + ra);
+  return std::clamp(left.membership(x), 0.0, 1.0);
+}
+
+bool FuzzyInterval::subsetOf(const FuzzyInterval& n) const {
+  const Cut s = support(), ns = n.support();
+  const Cut c = core(), nc = n.core();
+  return ns.lo <= s.lo && s.hi <= ns.hi && nc.lo <= c.lo && c.hi <= nc.hi;
+}
+
+bool FuzzyInterval::approxEquals(const FuzzyInterval& n, double tol) const {
+  return std::abs(m1_ - n.m1_) <= tol && std::abs(m2_ - n.m2_) <= tol &&
+         std::abs(alpha_ - n.alpha_) <= tol && std::abs(beta_ - n.beta_) <= tol;
+}
+
+std::string FuzzyInterval::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FuzzyInterval& f) {
+  os << '[' << f.m1() << ", " << f.m2() << ", " << f.alpha() << ", "
+     << f.beta() << ']';
+  return os;
+}
+
+}  // namespace flames::fuzzy

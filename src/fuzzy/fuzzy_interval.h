@@ -1,0 +1,194 @@
+// Trapezoidal fuzzy intervals [m1, m2, alpha, beta] (paper §3.2, Fig. 1).
+//
+// A fuzzy interval is a convex fuzzy set defined by its core [m1, m2] and
+// left/right spreads alpha, beta:
+//
+//   mu(x) = (x - m1 + alpha) / alpha   for x in [m1 - alpha, m1]
+//   mu(x) = 1                          for x in [m1, m2]
+//   mu(x) = (m2 + beta - x) / beta     for x in [m2, m2 + beta]
+//
+// The representation uniformly covers a crisp number [m,m,0,0], a crisp
+// interval [a,b,0,0], a fuzzy number [m,m,alpha,beta] and a general fuzzy
+// interval. Arithmetic follows the possibilistic extension principle: + and -
+// are exact in closed form (Dubois-Prade / Bonissone-Decker, paper §3.2);
+// * and / (and arbitrary monotone maps) use alpha-cut interval arithmetic
+// with a trapezoidal secant re-approximation from the support and core cuts.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "fuzzy/piecewise_linear.h"
+
+namespace flames::fuzzy {
+
+/// A closed crisp interval [lo, hi]; the result of an alpha-cut.
+struct Cut {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+  [[nodiscard]] bool intersects(const Cut& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  friend bool operator==(const Cut&, const Cut&) = default;
+};
+
+/// Trapezoidal fuzzy interval [m1, m2, alpha, beta].
+class FuzzyInterval {
+ public:
+  /// The identically-crisp zero [0, 0, 0, 0].
+  FuzzyInterval() = default;
+
+  /// General constructor; requires m1 <= m2, alpha >= 0, beta >= 0.
+  FuzzyInterval(double m1, double m2, double alpha, double beta);
+
+  /// A crisp real number m = [m, m, 0, 0].
+  static FuzzyInterval crisp(double m);
+
+  /// A crisp interval [a, b] = [a, b, 0, 0].
+  static FuzzyInterval crispInterval(double a, double b);
+
+  /// A fuzzy number M = [m, m, alpha, beta].
+  static FuzzyInterval number(double m, double alpha, double beta);
+
+  /// A symmetric fuzzy number M = [m, m, spread, spread].
+  static FuzzyInterval about(double m, double spread);
+
+  /// A fuzzy number from a relative tolerance: core m, spreads |m| * relTol.
+  static FuzzyInterval withTolerance(double m, double relTol);
+
+  /// Builds from the support [a, d] and core [b, c] (a <= b <= c <= d).
+  static FuzzyInterval fromSupportCore(double a, double b, double c, double d);
+
+  [[nodiscard]] double m1() const { return m1_; }
+  [[nodiscard]] double m2() const { return m2_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+  /// The core [m1, m2] (membership == 1).
+  [[nodiscard]] Cut core() const { return {m1_, m2_}; }
+
+  /// The support [m1 - alpha, m2 + beta] (membership > 0, closure thereof).
+  [[nodiscard]] Cut support() const { return {m1_ - alpha_, m2_ + beta_}; }
+
+  /// True if this is a crisp value or crisp interval (no spreads).
+  [[nodiscard]] bool isCrisp() const { return alpha_ == 0.0 && beta_ == 0.0; }
+
+  /// True if this is a single crisp point.
+  [[nodiscard]] bool isPoint() const { return isCrisp() && m1_ == m2_; }
+
+  /// Membership degree mu(x) in [0, 1].
+  [[nodiscard]] double membership(double x) const;
+
+  /// Alpha-cut at level in [0, 1]: {x : mu(x) >= level}, with the level-0 cut
+  /// defined as the support.
+  [[nodiscard]] Cut alphaCut(double level) const;
+
+  /// Integral of the membership function: (m2 - m1) + (alpha + beta) / 2.
+  [[nodiscard]] double area() const;
+
+  /// Centroid (centre of gravity) of the membership function; for a crisp
+  /// point this is the point itself.
+  [[nodiscard]] double centroid() const;
+
+  /// Midpoint of the core.
+  [[nodiscard]] double coreMidpoint() const { return 0.5 * (m1_ + m2_); }
+
+  /// Conversion to the exact piecewise-linear membership function.
+  [[nodiscard]] PiecewiseLinear toPiecewiseLinear() const;
+
+  // --- Possibilistic arithmetic (paper §3.2) ---
+
+  /// M (+) N = [m1+n1, m2+n2, alpha+gamma, beta+delta].
+  [[nodiscard]] FuzzyInterval add(const FuzzyInterval& n) const;
+
+  /// M (-) N = [m1-n2, m2-n1, alpha+delta, beta+gamma].
+  [[nodiscard]] FuzzyInterval sub(const FuzzyInterval& n) const;
+
+  /// -M.
+  [[nodiscard]] FuzzyInterval negate() const;
+
+  /// M (*) N via alpha-cut interval products, trapezoid re-approximation.
+  [[nodiscard]] FuzzyInterval mul(const FuzzyInterval& n) const;
+
+  /// M (/) N; requires 0 outside the support of N.
+  [[nodiscard]] FuzzyInterval div(const FuzzyInterval& n) const;
+
+  /// Scaling by a crisp real.
+  [[nodiscard]] FuzzyInterval scaled(double s) const;
+
+  /// 1 (/) M; requires 0 outside the support.
+  [[nodiscard]] FuzzyInterval reciprocal() const;
+
+  /// Image under a monotone map f (either direction), via support/core cuts.
+  template <typename F>
+  [[nodiscard]] FuzzyInterval mapMonotone(F&& f) const {
+    const Cut s = support();
+    const Cut c = core();
+    double sa = f(s.lo), sb = f(s.hi);
+    double ca = f(c.lo), cb = f(c.hi);
+    if (sa > sb) std::swap(sa, sb);
+    if (ca > cb) std::swap(ca, cb);
+    return fromSupportCore(sa, ca, cb, sb);
+  }
+
+  // --- Set-theoretic / relational operations ---
+
+  /// Smallest trapezoid containing both (convex hull of supports and cores).
+  [[nodiscard]] FuzzyInterval hull(const FuzzyInterval& n) const;
+
+  /// Widens the spreads by a crisp margin on both sides.
+  [[nodiscard]] FuzzyInterval widened(double margin) const;
+
+  /// True if the supports overlap.
+  [[nodiscard]] bool supportsOverlap(const FuzzyInterval& n) const;
+
+  /// Possibility of equality: sup_x min(mu_M(x), mu_N(x)).
+  [[nodiscard]] double possibilityOfEquality(const FuzzyInterval& n) const;
+
+  /// True if every alpha-cut of this is contained in that of n
+  /// (i.e. mu_M <= mu_N pointwise for trapezoids).
+  [[nodiscard]] bool subsetOf(const FuzzyInterval& n) const;
+
+  /// Approximate equality of parameters within tol.
+  [[nodiscard]] bool approxEquals(const FuzzyInterval& n,
+                                  double tol = 1e-9) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const FuzzyInterval&, const FuzzyInterval&) = default;
+
+ private:
+  double m1_ = 0.0;
+  double m2_ = 0.0;
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const FuzzyInterval& f);
+
+// Operator sugar for the possibilistic arithmetic.
+inline FuzzyInterval operator+(const FuzzyInterval& a, const FuzzyInterval& b) {
+  return a.add(b);
+}
+inline FuzzyInterval operator-(const FuzzyInterval& a, const FuzzyInterval& b) {
+  return a.sub(b);
+}
+inline FuzzyInterval operator*(const FuzzyInterval& a, const FuzzyInterval& b) {
+  return a.mul(b);
+}
+inline FuzzyInterval operator/(const FuzzyInterval& a, const FuzzyInterval& b) {
+  return a.div(b);
+}
+inline FuzzyInterval operator-(const FuzzyInterval& a) { return a.negate(); }
+inline FuzzyInterval operator*(double s, const FuzzyInterval& a) {
+  return a.scaled(s);
+}
+inline FuzzyInterval operator*(const FuzzyInterval& a, double s) {
+  return a.scaled(s);
+}
+
+}  // namespace flames::fuzzy

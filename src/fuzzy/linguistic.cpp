@@ -1,0 +1,73 @@
+#include "fuzzy/linguistic.h"
+
+#include <stdexcept>
+
+namespace flames::fuzzy {
+
+LinguisticScale::LinguisticScale(std::vector<LinguisticTerm> terms)
+    : terms_(std::move(terms)) {
+  if (terms_.empty()) {
+    throw std::invalid_argument("LinguisticScale: empty term set");
+  }
+}
+
+LinguisticScale LinguisticScale::defaultFaultiness() {
+  // The first two terms are the paper's own examples (§8.1); the remaining
+  // three extend the scale symmetrically to cover [0, 1].
+  std::vector<LinguisticTerm> terms;
+  terms.push_back({"correct", FuzzyInterval(0.0, 0.05, 0.0, 0.05)});
+  terms.push_back({"likely-correct", FuzzyInterval(0.18, 0.34, 0.02, 0.06)});
+  terms.push_back({"unknown", FuzzyInterval(0.45, 0.55, 0.08, 0.08)});
+  terms.push_back({"likely-faulty", FuzzyInterval(0.66, 0.82, 0.06, 0.02)});
+  terms.push_back({"faulty", FuzzyInterval(0.95, 1.0, 0.05, 0.0)});
+  return LinguisticScale(std::move(terms));
+}
+
+std::optional<LinguisticTerm> LinguisticScale::find(
+    const std::string& name) const {
+  for (const LinguisticTerm& t : terms_) {
+    if (t.name == name) return t;
+  }
+  return std::nullopt;
+}
+
+const FuzzyInterval& LinguisticScale::meaningOf(
+    const std::string& name) const {
+  for (const LinguisticTerm& t : terms_) {
+    if (t.name == name) return t.meaning;
+  }
+  throw std::out_of_range("LinguisticScale: unknown term '" + name + "'");
+}
+
+const LinguisticTerm& LinguisticScale::classify(double x) const {
+  if (terms_.empty()) throw std::logic_error("LinguisticScale: empty");
+  const LinguisticTerm* best = &terms_.front();
+  double bestMu = best->meaning.membership(x);
+  for (const LinguisticTerm& t : terms_) {
+    const double mu = t.meaning.membership(x);
+    if (mu > bestMu) {
+      best = &t;
+      bestMu = mu;
+    }
+  }
+  return *best;
+}
+
+const LinguisticTerm& LinguisticScale::approximate(
+    const FuzzyInterval& f) const {
+  if (terms_.empty()) throw std::logic_error("LinguisticScale: empty");
+  const LinguisticTerm* best = &terms_.front();
+  double bestPoss = best->meaning.possibilityOfEquality(f);
+  for (const LinguisticTerm& t : terms_) {
+    const double p = t.meaning.possibilityOfEquality(f);
+    if (p > bestPoss) {
+      best = &t;
+      bestPoss = p;
+    }
+  }
+  return *best;
+}
+
+double defuzzifyCentroid(const FuzzyInterval& f) { return f.centroid(); }
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,65 @@
+// Linguistic terms over [0, 1] for fuzzy faultiness estimations (paper §8.1).
+//
+// The paper decomposes [0, 1] into linguistic terms defined by fuzzy
+// intervals, e.g. Correct = [0, .05, 0, .05], Likely-correct =
+// [.18, .34, .02, .06], with a granularity chosen by the expert. A
+// LinguisticScale holds such a term set, maps crisp degrees to the
+// best-matching term, and supplies the default five-term faultiness scale
+// FLAMES uses when the expert provides none.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::fuzzy {
+
+/// A named fuzzy subset of [0, 1].
+struct LinguisticTerm {
+  std::string name;
+  FuzzyInterval meaning;
+};
+
+/// An ordered set of linguistic terms partitioning (loosely) the [0,1] axis.
+class LinguisticScale {
+ public:
+  LinguisticScale() = default;
+  explicit LinguisticScale(std::vector<LinguisticTerm> terms);
+
+  /// The paper's example granularity, extended to a full five-term scale of
+  /// faultiness estimations:
+  ///   correct, likely-correct, unknown, likely-faulty, faulty.
+  static LinguisticScale defaultFaultiness();
+
+  [[nodiscard]] const std::vector<LinguisticTerm>& terms() const {
+    return terms_;
+  }
+
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+
+  /// Finds a term by name.
+  [[nodiscard]] std::optional<LinguisticTerm> find(
+      const std::string& name) const;
+
+  /// The meaning of a named term; throws std::out_of_range if absent.
+  [[nodiscard]] const FuzzyInterval& meaningOf(const std::string& name) const;
+
+  /// The term with the highest membership for a crisp degree x in [0,1];
+  /// ties broken towards the earlier (more-correct) term.
+  [[nodiscard]] const LinguisticTerm& classify(double x) const;
+
+  /// Linguistic approximation: the term whose meaning is most consistent
+  /// with a fuzzy degree (max possibility of equality).
+  [[nodiscard]] const LinguisticTerm& approximate(const FuzzyInterval& f) const;
+
+ private:
+  std::vector<LinguisticTerm> terms_;
+};
+
+/// Centre-of-gravity defuzzification of a fuzzy degree.
+[[nodiscard]] double defuzzifyCentroid(const FuzzyInterval& f);
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,160 @@
+#include "fuzzy/piecewise_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flames::fuzzy {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Removes consecutive points that are exactly identical.
+void dedupe(std::vector<PlPoint>& pts) {
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+}
+
+}  // namespace
+
+PiecewiseLinear::PiecewiseLinear(std::vector<PlPoint> points)
+    : pts_(std::move(points)) {
+  std::stable_sort(pts_.begin(), pts_.end(),
+                   [](const PlPoint& a, const PlPoint& b) { return a.x < b.x; });
+  dedupe(pts_);
+}
+
+PiecewiseLinear PiecewiseLinear::trapezoid(double a, double b, double c,
+                                           double d) {
+  if (!(a <= b && b <= c && c <= d)) {
+    throw std::invalid_argument("trapezoid requires a <= b <= c <= d");
+  }
+  std::vector<PlPoint> pts;
+  pts.push_back({a, 0.0});
+  pts.push_back({b, 1.0});
+  pts.push_back({c, 1.0});
+  pts.push_back({d, 0.0});
+  dedupe(pts);
+  return PiecewiseLinear(std::move(pts));
+}
+
+double PiecewiseLinear::evaluate(double x) const {
+  if (pts_.empty() || x < pts_.front().x || x > pts_.back().x) return 0.0;
+  // Last index with pts_[i].x <= x.
+  auto it = std::upper_bound(
+      pts_.begin(), pts_.end(), x,
+      [](double v, const PlPoint& p) { return v < p.x; });
+  if (it == pts_.begin()) return pts_.front().y;
+  const PlPoint& lo = *(it - 1);
+  if (it == pts_.end()) return pts_.back().y;
+  const PlPoint& hi = *it;
+  if (hi.x - lo.x < kEps) return lo.y;  // jump: take the left-completed value
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y + t * (hi.y - lo.y);
+}
+
+double PiecewiseLinear::area() const {
+  double a = 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    a += (pts_[i].x - pts_[i - 1].x) * (pts_[i].y + pts_[i - 1].y) * 0.5;
+  }
+  return a;
+}
+
+double PiecewiseLinear::height() const {
+  double h = 0.0;
+  for (const PlPoint& p : pts_) h = std::max(h, p.y);
+  return h;
+}
+
+double PiecewiseLinear::centroid() const {
+  double a = 0.0;
+  double m = 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    const double x0 = pts_[i - 1].x, y0 = pts_[i - 1].y;
+    const double x1 = pts_[i].x, y1 = pts_[i].y;
+    const double seg = (x1 - x0) * (y0 + y1) * 0.5;
+    if (std::abs(seg) < kEps) continue;
+    const double cx = x0 + (x1 - x0) * (y0 + 2.0 * y1) / (3.0 * (y0 + y1));
+    a += seg;
+    m += seg * cx;
+  }
+  return a > kEps ? m / a : 0.0;
+}
+
+PiecewiseLinear PiecewiseLinear::combine(const PiecewiseLinear& f,
+                                         const PiecewiseLinear& g,
+                                         bool takeMin) {
+  if (f.pts_.empty()) return takeMin ? PiecewiseLinear() : g;
+  if (g.pts_.empty()) return takeMin ? PiecewiseLinear() : f;
+
+  // Merge all breakpoint abscissae.
+  std::vector<double> xs;
+  xs.reserve(f.pts_.size() + g.pts_.size());
+  for (const PlPoint& p : f.pts_) xs.push_back(p.x);
+  for (const PlPoint& p : g.pts_) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double a, double b) { return std::abs(a - b) < kEps; }),
+           xs.end());
+
+  auto pick = [takeMin](double a, double b) {
+    return takeMin ? std::min(a, b) : std::max(a, b);
+  };
+
+  std::vector<PlPoint> out;
+  out.push_back({xs.front(), pick(f.evaluate(xs.front()), g.evaluate(xs.front()))});
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double x0 = xs[i - 1], x1 = xs[i];
+    // On (x0, x1) both functions are linear; probe interior slopes.
+    const double mid = 0.5 * (x0 + x1);
+    const double q = 0.25 * x0 + 0.75 * x1;
+    const double fm = f.evaluate(mid), gm = g.evaluate(mid);
+    const double fq = f.evaluate(q), gq = g.evaluate(q);
+    // Reconstruct the linear pieces from two interior samples (immune to
+    // jumps located exactly at x0 or x1).
+    const double fs = (fq - fm) / (q - mid);
+    const double gs = (gq - gm) / (q - mid);
+    const double f0 = fm + fs * (x0 - mid), f1 = fm + fs * (x1 - mid);
+    const double g0 = gm + gs * (x0 - mid), g1 = gm + gs * (x1 - mid);
+    const double d0 = f0 - g0, d1 = f1 - g1;
+    if ((d0 > kEps && d1 < -kEps) || (d0 < -kEps && d1 > kEps)) {
+      const double s = d0 / (d0 - d1);
+      const double xc = x0 + s * (x1 - x0);
+      const double yc = f0 + s * (f1 - f0);
+      out.push_back({xc, yc});
+    }
+    // Close the open interval with the limit from inside, then the actual
+    // combined value at x1 (captures jumps).
+    const double inLimit = pick(f1, g1);
+    const double atX1 = pick(f.evaluate(x1), g.evaluate(x1));
+    out.push_back({x1, inLimit});
+    if (std::abs(atX1 - inLimit) > kEps) out.push_back({x1, atX1});
+  }
+  dedupe(out);
+  return PiecewiseLinear(std::move(out));
+}
+
+PiecewiseLinear PiecewiseLinear::min(const PiecewiseLinear& other) const {
+  return combine(*this, other, /*takeMin=*/true);
+}
+
+PiecewiseLinear PiecewiseLinear::max(const PiecewiseLinear& other) const {
+  return combine(*this, other, /*takeMin=*/false);
+}
+
+PiecewiseLinear PiecewiseLinear::clip(double level) const {
+  if (pts_.empty()) return {};
+  PiecewiseLinear constant(
+      {{pts_.front().x, level}, {pts_.back().x, level}});
+  return combine(*this, constant, /*takeMin=*/true);
+}
+
+PiecewiseLinear PiecewiseLinear::scaled(double s) const {
+  if (s < 0.0) throw std::invalid_argument("scaled requires s >= 0");
+  std::vector<PlPoint> pts = pts_;
+  for (PlPoint& p : pts) p.y *= s;
+  return PiecewiseLinear(std::move(pts));
+}
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,82 @@
+// Exact piecewise-linear membership functions.
+//
+// Trapezoidal fuzzy intervals (paper Fig. 1) are piecewise linear, and the
+// degree of consistency Dc = area(Vm ⊓ Vn) / area(Vm) (paper §6.1.2) needs
+// the exact area under the pointwise minimum of two such functions. This
+// module provides that: a continuous piecewise-linear function that is zero
+// outside its breakpoint range, with exact min/max/area/clip.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flames::fuzzy {
+
+/// One breakpoint of a piecewise-linear function.
+struct PlPoint {
+  double x = 0.0;
+  double y = 0.0;
+  friend bool operator==(const PlPoint&, const PlPoint&) = default;
+};
+
+/// A continuous piecewise-linear function f : R -> [0, inf).
+///
+/// Between consecutive breakpoints the function interpolates linearly;
+/// outside [front().x, back().x] it is zero. An empty breakpoint list is the
+/// identically-zero function. Breakpoints are kept sorted by x and
+/// deduplicated; a membership function must start and end at y == 0 for the
+/// "zero outside" convention to make the function continuous, but this class
+/// does not enforce that (step edges are represented by two breakpoints with
+/// equal x, which evaluate() resolves by taking the later one).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Builds from breakpoints; sorts by x and removes exact duplicates.
+  explicit PiecewiseLinear(std::vector<PlPoint> points);
+
+  /// Builds a trapezoid membership: 0 at a, rises to 1 on [b, c], 0 at d.
+  /// Requires a <= b <= c <= d. Vertical edges (a == b or c == d) allowed.
+  static PiecewiseLinear trapezoid(double a, double b, double c, double d);
+
+  [[nodiscard]] bool empty() const { return pts_.empty(); }
+  [[nodiscard]] const std::vector<PlPoint>& points() const { return pts_; }
+
+  /// Function value at x (zero outside the breakpoint range).
+  [[nodiscard]] double evaluate(double x) const;
+
+  /// Exact integral of the function over all of R.
+  [[nodiscard]] double area() const;
+
+  /// Largest y over all breakpoints (the height of the function).
+  [[nodiscard]] double height() const;
+
+  /// x-centroid of the region under the curve; 0 if the area is zero.
+  [[nodiscard]] double centroid() const;
+
+  /// Pointwise minimum with another function (exact, including crossings).
+  [[nodiscard]] PiecewiseLinear min(const PiecewiseLinear& other) const;
+
+  /// Pointwise maximum with another function (exact, including crossings).
+  ///
+  /// Note: max of two functions that are zero outside their ranges is only
+  /// piecewise linear on the union of ranges; this handles that correctly.
+  [[nodiscard]] PiecewiseLinear max(const PiecewiseLinear& other) const;
+
+  /// Pointwise min with the constant `level` (alpha-clip used by fuzzy
+  /// inference).
+  [[nodiscard]] PiecewiseLinear clip(double level) const;
+
+  /// Scales all y values by s >= 0.
+  [[nodiscard]] PiecewiseLinear scaled(double s) const;
+
+ private:
+  // Combines two functions breakpoint-by-breakpoint with an exact crossing
+  // split; `takeMin` selects min vs max.
+  static PiecewiseLinear combine(const PiecewiseLinear& f,
+                                 const PiecewiseLinear& g, bool takeMin);
+
+  std::vector<PlPoint> pts_;
+};
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,48 @@
+// Triangular norms and conorms for combining membership / certainty degrees.
+//
+// FLAMES combines rule antecedents and certainty degrees with fuzzy
+// conjunction/disjunction; the choice of t-norm is a tunable of the expert
+// system (paper §6.2 treats assumptions as fuzzy propositions).
+#pragma once
+
+#include <algorithm>
+
+namespace flames::fuzzy {
+
+/// Which t-norm family to use for fuzzy conjunction.
+enum class TNorm {
+  kMin,          ///< Zadeh: T(a,b) = min(a,b)
+  kProduct,      ///< probabilistic: T(a,b) = a*b
+  kLukasiewicz,  ///< T(a,b) = max(0, a+b-1)
+};
+
+/// Fuzzy conjunction under the selected t-norm.
+[[nodiscard]] constexpr double tnorm(TNorm t, double a, double b) {
+  switch (t) {
+    case TNorm::kMin:
+      return a < b ? a : b;
+    case TNorm::kProduct:
+      return a * b;
+    case TNorm::kLukasiewicz:
+      return std::max(0.0, a + b - 1.0);
+  }
+  return a < b ? a : b;
+}
+
+/// Dual t-conorm (fuzzy disjunction) of the selected t-norm.
+[[nodiscard]] constexpr double tconorm(TNorm t, double a, double b) {
+  switch (t) {
+    case TNorm::kMin:
+      return a > b ? a : b;
+    case TNorm::kProduct:
+      return a + b - a * b;
+    case TNorm::kLukasiewicz:
+      return std::min(1.0, a + b);
+  }
+  return a > b ? a : b;
+}
+
+/// Standard fuzzy negation.
+[[nodiscard]] constexpr double fuzzyNot(double a) { return 1.0 - a; }
+
+}  // namespace flames::fuzzy

@@ -1,0 +1,18 @@
+#include "linalg/lu.h"
+
+namespace flames::linalg {
+
+std::optional<Vector> solveLinear(const Matrix& a, const Vector& b) {
+  LuDecomposition lu(a);
+  if (lu.singular()) return std::nullopt;
+  return lu.solve(b);
+}
+
+std::optional<ComplexVector> solveLinearComplex(const ComplexMatrix& a,
+                                                const ComplexVector& b) {
+  ComplexLuDecomposition lu(a);
+  if (lu.singular()) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace flames::linalg

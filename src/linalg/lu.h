@@ -1,0 +1,109 @@
+// LU factorisation with partial pivoting, templated over the scalar so the
+// same decomposition serves the real (DC) and complex (AC) MNA systems.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace flames::linalg {
+
+/// LU decomposition (PA = LU) with partial pivoting of a square matrix.
+///
+/// Factorisation happens at construction; `singular()` reports whether a
+/// pivot fell below the tolerance, in which case solve() must not be called.
+template <typename T>
+class BasicLuDecomposition {
+ public:
+  explicit BasicLuDecomposition(BasicMatrix<T> a, double pivotTol = 1e-13)
+      : lu_(std::move(a)) {
+    if (lu_.rows() != lu_.cols()) {
+      throw std::invalid_argument("LuDecomposition: matrix not square");
+    }
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivot: the row with the largest |entry| in column k.
+      std::size_t pivot = k;
+      double best = std::abs(lu_(perm_[k], k));
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const double v = std::abs(lu_(perm_[r], k));
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (best <= pivotTol) {
+        singular_ = true;
+        return;
+      }
+      if (pivot != k) {
+        std::swap(perm_[pivot], perm_[k]);
+        permSign_ = -permSign_;
+      }
+      const T d = lu_(perm_[k], k);
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const T factor = lu_(perm_[r], k) / d;
+        lu_(perm_[r], k) = factor;
+        for (std::size_t c = k + 1; c < n; ++c) {
+          lu_(perm_[r], c) -= factor * lu_(perm_[k], c);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool singular() const { return singular_; }
+
+  /// Solves A x = b; requires !singular() and b.size() == n.
+  [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+    if (singular_) throw std::logic_error("LuDecomposition::solve: singular");
+    const std::size_t n = lu_.rows();
+    if (b.size() != n) {
+      throw std::invalid_argument("LuDecomposition::solve size");
+    }
+    std::vector<T> y(n, T{});
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(perm_[i], j) * y[j];
+      y[i] = acc;
+    }
+    std::vector<T> x(n, T{});
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = y[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(perm_[ii], j) * x[j];
+      x[ii] = acc / lu_(perm_[ii], ii);
+    }
+    return x;
+  }
+
+  /// Determinant of A (0 if singular was detected).
+  [[nodiscard]] T determinant() const {
+    if (singular_) return T{};
+    T d = static_cast<T>(permSign_);
+    for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(perm_[i], i);
+    return d;
+  }
+
+ private:
+  BasicMatrix<T> lu_;                // packed L (unit diag) and U
+  std::vector<std::size_t> perm_;    // row permutation
+  int permSign_ = 1;
+  bool singular_ = false;
+};
+
+using LuDecomposition = BasicLuDecomposition<double>;
+using ComplexLuDecomposition = BasicLuDecomposition<std::complex<double>>;
+
+/// One-shot convenience: solves A x = b, or nullopt if A is singular.
+[[nodiscard]] std::optional<Vector> solveLinear(const Matrix& a,
+                                                const Vector& b);
+
+/// Complex variant.
+[[nodiscard]] std::optional<ComplexVector> solveLinearComplex(
+    const ComplexMatrix& a, const ComplexVector& b);
+
+}  // namespace flames::linalg

@@ -1,0 +1,26 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace flames::linalg {
+
+double norm2(const Vector& v) {
+  double s = 0.0;
+  for (double d : v) s += d * d;
+  return std::sqrt(s);
+}
+
+double normInf(const Vector& v) {
+  double m = 0.0;
+  for (double d : v) m = std::max(m, std::abs(d));
+  return m;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("subtract size");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+}  // namespace flames::linalg

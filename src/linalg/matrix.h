@@ -1,0 +1,120 @@
+// Minimal dense matrix/vector types for the MNA circuit solvers.
+//
+// The DC operating-point simulator assembles a real system G x = b; the AC
+// small-signal solver (circuit/ac.*) assembles a complex one at each
+// frequency. Circuits in this domain are small (tens to hundreds of
+// unknowns), so a dense representation with LU factorisation is the right
+// tool — no sparse machinery needed. BasicMatrix is templated over the
+// scalar; `Matrix` (double) and `ComplexMatrix` are the two instantiations
+// used.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace flames::linalg {
+
+using Vector = std::vector<double>;
+using ComplexVector = std::vector<std::complex<double>>;
+
+/// Row-major dense matrix over scalar T.
+template <typename T>
+class BasicMatrix {
+ public:
+  BasicMatrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  BasicMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// Square n x n matrix, zero-initialised.
+  static BasicMatrix square(std::size_t n) { return BasicMatrix(n, n); }
+
+  /// Identity matrix of size n.
+  static BasicMatrix identity(std::size_t n) {
+    BasicMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] T& at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] T at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+  }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  T operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Adds v to entry (r, c) — the MNA "stamp" primitive.
+  void addAt(std::size_t r, std::size_t c, T v) { data_[r * cols_ + c] += v; }
+
+  void fill(T v) {
+    for (T& d : data_) d = v;
+  }
+
+  /// Matrix-vector product; requires x.size() == cols().
+  [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const {
+    if (x.size() != cols_) {
+      throw std::invalid_argument("Matrix::multiply size");
+    }
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) {
+        acc += data_[r * cols_ + c] * x[c];
+      }
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  /// Max-abs norm of the matrix entries.
+  [[nodiscard]] double maxAbs() const {
+    double m = 0.0;
+    for (const T& d : data_) m = std::max(m, std::abs(d));
+    return m;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = BasicMatrix<double>;
+using ComplexMatrix = BasicMatrix<std::complex<double>>;
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const BasicMatrix<T>& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << '[';
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << "]\n";
+  }
+  return os;
+}
+
+/// Euclidean norm of a vector.
+[[nodiscard]] double norm2(const Vector& v);
+
+/// Max-abs norm of a vector.
+[[nodiscard]] double normInf(const Vector& v);
+
+/// Component-wise difference a - b; requires equal sizes.
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+
+}  // namespace flames::linalg

@@ -1,0 +1,105 @@
+#include "workload/generators.h"
+
+#include <stdexcept>
+
+namespace flames::workload {
+
+using circuit::Netlist;
+
+Netlist gainChain(std::size_t stages, double sourceVolts, double gain,
+                  double gainSpread) {
+  Netlist net;
+  net.addVSource("Vin", "t0", "0", sourceVolts, 0.0);
+  for (std::size_t i = 1; i <= stages; ++i) {
+    const std::string in = "t" + std::to_string(i - 1);
+    const std::string out = "t" + std::to_string(i);
+    net.addGain("amp" + std::to_string(i), in, out, gain,
+                gain > 0.0 ? gainSpread / gain : 0.0);
+  }
+  return net;
+}
+
+Netlist resistorLadder(std::size_t sections, double sourceVolts,
+                       double seriesOhms, double shuntOhms, double relTol) {
+  Netlist net;
+  net.addVSource("Vin", "t0", "0", sourceVolts, 0.0);
+  for (std::size_t i = 1; i <= sections; ++i) {
+    const std::string prev = "t" + std::to_string(i - 1);
+    const std::string cur = "t" + std::to_string(i);
+    net.addResistor("Rs" + std::to_string(i), prev, cur, seriesOhms, relTol);
+    net.addResistor("Rp" + std::to_string(i), cur, "0", shuntOhms, relTol);
+  }
+  return net;
+}
+
+Netlist dividerCascade(std::size_t stages, double sourceVolts, double rTop,
+                       double rBottom, double gain, double relTol) {
+  Netlist net;
+  net.addVSource("Vin", "t0", "0", sourceVolts, 0.0);
+  for (std::size_t i = 1; i <= stages; ++i) {
+    const std::string in = "t" + std::to_string(i - 1);
+    const std::string mid = "m" + std::to_string(i);
+    const std::string out = "t" + std::to_string(i);
+    net.addResistor("Rt" + std::to_string(i), in, mid, rTop, relTol);
+    net.addResistor("Rb" + std::to_string(i), mid, "0", rBottom, relTol);
+    net.addGain("buf" + std::to_string(i), mid, out, gain, relTol);
+  }
+  return net;
+}
+
+circuit::Netlist rcFilterChain(std::size_t stages, double seriesOhms,
+                               double baseFarads, double spacing,
+                               double relTol) {
+  Netlist net;
+  net.addVSource("Vin", "t0", "0", 1.0);
+  double farads = baseFarads;
+  for (std::size_t i = 1; i <= stages; ++i) {
+    const std::string in = "t" + std::to_string(i - 1);
+    const std::string mid = "f" + std::to_string(i);
+    const std::string out = "t" + std::to_string(i);
+    net.addResistor("R" + std::to_string(i), in, mid, seriesOhms, relTol);
+    net.addCapacitor("C" + std::to_string(i), mid, "0", farads, relTol);
+    net.addGain("buf" + std::to_string(i), mid, out, 1.0, 0.0);
+    farads /= spacing;
+  }
+  return net;
+}
+
+circuit::Netlist resistorGrid(std::size_t rows, std::size_t cols,
+                              double sourceVolts, double ohms,
+                              double relTol) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("resistorGrid: empty grid");
+  }
+  Netlist net;
+  auto nodeName = [](std::size_t r, std::size_t c) {
+    return "g" + std::to_string(r) + "_" + std::to_string(c);
+  };
+  net.addVSource("Vin", nodeName(0, 0), "0", sourceVolts, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        net.addResistor("Rh" + std::to_string(r) + "_" + std::to_string(c),
+                        nodeName(r, c), nodeName(r, c + 1), ohms, relTol);
+      }
+      if (r + 1 < rows) {
+        net.addResistor("Rv" + std::to_string(r) + "_" + std::to_string(c),
+                        nodeName(r, c), nodeName(r + 1, c), ohms, relTol);
+      }
+    }
+  }
+  net.addResistor("Rload", nodeName(rows - 1, cols - 1), "0", ohms, relTol);
+  return net;
+}
+
+std::vector<std::string> tapsOf(const circuit::Netlist& net,
+                                const std::string& prefix) {
+  std::vector<std::string> taps;
+  for (circuit::NodeId n = 1; n < net.nodeCount(); ++n) {
+    const std::string& name = net.nodeName(n);
+    if (name.rfind(prefix, 0) == 0) taps.push_back(name);
+  }
+  return taps;
+}
+
+}  // namespace flames::workload

@@ -1,0 +1,68 @@
+// Synthetic circuit generators for scaling studies (experiments E4-E6).
+//
+// The paper evaluates on one hand-built circuit; a credible release needs
+// parameterised workloads to characterise candidate-space explosion,
+// propagation cost and test-selection quality. All generators are
+// deterministic in their parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace flames::workload {
+
+/// Va -> amp1 -> n1 -> amp2 -> ... -> ampN -> nN: the Fig. 2 pattern
+/// generalised to N stages. `gainSpread` is the absolute spread per gain.
+[[nodiscard]] circuit::Netlist gainChain(std::size_t stages,
+                                         double sourceVolts = 1.0,
+                                         double gain = 1.5,
+                                         double gainSpread = 0.05);
+
+/// A resistive ladder: source feeding N series sections, each with a shunt
+/// resistor to ground; taps t1..tN are observable.
+[[nodiscard]] circuit::Netlist resistorLadder(std::size_t sections,
+                                              double sourceVolts = 10.0,
+                                              double seriesOhms = 1.0,
+                                              double shuntOhms = 2.0,
+                                              double relTol = 0.02);
+
+/// A chain of buffered voltage dividers: each stage divides by
+/// rTop/(rTop+rBottom) and re-amplifies with an ideal gain block, so faults
+/// in one stage do not load the previous one. Gives long single-path
+/// circuits with both resistors and gain blocks.
+[[nodiscard]] circuit::Netlist dividerCascade(std::size_t stages,
+                                              double sourceVolts = 8.0,
+                                              double rTop = 10.0,
+                                              double rBottom = 10.0,
+                                              double gain = 2.0,
+                                              double relTol = 0.02);
+
+/// A cascade of buffered RC lowpass sections with geometrically spaced
+/// corner frequencies: stage i has R = seriesOhms, C = baseFarads /
+/// spacing^(i-1), separated by unity gain buffers so the corners stay
+/// independent. Used by the dynamic-mode (AC) experiments.
+[[nodiscard]] circuit::Netlist rcFilterChain(std::size_t stages,
+                                             double seriesOhms = 1.0,
+                                             double baseFarads = 1.0,
+                                             double spacing = 4.0,
+                                             double relTol = 0.05);
+
+/// A rows x cols resistor mesh: node g_r_c at each grid point, horizontal
+/// and vertical resistors between neighbours, the source driving the
+/// top-left corner and the bottom-right corner grounded through a load.
+/// Every node voltage is observable; KCL-rich topology for propagation
+/// stress tests.
+[[nodiscard]] circuit::Netlist resistorGrid(std::size_t rows,
+                                            std::size_t cols,
+                                            double sourceVolts = 10.0,
+                                            double ohms = 1.0,
+                                            double relTol = 0.02);
+
+/// Observable node names of a generated circuit (the tap nodes, in order).
+[[nodiscard]] std::vector<std::string> tapsOf(const circuit::Netlist& net,
+                                              const std::string& prefix = "t");
+
+}  // namespace flames::workload

@@ -1,0 +1,96 @@
+#include "workload/scenarios.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "circuit/mna.h"
+
+namespace flames::workload {
+
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::Fault;
+using circuit::Netlist;
+
+std::vector<FaultScenario> sampleScenarios(const Netlist& net,
+                                           std::size_t count,
+                                           std::uint32_t seed,
+                                           ScenarioOptions options) {
+  // Faultable components (sources are trusted bench equipment).
+  std::vector<const Component*> pool;
+  for (const Component& c : net.components()) {
+    if (c.kind != ComponentKind::kVSource) pool.push_back(&c);
+  }
+  if (pool.empty()) return {};
+
+  // Menu of injectable faults per component.
+  auto menuFor = [&](const Component& c) {
+    std::vector<std::pair<std::string, Fault>> menu;
+    if (options.includeOpens) menu.emplace_back("open", Fault::open(c.name));
+    if (options.includeShorts && c.kind == ComponentKind::kResistor) {
+      menu.emplace_back("short", Fault::shortCircuit(c.name));
+    }
+    if (options.includeSoftDeviations) {
+      for (double f : options.softFactors) {
+        menu.emplace_back("x" + std::to_string(f),
+                          Fault::paramScale(c.name, f));
+      }
+    }
+    return menu;
+  };
+
+  std::mt19937 rng(seed);
+  std::vector<FaultScenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultScenario s;
+    std::uniform_int_distribution<std::size_t> nFaults(
+        1, std::max<std::size_t>(1, options.maxFaultsPerScenario));
+    const std::size_t k = nFaults(rng);
+    for (std::size_t j = 0; j < k; ++j) {
+      std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+      const Component& c = *pool[pick(rng)];
+      const auto menu = menuFor(c);
+      if (menu.empty()) continue;
+      std::uniform_int_distribution<std::size_t> pickMode(0, menu.size() - 1);
+      const auto& [modeName, fault] = menu[pickMode(rng)];
+      // Avoid faulting the same component twice in one scenario.
+      bool dup = false;
+      for (const Fault& f : s.faults) {
+        if (f.component == fault.component) dup = true;
+      }
+      if (dup) continue;
+      if (!s.description.empty()) s.description += " + ";
+      s.description += c.name + ":" + modeName;
+      s.faults.push_back(fault);
+    }
+    if (s.faults.empty()) {
+      s.description = "no-fault";
+    }
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+std::vector<ProbeReading> simulateMeasurements(
+    const Netlist& nominal, const std::vector<Fault>& faults,
+    const std::vector<std::string>& probes, double noise,
+    std::uint32_t noiseSeed) {
+  const Netlist faulted = circuit::applyFaults(nominal, faults);
+  const auto op = circuit::DcSolver(faulted).solve();
+  if (!op.converged) {
+    throw std::runtime_error("simulateMeasurements: faulted circuit did not converge");
+  }
+  std::mt19937 rng(noiseSeed);
+  std::uniform_real_distribution<double> dist(-noise, noise);
+  std::vector<ProbeReading> readings;
+  readings.reserve(probes.size());
+  for (const std::string& p : probes) {
+    double v = op.v(faulted.findNode(p));
+    if (noise > 0.0) v += dist(rng);
+    readings.push_back({p, v});
+  }
+  return readings;
+}
+
+}  // namespace flames::workload

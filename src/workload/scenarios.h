@@ -1,0 +1,55 @@
+// Fault-scenario sampling and measurement synthesis (experiments E3-E6, E8).
+//
+// A scenario is a set of injected faults plus the probes that will be read.
+// simulateMeasurements() plays the role of the bench: it solves the faulted
+// circuit and returns the probe voltages (optionally with deterministic
+// pseudo-random meter noise), which the diagnosis engine consumes without
+// ever seeing the fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/fault.h"
+#include "circuit/netlist.h"
+
+namespace flames::workload {
+
+/// One injected-fault scenario.
+struct FaultScenario {
+  std::string description;
+  std::vector<circuit::Fault> faults;
+};
+
+struct ScenarioOptions {
+  bool includeOpens = true;
+  bool includeShorts = true;
+  bool includeSoftDeviations = true;
+  /// Relative deviations used for soft faults (scale factors).
+  std::vector<double> softFactors = {1.15, 0.85, 1.5, 0.5};
+  std::size_t maxFaultsPerScenario = 1;
+};
+
+/// Deterministically samples `count` fault scenarios over the components of
+/// the netlist (seeded PRNG; sources are never faulted).
+[[nodiscard]] std::vector<FaultScenario> sampleScenarios(
+    const circuit::Netlist& net, std::size_t count, std::uint32_t seed,
+    ScenarioOptions options = {});
+
+/// A synthesised probe reading.
+struct ProbeReading {
+  std::string node;
+  double volts = 0.0;
+};
+
+/// Solves the faulted circuit and reads the probes. `noise` adds a
+/// deterministic pseudo-random absolute offset in [-noise, +noise] (meter
+/// error). Throws std::runtime_error if the faulted circuit cannot be
+/// solved.
+[[nodiscard]] std::vector<ProbeReading> simulateMeasurements(
+    const circuit::Netlist& nominal, const std::vector<circuit::Fault>& faults,
+    const std::vector<std::string>& probes, double noise = 0.0,
+    std::uint32_t noiseSeed = 1);
+
+}  // namespace flames::workload

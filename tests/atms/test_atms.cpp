@@ -1,0 +1,281 @@
+#include "atms/atms.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::atms {
+namespace {
+
+TEST(NogoodDb, AddAndQuery) {
+  NogoodDb db;
+  EXPECT_TRUE(db.add(Environment::of({1, 2}), 1.0));
+  EXPECT_TRUE(db.isInconsistent(Environment::of({1, 2, 3})));
+  EXPECT_FALSE(db.isInconsistent(Environment::of({1, 3})));
+  EXPECT_DOUBLE_EQ(db.degreeOf(Environment::of({1, 2})), 1.0);
+  EXPECT_DOUBLE_EQ(db.degreeOf(Environment::of({1})), 0.0);
+}
+
+TEST(NogoodDb, SubsumptionByStrongerSmaller) {
+  NogoodDb db;
+  EXPECT_TRUE(db.add(Environment::of({1}), 1.0));
+  // Superset with weaker-or-equal degree is redundant.
+  EXPECT_FALSE(db.add(Environment::of({1, 2}), 0.8));
+  EXPECT_FALSE(db.add(Environment::of({1, 2}), 1.0));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(NogoodDb, NewEntryRemovesSubsumed) {
+  NogoodDb db;
+  EXPECT_TRUE(db.add(Environment::of({1, 2}), 0.7));
+  EXPECT_TRUE(db.add(Environment::of({1}), 0.9));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.degreeOf(Environment::of({1, 2})), 0.9);
+}
+
+TEST(NogoodDb, PartialDegreesCoexistWithHard) {
+  NogoodDb db;
+  // A weak conflict on a small env and a hard one on a bigger env both
+  // carry information; neither subsumes the other.
+  EXPECT_TRUE(db.add(Environment::of({1}), 0.3));
+  EXPECT_TRUE(db.add(Environment::of({1, 2}), 1.0));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_FALSE(db.isInconsistent(Environment::of({1}), 1.0));
+  EXPECT_TRUE(db.isInconsistent(Environment::of({1}), 0.3));
+}
+
+TEST(NogoodDb, MinimalNogoodsLambdaCut) {
+  NogoodDb db;
+  db.add(Environment::of({1, 2}), 0.5);
+  db.add(Environment::of({2, 3}), 1.0);
+  db.add(Environment::of({1, 2, 4}), 0.4);  // subsumed at lambda 0.4? no:
+  // {1,2} deg .5 subsumes {1,2,4} deg .4 at insertion time.
+  EXPECT_EQ(db.size(), 2u);
+  const auto all = db.minimalNogoods(0.0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all.front().degree, 1.0);  // sorted by degree desc
+  const auto hard = db.minimalNogoods(1.0);
+  ASSERT_EQ(hard.size(), 1u);
+  EXPECT_EQ(hard.front().env, Environment::of({2, 3}));
+}
+
+TEST(Atms, AssumptionHasSingletonLabel) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  ASSERT_EQ(atms.label(a).size(), 1u);
+  EXPECT_EQ(atms.label(a).front().env.size(), 1u);
+  EXPECT_TRUE(atms.isAssumption(a));
+  EXPECT_TRUE(atms.isIn(a));
+  EXPECT_EQ(atms.datum(a), "A");
+}
+
+TEST(Atms, JustificationPropagatesUnion) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a, b}, n);
+  ASSERT_EQ(atms.label(n).size(), 1u);
+  EXPECT_EQ(atms.label(n).front().env.size(), 2u);
+}
+
+TEST(Atms, LabelMinimality) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a, b}, n);  // {A,B}
+  atms.justify({a}, n);     // {A} subsumes {A,B}
+  ASSERT_EQ(atms.label(n).size(), 1u);
+  EXPECT_EQ(atms.label(n).front().env.size(), 1u);
+}
+
+TEST(Atms, ChainedPropagation) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n1 = atms.addNode("n1");
+  const NodeId n2 = atms.addNode("n2");
+  atms.justify({n1}, n2);  // installed before n1 has a label
+  atms.justify({a}, n1);
+  EXPECT_TRUE(atms.isIn(n2));
+  EXPECT_TRUE(atms.holdsIn(n2, Environment::of({0})));
+}
+
+TEST(Atms, ContradictionCreatesNogoodAndPrunes) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a, b}, n);
+  EXPECT_TRUE(atms.isIn(n));
+  atms.justify({a, b}, atms.contradiction());
+  EXPECT_EQ(atms.nogoods().size(), 1u);
+  // n's only environment {A,B} is now inconsistent: label empties.
+  EXPECT_FALSE(atms.isIn(n));
+  // The assumptions themselves survive (singletons are consistent).
+  EXPECT_TRUE(atms.isIn(a));
+}
+
+TEST(Atms, InconsistentEnvironmentsNeverEnterLabels) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  atms.addNogood(Environment::of({0, 1}), 1.0);
+  const NodeId n = atms.addNode("n");
+  atms.justify({a, b}, n);
+  EXPECT_FALSE(atms.isIn(n));
+}
+
+TEST(Atms, FuzzyJustificationDegreesTakeMin) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n1 = atms.addNode("n1");
+  const NodeId n2 = atms.addNode("n2");
+  atms.justify({a}, n1, 0.8);
+  atms.justify({n1}, n2, 0.6);
+  ASSERT_EQ(atms.label(n2).size(), 1u);
+  EXPECT_DOUBLE_EQ(atms.label(n2).front().degree, 0.6);
+  EXPECT_TRUE(atms.isIn(n2, 0.5));
+  EXPECT_FALSE(atms.isIn(n2, 0.7));
+}
+
+TEST(Atms, PartialNogoodDoesNotPruneByDefault) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a}, n);
+  atms.addNogood(Environment::of({0}), 0.5);  // partial conflict on {A}
+  EXPECT_TRUE(atms.isIn(n));  // still believed (degree-1 threshold)
+  EXPECT_DOUBLE_EQ(atms.nogoods().degreeOf(Environment::of({0})), 0.5);
+}
+
+TEST(Atms, LoweredHardThresholdPrunesPartials) {
+  Atms atms;
+  atms.setHardConflictThreshold(0.4);
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a}, n);
+  atms.addNogood(Environment::of({0}), 0.5);
+  EXPECT_FALSE(atms.isIn(n));
+}
+
+TEST(Atms, PremiseGivesEmptyEnvironment) {
+  Atms atms;
+  const NodeId n = atms.addNode("n");
+  atms.premise(n);
+  ASSERT_EQ(atms.label(n).size(), 1u);
+  EXPECT_TRUE(atms.label(n).front().env.empty());
+  EXPECT_THROW(atms.premise(atms.contradiction()), std::invalid_argument);
+}
+
+TEST(Atms, DiamondDerivationKeepsMinimalEnvs) {
+  // n derivable via {A} and via {B}: label holds both minimal envs.
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a}, n);
+  atms.justify({b}, n);
+  EXPECT_EQ(atms.label(n).size(), 2u);
+}
+
+TEST(Atms, GdeStyleConflictScenario) {
+  // Classic GDE pattern: prediction from {A,B} conflicts with one from
+  // {C}; the nogood is {A,B,C}; retracting any one member restores
+  // consistency.
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  const NodeId c = atms.addAssumption("C");
+  const NodeId p1 = atms.addNode("pred1");
+  const NodeId p2 = atms.addNode("pred2");
+  atms.justify({a, b}, p1);
+  atms.justify({c}, p2);
+  atms.justify({p1, p2}, atms.contradiction());
+  ASSERT_EQ(atms.nogoods().size(), 1u);
+  EXPECT_EQ(atms.nogoods().all().front().env.size(), 3u);
+  EXPECT_TRUE(
+      atms.nogoods().isInconsistent(Environment::of({0, 1, 2})));
+  EXPECT_FALSE(atms.nogoods().isInconsistent(Environment::of({0, 1})));
+}
+
+TEST(Atms, BadNodeIdsThrow) {
+  Atms atms;
+  EXPECT_THROW((void)atms.label(99), std::out_of_range);
+  EXPECT_THROW((void)atms.datum(99), std::out_of_range);
+  EXPECT_THROW(atms.justify({99}, 0), std::out_of_range);
+}
+
+TEST(Atms, ExplainAssumptionAndPremise) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("ok(R1)");
+  const auto trace = atms.explain(a);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.front(), "ok(R1): assumption");
+
+  const NodeId p = atms.addNode("ground");
+  atms.premise(p);
+  const auto ptrace = atms.explain(p);
+  ASSERT_EQ(ptrace.size(), 1u);
+  EXPECT_EQ(ptrace.front(), "ground: premise");
+}
+
+TEST(Atms, ExplainChainListsLeavesFirst) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("ok(R1)");
+  const NodeId b = atms.addAssumption("ok(R2)");
+  const NodeId v = atms.addNode("v1");
+  const NodeId i = atms.addNode("i1");
+  atms.justify({a}, v, 1.0, "ohm");
+  atms.justify({v, b}, i, 1.0, "kcl");
+  const auto trace = atms.explain(i);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0], "ok(R1): assumption");
+  EXPECT_EQ(trace[1], "v1 <= [ohm] (ok(R1))");
+  EXPECT_EQ(trace[2], "ok(R2): assumption");
+  EXPECT_EQ(trace[3], "i1 <= [kcl] (v1, ok(R2))");
+}
+
+TEST(Atms, ExplainRespectsEnvironment) {
+  // Diamond: n derivable via {A} or via {B}. Explaining under {B} must use
+  // the B route.
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId b = atms.addAssumption("B");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a}, n, 1.0, "viaA");
+  atms.justify({b}, n, 1.0, "viaB");
+  const auto trace = atms.explain(n, Environment::of({1}));  // B only
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], "B: assumption");
+  EXPECT_EQ(trace[1], "n <= [viaB] (B)");
+}
+
+TEST(Atms, ExplainEmptyWhenNotHeld) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a}, n);
+  EXPECT_TRUE(atms.explain(n, Environment{}).empty());
+  const NodeId orphan = atms.addNode("orphan");
+  EXPECT_TRUE(atms.explain(orphan).empty());
+}
+
+TEST(Atms, ExplainCarriesDegrees) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n = atms.addNode("n");
+  atms.justify({a}, n, 0.8, "weak-rule");
+  const auto trace = atms.explain(n);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_NE(trace[1].find("degree 0.8"), std::string::npos);
+}
+
+TEST(Atms, AssumptionIdOf) {
+  Atms atms;
+  const NodeId a = atms.addAssumption("A");
+  const NodeId n = atms.addNode("n");
+  EXPECT_TRUE(atms.assumptionIdOf(a).has_value());
+  EXPECT_FALSE(atms.assumptionIdOf(n).has_value());
+}
+
+}  // namespace
+}  // namespace flames::atms

@@ -1,0 +1,149 @@
+#include "atms/candidates.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::atms {
+namespace {
+
+TEST(HittingSets, EmptyInputYieldsEmptyCandidate) {
+  const auto hits = minimalHittingSets({});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits.front().empty());
+}
+
+TEST(HittingSets, UnhittableEmptySet) {
+  EXPECT_TRUE(minimalHittingSets({{}}).empty());
+  EXPECT_TRUE(minimalHittingSets({{1}, {}}).empty());
+}
+
+TEST(HittingSets, SingleSet) {
+  const auto hits = minimalHittingSets({{1, 2}});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (std::vector<AssumptionId>{1}));
+  EXPECT_EQ(hits[1], (std::vector<AssumptionId>{2}));
+}
+
+TEST(HittingSets, PaperFig5Candidates) {
+  // Nogoods {r1,d1} and {r2,d1} (ids: r1=0, r2=1, d1=2):
+  // minimal hitting sets are {d1} and {r1,r2} — exactly the paper's
+  // "CANDIDATES: [d1] or [r1,r2]".
+  const auto hits = minimalHittingSets({{0, 2}, {1, 2}});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (std::vector<AssumptionId>{2}));
+  EXPECT_EQ(hits[1], (std::vector<AssumptionId>{0, 1}));
+}
+
+TEST(HittingSets, MinimalityFiltering) {
+  // {1} hits both sets; any superset must be filtered out.
+  const auto hits = minimalHittingSets({{1, 2}, {1, 3}});
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front(), (std::vector<AssumptionId>{1}));
+  for (const auto& h : hits) {
+    if (h.size() == 2) {
+      EXPECT_TRUE((h == std::vector<AssumptionId>{2, 3}));
+    }
+  }
+}
+
+TEST(HittingSets, CardinalityBound) {
+  // Three pairwise-disjoint sets need cardinality 3; bounding at 2 finds
+  // nothing.
+  const auto hits = minimalHittingSets({{1}, {2}, {3}}, 2);
+  EXPECT_TRUE(hits.empty());
+  const auto full = minimalHittingSets({{1}, {2}, {3}}, 3);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full.front(), (std::vector<AssumptionId>{1, 2, 3}));
+}
+
+TEST(ComponentSuspicion, MaxOverNogoods) {
+  NogoodDb db;
+  db.add(Environment::of({0, 2}), 0.5);
+  db.add(Environment::of({1, 2}), 1.0);
+  const auto s = componentSuspicion(db);
+  EXPECT_DOUBLE_EQ(s.at(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(2), 1.0);
+}
+
+TEST(Candidates, PaperFig5Ranking) {
+  // The fuzzy version of Fig. 5: nogood {r1,d1} degree 0.5, {r2,d1}
+  // degree 1. At lambda=0.01 both count: candidates {d1} and {r1,r2},
+  // with {d1} (suspicion 1) ranked above {r1,r2} (suspicion 0.5).
+  NogoodDb db;
+  db.add(Environment::of({0, 2}), 0.5);  // {r1, d1}
+  db.add(Environment::of({1, 2}), 1.0);  // {r2, d1}
+  const auto cands = candidatesAt(db, 0.01);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].members, (std::vector<AssumptionId>{2}));
+  EXPECT_DOUBLE_EQ(cands[0].suspicion, 1.0);
+  EXPECT_EQ(cands[1].members, (std::vector<AssumptionId>{0, 1}));
+  EXPECT_DOUBLE_EQ(cands[1].suspicion, 0.5);
+}
+
+TEST(Candidates, LambdaCutRestrictsExplosion) {
+  // At lambda=1 only the hard nogood {r2,d1} matters: candidates shrink to
+  // singletons {d1}, {r2} — the paper's "restrict the effect of explosion".
+  NogoodDb db;
+  db.add(Environment::of({0, 2}), 0.5);
+  db.add(Environment::of({1, 2}), 1.0);
+  const auto cands = candidatesAt(db, 1.0);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].members.size(), 1u);
+  EXPECT_EQ(cands[1].members.size(), 1u);
+}
+
+TEST(Candidates, LatticeEnumeratesAllDegrees) {
+  NogoodDb db;
+  db.add(Environment::of({0}), 0.3);
+  db.add(Environment::of({1}), 0.7);
+  db.add(Environment::of({2}), 1.0);
+  const auto lattice = candidateLattice(db);
+  ASSERT_EQ(lattice.size(), 3u);
+  EXPECT_DOUBLE_EQ(lattice[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(lattice[1].first, 0.7);
+  EXPECT_DOUBLE_EQ(lattice[2].first, 0.3);
+  // Stronger cuts have fewer nogoods to hit => smaller candidates.
+  EXPECT_EQ(lattice[0].second.front().members.size(), 1u);
+  EXPECT_EQ(lattice[2].second.front().members.size(), 3u);
+}
+
+TEST(Candidates, NoNogoodsMeansEmptyCandidate) {
+  NogoodDb db;
+  const auto cands = candidatesAt(db, 0.5);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands.front().members.empty());
+}
+
+TEST(HittingSets, MaxCandidatesCapRespected) {
+  // A single 6-element conflict has 6 singleton hitting sets; the cap
+  // truncates enumeration.
+  const auto hits = minimalHittingSets({{1, 2, 3, 4, 5, 6}}, 4, 3);
+  EXPECT_LE(hits.size(), 3u);
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(ComponentSuspicion, EmptyDbGivesEmptyMap) {
+  NogoodDb db;
+  EXPECT_TRUE(componentSuspicion(db).empty());
+}
+
+TEST(Candidates, SuspicionOfEmptyCandidateIsZero) {
+  NogoodDb db;
+  const auto cands = candidatesAt(db, 0.5);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_DOUBLE_EQ(cands.front().suspicion, 0.0);
+}
+
+TEST(Candidates, MultiFaultScenario) {
+  // Two independent hard conflicts on disjoint component sets force a
+  // double-fault candidate.
+  NogoodDb db;
+  db.add(Environment::of({0, 1}), 1.0);
+  db.add(Environment::of({2, 3}), 1.0);
+  const auto cands = candidatesAt(db, 1.0);
+  ASSERT_EQ(cands.size(), 4u);
+  for (const auto& c : cands) EXPECT_EQ(c.members.size(), 2u);
+}
+
+}  // namespace
+}  // namespace flames::atms

@@ -1,0 +1,106 @@
+#include "atms/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::atms {
+namespace {
+
+TEST(Environment, EmptyBasics) {
+  Environment e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_FALSE(e.contains(0));
+  EXPECT_TRUE(e.isSubsetOf(Environment{}));
+}
+
+TEST(Environment, InsertContains) {
+  Environment e;
+  e.insert(3);
+  e.insert(70);  // crosses the 64-bit word boundary
+  EXPECT_TRUE(e.contains(3));
+  EXPECT_TRUE(e.contains(70));
+  EXPECT_FALSE(e.contains(4));
+  EXPECT_EQ(e.size(), 2u);
+}
+
+TEST(Environment, EraseAndNormalize) {
+  Environment e = Environment::of({3, 70});
+  e.erase(70);
+  EXPECT_FALSE(e.contains(70));
+  EXPECT_EQ(e.size(), 1u);
+  e.erase(3);
+  EXPECT_TRUE(e.empty());
+  // Erasing a missing id is a no-op.
+  e.erase(99);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Environment, SubsetTests) {
+  const Environment small = Environment::of({1, 2});
+  const Environment big = Environment::of({1, 2, 3});
+  EXPECT_TRUE(small.isSubsetOf(big));
+  EXPECT_FALSE(big.isSubsetOf(small));
+  EXPECT_TRUE(small.isSubsetOf(small));
+  EXPECT_TRUE(Environment{}.isSubsetOf(small));
+  EXPECT_TRUE(big.isSupersetOf(small));
+}
+
+TEST(Environment, SubsetAcrossWordBoundary) {
+  const Environment small = Environment::of({70});
+  const Environment big = Environment::of({1, 70, 130});
+  EXPECT_TRUE(small.isSubsetOf(big));
+  EXPECT_FALSE(Environment::of({69}).isSubsetOf(big));
+}
+
+TEST(Environment, UnionWith) {
+  const Environment a = Environment::of({1, 2});
+  const Environment b = Environment::of({2, 70});
+  const Environment u = a.unionWith(b);
+  EXPECT_EQ(u, Environment::of({1, 2, 70}));
+  EXPECT_TRUE(a.isSubsetOf(u));
+  EXPECT_TRUE(b.isSubsetOf(u));
+}
+
+TEST(Environment, IntersectWith) {
+  const Environment a = Environment::of({1, 2, 70});
+  const Environment b = Environment::of({2, 70, 99});
+  EXPECT_EQ(a.intersectWith(b), Environment::of({2, 70}));
+  EXPECT_TRUE(a.intersectWith(Environment{}).empty());
+}
+
+TEST(Environment, Intersects) {
+  EXPECT_TRUE(Environment::of({1, 2}).intersects(Environment::of({2, 3})));
+  EXPECT_FALSE(Environment::of({1, 2}).intersects(Environment::of({3, 4})));
+  EXPECT_FALSE(Environment{}.intersects(Environment::of({1})));
+}
+
+TEST(Environment, IdsAreSorted) {
+  const Environment e = Environment::of({70, 1, 33});
+  const std::vector<AssumptionId> expected{1, 33, 70};
+  EXPECT_EQ(e.ids(), expected);
+}
+
+TEST(Environment, Str) {
+  EXPECT_EQ(Environment::of({2, 1}).str(), "{1,2}");
+  EXPECT_EQ(Environment{}.str(), "{}");
+}
+
+TEST(Environment, OrderingBySizeThenContent) {
+  const Environment small = Environment::of({5});
+  const Environment big = Environment::of({1, 2});
+  EXPECT_TRUE(small.orderedBefore(big));
+  EXPECT_FALSE(big.orderedBefore(small));
+  EXPECT_FALSE(small.orderedBefore(small));
+  const Environment other = Environment::of({6});
+  EXPECT_TRUE(small.orderedBefore(other));
+}
+
+TEST(Environment, EqualityIgnoresConstructionOrder) {
+  EXPECT_EQ(Environment::of({1, 2, 3}), Environment::of({3, 2, 1}));
+  Environment viaErase = Environment::of({1, 2, 70});
+  viaErase.erase(70);
+  EXPECT_EQ(viaErase, Environment::of({1, 2}));
+}
+
+}  // namespace
+}  // namespace flames::atms

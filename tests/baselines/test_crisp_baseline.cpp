@@ -1,0 +1,73 @@
+#include "baselines/crisp_diagnosis.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::baselines {
+namespace {
+
+using atms::Environment;
+using constraints::Model;
+using constraints::QuantityId;
+using fuzzy::FuzzyInterval;
+
+// A small model with two predictions guarded by different components.
+struct Fixture {
+  Model model;
+  QuantityId x;
+  atms::AssumptionId c1, c2;
+
+  Fixture() {
+    c1 = model.addAssumption("C1");
+    c2 = model.addAssumption("C2");
+    x = model.addQuantity("x");
+    model.addPrediction(x, FuzzyInterval::about(5.0, 0.5),
+                        Environment::of({c1}));
+    model.addPrediction(x, FuzzyInterval::about(5.1, 0.5),
+                        Environment::of({c2}));
+  }
+};
+
+TEST(CrispBaseline, QuietOnConsistentMeasurement) {
+  Fixture f;
+  const auto result =
+      diagnoseCrisp(f.model, {{f.x, FuzzyInterval::about(5.0, 0.1)}});
+  EXPECT_TRUE(result.propagationCompleted);
+  EXPECT_TRUE(result.nogoods.empty());
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_TRUE(result.candidates.front().empty());  // nothing to explain
+}
+
+TEST(CrispBaseline, DisjointMeasurementBlamesBoth) {
+  Fixture f;
+  const auto result =
+      diagnoseCrisp(f.model, {{f.x, FuzzyInterval::about(9.0, 0.1)}});
+  ASSERT_EQ(result.nogoods.size(), 2u);
+  // Candidates: hitting sets of {C1} and {C2} => {C1, C2}.
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates.front().size(), 2u);
+}
+
+TEST(CrispBaseline, SoftFaultIsMasked) {
+  // Measurement overlapping both predictions: the crisp engine reports
+  // nothing, even though the shift is visible — the paper's §4.2 masking
+  // argument. (The fuzzy engine flags this same input as a partial
+  // conflict; see the integration tests.)
+  Fixture f;
+  const auto result =
+      diagnoseCrisp(f.model, {{f.x, FuzzyInterval::about(5.45, 0.1)}});
+  EXPECT_TRUE(result.nogoods.empty());
+}
+
+TEST(CrispBaseline, NamesResolveThroughModel) {
+  Fixture f;
+  const auto result =
+      diagnoseCrisp(f.model, {{f.x, FuzzyInterval::about(9.0, 0.1)}});
+  for (const auto& ng : result.nogoods) {
+    for (const auto& name : ng) {
+      EXPECT_TRUE(name == "C1" || name == "C2");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flames::baselines

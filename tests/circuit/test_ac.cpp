@@ -1,0 +1,165 @@
+#include "circuit/ac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/fault.h"
+
+namespace flames::circuit {
+namespace {
+
+// Units: V / kOhm / mA => capacitance unit is microfarad-compatible
+// (1/(kOhm * uF) = 1/ms); frequencies below are consistent within the unit
+// system (hertz values are 1/(2 pi R C) style).
+
+Netlist rcLowpass() {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 1.0);
+  n.addResistor("R1", "in", "out", 1.0);     // 1 kOhm
+  n.addCapacitor("C1", "out", "0", 1.0);     // 1 uF => fc = 1/(2 pi) kHz-ish
+  return n;
+}
+
+TEST(Ac, LowpassDcGainIsUnity) {
+  const AcSolver solver(rcLowpass());
+  EXPECT_NEAR(solver.gainMagnitude(0.0, "Vin", "out"), 1.0, 1e-9);
+}
+
+TEST(Ac, LowpassCornerIsMinus3dB) {
+  // fc = 1/(2 pi R C): |H| = 1/sqrt(2).
+  const double fc = 1.0 / (2.0 * std::numbers::pi);
+  const AcSolver solver(rcLowpass());
+  EXPECT_NEAR(solver.gainMagnitude(fc, "Vin", "out"), 1.0 / std::sqrt(2.0),
+              1e-9);
+}
+
+TEST(Ac, LowpassRollsOffAtHighFrequency) {
+  const AcSolver solver(rcLowpass());
+  const double g10 = solver.gainMagnitude(10.0, "Vin", "out");
+  const double g100 = solver.gainMagnitude(100.0, "Vin", "out");
+  EXPECT_LT(g10, 0.1);
+  // One-pole rolloff: x10 frequency => x10 attenuation.
+  EXPECT_NEAR(g10 / g100, 10.0, 0.2);
+}
+
+TEST(Ac, PhaseLagOfLowpass) {
+  const double fc = 1.0 / (2.0 * std::numbers::pi);
+  const AcSolver solver(rcLowpass());
+  const auto point = solver.solve(2.0 * std::numbers::pi * fc, "Vin");
+  const Netlist net = rcLowpass();
+  EXPECT_NEAR(point.phaseDegrees(rcLowpass().findNode("out")), -45.0, 1e-6);
+  (void)net;
+}
+
+TEST(Ac, HighpassWithInductor) {
+  // R-L highpass: out across L. |H| -> 1 at high f, -> 0 at DC.
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 1.0);
+  n.addResistor("R1", "in", "out", 1.0);
+  n.addInductor("L1", "out", "0", 1.0);
+  const AcSolver solver(n);
+  EXPECT_NEAR(solver.gainMagnitude(0.0, "Vin", "out"), 0.0, 1e-9);
+  EXPECT_GT(solver.gainMagnitude(100.0, "Vin", "out"), 0.99);
+}
+
+TEST(Ac, InductorIsDcShort) {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0);
+  n.addInductor("L1", "mid", "out", 1.0);
+  n.addResistor("R2", "out", "0", 1.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(n.findNode("mid")), op.v(n.findNode("out")), 1e-9);
+  EXPECT_NEAR(op.v(n.findNode("out")), 5.0, 1e-9);
+  EXPECT_NEAR(DcSolver(n).current(op, "L1"), 5.0, 1e-9);
+}
+
+TEST(Ac, CapacitorIsDcOpen) {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0);
+  n.addCapacitor("C1", "mid", "0", 1.0);
+  n.addResistor("R2", "mid", "0", 1.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(n.findNode("mid")), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(DcSolver(n).current(op, "C1"), 0.0);
+}
+
+TEST(Ac, GainBlockPassesThrough) {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 1.0);
+  n.addGain("amp", "in", "out", 5.0);
+  const AcSolver solver(n);
+  EXPECT_NEAR(solver.gainMagnitude(1.0, "Vin", "out"), 5.0, 1e-9);
+}
+
+TEST(Ac, CommonEmitterAmplifierHasGain) {
+  // Stage-1 of the Fig. 6 amplifier with an AC input coupled into the base
+  // node through a capacitor: small-signal gain ~ -gm * (R2 || R1-ish)
+  // must exceed 10x at mid-band.
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 18.0);
+  n.addResistor("R2", "vcc", "V1", 12.0);
+  n.addResistor("R1", "V1", "N1", 200.0);
+  n.addResistor("R3", "N1", "0", 24.0);
+  n.addNpn("T1", "V1", "N1", "0", 300.0);
+  n.addVSource("Vsig", "sig", "0", 0.0);     // AC input, 0 V DC bias
+  n.addResistor("Rs", "sig", "cin", 10.0);   // source resistance
+  n.addCapacitor("Cc", "cin", "N1", 100.0);  // coupling cap
+  const AcSolver solver(n);
+  const double g = solver.gainMagnitude(10.0, "Vsig", "V1");
+  EXPECT_GT(g, 10.0);
+}
+
+TEST(Ac, UnknownSourceThrows) {
+  const Netlist n = rcLowpass();
+  const AcSolver solver(n);
+  EXPECT_THROW((void)solver.solve(1.0, "R1"), std::runtime_error);
+  EXPECT_THROW((void)solver.solve(1.0, "nope"), std::out_of_range);
+}
+
+TEST(Ac, SweepHelperMatchesPointwise) {
+  const Netlist n = rcLowpass();
+  const std::vector<double> freqs = {0.01, 0.1, 1.0, 10.0};
+  const auto sweep = acMagnitudeSweep(n, "Vin", "out", freqs);
+  const AcSolver solver(n);
+  ASSERT_EQ(sweep.size(), freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    EXPECT_NEAR(sweep[i], solver.gainMagnitude(freqs[i], "Vin", "out"), 1e-12);
+  }
+  // Monotone rolloff for a one-pole filter.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i], sweep[i - 1]);
+  }
+}
+
+TEST(Ac, MagnitudeDbOfUnityIsZero) {
+  const AcSolver solver(rcLowpass());
+  const auto p = solver.solve(0.0, "Vin");
+  EXPECT_NEAR(p.magnitudeDb(rcLowpass().findNode("out")), 0.0, 1e-6);
+}
+
+TEST(Ac, NetlistValidation) {
+  Netlist n;
+  EXPECT_THROW(n.addCapacitor("C", "a", "0", 0.0), std::invalid_argument);
+  EXPECT_THROW(n.addInductor("L", "a", "0", -1.0), std::invalid_argument);
+  EXPECT_EQ(kindName(ComponentKind::kCapacitor), "capacitor");
+  EXPECT_EQ(kindName(ComponentKind::kInductor), "inductor");
+}
+
+TEST(Ac, FaultedCapacitorChangesResponse) {
+  const Netlist nominal = rcLowpass();
+  const Netlist faulted = applyFaults(nominal, {Fault::open("C1")});
+  const double fc = 1.0 / (2.0 * std::numbers::pi);
+  const double gNominal = AcSolver(nominal).gainMagnitude(10.0 * fc, "Vin", "out");
+  const double gFaulted = AcSolver(faulted).gainMagnitude(10.0 * fc, "Vin", "out");
+  EXPECT_LT(gNominal, 0.2);
+  EXPECT_GT(gFaulted, 0.9);  // open cap: no rolloff
+}
+
+}  // namespace
+}  // namespace flames::circuit

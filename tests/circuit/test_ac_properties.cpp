@@ -1,0 +1,114 @@
+// Property-based checks on the AC solver: linear-network identities that
+// must hold for any parameter draw (DC limit, reciprocity of magnitude to
+// source scaling, monotone rolloff of RC ladders, Kramers-Kronig-style
+// sanity of phase signs).
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+#include "circuit/ac.h"
+#include "workload/generators.h"
+
+namespace flames::circuit {
+namespace {
+
+class AcPropertyTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  std::mt19937 rng_{GetParam()};
+
+  Netlist randomRcLadder(std::size_t stages) {
+    std::uniform_real_distribution<double> ur(0.5, 2.0);
+    Netlist n;
+    n.addVSource("Vin", "t0", "0", 1.0);
+    for (std::size_t i = 1; i <= stages; ++i) {
+      n.addResistor("R" + std::to_string(i), "t" + std::to_string(i - 1),
+                    "t" + std::to_string(i), ur(rng_));
+      n.addCapacitor("C" + std::to_string(i), "t" + std::to_string(i), "0",
+                     ur(rng_));
+    }
+    return n;
+  }
+};
+
+TEST_P(AcPropertyTest, ZeroFrequencyMatchesDcTransfer) {
+  // At w = 0 capacitors vanish and the AC system equals the DC one driven
+  // by a unit source: for a ladder with no DC path to ground except the
+  // caps, the transfer is exactly 1 at every tap.
+  const Netlist n = randomRcLadder(3);
+  const AcSolver solver(n);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_NEAR(solver.gainMagnitude(0.0, "Vin", "t" + std::to_string(i)),
+                1.0, 1e-9);
+  }
+}
+
+TEST_P(AcPropertyTest, MagnitudeNonIncreasingAlongLadder) {
+  // Passive RC ladder: each extra section can only attenuate.
+  const Netlist n = randomRcLadder(4);
+  const AcSolver solver(n);
+  for (double f : {0.05, 0.2, 1.0, 5.0}) {
+    double prev = 1.0 + 1e-12;
+    for (int i = 1; i <= 4; ++i) {
+      const double g = solver.gainMagnitude(f, "Vin", "t" + std::to_string(i));
+      EXPECT_LE(g, prev + 1e-9) << "f=" << f << " stage " << i;
+      prev = g;
+    }
+  }
+}
+
+TEST_P(AcPropertyTest, MagnitudeMonotoneInFrequencyForLowpass) {
+  const Netlist n = randomRcLadder(2);
+  const AcSolver solver(n);
+  double prev = 1.0 + 1e-12;
+  for (double f = 0.02; f < 30.0; f *= 2.0) {
+    const double g = solver.gainMagnitude(f, "Vin", "t2");
+    EXPECT_LE(g, prev + 1e-9) << "f=" << f;
+    prev = g;
+  }
+}
+
+TEST_P(AcPropertyTest, PhaseLagNegativeForLowpass) {
+  const Netlist n = randomRcLadder(2);
+  const AcSolver solver(n);
+  for (double f : {0.1, 0.5, 2.0}) {
+    const auto p = solver.solve(2.0 * std::numbers::pi * f, "Vin");
+    EXPECT_LT(p.phaseDegrees(n.findNode("t2")), 0.0) << "f=" << f;
+  }
+}
+
+TEST_P(AcPropertyTest, PassivityMagnitudeBounded) {
+  // A passive RC network driven by a unit source can exceed 1 nowhere.
+  const Netlist n = randomRcLadder(3);
+  const AcSolver solver(n);
+  for (double f : {0.0, 0.1, 1.0, 10.0, 100.0}) {
+    for (int i = 1; i <= 3; ++i) {
+      EXPECT_LE(solver.gainMagnitude(f, "Vin", "t" + std::to_string(i)),
+                1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(AcPropertyTest, RcProductInvariance) {
+  // Scaling every R by k and every C by 1/k leaves all corner frequencies
+  // (hence every |H|) unchanged.
+  Netlist a = randomRcLadder(2);
+  Netlist b = a;
+  const double k = 3.0;
+  for (auto& c : b.components()) {
+    if (c.kind == ComponentKind::kResistor) c.value *= k;
+    if (c.kind == ComponentKind::kCapacitor) c.value /= k;
+  }
+  const AcSolver sa(a), sb(b);
+  for (double f : {0.05, 0.3, 2.0, 9.0}) {
+    EXPECT_NEAR(sa.gainMagnitude(f, "Vin", "t2"),
+                sb.gainMagnitude(f, "Vin", "t2"), 1e-9)
+        << "f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcPropertyTest,
+                         ::testing::Values(1u, 7u, 13u, 42u, 99u));
+
+}  // namespace
+}  // namespace flames::circuit

@@ -1,0 +1,110 @@
+#include "circuit/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+#include "circuit/mna.h"
+
+namespace flames::circuit {
+namespace {
+
+Netlist divider() {
+  Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0);
+  n.addResistor("R2", "mid", "0", 1.0);
+  return n;
+}
+
+TEST(Fault, Describe) {
+  EXPECT_EQ(Fault::open("R1").describe(), "R1: open");
+  EXPECT_EQ(Fault::shortCircuit("R1").describe(), "R1: short");
+  EXPECT_EQ(Fault::paramExact("R1", 2.5).describe(), "R1: param-exact 2.5");
+  EXPECT_EQ(Fault::pinOpen("R1", 1).describe(), "R1: pin-open pin 1");
+}
+
+TEST(Fault, OpenResistorKillsDividerCurrent) {
+  const Netlist faulted = applyFaults(divider(), {Fault::open("R1")});
+  const auto op = DcSolver(faulted).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(faulted.findNode("mid")), 0.0, 1e-6);
+}
+
+TEST(Fault, ShortResistorPullsNodeToSource) {
+  const Netlist faulted = applyFaults(divider(), {Fault::shortCircuit("R1")});
+  const auto op = DcSolver(faulted).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(faulted.findNode("mid")), 10.0, 1e-4);
+}
+
+TEST(Fault, ParamExactChangesRatio) {
+  const Netlist faulted =
+      applyFaults(divider(), {Fault::paramExact("R2", 3.0)});
+  const auto op = DcSolver(faulted).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(faulted.findNode("mid")), 7.5, 1e-9);
+}
+
+TEST(Fault, ParamScaleMultiplies) {
+  const Netlist faulted = applyFaults(divider(), {Fault::paramScale("R2", 3.0)});
+  const auto op = DcSolver(faulted).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(faulted.findNode("mid")), 7.5, 1e-9);
+}
+
+TEST(Fault, PinOpenDisconnectsResistor) {
+  const Netlist faulted = applyFaults(divider(), {Fault::pinOpen("R2", 0)});
+  const auto op = DcSolver(faulted).solve();
+  ASSERT_TRUE(op.converged);
+  // R2 detached from mid: divider becomes source -> R1 -> open: mid ~ 10 V.
+  EXPECT_NEAR(op.v(faulted.findNode("mid")), 10.0, 1e-3);
+}
+
+TEST(Fault, PinOpenOutOfRangeThrows) {
+  EXPECT_THROW(applyFaults(divider(), {Fault::pinOpen("R2", 5)}),
+               std::invalid_argument);
+}
+
+TEST(Fault, OpenTransistorLeavesNoFloatingNodes) {
+  Netlist n = paperFig6ThreeStageAmp();
+  const Netlist faulted = applyFaults(n, {Fault::open("T2")});
+  const auto op = DcSolver(faulted).solve();
+  EXPECT_TRUE(op.converged);
+}
+
+TEST(Fault, MultipleFaultsCompose) {
+  const Netlist faulted = applyFaults(
+      divider(), {Fault::paramScale("R1", 2.0), Fault::paramScale("R2", 2.0)});
+  const auto op = DcSolver(faulted).solve();
+  ASSERT_TRUE(op.converged);
+  // Ratio preserved: still 5 V.
+  EXPECT_NEAR(op.v(faulted.findNode("mid")), 5.0, 1e-9);
+}
+
+TEST(Fault, NominalNetlistUntouched) {
+  const Netlist original = divider();
+  const Netlist faulted = applyFaults(original, {Fault::open("R1")});
+  (void)faulted;
+  EXPECT_DOUBLE_EQ(original.component("R1").value, 1.0);
+  EXPECT_EQ(original.component("R1").kind, ComponentKind::kResistor);
+}
+
+TEST(Fault, Fig7ScenariosAllSolvable) {
+  // The five defects of the paper's experimental table must all simulate.
+  const Netlist nominal = paperFig6ThreeStageAmp();
+  const std::vector<std::vector<Fault>> scenarios = {
+      {Fault::shortCircuit("R2")},
+      {Fault::paramExact("R2", 12.18)},
+      {Fault::paramExact("T2", 194.0)},
+      {Fault::open("R3")},
+      {Fault::pinOpen("T1", 1)},  // "open circuit in N1" at the base
+  };
+  for (const auto& faults : scenarios) {
+    const Netlist faulted = applyFaults(nominal, faults);
+    const auto op = DcSolver(faulted).solve();
+    EXPECT_TRUE(op.converged) << faults.front().describe();
+  }
+}
+
+}  // namespace
+}  // namespace flames::circuit

@@ -1,0 +1,153 @@
+#include "circuit/mna.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+
+namespace flames::circuit {
+namespace {
+
+TEST(Mna, VoltageDivider) {
+  Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0);
+  n.addResistor("R2", "mid", "0", 1.0);
+  DcSolver solver(n);
+  const auto op = solver.solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(solver.voltage(op, "mid"), 5.0, 1e-9);
+  EXPECT_NEAR(solver.voltage(op, "in"), 10.0, 1e-9);
+  EXPECT_NEAR(solver.current(op, "R1"), 5.0, 1e-9);
+  EXPECT_NEAR(solver.current(op, "R2"), 5.0, 1e-9);
+}
+
+TEST(Mna, GainBlockChain) {
+  Netlist n;
+  n.addVSource("V1", "a", "0", 2.0);
+  n.addGain("amp1", "a", "b", 3.0);
+  n.addGain("amp2", "b", "c", -0.5);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(n.findNode("b")), 6.0, 1e-9);
+  EXPECT_NEAR(op.v(n.findNode("c")), -3.0, 1e-9);
+}
+
+TEST(Mna, DiodeConductsWhenForwardBiased) {
+  Netlist n;
+  n.addVSource("V1", "in", "0", 5.0);
+  n.addDiode("D1", "in", "k", 0.7);
+  n.addResistor("R1", "k", "0", 1.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_EQ(op.states.at("D1"), DeviceState::kOn);
+  EXPECT_NEAR(op.v(n.findNode("k")), 4.3, 1e-9);
+  EXPECT_NEAR(op.branchCurrents.at("D1"), 4.3, 1e-9);
+}
+
+TEST(Mna, DiodeBlocksWhenReverseBiased) {
+  Netlist n;
+  n.addVSource("V1", "in", "0", -5.0);
+  n.addDiode("D1", "in", "k", 0.7);
+  n.addResistor("R1", "k", "0", 1.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_EQ(op.states.at("D1"), DeviceState::kOff);
+  EXPECT_NEAR(op.v(n.findNode("k")), 0.0, 1e-9);
+  EXPECT_NEAR(DcSolver(n).current(op, "D1"), 0.0, 1e-12);
+}
+
+TEST(Mna, NpnEmitterFollower) {
+  // 10 V supply, base driven at 5 V, emitter resistor 1 kOhm (values in V,
+  // kOhm, mA): Ve = 4.3 V, Ie = 4.3 mA, Ib = Ie / (beta + 1).
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 10.0);
+  n.addVSource("Vb", "b", "0", 5.0);
+  n.addNpn("T1", "vcc", "b", "e", 99.0);
+  n.addResistor("Re", "e", "0", 1.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_EQ(op.states.at("T1"), DeviceState::kOn);
+  EXPECT_NEAR(op.v(n.findNode("e")), 4.3, 1e-9);
+  const double ib = op.branchCurrents.at("T1");
+  EXPECT_NEAR(ib * 100.0, 4.3, 1e-9);  // (beta+1) Ib = Ie
+}
+
+TEST(Mna, NpnCutoffWhenBaseLow) {
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 10.0);
+  n.addVSource("Vb", "b", "0", 0.2);
+  n.addNpn("T1", "vcc", "b", "e", 100.0);
+  n.addResistor("Re", "e", "0", 1.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_EQ(op.states.at("T1"), DeviceState::kOff);
+  EXPECT_NEAR(op.v(n.findNode("e")), 0.0, 1e-9);
+}
+
+TEST(Mna, CommonEmitterWithFeedbackBias) {
+  // Stage 1 of the reconstructed Fig. 6 amplifier, standalone.
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 18.0);
+  n.addResistor("R2", "vcc", "V1", 12.0);
+  n.addResistor("R1", "V1", "N1", 200.0);
+  n.addResistor("R3", "N1", "0", 24.0);
+  n.addNpn("T1", "V1", "N1", "0", 300.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_EQ(op.states.at("T1"), DeviceState::kOn);
+  // Hand-computed operating point: Ib ~ 2.92 uA, V1 ~ 7.12 V.
+  EXPECT_NEAR(op.v(n.findNode("V1")), 7.12, 0.05);
+  EXPECT_NEAR(op.v(n.findNode("N1")), 0.7, 1e-9);
+  EXPECT_FALSE(op.saturationWarning);
+}
+
+TEST(Mna, Fig6ThreeStageAmpIsInLinearRegion) {
+  const Netlist n = paperFig6ThreeStageAmp();
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_FALSE(op.saturationWarning);
+  EXPECT_EQ(op.states.at("T1"), DeviceState::kOn);
+  EXPECT_EQ(op.states.at("T2"), DeviceState::kOn);
+  EXPECT_EQ(op.states.at("T3"), DeviceState::kOn);
+  const double v1 = op.v(n.findNode("V1"));
+  const double v2 = op.v(n.findNode("V2"));
+  const double vs = op.v(n.findNode("Vs"));
+  EXPECT_GT(v1, 1.0);
+  EXPECT_LT(v1, 17.0);
+  EXPECT_GT(v2, v1);   // stage 2 output sits above its base
+  EXPECT_NEAR(vs, v2 - 0.7, 1e-6);  // follower output
+}
+
+TEST(Mna, SingularCircuitThrows) {
+  // A node connected only through a gain input (draws no current) leaves
+  // that node's KCL row empty.
+  Netlist n;
+  n.addVSource("V1", "a", "0", 1.0);
+  n.addGain("amp", "floating", "out", 2.0);
+  EXPECT_THROW((void)DcSolver(n).solve(), std::runtime_error);
+}
+
+TEST(Mna, CurrentOfUnknownComponentThrows) {
+  Netlist n;
+  n.addVSource("V1", "a", "0", 1.0);
+  n.addResistor("R1", "a", "0", 1.0);
+  DcSolver solver(n);
+  const auto op = solver.solve();
+  EXPECT_THROW((void)solver.current(op, "nope"), std::out_of_range);
+}
+
+TEST(Mna, SaturationWarningDetected) {
+  // Common emitter with huge collector load saturates.
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 10.0);
+  n.addVSource("Vb", "b", "0", 2.0);
+  n.addResistor("Rb", "b", "bb", 1.0);
+  n.addNpn("T1", "c", "bb", "0", 500.0);
+  n.addResistor("Rc", "vcc", "c", 100.0);
+  const auto op = DcSolver(n).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_TRUE(op.saturationWarning);
+}
+
+}  // namespace
+}  // namespace flames::circuit

@@ -1,0 +1,119 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+
+namespace flames::circuit {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.node("0"), kGround);
+  EXPECT_EQ(n.node("gnd"), kGround);
+  EXPECT_EQ(n.node("GND"), kGround);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+  Netlist n;
+  const NodeId a = n.node("a");
+  EXPECT_EQ(n.node("a"), a);
+  EXPECT_EQ(n.findNode("a"), a);
+  EXPECT_EQ(n.nodeName(a), "a");
+  EXPECT_THROW((void)n.findNode("missing"), std::out_of_range);
+}
+
+TEST(Netlist, AddResistorWiresPins) {
+  Netlist n;
+  const Component& r = n.addResistor("R1", "a", "b", 10.0, 0.05);
+  EXPECT_EQ(r.kind, ComponentKind::kResistor);
+  EXPECT_EQ(r.pins.size(), 2u);
+  EXPECT_EQ(r.pins[0], n.findNode("a"));
+  EXPECT_EQ(r.pins[1], n.findNode("b"));
+  EXPECT_DOUBLE_EQ(r.value, 10.0);
+}
+
+TEST(Netlist, DuplicateComponentNameRejected) {
+  Netlist n;
+  n.addResistor("R1", "a", "0", 1.0);
+  EXPECT_THROW(n.addResistor("R1", "b", "0", 2.0), std::invalid_argument);
+}
+
+TEST(Netlist, NonPositiveResistanceRejected) {
+  Netlist n;
+  EXPECT_THROW(n.addResistor("R1", "a", "0", 0.0), std::invalid_argument);
+  EXPECT_THROW(n.addResistor("R2", "a", "0", -5.0), std::invalid_argument);
+}
+
+TEST(Netlist, ComponentLookup) {
+  Netlist n;
+  n.addResistor("R1", "a", "0", 1.0);
+  EXPECT_TRUE(n.hasComponent("R1"));
+  EXPECT_FALSE(n.hasComponent("R2"));
+  EXPECT_EQ(n.component("R1").name, "R1");
+  EXPECT_THROW((void)n.component("R2"), std::out_of_range);
+}
+
+TEST(Netlist, FuzzyValueUsesTolerance) {
+  Netlist n;
+  const Component& r = n.addResistor("R1", "a", "0", 100.0, 0.05);
+  const auto f = r.fuzzyValue();
+  EXPECT_DOUBLE_EQ(f.coreMidpoint(), 100.0);
+  EXPECT_DOUBLE_EQ(f.alpha(), 5.0);
+}
+
+TEST(Netlist, NpnPinOrderAndParams) {
+  Netlist n;
+  const Component& t = n.addNpn("T1", "c", "b", "e", 300.0, 0.1, 0.7, 0.05);
+  EXPECT_EQ(t.pins.size(), 3u);
+  EXPECT_EQ(n.nodeName(t.pins[0]), "c");
+  EXPECT_EQ(n.nodeName(t.pins[1]), "b");
+  EXPECT_EQ(n.nodeName(t.pins[2]), "e");
+  EXPECT_DOUBLE_EQ(t.fuzzyVbe().coreMidpoint(), 0.7);
+  EXPECT_DOUBLE_EQ(t.fuzzyVbe().alpha(), 0.05);
+  EXPECT_THROW(n.addNpn("T2", "c", "b", "e", -1.0), std::invalid_argument);
+}
+
+TEST(Netlist, KindNames) {
+  EXPECT_EQ(kindName(ComponentKind::kResistor), "resistor");
+  EXPECT_EQ(kindName(ComponentKind::kVSource), "vsource");
+  EXPECT_EQ(kindName(ComponentKind::kDiode), "diode");
+  EXPECT_EQ(kindName(ComponentKind::kGain), "gain");
+  EXPECT_EQ(kindName(ComponentKind::kNpn), "npn");
+}
+
+TEST(Catalog, Fig2ChainShape) {
+  const Netlist n = paperFig2Chain();
+  EXPECT_TRUE(n.hasComponent("amp1"));
+  EXPECT_TRUE(n.hasComponent("amp2"));
+  EXPECT_TRUE(n.hasComponent("amp3"));
+  // amp2 and amp3 are both driven from node B (the Fig. 2 arithmetic only
+  // reproduces with that topology).
+  EXPECT_EQ(n.component("amp2").pins[0], n.findNode("B"));
+  EXPECT_EQ(n.component("amp3").pins[0], n.findNode("B"));
+}
+
+TEST(Catalog, Fig5DiodeNetworkHasFuzzyRating) {
+  const Netlist n = paperFig5DiodeNetwork();
+  const Component& d1 = n.component("d1");
+  ASSERT_TRUE(d1.maxCurrent.has_value());
+  EXPECT_NEAR(d1.maxCurrent->m2(), 0.100, 1e-12);  // 100 uA in mA units
+  EXPECT_NEAR(d1.maxCurrent->beta(), 0.010, 1e-12);
+}
+
+TEST(Catalog, Fig6InventoryMatchesPaper) {
+  const Netlist n = paperFig6ThreeStageAmp();
+  EXPECT_DOUBLE_EQ(n.component("R1").value, 200.0);
+  EXPECT_DOUBLE_EQ(n.component("R2").value, 12.0);
+  EXPECT_DOUBLE_EQ(n.component("R3").value, 24.0);
+  EXPECT_DOUBLE_EQ(n.component("R4").value, 3.0);
+  EXPECT_DOUBLE_EQ(n.component("R5").value, 2.2);
+  EXPECT_DOUBLE_EQ(n.component("R6").value, 1.8);
+  EXPECT_DOUBLE_EQ(n.component("T1").value, 300.0);
+  EXPECT_DOUBLE_EQ(n.component("T2").value, 200.0);
+  EXPECT_DOUBLE_EQ(n.component("T3").value, 100.0);
+  EXPECT_DOUBLE_EQ(n.component("Vcc").value, 18.0);
+}
+
+}  // namespace
+}  // namespace flames::circuit

@@ -1,0 +1,207 @@
+#include "circuit/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/mna.h"
+
+namespace flames::circuit {
+namespace {
+
+TEST(EngineeringValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("12"), 12.0);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("1e3"), 1000.0);
+}
+
+TEST(EngineeringValue, Suffixes) {
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("12k"), 12000.0);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("4.7u"), 4.7e-6);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("10n"), 1e-8);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("1M"), 1e6);  // datasheet mega
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("2G"), 2e9);
+  EXPECT_DOUBLE_EQ(parseEngineeringValue("2K"), 2000.0);
+}
+
+TEST(EngineeringValue, Garbage) {
+  EXPECT_THROW(parseEngineeringValue(""), std::invalid_argument);
+  EXPECT_THROW(parseEngineeringValue("abc"), std::invalid_argument);
+  EXPECT_THROW(parseEngineeringValue("1x"), std::invalid_argument);
+}
+
+TEST(Parser, DividerRoundTrip) {
+  const auto net = parseNetlistString(R"(
+* simple divider
+V1 in 0 10
+R1 in mid 1 tol=5%
+R2 mid 0 1 tol=0.05
+)");
+  EXPECT_EQ(net.components().size(), 3u);
+  EXPECT_DOUBLE_EQ(net.component("R1").value, 1.0);
+  EXPECT_DOUBLE_EQ(net.component("R1").relTol, 0.05);
+  EXPECT_DOUBLE_EQ(net.component("R2").relTol, 0.05);
+  const auto op = DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(net.findNode("mid")), 5.0, 1e-9);
+}
+
+TEST(Parser, CommentsAndBlanksIgnored) {
+  const auto net = parseNetlistString(
+      "\n* leading comment\nV1 a 0 1 ; trailing comment\n  \nR1 a 0 1\n");
+  EXPECT_EQ(net.components().size(), 2u);
+}
+
+TEST(Parser, DotEndStopsParsing) {
+  const auto net = parseNetlistString("V1 a 0 1\n.end\nR1 a 0 1\n");
+  EXPECT_EQ(net.components().size(), 1u);
+}
+
+TEST(Parser, UnknownDirectiveThrows) {
+  EXPECT_THROW(parseNetlistString(".include foo\n"), ParseError);
+}
+
+TEST(Parser, TransistorCard) {
+  const auto net = parseNetlistString(
+      "Q1 c b e 300 tol=2% vbe=0.65 vbespread=0.02\n");
+  const Component& q = net.component("Q1");
+  EXPECT_EQ(q.kind, ComponentKind::kNpn);
+  EXPECT_DOUBLE_EQ(q.value, 300.0);
+  EXPECT_DOUBLE_EQ(q.relTol, 0.02);
+  EXPECT_DOUBLE_EQ(q.vbe, 0.65);
+  EXPECT_DOUBLE_EQ(q.vbeSpread, 0.02);
+}
+
+TEST(Parser, DiodeWithFuzzyRating) {
+  const auto net =
+      parseNetlistString("D1 a k 0.2 imax=[-0.001,0.1,0,0.01]\n");
+  const Component& d = net.component("D1");
+  ASSERT_TRUE(d.maxCurrent.has_value());
+  EXPECT_NEAR(d.maxCurrent->m2(), 0.1, 1e-12);
+  EXPECT_NEAR(d.maxCurrent->beta(), 0.01, 1e-12);
+}
+
+TEST(Parser, ReactiveAndGainCards) {
+  const auto net = parseNetlistString(
+      "V1 in 0 1\nC1 in mid 1u tol=5%\nL1 mid out 2m\nA1 out buf 2.5\n");
+  EXPECT_EQ(net.component("C1").kind, ComponentKind::kCapacitor);
+  EXPECT_DOUBLE_EQ(net.component("C1").value, 1e-6);
+  EXPECT_EQ(net.component("L1").kind, ComponentKind::kInductor);
+  EXPECT_DOUBLE_EQ(net.component("L1").value, 2e-3);
+  EXPECT_EQ(net.component("A1").kind, ComponentKind::kGain);
+  EXPECT_DOUBLE_EQ(net.component("A1").value, 2.5);
+}
+
+TEST(Parser, CaseInsensitiveKindLetter) {
+  const auto net = parseNetlistString("v1 a 0 1\nr1 a 0 2\n");
+  EXPECT_EQ(net.component("v1").kind, ComponentKind::kVSource);
+  EXPECT_EQ(net.component("r1").kind, ComponentKind::kResistor);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parseNetlistString("V1 a 0 1\nR1 a 0\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Parser, UnknownKindRejected) {
+  EXPECT_THROW(parseNetlistString("X1 a b 1\n"), ParseError);
+}
+
+TEST(Parser, BadOptionRejected) {
+  EXPECT_THROW(parseNetlistString("R1 a 0 1 frob=2\n"), ParseError);
+  EXPECT_THROW(parseNetlistString("R1 a 0 1 extra\n"), ParseError);
+}
+
+TEST(Parser, BadValueRejected) {
+  EXPECT_THROW(parseNetlistString("R1 a 0 zzz\n"), ParseError);
+  EXPECT_THROW(parseNetlistString("R1 a 0 -1\n"), ParseError);  // <= 0 ohms
+}
+
+TEST(Parser, BadFuzzyLiteralRejected) {
+  EXPECT_THROW(parseNetlistString("D1 a k 0.2 imax=[1,2,3]\n"), ParseError);
+  EXPECT_THROW(parseNetlistString("D1 a k 0.2 imax=1,2,3,4\n"), ParseError);
+  EXPECT_THROW(parseNetlistString("D1 a k 0.2 imax=[2,1,0,0]\n"), ParseError);
+}
+
+TEST(Parser, DuplicateNameRejected) {
+  EXPECT_THROW(parseNetlistString("R1 a 0 1\nR1 b 0 1\n"), ParseError);
+}
+
+TEST(Parser, Fig6NetlistParsesAndSolves) {
+  const auto net = parseNetlistString(R"(
+* paper Fig. 6 reconstruction, V / kOhm / mA units
+Vcc vcc 0 18
+R2 vcc V1 12 tol=1%
+R1 V1 N1 200 tol=1%
+R3 N1 0 24 tol=1%
+Q1 V1 N1 0 300 tol=2% vbe=0.7 vbespread=0.01
+R5 vcc V2 2.2 tol=1%
+R4 E2 0 3 tol=1%
+Q2 V2 V1 E2 200 tol=2% vbe=0.7 vbespread=0.01
+R6 Vs 0 1.8 tol=1%
+Q3 vcc V2 Vs 100 tol=2% vbe=0.7 vbespread=0.01
+.end
+)");
+  const auto op = DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(net.findNode("V1")), 7.11, 0.05);
+  EXPECT_FALSE(op.saturationWarning);
+}
+
+TEST(Writer, RoundTripPreservesEverything) {
+  const auto original = parseNetlistString(R"(
+Vcc vcc 0 18
+R2 vcc V1 12 tol=1%
+Q1 V1 N1 0 300 tol=2% vbe=0.7 vbespread=0.01
+D1 in n1 0.2 imax=[-0.001,0.1,0,0.01]
+C1 out 0 1u tol=5%
+L1 a b 2m
+A1 out buf 2.5 tol=2%
+R3 a 0 1
+)");
+  const std::string text = writeNetlistString(original);
+  const auto restored = parseNetlistString(text);
+
+  ASSERT_EQ(restored.components().size(), original.components().size());
+  for (const auto& c : original.components()) {
+    const auto& r = restored.component(c.name);
+    EXPECT_EQ(r.kind, c.kind) << c.name;
+    EXPECT_DOUBLE_EQ(r.value, c.value) << c.name;
+    EXPECT_DOUBLE_EQ(r.relTol, c.relTol) << c.name;
+    ASSERT_EQ(r.pins.size(), c.pins.size());
+    for (std::size_t i = 0; i < c.pins.size(); ++i) {
+      EXPECT_EQ(restored.nodeName(r.pins[i]), original.nodeName(c.pins[i]));
+    }
+    if (c.kind == ComponentKind::kNpn) {
+      EXPECT_DOUBLE_EQ(r.vbe, c.vbe);
+      EXPECT_DOUBLE_EQ(r.vbeSpread, c.vbeSpread);
+    }
+    EXPECT_EQ(r.maxCurrent.has_value(), c.maxCurrent.has_value());
+    if (c.maxCurrent) {
+      EXPECT_TRUE(r.maxCurrent->approxEquals(*c.maxCurrent, 1e-12));
+    }
+  }
+}
+
+TEST(Writer, PrependsKindLetterWhenMissing) {
+  // A programmatically built component whose name lacks the kind letter
+  // still round-trips (under the adjusted name).
+  Netlist n;
+  n.addResistor("loadRes", "a", "0", 2.0);
+  const auto restored = parseNetlistString(writeNetlistString(n));
+  EXPECT_TRUE(restored.hasComponent("RloadRes"));
+  EXPECT_DOUBLE_EQ(restored.component("RloadRes").value, 2.0);
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(parseNetlistFile("/nonexistent/x.cir"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flames::circuit

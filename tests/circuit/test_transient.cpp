@@ -1,0 +1,138 @@
+#include "circuit/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/fault.h"
+
+namespace flames::circuit {
+namespace {
+
+// Units: V / kOhm / mA / uF => time in ms.
+
+Netlist rcCircuit() {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 0.0);
+  n.addResistor("R1", "in", "out", 1.0);   // 1 kOhm
+  n.addCapacitor("C1", "out", "0", 1.0);   // 1 uF => tau = 1 ms
+  return n;
+}
+
+TEST(Transient, RcStepMatchesAnalyticCharge) {
+  TransientOptions opts;
+  opts.timeStep = 0.005;  // tau/200
+  TransientSolver solver(rcCircuit(), opts);
+  const auto v = solver.stepResponse("Vin", 5.0, "out", 5.0);
+  const auto result = v;  // waveform at out
+  // Compare against 5 (1 - e^{-t/tau}) at a few points.
+  const double tau = 1.0;
+  const double h = opts.timeStep;
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    const auto k = static_cast<std::size_t>(t / h);
+    const double analytic = 5.0 * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(result.at(k), analytic, 0.05) << "t=" << t;
+  }
+  // Settles to the source level.
+  EXPECT_NEAR(result.back(), 5.0, 0.05);
+}
+
+TEST(Transient, RcInitialConditionFromDc) {
+  // Source held at 2 V: the capacitor starts charged and nothing moves.
+  Netlist n = rcCircuit();
+  n.component("Vin").value = 2.0;
+  TransientSolver solver(n);
+  const auto r = solver.run(2.0);
+  for (double v : r.waveform(n.findNode("out"))) {
+    EXPECT_NEAR(v, 2.0, 1e-9);
+  }
+}
+
+TEST(Transient, RlStepCurrentRises) {
+  // V -> R -> L to ground: i = V/R (1 - e^{-tR/L}); the node between R and
+  // L starts at V (all drop across L) and decays to 0.
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 0.0);
+  n.addResistor("R1", "in", "mid", 1.0);
+  n.addInductor("L1", "mid", "0", 1.0);  // tau = L/R = 1 ms
+  TransientOptions opts;
+  opts.timeStep = 0.005;
+  TransientSolver solver(n, opts);
+  const auto v = solver.stepResponse("Vin", 5.0, "mid", 5.0);
+  // Just after the step the inductor blocks: v(mid) ~ 5 V.
+  EXPECT_GT(v.at(2), 4.0);
+  // Long after: inductor is a short: v(mid) ~ 0.
+  EXPECT_NEAR(v.back(), 0.0, 0.05);
+}
+
+TEST(Transient, RiseTimeOfOnePoleIs2p2Tau) {
+  TransientOptions opts;
+  opts.timeStep = 0.002;
+  TransientSolver solver(rcCircuit(), opts);
+  solver.setWaveform("Vin", [](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  const auto r = solver.run(8.0);
+  const double tr = riseTime(r.time, r.waveform(solver.netlist().findNode("out")));
+  EXPECT_NEAR(tr, 2.2, 0.1);  // 2.197 tau for a single pole
+}
+
+TEST(Transient, FaultChangesTimeConstant) {
+  // C1 drifted x2: the measured rise time doubles — the dynamic signature a
+  // diagnoser can exploit.
+  const Netlist nominal = rcCircuit();
+  const Netlist faulted =
+      applyFaults(nominal, {Fault::paramScale("C1", 2.0)});
+  TransientOptions opts;
+  opts.timeStep = 0.002;
+  TransientSolver a(nominal, opts), b(faulted, opts);
+  a.setWaveform("Vin", [](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  b.setWaveform("Vin", [](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  const auto ra = a.run(12.0);
+  const auto rb = b.run(12.0);
+  const double trA =
+      riseTime(ra.time, ra.waveform(nominal.findNode("out")));
+  const double trB = riseTime(rb.time, rb.waveform(faulted.findNode("out")));
+  EXPECT_NEAR(trB / trA, 2.0, 0.1);
+}
+
+TEST(Transient, NonlinearCircuitDiodeClamp) {
+  // Step into a diode clamp: the output follows the input but never exceeds
+  // the clamp level Vf.
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 0.0);
+  n.addResistor("R1", "in", "out", 1.0);
+  n.addDiode("D1", "out", "0", 0.7);
+  n.addCapacitor("C1", "out", "0", 0.5);
+  TransientSolver solver(n);
+  const auto v = solver.stepResponse("Vin", 5.0, "out", 5.0);
+  for (double x : v) EXPECT_LE(x, 0.7 + 1e-6);
+  EXPECT_NEAR(v.back(), 0.7, 1e-6);
+}
+
+TEST(Transient, Validation) {
+  TransientOptions bad;
+  bad.timeStep = 0.0;
+  EXPECT_THROW(TransientSolver(rcCircuit(), bad), std::invalid_argument);
+  TransientSolver solver(rcCircuit());
+  EXPECT_THROW(solver.setWaveform("R1", [](double) { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(solver.setWaveform("nope", [](double) { return 0.0; }),
+               std::out_of_range);
+}
+
+TEST(Transient, RiseTimeDegenerateInputs) {
+  EXPECT_LT(riseTime({0.0, 1.0}, {0.0}), 0.0);          // size mismatch
+  EXPECT_LT(riseTime({}, {}), 0.0);                     // empty
+}
+
+TEST(Transient, StepCountAndTimeAxis) {
+  TransientOptions opts;
+  opts.timeStep = 0.1;
+  TransientSolver solver(rcCircuit(), opts);
+  const auto r = solver.run(1.0);
+  EXPECT_EQ(r.steps(), 11u);  // t = 0 plus 10 steps
+  EXPECT_DOUBLE_EQ(r.time.front(), 0.0);
+  EXPECT_NEAR(r.time.back(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace flames::circuit

@@ -1,0 +1,142 @@
+#include "constraints/constraint.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::constraints {
+namespace {
+
+using atms::Environment;
+using fuzzy::FuzzyInterval;
+
+TEST(SumConstraint, SolvesEachVariable) {
+  // x + 2y - z = 4.
+  SumConstraint c("sum", {0, 1, 2}, {1.0, 2.0, -1.0}, FuzzyInterval::crisp(4.0),
+                  Environment{});
+  std::vector<FuzzyInterval> in(3);
+  in[1] = FuzzyInterval::crisp(1.0);
+  in[2] = FuzzyInterval::crisp(2.0);
+  auto x = c.solveFor(0, in);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->coreMidpoint(), 4.0, 1e-12);  // x = 4 - 2 + 2
+
+  in[0] = FuzzyInterval::crisp(4.0);
+  auto y = c.solveFor(1, in);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_NEAR(y->coreMidpoint(), 1.0, 1e-12);
+
+  auto z = c.solveFor(2, in);
+  ASSERT_TRUE(z.has_value());
+  EXPECT_NEAR(z->coreMidpoint(), 2.0, 1e-12);
+}
+
+TEST(SumConstraint, Validation) {
+  EXPECT_THROW(SumConstraint("bad", {0, 1}, {1.0}, FuzzyInterval::crisp(0.0),
+                             Environment{}),
+               std::invalid_argument);
+  EXPECT_THROW(SumConstraint("bad", {0}, {0.0}, FuzzyInterval::crisp(0.0),
+                             Environment{}),
+               std::invalid_argument);
+}
+
+TEST(SumConstraint, FuzzySpreadsPropagate) {
+  SumConstraint c("kcl", {0, 1, 2}, {1.0, -1.0, -1.0},
+                  FuzzyInterval::crisp(0.0), Environment{});
+  std::vector<FuzzyInterval> in(3);
+  in[1] = FuzzyInterval::about(1.0, 0.1);
+  in[2] = FuzzyInterval::about(2.0, 0.2);
+  const auto total = c.solveFor(0, in);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_NEAR(total->coreMidpoint(), 3.0, 1e-12);
+  EXPECT_NEAR(total->alpha(), 0.3, 1e-12);
+}
+
+TEST(DiffConstraint, BothDirections) {
+  DiffConstraint c("emf", 0, 1, FuzzyInterval::about(5.0, 0.1), Environment{});
+  std::vector<FuzzyInterval> in(2);
+  in[1] = FuzzyInterval::crisp(1.0);
+  auto a = c.solveFor(0, in);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(a->coreMidpoint(), 6.0, 1e-12);
+  in[0] = FuzzyInterval::crisp(6.0);
+  auto b = c.solveFor(1, in);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(b->coreMidpoint(), 1.0, 1e-12);
+  EXPECT_FALSE(c.solveFor(2, in).has_value());
+}
+
+TEST(ScaleConstraint, ForwardAndInverse) {
+  ScaleConstraint c("gain", 0, 1, FuzzyInterval::about(2.0, 0.05),
+                    Environment{});
+  std::vector<FuzzyInterval> in(2);
+  in[0] = FuzzyInterval::about(3.0, 0.05);
+  const auto out = c.solveFor(1, in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(out->coreMidpoint(), 6.0, 1e-12);
+  in[1] = FuzzyInterval::crisp(6.0);
+  const auto back = c.solveFor(0, in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(back->coreMidpoint(), 3.0, 1e-9);
+}
+
+TEST(ScaleConstraint, RejectsZeroStraddlingFactor) {
+  EXPECT_THROW(ScaleConstraint("bad", 0, 1,
+                               FuzzyInterval::crispInterval(-1.0, 1.0),
+                               Environment{}),
+               std::invalid_argument);
+}
+
+TEST(ScaleConstraint, NegativeFactorWorks) {
+  ScaleConstraint c("inv", 0, 1, FuzzyInterval::crisp(-2.0), Environment{});
+  std::vector<FuzzyInterval> in(2);
+  in[0] = FuzzyInterval::crisp(3.0);
+  EXPECT_NEAR(c.solveFor(1, in)->coreMidpoint(), -6.0, 1e-12);
+}
+
+TEST(OhmConstraint, AllThreeDirections) {
+  // V, kOhm, mA units: Va - Vb = I * R.
+  OhmConstraint c("ohm", 0, 1, 2, FuzzyInterval::about(10.0, 0.0),
+                  Environment{});
+  std::vector<FuzzyInterval> in(3);
+  in[0] = FuzzyInterval::crisp(1.05);
+  in[1] = FuzzyInterval::crisp(0.0);
+  const auto i = c.solveFor(2, in);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_NEAR(i->coreMidpoint(), 0.105, 1e-9);  // the paper's 105 uA
+
+  in[2] = FuzzyInterval::crisp(0.105);
+  const auto va = c.solveFor(0, in);
+  EXPECT_NEAR(va->coreMidpoint(), 1.05, 1e-9);
+  const auto vb = c.solveFor(1, in);
+  EXPECT_NEAR(vb->coreMidpoint(), 0.0, 1e-9);
+}
+
+TEST(OhmConstraint, RejectsNonPositiveResistance) {
+  EXPECT_THROW(OhmConstraint("bad", 0, 1, 2,
+                             FuzzyInterval::crispInterval(-1.0, 2.0),
+                             Environment{}),
+               std::invalid_argument);
+}
+
+TEST(OhmConstraint, ToleranceWidensCurrent) {
+  OhmConstraint c("ohm", 0, 1, 2, FuzzyInterval::withTolerance(10.0, 0.05),
+                  Environment{});
+  std::vector<FuzzyInterval> in(3);
+  in[0] = FuzzyInterval::crisp(10.0);
+  in[1] = FuzzyInterval::crisp(0.0);
+  const auto i = c.solveFor(2, in);
+  ASSERT_TRUE(i.has_value());
+  // I in [10/10.5, 10/9.5] at the support.
+  EXPECT_NEAR(i->support().lo, 10.0 / 10.5, 1e-9);
+  EXPECT_NEAR(i->support().hi, 10.0 / 9.5, 1e-9);
+}
+
+TEST(Constraint, CarriesValidityAndDegree) {
+  DiffConstraint c("emf", 0, 1, FuzzyInterval::crisp(5.0),
+                   atms::Environment::of({3}), 0.8);
+  EXPECT_TRUE(c.validity().contains(3));
+  EXPECT_DOUBLE_EQ(c.degree(), 0.8);
+  EXPECT_EQ(c.name(), "emf");
+}
+
+}  // namespace
+}  // namespace flames::constraints

@@ -1,0 +1,145 @@
+#include "constraints/model_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+
+namespace flames::constraints {
+namespace {
+
+using circuit::Netlist;
+
+Netlist divider() {
+  Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+TEST(ModelBuilder, CreatesAssumptionsForComponentsNotSources) {
+  const auto built = buildDiagnosticModel(divider());
+  EXPECT_EQ(built.assumptionOf.count("R1"), 1u);
+  EXPECT_EQ(built.assumptionOf.count("R2"), 1u);
+  EXPECT_EQ(built.assumptionOf.count("V1"), 0u);  // trusted source
+}
+
+TEST(ModelBuilder, UntrustedSourcesGetAssumptions) {
+  ModelBuildOptions opts;
+  opts.trustSources = false;
+  const auto built = buildDiagnosticModel(divider(), opts);
+  EXPECT_EQ(built.assumptionOf.count("V1"), 1u);
+}
+
+TEST(ModelBuilder, QuantitiesExist) {
+  const auto built = buildDiagnosticModel(divider());
+  EXPECT_NO_THROW((void)built.voltage("mid"));
+  EXPECT_NO_THROW((void)built.voltage("in"));
+  EXPECT_NO_THROW((void)built.current("R1"));
+  EXPECT_NO_THROW((void)built.current("V1"));
+}
+
+TEST(ModelBuilder, NominalPredictionsMatchOperatingPoint) {
+  const auto built = buildDiagnosticModel(divider());
+  ASSERT_TRUE(built.nominalOp.converged);
+  bool foundMid = false;
+  for (const auto& p : built.model.predictions()) {
+    if (p.quantity == built.voltage("mid")) {
+      foundMid = true;
+      EXPECT_NEAR(p.value.coreMidpoint(), 5.0, 1e-9);
+      // Sensitivity of the divider mid to both 5% resistors: nonzero
+      // spread, environment containing both.
+      EXPECT_GT(p.value.alpha(), 0.1);
+      EXPECT_TRUE(p.env.contains(built.assumptionOf.at("R1")));
+      EXPECT_TRUE(p.env.contains(built.assumptionOf.at("R2")));
+    }
+  }
+  EXPECT_TRUE(foundMid);
+}
+
+TEST(ModelBuilder, GroundPredictionIsCrispZero) {
+  const auto built = buildDiagnosticModel(divider());
+  bool found = false;
+  for (const auto& p : built.model.predictions()) {
+    if (p.quantity == built.voltage("0")) {
+      found = true;
+      EXPECT_TRUE(p.value.isPoint());
+      EXPECT_TRUE(p.env.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelBuilder, MeasuredFaultyDividerConflicts) {
+  // End-to-end: R2 actually 3x high => mid at 7.5 V; the measurement
+  // conflicts with the nominal prediction [5 +/- spread] and the nogood
+  // names both resistors.
+  const auto built = buildDiagnosticModel(divider());
+  Propagator p(built.model);
+  p.addMeasurement(built.voltage("mid"), fuzzy::FuzzyInterval::about(7.5, 0.05));
+  p.run();
+  EXPECT_TRUE(p.completed());
+  ASSERT_GE(p.nogoods().size(), 1u);
+  const auto minimal = p.nogoods().minimalNogoods(0.9);
+  ASSERT_FALSE(minimal.empty());
+  EXPECT_TRUE(minimal.front().env.contains(built.assumptionOf.at("R1")) ||
+              minimal.front().env.contains(built.assumptionOf.at("R2")));
+}
+
+TEST(ModelBuilder, HealthyMeasurementIsQuiet) {
+  const auto built = buildDiagnosticModel(divider());
+  Propagator p(built.model);
+  p.addMeasurement(built.voltage("mid"), fuzzy::FuzzyInterval::about(5.0, 0.05));
+  p.run();
+  EXPECT_EQ(p.nogoods().minimalNogoods(0.5).size(), 0u);
+}
+
+TEST(ModelBuilder, Fig6ModelBuilds) {
+  const auto built = buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  ASSERT_TRUE(built.nominalOp.converged);
+  EXPECT_NO_THROW((void)built.voltage("V1"));
+  EXPECT_NO_THROW((void)built.voltage("V2"));
+  EXPECT_NO_THROW((void)built.voltage("Vs"));
+  // BJT quantities present.
+  EXPECT_NO_THROW((void)built.model.quantity("Ib(T1)"));
+  EXPECT_NO_THROW((void)built.model.quantity("Ic(T2)"));
+  EXPECT_NO_THROW((void)built.model.quantity("Ie(T3)"));
+  // Stage-1 observable depends on the stage-1 components.
+  for (const auto& p : built.model.predictions()) {
+    if (p.quantity == built.voltage("V1")) {
+      EXPECT_TRUE(p.env.contains(built.assumptionOf.at("R1")));
+      EXPECT_TRUE(p.env.contains(built.assumptionOf.at("R2")));
+      EXPECT_TRUE(p.env.contains(built.assumptionOf.at("R3")));
+      EXPECT_TRUE(p.env.contains(built.assumptionOf.at("T1")));
+    }
+  }
+}
+
+TEST(ModelBuilder, Fig5DiodeRatingBecomesPrediction) {
+  const auto built = buildDiagnosticModel(circuit::paperFig5DiodeNetwork());
+  bool found = false;
+  for (const auto& p : built.model.predictions()) {
+    if (p.quantity == built.current("d1")) {
+      // Conducting diode: the fuzzy rating prediction.
+      if (!p.value.isPoint()) {
+        found = true;
+        EXPECT_TRUE(p.env.contains(built.assumptionOf.at("d1")));
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelBuilder, GainChainSkipsOutputKcl) {
+  // Gain outputs have unconstrained source currents; KCL must not be
+  // stamped there (the Fig. 2 chain would otherwise be inconsistent).
+  const auto built = buildDiagnosticModel(circuit::paperFig2Chain());
+  for (const auto& c : built.model.constraints()) {
+    EXPECT_EQ(c->name().find("kcl(B)"), std::string::npos);
+    EXPECT_EQ(c->name().find("kcl(C)"), std::string::npos);
+    EXPECT_EQ(c->name().find("kcl(D)"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace flames::constraints

@@ -1,0 +1,271 @@
+#include "constraints/propagator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace flames::constraints {
+namespace {
+
+using atms::Environment;
+using fuzzy::FuzzyInterval;
+
+TEST(Model, QuantityAndAssumptionRegistry) {
+  Model m;
+  const QuantityId v = m.addQuantity("V(a)", QuantityKind::kVoltage);
+  EXPECT_EQ(m.addQuantity("V(a)"), v);  // idempotent
+  EXPECT_EQ(m.quantity("V(a)"), v);
+  EXPECT_THROW((void)m.quantity("missing"), std::out_of_range);
+  const auto a = m.addAssumption("R1");
+  EXPECT_EQ(m.addAssumption("R1"), a);
+  EXPECT_EQ(m.assumptionName(a), "R1");
+  EXPECT_EQ(m.describe(Environment::of({a})), "{R1}");
+}
+
+TEST(Model, ConstraintValidation) {
+  Model m;
+  EXPECT_THROW(m.addConstraint(nullptr), std::invalid_argument);
+  m.addQuantity("x");
+  EXPECT_THROW(m.addConstraint(std::make_unique<DiffConstraint>(
+                   "bad", 0, 7, FuzzyInterval::crisp(0.0), Environment{})),
+               std::out_of_range);
+}
+
+TEST(Propagator, ForwardChainDerivation) {
+  // x --(+5)--> y --(*2)--> z.
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  const auto z = m.addQuantity("z");
+  m.addConstraint(std::make_unique<DiffConstraint>(
+      "diff", y, x, FuzzyInterval::crisp(5.0), Environment{}));
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "scale", y, z, FuzzyInterval::crisp(2.0), Environment{}));
+
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::crisp(1.0));
+  p.run();
+  EXPECT_TRUE(p.completed());
+  ASSERT_FALSE(p.values(y).empty());
+  EXPECT_NEAR(p.values(y).front().value.coreMidpoint(), 6.0, 1e-9);
+  ASSERT_FALSE(p.values(z).empty());
+  EXPECT_NEAR(p.values(z).front().value.coreMidpoint(), 12.0, 1e-9);
+  EXPECT_TRUE(p.values(z).front().fromMeasurement);
+  EXPECT_EQ(p.values(z).front().source, ValueSource::kDerived);
+}
+
+TEST(Propagator, BackwardDerivation) {
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "scale", x, y, FuzzyInterval::crisp(4.0), Environment{}));
+  Propagator p(m);
+  p.addMeasurement(y, FuzzyInterval::crisp(8.0));
+  p.run();
+  ASSERT_FALSE(p.values(x).empty());
+  EXPECT_NEAR(p.values(x).front().value.coreMidpoint(), 2.0, 1e-9);
+}
+
+TEST(Propagator, EnvironmentsUnionThroughConstraints) {
+  Model m;
+  const auto a1 = m.addAssumption("C1");
+  const auto a2 = m.addAssumption("C2");
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  const auto z = m.addQuantity("z");
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "s1", x, y, FuzzyInterval::crisp(2.0), Environment::of({a1})));
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "s2", y, z, FuzzyInterval::crisp(3.0), Environment::of({a2})));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::crisp(1.0));
+  p.run();
+  ASSERT_FALSE(p.values(z).empty());
+  EXPECT_EQ(p.values(z).front().env, Environment::of({a1, a2}));
+}
+
+TEST(Propagator, CorroborationRecordsNoNogood) {
+  Model m;
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::about(5.0, 1.0), Environment{});
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::about(5.0, 0.1));
+  p.run();
+  EXPECT_EQ(p.nogoods().size(), 0u);
+  ASSERT_FALSE(p.coincidences().empty());
+  EXPECT_NEAR(p.coincidences().front().consistency.dc, 1.0, 1e-9);
+}
+
+TEST(Propagator, HardConflictRecordsDegreeOneNogood) {
+  Model m;
+  const auto a = m.addAssumption("C");
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::about(5.0, 0.2), Environment::of({a}));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::about(9.0, 0.2));
+  p.run();
+  ASSERT_EQ(p.nogoods().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.nogoods().all().front().degree, 1.0);
+  EXPECT_EQ(p.nogoods().all().front().env, Environment::of({a}));
+}
+
+TEST(Propagator, PartialConflictDegreeIsOneMinusDc) {
+  Model m;
+  const auto a = m.addAssumption("C");
+  const auto x = m.addQuantity("x");
+  // Nominal rect [0,2]; measured rect [1,3]: Dc = 0.5 => nogood degree 0.5.
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 2.0),
+                  Environment::of({a}));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::crispInterval(1.0, 3.0));
+  p.run();
+  ASSERT_EQ(p.nogoods().size(), 1u);
+  EXPECT_NEAR(p.nogoods().all().front().degree, 0.5, 1e-9);
+}
+
+TEST(Propagator, CrispPolicyIgnoresPartialOverlap) {
+  Model m;
+  const auto a = m.addAssumption("C");
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 2.0),
+                  Environment::of({a}));
+  PropagatorOptions opts;
+  opts.policy = ConflictPolicy::kCrisp;
+  opts.crispifyValues = true;
+  Propagator p(m, opts);
+  p.addMeasurement(x, FuzzyInterval::crispInterval(1.0, 3.0));
+  p.run();
+  EXPECT_EQ(p.nogoods().size(), 0u);  // overlap => crisp engine sees no fault
+}
+
+TEST(Propagator, CrispPolicyDetectsDisjoint) {
+  Model m;
+  const auto a = m.addAssumption("C");
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 2.0),
+                  Environment::of({a}));
+  PropagatorOptions opts;
+  opts.policy = ConflictPolicy::kCrisp;
+  opts.crispifyValues = true;
+  Propagator p(m, opts);
+  p.addMeasurement(x, FuzzyInterval::crispInterval(5.0, 6.0));
+  p.run();
+  ASSERT_EQ(p.nogoods().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.nogoods().all().front().degree, 1.0);
+}
+
+TEST(Propagator, PaperFig5FullScenario) {
+  // Quantities in V / kOhm / mA; the paper's prediction table is entered
+  // verbatim: Id <= [-1,100,0,10] uA under {d1}, propagated by Kirchhoff to
+  // Ir1 under {d1,r1} and Ir2 under {d1,r2}. Measurements Vr1 = 1.05 V and
+  // Vr2 = 2 V then yield nogoods {d1,r1} with degree 0.5 and {d1,r2} with
+  // degree 1 — the paper's §6.3 numbers.
+  Model m;
+  const auto r1 = m.addAssumption("r1");
+  const auto r2 = m.addAssumption("r2");
+  const auto d1 = m.addAssumption("d1");
+  const auto vr1 = m.addQuantity("Vr1", QuantityKind::kVoltage);
+  const auto vr2 = m.addQuantity("Vr2", QuantityKind::kVoltage);
+  const auto gnd = m.addQuantity("V0", QuantityKind::kVoltage);
+  const auto ir1 = m.addQuantity("Ir1", QuantityKind::kCurrent);
+  const auto ir2 = m.addQuantity("Ir2", QuantityKind::kCurrent);
+
+  m.addPrediction(gnd, FuzzyInterval::crisp(0.0), Environment{});
+  const FuzzyInterval rating(-0.001, 0.100, 0.0, 0.010);
+  m.addPrediction(ir1, rating, Environment::of({d1, r1}));
+  m.addPrediction(ir2, rating, Environment::of({d1, r2}));
+
+  m.addConstraint(std::make_unique<OhmConstraint>(
+      "ohm(r1)", vr1, gnd, ir1, FuzzyInterval::crisp(10.0),
+      Environment::of({r1})));
+  m.addConstraint(std::make_unique<OhmConstraint>(
+      "ohm(r2)", vr2, gnd, ir2, FuzzyInterval::crisp(10.0),
+      Environment::of({r2})));
+
+  Propagator p(m);
+  p.addMeasurement(vr1, FuzzyInterval::crisp(1.05));
+  p.addMeasurement(vr2, FuzzyInterval::crisp(2.0));
+  p.run();
+  EXPECT_TRUE(p.completed());
+
+  const auto minimal = p.nogoods().minimalNogoods(0.0);
+  ASSERT_EQ(minimal.size(), 2u);
+  // Sorted by degree descending: {d1,r2} at 1.0 first.
+  EXPECT_EQ(minimal[0].env, Environment::of({d1, r2}));
+  EXPECT_NEAR(minimal[0].degree, 1.0, 1e-9);
+  EXPECT_EQ(minimal[1].env, Environment::of({d1, r1}));
+  EXPECT_NEAR(minimal[1].degree, 0.5, 1e-9);
+}
+
+TEST(Propagator, SubsumedDerivedEntriesDropped) {
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "s", x, y, FuzzyInterval::crisp(2.0), Environment{}));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::crisp(1.0));
+  p.run();
+  const std::size_t after = p.values(y).size();
+  // Adding the same measurement again must not duplicate values.
+  p.addMeasurement(x, FuzzyInterval::crisp(1.0));
+  p.run();
+  EXPECT_EQ(p.values(y).size(), after);
+}
+
+TEST(Propagator, MeasurementTrustEnvironmentPropagates) {
+  Model m;
+  const auto meas = m.addAssumption("meter");
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "s", x, y, FuzzyInterval::crisp(2.0), Environment{}));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::crisp(1.0), Environment::of({meas}));
+  p.run();
+  ASSERT_FALSE(p.values(y).empty());
+  EXPECT_TRUE(p.values(y).front().env.contains(meas));
+}
+
+TEST(Propagator, WorstCoincidencePicksLowestDc) {
+  Model m;
+  const auto a = m.addAssumption("C");
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 2.0),
+                  Environment::of({a}));
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 8.0),
+                  Environment::of({a}));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::crispInterval(1.0, 3.0));
+  p.run();
+  const auto worst = p.worstCoincidence(x);
+  ASSERT_TRUE(worst.has_value());
+  EXPECT_NEAR(worst->consistency.dc, 0.5, 1e-9);
+}
+
+TEST(Propagator, DepthLimitStopsRunawayChains) {
+  // A long chain x0 -> x1 -> ... -> x20; depth cap of 5 stops derivation.
+  Model m;
+  std::vector<QuantityId> q;
+  for (int i = 0; i <= 20; ++i) {
+    q.push_back(m.addQuantity("x" + std::to_string(i)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    m.addConstraint(std::make_unique<DiffConstraint>(
+        "d" + std::to_string(i), q[static_cast<std::size_t>(i) + 1],
+        q[static_cast<std::size_t>(i)], FuzzyInterval::crisp(1.0),
+        Environment{}));
+  }
+  PropagatorOptions opts;
+  opts.maxDepth = 5;
+  Propagator p(m, opts);
+  p.addMeasurement(q[0], FuzzyInterval::crisp(0.0));
+  p.run();
+  EXPECT_TRUE(p.completed());
+  EXPECT_FALSE(p.values(q[5]).empty());
+  EXPECT_TRUE(p.values(q[10]).empty());
+}
+
+}  // namespace
+}  // namespace flames::constraints

@@ -1,0 +1,218 @@
+// Option-surface tests for the propagation engine: entry caps, depth and
+// width guards, measurement-trust environments, nogood floors — the knobs a
+// deployment tunes and must be able to rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "constraints/propagator.h"
+
+namespace flames::constraints {
+namespace {
+
+using atms::Environment;
+using fuzzy::FuzzyInterval;
+
+TEST(PropagatorOptions, EntryCapKeepsRootsFlowing) {
+  // Many redundant constraints derive values for one quantity; the cap
+  // bounds the derived entries but roots are always admitted.
+  Model m;
+  const auto x = m.addQuantity("x");
+  std::vector<QuantityId> ys;
+  for (int i = 0; i < 12; ++i) {
+    const auto y = m.addQuantity("y" + std::to_string(i));
+    ys.push_back(y);
+    const auto assumption = m.addAssumption("C" + std::to_string(i));
+    m.addConstraint(std::make_unique<DiffConstraint>(
+        "d" + std::to_string(i), y, x,
+        FuzzyInterval::about(1.0, 0.01 * (i + 1)),
+        Environment::of({assumption})));
+  }
+  // Every y measured: each derives an x estimate through its constraint.
+  PropagatorOptions opts;
+  opts.maxEntriesPerQuantity = 4;
+  Propagator p(m, opts);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    p.addMeasurement(ys[i], FuzzyInterval::crisp(2.0));
+  }
+  p.run();
+  EXPECT_LE(p.values(x).size(), 4u);
+  // Roots were all kept on their own quantities.
+  for (const auto y : ys) {
+    ASSERT_FALSE(p.values(y).empty());
+  }
+}
+
+TEST(PropagatorOptions, MaxDerivedWidthDropsJunk) {
+  // Division by a near-zero fuzzy factor produces an enormous interval; the
+  // width guard must drop it.
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "s", x, y, FuzzyInterval(0.001, 0.001, 0.0009, 0.1), Environment{}));
+  PropagatorOptions opts;
+  opts.maxDerivedWidth = 100.0;
+  Propagator p(m, opts);
+  p.addMeasurement(y, FuzzyInterval::crisp(1.0));  // x = y / tiny => huge
+  p.run();
+  EXPECT_TRUE(p.values(x).empty());
+
+  PropagatorOptions loose;
+  loose.maxDerivedWidth = 1e9;
+  Propagator q(m, loose);
+  q.addMeasurement(y, FuzzyInterval::crisp(1.0));
+  q.run();
+  EXPECT_FALSE(q.values(x).empty());
+}
+
+TEST(PropagatorOptions, MinNogoodDegreeFloor) {
+  Model m;
+  const auto a = m.addAssumption("C");
+  const auto x = m.addQuantity("x");
+  // Nominal and measurement overlapping so that the discrepancy is mild.
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 10.0),
+                  Environment::of({a}));
+  PropagatorOptions strict;
+  strict.minNogoodDegree = 0.5;
+  Propagator p(m, strict);
+  p.addMeasurement(x, FuzzyInterval::crispInterval(8.0, 12.0));  // Dc = 0.5
+  p.run();
+  // Nogood degree would be 0.5; the floor admits exactly at the boundary.
+  EXPECT_EQ(p.nogoods().size(), 1u);
+
+  PropagatorOptions stricter;
+  stricter.minNogoodDegree = 0.6;
+  Propagator q(m, stricter);
+  q.addMeasurement(x, FuzzyInterval::crispInterval(8.0, 12.0));
+  q.run();
+  EXPECT_EQ(q.nogoods().size(), 0u);
+}
+
+TEST(PropagatorOptions, MeasurementTrustEnvJoinsNogoods) {
+  // A distrusted meter's assumption must appear in the conflicts its
+  // readings cause, making "the meter lied" a retractable hypothesis.
+  Model m;
+  const auto comp = m.addAssumption("C");
+  const auto meter = m.addAssumption("meter");
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::about(5.0, 0.1), Environment::of({comp}));
+  Propagator p(m);
+  p.addMeasurement(x, FuzzyInterval::about(9.0, 0.1),
+                   Environment::of({meter}));
+  p.run();
+  ASSERT_EQ(p.nogoods().size(), 1u);
+  EXPECT_TRUE(p.nogoods().all().front().env.contains(comp));
+  EXPECT_TRUE(p.nogoods().all().front().env.contains(meter));
+}
+
+TEST(PropagatorOptions, MaxEnvSizeBoundsDerivations) {
+  // A chain where each hop adds one assumption: with maxEnvSize 3 the
+  // propagation stops after three component hops.
+  Model m;
+  std::vector<QuantityId> q;
+  for (int i = 0; i <= 6; ++i) {
+    q.push_back(m.addQuantity("q" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    const auto a = m.addAssumption("C" + std::to_string(i));
+    m.addConstraint(std::make_unique<DiffConstraint>(
+        "d" + std::to_string(i), q[static_cast<std::size_t>(i) + 1],
+        q[static_cast<std::size_t>(i)], FuzzyInterval::crisp(1.0),
+        Environment::of({a})));
+  }
+  PropagatorOptions opts;
+  opts.maxEnvSize = 3;
+  Propagator p(m, opts);
+  p.addMeasurement(q[0], FuzzyInterval::crisp(0.0));
+  p.run();
+  EXPECT_FALSE(p.values(q[3]).empty());
+  EXPECT_TRUE(p.values(q[4]).empty());
+}
+
+TEST(PropagatorOptions, StepBudgetReportsIncomplete) {
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  m.addConstraint(std::make_unique<DiffConstraint>(
+      "d", y, x, FuzzyInterval::crisp(1.0), Environment{}));
+  PropagatorOptions opts;
+  opts.maxSteps = 1;
+  Propagator p(m, opts);
+  p.addMeasurement(x, FuzzyInterval::crisp(0.0));
+  p.addMeasurement(y, FuzzyInterval::crisp(5.0));
+  p.run();
+  EXPECT_FALSE(p.completed());
+}
+
+TEST(PropagatorOptions, CrispRefinementIntersectsOverlaps) {
+  // DIANA semantics: two overlapping crisp predictions refine each other;
+  // the intersection carries the union of the supports' environments.
+  Model m;
+  const auto a = m.addAssumption("A");
+  const auto b = m.addAssumption("B");
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 10.0),
+                  Environment::of({a}));
+  m.addPrediction(x, FuzzyInterval::crispInterval(5.0, 15.0),
+                  Environment::of({b}));
+  PropagatorOptions opts;
+  opts.policy = ConflictPolicy::kCrisp;
+  opts.crispifyValues = true;
+  Propagator p(m, opts);
+  p.run();
+  bool refined = false;
+  for (const auto& e : p.values(x)) {
+    if (e.value.approxEquals(FuzzyInterval::crispInterval(5.0, 10.0))) {
+      refined = true;
+      EXPECT_EQ(e.env, Environment::of({a, b}));
+      EXPECT_EQ(e.source, ValueSource::kDerived);
+    }
+  }
+  EXPECT_TRUE(refined);
+  EXPECT_EQ(p.nogoods().size(), 0u);
+}
+
+TEST(PropagatorOptions, CrispRefinementCascades) {
+  // Three mutually overlapping intervals collapse towards their common
+  // core; the chain of pairwise intersections must terminate.
+  Model m;
+  const auto x = m.addQuantity("x");
+  m.addPrediction(x, FuzzyInterval::crispInterval(0.0, 10.0),
+                  Environment::of({m.addAssumption("A")}));
+  m.addPrediction(x, FuzzyInterval::crispInterval(4.0, 14.0),
+                  Environment::of({m.addAssumption("B")}));
+  m.addPrediction(x, FuzzyInterval::crispInterval(-2.0, 6.0),
+                  Environment::of({m.addAssumption("C")}));
+  PropagatorOptions opts;
+  opts.policy = ConflictPolicy::kCrisp;
+  opts.crispifyValues = true;
+  Propagator p(m, opts);
+  p.run();
+  EXPECT_TRUE(p.completed());
+  bool core = false;
+  for (const auto& e : p.values(x)) {
+    if (e.value.approxEquals(FuzzyInterval::crispInterval(4.0, 6.0))) {
+      core = true;
+    }
+  }
+  EXPECT_TRUE(core);
+}
+
+TEST(PropagatorOptions, CrispifyWidensToSupport) {
+  Model m;
+  const auto x = m.addQuantity("x");
+  PropagatorOptions opts;
+  opts.crispifyValues = true;
+  Propagator p(m, opts);
+  p.addMeasurement(x, FuzzyInterval::about(5.0, 0.5));
+  p.run();
+  ASSERT_EQ(p.values(x).size(), 1u);
+  const auto& v = p.values(x).front().value;
+  EXPECT_TRUE(v.isCrisp());
+  EXPECT_DOUBLE_EQ(v.m1(), 4.5);
+  EXPECT_DOUBLE_EQ(v.m2(), 5.5);
+}
+
+}  // namespace
+}  // namespace flames::constraints

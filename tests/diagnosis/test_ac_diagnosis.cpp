@@ -1,0 +1,192 @@
+#include "diagnosis/ac_diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/ac.h"
+#include "circuit/fault.h"
+#include "diagnosis/report.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using circuit::AcSolver;
+using circuit::Fault;
+using circuit::Netlist;
+
+// Two-stage RC lowpass with distinct corners: faults in either stage have
+// distinguishable spectral signatures.
+Netlist twoStageRc() {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 1.0);
+  n.addResistor("R1", "in", "m", 1.0, 0.02);
+  n.addCapacitor("C1", "m", "0", 1.0, 0.05);
+  n.addResistor("R2", "m", "out", 10.0, 0.02);
+  n.addCapacitor("C2", "out", "0", 0.1, 0.05);
+  return n;
+}
+
+std::vector<AcProbe> standardProbes() {
+  const double f1 = 1.0 / (2.0 * std::numbers::pi);  // ~stage-1 corner
+  return {{"m", f1 / 10.0}, {"m", f1},      {"m", f1 * 10.0},
+          {"out", f1 / 10.0}, {"out", f1},  {"out", f1 * 10.0}};
+}
+
+// Measures a (possibly faulted) circuit at the standard probes.
+void measureAll(AcDiagnosisEngine& engine, const Netlist& nominal,
+                const std::vector<Fault>& faults) {
+  const Netlist faulted = circuit::applyFaults(nominal, faults);
+  const AcSolver solver(faulted);
+  for (const AcProbe& p : standardProbes()) {
+    engine.measure(p.node, p.hertz,
+                   solver.gainMagnitude(p.hertz, "Vin", p.node));
+  }
+}
+
+TEST(AcDiagnosis, QuantityNaming) {
+  EXPECT_EQ(AcDiagnosisEngine::quantityName({"out", 2.5}),
+            "mag(V(out))@2.5Hz");
+}
+
+TEST(AcDiagnosis, HealthyFilterIsQuiet) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {});
+  const auto report = engine.diagnose();
+  EXPECT_TRUE(report.propagationCompleted);
+  EXPECT_FALSE(report.faultDetected());
+}
+
+TEST(AcDiagnosis, OpenCapacitorIsolated) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {Fault::open("C1")});
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.candidates.empty());
+  EXPECT_EQ(report.bestCandidate(), std::vector<std::string>{"C1"});
+  ASSERT_TRUE(report.candidates.front().modeMatch.has_value());
+  EXPECT_EQ(report.candidates.front().modeMatch->mode, "open");
+}
+
+TEST(AcDiagnosis, ShortedStageTwoCapacitorIsolated) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {Fault::shortCircuit("C2")});
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.candidates.empty());
+  EXPECT_EQ(report.bestCandidate(), std::vector<std::string>{"C2"});
+}
+
+TEST(AcDiagnosis, StageOneFaultDoesNotBlameStageTwoOnly) {
+  // A C1 drift changes both probes' responses; the nogood environments must
+  // include stage-1 components.
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {Fault::paramScale("C1", 3.0)});
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  bool c1Somewhere = false;
+  for (const auto& ng : report.nogoods) {
+    for (const auto& comp : ng.components) {
+      if (comp == "C1") c1Somewhere = true;
+    }
+  }
+  EXPECT_TRUE(c1Somewhere);
+}
+
+TEST(AcDiagnosis, DcTableShowsDirections) {
+  // Open C1 removes stage-1 rolloff: high-frequency magnitudes read HIGH.
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {Fault::open("C1")});
+  const auto report = engine.diagnose();
+  bool sawAboveNominal = false;
+  for (const auto& m : report.measurements) {
+    if (m.dc < 0.5 && m.signedDc >= 0.0) sawAboveNominal = true;
+  }
+  EXPECT_TRUE(sawAboveNominal);
+}
+
+TEST(AcDiagnosis, RenderAcReportHasSections) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {Fault::open("C1")});
+  const auto report = engine.diagnose();
+  const std::string text = renderAcReport(report);
+  EXPECT_NE(text.find("dynamic-mode report"), std::string::npos);
+  EXPECT_NE(text.find("measurements"), std::string::npos);
+  EXPECT_NE(text.find("candidates"), std::string::npos);
+  EXPECT_NE(text.find("C1"), std::string::npos);
+}
+
+TEST(AcDiagnosis, MeasureValidatesProbe) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  EXPECT_THROW(engine.measure("out", 99.25, 1.0), std::out_of_range);
+}
+
+TEST(AcDiagnosis, ClearMeasurementsResets) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  measureAll(engine, net, {Fault::open("C1")});
+  engine.clearMeasurements();
+  measureAll(engine, net, {});
+  EXPECT_FALSE(engine.diagnose().faultDetected());
+}
+
+TEST(AcDiagnosis, ExplanationDegreeDiscriminates) {
+  const Netlist net = twoStageRc();
+  AcDiagnosisEngine engine(net, "Vin", standardProbes());
+  const Netlist faulted = circuit::applyFaults(net, {Fault::open("C1")});
+  const AcSolver solver(faulted);
+  std::vector<AcObservation> obs;
+  for (const AcProbe& p : standardProbes()) {
+    const double m = solver.gainMagnitude(p.hertz, "Vin", p.node);
+    obs.push_back({p, fuzzy::FuzzyInterval::about(m, 0.02 * m + 1e-6)});
+  }
+  EXPECT_GT(engine.explanationDegreeAc(Fault::open("C1"), obs), 0.9);
+  EXPECT_LT(engine.explanationDegreeAc(Fault::open("C2"), obs), 0.1);
+  EXPECT_DOUBLE_EQ(engine.explanationDegreeAc(Fault::open("C1"), {}), 0.0);
+}
+
+TEST(AcDiagnosis, BjtAmplifierGainFaultDetected) {
+  // Dynamic-mode diagnosis on an active circuit: the coupling capacitor of
+  // a one-stage CE amplifier goes open; the mid-band gain collapses.
+  Netlist n;
+  n.addVSource("Vcc", "vcc", "0", 18.0);
+  n.addResistor("R2", "vcc", "V1", 12.0, 0.02);
+  n.addResistor("R1", "V1", "N1", 200.0, 0.02);
+  n.addResistor("R3", "N1", "0", 24.0, 0.02);
+  n.addNpn("T1", "V1", "N1", "0", 300.0, 0.05);
+  n.addVSource("Vsig", "sig", "0", 0.0);
+  n.addResistor("Rs", "sig", "cin", 10.0, 0.02);
+  // Coupling corner near ~10 Hz (tau = Rth * C with kOhm * uF = ms), so the
+  // probes below straddle it and the cap's tolerance is observable.
+  n.addCapacitor("Cc", "cin", "N1", 1.0, 0.05);
+
+  const std::vector<AcProbe> probes = {{"V1", 5.0}, {"V1", 50.0}};
+  AcDiagnosisEngine engine(n, "Vsig", probes);
+  const Netlist faulted = circuit::applyFaults(n, {Fault::open("Cc")});
+  const circuit::AcSolver solver(faulted);
+  for (const AcProbe& p : probes) {
+    engine.measure(p.node, p.hertz,
+                   solver.gainMagnitude(p.hertz, "Vsig", p.node));
+  }
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  // Cc must be among the top candidates.
+  bool found = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(2, report.candidates.size());
+       ++i) {
+    for (const auto& c : report.candidates[i].components) {
+      if (c == "Cc") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

@@ -1,0 +1,130 @@
+#include "diagnosis/deviation_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+#include "circuit/fault.h"
+#include "circuit/mna.h"
+#include "diagnosis/flames.h"
+#include "workload/scenarios.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using circuit::Fault;
+using circuit::Netlist;
+
+Netlist divider() {
+  Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.02);
+  n.addResistor("R2", "mid", "0", 1.0, 0.02);
+  return n;
+}
+
+TEST(SensitivitySigns, DividerSigns) {
+  const SensitivitySigns signs(divider());
+  // Raising R1 lowers the divider output; raising R2 raises it.
+  EXPECT_EQ(signs.sign("mid", "R1"), -1);
+  EXPECT_EQ(signs.sign("mid", "R2"), 1);
+  // The stiff source node is insensitive to both.
+  EXPECT_EQ(signs.sign("in", "R1"), 0);
+  EXPECT_EQ(signs.sign("in", "R2"), 0);
+  // Unknown pairs are 0.
+  EXPECT_EQ(signs.sign("nope", "R1"), 0);
+  EXPECT_EQ(signs.sign("mid", "nope"), 0);
+}
+
+TEST(SensitivitySigns, SourcesExcluded) {
+  const SensitivitySigns signs(divider());
+  for (const auto& c : signs.components()) EXPECT_NE(c, "V1");
+}
+
+TEST(ExplainBySigns, MidLowImplicatesR1HighOrR2Low) {
+  const SensitivitySigns signs(divider());
+  // Symptom: mid deviates BELOW nominal (signed Dc negative).
+  const std::vector<Symptom> signature = {{"V(mid)", -0.2}};
+  const auto hyps = explainBySigns(signs, signature);
+  ASSERT_GE(hyps.size(), 2u);
+  // Perfect-agreement hypotheses first: R1 high and R2 low both lower mid.
+  EXPECT_DOUBLE_EQ(hyps[0].agreement, 1.0);
+  EXPECT_DOUBLE_EQ(hyps[1].agreement, 1.0);
+  auto matches = [&](const DirectedHypothesis& h, const std::string& c,
+                     DeviationDirection d) {
+    return h.component == c && h.direction == d;
+  };
+  const bool r1High = matches(hyps[0], "R1", DeviationDirection::kHigh) ||
+                      matches(hyps[1], "R1", DeviationDirection::kHigh);
+  const bool r2Low = matches(hyps[0], "R2", DeviationDirection::kLow) ||
+                     matches(hyps[1], "R2", DeviationDirection::kLow);
+  EXPECT_TRUE(r1High);
+  EXPECT_TRUE(r2Low);
+}
+
+TEST(ExplainBySigns, NoSymptomsNoExplanations) {
+  const SensitivitySigns signs(divider());
+  const std::vector<Symptom> healthy = {{"V(mid)", 1.0}};
+  for (const auto& h : explainBySigns(signs, healthy)) {
+    EXPECT_DOUBLE_EQ(h.agreement, 0.0);
+  }
+}
+
+TEST(ExplainBySigns, NonVoltageQuantitiesIgnored) {
+  const SensitivitySigns signs(divider());
+  const std::vector<Symptom> signature = {{"I(R1)", -0.2}};
+  for (const auto& h : explainBySigns(signs, signature)) {
+    EXPECT_DOUBLE_EQ(h.agreement, 0.0);
+  }
+}
+
+TEST(ExplainBySigns, Fig7NodeOpenRow) {
+  // The paper's commentary: for the N1-open symptom pattern, "R2 is very
+  // low or R3 is very high" — V1 reads high, so (with R2 as the collector
+  // load) R2-low and R1/R3-direction hypotheses must agree with the signs.
+  const Netlist net = circuit::paperFig6ThreeStageAmp();
+  const SensitivitySigns signs(net);
+
+  FlamesEngine engine(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {Fault::pinOpen("T1", 1)}, {"V1", "V2", "Vs"});
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.directedHypotheses.empty());
+
+  // The best hypotheses must involve stage-1 components with full
+  // agreement across the three symptoms.
+  const auto& best = report.directedHypotheses.front();
+  EXPECT_DOUBLE_EQ(best.agreement, 1.0);
+  EXPECT_TRUE(best.component == "R1" || best.component == "R2" ||
+              best.component == "R3" || best.component == "T1")
+      << best.component;
+}
+
+TEST(ExplainBySigns, DirectionDiscriminationOnAmplifier) {
+  // R2 (collector load) shorted pulls V1 high: "R2 low" must agree on the
+  // V1 symptom and "R2 high" must not.
+  const Netlist net = circuit::paperFig6ThreeStageAmp();
+  const SensitivitySigns signs(net);
+  const std::vector<Symptom> signature = {{"V(V1)", 0.1}};  // V1 above nominal
+  const auto hyps = explainBySigns(signs, signature);
+  double r2Low = -1.0, r2High = -1.0;
+  for (const auto& h : hyps) {
+    if (h.component == "R2" && h.direction == DeviationDirection::kLow) {
+      r2Low = h.agreement;
+    }
+    if (h.component == "R2" && h.direction == DeviationDirection::kHigh) {
+      r2High = h.agreement;
+    }
+  }
+  EXPECT_DOUBLE_EQ(r2Low, 1.0);
+  EXPECT_DOUBLE_EQ(r2High, 0.0);
+}
+
+TEST(DeviationDirectionName, Names) {
+  EXPECT_EQ(deviationDirectionName(DeviationDirection::kHigh), "high");
+  EXPECT_EQ(deviationDirectionName(DeviationDirection::kLow), "low");
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

@@ -1,0 +1,116 @@
+#include "diagnosis/experience_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace flames::diagnosis {
+namespace {
+
+ExperienceBase sampleBase() {
+  ExperienceBase eb;
+  eb.recordSuccess({{"V(V1)", -0.2}, {"V(Vs)", -0.4}}, "R2", "short");
+  eb.recordSuccess({{"V(V1)", 0.9}}, "R3", "open");
+  eb.recordSuccess({{"V(V1)", 0.9}}, "R3", "open");  // reinforce
+  return eb;
+}
+
+TEST(ExperienceIo, RoundTripPreservesRules) {
+  const ExperienceBase original = sampleBase();
+  std::stringstream stream;
+  saveExperience(original, stream);
+
+  ExperienceBase restored;
+  const std::size_t n = loadExperience(restored, stream);
+  EXPECT_EQ(n, original.size());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const SymptomRule& a = original.rules()[i];
+    const SymptomRule& b = restored.rules()[i];
+    EXPECT_EQ(a.component, b.component);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_DOUBLE_EQ(a.certainty, b.certainty);
+    EXPECT_EQ(a.confirmations, b.confirmations);
+    ASSERT_EQ(a.symptoms.size(), b.symptoms.size());
+    for (std::size_t s = 0; s < a.symptoms.size(); ++s) {
+      EXPECT_EQ(a.symptoms[s].quantity, b.symptoms[s].quantity);
+      EXPECT_DOUBLE_EQ(a.symptoms[s].signedDc, b.symptoms[s].signedDc);
+    }
+  }
+}
+
+TEST(ExperienceIo, RestoredBaseMatchesLikeOriginal) {
+  const ExperienceBase original = sampleBase();
+  std::stringstream stream;
+  saveExperience(original, stream);
+  ExperienceBase restored;
+  loadExperience(restored, stream);
+
+  const std::vector<Symptom> probe = {{"V(V1)", -0.2}, {"V(Vs)", -0.4}};
+  const auto a = original.match(probe);
+  const auto b = restored.match(probe);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].component, b[i].component);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(ExperienceIo, EmptyBaseRoundTrip) {
+  ExperienceBase empty;
+  std::stringstream stream;
+  saveExperience(empty, stream);
+  ExperienceBase restored;
+  EXPECT_EQ(loadExperience(restored, stream), 0u);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(ExperienceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream;
+  stream << "# header\n\nrule R1 open 0.5 1 1\nsym V(a) -0.5\n";
+  ExperienceBase base;
+  EXPECT_EQ(loadExperience(base, stream), 1u);
+  EXPECT_EQ(base.rules().front().component, "R1");
+}
+
+TEST(ExperienceIo, MalformedInputThrows) {
+  {
+    std::stringstream bad;
+    bad << "bogus line\n";
+    ExperienceBase base;
+    EXPECT_THROW(loadExperience(base, bad), std::runtime_error);
+  }
+  {
+    std::stringstream truncated;
+    truncated << "rule R1 open 0.5 1 2\nsym V(a) -0.5\n";  // missing symptom
+    ExperienceBase base;
+    EXPECT_THROW(loadExperience(base, truncated), std::runtime_error);
+  }
+  {
+    std::stringstream badSym;
+    badSym << "rule R1 open 0.5 1 1\nnotsym V(a) -0.5\n";
+    ExperienceBase base;
+    EXPECT_THROW(loadExperience(base, badSym), std::runtime_error);
+  }
+}
+
+TEST(ExperienceIo, FileRoundTrip) {
+  const std::string path = "/tmp/flames_experience_test.txt";
+  const ExperienceBase original = sampleBase();
+  saveExperienceFile(original, path);
+  ExperienceBase restored;
+  EXPECT_EQ(loadExperienceFile(restored, path), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(ExperienceIo, MissingFileThrows) {
+  ExperienceBase base;
+  EXPECT_THROW(loadExperienceFile(base, "/nonexistent/dir/x.txt"),
+               std::runtime_error);
+  EXPECT_THROW(saveExperienceFile(base, "/nonexistent/dir/x.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

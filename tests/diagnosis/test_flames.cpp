@@ -1,0 +1,190 @@
+#include "diagnosis/flames.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+#include "circuit/mna.h"
+#include "diagnosis/report.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using circuit::Fault;
+using circuit::Netlist;
+
+Netlist divider() {
+  Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+double faultedVoltage(const Netlist& net, const std::vector<Fault>& faults,
+                      const std::string& node) {
+  const Netlist f = circuit::applyFaults(net, faults);
+  return circuit::DcSolver(f).solve().v(f.findNode(node));
+}
+
+TEST(FlamesEngine, HealthyCircuitReportsNoFault) {
+  FlamesEngine engine(divider());
+  engine.measure("mid", 5.0);
+  const auto report = engine.diagnose();
+  EXPECT_TRUE(report.propagationCompleted);
+  EXPECT_FALSE(report.faultDetected());
+  EXPECT_TRUE(report.bestCandidate().empty());
+}
+
+TEST(FlamesEngine, ShortedResistorIsolated) {
+  const Netlist net = divider();
+  FlamesEngine engine(net);
+  engine.measure("mid", faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid"));
+  const auto report = engine.diagnose();
+  EXPECT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.candidates.empty());
+  EXPECT_EQ(report.bestCandidate(), std::vector<std::string>{"R2"});
+  ASSERT_TRUE(report.candidates.front().modeMatch.has_value());
+  EXPECT_GT(report.candidates.front().plausibility, 0.8);
+}
+
+TEST(FlamesEngine, MeasureUnknownNodeThrows) {
+  FlamesEngine engine(divider());
+  EXPECT_THROW(engine.measure("bogus", 1.0), std::out_of_range);
+}
+
+TEST(FlamesEngine, ClearMeasurementsResets) {
+  FlamesEngine engine(divider());
+  engine.measure("mid", 9.0);
+  engine.clearMeasurements();
+  engine.measure("mid", 5.0);
+  const auto report = engine.diagnose();
+  EXPECT_FALSE(report.faultDetected());
+}
+
+TEST(FlamesEngine, MeasurementSummariesCarrySignedDc) {
+  const Netlist net = divider();
+  FlamesEngine engine(net);
+  // mid pulled slightly low => a partial conflict with negative signed Dc.
+  engine.measure("mid", 4.82);
+  const auto report = engine.diagnose();
+  ASSERT_EQ(report.measurements.size(), 1u);
+  EXPECT_EQ(report.measurements.front().quantity, "V(mid)");
+  EXPECT_LT(report.measurements.front().dc, 1.0);
+  EXPECT_LE(report.measurements.front().signedDc, 0.0);
+  ASSERT_EQ(report.signature.size(), 1u);
+  EXPECT_EQ(report.signature.front().quantity, "V(mid)");
+}
+
+TEST(FlamesEngine, SuspicionCoversNogoodMembers) {
+  const Netlist net = divider();
+  FlamesEngine engine(net);
+  engine.measure("mid", 9.5);
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  EXPECT_FALSE(report.suspicion.empty());
+  for (const auto& ng : report.nogoods) {
+    for (const auto& comp : ng.components) {
+      EXPECT_EQ(report.suspicion.count(comp), 1u) << comp;
+    }
+  }
+}
+
+TEST(FlamesEngine, ConfirmFeedsExperience) {
+  const Netlist net = divider();
+  FlamesEngine engine(net);
+  engine.measure("mid",
+                 faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid"));
+  const auto report = engine.diagnose();
+  engine.confirm(report, "R2", "short");
+  EXPECT_EQ(engine.experience().size(), 1u);
+
+  // A second identical session must now surface the learned hint.
+  engine.clearMeasurements();
+  engine.measure("mid",
+                 faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid"));
+  const auto second = engine.diagnose();
+  ASSERT_FALSE(second.hints.empty());
+  EXPECT_EQ(second.hints.front().component, "R2");
+  EXPECT_EQ(second.hints.front().mode, "short");
+}
+
+TEST(FlamesEngine, RecommendTestsReturnsRankedProbes) {
+  const Netlist net = circuit::paperFig6ThreeStageAmp();
+  FlamesEngine engine(net);
+  engine.measure("Vs", faultedVoltage(net, {Fault::open("R3")}, "Vs"));
+  const auto report = engine.diagnose();
+  EXPECT_TRUE(report.faultDetected());
+  const auto tests = engine.recommendTests({{"V1"}, {"V2"}}, report);
+  EXPECT_EQ(tests.size(), 2u);
+}
+
+TEST(FlamesEngine, RegionRulesInstalledForBjtCircuits) {
+  FlamesEngine engine(circuit::paperFig6ThreeStageAmp());
+  EXPECT_EQ(engine.knowledgeBase().size(), 6u);
+  FlamesOptions opts;
+  opts.installRegionRules = false;
+  FlamesEngine bare(circuit::paperFig6ThreeStageAmp(), opts);
+  EXPECT_EQ(bare.knowledgeBase().size(), 0u);
+}
+
+TEST(FlamesEngine, ExpertPriorsBreakCandidateTies) {
+  // N1-open style ambiguity: several stage-1 candidates explain equally
+  // well; an expert prior that distrusts R1 must pull it in front.
+  const Netlist net = circuit::paperFig6ThreeStageAmp();
+  FlamesOptions opts;
+  opts.expertPriors["R1"] = "likely-faulty";
+  FlamesEngine engine(net, opts);
+  const Netlist faulted =
+      circuit::applyFaults(net, {Fault::pinOpen("T1", 1)});
+  const auto op = circuit::DcSolver(faulted).solve();
+  for (const char* node : {"V1", "V2", "Vs"}) {
+    engine.measure(node, op.v(faulted.findNode(node)));
+  }
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.candidates.empty());
+  // Without priors the tie resolves alphabetically towards R2 (see the
+  // paper-figures test); the prior flips it.
+  EXPECT_EQ(report.bestCandidate(), std::vector<std::string>{"R1"});
+  EXPECT_GT(report.candidates.front().prior, 0.6);
+}
+
+TEST(FlamesEngine, UnknownPriorTermThrowsAtDiagnosis) {
+  const Netlist net = divider();
+  FlamesOptions opts;
+  opts.expertPriors["R1"] = "bogus-term";
+  FlamesEngine engine(net, opts);
+  engine.measure("mid", 9.5);
+  EXPECT_THROW((void)engine.diagnose(), std::out_of_range);
+}
+
+TEST(Report, RenderContainsKeySections) {
+  const Netlist net = divider();
+  FlamesEngine engine(net);
+  engine.measure("mid",
+                 faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid"));
+  const auto report = engine.diagnose();
+  const std::string text = renderReport(report);
+  EXPECT_NE(text.find("measurements"), std::string::npos);
+  EXPECT_NE(text.find("nogoods"), std::string::npos);
+  EXPECT_NE(text.find("candidates"), std::string::npos);
+  EXPECT_NE(text.find("V(mid)"), std::string::npos);
+
+  const std::string summary = summarizeReport(report);
+  EXPECT_NE(summary.find("R2"), std::string::npos);
+}
+
+TEST(Report, RenderComponents) {
+  EXPECT_EQ(renderComponents({"R1", "T1"}), "{R1,T1}");
+  EXPECT_EQ(renderComponents({}), "{}");
+}
+
+TEST(Report, NoFaultSummary) {
+  FlamesEngine engine(divider());
+  engine.measure("mid", 5.0);
+  const auto report = engine.diagnose();
+  EXPECT_EQ(summarizeReport(report), "no fault detected");
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

@@ -1,0 +1,173 @@
+#include "diagnosis/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using constraints::Model;
+using constraints::Propagator;
+using fuzzy::FuzzyInterval;
+
+TEST(KnowledgeBase, AtLeastAtMostShapes) {
+  const auto ge = KnowledgeBase::atLeast(0.4, 0.1);
+  EXPECT_DOUBLE_EQ(ge.membership(0.25), 0.0);
+  EXPECT_NEAR(ge.membership(0.35), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(ge.membership(0.4), 1.0);
+  EXPECT_DOUBLE_EQ(ge.membership(100.0), 1.0);
+
+  const auto le = KnowledgeBase::atMost(0.4, 0.1);
+  EXPECT_DOUBLE_EQ(le.membership(0.4), 1.0);
+  EXPECT_NEAR(le.membership(0.45), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(le.membership(0.6), 0.0);
+  EXPECT_DOUBLE_EQ(le.membership(-50.0), 1.0);
+}
+
+TEST(KnowledgeBase, RuleActivationUsesPossibility) {
+  Model m;
+  const auto q = m.addQuantity("Vbe");
+  Propagator p(m);
+  p.addMeasurement(q, FuzzyInterval::crisp(0.7));
+  p.run();
+
+  KnowledgeBase kb;
+  FuzzyRule rule;
+  rule.name = "on";
+  rule.conclusion = "T conducting";
+  rule.antecedents.push_back({q, KnowledgeBase::atLeast(0.4, 0.1)});
+  rule.certainty = 0.9;
+  kb.addRule(rule);
+
+  const auto fired = kb.evaluate(p);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired.front().conclusion, "T conducting");
+  EXPECT_DOUBLE_EQ(fired.front().degree, 0.9);  // capped by certainty
+}
+
+TEST(KnowledgeBase, UnvaluedQuantityGivesZeroActivation) {
+  Model m;
+  const auto q = m.addQuantity("Vbe");
+  Propagator p(m);
+  p.run();
+
+  KnowledgeBase kb;
+  FuzzyRule rule;
+  rule.name = "on";
+  rule.conclusion = "T conducting";
+  rule.antecedents.push_back({q, KnowledgeBase::atLeast(0.4, 0.1)});
+  kb.addRule(rule);
+  EXPECT_TRUE(kb.evaluate(p).empty());
+}
+
+TEST(KnowledgeBase, ConjunctionTakesMin) {
+  Model m;
+  const auto a = m.addQuantity("a");
+  const auto b = m.addQuantity("b");
+  Propagator p(m);
+  p.addMeasurement(a, FuzzyInterval::crisp(0.35));  // membership 0.5 in >=0.4
+  p.addMeasurement(b, FuzzyInterval::crisp(1.0));   // membership 1
+  p.run();
+
+  KnowledgeBase kb;
+  FuzzyRule rule;
+  rule.name = "r";
+  rule.conclusion = "c";
+  rule.antecedents.push_back({a, KnowledgeBase::atLeast(0.4, 0.1)});
+  rule.antecedents.push_back({b, KnowledgeBase::atLeast(0.4, 0.1)});
+  kb.addRule(rule);
+  const auto fired = kb.evaluate(p);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NEAR(fired.front().degree, 0.5, 1e-9);
+}
+
+TEST(KnowledgeBase, ProductTNormMultiplies) {
+  Model m;
+  const auto a = m.addQuantity("a");
+  Propagator p(m);
+  p.addMeasurement(a, FuzzyInterval::crisp(0.35));
+  p.run();
+
+  KnowledgeBase kb(fuzzy::TNorm::kProduct);
+  FuzzyRule rule;
+  rule.name = "r";
+  rule.conclusion = "c";
+  rule.certainty = 0.8;
+  rule.antecedents.push_back({a, KnowledgeBase::atLeast(0.4, 0.1)});
+  kb.addRule(rule);
+  const auto fired = kb.evaluate(p);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NEAR(fired.front().degree, 0.8 * 0.5, 1e-9);
+}
+
+TEST(KnowledgeBase, TransistorRegionRulesFromNetlist) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  KnowledgeBase kb;
+  addTransistorRegionRules(kb, net, built);
+  // Two rules (on/off) per transistor.
+  EXPECT_EQ(kb.size(), 6u);
+
+  // At the nominal operating point every transistor conducts.
+  Propagator p(built.model);
+  p.addMeasurement(built.voltage("V1"),
+                   FuzzyInterval::about(built.nominalOp.nodeVoltages[net.findNode("V1")], 0.05));
+  p.run();
+  const auto fired = kb.evaluate(p);
+  bool t2Conducting = false;
+  for (const auto& f : fired) {
+    if (f.conclusion == "T2 conducting" && f.degree > 0.8) t2Conducting = true;
+  }
+  EXPECT_TRUE(t2Conducting);
+}
+
+TEST(KnowledgeBase, DiodeRegionRules) {
+  const auto net = circuit::paperFig5DiodeNetwork();
+  const auto built = constraints::buildDiagnosticModel(net);
+  KnowledgeBase kb;
+  addDiodeRegionRules(kb, net, built);
+  EXPECT_EQ(kb.size(), 2u);
+
+  // Measure the anode well above the conduction threshold: "conducting"
+  // fires, "blocking" does not.
+  Propagator p(built.model);
+  p.addMeasurement(built.voltage("in"), FuzzyInterval::about(0.8, 0.01));
+  p.run();
+  const auto fired = kb.evaluate(p);
+  bool conducting = false, blocking = false;
+  for (const auto& f : fired) {
+    if (f.conclusion == "d1 conducting" && f.degree > 0.8) conducting = true;
+    if (f.conclusion == "d1 blocking" && f.degree > 0.1) blocking = true;
+  }
+  EXPECT_TRUE(conducting);
+  EXPECT_FALSE(blocking);
+}
+
+TEST(KnowledgeBase, ResultsSortedByDegree) {
+  Model m;
+  const auto a = m.addQuantity("a");
+  Propagator p(m);
+  p.addMeasurement(a, FuzzyInterval::crisp(0.35));
+  p.run();
+
+  KnowledgeBase kb;
+  FuzzyRule weak;
+  weak.name = "weak";
+  weak.conclusion = "w";
+  weak.certainty = 0.3;
+  weak.antecedents.push_back({a, KnowledgeBase::atLeast(0.4, 0.1)});
+  FuzzyRule strong;
+  strong.name = "strong";
+  strong.conclusion = "s";
+  strong.certainty = 1.0;
+  strong.antecedents.push_back({a, KnowledgeBase::atLeast(0.3, 0.1)});
+  kb.addRule(weak);
+  kb.addRule(strong);
+  const auto fired = kb.evaluate(p);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired.front().rule, "strong");
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

@@ -1,0 +1,112 @@
+#include "diagnosis/learning.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::diagnosis {
+namespace {
+
+std::vector<Symptom> signatureA() {
+  return {{"V(V1)", -0.2}, {"V(V2)", -0.3}, {"V(Vs)", -0.3}};
+}
+
+std::vector<Symptom> signatureB() {
+  return {{"V(V1)", 1.0}, {"V(V2)", 0.9}, {"V(Vs)", 0.9}};
+}
+
+TEST(Similarity, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(ExperienceBase::similarity(signatureA(), signatureA()),
+                   1.0);
+}
+
+TEST(Similarity, DifferentQuantitiesIsZero) {
+  const std::vector<Symptom> other = {{"V(x)", -0.2}, {"V(V2)", -0.3},
+                                      {"V(Vs)", -0.3}};
+  EXPECT_DOUBLE_EQ(ExperienceBase::similarity(signatureA(), other), 0.0);
+}
+
+TEST(Similarity, SizeMismatchIsZero) {
+  EXPECT_DOUBLE_EQ(
+      ExperienceBase::similarity(signatureA(), {{"V(V1)", -0.2}}), 0.0);
+}
+
+TEST(Similarity, GradedByDcDistance) {
+  const double sim = ExperienceBase::similarity(signatureA(), signatureB());
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 0.7);
+}
+
+TEST(ExperienceBase, LearnsNewRule) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  ASSERT_EQ(eb.size(), 1u);
+  EXPECT_EQ(eb.rules().front().component, "R2");
+  EXPECT_EQ(eb.rules().front().confirmations, 1);
+  EXPECT_DOUBLE_EQ(eb.rules().front().certainty, 0.5);
+}
+
+TEST(ExperienceBase, ReinforcementStrengthensCertainty) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  eb.recordSuccess(signatureA(), "R2", "short");
+  ASSERT_EQ(eb.size(), 1u);  // merged, not duplicated
+  EXPECT_EQ(eb.rules().front().confirmations, 2);
+  EXPECT_NEAR(eb.rules().front().certainty, 0.5 + 0.5 * 0.3, 1e-9);
+}
+
+TEST(ExperienceBase, DissimilarSignaturesStayDistinct) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  eb.recordSuccess(signatureB(), "R2", "short");
+  EXPECT_EQ(eb.size(), 2u);
+}
+
+TEST(ExperienceBase, MatchRanksByScore) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  eb.recordSuccess(signatureB(), "R3", "open");
+  const auto hints = eb.match(signatureA());
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints.front().component, "R2");
+  EXPECT_GT(hints.front().score, hints.back().score - 1e-12);
+}
+
+TEST(ExperienceBase, MatchIsOrderInsensitive) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  std::vector<Symptom> shuffled = {{"V(Vs)", -0.3}, {"V(V1)", -0.2},
+                                   {"V(V2)", -0.3}};
+  const auto hints = eb.match(shuffled);
+  ASSERT_FALSE(hints.empty());
+  EXPECT_EQ(hints.front().component, "R2");
+  EXPECT_NEAR(hints.front().score, 0.5, 1e-9);
+}
+
+TEST(ExperienceBase, FailureDecaysAndEventuallyForgets) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  const double before = eb.rules().front().certainty;
+  eb.recordFailure("R2", "short");
+  ASSERT_EQ(eb.size(), 1u);
+  EXPECT_LT(eb.rules().front().certainty, before);
+  for (int i = 0; i < 20; ++i) eb.recordFailure("R2", "short");
+  EXPECT_EQ(eb.size(), 0u);  // certainty fell below the floor
+}
+
+TEST(ExperienceBase, SignatureAveragingTracksEvidence) {
+  ExperienceBase eb;
+  eb.recordSuccess({{"V(V1)", -0.2}}, "R2", "low");
+  eb.recordSuccess({{"V(V1)", -0.4}}, "R2", "low");
+  ASSERT_EQ(eb.size(), 1u);
+  EXPECT_NEAR(eb.rules().front().symptoms.front().signedDc, -0.3, 1e-9);
+}
+
+TEST(ExperienceBase, ClearEmpties) {
+  ExperienceBase eb;
+  eb.recordSuccess(signatureA(), "R2", "short");
+  eb.clear();
+  EXPECT_EQ(eb.size(), 0u);
+  EXPECT_TRUE(eb.match(signatureA()).empty());
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

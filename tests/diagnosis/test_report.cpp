@@ -1,0 +1,103 @@
+// Deterministic rendering tests on hand-crafted reports (the renderer is
+// user-facing output; its format regressions should be caught directly).
+#include "diagnosis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::diagnosis {
+namespace {
+
+DiagnosisReport craftedReport() {
+  DiagnosisReport r;
+  r.propagationCompleted = true;
+  r.propagationSteps = 42;
+
+  MeasurementSummary m;
+  m.quantity = "V(out)";
+  m.measured = fuzzy::FuzzyInterval::about(4.5, 0.05);
+  m.nominal = fuzzy::FuzzyInterval::about(5.0, 0.2);
+  m.dc = 0.25;
+  m.signedDc = -0.25;
+  m.direction = -1;
+  r.measurements.push_back(m);
+
+  RankedNogood ng;
+  ng.components = {"R1", "R2"};
+  ng.degree = 0.75;
+  ng.note = "conflict on V(out)";
+  r.nogoods.push_back(ng);
+
+  RankedCandidate c;
+  c.components = {"R2"};
+  c.suspicion = 0.75;
+  c.plausibility = 0.9;
+  FaultModeMatch match;
+  match.component = "R2";
+  match.mode = "estimated";
+  match.matchDegree = 0.9;
+  match.estimatedValue = 1.5;
+  c.modeMatch = match;
+  c.hints.push_back({"R2", "low", 0.45, 0.5});
+  r.candidates.push_back(c);
+
+  r.ruleActivations.push_back({"region(T1)/on", "T1 conducting", 0.9});
+  r.directedHypotheses.push_back(
+      {"R2", DeviationDirection::kLow, 1.0, 1});
+  r.hints.push_back({"R2", "low", 0.45, 0.5});
+  r.suspicion["R1"] = 0.75;
+  r.suspicion["R2"] = 0.75;
+  return r;
+}
+
+TEST(Report, FullRenderContainsEverySection) {
+  const std::string text = renderReport(craftedReport());
+  EXPECT_NE(text.find("42 steps"), std::string::npos);
+  EXPECT_NE(text.find("V(out)"), std::string::npos);
+  EXPECT_NE(text.find("Dc = -0.250"), std::string::npos);
+  EXPECT_NE(text.find("{R1,R2}  degree 0.750"), std::string::npos);
+  EXPECT_NE(text.find("conflict on V(out)"), std::string::npos);
+  EXPECT_NE(text.find("{R2}  plausibility 0.900"), std::string::npos);
+  EXPECT_NE(text.find("mode=estimated (value ~ 1.500)"), std::string::npos);
+  EXPECT_NE(text.find("deviation-sign explanations"), std::string::npos);
+  EXPECT_NE(text.find("R2 low  agreement 1.000"), std::string::npos);
+  EXPECT_NE(text.find("T1 conducting"), std::string::npos);
+  EXPECT_NE(text.find("experience hints"), std::string::npos);
+}
+
+TEST(Report, IncompletePropagationIsFlagged) {
+  DiagnosisReport r = craftedReport();
+  r.propagationCompleted = false;
+  EXPECT_NE(renderReport(r).find("BUDGET EXHAUSTED"), std::string::npos);
+}
+
+TEST(Report, EmptyReportRendersPlaceholders) {
+  DiagnosisReport r;
+  r.propagationCompleted = true;
+  const std::string text = renderReport(r);
+  EXPECT_NE(text.find("(none: no discrepancy detected)"), std::string::npos);
+  EXPECT_NE(text.find("(none)"), std::string::npos);
+  EXPECT_EQ(summarizeReport(r), "no fault detected");
+}
+
+TEST(Report, SummaryNamesModeAndPlausibility) {
+  const std::string s = summarizeReport(craftedReport());
+  EXPECT_EQ(s, "fault detected; best candidate {R2} (estimated, 0.900)");
+}
+
+TEST(Report, SummaryWithoutCandidates) {
+  DiagnosisReport r;
+  RankedNogood ng;
+  ng.components = {"R1"};
+  r.nogoods.push_back(ng);
+  EXPECT_EQ(summarizeReport(r),
+            "fault detected; no candidate explains the conflicts");
+}
+
+TEST(Report, BestCandidateHelper) {
+  EXPECT_TRUE(DiagnosisReport{}.bestCandidate().empty());
+  const auto r = craftedReport();
+  EXPECT_EQ(r.bestCandidate(), std::vector<std::string>{"R2"});
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

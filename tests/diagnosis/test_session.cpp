@@ -1,0 +1,131 @@
+#include "diagnosis/session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/catalog.h"
+#include "circuit/fault.h"
+#include "circuit/mna.h"
+#include "workload/generators.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using circuit::Fault;
+using circuit::Netlist;
+
+// Oracle reading the faulted board.
+ProbeOracle oracleFor(const Netlist& nominal, const std::vector<Fault>& faults,
+                      std::size_t* probeCounter = nullptr) {
+  auto faulted =
+      std::make_shared<Netlist>(circuit::applyFaults(nominal, faults));
+  auto op = std::make_shared<circuit::OperatingPoint>(
+      circuit::DcSolver(*faulted).solve());
+  return [faulted, op, probeCounter](const std::string& node) {
+    if (probeCounter != nullptr) ++*probeCounter;
+    return op->v(faulted->findNode(node));
+  };
+}
+
+TEST(Session, HealthyBoardStopsImmediately) {
+  const auto net = workload::dividerCascade(3);
+  FlamesEngine engine(net);
+  const auto oracle = oracleFor(net, {});
+  engine.measure("t3", oracle("t3"));
+  auto result = runGuidedSession(engine, {{"m1"}, {"m2"}, {"m3"}}, oracle);
+  EXPECT_EQ(result.outcome, SessionOutcome::kNoFault);
+  EXPECT_EQ(result.probesUsed, 0u);
+  ASSERT_EQ(result.trail.size(), 1u);
+  EXPECT_TRUE(result.trail.front().probedNode.empty());
+}
+
+TEST(Session, IsolatesDeepFaultWithGuidedProbes) {
+  const auto net = workload::dividerCascade(4);
+  FlamesEngine engine(net);
+  const Fault fault = Fault::open("Rb3");
+  const auto oracle = oracleFor(net, {fault});
+  engine.measure("t4", oracle("t4"));  // output only: ambiguous
+
+  auto result = runGuidedSession(
+      engine, {{"m1"}, {"m2"}, {"m3"}, {"m4"}, {"t1"}, {"t2"}, {"t3"}},
+      oracle);
+  // Rb3-open and Rt3-short are voltage-indistinguishable (both make stage 3
+  // a straight wire), so the honest outcome is either isolation or a
+  // two-way ambiguity with the culprit in front.
+  EXPECT_TRUE(result.outcome == SessionOutcome::kIsolated ||
+              result.outcome == SessionOutcome::kAmbiguous);
+  ASSERT_FALSE(result.finalReport.candidates.empty());
+  bool culpritOnTop = false;
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(2, result.finalReport.candidates.size());
+       ++i) {
+    for (const auto& c : result.finalReport.candidates[i].components) {
+      if (c == "Rb3") culpritOnTop = true;
+    }
+  }
+  EXPECT_TRUE(culpritOnTop);
+  EXPECT_GT(result.probesUsed, 0u);
+  // Trail records one step per probe plus the initial diagnosis.
+  EXPECT_EQ(result.trail.size(), result.probesUsed + 1);
+}
+
+TEST(Session, ProbeBudgetRespected) {
+  const auto net = workload::dividerCascade(4);
+  FlamesEngine engine(net);
+  const auto oracle = oracleFor(net, {Fault::open("Rb3")});
+  engine.measure("t4", oracle("t4"));
+
+  SessionOptions opts;
+  opts.maxProbes = 1;
+  opts.plausibilityThreshold = 1.01;  // unreachable: force budget exit
+  auto result = runGuidedSession(
+      engine, {{"m1"}, {"m2"}, {"m3"}, {"m4"}}, oracle, opts);
+  EXPECT_EQ(result.outcome, SessionOutcome::kProbesSpent);
+  EXPECT_EQ(result.probesUsed, 1u);
+}
+
+TEST(Session, AmbiguousWhenProbesRunOut) {
+  const auto net = workload::dividerCascade(3);
+  FlamesEngine engine(net);
+  const auto oracle = oracleFor(net, {Fault::open("Rb2")});
+  engine.measure("t3", oracle("t3"));
+
+  SessionOptions opts;
+  opts.plausibilityThreshold = 1.01;  // never satisfied
+  auto result = runGuidedSession(engine, {{"m1"}}, oracle, opts);
+  EXPECT_EQ(result.outcome, SessionOutcome::kAmbiguous);
+  EXPECT_EQ(result.probesUsed, 1u);
+}
+
+TEST(Session, Fig6AmplifierGuidedIsolation) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  FlamesEngine engine(net);
+  const Fault fault = Fault::open("R3");
+  const auto oracle = oracleFor(net, {fault});
+  engine.measure("Vs", oracle("Vs"));  // symptom at the output only
+
+  auto result = runGuidedSession(
+      engine, {{"V1"}, {"V2"}, {"N1"}, {"E2"}}, oracle);
+  // Several stage-1 explanations can co-explain the voltages; require the
+  // session to finish with stage-1 candidates leading (isolated or an
+  // honest tie among them).
+  EXPECT_TRUE(result.outcome == SessionOutcome::kIsolated ||
+              result.outcome == SessionOutcome::kAmbiguous);
+  ASSERT_FALSE(result.finalReport.candidates.empty());
+  const auto best = result.finalReport.bestCandidate();
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_TRUE(best.front() == "R3" || best.front() == "R1" ||
+              best.front() == "R2" || best.front() == "T1")
+      << best.front();
+}
+
+TEST(Session, OutcomeNames) {
+  EXPECT_EQ(sessionOutcomeName(SessionOutcome::kNoFault), "no-fault");
+  EXPECT_EQ(sessionOutcomeName(SessionOutcome::kIsolated), "isolated");
+  EXPECT_EQ(sessionOutcomeName(SessionOutcome::kAmbiguous), "ambiguous");
+  EXPECT_EQ(sessionOutcomeName(SessionOutcome::kProbesSpent), "probes-spent");
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

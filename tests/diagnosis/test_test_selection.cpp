@@ -1,0 +1,118 @@
+#include "diagnosis/test_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using circuit::Fault;
+using circuit::Netlist;
+
+Netlist ladder() {
+  // in -> R1 -> a -> R2 -> b -> R3 -> gnd: probing a or b discriminates.
+  Netlist n;
+  n.addVSource("V1", "in", "0", 9.0);
+  n.addResistor("R1", "in", "a", 1.0, 0.05);
+  n.addResistor("R2", "a", "b", 1.0, 0.05);
+  n.addResistor("R3", "b", "0", 1.0, 0.05);
+  return n;
+}
+
+TEST(TestSelector, EstimationsDefaultToCorrect) {
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({});
+  ASSERT_EQ(est.size(), n.components().size());
+  for (const auto& e : est) EXPECT_EQ(e.term, "correct");
+}
+
+TEST(TestSelector, SuspicionMapsToLinguisticTerms) {
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({{"R1", 1.0}, {"R2", 0.5}});
+  for (const auto& e : est) {
+    if (e.component == "R1") EXPECT_EQ(e.term, "faulty");
+    if (e.component == "R2") EXPECT_EQ(e.term, "unknown");
+    if (e.component == "R3") EXPECT_EQ(e.term, "correct");
+  }
+}
+
+TEST(TestSelector, SystemEntropyHigherWithMoreUncertainty) {
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto certain = sel.estimationsFromSuspicion({});
+  const auto uncertain =
+      sel.estimationsFromSuspicion({{"R1", 0.5}, {"R2", 0.5}, {"R3", 0.5}});
+  EXPECT_GT(sel.systemEntropy(uncertain).centroid(),
+            sel.systemEntropy(certain).centroid());
+}
+
+TEST(TestSelector, DiscriminatingProbeWins) {
+  // Suspects R1 and R3 with open-fault hypotheses. Probing node "a":
+  // R1-open gives ~0 V, R3-open gives ~9 V — two clusters, big entropy
+  // drop. A probe at "in" reads ~9 V under both — one cluster, no
+  // discrimination.
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({{"R1", 0.6}, {"R3", 0.6}});
+  const std::map<std::string, Fault> hyp = {{"R1", Fault::open("R1")},
+                                            {"R3", Fault::open("R3")}};
+  const auto ranked = sel.rankTests({{"a"}, {"in"}}, est, hyp);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.front().node, "a");
+  EXPECT_EQ(ranked.front().outcomeClusters, 2u);
+  EXPECT_LT(ranked.front().score, ranked.back().score);
+}
+
+TEST(TestSelector, CostPenalisesExpensiveProbes) {
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({{"R1", 0.6}, {"R3", 0.6}});
+  const std::map<std::string, Fault> hyp = {{"R1", Fault::open("R1")},
+                                            {"R3", Fault::open("R3")}};
+  // Same node, hugely different cost: expensive one ranks last.
+  const auto ranked = sel.rankTests({{"a", 1.0}, {"b", 100.0}}, est, hyp);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.front().node, "a");
+}
+
+TEST(TestSelector, NoSuspectsMeansCurrentEntropy) {
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({});
+  const auto ranked = sel.rankTests({{"a"}}, est, {});
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked.front().outcomeClusters, 0u);
+}
+
+TEST(TestSelector, UnsimulatableHypothesisStillRanked) {
+  const Netlist n = ladder();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({{"R1", 0.6}, {"R2", 0.6}});
+  // R2's hypothesis points at a nonexistent component: simulation fails,
+  // R2 stays indistinguishable but ranking must not crash.
+  std::map<std::string, Fault> hyp = {{"R1", Fault::open("R1")},
+                                      {"R2", Fault::open("nonexistent")}};
+  const auto ranked = sel.rankTests({{"a"}}, est, hyp);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_GE(ranked.front().outcomeClusters, 1u);
+}
+
+TEST(TestSelector, Fig6ProbeRankingPrefersStageBoundary) {
+  // Suspects confined to stage 1: probing V1 (the stage-1 output) must be
+  // at least as informative as probing the far-away output Vs.
+  const Netlist n = circuit::paperFig6ThreeStageAmp();
+  TestSelector sel(n);
+  const auto est = sel.estimationsFromSuspicion({{"R2", 0.7}, {"R3", 0.7}});
+  const std::map<std::string, Fault> hyp = {
+      {"R2", Fault::shortCircuit("R2")}, {"R3", Fault::open("R3")}};
+  const auto ranked = sel.rankTests({{"V1"}, {"Vs"}}, est, hyp);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_LE(ranked.front().score, ranked.back().score);
+  EXPECT_EQ(ranked.front().node, "V1");
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

@@ -1,0 +1,132 @@
+#include "diagnosis/transient_diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/fault.h"
+
+namespace flames::diagnosis {
+namespace {
+
+using circuit::Fault;
+using circuit::Netlist;
+
+// Two-stage buffered RC with distinct time constants (tau1 = 1 ms,
+// tau2 = 0.2 ms in V/kOhm/uF units).
+Netlist twoStageRc() {
+  Netlist n;
+  n.addVSource("Vin", "in", "0", 0.0);
+  n.addResistor("R1", "in", "m", 1.0, 0.02);
+  n.addCapacitor("C1", "m", "0", 1.0, 0.05);
+  n.addGain("buf", "m", "b", 1.0, 0.0);
+  n.addResistor("R2", "b", "out", 2.0, 0.02);
+  n.addCapacitor("C2", "out", "0", 0.1, 0.05);
+  return n;
+}
+
+std::vector<StepProbe> standardProbes() {
+  return {{"m", StepFeature::kRiseTime},
+          {"m", StepFeature::kFinalValue},
+          {"out", StepFeature::kRiseTime},
+          {"out", StepFeature::kFinalValue}};
+}
+
+TransientDiagnosisOptions fastOptions() {
+  TransientDiagnosisOptions o;
+  o.transient.timeStep = 0.02;
+  o.duration = 40.0;  // long enough for 5 tau even under a 4x drift
+  return o;
+}
+
+void measureBoard(TransientDiagnosisEngine& engine, const Netlist& nominal,
+                  const std::vector<Fault>& faults) {
+  const Netlist board = circuit::applyFaults(nominal, faults);
+  for (const StepProbe& p : standardProbes()) {
+    const auto v = engine.simulateFeature(board, p);
+    ASSERT_TRUE(v.has_value()) << TransientDiagnosisEngine::quantityName(p);
+    engine.measure(p, *v);
+  }
+}
+
+TEST(TransientDiagnosis, QuantityNaming) {
+  EXPECT_EQ(TransientDiagnosisEngine::quantityName(
+                {"out", StepFeature::kRiseTime}),
+            "rise(V(out))");
+  EXPECT_EQ(TransientDiagnosisEngine::quantityName(
+                {"m", StepFeature::kFinalValue}),
+            "final(V(m))");
+  EXPECT_EQ(stepFeatureName(StepFeature::kRiseTime), "rise");
+  EXPECT_EQ(stepFeatureName(StepFeature::kFinalValue), "final");
+}
+
+TEST(TransientDiagnosis, HealthyBoardQuiet) {
+  const Netlist net = twoStageRc();
+  TransientDiagnosisEngine engine(net, "Vin", standardProbes(), fastOptions());
+  measureBoard(engine, net, {});
+  const auto report = engine.diagnose();
+  EXPECT_TRUE(report.propagationCompleted);
+  EXPECT_FALSE(report.faultDetected());
+}
+
+TEST(TransientDiagnosis, DriftedCapacitorCaughtByRiseTime) {
+  // C1 drifted x3: DC levels unchanged (final values identical), only the
+  // rise times move — the scenario DC diagnosis is blind to.
+  const Netlist net = twoStageRc();
+  TransientDiagnosisEngine engine(net, "Vin", standardProbes(), fastOptions());
+  measureBoard(engine, net, {Fault::paramScale("C1", 3.0)});
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  // The rise-time probes conflict; the final-value probes corroborate.
+  bool riseConflict = false, finalConflict = false;
+  for (const auto& m : report.measurements) {
+    if (m.dc < 0.5 && m.quantity.rfind("rise", 0) == 0) riseConflict = true;
+    if (m.dc < 0.5 && m.quantity.rfind("final", 0) == 0) finalConflict = true;
+  }
+  EXPECT_TRUE(riseConflict);
+  EXPECT_FALSE(finalConflict);
+  // C1 must be implicated.
+  EXPECT_GE(report.suspicion.count("C1"), 1u);
+}
+
+TEST(TransientDiagnosis, OpenCapacitorIsolatedWithMode) {
+  const Netlist net = twoStageRc();
+  TransientDiagnosisEngine engine(net, "Vin", standardProbes(), fastOptions());
+  measureBoard(engine, net, {Fault::open("C2")});
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.candidates.empty());
+  EXPECT_EQ(report.bestCandidate(), std::vector<std::string>{"C2"});
+  ASSERT_TRUE(report.candidates.front().modeMatch.has_value());
+  EXPECT_EQ(report.candidates.front().modeMatch->mode, "open");
+}
+
+TEST(TransientDiagnosis, StageDiscrimination) {
+  // C2 faults must not put stage-1-only candidates on top.
+  const Netlist net = twoStageRc();
+  TransientDiagnosisEngine engine(net, "Vin", standardProbes(), fastOptions());
+  measureBoard(engine, net, {Fault::paramScale("C2", 4.0)});
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  ASSERT_FALSE(report.candidates.empty());
+  const auto& top = report.candidates.front().components;
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_TRUE(top.front() == "C2" || top.front() == "R2") << top.front();
+}
+
+TEST(TransientDiagnosis, MeasureValidatesProbe) {
+  const Netlist net = twoStageRc();
+  TransientDiagnosisEngine engine(net, "Vin", standardProbes(), fastOptions());
+  EXPECT_THROW(engine.measure({"bogus", StepFeature::kRiseTime}, 1.0),
+               std::out_of_range);
+}
+
+TEST(TransientDiagnosis, ClearMeasurementsResets) {
+  const Netlist net = twoStageRc();
+  TransientDiagnosisEngine engine(net, "Vin", standardProbes(), fastOptions());
+  measureBoard(engine, net, {Fault::open("C2")});
+  engine.clearMeasurements();
+  measureBoard(engine, net, {});
+  EXPECT_FALSE(engine.diagnose().faultDetected());
+}
+
+}  // namespace
+}  // namespace flames::diagnosis

@@ -1,0 +1,155 @@
+#include "fuzzy/consistency.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::fuzzy {
+namespace {
+
+TEST(Consistency, CorroborationWhenMeasuredInsideNominal) {
+  // Vm strictly inside Vn: Dc == 1 (paper: "equals 1 if Vm included in Vn").
+  const auto vm = FuzzyInterval::about(3.0, 0.05);
+  const auto vn = FuzzyInterval::about(3.0, 0.5);
+  const auto c = degreeOfConsistency(vm, vn);
+  EXPECT_NEAR(c.dc, 1.0, 1e-9);
+  EXPECT_FALSE(c.isDiscrepant());
+  EXPECT_NEAR(c.nogoodDegree(), 0.0, 1e-9);
+}
+
+TEST(Consistency, HardConflictWhenDisjoint) {
+  const auto vm = FuzzyInterval::about(1.0, 0.1);
+  const auto vn = FuzzyInterval::about(5.0, 0.1);
+  const auto c = degreeOfConsistency(vm, vn);
+  EXPECT_DOUBLE_EQ(c.dc, 0.0);
+  EXPECT_TRUE(c.isHardConflict());
+  EXPECT_DOUBLE_EQ(c.nogoodDegree(), 1.0);
+  EXPECT_EQ(c.deviation, Deviation::kBelow);
+  EXPECT_DOUBLE_EQ(c.signedDc(), -0.0);
+}
+
+TEST(Consistency, PartialConflictBetweenZeroAndOne) {
+  const auto vm = FuzzyInterval::about(3.5, 0.5);
+  const auto vn = FuzzyInterval::about(3.0, 0.5);
+  const auto c = degreeOfConsistency(vm, vn);
+  EXPECT_GT(c.dc, 0.0);
+  EXPECT_LT(c.dc, 1.0);
+  EXPECT_TRUE(c.isDiscrepant());
+  EXPECT_FALSE(c.isHardConflict());
+  EXPECT_EQ(c.deviation, Deviation::kAbove);
+}
+
+TEST(Consistency, PaperFig5MembershipCase) {
+  // The derived Ir1 = 105 uA (crisp point) against the fuzzy rating
+  // [-1, 100, 0, 10]: Dc = membership(105) = (100 + 10 - 105)/10 = 0.5,
+  // so the nogood degree is 0.5 — exactly the paper's walk-through.
+  const auto ir1 = FuzzyInterval::crisp(105.0);
+  const FuzzyInterval bound(-1.0, 100.0, 0.0, 10.0);
+  const auto c = degreeOfConsistency(ir1, bound);
+  EXPECT_NEAR(c.dc, 0.5, 1e-12);
+  EXPECT_NEAR(c.nogoodDegree(), 0.5, 1e-12);
+  EXPECT_EQ(c.deviation, Deviation::kAbove);
+}
+
+TEST(Consistency, PaperFig5HardCase) {
+  // Ir2 = 200 uA against the same rating: membership 0 => nogood degree 1.
+  const auto ir2 = FuzzyInterval::crisp(200.0);
+  const FuzzyInterval bound(-1.0, 100.0, 0.0, 10.0);
+  const auto c = degreeOfConsistency(ir2, bound);
+  EXPECT_DOUBLE_EQ(c.dc, 0.0);
+  EXPECT_DOUBLE_EQ(c.nogoodDegree(), 1.0);
+}
+
+TEST(Consistency, PointMeasurementUsesMembership) {
+  const auto vn = FuzzyInterval(2.0, 4.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(degreeOfConsistency(FuzzyInterval::crisp(3.0), vn).dc, 1.0);
+  EXPECT_DOUBLE_EQ(degreeOfConsistency(FuzzyInterval::crisp(4.5), vn).dc, 0.5);
+  EXPECT_DOUBLE_EQ(degreeOfConsistency(FuzzyInterval::crisp(9.0), vn).dc, 0.0);
+}
+
+TEST(Consistency, PointNominalUsesMeasuredMembership) {
+  // Against a point nominal the area ratio degenerates; Dc extends to the
+  // possibility of the point under the measured distribution.
+  const auto vn = FuzzyInterval::crisp(3.0);
+  EXPECT_DOUBLE_EQ(degreeOfConsistency(FuzzyInterval::about(3.0, 0.5), vn).dc,
+                   1.0);
+  // Measured [3.25, 3.25, 0.5, 0.5]: membership of 3.0 is 0.5.
+  EXPECT_DOUBLE_EQ(
+      degreeOfConsistency(FuzzyInterval::about(3.25, 0.5), vn).dc, 0.5);
+  EXPECT_DOUBLE_EQ(
+      degreeOfConsistency(FuzzyInterval::about(9.0, 0.5), vn).dc, 0.0);
+}
+
+TEST(Consistency, AreaRatioExactForHalfOverlap) {
+  // Vm = rect [0,2], Vn = rect [1,3]: intersection rect [1,2],
+  // Dc = 1/2.
+  const auto vm = FuzzyInterval::crispInterval(0.0, 2.0);
+  const auto vn = FuzzyInterval::crispInterval(1.0, 3.0);
+  EXPECT_NEAR(degreeOfConsistency(vm, vn).dc, 0.5, 1e-12);
+}
+
+TEST(Consistency, ContainmentIsNeverConflict) {
+  // Width mismatch alone is not a discrepancy: whichever side is wider, a
+  // contained pair is fully consistent (the symmetric-normalisation
+  // extension; a purely Vm-normalised Dc would score the first case 0.25).
+  const auto wide = FuzzyInterval::crispInterval(0.0, 4.0);
+  const auto narrow = FuzzyInterval::crispInterval(0.0, 1.0);
+  EXPECT_NEAR(degreeOfConsistency(wide, narrow).dc, 1.0, 1e-12);
+  EXPECT_NEAR(degreeOfConsistency(narrow, wide).dc, 1.0, 1e-12);
+}
+
+TEST(Consistency, PreciseNominalInsideFuzzyMeasurementIsConsistent) {
+  // A nearly-exact nominal prediction centred under a fuzzy meter reading
+  // must not conflict (this pair arises at source nodes, whose nominal has
+  // no tolerance contribution).
+  const auto vm = FuzzyInterval::about(10.0, 0.05);
+  const FuzzyInterval vn(10.0, 10.0, 1e-12, 1e-12);
+  EXPECT_NEAR(degreeOfConsistency(vm, vn).dc, 1.0, 1e-6);
+}
+
+TEST(Consistency, SignedDcIsNegativeBelowNominal) {
+  const auto vm = FuzzyInterval::about(2.0, 0.5);
+  const auto vn = FuzzyInterval::about(3.0, 0.5);
+  const auto c = degreeOfConsistency(vm, vn);
+  EXPECT_EQ(c.deviation, Deviation::kBelow);
+  EXPECT_LE(c.signedDc(), 0.0);
+}
+
+TEST(Consistency, NoDeviationWhenCentred) {
+  const auto vm = FuzzyInterval::about(3.0, 0.1);
+  const auto vn = FuzzyInterval::about(3.0, 0.6);
+  EXPECT_EQ(degreeOfConsistency(vm, vn).deviation, Deviation::kNone);
+}
+
+TEST(Possibility, MatchesPossibilityOfEquality) {
+  const FuzzyInterval a(1.0, 2.0, 0.0, 1.0);
+  const FuzzyInterval b(3.0, 4.0, 1.0, 0.0);
+  EXPECT_NEAR(possibility(a, b), 0.5, 1e-12);
+}
+
+TEST(Necessity, FullWhenNominalCoversMeasurementSupport) {
+  const auto vm = FuzzyInterval::about(3.0, 0.1);
+  const auto vn = FuzzyInterval::fromSupportCore(0.0, 2.0, 4.0, 6.0);
+  EXPECT_NEAR(necessity(vm, vn), 1.0, 1e-9);
+}
+
+TEST(Necessity, ZeroWhenDisjoint) {
+  const auto vm = FuzzyInterval::about(1.0, 0.1);
+  const auto vn = FuzzyInterval::about(5.0, 0.1);
+  EXPECT_NEAR(necessity(vm, vn), 0.0, 1e-9);
+}
+
+TEST(Necessity, IntermediateOnPartialOverlap) {
+  // vm = [4.5, 5, 0.5, 0.5], vn = [3, 5, 1, 2]: the infimum of
+  // max(1 - mu_m, mu_n) sits on vm's right edge against vn's falling edge;
+  // solving (x-5)/0.5 = (7-x)/2 gives x = 5.4, value 0.8.
+  const auto vm = FuzzyInterval(4.5, 5.0, 0.5, 0.5);
+  const auto vn = FuzzyInterval(3.0, 5.0, 1.0, 2.0);
+  const double n = necessity(vm, vn);
+  EXPECT_NEAR(n, 0.8, 1e-9);
+  EXPECT_GT(n, 0.0);
+  EXPECT_LT(n, 1.0);
+  // Necessity never exceeds possibility.
+  EXPECT_LE(n, possibility(vm, vn) + 1e-12);
+}
+
+}  // namespace
+}  // namespace flames::fuzzy

@@ -1,0 +1,106 @@
+#include "fuzzy/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fuzzy/linguistic.h"
+
+namespace flames::fuzzy {
+namespace {
+
+TEST(ShannonTerm, Endpoints) {
+  EXPECT_DOUBLE_EQ(shannonTerm(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(shannonTerm(1.0), 0.0);
+  EXPECT_NEAR(shannonTerm(0.5), 0.5, 1e-12);
+  // Max at 1/e.
+  const double peak = shannonTerm(1.0 / std::exp(1.0));
+  EXPECT_GT(peak, shannonTerm(0.3));
+  EXPECT_GT(peak, shannonTerm(0.45));
+}
+
+TEST(EntropyTerm, CrispInputsReduceToShannon) {
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const auto term = entropyTerm(FuzzyInterval::crisp(x));
+    EXPECT_NEAR(term.coreMidpoint(), shannonTerm(x), 1e-12) << "x=" << x;
+    EXPECT_TRUE(term.isPoint());
+  }
+}
+
+TEST(EntropyTerm, CertainlyCorrectComponentContributesNothing) {
+  const auto term = entropyTerm(FuzzyInterval::crisp(0.0));
+  EXPECT_NEAR(term.centroid(), 0.0, 1e-12);
+}
+
+TEST(EntropyTerm, TiedSemanticsContainsPeakWhenCutStraddles) {
+  // The estimation [0.2, 0.6] straddles 1/e, so the tied image must reach
+  // the peak value of h.
+  const auto f = FuzzyInterval::crispInterval(0.2, 0.6);
+  const auto term = entropyTerm(f, EntropyTermSemantics::kTied);
+  const double peak = shannonTerm(1.0 / std::exp(1.0));
+  EXPECT_NEAR(term.support().hi, peak, 1e-12);
+}
+
+TEST(EntropyTerm, IndependentIsWiderThanTied) {
+  const auto f = FuzzyInterval(0.3, 0.5, 0.1, 0.1);
+  const auto tied = entropyTerm(f, EntropyTermSemantics::kTied);
+  const auto indep = entropyTerm(f, EntropyTermSemantics::kIndependent);
+  EXPECT_GE(indep.support().hi, tied.support().hi - 1e-9);
+}
+
+TEST(FuzzyEntropy, EmptySystemIsZero) {
+  EXPECT_TRUE(fuzzyEntropy({}).isPoint());
+  EXPECT_DOUBLE_EQ(crispEntropy({}), 0.0);
+}
+
+TEST(FuzzyEntropy, AdditiveOverComponents) {
+  const auto f = FuzzyInterval::crisp(0.5);
+  const auto one = fuzzyEntropy({f});
+  const auto two = fuzzyEntropy({f, f});
+  EXPECT_NEAR(two.coreMidpoint(), 2.0 * one.coreMidpoint(), 1e-12);
+}
+
+TEST(FuzzyEntropy, UncertainSystemHasHigherEntropyThanResolvedOne) {
+  // All components unknown vs one suspect, rest correct — the paper's whole
+  // point: a discriminating test lowers entropy.
+  const auto scale = LinguisticScale::defaultFaultiness();
+  const auto unknown = scale.meaningOf("unknown");
+  const auto correct = scale.meaningOf("correct");
+  const auto faulty = scale.meaningOf("faulty");
+
+  const double before =
+      crispEntropy({unknown, unknown, unknown, unknown});
+  const double after = crispEntropy({faulty, correct, correct, correct});
+  EXPECT_GT(before, after);
+}
+
+TEST(FuzzyEntropy, OutOfRangeEstimationsAreClamped) {
+  // Slightly out-of-unit supports (numerical noise) must not blow up.
+  const FuzzyInterval f(0.0, 1.0, 0.2, 0.2);
+  const auto e = fuzzyEntropy({f});
+  EXPECT_GE(e.support().lo, -1e-9);
+}
+
+TEST(FuzzyEntropy, MonotoneInUncertaintySpread) {
+  // A wider estimation cannot make the entropy support narrower.
+  const auto narrow = entropyTerm(FuzzyInterval::about(0.3, 0.02));
+  const auto wide = entropyTerm(FuzzyInterval::about(0.3, 0.15));
+  EXPECT_GE(wide.support().width(), narrow.support().width());
+}
+
+class EntropyCrispSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EntropyCrispSweep, TermIsNonNegativeAndBounded) {
+  const double x = GetParam();
+  const auto term = entropyTerm(FuzzyInterval::crisp(x));
+  EXPECT_GE(term.centroid(), -1e-12);
+  // max of -x log2 x on [0,1] is log2(e)/e ~ 0.5307.
+  EXPECT_LE(term.centroid(), 0.54);
+}
+
+INSTANTIATE_TEST_SUITE_P(UnitSweep, EntropyCrispSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 1.0 / std::exp(1.0),
+                                           0.4, 0.5, 0.6, 0.75, 0.9, 1.0));
+
+}  // namespace
+}  // namespace flames::fuzzy

@@ -1,0 +1,217 @@
+#include "fuzzy/fuzzy_interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flames::fuzzy {
+namespace {
+
+TEST(FuzzyInterval, DefaultIsCrispZero) {
+  const FuzzyInterval f;
+  EXPECT_TRUE(f.isPoint());
+  EXPECT_DOUBLE_EQ(f.membership(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.1), 0.0);
+}
+
+TEST(FuzzyInterval, ConstructorValidation) {
+  EXPECT_THROW(FuzzyInterval(2.0, 1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FuzzyInterval(0.0, 1.0, -0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(FuzzyInterval(0.0, 1.0, 0.0, -0.1), std::invalid_argument);
+}
+
+TEST(FuzzyInterval, UniformRepresentation) {
+  // Paper §3.2: crisp number, crisp interval, fuzzy number, fuzzy interval
+  // all share the 4-tuple form.
+  EXPECT_TRUE(FuzzyInterval::crisp(5.0).isPoint());
+  EXPECT_TRUE(FuzzyInterval::crispInterval(1.0, 2.0).isCrisp());
+  EXPECT_FALSE(FuzzyInterval::crispInterval(1.0, 2.0).isPoint());
+  const auto n = FuzzyInterval::number(3.0, 0.05, 0.05);
+  EXPECT_FALSE(n.isCrisp());
+  EXPECT_EQ(n.core(), (Cut{3.0, 3.0}));
+}
+
+TEST(FuzzyInterval, MembershipMatchesPaperFigure1) {
+  // mu(x) = (x - m1 + alpha)/alpha rising, 1 on the core, falling edge.
+  const FuzzyInterval f(1.0, 2.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.75), 0.5);
+  EXPECT_DOUBLE_EQ(f.membership(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.membership(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.membership(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.membership(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.membership(3.0), 0.0);
+}
+
+TEST(FuzzyInterval, SupportAndCore) {
+  const FuzzyInterval f(1.0, 2.0, 0.5, 1.0);
+  EXPECT_EQ(f.support(), (Cut{0.5, 3.0}));
+  EXPECT_EQ(f.core(), (Cut{1.0, 2.0}));
+}
+
+TEST(FuzzyInterval, AlphaCutInterpolates) {
+  const FuzzyInterval f(1.0, 2.0, 0.5, 1.0);
+  EXPECT_EQ(f.alphaCut(1.0), (Cut{1.0, 2.0}));
+  EXPECT_EQ(f.alphaCut(0.0), (Cut{0.5, 3.0}));
+  const Cut half = f.alphaCut(0.5);
+  EXPECT_DOUBLE_EQ(half.lo, 0.75);
+  EXPECT_DOUBLE_EQ(half.hi, 2.5);
+}
+
+TEST(FuzzyInterval, Area) {
+  EXPECT_DOUBLE_EQ(FuzzyInterval(1.0, 2.0, 0.5, 1.0).area(), 1.75);
+  EXPECT_DOUBLE_EQ(FuzzyInterval::crisp(3.0).area(), 0.0);
+  EXPECT_DOUBLE_EQ(FuzzyInterval::crispInterval(1.0, 4.0).area(), 3.0);
+}
+
+TEST(FuzzyInterval, AdditionMatchesPaperRule) {
+  // M (+) N = [m1+n1, m2+n2, alpha+gamma, beta+delta] (paper §3.2).
+  const FuzzyInterval m(1.0, 2.0, 0.1, 0.2);
+  const FuzzyInterval n(3.0, 5.0, 0.3, 0.4);
+  const FuzzyInterval sum = m + n;
+  EXPECT_TRUE(sum.approxEquals(FuzzyInterval(4.0, 7.0, 0.4, 0.6)));
+}
+
+TEST(FuzzyInterval, SubtractionMatchesPaperRule) {
+  // M (-) N = [m1-n2, m2-n1, alpha+delta, beta+gamma].
+  const FuzzyInterval m(1.0, 2.0, 0.1, 0.2);
+  const FuzzyInterval n(3.0, 5.0, 0.3, 0.4);
+  const FuzzyInterval diff = m - n;
+  EXPECT_TRUE(diff.approxEquals(FuzzyInterval(-4.0, -1.0, 0.5, 0.5)));
+}
+
+TEST(FuzzyInterval, NegationSwapsSpreads) {
+  const FuzzyInterval m(1.0, 2.0, 0.1, 0.2);
+  EXPECT_TRUE((-m).approxEquals(FuzzyInterval(-2.0, -1.0, 0.2, 0.1)));
+  EXPECT_TRUE((-(-m)).approxEquals(m));
+}
+
+TEST(FuzzyInterval, MultiplicationPositive) {
+  // Fig. 2 first step: Vb = Va (*) amp1 with Va=[3,3,.05,.05],
+  // amp1=[1,1,.05,.05]: support [2.95,3.05]*[0.95,1.05] = [2.8025,3.2025].
+  const auto va = FuzzyInterval::about(3.0, 0.05);
+  const auto amp1 = FuzzyInterval::about(1.0, 0.05);
+  const FuzzyInterval vb = va * amp1;
+  EXPECT_NEAR(vb.m1(), 3.0, 1e-12);
+  EXPECT_NEAR(vb.m2(), 3.0, 1e-12);
+  EXPECT_NEAR(vb.support().lo, 2.8025, 1e-12);
+  EXPECT_NEAR(vb.support().hi, 3.2025, 1e-12);
+}
+
+TEST(FuzzyInterval, MultiplicationWithNegativeValues) {
+  const auto a = FuzzyInterval::crispInterval(-2.0, 3.0);
+  const auto b = FuzzyInterval::crispInterval(-1.0, 4.0);
+  const FuzzyInterval p = a * b;
+  EXPECT_DOUBLE_EQ(p.support().lo, -8.0);  // (-2)*4
+  EXPECT_DOUBLE_EQ(p.support().hi, 12.0);  // 3*4
+}
+
+TEST(FuzzyInterval, DivisionByZeroStraddlingThrows) {
+  const auto a = FuzzyInterval::crisp(1.0);
+  const auto b = FuzzyInterval::crispInterval(-1.0, 1.0);
+  EXPECT_THROW((void)(a / b), std::domain_error);
+}
+
+TEST(FuzzyInterval, DivisionRoundTripContainsOriginal) {
+  const auto a = FuzzyInterval::about(6.0, 0.2);
+  const auto b = FuzzyInterval::about(2.0, 0.1);
+  const FuzzyInterval q = (a / b) * b;
+  // Fuzzy arithmetic is sub-distributive: the round trip only widens.
+  EXPECT_TRUE(a.subsetOf(q));
+}
+
+TEST(FuzzyInterval, ScaleNegative) {
+  const FuzzyInterval m(1.0, 2.0, 0.1, 0.2);
+  const FuzzyInterval s = m * -2.0;
+  EXPECT_TRUE(s.approxEquals(FuzzyInterval(-4.0, -2.0, 0.4, 0.2)));
+}
+
+TEST(FuzzyInterval, ReciprocalOfPositive) {
+  const auto m = FuzzyInterval::crispInterval(2.0, 4.0);
+  const FuzzyInterval r = m.reciprocal();
+  EXPECT_DOUBLE_EQ(r.support().lo, 0.25);
+  EXPECT_DOUBLE_EQ(r.support().hi, 0.5);
+}
+
+TEST(FuzzyInterval, HullContainsBoth) {
+  const FuzzyInterval a(1.0, 2.0, 0.5, 0.5);
+  const FuzzyInterval b(5.0, 6.0, 0.1, 2.0);
+  const FuzzyInterval h = a.hull(b);
+  EXPECT_TRUE(a.subsetOf(h));
+  EXPECT_TRUE(b.subsetOf(h));
+}
+
+TEST(FuzzyInterval, SubsetOfReflexiveAndOrdering) {
+  const FuzzyInterval inner(1.0, 2.0, 0.1, 0.1);
+  const FuzzyInterval outer(0.9, 2.1, 0.3, 0.3);
+  EXPECT_TRUE(inner.subsetOf(inner));
+  EXPECT_TRUE(inner.subsetOf(outer));
+  EXPECT_FALSE(outer.subsetOf(inner));
+}
+
+TEST(FuzzyInterval, PossibilityOfEqualityOverlappingCores) {
+  const FuzzyInterval a(1.0, 3.0, 0.5, 0.5);
+  const FuzzyInterval b(2.0, 4.0, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(a.possibilityOfEquality(b), 1.0);
+}
+
+TEST(FuzzyInterval, PossibilityOfEqualityDisjointSupports) {
+  const FuzzyInterval a(1.0, 2.0, 0.1, 0.1);
+  const FuzzyInterval b(5.0, 6.0, 0.1, 0.1);
+  EXPECT_DOUBLE_EQ(a.possibilityOfEquality(b), 0.0);
+}
+
+TEST(FuzzyInterval, PossibilityOfEqualityPartialOverlap) {
+  // Edges cross halfway: right edge of a falls 1->0 on [2,3], left edge of
+  // b rises 0->1 on [2,3]; they meet at 2.5 with membership 0.5.
+  const FuzzyInterval a(1.0, 2.0, 0.0, 1.0);
+  const FuzzyInterval b(3.0, 4.0, 1.0, 0.0);
+  EXPECT_NEAR(a.possibilityOfEquality(b), 0.5, 1e-12);
+  EXPECT_NEAR(b.possibilityOfEquality(a), 0.5, 1e-12);
+}
+
+TEST(FuzzyInterval, MapMonotoneLog) {
+  const auto m = FuzzyInterval::fromSupportCore(1.0, 2.0, 4.0, 8.0);
+  const FuzzyInterval lg = m.mapMonotone([](double x) { return std::log2(x); });
+  EXPECT_NEAR(lg.support().lo, 0.0, 1e-12);
+  EXPECT_NEAR(lg.core().lo, 1.0, 1e-12);
+  EXPECT_NEAR(lg.core().hi, 2.0, 1e-12);
+  EXPECT_NEAR(lg.support().hi, 3.0, 1e-12);
+}
+
+TEST(FuzzyInterval, MapMonotoneDecreasing) {
+  const auto m = FuzzyInterval::fromSupportCore(1.0, 2.0, 4.0, 8.0);
+  const FuzzyInterval neg = m.mapMonotone([](double x) { return -x; });
+  EXPECT_NEAR(neg.support().lo, -8.0, 1e-12);
+  EXPECT_NEAR(neg.support().hi, -1.0, 1e-12);
+}
+
+TEST(FuzzyInterval, WithToleranceSpreads) {
+  const auto r = FuzzyInterval::withTolerance(200.0, 0.05);
+  EXPECT_DOUBLE_EQ(r.alpha(), 10.0);
+  EXPECT_DOUBLE_EQ(r.beta(), 10.0);
+  EXPECT_DOUBLE_EQ(r.coreMidpoint(), 200.0);
+}
+
+TEST(FuzzyInterval, CentroidSymmetric) {
+  EXPECT_NEAR(FuzzyInterval::about(5.0, 1.0).centroid(), 5.0, 1e-9);
+  EXPECT_NEAR(FuzzyInterval::crisp(5.0).centroid(), 5.0, 1e-12);
+  EXPECT_NEAR(FuzzyInterval::crispInterval(2.0, 4.0).centroid(), 3.0, 1e-9);
+}
+
+TEST(FuzzyInterval, StreamFormat) {
+  EXPECT_EQ(FuzzyInterval(1.0, 2.0, 0.5, 0.25).str(), "[1, 2, 0.5, 0.25]");
+}
+
+TEST(FuzzyInterval, WidenedGrowsSpreadsOnly) {
+  const FuzzyInterval f(1.0, 2.0, 0.1, 0.2);
+  const FuzzyInterval w = f.widened(0.3);
+  EXPECT_DOUBLE_EQ(w.alpha(), 0.4);
+  EXPECT_DOUBLE_EQ(w.beta(), 0.5);
+  EXPECT_EQ(w.core(), f.core());
+  EXPECT_THROW((void)f.widened(-0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flames::fuzzy

@@ -1,0 +1,204 @@
+// Property-based tests over randomised trapezoids: the algebraic invariants
+// the diagnosis engine relies on must hold across the whole shape space, not
+// just hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fuzzy/consistency.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::fuzzy {
+namespace {
+
+FuzzyInterval randomInterval(std::mt19937& rng, double lo = -10.0,
+                             double hi = 10.0) {
+  std::uniform_real_distribution<double> mid(lo, hi);
+  std::uniform_real_distribution<double> width(0.0, 3.0);
+  std::uniform_real_distribution<double> spread(0.0, 2.0);
+  const double m1 = mid(rng);
+  return {m1, m1 + width(rng), spread(rng), spread(rng)};
+}
+
+FuzzyInterval randomPositive(std::mt19937& rng) {
+  std::uniform_real_distribution<double> mid(0.5, 10.0);
+  std::uniform_real_distribution<double> width(0.0, 2.0);
+  const double m1 = mid(rng);
+  const double m2 = m1 + width(rng);
+  std::uniform_real_distribution<double> spreadL(0.0, m1 * 0.4);
+  std::uniform_real_distribution<double> spreadR(0.0, 2.0);
+  return {m1, m2, spreadL(rng), spreadR(rng)};
+}
+
+class FuzzyPropertyTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  std::mt19937 rng_{GetParam()};
+};
+
+TEST_P(FuzzyPropertyTest, AdditionCommutesAndPreservesArea) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    EXPECT_TRUE((a + b).approxEquals(b + a, 1e-9));
+    // Spreads add: area(a+b) = area(a) + area(b).
+    EXPECT_NEAR((a + b).area(), a.area() + b.area(), 1e-9);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, AdditionAssociates) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    const auto c = randomInterval(rng_);
+    EXPECT_TRUE(((a + b) + c).approxEquals(a + (b + c), 1e-9));
+  }
+}
+
+TEST_P(FuzzyPropertyTest, SubtractionIsAdditionOfNegation) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    EXPECT_TRUE((a - b).approxEquals(a + (-b), 1e-9));
+  }
+}
+
+TEST_P(FuzzyPropertyTest, SubDistributivity) {
+  // Fuzzy arithmetic is sub-distributive: a is contained in (a - b) + b.
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    EXPECT_TRUE(a.subsetOf((a - b) + b));
+  }
+}
+
+TEST_P(FuzzyPropertyTest, MultiplicationExtensionPrincipleContainment) {
+  // Every product of support points lies in the product's support; every
+  // product of core points lies in the product's core.
+  for (int i = 0; i < 30; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    const auto p = a * b;
+    std::uniform_real_distribution<double> ua(a.support().lo, a.support().hi);
+    std::uniform_real_distribution<double> ub(b.support().lo, b.support().hi);
+    for (int s = 0; s < 20; ++s) {
+      const double prod = ua(rng_) * ub(rng_);
+      EXPECT_GE(prod, p.support().lo - 1e-9);
+      EXPECT_LE(prod, p.support().hi + 1e-9);
+    }
+    const double coreProd = a.coreMidpoint() * b.coreMidpoint();
+    EXPECT_GE(coreProd, p.support().lo - 1e-9);
+    EXPECT_LE(coreProd, p.support().hi + 1e-9);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, DivisionInverseContainment) {
+  for (int i = 0; i < 30; ++i) {
+    const auto a = randomPositive(rng_);
+    const auto b = randomPositive(rng_);
+    const auto q = a / b;
+    // a/b * b contains a (sub-distributivity of fuzzy division).
+    EXPECT_TRUE(a.subsetOf(q * b));
+  }
+}
+
+TEST_P(FuzzyPropertyTest, ScalingConsistentWithMultiplication) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    std::uniform_real_distribution<double> us(-4.0, 4.0);
+    const double s = us(rng_);
+    if (std::abs(s) < 1e-6) continue;
+    EXPECT_TRUE((a * s).approxEquals(a * FuzzyInterval::crisp(s), 1e-9));
+  }
+}
+
+TEST_P(FuzzyPropertyTest, MembershipIsOneOnCoreZeroOutsideSupport) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    EXPECT_DOUBLE_EQ(a.membership(a.coreMidpoint()), 1.0);
+    EXPECT_DOUBLE_EQ(a.membership(a.support().lo - 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.membership(a.support().hi + 1.0), 0.0);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, AlphaCutsAreNested) {
+  for (int i = 0; i < 30; ++i) {
+    const auto a = randomInterval(rng_);
+    Cut prev = a.alphaCut(0.0);
+    for (double level = 0.1; level <= 1.0; level += 0.1) {
+      const Cut cur = a.alphaCut(level);
+      EXPECT_GE(cur.lo, prev.lo - 1e-12);
+      EXPECT_LE(cur.hi, prev.hi + 1e-12);
+      prev = cur;
+    }
+  }
+}
+
+TEST_P(FuzzyPropertyTest, DcIsInUnitRange) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    const auto c = degreeOfConsistency(a, b);
+    EXPECT_GE(c.dc, 0.0);
+    EXPECT_LE(c.dc, 1.0);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, DcOneWhenSubset) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    // Nominal strictly wider than the measurement on both sides.
+    const auto wide = a.widened(1.0).hull(a);
+    EXPECT_NEAR(degreeOfConsistency(a, wide).dc, 1.0, 1e-9);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, DcZeroIffSupportsDisjoint) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_, -10.0, -5.0);
+    const auto b = randomInterval(rng_, 5.0, 10.0);
+    if (a.supportsOverlap(b)) continue;
+    EXPECT_DOUBLE_EQ(degreeOfConsistency(a, b).dc, 0.0);
+    EXPECT_DOUBLE_EQ(degreeOfConsistency(b, a).dc, 0.0);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, DcSelfConsistency) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    EXPECT_NEAR(degreeOfConsistency(a, a).dc, 1.0, 1e-9);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, PossibilityBoundsNecessity) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    EXPECT_LE(necessity(a, b), possibility(a, b) + 1e-9);
+  }
+}
+
+TEST_P(FuzzyPropertyTest, HullIsUpperBound) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const auto b = randomInterval(rng_);
+    const auto h = a.hull(b);
+    EXPECT_TRUE(a.subsetOf(h));
+    EXPECT_TRUE(b.subsetOf(h));
+  }
+}
+
+TEST_P(FuzzyPropertyTest, CentroidWithinSupport) {
+  for (int i = 0; i < 50; ++i) {
+    const auto a = randomInterval(rng_);
+    const double c = a.centroid();
+    EXPECT_GE(c, a.support().lo - 1e-9);
+    EXPECT_LE(c, a.support().hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzyPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
+
+}  // namespace
+}  // namespace flames::fuzzy

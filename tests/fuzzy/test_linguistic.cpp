@@ -1,0 +1,68 @@
+#include "fuzzy/linguistic.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::fuzzy {
+namespace {
+
+TEST(LinguisticScale, DefaultScaleContainsPaperTerms) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  // The paper's §8.1 examples.
+  const auto correct = scale.find("correct");
+  ASSERT_TRUE(correct.has_value());
+  EXPECT_TRUE(correct->meaning.approxEquals(FuzzyInterval(0.0, 0.05, 0.0, 0.05)));
+  const auto likely = scale.find("likely-correct");
+  ASSERT_TRUE(likely.has_value());
+  EXPECT_TRUE(
+      likely->meaning.approxEquals(FuzzyInterval(0.18, 0.34, 0.02, 0.06)));
+}
+
+TEST(LinguisticScale, RejectsEmpty) {
+  EXPECT_THROW(LinguisticScale(std::vector<LinguisticTerm>{}),
+               std::invalid_argument);
+}
+
+TEST(LinguisticScale, MeaningOfThrowsOnUnknown) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  EXPECT_THROW((void)scale.meaningOf("bogus"), std::out_of_range);
+  EXPECT_NO_THROW((void)scale.meaningOf("faulty"));
+}
+
+TEST(LinguisticScale, ClassifyEndpoints) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  EXPECT_EQ(scale.classify(0.0).name, "correct");
+  EXPECT_EQ(scale.classify(1.0).name, "faulty");
+  EXPECT_EQ(scale.classify(0.5).name, "unknown");
+  EXPECT_EQ(scale.classify(0.25).name, "likely-correct");
+  EXPECT_EQ(scale.classify(0.75).name, "likely-faulty");
+}
+
+TEST(LinguisticScale, ApproximatePicksConsistentTerm) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  EXPECT_EQ(scale.approximate(FuzzyInterval::about(0.02, 0.01)).name,
+            "correct");
+  EXPECT_EQ(scale.approximate(FuzzyInterval::about(0.97, 0.02)).name,
+            "faulty");
+}
+
+TEST(LinguisticScale, FindMissingReturnsNullopt) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  EXPECT_FALSE(scale.find("nope").has_value());
+}
+
+TEST(Defuzzify, CentroidOfTerm) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  const double c = defuzzifyCentroid(scale.meaningOf("unknown"));
+  EXPECT_NEAR(c, 0.5, 0.02);
+}
+
+TEST(LinguisticScale, SizeAndTermsAccessors) {
+  const auto scale = LinguisticScale::defaultFaultiness();
+  EXPECT_EQ(scale.size(), 5u);
+  EXPECT_FALSE(scale.empty());
+  EXPECT_EQ(scale.terms().front().name, "correct");
+  EXPECT_EQ(scale.terms().back().name, "faulty");
+}
+
+}  // namespace
+}  // namespace flames::fuzzy

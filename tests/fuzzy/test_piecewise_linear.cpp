@@ -1,0 +1,169 @@
+#include "fuzzy/piecewise_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flames::fuzzy {
+namespace {
+
+TEST(PiecewiseLinear, EmptyIsZeroEverywhere) {
+  PiecewiseLinear f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.evaluate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(42.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.area(), 0.0);
+  EXPECT_DOUBLE_EQ(f.height(), 0.0);
+}
+
+TEST(PiecewiseLinear, TrapezoidEvaluation) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.evaluate(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.evaluate(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(5.0), 0.0);
+}
+
+TEST(PiecewiseLinear, TrapezoidRejectsBadOrder) {
+  EXPECT_THROW(PiecewiseLinear::trapezoid(1.0, 0.0, 2.0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear::trapezoid(0.0, 2.0, 1.0, 3.0),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, TrapezoidArea) {
+  // Area = (top + bottom) / 2 * height: ((2-1) + (4-0)) / 2 = 2.5.
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 4.0);
+  EXPECT_NEAR(f.area(), 2.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, TriangleArea) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 1.0, 2.0);
+  EXPECT_NEAR(f.area(), 1.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, RectangleAreaWithJumps) {
+  // Crisp interval membership: vertical edges at both ends.
+  const auto f = PiecewiseLinear::trapezoid(1.0, 1.0, 3.0, 3.0);
+  EXPECT_NEAR(f.area(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.evaluate(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(0.999), 0.0);
+}
+
+TEST(PiecewiseLinear, HeightOfScaled) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 3.0).scaled(0.25);
+  EXPECT_DOUBLE_EQ(f.height(), 0.25);
+  EXPECT_NEAR(f.area(), 2.0 * 0.25, 1e-12);
+}
+
+TEST(PiecewiseLinear, ScaledRejectsNegative) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 3.0);
+  EXPECT_THROW(f.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, CentroidOfSymmetricTriangle) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 1.0, 2.0);
+  EXPECT_NEAR(f.centroid(), 1.0, 1e-9);
+}
+
+TEST(PiecewiseLinear, CentroidOfRectangle) {
+  const auto f = PiecewiseLinear::trapezoid(2.0, 2.0, 6.0, 6.0);
+  EXPECT_NEAR(f.centroid(), 4.0, 1e-9);
+}
+
+TEST(PiecewiseLinear, MinOfDisjointIsZero) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 1.0, 2.0);
+  const auto g = PiecewiseLinear::trapezoid(5.0, 6.0, 6.0, 7.0);
+  EXPECT_NEAR(f.min(g).area(), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, MinOfIdenticalIsIdentity) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 3.0);
+  const auto m = f.min(f);
+  EXPECT_NEAR(m.area(), f.area(), 1e-12);
+  for (double x = -0.5; x <= 3.5; x += 0.1) {
+    EXPECT_NEAR(m.evaluate(x), f.evaluate(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(PiecewiseLinear, MinOfOverlappingTriangles) {
+  // Triangles peaking at 1 and 2, overlapping on [0,3]; min peaks at the
+  // crossing x = 1.5 with value 0.5.
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 1.0, 2.0);
+  const auto g = PiecewiseLinear::trapezoid(1.0, 2.0, 2.0, 3.0);
+  const auto m = f.min(g);
+  EXPECT_NEAR(m.evaluate(1.5), 0.5, 1e-12);
+  EXPECT_NEAR(m.evaluate(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(m.evaluate(2.0), 0.0, 1e-12);
+  // Area of the little triangle: base 2 (from 1 to... the min is a triangle
+  // from x=1 to x=2 with peak 0.5 at 1.5: area = 0.5 * 1 * 0.5 = 0.25.
+  EXPECT_NEAR(m.area(), 0.25, 1e-12);
+}
+
+TEST(PiecewiseLinear, MaxOfOverlappingTriangles) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 1.0, 2.0);
+  const auto g = PiecewiseLinear::trapezoid(1.0, 2.0, 2.0, 3.0);
+  const auto m = f.max(g);
+  EXPECT_NEAR(m.evaluate(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.evaluate(2.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.evaluate(1.5), 0.5, 1e-12);
+  // max area = area(f) + area(g) - area(min) = 1 + 1 - 0.25.
+  EXPECT_NEAR(m.area(), 1.75, 1e-12);
+}
+
+TEST(PiecewiseLinear, MinRectangleAgainstTriangle) {
+  const auto rect = PiecewiseLinear::trapezoid(0.0, 0.0, 2.0, 2.0);
+  const auto tri = PiecewiseLinear::trapezoid(1.0, 2.0, 2.0, 3.0);
+  const auto m = rect.min(tri);
+  // Inside [1,2] the triangle rises 0 -> 1 and the rectangle is 1: min is
+  // the rising edge; outside [0,2] rect is 0; beyond 2 rect is 0.
+  EXPECT_NEAR(m.evaluate(1.5), 0.5, 1e-12);
+  EXPECT_NEAR(m.evaluate(2.5), 0.0, 1e-12);
+  EXPECT_NEAR(m.area(), 0.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, ClipCapsHeight) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 2.0, 2.0, 4.0);  // triangle
+  const auto c = f.clip(0.5);
+  EXPECT_NEAR(c.height(), 0.5, 1e-12);
+  EXPECT_NEAR(c.evaluate(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(c.evaluate(0.5), 0.25, 1e-12);
+  // Clipped triangle = trapezoid with top from 1 to 3 at 0.5:
+  // area = (4 + 2)/2 * 0.5 = 1.5.
+  EXPECT_NEAR(c.area(), 1.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, MinAgainstEmptyIsEmptyArea) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 3.0);
+  EXPECT_NEAR(f.min(PiecewiseLinear()).area(), 0.0, 1e-12);
+  EXPECT_NEAR(PiecewiseLinear().min(f).area(), 0.0, 1e-12);
+}
+
+TEST(PiecewiseLinear, MaxAgainstEmptyIsIdentity) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 3.0);
+  EXPECT_NEAR(f.max(PiecewiseLinear()).area(), f.area(), 1e-12);
+}
+
+TEST(PiecewiseLinear, MinCommutes) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 2.0, 4.0);
+  const auto g = PiecewiseLinear::trapezoid(0.5, 2.0, 2.0, 3.0);
+  EXPECT_NEAR(f.min(g).area(), g.min(f).area(), 1e-12);
+}
+
+TEST(PiecewiseLinear, DisjointSupportsMaxKeepsBothBumps) {
+  const auto f = PiecewiseLinear::trapezoid(0.0, 1.0, 1.0, 2.0);
+  const auto g = PiecewiseLinear::trapezoid(5.0, 6.0, 6.0, 7.0);
+  const auto m = f.max(g);
+  EXPECT_NEAR(m.area(), 2.0, 1e-12);
+  EXPECT_NEAR(m.evaluate(3.5), 0.0, 1e-12);
+  EXPECT_NEAR(m.evaluate(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(m.evaluate(6.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace flames::fuzzy

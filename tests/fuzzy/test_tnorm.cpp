@@ -1,0 +1,79 @@
+#include "fuzzy/tnorm.h"
+
+#include <gtest/gtest.h>
+
+namespace flames::fuzzy {
+namespace {
+
+const TNorm kAll[] = {TNorm::kMin, TNorm::kProduct, TNorm::kLukasiewicz};
+
+TEST(TNorm, BoundaryConditions) {
+  // T(a, 1) = a and S(a, 0) = a for every t-norm/t-conorm pair.
+  for (TNorm t : kAll) {
+    for (double a : {0.0, 0.3, 0.7, 1.0}) {
+      EXPECT_DOUBLE_EQ(tnorm(t, a, 1.0), a);
+      EXPECT_DOUBLE_EQ(tnorm(t, 1.0, a), a);
+      EXPECT_DOUBLE_EQ(tconorm(t, a, 0.0), a);
+      EXPECT_DOUBLE_EQ(tconorm(t, 0.0, a), a);
+    }
+  }
+}
+
+TEST(TNorm, Commutativity) {
+  for (TNorm t : kAll) {
+    for (double a : {0.2, 0.5, 0.9}) {
+      for (double b : {0.1, 0.6, 1.0}) {
+        EXPECT_DOUBLE_EQ(tnorm(t, a, b), tnorm(t, b, a));
+        EXPECT_DOUBLE_EQ(tconorm(t, a, b), tconorm(t, b, a));
+      }
+    }
+  }
+}
+
+TEST(TNorm, Monotonicity) {
+  for (TNorm t : kAll) {
+    EXPECT_LE(tnorm(t, 0.3, 0.4), tnorm(t, 0.3, 0.6));
+    EXPECT_LE(tconorm(t, 0.3, 0.4), tconorm(t, 0.3, 0.6));
+  }
+}
+
+TEST(TNorm, OrderingOfFamilies) {
+  // Lukasiewicz <= product <= min pointwise (standard ordering).
+  for (double a : {0.2, 0.5, 0.8}) {
+    for (double b : {0.3, 0.6, 0.9}) {
+      EXPECT_LE(tnorm(TNorm::kLukasiewicz, a, b), tnorm(TNorm::kProduct, a, b));
+      EXPECT_LE(tnorm(TNorm::kProduct, a, b), tnorm(TNorm::kMin, a, b));
+    }
+  }
+}
+
+TEST(TNorm, SpecificValues) {
+  EXPECT_DOUBLE_EQ(tnorm(TNorm::kMin, 0.4, 0.7), 0.4);
+  EXPECT_DOUBLE_EQ(tnorm(TNorm::kProduct, 0.4, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(tnorm(TNorm::kLukasiewicz, 0.4, 0.5), 0.0);
+  EXPECT_NEAR(tnorm(TNorm::kLukasiewicz, 0.8, 0.7), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(tconorm(TNorm::kMin, 0.4, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(tconorm(TNorm::kProduct, 0.5, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(tconorm(TNorm::kLukasiewicz, 0.8, 0.7), 1.0);
+}
+
+TEST(TNorm, DeMorganDuality) {
+  // S(a,b) = 1 - T(1-a, 1-b) for each dual pair.
+  for (TNorm t : kAll) {
+    for (double a : {0.25, 0.5, 0.75}) {
+      for (double b : {0.1, 0.65}) {
+        EXPECT_NEAR(tconorm(t, a, b),
+                    fuzzyNot(tnorm(t, fuzzyNot(a), fuzzyNot(b))), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TNorm, NotIsInvolutive) {
+  for (double a : {0.0, 0.3, 1.0}) {
+    EXPECT_DOUBLE_EQ(fuzzyNot(fuzzyNot(a)), a);
+  }
+}
+
+}  // namespace
+}  // namespace flames::fuzzy

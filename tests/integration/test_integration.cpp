@@ -1,0 +1,255 @@
+// Cross-module integration: diagnosis accuracy sweeps over synthetic
+// workloads, fuzzy vs crisp behaviour on the same inputs.
+#include <gtest/gtest.h>
+
+#include "baselines/crisp_diagnosis.h"
+#include "circuit/mna.h"
+#include "diagnosis/flames.h"
+#include "workload/generators.h"
+#include "diagnosis/transient_diagnosis.h"
+#include "workload/scenarios.h"
+
+namespace flames {
+namespace {
+
+using circuit::Fault;
+using circuit::Netlist;
+using diagnosis::FlamesEngine;
+using diagnosis::FlamesOptions;
+
+// Runs one scenario end to end; returns true if the true culprit appears in
+// the top two ranked candidates (single probes leave genuinely ambiguous
+// pairs, e.g. a series resistor low vs a shunt resistor open).
+bool culpritFound(const Netlist& net, const Fault& fault,
+                  const std::vector<std::string>& probes) {
+  const auto readings = workload::simulateMeasurements(net, {fault}, probes);
+  FlamesEngine engine(net);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto report = engine.diagnose();
+  if (!report.faultDetected()) return false;
+  const std::size_t top = std::min<std::size_t>(2, report.candidates.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    for (const auto& c : report.candidates[i].components) {
+      if (c == fault.component) return true;
+    }
+  }
+  return false;
+}
+
+TEST(Integration, LadderHardFaultsAreDiagnosed) {
+  const auto net = workload::resistorLadder(3);
+  const auto probes = workload::tapsOf(net);
+  std::size_t hits = 0;
+  std::vector<Fault> faults;
+  for (int i = 1; i <= 3; ++i) {
+    faults.push_back(Fault::open("Rp" + std::to_string(i)));
+    faults.push_back(Fault::shortCircuit("Rp" + std::to_string(i)));
+  }
+  for (const auto& f : faults) {
+    if (culpritFound(net, f, probes)) ++hits;
+  }
+  // Hard faults with full observability: the engine should name the culprit
+  // in the vast majority of cases.
+  EXPECT_GE(hits, faults.size() - 1) << hits << "/" << faults.size();
+}
+
+TEST(Integration, DividerCascadeFaultIsolatedToStage) {
+  const auto net = workload::dividerCascade(4);
+  const auto probes = workload::tapsOf(net);
+  const Fault fault = Fault::open("Rb2");
+  const auto readings = workload::simulateMeasurements(net, {fault}, probes);
+  FlamesEngine engine(net);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto report = engine.diagnose();
+  ASSERT_TRUE(report.faultDetected());
+  // Every nogood should stay inside stage 2's cone (Rt2, Rb2, buf2 — plus
+  // possibly upstream stage components, but never downstream-only sets).
+  for (const auto& ng : report.nogoods) {
+    bool touchesStage2Cone = false;
+    for (const auto& comp : ng.components) {
+      if (comp == "Rt2" || comp == "Rb2" || comp == "buf2" || comp == "Rt1" ||
+          comp == "Rb1" || comp == "buf1") {
+        touchesStage2Cone = true;
+      }
+    }
+    EXPECT_TRUE(touchesStage2Cone);
+  }
+}
+
+TEST(Integration, FuzzyFlagsSoftFaultCrispMisses) {
+  // The paper's central claim (§4.2): a parametric drift inside the crisp
+  // tolerance envelope is masked for the crisp engine but produces a
+  // partial conflict for the fuzzy one.
+  const auto net = workload::resistorLadder(2, 10.0, 1.0, 2.0, 0.05);
+  const auto probes = workload::tapsOf(net);
+  // 12% drift: inside the summed crisp interval bounds, but enough to tilt
+  // the fuzzy Dc.
+  const Fault fault = Fault::paramScale("Rp1", 1.12);
+  const auto readings = workload::simulateMeasurements(net, {fault}, probes);
+
+  FlamesOptions fopts;
+  fopts.measurementSpread = 0.02;
+  FlamesEngine engine(net, fopts);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto fuzzyReport = engine.diagnose();
+
+  const auto& built = engine.builtModel();
+  std::vector<baselines::CrispMeasurement> crisp;
+  for (const auto& r : readings) {
+    crisp.push_back(
+        {built.voltage(r.node), fuzzy::FuzzyInterval::about(r.volts, 0.02)});
+  }
+  const auto crispReport = baselines::diagnoseCrisp(built.model, crisp);
+
+  EXPECT_TRUE(fuzzyReport.faultDetected());
+  EXPECT_TRUE(crispReport.nogoods.empty())
+      << "crisp baseline unexpectedly saw the soft fault";
+}
+
+TEST(Integration, NoFalseAlarmOnHealthyWorkloads) {
+  for (std::size_t stages : {2u, 4u, 6u}) {
+    const auto net = workload::dividerCascade(stages);
+    const auto probes = workload::tapsOf(net);
+    const auto readings = workload::simulateMeasurements(net, {}, probes);
+    FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    const auto report = engine.diagnose();
+    EXPECT_FALSE(report.faultDetected()) << stages << " stages";
+  }
+}
+
+TEST(Integration, ScenarioSweepMostHardFaultsDetected) {
+  const auto net = workload::resistorLadder(3);
+  const auto probes = workload::tapsOf(net);
+  workload::ScenarioOptions sopts;
+  sopts.includeSoftDeviations = false;  // hard faults only
+  const auto scenarios = workload::sampleScenarios(net, 12, 17, sopts);
+  std::size_t detected = 0, total = 0;
+  for (const auto& s : scenarios) {
+    if (s.faults.empty()) continue;
+    std::vector<workload::ProbeReading> readings;
+    try {
+      readings = workload::simulateMeasurements(net, s.faults, probes);
+    } catch (const std::runtime_error&) {
+      continue;  // unsolvable faulted circuit
+    }
+    ++total;
+    FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    if (engine.diagnose().faultDetected()) ++detected;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GE(detected * 10, total * 9) << detected << "/" << total;
+}
+
+TEST(Integration, ResistorGridKclStress) {
+  // A meshed topology (multiple paths between every pair of nodes)
+  // exercises KCL-heavy propagation: a hard open must still be detected
+  // and the engine must terminate within budget on a healthy grid.
+  const auto net = workload::resistorGrid(3, 3);
+  std::vector<std::string> probes;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      probes.push_back("g" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  {
+    const auto readings = workload::simulateMeasurements(net, {}, probes);
+    FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    const auto report = engine.diagnose();
+    EXPECT_TRUE(report.propagationCompleted);
+    EXPECT_FALSE(report.faultDetected());
+  }
+  {
+    const auto readings = workload::simulateMeasurements(
+        net, {Fault::open("Rload")}, probes);
+    FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    const auto report = engine.diagnose();
+    EXPECT_TRUE(report.propagationCompleted);
+    EXPECT_TRUE(report.faultDetected());
+    EXPECT_GE(report.suspicion.count("Rload"), 1u);
+  }
+}
+
+TEST(Integration, DcBlindReactiveFaultCaughtByDynamics) {
+  // A drifted capacitor leaves every DC node voltage untouched: the static
+  // engine sees a healthy board, the time-domain engine isolates the part —
+  // the cross-mode complementarity the paper's "dynamic mode" is for.
+  circuit::Netlist net;
+  net.addVSource("Vin", "in", "0", 1.0);
+  net.addResistor("R1", "in", "m", 1.0, 0.02);
+  net.addCapacitor("C1", "m", "0", 1.0, 0.05);
+  net.addResistor("R2", "m", "out", 2.0, 0.02);
+  net.addCapacitor("C2", "out", "0", 0.1, 0.05);
+
+  const Fault fault = Fault::paramScale("C1", 3.0);
+
+  // Static mode: measure both nodes of the faulted board at DC.
+  {
+    const auto readings =
+        workload::simulateMeasurements(net, {fault}, {"m", "out"});
+    FlamesEngine engine(net);
+    for (const auto& r : readings) engine.measure(r.node, r.volts);
+    EXPECT_FALSE(engine.diagnose().faultDetected());
+  }
+
+  // Dynamic mode: step-response features of the same board.
+  {
+    diagnosis::TransientDiagnosisOptions opts;
+    opts.transient.timeStep = 0.02;
+    opts.duration = 40.0;
+    const std::vector<diagnosis::StepProbe> probes = {
+        {"m", diagnosis::StepFeature::kRiseTime},
+        {"out", diagnosis::StepFeature::kRiseTime}};
+    diagnosis::TransientDiagnosisEngine engine(net, "Vin", probes, opts);
+    const auto board = circuit::applyFaults(net, {fault});
+    for (const auto& p : probes) {
+      const auto v = engine.simulateFeature(board, p);
+      ASSERT_TRUE(v.has_value());
+      engine.measure(p, *v);
+    }
+    const auto report = engine.diagnose();
+    ASSERT_TRUE(report.faultDetected());
+    EXPECT_GE(report.suspicion.count("C1"), 1u);
+  }
+}
+
+TEST(Integration, PropagationStepBudgetRegression) {
+  // Performance canary: a full-observability diagnosis on an 8-stage
+  // cascade must stay within a modest step count. If entry subsumption or
+  // the echo guards regress, this blows up long before wall-clock tests
+  // would notice.
+  const auto net = workload::dividerCascade(8);
+  const auto probes = workload::tapsOf(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {Fault::open("Rb4")}, probes);
+  FlamesEngine engine(net);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto report = engine.diagnose();
+  EXPECT_TRUE(report.propagationCompleted);
+  EXPECT_LT(report.propagationSteps, 20000u);
+}
+
+TEST(Integration, LearningAcceleratesRepeatDiagnosis) {
+  const auto net = workload::resistorLadder(3);
+  const auto probes = workload::tapsOf(net);
+  const Fault fault = Fault::open("Rp2");
+  const auto readings = workload::simulateMeasurements(net, {fault}, probes);
+
+  FlamesEngine engine(net);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto first = engine.diagnose();
+  EXPECT_TRUE(first.hints.empty());
+  engine.confirm(first, "Rp2", "open");
+
+  engine.clearMeasurements();
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto second = engine.diagnose();
+  ASSERT_FALSE(second.hints.empty());
+  EXPECT_EQ(second.hints.front().component, "Rp2");
+}
+
+}  // namespace
+}  // namespace flames

@@ -1,0 +1,133 @@
+// Soundness of fuzzy propagation (property-based).
+//
+// If every component of the board is within tolerance, then every value
+// entry the propagator derives — under whatever assumption environment —
+// must contain the board's true value at its support level: the possibilistic
+// arithmetic is conservative, measurements are exact, and all assumptions
+// hold. A violation would mean the engine can manufacture false conflicts
+// on healthy boards, which is the one thing a diagnoser must never do.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuit/mna.h"
+#include "constraints/model_builder.h"
+#include "circuit/catalog.h"
+#include "workload/generators.h"
+
+namespace flames {
+namespace {
+
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::DcSolver;
+using circuit::Netlist;
+using constraints::BuiltModel;
+using constraints::Propagator;
+using constraints::QuantityId;
+
+// Draws every toleranced parameter uniformly inside its support.
+Netlist sampleWithinTolerance(const Netlist& nominal, std::mt19937& rng) {
+  Netlist out = nominal;
+  for (Component& c : out.components()) {
+    if (c.relTol <= 0.0) continue;
+    std::uniform_real_distribution<double> u(1.0 - c.relTol, 1.0 + c.relTol);
+    c.value *= u(rng);
+  }
+  return out;
+}
+
+// True value of a model quantity on the actual (sampled) board, if the
+// quantity maps onto something the simulator can report.
+std::optional<double> trueValueOf(const std::string& name,
+                                  const Netlist& actual,
+                                  const circuit::OperatingPoint& op) {
+  const DcSolver solver(actual);
+  if (name.rfind("V(", 0) == 0) {
+    return op.v(actual.findNode(name.substr(2, name.size() - 3)));
+  }
+  if (name.rfind("I(", 0) == 0) {
+    return solver.current(op, name.substr(2, name.size() - 3));
+  }
+  if (name.rfind("Ib(", 0) == 0) {
+    return solver.current(op, name.substr(3, name.size() - 4));
+  }
+  if (name.rfind("Ic(", 0) == 0) {
+    const std::string comp = name.substr(3, name.size() - 4);
+    return actual.component(comp).value * solver.current(op, comp);
+  }
+  if (name.rfind("Ie(", 0) == 0) {
+    const std::string comp = name.substr(3, name.size() - 4);
+    const double ib = solver.current(op, comp);
+    return ib + actual.component(comp).value * ib;
+  }
+  return std::nullopt;
+}
+
+class SoundnessTest : public ::testing::TestWithParam<unsigned> {};
+
+void checkSoundness(const Netlist& nominal, unsigned seed,
+                    const std::vector<std::string>& probes) {
+  std::mt19937 rng(seed);
+  const Netlist actual = sampleWithinTolerance(nominal, rng);
+  const auto op = DcSolver(actual).solve();
+  ASSERT_TRUE(op.converged);
+
+  const BuiltModel built = constraints::buildDiagnosticModel(nominal);
+  Propagator prop(built.model);
+  for (const auto& node : probes) {
+    // Exact measurement of the true board (zero meter error: the strictest
+    // case for soundness).
+    prop.addMeasurement(built.voltage(node),
+                        fuzzy::FuzzyInterval::crisp(op.v(actual.findNode(node))));
+  }
+  prop.run();
+  ASSERT_TRUE(prop.completed());
+
+  // No *hard* conflicts may be recorded against a healthy board: a
+  // degree-1 nogood requires the true value outside some support, which
+  // in-tolerance parameters cannot produce. (Low-grade partial conflicts
+  // are legitimate for boards near the edge of tolerance — a point
+  // measurement on the shoulder of the fuzzy nominal is "good with degree
+  // mu" in the paper's own semantics.)
+  EXPECT_EQ(prop.nogoods().minimalNogoods(0.95).size(), 0u)
+      << "seed " << seed;
+
+  // Every entry of every quantity must contain the true value.
+  std::size_t checked = 0;
+  for (QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    const std::string& name = built.model.quantityInfo(q).name;
+    const auto truth = trueValueOf(name, actual, op);
+    if (!truth) continue;
+    for (const auto& entry : prop.values(q)) {
+      const auto support = entry.value.support();
+      EXPECT_GE(*truth, support.lo - 1e-7)
+          << name << " entry " << entry.value.str() << " seed " << seed;
+      EXPECT_LE(*truth, support.hi + 1e-7)
+          << name << " entry " << entry.value.str() << " seed " << seed;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, probes.size());  // derivations actually happened
+}
+
+TEST_P(SoundnessTest, ResistorLadderAllEntriesContainTruth) {
+  const auto net = workload::resistorLadder(3, 10.0, 1.0, 2.0, 0.05);
+  checkSoundness(net, GetParam(), workload::tapsOf(net));
+}
+
+TEST_P(SoundnessTest, DividerCascadeAllEntriesContainTruth) {
+  const auto net = workload::dividerCascade(3);
+  checkSoundness(net, GetParam(), workload::tapsOf(net));
+}
+
+TEST_P(SoundnessTest, ThreeStageAmpAllEntriesContainTruth) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  checkSoundness(net, GetParam(), {"V1", "V2", "Vs"});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace flames

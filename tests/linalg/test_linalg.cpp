@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace flames::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 4.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix id = Matrix::identity(3);
+  const Vector x{1.0, -2.0, 3.0};
+  EXPECT_EQ(id.multiply(x), x);
+}
+
+TEST(Matrix, AddAtAccumulates) {
+  Matrix m(2, 2);
+  m.addAt(0, 0, 1.5);
+  m.addAt(0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+}
+
+TEST(Matrix, MultiplySizeMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, Norms) {
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(normInf({-7.0, 2.0}), 7.0);
+  EXPECT_EQ(subtract({3.0, 4.0}, {1.0, 1.0}), (Vector{2.0, 3.0}));
+  EXPECT_THROW(subtract({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Lu, Solves2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto x = solveLinear(a, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_FALSE(solveLinear(a, {1.0, 2.0}).has_value());
+  LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve({1.0, 2.0}), std::logic_error);
+}
+
+TEST(Lu, RequiresSquare) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = solveLinear(a, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 5.0, 1e-12);
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, SolveResidualIsTiny) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> u(-5.0, 5.0);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = u(rng);
+    a(r, r) += 10.0;  // diagonally dominant => well conditioned
+  }
+  Vector b(n);
+  for (double& v : b) v = u(rng);
+  const auto x = solveLinear(a, b);
+  ASSERT_TRUE(x.has_value());
+  const Vector r = subtract(a.multiply(*x), b);
+  EXPECT_LT(normInf(r), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuRandomTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace flames::linalg

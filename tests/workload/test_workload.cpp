@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mna.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace flames::workload {
+namespace {
+
+TEST(Generators, GainChainSolves) {
+  const auto net = gainChain(5, 1.0, 1.5, 0.05);
+  const auto op = circuit::DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(net.findNode("t5")), std::pow(1.5, 5.0), 1e-9);
+}
+
+TEST(Generators, ResistorLadderMonotonicTaps) {
+  const auto net = resistorLadder(4);
+  const auto op = circuit::DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  double prev = op.v(net.findNode("t0"));
+  for (int i = 1; i <= 4; ++i) {
+    const double v = op.v(net.findNode("t" + std::to_string(i)));
+    EXPECT_LT(v, prev);
+    EXPECT_GT(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST(Generators, DividerCascadeSolves) {
+  const auto net = dividerCascade(3, 8.0, 10.0, 10.0, 2.0);
+  const auto op = circuit::DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  // Each stage halves then doubles: output equals input.
+  EXPECT_NEAR(op.v(net.findNode("t3")), 8.0, 1e-9);
+}
+
+TEST(Generators, TapsOfFindsOrderedTaps) {
+  const auto net = gainChain(3);
+  const auto taps = tapsOf(net);
+  ASSERT_EQ(taps.size(), 4u);  // t0..t3
+  EXPECT_EQ(taps.front(), "t0");
+  EXPECT_EQ(taps.back(), "t3");
+}
+
+TEST(Generators, RcFilterChainRollsOff) {
+  const auto net = rcFilterChain(2);
+  // DC: capacitors open, buffers pass the DC level straight through.
+  const auto op = circuit::DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.v(net.findNode("t2")), 1.0, 1e-9);
+  EXPECT_TRUE(net.hasComponent("C1"));
+  EXPECT_TRUE(net.hasComponent("buf2"));
+}
+
+TEST(Generators, ResistorGridSolvesAndIsMonotone) {
+  const auto net = resistorGrid(3, 3);
+  const auto op = circuit::DcSolver(net).solve();
+  ASSERT_TRUE(op.converged);
+  const double corner = op.v(net.findNode("g0_0"));
+  const double far = op.v(net.findNode("g2_2"));
+  EXPECT_NEAR(corner, 10.0, 1e-9);
+  EXPECT_GT(far, 0.0);
+  EXPECT_LT(far, corner);
+  // Component count: 2*r*c - r - c grid resistors + load + source.
+  EXPECT_EQ(net.components().size(), 2u * 3u * 3u - 3u - 3u + 2u);
+}
+
+TEST(Generators, ResistorGridValidation) {
+  EXPECT_THROW(resistorGrid(0, 3), std::invalid_argument);
+  EXPECT_THROW(resistorGrid(3, 0), std::invalid_argument);
+}
+
+TEST(Scenarios, DeterministicSampling) {
+  const auto net = resistorLadder(4);
+  const auto a = sampleScenarios(net, 10, 42);
+  const auto b = sampleScenarios(net, 10, 42);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].description, b[i].description);
+  }
+}
+
+TEST(Scenarios, NeverFaultsSources) {
+  const auto net = resistorLadder(4);
+  for (const auto& s : sampleScenarios(net, 50, 7)) {
+    for (const auto& f : s.faults) {
+      EXPECT_NE(f.component, "Vin");
+    }
+  }
+}
+
+TEST(Scenarios, MultiFaultOptionRespected) {
+  ScenarioOptions opts;
+  opts.maxFaultsPerScenario = 2;
+  const auto net = resistorLadder(6);
+  bool sawDouble = false;
+  for (const auto& s : sampleScenarios(net, 50, 3, opts)) {
+    EXPECT_LE(s.faults.size(), 2u);
+    if (s.faults.size() == 2) sawDouble = true;
+  }
+  EXPECT_TRUE(sawDouble);
+}
+
+TEST(Scenarios, SimulateMeasurementsMatchesDirectSolve) {
+  const auto net = resistorLadder(3);
+  const auto readings = simulateMeasurements(
+      net, {circuit::Fault::open("Rp2")}, {"t1", "t2", "t3"});
+  ASSERT_EQ(readings.size(), 3u);
+  const auto faulted =
+      circuit::applyFaults(net, {circuit::Fault::open("Rp2")});
+  const auto op = circuit::DcSolver(faulted).solve();
+  for (const auto& r : readings) {
+    EXPECT_NEAR(r.volts, op.v(faulted.findNode(r.node)), 1e-12);
+  }
+}
+
+TEST(Scenarios, NoiseIsBoundedAndDeterministic) {
+  const auto net = resistorLadder(3);
+  const auto clean = simulateMeasurements(net, {}, {"t1"});
+  const auto noisy1 = simulateMeasurements(net, {}, {"t1"}, 0.01, 5);
+  const auto noisy2 = simulateMeasurements(net, {}, {"t1"}, 0.01, 5);
+  EXPECT_NEAR(noisy1.front().volts, clean.front().volts, 0.0100001);
+  EXPECT_DOUBLE_EQ(noisy1.front().volts, noisy2.front().volts);
+}
+
+}  // namespace
+}  // namespace flames::workload
