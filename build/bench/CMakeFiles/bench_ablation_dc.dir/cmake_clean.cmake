@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dc.dir/bench_ablation_dc.cpp.o"
+  "CMakeFiles/bench_ablation_dc.dir/bench_ablation_dc.cpp.o.d"
+  "bench_ablation_dc"
+  "bench_ablation_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

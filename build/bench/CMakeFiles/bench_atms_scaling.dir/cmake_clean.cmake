@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atms_scaling.dir/bench_atms_scaling.cpp.o"
+  "CMakeFiles/bench_atms_scaling.dir/bench_atms_scaling.cpp.o.d"
+  "bench_atms_scaling"
+  "bench_atms_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atms_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_diagnosis.dir/bench_fig7_diagnosis.cpp.o"
+  "CMakeFiles/bench_fig7_diagnosis.dir/bench_fig7_diagnosis.cpp.o.d"
+  "bench_fig7_diagnosis"
+  "bench_fig7_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

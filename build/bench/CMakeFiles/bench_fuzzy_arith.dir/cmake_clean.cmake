@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzzy_arith.dir/bench_fuzzy_arith.cpp.o"
+  "CMakeFiles/bench_fuzzy_arith.dir/bench_fuzzy_arith.cpp.o.d"
+  "bench_fuzzy_arith"
+  "bench_fuzzy_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzzy_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

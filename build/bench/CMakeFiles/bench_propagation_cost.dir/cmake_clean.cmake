@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_propagation_cost.dir/bench_propagation_cost.cpp.o"
+  "CMakeFiles/bench_propagation_cost.dir/bench_propagation_cost.cpp.o.d"
+  "bench_propagation_cost"
+  "bench_propagation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_propagation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

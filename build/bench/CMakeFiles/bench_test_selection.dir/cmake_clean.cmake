@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test_selection.dir/bench_test_selection.cpp.o"
+  "CMakeFiles/bench_test_selection.dir/bench_test_selection.cpp.o.d"
+  "bench_test_selection"
+  "bench_test_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transient_diagnosis.dir/bench_transient_diagnosis.cpp.o"
+  "CMakeFiles/bench_transient_diagnosis.dir/bench_transient_diagnosis.cpp.o.d"
+  "bench_transient_diagnosis"
+  "bench_transient_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transient_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diode_network.dir/diode_network.cpp.o"
+  "CMakeFiles/diode_network.dir/diode_network.cpp.o.d"
+  "diode_network"
+  "diode_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diode_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_mode.dir/dynamic_mode.cpp.o"
+  "CMakeFiles/dynamic_mode.dir/dynamic_mode.cpp.o.d"
+  "dynamic_mode"
+  "dynamic_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

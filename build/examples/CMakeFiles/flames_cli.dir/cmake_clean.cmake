@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_cli.dir/flames_cli.cpp.o"
+  "CMakeFiles/flames_cli.dir/flames_cli.cpp.o.d"
+  "flames_cli"
+  "flames_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

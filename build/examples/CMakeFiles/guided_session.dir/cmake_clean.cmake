@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guided_session.dir/guided_session.cpp.o"
+  "CMakeFiles/guided_session.dir/guided_session.cpp.o.d"
+  "guided_session"
+  "guided_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guided_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

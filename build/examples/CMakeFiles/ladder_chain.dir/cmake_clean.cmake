@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_chain.dir/ladder_chain.cpp.o"
+  "CMakeFiles/ladder_chain.dir/ladder_chain.cpp.o.d"
+  "ladder_chain"
+  "ladder_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

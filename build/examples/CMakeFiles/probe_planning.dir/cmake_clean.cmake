@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_planning.dir/probe_planning.cpp.o"
+  "CMakeFiles/probe_planning.dir/probe_planning.cpp.o.d"
+  "probe_planning"
+  "probe_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

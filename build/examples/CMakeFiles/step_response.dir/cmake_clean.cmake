@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_response.dir/step_response.cpp.o"
+  "CMakeFiles/step_response.dir/step_response.cpp.o.d"
+  "step_response"
+  "step_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

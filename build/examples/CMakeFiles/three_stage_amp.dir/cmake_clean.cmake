@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_stage_amp.dir/three_stage_amp.cpp.o"
+  "CMakeFiles/three_stage_amp.dir/three_stage_amp.cpp.o.d"
+  "three_stage_amp"
+  "three_stage_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_stage_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_atms.dir/atms/atms.cpp.o"
+  "CMakeFiles/flames_atms.dir/atms/atms.cpp.o.d"
+  "CMakeFiles/flames_atms.dir/atms/candidates.cpp.o"
+  "CMakeFiles/flames_atms.dir/atms/candidates.cpp.o.d"
+  "CMakeFiles/flames_atms.dir/atms/environment.cpp.o"
+  "CMakeFiles/flames_atms.dir/atms/environment.cpp.o.d"
+  "libflames_atms.a"
+  "libflames_atms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_atms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_baselines.dir/baselines/crisp_diagnosis.cpp.o"
+  "CMakeFiles/flames_baselines.dir/baselines/crisp_diagnosis.cpp.o.d"
+  "libflames_baselines.a"
+  "libflames_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

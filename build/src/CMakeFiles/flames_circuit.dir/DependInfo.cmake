@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/ac.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/ac.cpp.o.d"
+  "/root/repo/src/circuit/catalog.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/catalog.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/catalog.cpp.o.d"
+  "/root/repo/src/circuit/fault.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/fault.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/fault.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/parser.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/parser.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/flames_circuit.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/flames_circuit.dir/circuit/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flames_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_circuit.dir/circuit/ac.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/ac.cpp.o.d"
+  "CMakeFiles/flames_circuit.dir/circuit/catalog.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/catalog.cpp.o.d"
+  "CMakeFiles/flames_circuit.dir/circuit/fault.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/fault.cpp.o.d"
+  "CMakeFiles/flames_circuit.dir/circuit/mna.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/mna.cpp.o.d"
+  "CMakeFiles/flames_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/flames_circuit.dir/circuit/parser.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/parser.cpp.o.d"
+  "CMakeFiles/flames_circuit.dir/circuit/transient.cpp.o"
+  "CMakeFiles/flames_circuit.dir/circuit/transient.cpp.o.d"
+  "libflames_circuit.a"
+  "libflames_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

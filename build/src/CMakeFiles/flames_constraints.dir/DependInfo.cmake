@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraint.cpp" "src/CMakeFiles/flames_constraints.dir/constraints/constraint.cpp.o" "gcc" "src/CMakeFiles/flames_constraints.dir/constraints/constraint.cpp.o.d"
+  "/root/repo/src/constraints/model_builder.cpp" "src/CMakeFiles/flames_constraints.dir/constraints/model_builder.cpp.o" "gcc" "src/CMakeFiles/flames_constraints.dir/constraints/model_builder.cpp.o.d"
+  "/root/repo/src/constraints/propagator.cpp" "src/CMakeFiles/flames_constraints.dir/constraints/propagator.cpp.o" "gcc" "src/CMakeFiles/flames_constraints.dir/constraints/propagator.cpp.o.d"
+  "/root/repo/src/constraints/quantity.cpp" "src/CMakeFiles/flames_constraints.dir/constraints/quantity.cpp.o" "gcc" "src/CMakeFiles/flames_constraints.dir/constraints/quantity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flames_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_atms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_constraints.dir/constraints/constraint.cpp.o"
+  "CMakeFiles/flames_constraints.dir/constraints/constraint.cpp.o.d"
+  "CMakeFiles/flames_constraints.dir/constraints/model_builder.cpp.o"
+  "CMakeFiles/flames_constraints.dir/constraints/model_builder.cpp.o.d"
+  "CMakeFiles/flames_constraints.dir/constraints/propagator.cpp.o"
+  "CMakeFiles/flames_constraints.dir/constraints/propagator.cpp.o.d"
+  "CMakeFiles/flames_constraints.dir/constraints/quantity.cpp.o"
+  "CMakeFiles/flames_constraints.dir/constraints/quantity.cpp.o.d"
+  "libflames_constraints.a"
+  "libflames_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

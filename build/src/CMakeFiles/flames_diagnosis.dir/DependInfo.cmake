@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnosis/ac_diagnosis.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/ac_diagnosis.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/ac_diagnosis.cpp.o.d"
+  "/root/repo/src/diagnosis/deviation_analysis.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/deviation_analysis.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/deviation_analysis.cpp.o.d"
+  "/root/repo/src/diagnosis/experience_io.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/experience_io.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/experience_io.cpp.o.d"
+  "/root/repo/src/diagnosis/fault_modes.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/fault_modes.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/fault_modes.cpp.o.d"
+  "/root/repo/src/diagnosis/flames.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/flames.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/flames.cpp.o.d"
+  "/root/repo/src/diagnosis/knowledge_base.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/knowledge_base.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/knowledge_base.cpp.o.d"
+  "/root/repo/src/diagnosis/learning.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/learning.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/learning.cpp.o.d"
+  "/root/repo/src/diagnosis/probe_placement.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/probe_placement.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/probe_placement.cpp.o.d"
+  "/root/repo/src/diagnosis/report.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/report.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/report.cpp.o.d"
+  "/root/repo/src/diagnosis/session.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/session.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/session.cpp.o.d"
+  "/root/repo/src/diagnosis/test_selection.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/test_selection.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/test_selection.cpp.o.d"
+  "/root/repo/src/diagnosis/transient_diagnosis.cpp" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/transient_diagnosis.cpp.o" "gcc" "src/CMakeFiles/flames_diagnosis.dir/diagnosis/transient_diagnosis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flames_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_atms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

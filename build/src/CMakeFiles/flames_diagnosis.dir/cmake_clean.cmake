@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/ac_diagnosis.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/ac_diagnosis.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/deviation_analysis.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/deviation_analysis.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/experience_io.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/experience_io.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/fault_modes.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/fault_modes.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/flames.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/flames.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/knowledge_base.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/knowledge_base.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/learning.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/learning.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/probe_placement.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/probe_placement.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/report.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/report.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/session.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/session.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/test_selection.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/test_selection.cpp.o.d"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/transient_diagnosis.cpp.o"
+  "CMakeFiles/flames_diagnosis.dir/diagnosis/transient_diagnosis.cpp.o.d"
+  "libflames_diagnosis.a"
+  "libflames_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflames_diagnosis.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzzy/consistency.cpp" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/consistency.cpp.o" "gcc" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/consistency.cpp.o.d"
+  "/root/repo/src/fuzzy/entropy.cpp" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/entropy.cpp.o" "gcc" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/entropy.cpp.o.d"
+  "/root/repo/src/fuzzy/fuzzy_interval.cpp" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/fuzzy_interval.cpp.o" "gcc" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/fuzzy_interval.cpp.o.d"
+  "/root/repo/src/fuzzy/linguistic.cpp" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/linguistic.cpp.o" "gcc" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/linguistic.cpp.o.d"
+  "/root/repo/src/fuzzy/piecewise_linear.cpp" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/piecewise_linear.cpp.o" "gcc" "src/CMakeFiles/flames_fuzzy.dir/fuzzy/piecewise_linear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/consistency.cpp.o"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/consistency.cpp.o.d"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/entropy.cpp.o"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/entropy.cpp.o.d"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/fuzzy_interval.cpp.o"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/fuzzy_interval.cpp.o.d"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/linguistic.cpp.o"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/linguistic.cpp.o.d"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/piecewise_linear.cpp.o"
+  "CMakeFiles/flames_fuzzy.dir/fuzzy/piecewise_linear.cpp.o.d"
+  "libflames_fuzzy.a"
+  "libflames_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/flames_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/flames_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/flames_linalg.dir/linalg/matrix.cpp.o.d"
+  "libflames_linalg.a"
+  "libflames_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

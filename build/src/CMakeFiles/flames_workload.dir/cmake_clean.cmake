@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flames_workload.dir/workload/generators.cpp.o"
+  "CMakeFiles/flames_workload.dir/workload/generators.cpp.o.d"
+  "CMakeFiles/flames_workload.dir/workload/scenarios.cpp.o"
+  "CMakeFiles/flames_workload.dir/workload/scenarios.cpp.o.d"
+  "libflames_workload.a"
+  "libflames_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flames_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac_diagnosis.dir/diagnosis/test_ac_diagnosis.cpp.o"
+  "CMakeFiles/test_ac_diagnosis.dir/diagnosis/test_ac_diagnosis.cpp.o.d"
+  "test_ac_diagnosis"
+  "test_ac_diagnosis.pdb"
+  "test_ac_diagnosis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

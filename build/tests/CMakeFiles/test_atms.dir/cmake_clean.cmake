@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atms.dir/atms/test_atms.cpp.o"
+  "CMakeFiles/test_atms.dir/atms/test_atms.cpp.o.d"
+  "test_atms"
+  "test_atms.pdb"
+  "test_atms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

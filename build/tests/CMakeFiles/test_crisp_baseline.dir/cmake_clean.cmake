@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crisp_baseline.dir/baselines/test_crisp_baseline.cpp.o"
+  "CMakeFiles/test_crisp_baseline.dir/baselines/test_crisp_baseline.cpp.o.d"
+  "test_crisp_baseline"
+  "test_crisp_baseline.pdb"
+  "test_crisp_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crisp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deviation_analysis.dir/diagnosis/test_deviation_analysis.cpp.o"
+  "CMakeFiles/test_deviation_analysis.dir/diagnosis/test_deviation_analysis.cpp.o.d"
+  "test_deviation_analysis"
+  "test_deviation_analysis.pdb"
+  "test_deviation_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deviation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

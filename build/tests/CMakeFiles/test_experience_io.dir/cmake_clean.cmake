@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experience_io.dir/diagnosis/test_experience_io.cpp.o"
+  "CMakeFiles/test_experience_io.dir/diagnosis/test_experience_io.cpp.o.d"
+  "test_experience_io"
+  "test_experience_io.pdb"
+  "test_experience_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experience_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/diagnosis/test_fault_modes.cpp" "tests/CMakeFiles/test_fault_modes.dir/diagnosis/test_fault_modes.cpp.o" "gcc" "tests/CMakeFiles/test_fault_modes.dir/diagnosis/test_fault_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flames_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flames_atms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_modes.dir/diagnosis/test_fault_modes.cpp.o"
+  "CMakeFiles/test_fault_modes.dir/diagnosis/test_fault_modes.cpp.o.d"
+  "test_fault_modes"
+  "test_fault_modes.pdb"
+  "test_fault_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

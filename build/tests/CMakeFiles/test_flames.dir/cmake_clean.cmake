@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flames.dir/diagnosis/test_flames.cpp.o"
+  "CMakeFiles/test_flames.dir/diagnosis/test_flames.cpp.o.d"
+  "test_flames"
+  "test_flames.pdb"
+  "test_flames[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

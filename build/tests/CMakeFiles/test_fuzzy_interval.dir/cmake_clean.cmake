@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzy_interval.dir/fuzzy/test_fuzzy_interval.cpp.o"
+  "CMakeFiles/test_fuzzy_interval.dir/fuzzy/test_fuzzy_interval.cpp.o.d"
+  "test_fuzzy_interval"
+  "test_fuzzy_interval.pdb"
+  "test_fuzzy_interval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzy_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

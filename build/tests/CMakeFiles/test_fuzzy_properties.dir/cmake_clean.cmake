@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzy_properties.dir/fuzzy/test_fuzzy_properties.cpp.o"
+  "CMakeFiles/test_fuzzy_properties.dir/fuzzy/test_fuzzy_properties.cpp.o.d"
+  "test_fuzzy_properties"
+  "test_fuzzy_properties.pdb"
+  "test_fuzzy_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzy_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knowledge_base.dir/diagnosis/test_knowledge_base.cpp.o"
+  "CMakeFiles/test_knowledge_base.dir/diagnosis/test_knowledge_base.cpp.o.d"
+  "test_knowledge_base"
+  "test_knowledge_base.pdb"
+  "test_knowledge_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knowledge_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linguistic.dir/fuzzy/test_linguistic.cpp.o"
+  "CMakeFiles/test_linguistic.dir/fuzzy/test_linguistic.cpp.o.d"
+  "test_linguistic"
+  "test_linguistic.pdb"
+  "test_linguistic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linguistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

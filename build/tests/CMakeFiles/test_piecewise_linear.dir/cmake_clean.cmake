@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piecewise_linear.dir/fuzzy/test_piecewise_linear.cpp.o"
+  "CMakeFiles/test_piecewise_linear.dir/fuzzy/test_piecewise_linear.cpp.o.d"
+  "test_piecewise_linear"
+  "test_piecewise_linear.pdb"
+  "test_piecewise_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piecewise_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

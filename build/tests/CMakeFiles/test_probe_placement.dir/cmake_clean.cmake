@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe_placement.dir/diagnosis/test_probe_placement.cpp.o"
+  "CMakeFiles/test_probe_placement.dir/diagnosis/test_probe_placement.cpp.o.d"
+  "test_probe_placement"
+  "test_probe_placement.pdb"
+  "test_probe_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

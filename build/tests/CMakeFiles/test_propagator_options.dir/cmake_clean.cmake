@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propagator_options.dir/constraints/test_propagator_options.cpp.o"
+  "CMakeFiles/test_propagator_options.dir/constraints/test_propagator_options.cpp.o.d"
+  "test_propagator_options"
+  "test_propagator_options.pdb"
+  "test_propagator_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propagator_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soundness.dir/integration/test_soundness.cpp.o"
+  "CMakeFiles/test_soundness.dir/integration/test_soundness.cpp.o.d"
+  "test_soundness"
+  "test_soundness.pdb"
+  "test_soundness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tnorm.dir/fuzzy/test_tnorm.cpp.o"
+  "CMakeFiles/test_tnorm.dir/fuzzy/test_tnorm.cpp.o.d"
+  "test_tnorm"
+  "test_tnorm.pdb"
+  "test_tnorm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_diagnosis.dir/diagnosis/test_transient_diagnosis.cpp.o"
+  "CMakeFiles/test_transient_diagnosis.dir/diagnosis/test_transient_diagnosis.cpp.o.d"
+  "test_transient_diagnosis"
+  "test_transient_diagnosis.pdb"
+  "test_transient_diagnosis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
