@@ -4,6 +4,8 @@
 // at each lambda cut while the raw (crisp) count grows combinatorially.
 #include <benchmark/benchmark.h>
 
+#include "obs_optin.h"
+
 #include <iostream>
 #include <random>
 

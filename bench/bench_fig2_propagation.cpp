@@ -5,6 +5,8 @@
 // times crisp vs fuzzy propagation of the same chain.
 #include <benchmark/benchmark.h>
 
+#include "obs_optin.h"
+
 #include <iomanip>
 #include <iostream>
 

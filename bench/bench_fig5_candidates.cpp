@@ -2,6 +2,8 @@
 // fuzzy (ranked) vs crisp (unranked), plus candidate-generation timings.
 #include <benchmark/benchmark.h>
 
+#include "obs_optin.h"
+
 #include <iomanip>
 #include <iostream>
 #include <memory>

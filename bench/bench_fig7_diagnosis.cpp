@@ -3,6 +3,8 @@
 // end-to-end diagnosis timings.
 #include <benchmark/benchmark.h>
 
+#include "obs_optin.h"
+
 #include <iomanip>
 #include <iostream>
 

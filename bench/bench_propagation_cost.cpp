@@ -4,6 +4,8 @@
 // explosions" rather than causing them).
 #include <benchmark/benchmark.h>
 
+#include "obs_optin.h"
+
 #include <iostream>
 
 #include "constraints/model_builder.h"

@@ -6,6 +6,8 @@
 // probes run out). Fewer probes = better policy.
 #include <benchmark/benchmark.h>
 
+#include "obs_optin.h"
+
 #include <algorithm>
 #include <random>
 #include <iostream>

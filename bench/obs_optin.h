@@ -1,0 +1,43 @@
+// Opt-in observability for the bench suite.
+//
+// Set FLAMES_OBS=1 in the environment to enable the flames::obs counter
+// layer for the whole bench run and print the counter/histogram summary on
+// exit; set FLAMES_OBS=2 to additionally record pipeline spans and write
+// them to flames_bench.trace.json. Leaving the variable unset benchmarks
+// the disabled-instrumentation fast path (the production default).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace flames::benchsupport {
+
+inline void printObsSummary() {
+  std::cout << obs::renderMetrics() << std::flush;
+  if (obs::tracingEnabled()) {
+    const char* path = "flames_bench.trace.json";
+    obs::writeChromeTraceFile(path);
+    std::cout << "trace written to " << path << " ("
+              << obs::Tracer::global().size() << " spans)\n";
+  }
+}
+
+struct ObsOptIn {
+  ObsOptIn() {
+    const char* v = std::getenv("FLAMES_OBS");
+    if (v == nullptr || *v == '\0' || *v == '0') return;
+    obs::setEnabled(true);
+    if (*v == '2') obs::setTracing(true);
+    std::atexit(printObsSummary);
+  }
+};
+
+}  // namespace flames::benchsupport
+
+namespace {
+[[maybe_unused]] const flames::benchsupport::ObsOptIn kObsOptIn;
+}  // namespace

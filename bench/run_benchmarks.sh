@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Runs the whole bench suite and collects the results into one
+# BENCH_<date>.json, so successive runs can be diffed for regressions.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+#
+#   build-dir    directory holding the bench binaries (default: build)
+#   output.json  merged output file (default: BENCH_<yyyy-mm-dd>.json)
+#
+# Each binary runs with --benchmark_format=json; the merged file maps
+# bench name -> that run's full Google Benchmark JSON document. Set
+# FLAMES_OBS=1 (or 2) to benchmark the instrumented paths instead of the
+# disabled-observability default.
+set -eu
+
+build_dir=${1:-build}
+out=${2:-BENCH_$(date +%F).json}
+bench_dir=$build_dir/bench
+
+if [ ! -d "$bench_dir" ]; then
+  echo "error: no bench binaries under $bench_dir (build the project first)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+found=0
+for bin in "$bench_dir"/bench_*; do
+  [ -x "$bin" ] || continue
+  found=1
+  name=$(basename "$bin")
+  echo "== $name"
+  "$bin" --benchmark_format=json >"$tmp/$name.json"
+done
+
+if [ "$found" = 0 ]; then
+  echo "error: no bench_* executables in $bench_dir" >&2
+  exit 1
+fi
+
+python3 - "$tmp" "$out" <<'EOF'
+import json, pathlib, sys
+tmp, out = sys.argv[1], sys.argv[2]
+merged = {}
+for path in sorted(pathlib.Path(tmp).glob("*.json")):
+    text = path.read_text()
+    # bench_fig7_diagnosis prints a human-readable table around the JSON
+    # document (which may itself contain braces, e.g. candidate sets), so
+    # anchor on the document's own delimiters: the first line that is
+    # exactly "{" and the last that is exactly "}".
+    lines = text.splitlines()
+    start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+    end = max(i for i, l in enumerate(lines) if l.strip() == "}")
+    merged[path.stem] = json.loads("\n".join(lines[start : end + 1]))
+pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
+print(f"wrote {out} ({len(merged)} suites)")
+EOF

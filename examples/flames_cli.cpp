@@ -1,6 +1,7 @@
 // flames_cli — diagnose a board from files, no C++ required.
 //
-//   flames_cli <netlist.cir> <measurements.txt> [experience.txt]
+//   flames_cli [--trace=<file.json>] [--metrics]
+//              <netlist.cir> <measurements.txt> [experience.txt]
 //
 // The netlist uses the SPICE-style card format of circuit/parser.h; the
 // measurements file holds one "<node> <volts>" pair per line ('#' comments).
@@ -8,14 +9,22 @@
 // session, so confirmed diagnoses accumulate across runs (confirmation is
 // entered interactively when stdin is a terminal — here we simply persist
 // the base untouched).
+//
+// --trace=<file.json> records a span for every pipeline stage and writes
+// Chrome trace_event JSON (open in chrome://tracing or Perfetto);
+// --metrics prints the flames::obs counter/histogram dump after the report.
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "circuit/parser.h"
 #include "diagnosis/experience_io.h"
 #include "diagnosis/flames.h"
 #include "diagnosis/report.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -23,6 +32,32 @@ struct Measurement {
   std::string node;
   double volts = 0.0;
 };
+
+struct CliOptions {
+  std::string traceFile;  ///< empty = no tracing
+  bool metrics = false;
+  std::vector<std::string> positional;
+};
+
+CliOptions parseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      opts.traceFile = arg.substr(8);
+      if (opts.traceFile.empty()) {
+        throw std::runtime_error("--trace= needs a file name");
+      }
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::runtime_error("unknown flag: " + arg);
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return opts;
+}
 
 std::vector<Measurement> readMeasurements(const std::string& path) {
   std::ifstream is(path);
@@ -50,28 +85,34 @@ std::vector<Measurement> readMeasurements(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace flames;
-  if (argc < 3 || argc > 4) {
-    std::cerr << "usage: flames_cli <netlist.cir> <measurements.txt> "
-                 "[experience.txt]\n";
-    return 2;
-  }
   try {
-    const circuit::Netlist net = circuit::parseNetlistFile(argv[1]);
-    const auto measurements = readMeasurements(argv[2]);
+    const CliOptions cli = parseArgs(argc, argv);
+    if (cli.positional.size() < 2 || cli.positional.size() > 3) {
+      std::cerr << "usage: flames_cli [--trace=<file.json>] [--metrics] "
+                   "<netlist.cir> <measurements.txt> [experience.txt]\n";
+      return 2;
+    }
+    if (cli.metrics) obs::setEnabled(true);
+    if (!cli.traceFile.empty()) obs::setTracing(true);
+
+    const circuit::Netlist net = circuit::parseNetlistFile(cli.positional[0]);
+    const auto measurements = readMeasurements(cli.positional[1]);
     if (measurements.empty()) {
       std::cerr << "no measurements given\n";
       return 2;
     }
+    const bool haveExperience = cli.positional.size() == 3;
 
     diagnosis::FlamesEngine engine(net);
-    if (argc == 4) {
+    if (haveExperience) {
+      const std::string& path = cli.positional[2];
       try {
         const std::size_t n =
-            diagnosis::loadExperienceFile(engine.experience(), argv[3]);
-        std::cout << "loaded " << n << " learned rule(s) from " << argv[3]
+            diagnosis::loadExperienceFile(engine.experience(), path);
+        std::cout << "loaded " << n << " learned rule(s) from " << path
                   << "\n";
       } catch (const std::runtime_error&) {
-        std::cout << "starting a fresh experience base at " << argv[3] << "\n";
+        std::cout << "starting a fresh experience base at " << path << "\n";
       }
     }
 
@@ -82,8 +123,15 @@ int main(int argc, char** argv) {
     std::cout << diagnosis::renderReport(report);
     std::cout << "=> " << diagnosis::summarizeReport(report) << '\n';
 
-    if (argc == 4) {
-      diagnosis::saveExperienceFile(engine.experience(), argv[3]);
+    if (haveExperience) {
+      diagnosis::saveExperienceFile(engine.experience(), cli.positional[2]);
+    }
+    if (cli.metrics) std::cout << obs::renderMetrics();
+    if (!cli.traceFile.empty()) {
+      obs::writeChromeTraceFile(cli.traceFile);
+      std::cout << "trace written to " << cli.traceFile << " ("
+                << obs::Tracer::global().size()
+                << " spans; open in chrome://tracing)\n";
     }
     return report.faultDetected() ? 1 : 0;
   } catch (const std::exception& e) {

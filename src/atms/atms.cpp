@@ -4,13 +4,40 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace flames::atms {
+
+namespace {
+
+obs::Counter& cSubsumption() {
+  static obs::Counter& c = obs::counter("atms.subsumption_checks");
+  return c;
+}
+obs::Counter& cLabelUpdates() {
+  static obs::Counter& c = obs::counter("atms.label_updates");
+  return c;
+}
+
+// Nogood insertions bucketed by degree: hard contradictions (degree 1),
+// strong partial conflicts (>= 0.5) and weak ones — the mix explains why
+// the database (and hence candidate generation) grows.
+obs::Counter& cNogoodBucket(double degree) {
+  static obs::Counter& hard = obs::counter("atms.nogoods.hard");
+  static obs::Counter& strong = obs::counter("atms.nogoods.strong");
+  static obs::Counter& weak = obs::counter("atms.nogoods.weak");
+  if (degree >= 1.0) return hard;
+  return degree >= 0.5 ? strong : weak;
+}
+
+}  // namespace
 
 // --- NogoodDb ---------------------------------------------------------------
 
 bool NogoodDb::add(Environment env, double degree, std::string note) {
   degree = std::clamp(degree, 0.0, 1.0);
   // Subsumed by an existing stronger-or-equal, smaller-or-equal entry?
+  cSubsumption().add(entries_.size());
   for (const Nogood& n : entries_) {
     if (n.degree >= degree && n.env.isSubsetOf(env)) return false;
   }
@@ -21,6 +48,7 @@ bool NogoodDb::add(Environment env, double degree, std::string note) {
                                          env.isSubsetOf(n.env);
                                 }),
                  entries_.end());
+  cNogoodBucket(degree).add();
   entries_.push_back({std::move(env), degree, std::move(note)});
   return true;
 }
@@ -185,9 +213,11 @@ std::optional<AssumptionId> Atms::assumptionIdOf(NodeId node) const {
 }
 
 bool Atms::updateLabel(NodeId node, const LabelEnv& candidate) {
+  cLabelUpdates().add();
   if (nogoodDb_.isInconsistent(candidate.env, hardThreshold_)) return false;
   auto& label = nodes_[node].label;
   // Subsumed by an existing env (subset with >= degree)?
+  cSubsumption().add(label.size());
   for (const LabelEnv& le : label) {
     if (le.degree >= candidate.degree && le.env.isSubsetOf(candidate.env)) {
       return false;

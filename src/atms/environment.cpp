@@ -3,11 +3,20 @@
 #include <bit>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace flames::atms {
 
 namespace {
 constexpr std::size_t kBits = 64;
+
+// Environment construction is the ATMS's allocation hot spot; the counter
+// tells a trace reader how much label/nogood churn a diagnosis caused.
+obs::Counter& cEnvsCreated() {
+  static obs::Counter& c = obs::counter("atms.environments_created");
+  return c;
 }
+}  // namespace
 
 Environment Environment::of(std::initializer_list<AssumptionId> ids) {
   Environment e;
@@ -65,6 +74,7 @@ void Environment::erase(AssumptionId id) {
 }
 
 Environment Environment::unionWith(const Environment& other) const {
+  cEnvsCreated().add();
   Environment out;
   out.words_.resize(std::max(words_.size(), other.words_.size()), 0);
   for (std::size_t i = 0; i < out.words_.size(); ++i) {
@@ -78,6 +88,7 @@ Environment Environment::unionWith(const Environment& other) const {
 }
 
 Environment Environment::intersectWith(const Environment& other) const {
+  cEnvsCreated().add();
   Environment out;
   out.words_.resize(std::min(words_.size(), other.words_.size()), 0);
   for (std::size_t i = 0; i < out.words_.size(); ++i) {

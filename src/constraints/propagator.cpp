@@ -4,7 +4,49 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
+
 namespace flames::constraints {
+
+namespace {
+
+// Probe points for the propagation stage (see obs/obs.h for the contract:
+// one relaxed load per hit when the layer is disabled).
+obs::Counter& cSteps() {
+  static obs::Counter& c = obs::counter("propagator.steps");
+  return c;
+}
+obs::Counter& cEntriesAdded() {
+  static obs::Counter& c = obs::counter("propagator.entries_added");
+  return c;
+}
+obs::Counter& cDiscardSaturated() {
+  static obs::Counter& c = obs::counter("propagator.discard.saturated");
+  return c;
+}
+obs::Counter& cDiscardWidth() {
+  static obs::Counter& c = obs::counter("propagator.discard.derived_width");
+  return c;
+}
+obs::Counter& cDiscardRedundant() {
+  static obs::Counter& c = obs::counter("propagator.discard.redundant");
+  return c;
+}
+obs::Counter& cCoincidences() {
+  static obs::Counter& c = obs::counter("propagator.coincidences");
+  return c;
+}
+obs::Counter& cNogoods() {
+  static obs::Counter& c = obs::counter("propagator.nogoods_recorded");
+  return c;
+}
+obs::Histogram& hQueueDepth() {
+  static obs::Histogram& h = obs::histogram("propagator.queue_depth");
+  return h;
+}
+
+}  // namespace
 
 using atms::Environment;
 using fuzzy::FuzzyInterval;
@@ -125,6 +167,7 @@ void Propagator::addMeasurement(QuantityId q, FuzzyInterval value,
 }
 
 void Propagator::run() {
+  obs::Span span("propagation.run", "propagator");
   if (!seeded_) {
     seeded_ = true;
     for (const Model::Prediction& p : model_.predictions()) {
@@ -140,7 +183,12 @@ void Propagator::run() {
     }
   }
   completed_ = true;
+  const bool sampling = obs::enabled();
   while (!queue_.empty()) {
+    if (sampling) {
+      cSteps().add();
+      hQueueDepth().record(queue_.size());
+    }
     if (++steps_ > options_.maxSteps) {
       completed_ = false;
       queue_.clear();
@@ -184,12 +232,14 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
   for (const ValueEntry& existing : entries) {
     if (existing.env == entry.env &&
         existing.value.approxEquals(entry.value, 1e-12)) {
+      cDiscardRedundant().add();
       return false;
     }
     if (entry.source == ValueSource::kDerived &&
         existing.degree >= entry.degree &&
         existing.env.isSubsetOf(entry.env) &&
         existing.value.subsetOf(entry.value)) {
+      cDiscardRedundant().add();
       return false;  // the new entry carries no extra information
     }
   }
@@ -213,9 +263,11 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
         entries.end());
     if (entries.size() >= options_.maxEntriesPerQuantity &&
         entry.source == ValueSource::kDerived) {
+      cDiscardSaturated().add();
       return false;  // quantity saturated; keep roots flowing regardless
     }
     entries.push_back(std::move(entry));
+    cEntriesAdded().add();
     queue_.push_back({q, entries.size() - 1});
 
     // Drain crisp-policy refinements queued by coincidence resolution.
@@ -230,6 +282,7 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
     }
     return true;
   }
+  cDiscardSaturated().add();
   return false;
 }
 
@@ -300,6 +353,10 @@ void Propagator::fire(QuantityId q, std::size_t entryIndex) {
             derived = std::nullopt;  // e.g. division by zero-straddling value
           }
           if (derived &&
+              derived->support().width() > options_.maxDerivedWidth) {
+            cDiscardWidth().add();
+          }
+          if (derived &&
               derived->support().width() <= options_.maxDerivedWidth) {
             ValueEntry e;
             e.value = options_.crispifyValues
@@ -333,6 +390,7 @@ void Propagator::fire(QuantityId q, std::size_t entryIndex) {
 
 void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
                                     const ValueEntry& b) {
+  cCoincidences().add();
   CoincidenceRecord rec;
   rec.quantity = q;
   rec.env = a.env.unionWith(b.env);
@@ -354,8 +412,10 @@ void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
     coincidences_.push_back(rec);
     if (!overlap) {
       const double degree = std::min({1.0, a.degree, b.degree});
-      nogoods_.add(rec.env, degree,
-                   "conflict on " + model_.quantityInfo(q).name);
+      if (nogoods_.add(rec.env, degree,
+                       "conflict on " + model_.quantityInfo(q).name)) {
+        cNogoods().add();
+      }
       return;
     }
     const fuzzy::Cut sa = a.value.support(), sb = b.value.support();
@@ -435,8 +495,10 @@ void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
   const double nogoodDegree =
       std::min({cons.nogoodDegree(), a.degree, b.degree});
   if (nogoodDegree >= options_.minNogoodDegree) {
-    nogoods_.add(rec.env, nogoodDegree,
-                 "conflict on " + model_.quantityInfo(q).name);
+    if (nogoods_.add(rec.env, nogoodDegree,
+                     "conflict on " + model_.quantityInfo(q).name)) {
+      cNogoods().add();
+    }
   }
 }
 

@@ -1,14 +1,55 @@
 #include "diagnosis/flames.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "atms/candidates.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace flames::diagnosis {
 
 using atms::AssumptionId;
 using constraints::Propagator;
 using fuzzy::FuzzyInterval;
+
+namespace {
+
+// Tracks the Fig. 3 pipeline stages of one diagnose() call sequentially:
+// each stage(...) call closes the previous stage (recording its trace span,
+// its StageTiming row and a duration histogram sample) and opens the next.
+class PipelineClock {
+ public:
+  explicit PipelineClock(PipelineStats* stats) : stats_(stats) {}
+  ~PipelineClock() { close(); }
+  PipelineClock(const PipelineClock&) = delete;
+  PipelineClock& operator=(const PipelineClock&) = delete;
+
+  void stage(const char* name) {
+    close();
+    name_ = name;
+    span_ = std::make_unique<obs::Span>(name, "pipeline");
+    if (stats_) start_ = obs::monotonicNanos();
+  }
+
+  void close() {
+    if (stats_ && name_ != nullptr) {
+      const std::uint64_t ns = obs::monotonicNanos() - start_;
+      stats_->stages.push_back({name_, ns});
+      obs::histogram(std::string("pipeline.") + name_ + ".ns").record(ns);
+    }
+    name_ = nullptr;
+    span_.reset();
+  }
+
+ private:
+  PipelineStats* stats_;
+  const char* name_ = nullptr;
+  std::unique_ptr<obs::Span> span_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace
 
 FlamesEngine::FlamesEngine(circuit::Netlist net, FlamesOptions options)
     : net_(std::move(net)),
@@ -35,6 +76,18 @@ void FlamesEngine::clearMeasurements() { observations_.clear(); }
 DiagnosisReport FlamesEngine::diagnose() {
   DiagnosisReport report;
 
+  obs::Span diagnoseSpan("diagnose", "pipeline");
+  static obs::Counter& cDiagnoseCalls = obs::counter("flames.diagnose_calls");
+  cDiagnoseCalls.add();
+  std::uint64_t wallStart = 0;
+  if (obs::enabled()) {
+    report.stats.emplace();
+    wallStart = obs::monotonicNanos();
+  }
+  PipelineStats* stats = report.stats ? &*report.stats : nullptr;
+  PipelineClock clock(stats);
+
+  clock.stage("propagation");
   Propagator prop(built_.model, options_.propagation);
   for (const Observation& obs : observations_) {
     prop.addMeasurement(built_.voltage(obs.node), obs.value);
@@ -42,8 +95,13 @@ DiagnosisReport FlamesEngine::diagnose() {
   prop.run();
   report.propagationCompleted = prop.completed();
   report.propagationSteps = prop.steps();
+  if (stats) {
+    stats->propagationSteps = prop.steps();
+    stats->coincidences = prop.coincidences().size();
+  }
 
   // --- per-measurement Dc summaries (the Fig. 7 table rows) ---
+  clock.stage("conflict_recording");
   for (const Observation& obs : observations_) {
     const auto q = built_.voltage(obs.node);
     MeasurementSummary ms;
@@ -85,6 +143,7 @@ DiagnosisReport FlamesEngine::diagnose() {
 
   // --- candidates (λ at the weakest recorded conflict => all conflicts
   // explained) with fault-mode refinement ---
+  clock.stage("candidate_generation");
   const auto scale = fuzzy::LinguisticScale::defaultFaultiness();
   auto priorOf = [&](const std::vector<std::string>& comps) {
     // Prior of a candidate: the largest expert faultiness among members;
@@ -104,6 +163,9 @@ DiagnosisReport FlamesEngine::diagnose() {
   const auto candidates =
       atms::candidatesAt(db, options_.propagation.minNogoodDegree,
                          options_.maxFaultCardinality);
+  if (stats) stats->candidatesGenerated = candidates.size();
+
+  clock.stage("refinement");
   for (const atms::Candidate& c : candidates) {
     RankedCandidate rc;
     rc.suspicion = c.suspicion;
@@ -112,6 +174,7 @@ DiagnosisReport FlamesEngine::diagnose() {
     }
     rc.prior = priorOf(rc.components);
     if (options_.refineWithFaultModes && rc.components.size() == 1) {
+      if (stats) ++stats->faultModeScreens;
       rc.modeMatch = bestFaultMode(net_, rc.components.front(), observations_,
                                    options_.faultModes);
       // A candidate that admits a fault mode reproducing every measurement
@@ -148,6 +211,7 @@ DiagnosisReport FlamesEngine::diagnose() {
           }
         }
         if (already) continue;
+        if (stats) ++stats->faultModeScreens;
         auto match =
             bestFaultMode(net_, comp, observations_, options_.faultModes);
         if (match.matchDegree >= 0.5) {
@@ -168,6 +232,7 @@ DiagnosisReport FlamesEngine::diagnose() {
   // Plausibilities within this band count as tied: fault-mode match scores
   // carry simulation noise at the 1e-2 level and must not mask the expert's
   // a-priori preference between otherwise equivalent explanations.
+  clock.stage("ranking");
   constexpr double kPlausibilityBand = 0.02;
   std::sort(report.candidates.begin(), report.candidates.end(),
             [](const RankedCandidate& a, const RankedCandidate& b) {
@@ -200,9 +265,11 @@ DiagnosisReport FlamesEngine::diagnose() {
   }
 
   // --- knowledge-base rules ---
+  clock.stage("rule_evaluation");
   report.ruleActivations = kb_.evaluate(prop);
 
   // --- Dc-sign deviation analysis (Fig. 7 commentary) ---
+  clock.stage("deviation_analysis");
   if (options_.analyzeDeviationSigns && !report.nogoods.empty()) {
     if (!sensitivitySigns_) {
       sensitivitySigns_.emplace(net_, options_.deviationAnalysis);
@@ -220,6 +287,7 @@ DiagnosisReport FlamesEngine::diagnose() {
   }
 
   // --- experience hints ---
+  clock.stage("experience_hints");
   report.hints = experience_.match(report.signature);
   for (RankedCandidate& rc : report.candidates) {
     for (const ExperienceHint& h : report.hints) {
@@ -229,6 +297,12 @@ DiagnosisReport FlamesEngine::diagnose() {
     }
   }
 
+  clock.close();
+  if (stats) {
+    stats->nogoodsRecorded = prop.nogoods().size();
+    stats->dcTableRows = report.measurements.size();
+    stats->totalNanos = obs::monotonicNanos() - wallStart;
+  }
   return report;
 }
 
@@ -240,6 +314,7 @@ void FlamesEngine::confirm(const DiagnosisReport& report,
 
 std::vector<TestRecommendation> FlamesEngine::recommendTests(
     const std::vector<TestPoint>& probes, const DiagnosisReport& report) {
+  obs::Span span("test_selection", "pipeline");
   TestSelector selector(net_, fuzzy::LinguisticScale::defaultFaultiness(),
                         options_.testSelection);
   // Expert priors seed the estimations: a component the expert already

@@ -13,6 +13,7 @@
 // experience" means in the paper).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -83,6 +84,28 @@ struct MeasurementSummary {
   int direction = 0;      ///< -1 below nominal, +1 above, 0 none
 };
 
+/// Wall-clock duration of one pipeline stage of diagnose().
+struct StageTiming {
+  std::string stage;
+  std::uint64_t nanos = 0;
+};
+
+/// Work accounting for one diagnose() call. Captured only while the obs
+/// layer (src/obs/) is enabled; the header stays obs-free so that consumers
+/// of the report need not know the instrumentation exists.
+struct PipelineStats {
+  /// Fig. 3 stages in execution order (propagation, conflict_recording,
+  /// candidate_generation, refinement, ...).
+  std::vector<StageTiming> stages;
+  std::uint64_t totalNanos = 0;
+  std::size_t propagationSteps = 0;
+  std::size_t coincidences = 0;      ///< resolved value coincidences
+  std::size_t nogoodsRecorded = 0;   ///< Dc-table conflicts kept after subsumption
+  std::size_t dcTableRows = 0;       ///< per-measurement summaries produced
+  std::size_t candidatesGenerated = 0;
+  std::size_t faultModeScreens = 0;  ///< fault-mode simulations run
+};
+
 /// Everything a session produces.
 struct DiagnosisReport {
   bool propagationCompleted = false;
@@ -97,6 +120,10 @@ struct DiagnosisReport {
   /// Directed qualitative explanations from the Dc signs (the Fig. 7
   /// "R2 is very low or R3 is very high" reasoning), best first.
   std::vector<DirectedHypothesis> directedHypotheses;
+
+  /// Per-stage timings and work counters; present iff flames::obs was
+  /// enabled during diagnose().
+  std::optional<PipelineStats> stats;
 
   /// True if some discrepancy was detected at all.
   [[nodiscard]] bool faultDetected() const { return !nogoods.empty(); }

@@ -24,6 +24,17 @@ std::string renderReport(const DiagnosisReport& report) {
   os << "propagation: " << (report.propagationCompleted ? "complete" : "BUDGET EXHAUSTED")
      << " (" << report.propagationSteps << " steps)\n";
 
+  if (report.stats) {
+    const PipelineStats& s = *report.stats;
+    os << "-- pipeline stats (" << s.totalNanos / 1000 << " us total) --\n";
+    for (const StageTiming& t : s.stages) {
+      os << "  stage " << t.stage << ": " << t.nanos / 1000 << " us\n";
+    }
+    os << "  coincidences " << s.coincidences << ", nogoods "
+       << s.nogoodsRecorded << ", candidates " << s.candidatesGenerated
+       << ", fault-mode screens " << s.faultModeScreens << '\n';
+  }
+
   os << "-- measurements (Dc vs nominal) --\n";
   for (const MeasurementSummary& m : report.measurements) {
     os << "  " << m.quantity << " = " << m.measured.str()

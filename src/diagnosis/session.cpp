@@ -1,6 +1,10 @@
 #include "diagnosis/session.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace flames::diagnosis {
 
@@ -44,8 +48,13 @@ SessionResult runGuidedSession(FlamesEngine& engine,
                                std::vector<TestPoint> availableProbes,
                                const ProbeOracle& oracle,
                                SessionOptions options) {
+  obs::Span sessionSpan("guided_session", "session");
+  static obs::Counter& cProbes = obs::counter("session.probes");
   SessionResult result;
-  result.finalReport = engine.diagnose();
+  {
+    obs::Span initialSpan("session.initial_diagnosis", "session");
+    result.finalReport = engine.diagnose();
+  }
   result.trail.push_back(snapshot(result.finalReport, {}, 0.0));
 
   if (!result.finalReport.faultDetected()) {
@@ -62,6 +71,8 @@ SessionResult runGuidedSession(FlamesEngine& engine,
       result.outcome = SessionOutcome::kProbesSpent;
       return result;
     }
+    obs::Span iterationSpan(
+        "session.iteration#" + std::to_string(result.probesUsed), "session");
     // Best next test per the search-strategy unit; fall back to the first
     // remaining probe if ranking produces nothing.
     const auto ranked =
@@ -75,6 +86,7 @@ SessionResult runGuidedSession(FlamesEngine& engine,
     const double volts = oracle(node);
     engine.measure(node, volts);
     ++result.probesUsed;
+    cProbes.add();
     result.finalReport = engine.diagnose();
     result.trail.push_back(snapshot(result.finalReport, node, volts));
   }

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "circuit/mna.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace flames::diagnosis {
 
@@ -33,6 +35,9 @@ std::vector<ComponentEstimation> TestSelector::estimationsFromSuspicion(
 
 FuzzyInterval TestSelector::systemEntropy(
     const std::vector<ComponentEstimation>& estimations) const {
+  static obs::Counter& cEntropy =
+      obs::counter("test_selection.entropy_evaluations");
+  cEntropy.add();
   std::vector<FuzzyInterval> fs;
   fs.reserve(estimations.size());
   for (const ComponentEstimation& e : estimations) fs.push_back(e.faultiness);
@@ -43,6 +48,9 @@ std::vector<TestRecommendation> TestSelector::rankTests(
     const std::vector<TestPoint>& probes,
     const std::vector<ComponentEstimation>& estimations,
     const std::map<std::string, Fault>& hypotheses) const {
+  obs::Span span("test_selection.rank", "pipeline");
+  static obs::Counter& cRanked = obs::counter("test_selection.probes_ranked");
+  cRanked.add(probes.size());
   // Identify the suspects: components estimated away from "correct".
   const FuzzyInterval correct = scale_.terms().front().meaning;
   std::vector<std::size_t> suspects;

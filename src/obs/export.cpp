@@ -1,0 +1,85 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace flames::obs {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string renderMetrics(const Registry& registry) {
+  std::ostringstream os;
+  os << "=== flames::obs metrics ===\n";
+  for (const Counter* c : registry.counters()) {
+    os << "counter " << std::left << std::setw(48) << c->name() << ' '
+       << c->value() << '\n';
+  }
+  os << std::right;
+  for (const Histogram* h : registry.histograms()) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << "hist    " << std::left << std::setw(48) << h->name() << std::right
+       << " count=" << s.count << " sum=" << s.sum << " min=" << s.min
+       << " mean=" << std::fixed << std::setprecision(1) << s.mean()
+       << " max=" << s.max << '\n';
+    os.unsetf(std::ios::fixed);
+  }
+  return os.str();
+}
+
+void writeChromeTrace(std::ostream& os, const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  os << "[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  comma();
+  os << R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
+     << R"("args":{"name":"flames"}})";
+  // Timestamps are the raw monotonic clock scaled to microseconds; viewers
+  // normalise to the earliest event themselves.
+  os << std::fixed << std::setprecision(3);
+  for (const TraceEvent& e : events) {
+    comma();
+    os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+       << jsonEscape(e.category) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << e.tid << ",\"ts\":" << static_cast<double>(e.startNs) / 1e3
+       << ",\"dur\":" << static_cast<double>(e.durationNs) / 1e3
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "\n]\n";
+}
+
+void writeChromeTraceFile(const std::string& path, const Tracer& tracer) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("obs: cannot open trace file: " + path);
+  writeChromeTrace(os, tracer);
+}
+
+}  // namespace flames::obs

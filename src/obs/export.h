@@ -1,0 +1,32 @@
+// Exporters for the obs layer: a human-readable metrics dump and Chrome
+// trace_event JSON (the array-of-"X"-phase-events dialect understood by
+// chrome://tracing and Perfetto).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace flames::obs {
+
+/// Renders every counter and histogram of the registry, sorted by name.
+/// Counters print as `counter <name> <value>`; histograms as
+/// `hist <name> count=<n> sum=<s> min=<m> mean=<..> max=<M>`.
+[[nodiscard]] std::string renderMetrics(
+    const Registry& registry = Registry::global());
+
+/// Writes the tracer's events as Chrome trace_event JSON: a single array of
+/// complete ("ph":"X") events with microsecond timestamps. Also appends one
+/// metadata event naming the process.
+void writeChromeTrace(std::ostream& os, const Tracer& tracer = Tracer::global());
+
+/// writeChromeTrace to a file; throws std::runtime_error if it cannot open.
+void writeChromeTraceFile(const std::string& path,
+                          const Tracer& tracer = Tracer::global());
+
+/// JSON string escaping (exposed for tests).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+}  // namespace flames::obs

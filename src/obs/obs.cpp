@@ -1,0 +1,157 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace flames::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void setEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t monotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+void Histogram::record(std::uint64_t sample) {
+  if (!enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  // min/max via CAS loops; contention is negligible at probe-point rates.
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (sample < cur &&
+         !min_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (sample > cur &&
+         !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(sample), kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+// std::map keeps iteration (and therefore every metrics dump) sorted by
+// name; node-based storage keeps handle addresses stable across inserts.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::global() {
+  // Intentionally leaked: counter/histogram handles are cached in
+  // function-local statics all over the engine, and atexit hooks (the
+  // bench opt-in summary) read the registry after static destruction
+  // would have run. An immortal registry makes both safe.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::Impl& Registry::impl() {
+  // Leaked alongside Registry::global(): this is the actual state; if it
+  // were destroyed at exit, atexit exporters would walk freed maps.
+  static Impl* i = new Impl();
+  return *i;
+}
+
+const Registry::Impl& Registry::impl() const {
+  return const_cast<Registry*>(this)->impl();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<const Counter*> Registry::counters() const {
+  const Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  std::vector<const Counter*> out;
+  out.reserve(i.counters.size());
+  for (const auto& [name, c] : i.counters) out.push_back(c.get());
+  return out;
+}
+
+std::vector<const Histogram*> Registry::histograms() const {
+  const Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  std::vector<const Histogram*> out;
+  out.reserve(i.histograms.size());
+  for (const auto& [name, h] : i.histograms) out.push_back(h.get());
+  return out;
+}
+
+void Registry::resetAll() {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+
+}  // namespace flames::obs

@@ -1,0 +1,136 @@
+// flames::obs — lightweight observability for the diagnosis pipeline.
+//
+// The engine's hot loops (fuzzy propagation, ATMS label maintenance,
+// candidate generation) run millions of times per diagnosis under load, so
+// the instrumentation contract is strict: when the layer is disabled (the
+// default) every probe point costs one relaxed atomic load and a predicted
+// branch — no locks, no allocation, no syscalls. When enabled, counters and
+// histograms accumulate into lock-free atomics owned by a global registry,
+// and scoped spans (obs/trace.h) record a hierarchical timeline exportable
+// as Chrome trace_event JSON (obs/export.h).
+//
+// Usage at a probe point:
+//
+//   static obs::Counter& cSteps = obs::counter("propagator.steps");
+//   cSteps.add();                       // no-op unless obs::setEnabled(true)
+//
+// Counter/histogram handles are stable for the process lifetime; looking one
+// up once into a function-local static keeps the hot path map-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flames::obs {
+
+/// Global kill switch for counters and histograms. Off by default.
+[[nodiscard]] bool enabled();
+void setEnabled(bool on);
+
+/// Monotonic clock in nanoseconds (steady_clock; never goes backwards).
+[[nodiscard]] std::uint64_t monotonicNanos();
+
+/// A named monotonically increasing counter.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A named histogram over non-negative integer samples (durations in
+/// nanoseconds, queue depths, set sizes). Power-of-two buckets: bucket k
+/// holds samples whose bit width is k, i.e. [2^(k-1), 2^k).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void record(std::uint64_t sample);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Owns all counters and histograms. Handles returned by counter() /
+/// histogram() stay valid for the registry's lifetime (the global registry
+/// lives for the whole process).
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Finds or creates; thread-safe.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] std::vector<const Counter*> counters() const;
+  [[nodiscard]] std::vector<const Histogram*> histograms() const;
+
+  /// Zeroes every counter and histogram (handles stay valid).
+  void resetAll();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl();
+  const Impl& impl() const;
+};
+
+/// Convenience lookups against the global registry.
+Counter& counter(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Records the time from construction to destruction into a histogram
+/// (nanoseconds). Captures nothing when the layer is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : hist_(enabled() ? &h : nullptr),
+        start_(hist_ ? monotonicNanos() : 0) {}
+  ~ScopedTimer() {
+    if (hist_) hist_->record(monotonicNanos() - start_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_;
+};
+
+}  // namespace flames::obs

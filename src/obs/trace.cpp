@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace flames::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+// Small stable per-thread ids (0, 1, 2, ...) instead of opaque native
+// handles, so traces from repeated runs line up.
+std::uint64_t threadIndex() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local int t_depth = 0;
+
+}  // namespace
+
+bool tracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void setTracing(bool on) {
+  g_tracing.store(on, std::memory_order_relaxed);
+  if (on) setEnabled(true);
+}
+
+Tracer& Tracer::global() {
+  // Immortal for the same reason as Registry::global(): spans and atexit
+  // exporters may outlive any particular static-destruction order.
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+Span::Span(std::string_view name, std::string_view category)
+    : active_(tracingEnabled()) {
+  if (!active_) return;
+  name_ = name;
+  category_ = category;
+  depth_ = t_depth++;
+  start_ = monotonicNanos();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --t_depth;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = std::move(category_);
+  e.startNs = start_;
+  e.durationNs = monotonicNanos() - start_;
+  e.depth = depth_;
+  e.tid = threadIndex();
+  Tracer::global().record(std::move(e));
+}
+
+}  // namespace flames::obs

@@ -1,0 +1,77 @@
+// Hierarchical span tracing for the diagnosis pipeline (paper Fig. 3).
+//
+// A Span marks one stage (propagation, candidate generation, a probe
+// iteration, ...) from construction to destruction. Nesting is tracked per
+// thread, so a trace of diagnose() reads as a tree: the "diagnose" span
+// contains one child per pipeline stage. Completed spans accumulate in the
+// global Tracer and export as Chrome trace_event JSON (obs/export.h),
+// loadable in chrome://tracing or Perfetto.
+//
+// Tracing has its own switch on top of obs::enabled(): counters are cheap
+// enough for production, a growing event buffer is not. A disabled Span
+// costs one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace flames::obs {
+
+/// Whether spans record into the global tracer. Off by default; turning it
+/// on also enables the counter/histogram layer (a trace without its
+/// counters is half a picture).
+[[nodiscard]] bool tracingEnabled();
+void setTracing(bool on);
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t startNs = 0;  ///< monotonic clock
+  std::uint64_t durationNs = 0;
+  int depth = 0;          ///< nesting level at the recording thread
+  std::uint64_t tid = 0;  ///< recording thread (stable small index)
+};
+
+/// Collects completed spans. Thread-safe; events are appended on span end.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void record(TraceEvent event);
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  Tracer() = default;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Records into Tracer::global() iff tracing was enabled at
+/// construction time.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "flames");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is actually recording.
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_;
+  int depth_ = 0;
+  std::uint64_t start_ = 0;
+  std::string name_;
+  std::string category_;
+};
+
+}  // namespace flames::obs

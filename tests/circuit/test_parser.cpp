@@ -27,9 +27,9 @@ TEST(EngineeringValue, Suffixes) {
 }
 
 TEST(EngineeringValue, Garbage) {
-  EXPECT_THROW(parseEngineeringValue(""), std::invalid_argument);
-  EXPECT_THROW(parseEngineeringValue("abc"), std::invalid_argument);
-  EXPECT_THROW(parseEngineeringValue("1x"), std::invalid_argument);
+  EXPECT_THROW((void)parseEngineeringValue(""), std::invalid_argument);
+  EXPECT_THROW((void)parseEngineeringValue("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parseEngineeringValue("1x"), std::invalid_argument);
 }
 
 TEST(Parser, DividerRoundTrip) {
@@ -102,7 +102,7 @@ TEST(Parser, CaseInsensitiveKindLetter) {
 
 TEST(Parser, ErrorsCarryLineNumbers) {
   try {
-    parseNetlistString("V1 a 0 1\nR1 a 0\n");
+    (void)parseNetlistString("V1 a 0 1\nR1 a 0\n");
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_EQ(e.line(), 2u);

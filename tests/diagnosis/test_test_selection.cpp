@@ -33,9 +33,9 @@ TEST(TestSelector, SuspicionMapsToLinguisticTerms) {
   TestSelector sel(n);
   const auto est = sel.estimationsFromSuspicion({{"R1", 1.0}, {"R2", 0.5}});
   for (const auto& e : est) {
-    if (e.component == "R1") EXPECT_EQ(e.term, "faulty");
-    if (e.component == "R2") EXPECT_EQ(e.term, "unknown");
-    if (e.component == "R3") EXPECT_EQ(e.term, "correct");
+    if (e.component == "R1") { EXPECT_EQ(e.term, "faulty"); }
+    if (e.component == "R2") { EXPECT_EQ(e.term, "unknown"); }
+    if (e.component == "R3") { EXPECT_EQ(e.term, "correct"); }
   }
 }
 

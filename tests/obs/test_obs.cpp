@@ -1,0 +1,142 @@
+// Registry, counter, histogram and scoped-timer semantics of flames::obs.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace obs = flames::obs;
+
+namespace {
+
+// Every test starts from a disabled layer and zeroed registry, and leaves
+// the layer disabled (the global flag is process-wide).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(false);
+    obs::Registry::global().resetAll();
+  }
+  void TearDown() override {
+    obs::setEnabled(false);
+    obs::Registry::global().resetAll();
+  }
+};
+
+TEST_F(ObsTest, DisabledByDefaultAndCountersAreNoOps) {
+  EXPECT_FALSE(obs::enabled());
+  obs::Counter& c = obs::counter("test.noop");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, EnabledCounterAccumulates) {
+  obs::setEnabled(true);
+  obs::Counter& c = obs::counter("test.accumulate");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, RegistryFindsOrCreatesStableHandles) {
+  obs::Counter& a = obs::counter("test.same");
+  obs::Counter& b = obs::counter("test.same");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& ha = obs::histogram("test.hist.same");
+  obs::Histogram& hb = obs::histogram("test.hist.same");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST_F(ObsTest, RegistryListsSortedByName) {
+  obs::counter("test.zz");
+  obs::counter("test.aa");
+  const auto counters = obs::Registry::global().counters();
+  ASSERT_GE(counters.size(), 2u);
+  for (std::size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_LT(counters[i - 1]->name(), counters[i]->name());
+  }
+}
+
+TEST_F(ObsTest, HistogramTracksCountSumMinMaxMean) {
+  obs::setEnabled(true);
+  obs::Histogram& h = obs::histogram("test.hist.stats");
+  h.record(10);
+  h.record(30);
+  h.record(20);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 60u);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 30u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+}
+
+TEST_F(ObsTest, HistogramIgnoresSamplesWhileDisabled) {
+  obs::Histogram& h = obs::histogram("test.hist.disabled");
+  h.record(1234);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsArePowersOfTwo) {
+  obs::setEnabled(true);
+  obs::Histogram& h = obs::histogram("test.hist.buckets");
+  h.record(0);   // bucket 0 (bit width 0)
+  h.record(1);   // bucket 1
+  h.record(2);   // bucket 2: [2,4)
+  h.record(3);   // bucket 2
+  h.record(4);   // bucket 3: [4,8)
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 1u);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  obs::Histogram& h = obs::histogram("test.timer");
+  { obs::ScopedTimer t(h); }
+  EXPECT_EQ(h.snapshot().count, 0u);
+
+  obs::setEnabled(true);
+  { obs::ScopedTimer t(h); }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST_F(ObsTest, MonotonicNanosNeverGoesBackwards) {
+  std::uint64_t prev = obs::monotonicNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = obs::monotonicNanos();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST_F(ObsTest, ResetAllZeroesEverything) {
+  obs::setEnabled(true);
+  obs::counter("test.reset.c").add(5);
+  obs::histogram("test.reset.h").record(5);
+  obs::Registry::global().resetAll();
+  EXPECT_EQ(obs::counter("test.reset.c").value(), 0u);
+  EXPECT_EQ(obs::histogram("test.reset.h").snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  obs::setEnabled(true);
+  obs::Counter& c = obs::counter("test.threads");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// End-to-end obs coverage: the propagator's step counter must agree with
+// Propagator::steps() on the paper's Fig. 2 circuit, and a traced diagnose()
+// must produce a span (and a StageTiming row) for every Fig. 3 pipeline
+// stage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "circuit/catalog.h"
+#include "circuit/mna.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/report.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace obs = flames::obs;
+
+namespace {
+
+class ObsPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { resetAll(); }
+  void TearDown() override { resetAll(); }
+  static void resetAll() {
+    obs::setTracing(false);
+    obs::setEnabled(false);
+    obs::Registry::global().resetAll();
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsPipelineTest, StepCounterMatchesPropagatorStepsOnFig2) {
+  obs::setEnabled(true);
+  const auto built =
+      flames::constraints::buildDiagnosticModel(flames::circuit::paperFig2Chain());
+  flames::constraints::Propagator prop(built.model);
+  // The masking case of Fig. 2: Vc measured at 5.6 V against nominal 6 V.
+  prop.addMeasurement(built.voltage("C"),
+                      flames::fuzzy::FuzzyInterval::about(5.6, 0.05));
+  const std::uint64_t before = obs::counter("propagator.steps").value();
+  prop.run();
+  const std::uint64_t after = obs::counter("propagator.steps").value();
+  EXPECT_GT(prop.steps(), 0u);
+  EXPECT_EQ(after - before, prop.steps());
+}
+
+TEST_F(ObsPipelineTest, StepCounterFrozenWhileDisabled) {
+  const auto built =
+      flames::constraints::buildDiagnosticModel(flames::circuit::paperFig2Chain());
+  flames::constraints::Propagator prop(built.model);
+  prop.addMeasurement(built.voltage("C"),
+                      flames::fuzzy::FuzzyInterval::about(5.6, 0.05));
+  prop.run();
+  EXPECT_GT(prop.steps(), 0u);
+  EXPECT_EQ(obs::counter("propagator.steps").value(), 0u);
+}
+
+// One engine run on a faulted divider; cheap but exercises every stage.
+flames::diagnosis::DiagnosisReport diagnoseShortedDivider() {
+  flames::circuit::Netlist net;
+  net.addVSource("V1", "in", "0", 10.0);
+  net.addResistor("R1", "in", "mid", 1.0, 0.05);
+  net.addResistor("R2", "mid", "0", 1.0, 0.05);
+  flames::diagnosis::FlamesEngine engine(net);
+  const flames::circuit::Netlist faulted = flames::circuit::applyFaults(
+      net, {flames::circuit::Fault::shortCircuit("R2")});
+  engine.measure("mid", flames::circuit::DcSolver(faulted).solve().v(
+                            faulted.findNode("mid")));
+  return engine.diagnose();
+}
+
+TEST_F(ObsPipelineTest, ReportStatsAbsentWhenDisabled) {
+  const auto report = diagnoseShortedDivider();
+  EXPECT_FALSE(report.stats.has_value());
+}
+
+const std::vector<std::string>& fig3Stages() {
+  static const std::vector<std::string> kStages = {
+      "propagation",     "conflict_recording", "candidate_generation",
+      "refinement",      "ranking",            "rule_evaluation",
+      "deviation_analysis", "experience_hints"};
+  return kStages;
+}
+
+TEST_F(ObsPipelineTest, ReportStatsCoverEveryPipelineStage) {
+  obs::setEnabled(true);
+  const auto report = diagnoseShortedDivider();
+  ASSERT_TRUE(report.stats.has_value());
+  const flames::diagnosis::PipelineStats& stats = *report.stats;
+  for (const std::string& stage : fig3Stages()) {
+    const bool present = std::any_of(
+        stats.stages.begin(), stats.stages.end(),
+        [&](const flames::diagnosis::StageTiming& t) {
+          return t.stage == stage;
+        });
+    EXPECT_TRUE(present) << "missing stage: " << stage;
+  }
+  EXPECT_EQ(stats.propagationSteps, report.propagationSteps);
+  EXPECT_GT(stats.coincidences, 0u);
+  EXPECT_GT(stats.nogoodsRecorded, 0u);
+  EXPECT_GT(stats.candidatesGenerated, 0u);
+  EXPECT_GT(stats.faultModeScreens, 0u);
+  EXPECT_EQ(stats.dcTableRows, report.measurements.size());
+  EXPECT_GT(stats.totalNanos, 0u);
+  // The stats block renders in the human-readable report.
+  const std::string rendered = flames::diagnosis::renderReport(report);
+  EXPECT_NE(rendered.find("pipeline stats"), std::string::npos);
+  EXPECT_NE(rendered.find("stage propagation"), std::string::npos);
+}
+
+TEST_F(ObsPipelineTest, TracedDiagnoseEmitsSpanPerStage) {
+  obs::setTracing(true);
+  (void)diagnoseShortedDivider();
+  const auto events = obs::Tracer::global().snapshot();
+  auto hasSpan = [&](const std::string& name) {
+    return std::any_of(events.begin(), events.end(),
+                       [&](const obs::TraceEvent& e) { return e.name == name; });
+  };
+  EXPECT_TRUE(hasSpan("diagnose"));
+  EXPECT_TRUE(hasSpan("propagation.run"));
+  for (const std::string& stage : fig3Stages()) {
+    EXPECT_TRUE(hasSpan(stage)) << "missing span: " << stage;
+  }
+  // Stage spans nest under the diagnose span.
+  const auto diagnose = std::find_if(
+      events.begin(), events.end(),
+      [](const obs::TraceEvent& e) { return e.name == "diagnose"; });
+  const auto propagation = std::find_if(
+      events.begin(), events.end(),
+      [](const obs::TraceEvent& e) { return e.name == "propagation"; });
+  ASSERT_NE(diagnose, events.end());
+  ASSERT_NE(propagation, events.end());
+  EXPECT_GT(propagation->depth, diagnose->depth);
+}
+
+TEST_F(ObsPipelineTest, EngineCountersAccumulateAcrossLayers) {
+  obs::setEnabled(true);
+  (void)diagnoseShortedDivider();
+  EXPECT_GT(obs::counter("propagator.steps").value(), 0u);
+  EXPECT_GT(obs::counter("propagator.entries_added").value(), 0u);
+  EXPECT_GT(obs::counter("propagator.coincidences").value(), 0u);
+  EXPECT_GT(obs::counter("propagator.nogoods_recorded").value(), 0u);
+  EXPECT_GT(obs::counter("atms.environments_created").value(), 0u);
+  EXPECT_GT(obs::counter("atms.subsumption_checks").value(), 0u);
+  EXPECT_GT(obs::counter("flames.diagnose_calls").value(), 0u);
+  // A fault was injected, so at least one nogood landed in a degree bucket.
+  const std::uint64_t bucketed =
+      obs::counter("atms.nogoods.hard").value() +
+      obs::counter("atms.nogoods.strong").value() +
+      obs::counter("atms.nogoods.weak").value();
+  EXPECT_GT(bucketed, 0u);
+  const std::string metrics = obs::renderMetrics();
+  EXPECT_NE(metrics.find("propagator.steps"), std::string::npos);
+  EXPECT_NE(metrics.find("propagator.queue_depth"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Span nesting and Chrome trace-event JSON export.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+
+namespace obs = flames::obs;
+
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setTracing(false);
+    obs::setEnabled(false);
+    obs::Tracer::global().clear();
+  }
+  void TearDown() override {
+    obs::setTracing(false);
+    obs::setEnabled(false);
+    obs::Tracer::global().clear();
+  }
+};
+
+// A minimal structural JSON check: balanced brackets/braces outside string
+// literals, with escape handling. Not a full parser, but catches the
+// malformed-output class of bugs (dangling commas are caught separately).
+bool jsonStructureBalanced(const std::string& s) {
+  int depth = 0;
+  bool inString = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (inString) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': inString = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !inString;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    obs::Span outer("outer");
+    obs::Span inner("inner");
+  }
+  EXPECT_EQ(obs::Tracer::global().size(), 0u);
+}
+
+TEST_F(TraceTest, SettingTracingAlsoEnablesMetrics) {
+  obs::setTracing(true);
+  EXPECT_TRUE(obs::tracingEnabled());
+  EXPECT_TRUE(obs::enabled());
+}
+
+TEST_F(TraceTest, SpansNestAndRecordDepth) {
+  obs::setTracing(true);
+  {
+    obs::Span outer("outer");
+    { obs::Span inner("inner"); }
+    { obs::Span sibling("sibling"); }
+  }
+  const auto events = obs::Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Children complete before the parent.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+  // The parent's interval contains the children's.
+  EXPECT_LE(events[2].startNs, events[0].startNs);
+  EXPECT_GE(events[2].startNs + events[2].durationNs,
+            events[1].startNs + events[1].durationNs);
+}
+
+TEST_F(TraceTest, SpanActiveReflectsTracingStateAtConstruction) {
+  {
+    obs::Span off("off");
+    EXPECT_FALSE(off.active());
+  }
+  obs::setTracing(true);
+  {
+    obs::Span on("on");
+    EXPECT_TRUE(on.active());
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  obs::setTracing(true);
+  {
+    obs::Span outer("diagnose");
+    obs::Span inner("propagation");
+  }
+  std::ostringstream os;
+  obs::writeChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(jsonStructureBalanced(json)) << json;
+  EXPECT_EQ(json.front(), '[');
+  // No dangling commas before closers.
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  // Both spans and the required trace_event keys are present.
+  EXPECT_NE(json.find("\"name\":\"diagnose\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"propagation\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream os;
+  obs::writeChromeTrace(os);
+  EXPECT_TRUE(jsonStructureBalanced(os.str()));
+}
+
+TEST_F(TraceTest, SpanNamesAreJsonEscaped) {
+  obs::setTracing(true);
+  { obs::Span weird("he said \"hi\"\nand left\\"); }
+  std::ostringstream os;
+  obs::writeChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(jsonStructureBalanced(json)) << json;
+  EXPECT_NE(json.find("he said \\\"hi\\\"\\nand left\\\\"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::jsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(obs::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST_F(TraceTest, ClearEmptiesTheTracer) {
+  obs::setTracing(true);
+  { obs::Span s("x"); }
+  EXPECT_EQ(obs::Tracer::global().size(), 1u);
+  obs::Tracer::global().clear();
+  EXPECT_EQ(obs::Tracer::global().size(), 0u);
+}
+
+}  // namespace
