@@ -1,0 +1,122 @@
+// Service-layer scaling: batch-diagnosis throughput as the worker pool
+// grows from 1 to N on a fixed request stream (cache-warm, one netlist).
+// The per-worker counters in the labels confirm the compiled model is
+// built at most once per distinct netlist regardless of concurrency.
+#include <benchmark/benchmark.h>
+
+#include "obs_optin.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+
+struct Stream {
+  std::shared_ptr<const circuit::Netlist> net;
+  std::vector<workload::TrafficItem> traffic;
+};
+
+const Stream& ladderStream() {
+  static const Stream s = [] {
+    Stream st;
+    st.net = std::make_shared<const circuit::Netlist>(
+        workload::resistorLadder(4));
+    st.traffic = workload::synthesizeTraffic(
+        *st.net, workload::tapsOf(*st.net, "t"), 32, 7);
+    return st;
+  }();
+  return s;
+}
+
+/// One batch: submit every traffic item, wait for all results.
+void runBatch(service::DiagnosisService& svc, const Stream& stream,
+              std::size_t* cacheMisses) {
+  std::vector<service::JobHandle> handles;
+  handles.reserve(stream.traffic.size());
+  for (const auto& item : stream.traffic) {
+    service::DiagnosisRequest req;
+    req.netlist = stream.net;
+    for (const auto& r : item.readings) {
+      req.measurements.push_back(service::crispMeasurement(r.node, r.volts));
+    }
+    handles.push_back(svc.submit(req));
+  }
+  for (const auto& h : handles) {
+    benchmark::DoNotOptimize(h->wait().status);
+  }
+  *cacheMisses = svc.stats().modelCache.misses;
+}
+
+/// Throughput of the full submit->diagnose->resolve path at Arg(0) workers.
+/// The model cache is warmed before timing so the measurement isolates the
+/// concurrent diagnosis pipeline, not the one-off model build.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const Stream& stream = ladderStream();
+  service::ServiceOptions sopts;
+  sopts.workers = static_cast<std::size_t>(state.range(0));
+  service::DiagnosisService svc(sopts);
+
+  // Warm the compiled-model cache (exactly one build).
+  std::size_t misses = 0;
+  runBatch(svc, stream, &misses);
+
+  std::size_t batches = 0;
+  for (auto _ : state) {
+    runBatch(svc, stream, &misses);
+    ++batches;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      batches * stream.traffic.size()));
+  state.counters["jobs_per_batch"] =
+      static_cast<double>(stream.traffic.size());
+  // One distinct netlist => at most one build, however many workers raced.
+  state.counters["model_builds"] = static_cast<double>(misses);
+  state.SetLabel("workers=" + std::to_string(state.range(0)) +
+                 " model_builds=" + std::to_string(misses));
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of a model-cache hit: the steady-state lookup on the submit path.
+void BM_ModelCacheHit(benchmark::State& state) {
+  const Stream& stream = ladderStream();
+  service::ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  (void)cache.get(stream.net, opts);  // warm
+  for (auto _ : state) {
+    bool hit = false;
+    benchmark::DoNotOptimize(cache.get(stream.net, opts, &hit));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModelCacheHit);
+
+/// Cost of a model-cache miss: full diagnostic model compilation (MNA
+/// solve, constraint emission, KB assembly) for a ladder of Arg(0)
+/// sections. This is the latency the cache spares every job but the first.
+void BM_ModelCacheMiss(benchmark::State& state) {
+  const auto net = std::make_shared<const circuit::Netlist>(
+      workload::resistorLadder(static_cast<std::size_t>(state.range(0))));
+  diagnosis::FlamesOptions opts;
+  for (auto _ : state) {
+    service::ModelCache cache(1);
+    benchmark::DoNotOptimize(cache.get(net, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModelCacheMiss)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

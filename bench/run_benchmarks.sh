@@ -2,8 +2,11 @@
 # Runs the whole bench suite and collects the results into one
 # BENCH_<date>.json, so successive runs can be diffed for regressions.
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+# Usage: bench/run_benchmarks.sh [--filter=<regex>] [build-dir] [output.json]
 #
+#   --filter=R   passed to every bench binary as --benchmark_filter=R;
+#                binaries whose benchmarks all filter out are skipped in
+#                the merged output
 #   build-dir    directory holding the bench binaries (default: build)
 #   output.json  merged output file (default: BENCH_<yyyy-mm-dd>.json)
 #
@@ -12,6 +15,11 @@
 # FLAMES_OBS=1 (or 2) to benchmark the instrumented paths instead of the
 # disabled-observability default.
 set -eu
+
+filter=
+case "${1:-}" in
+  --filter=*) filter=${1#--filter=}; shift ;;
+esac
 
 build_dir=${1:-build}
 out=${2:-BENCH_$(date +%F).json}
@@ -31,7 +39,12 @@ for bin in "$bench_dir"/bench_*; do
   found=1
   name=$(basename "$bin")
   echo "== $name"
-  "$bin" --benchmark_format=json >"$tmp/$name.json"
+  if [ -n "$filter" ]; then
+    "$bin" --benchmark_format=json "--benchmark_filter=$filter" \
+      >"$tmp/$name.json"
+  else
+    "$bin" --benchmark_format=json >"$tmp/$name.json"
+  fi
 done
 
 if [ "$found" = 0 ]; then
@@ -50,9 +63,15 @@ for path in sorted(pathlib.Path(tmp).glob("*.json")):
     # anchor on the document's own delimiters: the first line that is
     # exactly "{" and the last that is exactly "}".
     lines = text.splitlines()
-    start = next(i for i, l in enumerate(lines) if l.strip() == "{")
+    # A --filter that matches nothing leaves no JSON document at all.
+    starts = [i for i, l in enumerate(lines) if l.strip() == "{"]
+    if not starts:
+        continue
     end = max(i for i, l in enumerate(lines) if l.strip() == "}")
-    merged[path.stem] = json.loads("\n".join(lines[start : end + 1]))
+    doc = json.loads("\n".join(lines[starts[0] : end + 1]))
+    if not doc.get("benchmarks"):
+        continue  # everything filtered out by --filter
+    merged[path.stem] = doc
 pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
 print(f"wrote {out} ({len(merged)} suites)")
 EOF

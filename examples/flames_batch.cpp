@@ -1,0 +1,181 @@
+// flames_batch — replay a synthetic fault-scenario stream through the
+// concurrent batch-diagnosis service and report throughput, latency
+// percentiles and model-cache effectiveness.
+//
+//   flames_batch [--workers=N] [--jobs=N] [--sections=N] [--seed=N]
+//                [--noise=V] [--deadline-ms=N] [--obs]
+//
+// The workload is workload::synthesizeTraffic over a resistor ladder: each
+// item is one board on the bench with a sampled injected fault and the
+// probe readings it produces. All items share one netlist, so after the
+// first job compiles the diagnostic model every later job should hit the
+// cache — the printed hit/miss counters verify that.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "service/service.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+
+struct Args {
+  std::size_t workers = 4;
+  std::size_t jobs = 64;
+  std::size_t sections = 4;
+  std::uint32_t seed = 42;
+  double noise = 0.0;
+  long deadlineMs = 0;
+  bool obs = false;
+};
+
+bool parseSize(const std::string& arg, const std::string& key,
+               std::size_t* out) {
+  const std::string prefix = "--" + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = static_cast<std::size_t>(std::stoul(arg.substr(prefix.size())));
+  return true;
+}
+
+Args parseArgs(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t v = 0;
+    if (parseSize(arg, "workers", &a.workers) ||
+        parseSize(arg, "jobs", &a.jobs) ||
+        parseSize(arg, "sections", &a.sections)) {
+      continue;
+    }
+    if (parseSize(arg, "seed", &v)) {
+      a.seed = static_cast<std::uint32_t>(v);
+    } else if (arg.rfind("--noise=", 0) == 0) {
+      a.noise = std::stod(arg.substr(8));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      a.deadlineMs = std::stol(arg.substr(14));
+    } else if (arg == "--obs") {
+      a.obs = true;
+    } else {
+      std::cerr << "flames_batch: unknown argument " << arg << "\n"
+                << "usage: flames_batch [--workers=N] [--jobs=N] "
+                   "[--sections=N] [--seed=N] [--noise=V] [--deadline-ms=N] "
+                   "[--obs]\n";
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  if (args.obs) obs::setEnabled(true);
+
+  // The unit type under test and the request stream against it.
+  const auto net = std::make_shared<const circuit::Netlist>(
+      workload::resistorLadder(args.sections));
+  const auto probes = workload::tapsOf(*net, "t");
+  const auto traffic =
+      workload::synthesizeTraffic(*net, probes, args.jobs, args.seed,
+                                  args.noise);
+  if (traffic.empty()) {
+    std::cerr << "flames_batch: no convergent scenarios sampled\n";
+    return 1;
+  }
+
+  service::ServiceOptions sopts;
+  sopts.workers = args.workers;
+  service::DiagnosisService svc(sopts);
+
+  std::cout << "flames_batch: " << traffic.size() << " jobs, "
+            << svc.workerCount() << " workers, ladder(" << args.sections
+            << ")\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<service::JobHandle> handles;
+  handles.reserve(traffic.size());
+  for (const auto& item : traffic) {
+    service::DiagnosisRequest req;
+    req.netlist = net;
+    for (const auto& r : item.readings) {
+      req.measurements.push_back(service::crispMeasurement(r.node, r.volts));
+    }
+    if (args.deadlineMs > 0) {
+      req.deadline = std::chrono::milliseconds(args.deadlineMs);
+    }
+    handles.push_back(svc.submit(req));
+  }
+
+  std::size_t done = 0, failed = 0, expired = 0, detected = 0;
+  std::vector<double> latenciesMs;
+  latenciesMs.reserve(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const service::JobResult& r = handles[i]->wait();
+    switch (r.status) {
+      case service::JobStatus::kDone:
+        ++done;
+        if (r.report.faultDetected()) ++detected;
+        break;
+      case service::JobStatus::kDeadlineExceeded:
+        ++expired;
+        break;
+      default:
+        ++failed;
+        std::cerr << "  job " << i << " ("
+                  << traffic[i].scenario.description
+                  << "): " << service::jobStatusName(r.status) << " "
+                  << r.error << "\n";
+        break;
+    }
+    latenciesMs.push_back(
+        static_cast<double>(r.queueNanos + r.runNanos) / 1e6);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wallSec =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  std::sort(latenciesMs.begin(), latenciesMs.end());
+  const auto stats = svc.stats();
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "  done " << done << ", failed " << failed << ", expired "
+            << expired << " (fault detected in " << detected << ")\n";
+  std::cout << "  wall " << wallSec * 1e3 << " ms, throughput "
+            << static_cast<double>(handles.size()) / wallSec << " jobs/s\n";
+  std::cout << "  latency ms  p50 " << percentile(latenciesMs, 0.50)
+            << "  p90 " << percentile(latenciesMs, 0.90) << "  p99 "
+            << percentile(latenciesMs, 0.99) << "  max "
+            << (latenciesMs.empty() ? 0.0 : latenciesMs.back()) << "\n";
+  std::cout << "  model cache: " << stats.modelCache.hits << " hits, "
+            << stats.modelCache.misses << " misses, "
+            << stats.modelCache.evictions << " evictions (size "
+            << stats.modelCache.size << ")\n";
+
+  if (args.obs) {
+    std::cout << "\n";
+    for (const auto* c : obs::Registry::global().counters()) {
+      if (c->value() != 0 && c->name().rfind("service.", 0) == 0) {
+        std::cout << "  " << c->name() << " = " << c->value() << "\n";
+      }
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}

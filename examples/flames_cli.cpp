@@ -106,12 +106,14 @@ int main(int argc, char** argv) {
     diagnosis::FlamesEngine engine(net);
     if (haveExperience) {
       const std::string& path = cli.positional[2];
-      try {
-        const std::size_t n =
-            diagnosis::loadExperienceFile(engine.experience(), path);
-        std::cout << "loaded " << n << " learned rule(s) from " << path
+      // A missing file is a normal first run; an unreadable or corrupt one
+      // aborts before diagnose() so the save below cannot clobber it.
+      const auto n =
+          diagnosis::loadExperienceFileIfExists(engine.experience(), path);
+      if (n.has_value()) {
+        std::cout << "loaded " << *n << " learned rule(s) from " << path
                   << "\n";
-      } catch (const std::runtime_error&) {
+      } else {
         std::cout << "starting a fresh experience base at " << path << "\n";
       }
     }

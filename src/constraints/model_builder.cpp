@@ -312,6 +312,10 @@ BuiltModel buildDiagnosticModel(const Netlist& net, ModelBuildOptions options) {
     }
   }
 
+  // Materialise the lazily built incidence index now: a compiled model is
+  // shared read-only across concurrent Propagators (service layer), and the
+  // first constraintsOn() call must not race.
+  built.model.warmIncidence();
   return built;
 }
 

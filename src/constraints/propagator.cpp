@@ -133,17 +133,20 @@ void Model::addPrediction(QuantityId q, FuzzyInterval value, Environment env,
 }
 
 const std::vector<std::size_t>& Model::constraintsOn(QuantityId q) const {
-  if (incidenceDirty_) {
-    incidence_.assign(quantities_.size(), {});
-    for (std::size_t ci = 0; ci < constraints_.size(); ++ci) {
-      for (QuantityId v : constraints_[ci]->variables()) {
-        incidence_[v].push_back(ci);
-      }
-    }
-    incidenceDirty_ = false;
-  }
+  warmIncidence();
   if (q >= incidence_.size()) throw std::out_of_range("Model::constraintsOn");
   return incidence_[q];
+}
+
+void Model::warmIncidence() const {
+  if (!incidenceDirty_) return;
+  incidence_.assign(quantities_.size(), {});
+  for (std::size_t ci = 0; ci < constraints_.size(); ++ci) {
+    for (QuantityId v : constraints_[ci]->variables()) {
+      incidence_[v].push_back(ci);
+    }
+  }
+  incidenceDirty_ = false;
 }
 
 // --- Propagator --------------------------------------------------------------
@@ -185,6 +188,11 @@ void Propagator::run() {
   completed_ = true;
   const bool sampling = obs::enabled();
   while (!queue_.empty()) {
+    if (options_.cancelCheck && options_.cancelCheck()) {
+      completed_ = false;
+      queue_.clear();
+      throw CancelledError("propagation cancelled");
+    }
     if (sampling) {
       cSteps().add();
       hQueueDepth().record(queue_.size());

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -74,8 +76,17 @@ class Model {
   }
 
   /// Constraint indices touching each quantity (built lazily on demand).
+  /// NOT safe to call concurrently while the index is stale — call
+  /// warmIncidence() after the last mutation if the model will be shared
+  /// across threads.
   [[nodiscard]] const std::vector<std::size_t>& constraintsOn(
       QuantityId q) const;
+
+  /// Materialises the quantity->constraint incidence index so that all
+  /// subsequent const access is read-only. A fully built model on which
+  /// warmIncidence() has run can back any number of concurrent Propagators
+  /// (buildDiagnosticModel() does this before returning).
+  void warmIncidence() const;
 
  private:
   std::vector<Quantity> quantities_;
@@ -120,6 +131,18 @@ struct PropagatorOptions {
   /// paths; the floor keeps those out of the nogood database.)
   double minNogoodDegree = 0.05;
   std::size_t maxSteps = 500000;
+  /// Cooperative cancellation hook, polled once per propagation step (the
+  /// granularity at which a runaway diagnosis can be abandoned). When it
+  /// returns true, run() throws CancelledError. Null = never cancelled.
+  /// The service layer points this at a per-job deadline/cancel flag.
+  std::function<bool()> cancelCheck;
+};
+
+/// Thrown by Propagator::run() (and propagated through diagnoseWith) when
+/// PropagatorOptions::cancelCheck reports cancellation mid-flight.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// The propagation engine.

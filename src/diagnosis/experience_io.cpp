@@ -1,5 +1,6 @@
 #include "diagnosis/experience_io.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -67,6 +68,13 @@ std::size_t loadExperienceFile(ExperienceBase& base, const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("loadExperienceFile: cannot open " + path);
   return loadExperience(base, is);
+}
+
+std::optional<std::size_t> loadExperienceFileIfExists(ExperienceBase& base,
+                                                      const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  return loadExperienceFile(base, path);
 }
 
 }  // namespace flames::diagnosis

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "diagnosis/learning.h"
@@ -29,5 +30,13 @@ std::size_t loadExperience(ExperienceBase& base, std::istream& is);
 /// Convenience file wrappers; throw std::runtime_error on I/O failure.
 void saveExperienceFile(const ExperienceBase& base, const std::string& path);
 std::size_t loadExperienceFile(ExperienceBase& base, const std::string& path);
+
+/// Like loadExperienceFile, but a *missing* file is a normal first run:
+/// returns std::nullopt and leaves `base` untouched. A file that exists but
+/// cannot be opened or parsed still throws — silently replacing a corrupt
+/// rule base with an empty one would destroy curated experience on the
+/// next save.
+std::optional<std::size_t> loadExperienceFileIfExists(ExperienceBase& base,
+                                                      const std::string& path);
 
 }  // namespace flames::diagnosis

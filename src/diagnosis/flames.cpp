@@ -73,7 +73,20 @@ void FlamesEngine::measure(const std::string& node, FuzzyInterval value) {
 
 void FlamesEngine::clearMeasurements() { observations_.clear(); }
 
-DiagnosisReport FlamesEngine::diagnose() {
+DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
+                             const std::vector<Observation>& observations) {
+  const circuit::Netlist& net = *ctx.net;
+  const constraints::BuiltModel& built = *ctx.built;
+  const FlamesOptions& options = *ctx.options;
+  // Cooperative cancellation: the propagator polls the hook every step; the
+  // slower non-propagation stages (one simulation search per fault-mode
+  // screen) poll it here between units of work.
+  const auto checkCancel = [&options] {
+    if (options.propagation.cancelCheck && options.propagation.cancelCheck()) {
+      throw constraints::CancelledError("diagnosis cancelled");
+    }
+  };
+
   DiagnosisReport report;
 
   obs::Span diagnoseSpan("diagnose", "pipeline");
@@ -88,9 +101,9 @@ DiagnosisReport FlamesEngine::diagnose() {
   PipelineClock clock(stats);
 
   clock.stage("propagation");
-  Propagator prop(built_.model, options_.propagation);
-  for (const Observation& obs : observations_) {
-    prop.addMeasurement(built_.voltage(obs.node), obs.value);
+  Propagator prop(built.model, options.propagation);
+  for (const Observation& obs : observations) {
+    prop.addMeasurement(built.voltage(obs.node), obs.value);
   }
   prop.run();
   report.propagationCompleted = prop.completed();
@@ -102,10 +115,10 @@ DiagnosisReport FlamesEngine::diagnose() {
 
   // --- per-measurement Dc summaries (the Fig. 7 table rows) ---
   clock.stage("conflict_recording");
-  for (const Observation& obs : observations_) {
-    const auto q = built_.voltage(obs.node);
+  for (const Observation& obs : observations) {
+    const auto q = built.voltage(obs.node);
     MeasurementSummary ms;
-    ms.quantity = built_.model.quantityInfo(q).name;
+    ms.quantity = built.model.quantityInfo(q).name;
     ms.measured = obs.value;
     if (const auto worst = prop.worstCoincidence(q)) {
       ms.nominal = worst->nominalSide;
@@ -126,19 +139,19 @@ DiagnosisReport FlamesEngine::diagnose() {
   // --- ranked nogoods ---
   const auto& db = prop.nogoods();
   for (const atms::Nogood& n :
-       db.minimalNogoods(options_.propagation.minNogoodDegree)) {
+       db.minimalNogoods(options.propagation.minNogoodDegree)) {
     RankedNogood rn;
     rn.degree = n.degree;
     rn.note = n.note;
     for (AssumptionId id : n.env.ids()) {
-      rn.components.push_back(built_.model.assumptionName(id));
+      rn.components.push_back(built.model.assumptionName(id));
     }
     report.nogoods.push_back(std::move(rn));
   }
 
   // --- component suspicion ---
   for (const auto& [id, s] : atms::componentSuspicion(db)) {
-    report.suspicion[built_.model.assumptionName(id)] = s;
+    report.suspicion[built.model.assumptionName(id)] = s;
   }
 
   // --- candidates (λ at the weakest recorded conflict => all conflicts
@@ -151,8 +164,8 @@ DiagnosisReport FlamesEngine::diagnose() {
     double best = 0.5;
     bool any = false;
     for (const std::string& comp : comps) {
-      const auto it = options_.expertPriors.find(comp);
-      if (it == options_.expertPriors.end()) continue;
+      const auto it = options.expertPriors.find(comp);
+      if (it == options.expertPriors.end()) continue;
       const double p = scale.meaningOf(it->second).centroid();
       best = any ? std::max(best, p) : p;
       any = true;
@@ -161,8 +174,8 @@ DiagnosisReport FlamesEngine::diagnose() {
   };
 
   const auto candidates =
-      atms::candidatesAt(db, options_.propagation.minNogoodDegree,
-                         options_.maxFaultCardinality);
+      atms::candidatesAt(db, options.propagation.minNogoodDegree,
+                         options.maxFaultCardinality);
   if (stats) stats->candidatesGenerated = candidates.size();
 
   clock.stage("refinement");
@@ -170,13 +183,14 @@ DiagnosisReport FlamesEngine::diagnose() {
     RankedCandidate rc;
     rc.suspicion = c.suspicion;
     for (AssumptionId id : c.members) {
-      rc.components.push_back(built_.model.assumptionName(id));
+      rc.components.push_back(built.model.assumptionName(id));
     }
     rc.prior = priorOf(rc.components);
-    if (options_.refineWithFaultModes && rc.components.size() == 1) {
+    if (options.refineWithFaultModes && rc.components.size() == 1) {
+      checkCancel();
       if (stats) ++stats->faultModeScreens;
-      rc.modeMatch = bestFaultMode(net_, rc.components.front(), observations_,
-                                   options_.faultModes);
+      rc.modeMatch = bestFaultMode(net, rc.components.front(), observations,
+                                   options.faultModes);
       // A candidate that admits a fault mode reproducing every measurement
       // is a strong explanation; one that admits none is implausible.
       rc.plausibility = rc.modeMatch->matchDegree;
@@ -196,13 +210,13 @@ DiagnosisReport FlamesEngine::diagnose() {
   // fault mode can confirm. In that case screen every modelled component
   // against the observations and admit those whose fault modes reproduce
   // them.
-  if (options_.refineWithFaultModes && !report.nogoods.empty()) {
+  if (options.refineWithFaultModes && !report.nogoods.empty()) {
     double bestPlausibility = 0.0;
     for (const RankedCandidate& rc : report.candidates) {
       bestPlausibility = std::max(bestPlausibility, rc.plausibility);
     }
     if (bestPlausibility < 0.5) {
-      for (const auto& [comp, id] : built_.assumptionOf) {
+      for (const auto& [comp, id] : built.assumptionOf) {
         (void)id;
         bool already = false;
         for (const RankedCandidate& rc : report.candidates) {
@@ -211,9 +225,10 @@ DiagnosisReport FlamesEngine::diagnose() {
           }
         }
         if (already) continue;
+        checkCancel();
         if (stats) ++stats->faultModeScreens;
         auto match =
-            bestFaultMode(net_, comp, observations_, options_.faultModes);
+            bestFaultMode(net, comp, observations, options.faultModes);
         if (match.matchDegree >= 0.5) {
           RankedCandidate rc;
           rc.components = {comp};
@@ -266,16 +281,19 @@ DiagnosisReport FlamesEngine::diagnose() {
 
   // --- knowledge-base rules ---
   clock.stage("rule_evaluation");
-  report.ruleActivations = kb_.evaluate(prop);
+  if (ctx.kb != nullptr) report.ruleActivations = ctx.kb->evaluate(prop);
 
   // --- Dc-sign deviation analysis (Fig. 7 commentary) ---
   clock.stage("deviation_analysis");
-  if (options_.analyzeDeviationSigns && !report.nogoods.empty()) {
-    if (!sensitivitySigns_) {
-      sensitivitySigns_.emplace(net_, options_.deviationAnalysis);
-    }
-    report.directedHypotheses = explainBySigns(
-        *sensitivitySigns_, report.signature, options_.deviationAnalysis);
+  if (options.analyzeDeviationSigns && !report.nogoods.empty()) {
+    checkCancel();
+    std::optional<SensitivitySigns> localSigns;
+    const SensitivitySigns& signs =
+        ctx.signsProvider
+            ? ctx.signsProvider()
+            : localSigns.emplace(net, options.deviationAnalysis);
+    report.directedHypotheses =
+        explainBySigns(signs, report.signature, options.deviationAnalysis);
     // Drop non-explanations to keep the report focused.
     report.directedHypotheses.erase(
         std::remove_if(report.directedHypotheses.begin(),
@@ -288,7 +306,7 @@ DiagnosisReport FlamesEngine::diagnose() {
 
   // --- experience hints ---
   clock.stage("experience_hints");
-  report.hints = experience_.match(report.signature);
+  if (ctx.hintSource) report.hints = ctx.hintSource(report.signature);
   for (RankedCandidate& rc : report.candidates) {
     for (const ExperienceHint& h : report.hints) {
       if (rc.components.size() == 1 && rc.components.front() == h.component) {
@@ -304,6 +322,24 @@ DiagnosisReport FlamesEngine::diagnose() {
     stats->totalNanos = obs::monotonicNanos() - wallStart;
   }
   return report;
+}
+
+DiagnosisReport FlamesEngine::diagnose() {
+  DiagnosisContext ctx;
+  ctx.net = &net_;
+  ctx.built = &built_;
+  ctx.kb = &kb_;
+  ctx.options = &options_;
+  ctx.hintSource = [this](const std::vector<Symptom>& signature) {
+    return experience_.match(signature);
+  };
+  ctx.signsProvider = [this]() -> const SensitivitySigns& {
+    if (!sensitivitySigns_) {
+      sensitivitySigns_.emplace(net_, options_.deviationAnalysis);
+    }
+    return *sensitivitySigns_;
+  };
+  return diagnoseWith(ctx, observations_);
 }
 
 void FlamesEngine::confirm(const DiagnosisReport& report,

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -134,6 +135,35 @@ struct DiagnosisReport {
                               : candidates.front().components;
   }
 };
+
+/// Everything one diagnosis run needs, by reference. The pointed-to state is
+/// only *read* during diagnoseWith(), so any number of calls may run
+/// concurrently against the same context — this is the re-entrant core the
+/// batch service fans out over (FlamesEngine::diagnose() is the
+/// single-session wrapper). Shared mutable state (an experience base that
+/// other threads may be writing) is reached only through the hook functions,
+/// which the owner synchronises.
+struct DiagnosisContext {
+  const circuit::Netlist* net = nullptr;
+  const constraints::BuiltModel* built = nullptr;
+  /// Rules to evaluate against the propagation result; null = skip.
+  const KnowledgeBase* kb = nullptr;
+  const FlamesOptions* options = nullptr;
+  /// Maps the session signature to experience hints; null = no hints.
+  /// Owners sharing an experience base across threads lock inside the hook.
+  std::function<std::vector<ExperienceHint>(const std::vector<Symptom>&)>
+      hintSource;
+  /// Supplies the sensitivity-sign matrix for deviation analysis; null =
+  /// build a throwaway matrix on demand (one bump simulation per component,
+  /// so callers that diagnose the same netlist repeatedly should cache it).
+  std::function<const SensitivitySigns&()> signsProvider;
+};
+
+/// Runs the full Fig. 3 pipeline over the observations. Throws
+/// constraints::CancelledError if options->propagation.cancelCheck reports
+/// cancellation (checked every propagation step and between stages).
+[[nodiscard]] DiagnosisReport diagnoseWith(
+    const DiagnosisContext& ctx, const std::vector<Observation>& observations);
 
 /// The expert system.
 class FlamesEngine {

@@ -1,0 +1,168 @@
+#include "service/model_cache.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace flames::service {
+
+namespace {
+
+obs::Counter& cHits() {
+  static obs::Counter& c = obs::counter("service.model_cache.hits");
+  return c;
+}
+obs::Counter& cMisses() {
+  static obs::Counter& c = obs::counter("service.model_cache.misses");
+  return c;
+}
+obs::Counter& cEvictions() {
+  static obs::Counter& c = obs::counter("service.model_cache.evictions");
+  return c;
+}
+obs::Histogram& hBuildNs() {
+  static obs::Histogram& h = obs::histogram("service.model_cache.build_ns");
+  return h;
+}
+
+void putDouble(std::ostream& os, double v) {
+  // max_digits10 round-trips every double, so distinct parameters can never
+  // serialize to the same key.
+  os << std::setprecision(17) << v << ';';
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(std::shared_ptr<const circuit::Netlist> net,
+                             const diagnosis::FlamesOptions& options)
+    : net_(std::move(net)),
+      built_(constraints::buildDiagnosticModel(*net_, options.model)) {
+  if (options.installRegionRules) {
+    diagnosis::addTransistorRegionRules(kb_, *net_, built_);
+  }
+}
+
+const diagnosis::SensitivitySigns& CompiledModel::sensitivitySigns(
+    const diagnosis::DeviationAnalysisOptions& options) const {
+  std::call_once(signsOnce_, [&] { signs_.emplace(*net_, options); });
+  return *signs_;
+}
+
+std::string modelCacheKey(const circuit::Netlist& net,
+                          const diagnosis::FlamesOptions& options) {
+  std::ostringstream os;
+  for (const circuit::Component& c : net.components()) {
+    os << c.name << '|' << circuit::kindName(c.kind) << '|';
+    for (circuit::NodeId pin : c.pins) os << net.nodeName(pin) << ',';
+    os << '|';
+    putDouble(os, c.value);
+    putDouble(os, c.relTol);
+    putDouble(os, c.vbe);
+    putDouble(os, c.vbeSpread);
+    if (c.maxCurrent) {
+      putDouble(os, c.maxCurrent->m1());
+      putDouble(os, c.maxCurrent->m2());
+      putDouble(os, c.maxCurrent->alpha());
+      putDouble(os, c.maxCurrent->beta());
+    }
+    os << '\n';
+  }
+  os << "opts|" << options.model.trustSources << '|'
+     << options.model.addNominalPredictions << '|';
+  putDouble(os, options.model.sensitivityThreshold);
+  putDouble(os, options.model.spreadScale);
+  os << '|' << options.installRegionRules;
+  return os.str();
+}
+
+std::uint64_t modelKeyDigest(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+ModelCache::ModelCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CompiledModel> ModelCache::get(
+    std::shared_ptr<const circuit::Netlist> net,
+    const diagnosis::FlamesOptions& options, bool* cacheHit) {
+  const std::string key = modelCacheKey(*net, options);
+
+  std::promise<std::shared_ptr<const CompiledModel>> promise;
+  ModelFuture future;
+  std::uint64_t slotId = 0;
+  bool builder = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      ++hits_;
+      cHits().add();
+      lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+      future = it->second.future;
+    } else {
+      ++misses_;
+      cMisses().add();
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      slotId = nextSlotId_++;
+      slots_.emplace(key, Slot{future, lru_.begin(), slotId});
+      builder = true;
+      // Evict least-recently-used entries beyond capacity (never the slot
+      // just inserted at the front). Waiters on an evicted in-flight build
+      // keep their shared_future, so eviction is always safe.
+      while (slots_.size() > capacity_ && lru_.back() != key) {
+        slots_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+        cEvictions().add();
+      }
+    }
+    if (cacheHit != nullptr) *cacheHit = !builder;
+  }
+
+  if (builder) {
+    try {
+      const std::uint64_t start = obs::monotonicNanos();
+      auto model = std::make_shared<const CompiledModel>(std::move(net),
+                                                         options);
+      hBuildNs().record(obs::monotonicNanos() - start);
+      promise.set_value(std::move(model));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Drop the failed slot (unless eviction already did, or a retry
+      // replaced it) so the next request for this key can try again.
+      std::lock_guard lock(mutex_);
+      auto it = slots_.find(key);
+      if (it != slots_.end() && it->second.id == slotId) {
+        lru_.erase(it->second.lruIt);
+        slots_.erase(it);
+      }
+    }
+  }
+  return future.get();  // rethrows the builder's exception for every waiter
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard lock(mutex_);
+  ModelCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = slots_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void ModelCache::clear() {
+  std::lock_guard lock(mutex_);
+  slots_.clear();
+  lru_.clear();
+}
+
+}  // namespace flames::service

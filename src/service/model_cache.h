@@ -1,0 +1,123 @@
+// Compiled-model cache for the batch-diagnosis service.
+//
+// Building a diagnostic model is the dominant fixed cost of a diagnosis:
+// the MNA nominal solve, per-component sensitivity perturbations, constraint
+// stamping and prediction construction all happen before the first
+// measurement is looked at. In the service workload (a stream of units of
+// the same few types crossing the bench) that cost is paid once per *unit
+// type*, not once per unit: CompiledModels are cached under a content hash
+// of the netlist plus the build options, shared read-only across workers,
+// and evicted LRU. Concurrent requests for an uncached key are deduplicated
+// so exactly one thread builds while the rest block on the same future.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <future>
+#include <string>
+#include <unordered_map>
+
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "diagnosis/deviation_analysis.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/knowledge_base.h"
+
+namespace flames::service {
+
+/// One unit type compiled for diagnosis: the constraint/prediction model,
+/// the per-netlist knowledge base (operating-region rules — rule quantity
+/// ids are only meaningful against this model, which is why the KB lives
+/// here and not service-wide), and a lazily built sensitivity-sign matrix.
+/// Immutable after construction except the sign matrix, whose one-time
+/// build is serialized by call_once; a CompiledModel therefore backs any
+/// number of concurrent diagnoses.
+class CompiledModel {
+ public:
+  CompiledModel(std::shared_ptr<const circuit::Netlist> net,
+                const diagnosis::FlamesOptions& options);
+
+  [[nodiscard]] const circuit::Netlist& netlist() const { return *net_; }
+  [[nodiscard]] std::shared_ptr<const circuit::Netlist> netlistPtr() const {
+    return net_;
+  }
+  [[nodiscard]] const constraints::BuiltModel& built() const { return built_; }
+  [[nodiscard]] const diagnosis::KnowledgeBase& knowledgeBase() const {
+    return kb_;
+  }
+
+  /// The sensitivity-sign matrix (one bump simulation per component), built
+  /// on first use and reused by every later job on this unit type. The
+  /// first caller's options win; requests sharing a cache entry share their
+  /// build options by construction, and deviation options do not vary
+  /// within a unit type in practice.
+  [[nodiscard]] const diagnosis::SensitivitySigns& sensitivitySigns(
+      const diagnosis::DeviationAnalysisOptions& options) const;
+
+ private:
+  std::shared_ptr<const circuit::Netlist> net_;
+  constraints::BuiltModel built_;
+  diagnosis::KnowledgeBase kb_;
+  mutable std::once_flag signsOnce_;
+  mutable std::optional<diagnosis::SensitivitySigns> signs_;
+};
+
+/// Canonical content key of (netlist, model build options, region-rule
+/// switch). Two requests with equal keys compile to interchangeable models;
+/// the full serialization is used as the map key so hash collisions cannot
+/// alias distinct circuits.
+[[nodiscard]] std::string modelCacheKey(
+    const circuit::Netlist& net, const diagnosis::FlamesOptions& options);
+
+/// FNV-1a digest of a key, for compact logging.
+[[nodiscard]] std::uint64_t modelKeyDigest(const std::string& key);
+
+struct ModelCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// LRU cache of CompiledModels keyed by content. get() blocks until the
+/// model is available (building it on this thread if the key is new);
+/// failures propagate to every waiter and the slot is removed so a later
+/// request can retry. Mirrors hit/miss/eviction counts into flames::obs
+/// ("service.model_cache.*") on top of its always-on local stats.
+class ModelCache {
+ public:
+  explicit ModelCache(std::size_t capacity = 16);
+
+  /// Returns the compiled model for this netlist + options, building it if
+  /// absent. `cacheHit` (optional) reports whether an existing entry (or an
+  /// in-flight build started by another thread) was reused.
+  [[nodiscard]] std::shared_ptr<const CompiledModel> get(
+      std::shared_ptr<const circuit::Netlist> net,
+      const diagnosis::FlamesOptions& options, bool* cacheHit = nullptr);
+
+  [[nodiscard]] ModelCacheStats stats() const;
+  void clear();
+
+ private:
+  using ModelFuture = std::shared_future<std::shared_ptr<const CompiledModel>>;
+  struct Slot {
+    ModelFuture future;
+    std::list<std::string>::iterator lruIt;
+    std::uint64_t id = 0;  ///< generation tag for failure cleanup
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::unordered_map<std::string, Slot> slots_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::uint64_t nextSlotId_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace flames::service

@@ -1,0 +1,286 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace flames::service {
+
+namespace {
+
+obs::Counter& cSubmitted() {
+  static obs::Counter& c = obs::counter("service.jobs.submitted");
+  return c;
+}
+obs::Counter& cCompleted() {
+  static obs::Counter& c = obs::counter("service.jobs.completed");
+  return c;
+}
+obs::Counter& cFailed() {
+  static obs::Counter& c = obs::counter("service.jobs.failed");
+  return c;
+}
+obs::Counter& cCancelled() {
+  static obs::Counter& c = obs::counter("service.jobs.cancelled");
+  return c;
+}
+obs::Counter& cDeadline() {
+  static obs::Counter& c = obs::counter("service.jobs.deadline_exceeded");
+  return c;
+}
+obs::Histogram& hQueueNs() {
+  static obs::Histogram& h = obs::histogram("service.job.queue_ns");
+  return h;
+}
+obs::Histogram& hRunNs() {
+  static obs::Histogram& h = obs::histogram("service.job.run_ns");
+  return h;
+}
+
+std::uint64_t nanosBetween(std::chrono::steady_clock::time_point from,
+                           std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+diagnosis::Observation crispMeasurement(std::string node, double volts,
+                                        double spread) {
+  return {std::move(node),
+          fuzzy::FuzzyInterval::about(volts, std::max(spread, 1e-12))};
+}
+
+std::string_view jobStatusName(JobStatus s) {
+  switch (s) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+DiagnosisService::DiagnosisService(ServiceOptions options)
+    : options_(options),
+      cache_(options.modelCacheCapacity),
+      experience_(options.learning) {
+  std::size_t n = options_.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+DiagnosisService::~DiagnosisService() {
+  {
+    std::lock_guard lock(queueMutex_);
+    stopping_ = true;
+  }
+  notEmpty_.notify_all();
+  notFull_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+JobHandle DiagnosisService::submit(DiagnosisRequest request) {
+  auto job = std::make_shared<Job>();
+  job->request_ = std::move(request);
+  job->future_ = job->promise_.get_future().share();
+  {
+    std::unique_lock lock(queueMutex_);
+    notFull_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queueCapacity;
+    });
+    if (stopping_) {
+      throw std::runtime_error("DiagnosisService: submit after shutdown");
+    }
+    job->submitted_ = std::chrono::steady_clock::now();
+    const auto deadline = job->request_.deadline.count() != 0
+                              ? job->request_.deadline
+                              : options_.defaultDeadline;
+    if (deadline.count() != 0) job->deadlineAt_ = job->submitted_ + deadline;
+    queue_.push_back(job);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  cSubmitted().add();
+  notEmpty_.notify_one();
+  return job;
+}
+
+JobHandle DiagnosisService::trySubmit(DiagnosisRequest request) {
+  {
+    std::lock_guard lock(queueMutex_);
+    if (stopping_) {
+      throw std::runtime_error("DiagnosisService: submit after shutdown");
+    }
+    if (queue_.size() >= options_.queueCapacity) return nullptr;
+  }
+  // The queue may have refilled between the check and submit(), in which
+  // case submit blocks briefly; capacity races resolve towards blocking,
+  // not towards unbounded growth.
+  return submit(std::move(request));
+}
+
+void DiagnosisService::confirm(const diagnosis::DiagnosisReport& report,
+                               const std::string& component,
+                               const std::string& mode) {
+  std::unique_lock lock(experienceMutex_);
+  experience_.recordSuccess(report.signature, component, mode);
+}
+
+diagnosis::ExperienceBase DiagnosisService::snapshotExperience() const {
+  std::shared_lock lock(experienceMutex_);
+  return experience_;
+}
+
+void DiagnosisService::seedExperience(diagnosis::ExperienceBase base) {
+  std::unique_lock lock(experienceMutex_);
+  experience_ = std::move(base);
+}
+
+void DiagnosisService::drain() {
+  std::unique_lock lock(queueMutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && activeJobs_ == 0; });
+}
+
+ServiceStats DiagnosisService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadlineExceeded = deadlineExceeded_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(queueMutex_);
+    s.queueDepth = queue_.size();
+  }
+  s.workers = workers_.size();
+  {
+    std::shared_lock lock(experienceMutex_);
+    s.experienceRules = experience_.size();
+  }
+  s.modelCache = cache_.stats();
+  return s;
+}
+
+void DiagnosisService::workerLoop() {
+  for (;;) {
+    JobHandle job;
+    {
+      std::unique_lock lock(queueMutex_);
+      notEmpty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++activeJobs_;
+    }
+    notFull_.notify_one();
+    runJob(*job);
+    {
+      std::lock_guard lock(queueMutex_);
+      --activeJobs_;
+      if (queue_.empty() && activeJobs_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void DiagnosisService::runJob(Job& job) {
+  obs::Span span("service.job", "service");
+  const auto pickup = std::chrono::steady_clock::now();
+  JobResult result;
+  result.queueNanos = nanosBetween(job.submitted_, pickup);
+
+  const bool hasDeadline =
+      job.deadlineAt_ != std::chrono::steady_clock::time_point{};
+  const auto deadlineExpired = [&job, hasDeadline] {
+    return hasDeadline && std::chrono::steady_clock::now() >= job.deadlineAt_;
+  };
+
+  if (job.cancelRequested()) {
+    result.status = JobStatus::kCancelled;
+    finish(job, std::move(result));
+    return;
+  }
+  if (deadlineExpired()) {
+    result.status = JobStatus::kDeadlineExceeded;
+    finish(job, std::move(result));
+    return;
+  }
+
+  try {
+    bool hit = false;
+    const std::shared_ptr<const CompiledModel> model =
+        cache_.get(job.request_.netlist, job.request_.options, &hit);
+    result.modelCacheHit = hit;
+
+    // The job's options plus the cancellation hook the propagator polls.
+    diagnosis::FlamesOptions opts = job.request_.options;
+    Job* jobPtr = &job;
+    opts.propagation.cancelCheck = [jobPtr, deadlineExpired] {
+      return jobPtr->cancelRequested() || deadlineExpired();
+    };
+
+    diagnosis::DiagnosisContext ctx;
+    ctx.net = &model->netlist();
+    ctx.built = &model->built();
+    ctx.kb = &model->knowledgeBase();
+    ctx.options = &opts;
+    ctx.hintSource = [this](const std::vector<diagnosis::Symptom>& signature) {
+      std::shared_lock lock(experienceMutex_);
+      return experience_.match(signature);
+    };
+    const CompiledModel* modelPtr = model.get();
+    const diagnosis::DeviationAnalysisOptions devOpts = opts.deviationAnalysis;
+    ctx.signsProvider =
+        [modelPtr, devOpts]() -> const diagnosis::SensitivitySigns& {
+      return modelPtr->sensitivitySigns(devOpts);
+    };
+
+    result.report = diagnoseWith(ctx, job.request_.measurements);
+    result.status = JobStatus::kDone;
+  } catch (const constraints::CancelledError&) {
+    result.status = job.cancelRequested() ? JobStatus::kCancelled
+                                          : JobStatus::kDeadlineExceeded;
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kFailed;
+    result.error = e.what();
+  }
+  result.runNanos = nanosBetween(pickup, std::chrono::steady_clock::now());
+  finish(job, std::move(result));
+}
+
+void DiagnosisService::finish(Job& job, JobResult result) {
+  switch (result.status) {
+    case JobStatus::kDone:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      cCompleted().add();
+      break;
+    case JobStatus::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      cFailed().add();
+      break;
+    case JobStatus::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      cCancelled().add();
+      break;
+    case JobStatus::kDeadlineExceeded:
+      deadlineExceeded_.fetch_add(1, std::memory_order_relaxed);
+      cDeadline().add();
+      break;
+    case JobStatus::kQueued:
+    case JobStatus::kRunning:
+      break;  // never finished with an in-flight status
+  }
+  hQueueNs().record(result.queueNanos);
+  hRunNs().record(result.runNanos);
+  job.promise_.set_value(std::move(result));
+}
+
+}  // namespace flames::service

@@ -1,0 +1,195 @@
+// flames::service — concurrent batch-diagnosis engine.
+//
+// The ROADMAP workload is a *stream* of diagnosis requests against a shared
+// knowledge base (one ATE bench feeding many units under test through the
+// Fig. 3 pipeline). DiagnosisService runs that stream on a fixed worker
+// pool:
+//
+//   * a bounded work queue with backpressure — submit() blocks while the
+//     queue is full, trySubmit() refuses instead;
+//   * per-job deadlines and cooperative cancellation, polled at
+//     propagator-step granularity through PropagatorOptions::cancelCheck;
+//   * the compiled-model cache (service/model_cache.h), so repeated
+//     requests against one unit type skip the MNA solve and model build;
+//   * a service-wide experience base shared by all workers: diagnoses read
+//     it under a shared lock, confirm() writes under an exclusive lock, so
+//     what one job learns is visible to every later job without races.
+//
+// Results come back through a shared_future on the JobHandle; every job
+// also carries queue/run timings and whether it hit the model cache.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "diagnosis/flames.h"
+#include "diagnosis/learning.h"
+#include "service/model_cache.h"
+
+namespace flames::service {
+
+/// One unit of work: which board, what was measured, how to diagnose it.
+struct DiagnosisRequest {
+  std::shared_ptr<const circuit::Netlist> netlist;
+  std::vector<diagnosis::Observation> measurements;
+  diagnosis::FlamesOptions options;
+  /// Wall-clock budget measured from submit; 0 = the service default (which
+  /// itself defaults to "no deadline"). An expired job is abandoned at the
+  /// next cancellation point — or before it starts, if it expired queued.
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Fuzzifies a crisp meter reading exactly like FlamesEngine::measure().
+[[nodiscard]] diagnosis::Observation crispMeasurement(std::string node,
+                                                      double volts,
+                                                      double spread = 0.05);
+
+enum class JobStatus {
+  kQueued,
+  kRunning,
+  kDone,
+  kCancelled,
+  kDeadlineExceeded,
+  kFailed,
+};
+
+[[nodiscard]] std::string_view jobStatusName(JobStatus s);
+
+struct JobResult {
+  JobStatus status = JobStatus::kFailed;
+  diagnosis::DiagnosisReport report;  ///< meaningful iff status == kDone
+  std::string error;                  ///< iff status == kFailed
+  bool modelCacheHit = false;
+  std::uint64_t queueNanos = 0;  ///< submit -> worker pickup
+  std::uint64_t runNanos = 0;    ///< pickup -> completion
+};
+
+class DiagnosisService;
+
+/// Handle to a submitted job. cancel() is cooperative: a queued job
+/// resolves kCancelled without running; a running job stops at its next
+/// cancellation check (every propagation step, every fault-mode screen).
+class Job {
+ public:
+  [[nodiscard]] std::shared_future<JobResult> future() const {
+    return future_;
+  }
+  /// Blocks until the job resolves. The reference is into the job's shared
+  /// state: it stays valid only while a JobHandle (or a copy of future())
+  /// is alive — keep the handle, don't call through a temporary.
+  [[nodiscard]] const JobResult& wait() const { return future_.get(); }
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelRequested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class DiagnosisService;
+  DiagnosisRequest request_;
+  std::promise<JobResult> promise_;
+  std::shared_future<JobResult> future_;
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point submitted_;
+  std::chrono::steady_clock::time_point deadlineAt_{};  ///< epoch = none
+};
+
+using JobHandle = std::shared_ptr<Job>;
+
+struct ServiceOptions {
+  /// 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Queue slots before submit() blocks (backpressure bound).
+  std::size_t queueCapacity = 256;
+  std::size_t modelCacheCapacity = 16;
+  /// Applied to requests that carry no deadline of their own; 0 = none.
+  std::chrono::nanoseconds defaultDeadline{0};
+  diagnosis::LearningOptions learning;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadlineExceeded = 0;
+  std::size_t queueDepth = 0;
+  std::size_t workers = 0;
+  std::size_t experienceRules = 0;
+  ModelCacheStats modelCache;
+};
+
+/// The batch-diagnosis engine. Thread-safe; one instance serves any number
+/// of submitting threads. Destruction stops intake, drains queued jobs and
+/// joins the workers.
+class DiagnosisService {
+ public:
+  explicit DiagnosisService(ServiceOptions options = {});
+  ~DiagnosisService();
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  /// Enqueues a job, blocking while the queue is full (backpressure).
+  /// Throws std::runtime_error after shutdown began.
+  JobHandle submit(DiagnosisRequest request);
+
+  /// Non-blocking variant: returns nullptr instead of waiting for a slot.
+  JobHandle trySubmit(DiagnosisRequest request);
+
+  /// Records a confirmed diagnosis into the shared experience base (§7
+  /// learning). Takes the exclusive lock; every job submitted afterwards
+  /// sees the new rule.
+  void confirm(const diagnosis::DiagnosisReport& report,
+               const std::string& component, const std::string& mode);
+
+  /// Copy of the shared experience base (for persistence via experience_io).
+  [[nodiscard]] diagnosis::ExperienceBase snapshotExperience() const;
+
+  /// Replaces the shared experience base (for loading persisted rules).
+  void seedExperience(diagnosis::ExperienceBase base);
+
+  /// Blocks until every job submitted so far has resolved.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t workerCount() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+  void runJob(Job& job);
+  void finish(Job& job, JobResult result);
+
+  ServiceOptions options_;
+  ModelCache cache_;
+
+  mutable std::mutex queueMutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::condition_variable idle_;
+  std::deque<JobHandle> queue_;
+  std::size_t activeJobs_ = 0;
+  bool stopping_ = false;
+
+  mutable std::shared_mutex experienceMutex_;
+  diagnosis::ExperienceBase experience_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadlineExceeded_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace flames::service

@@ -93,4 +93,26 @@ std::vector<ProbeReading> simulateMeasurements(
   return readings;
 }
 
+std::vector<TrafficItem> synthesizeTraffic(const Netlist& net,
+                                           const std::vector<std::string>& probes,
+                                           std::size_t count,
+                                           std::uint32_t seed, double noise,
+                                           ScenarioOptions options) {
+  std::vector<TrafficItem> traffic;
+  traffic.reserve(count);
+  std::size_t index = 0;
+  for (FaultScenario& s : sampleScenarios(net, count, seed, options)) {
+    ++index;
+    try {
+      auto readings = simulateMeasurements(
+          net, s.faults, probes, noise,
+          seed + static_cast<std::uint32_t>(index));
+      traffic.push_back({std::move(s), std::move(readings)});
+    } catch (const std::runtime_error&) {
+      // Non-convergent faulted circuit: the bench cannot read it; skip.
+    }
+  }
+  return traffic;
+}
+
 }  // namespace flames::workload

@@ -52,4 +52,22 @@ struct ProbeReading {
     const std::vector<std::string>& probes, double noise = 0.0,
     std::uint32_t noiseSeed = 1);
 
+/// One service-shaped request: a sampled fault scenario with the probe
+/// readings its faulted circuit produces on the bench.
+struct TrafficItem {
+  FaultScenario scenario;
+  std::vector<ProbeReading> readings;
+};
+
+/// Deterministically synthesises a diagnosis-request stream: samples
+/// `count` fault scenarios and simulates the given probes for each.
+/// Scenarios whose faulted circuit fails to converge are dropped (the
+/// bench cannot read a board it cannot power), so the result may hold
+/// fewer than `count` items. The per-item noise seed varies with the item
+/// index so identical faults still yield distinct meter readings.
+[[nodiscard]] std::vector<TrafficItem> synthesizeTraffic(
+    const circuit::Netlist& net, const std::vector<std::string>& probes,
+    std::size_t count, std::uint32_t seed, double noise = 0.0,
+    ScenarioOptions options = {});
+
 }  // namespace flames::workload

@@ -199,6 +199,50 @@ TEST(PropagatorOptions, CrispRefinementCascades) {
   EXPECT_TRUE(core);
 }
 
+TEST(PropagatorOptions, CancelCheckAbortsMidPropagation) {
+  // The service layer cancels jobs cooperatively: a cancel check that trips
+  // after N steps must abort the run with CancelledError, leave it
+  // incomplete, and keep the propagator reusable for the next run() (the
+  // agenda is cleared, not left half-consumed).
+  Model m;
+  std::vector<QuantityId> q;
+  for (int i = 0; i <= 8; ++i) {
+    q.push_back(m.addQuantity("q" + std::to_string(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    m.addConstraint(std::make_unique<DiffConstraint>(
+        "d" + std::to_string(i), q[static_cast<std::size_t>(i) + 1],
+        q[static_cast<std::size_t>(i)], FuzzyInterval::crisp(1.0),
+        Environment{}));
+  }
+  int polls = 0;
+  PropagatorOptions opts;
+  opts.cancelCheck = [&polls] { return ++polls > 3; };
+  Propagator p(m, opts);
+  p.addMeasurement(q[0], FuzzyInterval::crisp(0.0));
+  EXPECT_THROW(p.run(), CancelledError);
+  EXPECT_FALSE(p.completed());
+  EXPECT_GT(polls, 3) << "the check must be polled per step";
+  // A fresh run with the tripped check still in place aborts immediately.
+  p.addMeasurement(q[1], FuzzyInterval::crisp(7.0));
+  EXPECT_THROW(p.run(), CancelledError);
+}
+
+TEST(PropagatorOptions, CancelCheckNeverTrippedIsHarmless) {
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  m.addConstraint(std::make_unique<DiffConstraint>(
+      "d", y, x, FuzzyInterval::crisp(1.0), Environment{}));
+  PropagatorOptions opts;
+  opts.cancelCheck = [] { return false; };
+  Propagator p(m, opts);
+  p.addMeasurement(x, FuzzyInterval::crisp(0.0));
+  p.run();
+  EXPECT_TRUE(p.completed());
+  EXPECT_FALSE(p.values(y).empty());
+}
+
 TEST(PropagatorOptions, CrispifyWidensToSupport) {
   Model m;
   const auto x = m.addQuantity("x");

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace flames::diagnosis {
@@ -110,6 +111,38 @@ TEST(ExperienceIo, MissingFileThrows) {
                std::runtime_error);
   EXPECT_THROW(saveExperienceFile(base, "/nonexistent/dir/x.txt"),
                std::runtime_error);
+}
+
+TEST(ExperienceIo, LoadIfExistsTreatsMissingAsFirstRun) {
+  ExperienceBase base;
+  const auto n =
+      loadExperienceFileIfExists(base, "/tmp/flames_no_such_experience.txt");
+  EXPECT_FALSE(n.has_value());
+  EXPECT_EQ(base.size(), 0u);
+}
+
+TEST(ExperienceIo, LoadIfExistsLoadsExistingFile) {
+  const std::string path = "/tmp/flames_experience_ifexists_test.txt";
+  saveExperienceFile(sampleBase(), path);
+  ExperienceBase restored;
+  const auto n = loadExperienceFileIfExists(restored, path);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, sampleBase().size());
+  std::remove(path.c_str());
+}
+
+TEST(ExperienceIo, LoadIfExistsStillThrowsOnCorruptFile) {
+  // An existing-but-unparseable rule base must abort, not silently start
+  // fresh: the caller would otherwise overwrite curated rules on save.
+  const std::string path = "/tmp/flames_experience_corrupt_test.txt";
+  {
+    std::ofstream os(path);
+    os << "rule R1 open not_a_number\n";
+  }
+  ExperienceBase base;
+  EXPECT_THROW((void)loadExperienceFileIfExists(base, path),
+               std::runtime_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

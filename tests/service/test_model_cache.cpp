@@ -1,0 +1,162 @@
+// Compiled-model cache: content keying, hit/miss accounting, LRU eviction,
+// and the "at most one build per distinct netlist" guarantee under
+// concurrent access.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "circuit/catalog.h"
+#include "service/model_cache.h"
+
+namespace flames::service {
+namespace {
+
+std::shared_ptr<const circuit::Netlist> divider(double r2 = 1000.0) {
+  auto net = std::make_shared<circuit::Netlist>();
+  net->addVSource("V1", "in", "0", 10.0);
+  net->addResistor("R1", "in", "out", 1000.0);
+  net->addResistor("R2", "out", "0", r2);
+  return net;
+}
+
+TEST(ModelCacheKey, IdenticalContentSameKey) {
+  diagnosis::FlamesOptions opts;
+  EXPECT_EQ(modelCacheKey(*divider(), opts), modelCacheKey(*divider(), opts));
+}
+
+TEST(ModelCacheKey, ParameterChangesKey) {
+  diagnosis::FlamesOptions opts;
+  EXPECT_NE(modelCacheKey(*divider(1000.0), opts),
+            modelCacheKey(*divider(1001.0), opts));
+}
+
+TEST(ModelCacheKey, BuildOptionsChangeKey) {
+  diagnosis::FlamesOptions a;
+  diagnosis::FlamesOptions b;
+  b.model.spreadScale = 2.0;
+  diagnosis::FlamesOptions c;
+  c.installRegionRules = false;
+  const auto net = divider();
+  EXPECT_NE(modelCacheKey(*net, a), modelCacheKey(*net, b));
+  EXPECT_NE(modelCacheKey(*net, a), modelCacheKey(*net, c));
+}
+
+TEST(ModelCacheKey, DigestIsStableForEqualKeys) {
+  diagnosis::FlamesOptions opts;
+  const auto k1 = modelCacheKey(*divider(), opts);
+  const auto k2 = modelCacheKey(*divider(), opts);
+  EXPECT_EQ(modelKeyDigest(k1), modelKeyDigest(k2));
+}
+
+TEST(ModelCache, SecondGetHits) {
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  bool hit = true;
+  const auto a = cache.get(divider(), opts, &hit);
+  EXPECT_FALSE(hit);
+  const auto b = cache.get(divider(), opts, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a.get(), b.get());  // the same compiled model is shared
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+TEST(ModelCache, CompiledModelCarriesKbAndPredictions) {
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  const auto amp = std::make_shared<const circuit::Netlist>(
+      circuit::paperFig6ThreeStageAmp());
+  const auto model = cache.get(amp, opts);
+  // Region rules were installed for the three BJTs.
+  EXPECT_GT(model->knowledgeBase().size(), 0u);
+  EXPECT_GT(model->built().model.predictions().size(), 0u);
+}
+
+TEST(ModelCache, LruEvictsOldest) {
+  ModelCache cache(2);
+  diagnosis::FlamesOptions opts;
+  (void)cache.get(divider(100.0), opts);
+  (void)cache.get(divider(200.0), opts);
+  (void)cache.get(divider(300.0), opts);  // evicts the 100-ohm model
+  auto s = cache.stats();
+  EXPECT_EQ(s.size, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  bool hit = true;
+  (void)cache.get(divider(100.0), opts, &hit);  // rebuilt
+  EXPECT_FALSE(hit);
+  bool hit300 = false;
+  (void)cache.get(divider(300.0), opts, &hit300);
+  EXPECT_TRUE(hit300);
+}
+
+TEST(ModelCache, TouchOnHitRefreshesRecency) {
+  ModelCache cache(2);
+  diagnosis::FlamesOptions opts;
+  (void)cache.get(divider(100.0), opts);
+  (void)cache.get(divider(200.0), opts);
+  (void)cache.get(divider(100.0), opts);  // 100 becomes most recent
+  (void)cache.get(divider(300.0), opts);  // evicts 200, not 100
+  bool hit = false;
+  (void)cache.get(divider(100.0), opts, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(ModelCache, ConcurrentGetsBuildOnce) {
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CompiledModel>> models(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&, t] { models[t] = cache.get(divider(), opts); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u) << "exactly one thread must build";
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(models[0].get(), models[t].get());
+  }
+}
+
+TEST(ModelCache, SensitivitySignsBuiltOnceAndShared) {
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  const auto model = cache.get(divider(), opts);
+  const diagnosis::DeviationAnalysisOptions devOpts;
+  const auto* first = &model->sensitivitySigns(devOpts);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&] { EXPECT_EQ(first, &model->sensitivitySigns(devOpts)); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(ModelCache, BuildFailurePropagatesAndAllowsRetry) {
+  // Two parallel sources fighting over one node have no DC solution, so
+  // prediction construction fails. The failure must reach the caller and
+  // must not poison the slot.
+  auto broken = std::make_shared<circuit::Netlist>();
+  broken->addVSource("V1", "a", "0", 5.0);
+  broken->addVSource("V2", "a", "0", 3.0);
+
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  EXPECT_THROW((void)cache.get(broken, opts), std::exception);
+  EXPECT_EQ(cache.stats().size, 0u) << "failed slot must be removed";
+  EXPECT_THROW((void)cache.get(broken, opts), std::exception)
+      << "retry must re-attempt the build, not deadlock on a dead future";
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace flames::service

@@ -1,0 +1,312 @@
+// DiagnosisService: result parity with the single-session engine, model
+// reuse across a request stream, shared-experience learning, cancellation,
+// deadlines, backpressure and drain semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "circuit/catalog.h"
+#include "diagnosis/flames.h"
+#include "service/service.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace flames::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const circuit::Netlist> ladder() {
+  static const auto net = std::make_shared<const circuit::Netlist>(
+      workload::resistorLadder(4));
+  return net;
+}
+
+std::vector<std::string> ladderProbes() {
+  return workload::tapsOf(*ladder(), "t");
+}
+
+/// A request diagnosing a "R1s shorted" ladder (a clear single fault).
+DiagnosisRequest shortedLadderRequest() {
+  DiagnosisRequest req;
+  req.netlist = ladder();
+  const auto readings = workload::simulateMeasurements(
+      *ladder(), {circuit::Fault::shortCircuit("Rp1")}, ladderProbes());
+  for (const auto& r : readings) {
+    req.measurements.push_back(crispMeasurement(r.node, r.volts));
+  }
+  return req;
+}
+
+/// A deliberately heavy request (dense propagation) used to keep a worker
+/// busy while queue behaviour is probed.
+DiagnosisRequest slowRequest() {
+  static const auto grid = std::make_shared<const circuit::Netlist>(
+      workload::resistorGrid(4, 4));
+  DiagnosisRequest req;
+  req.netlist = grid;
+  const auto probes = workload::tapsOf(*grid, "g");
+  const auto readings = workload::simulateMeasurements(
+      *grid, {circuit::Fault::open("Rh1_1")}, probes);
+  for (const auto& r : readings) {
+    req.measurements.push_back(crispMeasurement(r.node, r.volts));
+  }
+  return req;
+}
+
+TEST(DiagnosisService, MatchesSingleSessionEngine) {
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  DiagnosisService service(sopts);
+  const auto handle = service.submit(shortedLadderRequest());
+  const JobResult& result = handle->wait();
+  ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+
+  diagnosis::FlamesEngine engine(*ladder());
+  const auto readings = workload::simulateMeasurements(
+      *ladder(), {circuit::Fault::shortCircuit("Rp1")}, ladderProbes());
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const auto expected = engine.diagnose();
+
+  EXPECT_EQ(result.report.faultDetected(), expected.faultDetected());
+  EXPECT_EQ(result.report.bestCandidate(), expected.bestCandidate());
+  EXPECT_EQ(result.report.nogoods.size(), expected.nogoods.size());
+  EXPECT_EQ(result.report.candidates.size(), expected.candidates.size());
+}
+
+TEST(DiagnosisService, StreamAgainstOneNetlistBuildsOneModel) {
+  ServiceOptions sopts;
+  sopts.workers = 4;
+  DiagnosisService service(sopts);
+
+  const auto traffic =
+      workload::synthesizeTraffic(*ladder(), ladderProbes(), 12, 7);
+  ASSERT_GT(traffic.size(), 4u);
+  std::vector<JobHandle> handles;
+  for (const auto& item : traffic) {
+    DiagnosisRequest req;
+    req.netlist = ladder();
+    for (const auto& r : item.readings) {
+      req.measurements.push_back(crispMeasurement(r.node, r.volts));
+    }
+    handles.push_back(service.submit(req));
+  }
+  std::size_t done = 0;
+  std::size_t cacheHits = 0;
+  for (const auto& h : handles) {
+    const JobResult& r = h->wait();
+    ASSERT_EQ(r.status, JobStatus::kDone) << r.error;
+    done += 1;
+    cacheHits += r.modelCacheHit ? 1 : 0;
+  }
+  EXPECT_EQ(done, handles.size());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, handles.size());
+  EXPECT_EQ(stats.modelCache.misses, 1u)
+      << "one distinct netlist must compile exactly once";
+  EXPECT_EQ(cacheHits, handles.size() - 1);
+}
+
+TEST(DiagnosisService, DistinctNetlistsGetDistinctModels) {
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  DiagnosisService service(sopts);
+
+  auto submitFor = [&](std::shared_ptr<const circuit::Netlist> net) {
+    const auto probes = workload::tapsOf(*net, "t");
+    DiagnosisRequest req;
+    req.netlist = std::move(net);
+    const auto readings =
+        workload::simulateMeasurements(*req.netlist, {}, probes);
+    for (const auto& r : readings) {
+      req.measurements.push_back(crispMeasurement(r.node, r.volts));
+    }
+    return service.submit(req);
+  };
+  const auto a = submitFor(ladder());
+  const auto b = submitFor(std::make_shared<const circuit::Netlist>(
+      workload::resistorLadder(5)));
+  EXPECT_EQ(a->wait().status, JobStatus::kDone);
+  EXPECT_EQ(b->wait().status, JobStatus::kDone);
+  EXPECT_EQ(service.stats().modelCache.misses, 2u);
+}
+
+TEST(DiagnosisService, ConfirmedDiagnosisHintsLaterJobs) {
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  DiagnosisService service(sopts);
+
+  const auto first = service.submit(shortedLadderRequest());
+  const JobResult& r1 = first->wait();
+  ASSERT_EQ(r1.status, JobStatus::kDone) << r1.error;
+  EXPECT_TRUE(r1.report.hints.empty());
+
+  // The expert confirms the culprit; the compiled symptom-failure rule must
+  // reach every job that runs afterwards.
+  service.confirm(r1.report, "Rp1", "short");
+  EXPECT_EQ(service.stats().experienceRules, 1u);
+
+  const auto second = service.submit(shortedLadderRequest());
+  const JobResult& r2 = second->wait();
+  ASSERT_EQ(r2.status, JobStatus::kDone) << r2.error;
+  ASSERT_FALSE(r2.report.hints.empty());
+  EXPECT_EQ(r2.report.hints.front().component, "Rp1");
+  EXPECT_EQ(r2.report.hints.front().mode, "short");
+}
+
+TEST(DiagnosisService, SnapshotAndSeedExperienceRoundTrip) {
+  diagnosis::ExperienceBase seed;
+  seed.recordSuccess({{"V(t1)", -0.1, -1}}, "Rp1", "short");
+
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+  service.seedExperience(seed);
+  EXPECT_EQ(service.stats().experienceRules, 1u);
+  const auto copy = service.snapshotExperience();
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.rules().front().component, "Rp1");
+}
+
+TEST(DiagnosisService, CancelledQueuedJobNeverRuns) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+
+  // Occupy the only worker, then cancel a queued job before it starts.
+  const auto busy = service.submit(slowRequest());
+  const auto victim = service.submit(shortedLadderRequest());
+  victim->cancel();
+  const JobResult& r = victim->wait();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(busy->wait().status, JobStatus::kDone);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(DiagnosisService, ExpiredDeadlineShortCircuits) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+  DiagnosisRequest req = shortedLadderRequest();
+  req.deadline = 1ns;  // expired by the time any worker can look at it
+  const auto job = service.submit(req);
+  const JobResult& r = job->wait();
+  EXPECT_EQ(r.status, JobStatus::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadlineExceeded, 1u);
+}
+
+TEST(DiagnosisService, DefaultDeadlineApplies) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.defaultDeadline = 1ns;
+  DiagnosisService service(sopts);
+  const auto job = service.submit(shortedLadderRequest());
+  EXPECT_EQ(job->wait().status, JobStatus::kDeadlineExceeded);
+}
+
+TEST(DiagnosisService, UnknownMeasurementNodeFailsTheJob) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+  DiagnosisRequest req;
+  req.netlist = ladder();
+  req.measurements.push_back(crispMeasurement("no_such_node", 1.0));
+  const auto job = service.submit(req);
+  const JobResult& r = job->wait();
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(service.stats().failed, 1u);
+}
+
+TEST(DiagnosisService, TrySubmitRefusesWhenQueueFull) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.queueCapacity = 1;
+  DiagnosisService service(sopts);
+  const auto busy = service.submit(slowRequest());   // occupies the worker
+  const auto queued = service.submit(slowRequest());  // fills the only slot
+  const auto rejected = service.trySubmit(shortedLadderRequest());
+  EXPECT_EQ(rejected, nullptr);
+  EXPECT_EQ(busy->wait().status, JobStatus::kDone);
+  EXPECT_EQ(queued->wait().status, JobStatus::kDone);
+}
+
+TEST(DiagnosisService, SubmitBlocksUntilASlotFrees) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.queueCapacity = 1;
+  DiagnosisService service(sopts);
+  const auto busy = service.submit(slowRequest());
+  const auto queued = service.submit(shortedLadderRequest());
+  // This submit must block until the worker drains a slot, then succeed.
+  const auto blocked = service.submit(shortedLadderRequest());
+  EXPECT_EQ(blocked->wait().status, JobStatus::kDone);
+  EXPECT_EQ(busy->wait().status, JobStatus::kDone);
+  EXPECT_EQ(queued->wait().status, JobStatus::kDone);
+}
+
+TEST(DiagnosisService, DrainWaitsForAllJobs) {
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  DiagnosisService service(sopts);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(service.submit(shortedLadderRequest()));
+  }
+  service.drain();
+  for (const auto& h : handles) {
+    EXPECT_EQ(h->future().wait_for(0s), std::future_status::ready);
+  }
+}
+
+TEST(DiagnosisService, DestructorDrainsQueuedJobs) {
+  std::vector<JobHandle> handles;
+  {
+    ServiceOptions sopts;
+    sopts.workers = 1;
+    DiagnosisService service(sopts);
+    for (int i = 0; i < 4; ++i) {
+      handles.push_back(service.submit(shortedLadderRequest()));
+    }
+  }
+  for (const auto& h : handles) {
+    ASSERT_EQ(h->future().wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(h->wait().status, JobStatus::kDone);
+  }
+}
+
+TEST(DiagnosisService, SubmitAfterShutdownThrows) {
+  auto service = std::make_unique<DiagnosisService>(ServiceOptions{});
+  DiagnosisService* raw = service.get();
+  service.reset();
+  (void)raw;  // destroyed; a fresh service still accepts work
+  DiagnosisService fresh{ServiceOptions{}};
+  EXPECT_EQ(fresh.submit(shortedLadderRequest())->wait().status,
+            JobStatus::kDone);
+}
+
+TEST(DiagnosisService, ObservabilityOffByDefaultStatsStillCount) {
+  // Service stats are always-on (they gate the acceptance criteria), not
+  // conditional on flames::obs being enabled.
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+  (void)service.submit(shortedLadderRequest())->wait();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.modelCache.misses, 1u);
+}
+
+TEST(JobStatusName, CoversEveryStatus) {
+  EXPECT_EQ(jobStatusName(JobStatus::kDone), "done");
+  EXPECT_EQ(jobStatusName(JobStatus::kCancelled), "cancelled");
+  EXPECT_EQ(jobStatusName(JobStatus::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_EQ(jobStatusName(JobStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace flames::service
