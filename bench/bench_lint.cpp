@@ -1,0 +1,93 @@
+// bench_lint — cost of the static-analysis pass relative to the work it
+// gates.
+//
+// The lint design promises two budgets:
+//   * cold model build: the L1/L3/L4 gate inside buildDiagnosticModel adds
+//     under 5% on top of the MNA solve + sensitivity sweep it protects
+//     (compare ModelBuild/gated vs ModelBuild/ungated);
+//   * cache hit: zero added work — the report is computed once per compiled
+//     unit type, so the per-job lint cost in the service steady state is the
+//     netlist-level pass at submit only (LintNetlist/* shows its absolute
+//     cost, microseconds against the millisecond-scale diagnosis).
+// L6 is benchmarked separately (LintModelWithSigns) because its bump
+// simulations are deliberately excluded from both hot paths.
+#include <benchmark/benchmark.h>
+
+#include "circuit/catalog.h"
+#include "constraints/model_builder.h"
+#include "diagnosis/deviation_analysis.h"
+#include "diagnosis/knowledge_base.h"
+#include "lint/model_lint.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace flames;
+
+void BM_LintNetlist_Fig6Amp(benchmark::State& state) {
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::lintNetlist(net));
+  }
+}
+BENCHMARK(BM_LintNetlist_Fig6Amp);
+
+void BM_LintNetlist_Ladder(benchmark::State& state) {
+  const circuit::Netlist net =
+      workload::resistorLadder(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::lintNetlist(net));
+  }
+}
+BENCHMARK(BM_LintNetlist_Ladder)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ModelBuild_Fig6Amp(benchmark::State& state) {
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  constraints::ModelBuildOptions opts;
+  opts.lintBeforeBuild = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraints::buildDiagnosticModel(net, opts));
+  }
+}
+BENCHMARK(BM_ModelBuild_Fig6Amp)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("gated");
+
+void BM_LintModel_Fig6Amp(benchmark::State& state) {
+  // The compile-cache pass: L1-L5, no signs. This is what every cold
+  // CompiledModel pays once.
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::KnowledgeBase kb;
+  diagnosis::addTransistorRegionRules(kb, net, built);
+  lint::ModelLintInputs inputs;
+  inputs.netlist = &net;
+  inputs.built = &built;
+  inputs.kb = &kb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::lintModel(inputs));
+  }
+}
+BENCHMARK(BM_LintModel_Fig6Amp);
+
+void BM_LintModelWithSigns_Fig6Amp(benchmark::State& state) {
+  // The audit-surface pass including the L6 diagnosability check; the sign
+  // matrix is prebuilt here, as on the real audit path (CLI --lint), so
+  // this measures the column comparison, not the bump simulations.
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  const diagnosis::SensitivitySigns signs(net);
+  lint::ModelLintInputs inputs;
+  inputs.netlist = &net;
+  inputs.built = &built;
+  inputs.signs = &signs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::lintModel(inputs));
+  }
+}
+BENCHMARK(BM_LintModelWithSigns_Fig6Amp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,7 +3,12 @@
 // percentiles and model-cache effectiveness.
 //
 //   flames_batch [--workers=N] [--jobs=N] [--sections=N] [--seed=N]
-//                [--noise=V] [--deadline-ms=N] [--obs]
+//                [--noise=V] [--deadline-ms=N] [--obs] [--lint] [--Werror]
+//
+// --lint prints the static-analysis report for the generated netlist before
+// any job is submitted and aborts (exit 2) on error-grade findings;
+// --Werror escalates lint warnings to errors both in that report and in the
+// service's own submit gate.
 //
 // The workload is workload::synthesizeTraffic over a resistor ladder: each
 // item is one board on the bench with a sampled injected fault and the
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.h"
 #include "obs/obs.h"
 #include "service/service.h"
 #include "workload/generators.h"
@@ -37,6 +43,8 @@ struct Args {
   double noise = 0.0;
   long deadlineMs = 0;
   bool obs = false;
+  bool lint = false;
+  bool werror = false;
 };
 
 bool parseSize(const std::string& arg, const std::string& key,
@@ -65,11 +73,15 @@ Args parseArgs(int argc, char** argv) {
       a.deadlineMs = std::stol(arg.substr(14));
     } else if (arg == "--obs") {
       a.obs = true;
+    } else if (arg == "--lint") {
+      a.lint = true;
+    } else if (arg == "--Werror") {
+      a.werror = true;
     } else {
       std::cerr << "flames_batch: unknown argument " << arg << "\n"
                 << "usage: flames_batch [--workers=N] [--jobs=N] "
                    "[--sections=N] [--seed=N] [--noise=V] [--deadline-ms=N] "
-                   "[--obs]\n";
+                   "[--obs] [--lint] [--Werror]\n";
       std::exit(2);
     }
   }
@@ -101,6 +113,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (args.lint) {
+    lint::LintOptions lopts;
+    lopts.warningsAsErrors = args.werror;
+    const lint::LintReport report = lint::lintNetlist(*net, lopts);
+    std::cout << lint::renderLintReport(report);
+    if (!report.ok() || (args.werror && report.warnings() > 0)) {
+      std::cerr << "flames_batch: lint failed, submitting nothing\n";
+      return 2;
+    }
+  }
+
   service::ServiceOptions sopts;
   sopts.workers = args.workers;
   service::DiagnosisService svc(sopts);
@@ -115,6 +138,7 @@ int main(int argc, char** argv) {
   for (const auto& item : traffic) {
     service::DiagnosisRequest req;
     req.netlist = net;
+    req.options.lint.warningsAsErrors = args.werror;
     for (const auto& r : item.readings) {
       req.measurements.push_back(service::crispMeasurement(r.node, r.volts));
     }

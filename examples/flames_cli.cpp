@@ -2,6 +2,7 @@
 //
 //   flames_cli [--trace=<file.json>] [--metrics]
 //              <netlist.cir> <measurements.txt> [experience.txt]
+//   flames_cli --lint [--lint-json] [--Werror] <netlist.cir>
 //
 // The netlist uses the SPICE-style card format of circuit/parser.h; the
 // measurements file holds one "<node> <volts>" pair per line ('#' comments).
@@ -13,8 +14,15 @@
 // --trace=<file.json> records a span for every pipeline stage and writes
 // Chrome trace_event JSON (open in chrome://tracing or Perfetto);
 // --metrics prints the flames::obs counter/histogram dump after the report.
+//
+// --lint runs the full static-analysis pass (rules L1-L6, including the
+// per-component-simulation L6 diagnosability audit that the build gate
+// skips) and exits without diagnosing: 0 when the model is usable, 2 when
+// error-grade findings (or any finding under --Werror) were reported.
+// --lint-json emits the machine-readable report instead of text.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -22,6 +30,7 @@
 #include "diagnosis/experience_io.h"
 #include "diagnosis/flames.h"
 #include "diagnosis/report.h"
+#include "lint/model_lint.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -36,6 +45,9 @@ struct Measurement {
 struct CliOptions {
   std::string traceFile;  ///< empty = no tracing
   bool metrics = false;
+  bool lint = false;      ///< lint-only mode, no diagnosis
+  bool lintJson = false;  ///< machine-readable lint output (implies --lint)
+  bool werror = false;    ///< escalate lint warnings to errors
   std::vector<std::string> positional;
 };
 
@@ -50,6 +62,13 @@ CliOptions parseArgs(int argc, char** argv) {
       }
     } else if (arg == "--metrics") {
       opts.metrics = true;
+    } else if (arg == "--lint") {
+      opts.lint = true;
+    } else if (arg == "--lint-json") {
+      opts.lint = true;
+      opts.lintJson = true;
+    } else if (arg == "--Werror") {
+      opts.werror = true;
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown flag: " + arg);
     } else {
@@ -57,6 +76,65 @@ CliOptions parseArgs(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+// The full static-analysis pass: source-level L4 first (so a card that does
+// not even parse is reported instead of thrown), then — when the netlist
+// parses — the netlist, model, KB and diagnosability rules.
+int runLint(const CliOptions& cli) {
+  using namespace flames;
+  std::ifstream is(cli.positional[0]);
+  if (!is) {
+    throw std::runtime_error("cannot open netlist: " + cli.positional[0]);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  lint::LintOptions lopts;
+  lopts.warningsAsErrors = cli.werror;
+  lint::LintReport report = lint::lintSource(text, lopts);
+
+  if (report.ok()) {
+    const circuit::Netlist net = circuit::parseNetlistString(text);
+    lint::ModelLintInputs inputs;
+    inputs.netlist = &net;
+
+    // Build what the model-level rules need; a failed build becomes a
+    // finding (the netlist rules usually explain it) rather than an abort.
+    constraints::ModelBuildOptions buildOpts;
+    buildOpts.lintBeforeBuild = false;  // we are the lint pass
+    std::optional<constraints::BuiltModel> built;
+    diagnosis::KnowledgeBase kb;
+    std::optional<diagnosis::SensitivitySigns> signs;
+    lint::LintReport buildFailure;
+    try {
+      built.emplace(constraints::buildDiagnosticModel(net, buildOpts));
+      diagnosis::addTransistorRegionRules(kb, net, *built);
+      inputs.built = &*built;
+      inputs.kb = &kb;
+      signs.emplace(net, diagnosis::DeviationAnalysisOptions{});
+      inputs.signs = &*signs;
+    } catch (const std::exception& e) {
+      buildFailure.diagnostics.push_back(
+          {"L2", lint::Severity::kError, "model",
+           std::string("diagnostic model cannot be built: ") + e.what(),
+           "fix the netlist-level findings above first"});
+    }
+    // Netlist-level findings first (lintModel leads with them), then the
+    // build failure they usually explain.
+    report.merge(lint::lintModel(inputs, lopts));
+    report.merge(buildFailure);
+  }
+
+  if (cli.lintJson) {
+    std::cout << lint::lintReportJson(report) << '\n';
+  } else {
+    std::cout << lint::renderLintReport(report);
+  }
+  const bool pass =
+      report.ok() && (!cli.werror || report.warnings() == 0);
+  return pass ? 0 : 2;
 }
 
 std::vector<Measurement> readMeasurements(const std::string& path) {
@@ -87,9 +165,19 @@ int main(int argc, char** argv) {
   using namespace flames;
   try {
     const CliOptions cli = parseArgs(argc, argv);
+    if (cli.lint) {
+      if (cli.positional.size() != 1) {
+        std::cerr << "usage: flames_cli --lint [--lint-json] [--Werror] "
+                     "<netlist.cir>\n";
+        return 2;
+      }
+      return runLint(cli);
+    }
     if (cli.positional.size() < 2 || cli.positional.size() > 3) {
       std::cerr << "usage: flames_cli [--trace=<file.json>] [--metrics] "
-                   "<netlist.cir> <measurements.txt> [experience.txt]\n";
+                   "<netlist.cir> <measurements.txt> [experience.txt]\n"
+                   "       flames_cli --lint [--lint-json] [--Werror] "
+                   "<netlist.cir>\n";
       return 2;
     }
     if (cli.metrics) obs::setEnabled(true);

@@ -161,7 +161,7 @@ Netlist parseNetlist(std::istream& is) {
       std::transform(directive.begin(), directive.end(), directive.begin(),
                      [](unsigned char c) { return std::tolower(c); });
       if (directive == ".end") break;
-      throw ParseError(lineNo, "unknown directive '" + head + "'");
+      throw ParseError(lineNo, "unknown directive '" + head + "'", line);
     }
 
     const char kind =
@@ -231,10 +231,12 @@ Netlist parseNetlist(std::istream& is) {
                            std::string("unknown component kind '") + head[0] +
                                "' (expected R C L V D Q or A)");
       }
-    } catch (const ParseError&) {
-      throw;
+    } catch (const ParseError& e) {
+      // Inner helpers only know the line number; attach the raw card here
+      // so every ParseError leaving the parser can quote its source.
+      throw e.withCard(line);
     } catch (const std::exception& e) {
-      throw ParseError(lineNo, e.what());
+      throw ParseError(lineNo, e.what(), line);
     }
   }
   return net;

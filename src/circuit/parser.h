@@ -26,16 +26,37 @@
 
 namespace flames::circuit {
 
-/// Thrown on malformed input; carries the 1-based line number.
+/// Thrown on malformed input; carries the 1-based line number, the bare
+/// message, and the raw card text (when known) so that callers — the CLI,
+/// lint L4 diagnostics — can quote the offending source line.
 class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, const std::string& message)
-      : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+      : ParseError(line, message, std::string{}) {}
+  ParseError(std::size_t line, const std::string& message, std::string card)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message +
+                           (card.empty() ? std::string{}
+                                         : " [card: " + card + "]")),
+        line_(line),
+        message_(message),
+        card_(std::move(card)) {}
+
   [[nodiscard]] std::size_t line() const { return line_; }
+  /// The message without the "line N:" prefix or the quoted card.
+  [[nodiscard]] const std::string& message() const { return message_; }
+  /// The raw source card; empty if the failure preceded any card.
+  [[nodiscard]] const std::string& card() const { return card_; }
+
+  /// A copy with the card attached (used by the parser's per-card wrapper;
+  /// an already-attached card is kept).
+  [[nodiscard]] ParseError withCard(const std::string& card) const {
+    return card_.empty() ? ParseError(line_, message_, card) : *this;
+  }
 
  private:
   std::size_t line_;
+  std::string message_;
+  std::string card_;
 };
 
 /// Parses a netlist from a stream; throws ParseError on malformed cards.

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "lint/lint.h"
+
 namespace flames::constraints {
 
 using atms::Environment;
@@ -54,6 +56,13 @@ std::vector<double> voltageDeltas(const Netlist& net,
 }  // namespace
 
 BuiltModel buildDiagnosticModel(const Netlist& net, ModelBuildOptions options) {
+  if (options.lintBeforeBuild) {
+    // Netlist-level rules only: they need nothing the builder has not seen
+    // yet, and error severity means the model below could not produce
+    // meaningful diagnoses anyway. The full pass (L2/L5/L6) runs at the
+    // compile-cache and audit surfaces, which have the model and KB in hand.
+    lint::enforce(lint::lintNetlist(net));
+  }
   BuiltModel built;
   Model& model = built.model;
 

@@ -38,6 +38,12 @@ struct ModelBuildOptions {
   double sensitivityThreshold = 1e-7;
   /// Extra multiplier on the summed sensitivity spread (1 = linear sum).
   double spreadScale = 1.0;
+  /// Run the netlist-level lint rules (L1 connectivity, L3 fuzzy-value
+  /// sanity, L4 names) before building and throw lint::LintError when they
+  /// report error-grade findings — a broken netlist is rejected with
+  /// actionable diagnostics instead of surfacing as a singular MNA system
+  /// or, worse, a silently vacuous model. Warnings never block here.
+  bool lintBeforeBuild = true;
 };
 
 /// The constructed model plus its bookkeeping.

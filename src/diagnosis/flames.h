@@ -28,11 +28,16 @@
 #include "diagnosis/knowledge_base.h"
 #include "diagnosis/learning.h"
 #include "diagnosis/test_selection.h"
+#include "lint/lint.h"
 
 namespace flames::diagnosis {
 
 struct FlamesOptions {
   constraints::ModelBuildOptions model;
+  /// Rule toggles for the static-analysis pass. `model.lintBeforeBuild`
+  /// controls *whether* the build gate runs; this controls *which* rules
+  /// any lint surface (build gate, compile cache, service submit) applies.
+  lint::LintOptions lint;
   constraints::PropagatorOptions propagation;
   FaultModeOptions faultModes;
   TestSelectorOptions testSelection;

@@ -27,11 +27,25 @@ Cut cutReciprocal(const Cut& c) {
 
 }  // namespace
 
+InvalidFuzzyInterval::InvalidFuzzyInterval(const std::string& reason,
+                                           double m1, double m2, double alpha,
+                                           double beta)
+    : std::invalid_argument("FuzzyInterval: " + reason + " in [" +
+                            std::to_string(m1) + ", " + std::to_string(m2) +
+                            ", " + std::to_string(alpha) + ", " +
+                            std::to_string(beta) + "]"),
+      m1_(m1),
+      m2_(m2),
+      alpha_(alpha),
+      beta_(beta) {}
+
 FuzzyInterval::FuzzyInterval(double m1, double m2, double alpha, double beta)
     : m1_(m1), m2_(m2), alpha_(alpha), beta_(beta) {
-  if (!(m1 <= m2)) throw std::invalid_argument("FuzzyInterval: m1 > m2");
-  if (alpha < 0.0 || beta < 0.0) {
-    throw std::invalid_argument("FuzzyInterval: negative spread");
+  // NaN parameters fail the m1 <= m2 comparison, so non-finite cores are
+  // rejected here too instead of silently poisoning later arithmetic.
+  if (!(m1 <= m2)) throw InvalidFuzzyInterval("m1 > m2", m1, m2, alpha, beta);
+  if (!(alpha >= 0.0) || !(beta >= 0.0)) {
+    throw InvalidFuzzyInterval("negative spread", m1, m2, alpha, beta);
   }
 }
 
@@ -59,7 +73,10 @@ FuzzyInterval FuzzyInterval::fromSupportCore(double a, double b, double c,
   // Guard against tiny negative spreads from floating-point noise.
   const double alpha = std::max(0.0, b - a);
   const double beta = std::max(0.0, d - c);
-  if (!(b <= c)) throw std::invalid_argument("fromSupportCore: core inverted");
+  if (!(b <= c)) {
+    throw InvalidFuzzyInterval("fromSupportCore core inverted", b, c, alpha,
+                               beta);
+  }
   return {b, c, alpha, beta};
 }
 

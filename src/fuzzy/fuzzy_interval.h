@@ -17,11 +17,31 @@
 
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "fuzzy/piecewise_linear.h"
 
 namespace flames::fuzzy {
+
+/// Thrown when FuzzyInterval construction receives parameters that violate
+/// the trapezoid invariants (m1 <= m2, alpha >= 0, beta >= 0, all finite).
+/// Derives from std::invalid_argument so existing catch sites keep working;
+/// carries the offending parameters so diagnostics (lint L3, the netlist
+/// parser) can show exactly which degenerate shape was attempted.
+class InvalidFuzzyInterval : public std::invalid_argument {
+ public:
+  InvalidFuzzyInterval(const std::string& reason, double m1, double m2,
+                       double alpha, double beta);
+
+  [[nodiscard]] double m1() const { return m1_; }
+  [[nodiscard]] double m2() const { return m2_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+ private:
+  double m1_, m2_, alpha_, beta_;
+};
 
 /// A closed crisp interval [lo, hi]; the result of an alpha-cut.
 struct Cut {

@@ -1,0 +1,453 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "circuit/parser.h"
+#include "obs/obs.h"
+
+namespace flames::lint {
+
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+std::string_view severityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::size_t LintReport::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::vector<const Diagnostic*> LintReport::byRule(std::string_view rule) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule) out.push_back(&d);
+  }
+  return out;
+}
+
+void LintReport::merge(LintReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+  normalize();
+}
+
+void LintReport::normalize() {
+  // Errors first, then warnings, then info; stable so discovery order (and
+  // with it rule grouping) survives within a severity class.
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+}
+
+namespace {
+
+std::string lintErrorMessage(const LintReport& report) {
+  std::ostringstream os;
+  os << "lint failed: " << report.errors() << " error(s), "
+     << report.warnings() << " warning(s)";
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == Severity::kError) {
+      os << "; [" << d.rule << "] " << d.location << ": " << d.message;
+      break;  // first error inline; the full report rides on the exception
+    }
+  }
+  return os.str();
+}
+
+std::string joinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+// --- L1: connectivity ------------------------------------------------------
+
+void lintConnectivity(const Netlist& net, LintReport& report) {
+  auto& out = report.diagnostics;
+  if (net.components().empty()) {
+    out.push_back({"L1", Severity::kError, "netlist",
+                   "netlist has no components; nothing can be diagnosed",
+                   "add component cards before submitting"});
+    return;
+  }
+
+  // Pin-touch count per node and union-find over component edges.
+  std::vector<std::size_t> degree(net.nodeCount(), 0);
+  std::vector<NodeId> parent(net.nodeCount());
+  for (NodeId n = 0; n < net.nodeCount(); ++n) parent[n] = n;
+  std::function<NodeId(NodeId)> find = [&](NodeId n) {
+    while (parent[n] != n) {
+      parent[n] = parent[parent[n]];
+      n = parent[n];
+    }
+    return n;
+  };
+
+  for (const Component& c : net.components()) {
+    bool allSame = true;
+    for (NodeId pin : c.pins) {
+      ++degree[pin];
+      if (pin != c.pins[0]) allSame = false;
+      parent[find(pin)] = find(c.pins[0]);
+    }
+    if (allSame) {
+      out.push_back(
+          {"L1", Severity::kWarning, "component " + c.name,
+           std::string(circuit::kindName(c.kind)) +
+               " has every terminal on node '" + net.nodeName(c.pins[0]) +
+               "'; its behavioural constraint is vacuous",
+           "connect the terminals to distinct nodes or remove the component"});
+    }
+  }
+
+  for (NodeId n = 1; n < net.nodeCount(); ++n) {
+    if (degree[n] == 0) {
+      out.push_back({"L1", Severity::kWarning, "node " + net.nodeName(n),
+                     "node is declared but no component terminal touches it",
+                     "remove the node or wire a component to it"});
+    } else if (degree[n] == 1) {
+      out.push_back(
+          {"L1", Severity::kWarning, "node " + net.nodeName(n),
+           "dangling node: a single terminal touches it, so KCL there is "
+           "uninformative and its voltage floats with the component",
+           "connect a second terminal or declare the node a probe-only stub"});
+    }
+  }
+
+  // Islands that cannot see the ground reference: every prediction there is
+  // relative to an undefined potential, so the MNA solve is singular and the
+  // model produces no usable nominal values.
+  const NodeId groundRoot = find(circuit::kGround);
+  std::map<NodeId, std::vector<std::string>> islandNodes;
+  for (NodeId n = 1; n < net.nodeCount(); ++n) {
+    if (degree[n] == 0) continue;  // already reported as unused
+    const NodeId root = find(n);
+    if (root != groundRoot) islandNodes[root].push_back(net.nodeName(n));
+  }
+  for (const auto& [root, nodes] : islandNodes) {
+    out.push_back(
+        {"L1", Severity::kError, "node " + nodes.front(),
+         "floating subcircuit {" + joinNames(nodes) +
+             "} has no path to ground (the MNA reference); node voltages "
+             "there are undefined and every prediction is vacuous",
+         "tie the subcircuit to ground or to a referenced net"});
+  }
+}
+
+// --- L3: fuzzy-value sanity ------------------------------------------------
+
+void lintFuzzyValues(const Netlist& net, LintReport& report) {
+  auto& out = report.diagnostics;
+  for (const Component& c : net.components()) {
+    const std::string loc = "component " + c.name;
+    if (c.relTol < 0.0) {
+      out.push_back({"L3", Severity::kError, loc,
+                     "negative tolerance " + std::to_string(c.relTol) +
+                         " fuzzifies to a negative spread (m1 > m2)",
+                     "use a tolerance >= 0"});
+    }
+    switch (c.kind) {
+      case ComponentKind::kResistor:
+      case ComponentKind::kCapacitor:
+      case ComponentKind::kInductor:
+        if (c.value <= 0.0) {
+          out.push_back({"L3", Severity::kError, loc,
+                         std::string(circuit::kindName(c.kind)) +
+                             " value must be positive, got " +
+                             std::to_string(c.value),
+                         "fix the component value"});
+        }
+        break;
+      case ComponentKind::kNpn:
+        if (c.value <= 0.0) {
+          out.push_back({"L3", Severity::kError, loc,
+                         "beta must be positive, got " +
+                             std::to_string(c.value),
+                         "fix the transistor gain"});
+        }
+        if (c.vbeSpread < 0.0) {
+          out.push_back({"L3", Severity::kError, loc,
+                         "negative vbe spread " + std::to_string(c.vbeSpread),
+                         "use vbespread >= 0"});
+        }
+        if (c.vbe <= 0.0) {
+          out.push_back({"L3", Severity::kWarning, loc,
+                         "non-positive Vbe " + std::to_string(c.vbe) +
+                             " puts the junction model outside its validity",
+                         "check the vbe= option"});
+        }
+        break;
+      case ComponentKind::kGain:
+        if (c.value == 0.0) {
+          out.push_back({"L3", Severity::kWarning, loc,
+                         "zero gain pins the output to 0 V regardless of the "
+                         "input; downstream measurements carry no information",
+                         "check the gain value"});
+        }
+        break;
+      case ComponentKind::kDiode:
+        if (c.value < 0.0) {
+          out.push_back({"L3", Severity::kWarning, loc,
+                         "negative forward drop " + std::to_string(c.value),
+                         "check the Vf value"});
+        }
+        if (c.maxCurrent) {
+          if (c.maxCurrent->area() == 0.0) {
+            out.push_back(
+                {"L3", Severity::kWarning, loc,
+                 "current rating " + c.maxCurrent->str() +
+                     " has zero area; any derived current conflicts at "
+                     "degree 1, so the rating acts as a hard equality",
+                 "give the rating a core width or spreads"});
+          } else if (c.maxCurrent->support().hi <= 0.0) {
+            out.push_back({"L3", Severity::kWarning, loc,
+                           "current rating " + c.maxCurrent->str() +
+                               " excludes every forward current; a "
+                               "conducting diode always violates it",
+                           "check the imax envelope"});
+          }
+        }
+        break;
+      case ComponentKind::kVSource:
+        break;  // trusted equipment: crisp nominals are the normal case
+    }
+    // A crisp nominal on a toleranced component class: the prediction
+    // envelope degenerates to a point, so the smallest real manufacturing
+    // deviation reads as a full conflict instead of a partial one.
+    if (c.relTol == 0.0 && c.kind != ComponentKind::kVSource &&
+        c.kind != ComponentKind::kDiode && c.kind != ComponentKind::kGain) {
+      out.push_back(
+          {"L3", Severity::kWarning, "component " + c.name,
+           "zero-area nominal: tolerance is 0, so the fuzzified value " +
+               c.fuzzyValue().str() +
+               " is crisp and any measured deviation conflicts at degree 1",
+           "declare the component's real tolerance (e.g. tol=1%)"});
+    }
+  }
+}
+
+// --- L4: names and source ambiguities --------------------------------------
+
+void lintNames(const Netlist& net, LintReport& report) {
+  auto& out = report.diagnostics;
+  // The Netlist container rejects exact duplicates at insertion, so the
+  // remaining hazard is case-shadowing: "V1" and "v1" are distinct entities
+  // to the library but one name to most humans and to classic SPICE.
+  std::map<std::string, std::vector<std::string>> nodesByFold;
+  for (NodeId n = 1; n < net.nodeCount(); ++n) {
+    nodesByFold[lowered(net.nodeName(n))].push_back(net.nodeName(n));
+  }
+  for (const auto& [fold, names] : nodesByFold) {
+    if (names.size() > 1) {
+      out.push_back(
+          {"L4", Severity::kWarning, "node " + names.front(),
+           "node names {" + joinNames(names) +
+               "} differ only by case; classic SPICE would merge them, this "
+               "library keeps them as separate (possibly unintended) nets",
+           "rename one of the nodes"});
+    }
+  }
+  std::map<std::string, std::vector<std::string>> compsByFold;
+  for (const Component& c : net.components()) {
+    compsByFold[lowered(c.name)].push_back(c.name);
+  }
+  for (const auto& [fold, names] : compsByFold) {
+    if (names.size() > 1) {
+      out.push_back({"L4", Severity::kWarning, "component " + names.front(),
+                     "component names {" + joinNames(names) +
+                         "} differ only by case and shadow each other in "
+                         "case-insensitive tooling",
+                     "rename one of the components"});
+    }
+  }
+}
+
+// Tokenizer mirroring the parser's comment rules, for the source-level scan.
+std::vector<std::string> sourceTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == '*' || ch == ';') break;
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+// True for a token that is a number with a final uppercase-'M' suffix: this
+// library reads it datasheet-style as mega while classic SPICE case-folds it
+// to milli — a silent 1e9 disagreement when cards travel between tools.
+bool hasAmbiguousMegaSuffix(const std::string& token) {
+  if (token.size() < 2 || token.back() != 'M') return false;
+  const std::string mantissa = token.substr(0, token.size() - 1);
+  try {
+    (void)circuit::parseEngineeringValue(mantissa);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LintError::LintError(LintReport report)
+    : std::runtime_error(lintErrorMessage(report)),
+      report_(std::move(report)) {}
+
+LintReport lintNetlist(const Netlist& net, const LintOptions& options) {
+  LintReport report;
+  if (options.connectivity) lintConnectivity(net, report);
+  if (options.fuzzyValues) lintFuzzyValues(net, report);
+  if (options.names) lintNames(net, report);
+  report.normalize();
+  return report;
+}
+
+LintReport lintSource(const std::string& cardText, const LintOptions& options) {
+  LintReport report;
+  if (!options.names) return report;
+
+  std::istringstream is(cardText);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto tokens = sourceTokens(line);
+    if (tokens.empty() || tokens[0][0] == '.') continue;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      // Bare value fields and the value side of key=value options.
+      std::string value = tokens[i];
+      const auto eq = value.find('=');
+      if (eq != std::string::npos) value = value.substr(eq + 1);
+      if (hasAmbiguousMegaSuffix(value)) {
+        report.diagnostics.push_back(
+            {"L4", Severity::kWarning, "line " + std::to_string(lineNo),
+             "unit suffix 'M' in '" + tokens[i] +
+                 "' reads as mega (1e6) here but as milli (1e-3) in classic "
+                 "SPICE; card: " + line,
+             "write 'meg' for mega or 'm' for milli"});
+      }
+    }
+  }
+
+  try {
+    (void)circuit::parseNetlistString(cardText);
+  } catch (const circuit::ParseError& e) {
+    Diagnostic d;
+    d.rule = "L4";
+    d.severity = Severity::kError;
+    d.location = "line " + std::to_string(e.line());
+    d.message = e.message();
+    if (!e.card().empty()) d.message += "; card: " + e.card();
+    d.fixHint = "fix the card so it parses";
+    report.diagnostics.push_back(std::move(d));
+  }
+  report.normalize();
+  return report;
+}
+
+std::string renderLintReport(const LintReport& report) {
+  std::ostringstream os;
+  for (const Diagnostic& d : report.diagnostics) {
+    os << severityName(d.severity) << " [" << d.rule << "] " << d.location
+       << ": " << d.message;
+    if (!d.fixHint.empty()) os << "\n    fix: " << d.fixHint;
+    os << '\n';
+  }
+  os << "lint: " << report.errors() << " error(s), " << report.warnings()
+     << " warning(s), " << report.count(Severity::kInfo) << " note(s)\n";
+  return os.str();
+}
+
+namespace {
+
+void jsonEscape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string lintReportJson(const LintReport& report) {
+  std::ostringstream os;
+  os << "{\"errors\":" << report.errors()
+     << ",\"warnings\":" << report.warnings() << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rule\":";
+    jsonEscape(os, d.rule);
+    os << ",\"severity\":\"" << severityName(d.severity) << "\",\"location\":";
+    jsonEscape(os, d.location);
+    os << ",\"message\":";
+    jsonEscape(os, d.message);
+    os << ",\"fix_hint\":";
+    jsonEscape(os, d.fixHint);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void enforce(const LintReport& report, bool warningsAsErrors) {
+  if (report.errors() > 0 || (warningsAsErrors && report.warnings() > 0)) {
+    throw LintError(report);
+  }
+}
+
+void recordObsCounters(const LintReport& report) {
+  static obs::Counter& cErrors = obs::counter("lint_errors_total");
+  static obs::Counter& cWarnings = obs::counter("lint_warnings_total");
+  cErrors.add(report.errors());
+  cWarnings.add(report.warnings());
+}
+
+}  // namespace flames::lint

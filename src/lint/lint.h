@@ -1,0 +1,153 @@
+// flames::lint — static analysis of diagnostic models (netlist level).
+//
+// FLAMES only diagnoses well when the model it propagates over is
+// well-formed: a floating node, an unconstrained quantity or a degenerate
+// fuzzy nominal silently produces vacuous predictions and zero nogoods — the
+// engine then reports "consistent" instead of "your model is broken". The
+// lint pass runs *before* compilation and returns a structured report of
+// diagnostics, each tagged with the rule that produced it:
+//
+//   L1  floating/dangling nodes; components with unconnected terminals;
+//       subcircuits with no path to ground (the MNA reference)
+//   L2  quantities reachable by no constraint and carrying no prediction
+//       (unpredictable => undiagnosable) — model level, see model_lint.h
+//   L3  ill-formed fuzzy values: parameters that would fuzzify to m1 > m2
+//       or negative spreads, zero-area tolerance envelopes used as
+//       nominals, rating/prediction envelopes that exclude the nominal
+//   L4  duplicate/shadowed component and node names; unit-suffix parse
+//       ambiguities in netlist source text
+//   L5  knowledge-base / experience rules referencing quantities,
+//       components or measurement points absent from the model — see
+//       model_lint.h
+//   L6  diagnosability audit: components indistinguishable from the
+//       declared measurement points (identical sensitivity-sign columns),
+//       with the minimal extra probe that would split them — see
+//       model_lint.h
+//
+// This header holds the shared types and the rules that need only the
+// netlist (L1, L3, L4); it deliberately depends on nothing above
+// flames_circuit so that the model builder itself can gate on it.
+// Model/KB/diagnosability rules live in lint/model_lint.h.
+//
+// Severity policy: *error* means the compiled model cannot produce
+// meaningful diagnoses (or cannot be built at all); the build gate and the
+// service submit path refuse such inputs with a typed LintError. *warning*
+// means diagnosis will run but with degraded coverage or resolution; it is
+// reported and counted but does not block (unless escalated via --Werror).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace flames::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] std::string_view severityName(Severity s);
+
+/// One finding of the static analysis pass.
+struct Diagnostic {
+  /// Rule identifier, "L1" .. "L6".
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  /// What the finding is anchored to: "component R1", "node n3",
+  /// "line 4", "rule conducting(T1)", ...
+  std::string location;
+  std::string message;
+  /// Actionable remedy; empty when none is known.
+  std::string fixHint;
+};
+
+/// Per-rule enable switches and thresholds for the whole pass. Every rule
+/// is independently toggleable; entry points that lack the inputs a rule
+/// needs (e.g. netlist-level lint cannot run L2) simply skip it.
+struct LintOptions {
+  bool connectivity = true;    ///< L1
+  bool reachability = true;    ///< L2
+  bool fuzzyValues = true;     ///< L3
+  bool names = true;           ///< L4
+  bool knowledgeBase = true;   ///< L5
+  bool diagnosability = true;  ///< L6
+
+  /// Node names the bench can actually probe, for the L6 audit; empty =
+  /// every named non-ground node is considered measurable.
+  std::vector<std::string> measurementPoints;
+
+  /// Escalate warnings to errors at enforcement points (CLI --Werror,
+  /// service submission gate). Does not change recorded severities.
+  bool warningsAsErrors = false;
+};
+
+/// The result of a lint pass. Diagnostics are ordered errors-first, then by
+/// rule, preserving discovery order within a rule.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
+  [[nodiscard]] std::size_t warnings() const {
+    return count(Severity::kWarning);
+  }
+  /// No error-grade diagnostics (warnings allowed).
+  [[nodiscard]] bool ok() const { return errors() == 0; }
+  /// No diagnostics at all.
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+
+  /// Diagnostics produced by one rule, e.g. byRule("L3").
+  [[nodiscard]] std::vector<const Diagnostic*> byRule(
+      std::string_view rule) const;
+
+  /// Appends another report's diagnostics and restores the severity order.
+  void merge(LintReport other);
+  /// Sorts errors-first (stable within a severity).
+  void normalize();
+};
+
+/// Thrown by enforcement points (buildDiagnosticModel's lint gate, the
+/// service submit gate) when a report contains error-grade diagnostics.
+/// Carries the full report so callers can render every finding, not just
+/// the first.
+class LintError : public std::runtime_error {
+ public:
+  explicit LintError(LintReport report);
+  [[nodiscard]] const LintReport& report() const { return report_; }
+
+ private:
+  LintReport report_;
+};
+
+/// Runs the netlist-level rules (L1 connectivity, L3 fuzzy-value sanity,
+/// L4 name collisions) over a netlist.
+[[nodiscard]] LintReport lintNetlist(const circuit::Netlist& net,
+                                     const LintOptions& options = {});
+
+/// Runs the source-level L4 checks over raw card text: unit-suffix parse
+/// ambiguities (uppercase 'M' reads as mega here but milli in classic
+/// SPICE), quoting the offending card. A card that fails to parse at all is
+/// reported as an error-grade L4 diagnostic carrying the card text instead
+/// of throwing.
+[[nodiscard]] LintReport lintSource(const std::string& cardText,
+                                    const LintOptions& options = {});
+
+/// Human-readable rendering (one line per diagnostic plus a summary).
+[[nodiscard]] std::string renderLintReport(const LintReport& report);
+
+/// Machine-readable rendering: {"errors":N,"warnings":N,"diagnostics":[...]}.
+[[nodiscard]] std::string lintReportJson(const LintReport& report);
+
+/// Throws LintError if the report contains errors — or warnings, when
+/// `warningsAsErrors` escalates them.
+void enforce(const LintReport& report, bool warningsAsErrors = false);
+
+/// Adds the report's error/warning counts to the flames::obs counters
+/// "lint_errors_total" / "lint_warnings_total". Called by enforcement
+/// surfaces (the service submit gate), not by the rules themselves, so one
+/// report is counted exactly once however many passes produced it.
+void recordObsCounters(const LintReport& report);
+
+}  // namespace flames::lint

@@ -1,0 +1,280 @@
+#include "lint/model_lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace flames::lint {
+
+using circuit::Netlist;
+using circuit::NodeId;
+using constraints::BuiltModel;
+using constraints::QuantityId;
+
+namespace {
+
+std::string joinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+// Extracts "T1" from rule names of the form "region(T1)/on"; empty when the
+// name carries no parenthesised component reference.
+std::string parenthesizedName(const std::string& s) {
+  const auto open = s.find('(');
+  const auto close = s.find(')', open == std::string::npos ? 0 : open);
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open + 1) {
+    return {};
+  }
+  return s.substr(open + 1, close - open - 1);
+}
+
+// The measurement points the L6 audit assumes, resolved against the
+// netlist: explicit options win, otherwise every named non-ground node.
+std::vector<std::string> resolveMeasurementPoints(
+    const Netlist& net, const LintOptions& options) {
+  if (!options.measurementPoints.empty()) return options.measurementPoints;
+  std::vector<std::string> points;
+  for (NodeId n = 1; n < net.nodeCount(); ++n) {
+    points.push_back(net.nodeName(n));
+  }
+  return points;
+}
+
+}  // namespace
+
+LintReport lintBuiltModel(const BuiltModel& built, const LintOptions& options) {
+  LintReport report;
+  if (!options.reachability) return report;
+
+  std::set<QuantityId> predicted;
+  for (const auto& p : built.model.predictions()) predicted.insert(p.quantity);
+
+  for (QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    if (!built.model.constraintsOn(q).empty()) continue;
+    if (predicted.count(q) != 0) continue;
+    report.diagnostics.push_back(
+        {"L2", Severity::kWarning,
+         "quantity " + built.model.quantityInfo(q).name,
+         "no constraint touches this quantity and no prediction seeds it; "
+         "the model can never predict a value here, so measurements at this "
+         "point can neither corroborate nor conflict (undiagnosable)",
+         "check the wiring around the quantity or enable nominal "
+         "predictions"});
+  }
+  report.normalize();
+  return report;
+}
+
+LintReport lintKnowledgeBase(const diagnosis::KnowledgeBase& kb,
+                             const BuiltModel& built, const Netlist& net,
+                             const LintOptions& options) {
+  LintReport report;
+  if (!options.knowledgeBase) return report;
+
+  for (const diagnosis::FuzzyRule& rule : kb.rules()) {
+    for (const diagnosis::FuzzyProposition& p : rule.antecedents) {
+      if (p.quantity >= built.model.quantityCount()) {
+        report.diagnostics.push_back(
+            {"L5", Severity::kError, "rule " + rule.name,
+             "antecedent references quantity id " +
+                 std::to_string(p.quantity) +
+                 " which does not exist in this model (it has " +
+                 std::to_string(built.model.quantityCount()) +
+                 " quantities); evaluating the rule would fault",
+             "rebuild the rule against this model's quantity ids"});
+      }
+    }
+    // Region rules are named "region(<component>)/..." and conclude about
+    // that component; a dangling reference means the rule was compiled for
+    // a different netlist and can only mislead the expert.
+    const std::string comp = parenthesizedName(rule.name);
+    if (!comp.empty() && !net.hasComponent(comp)) {
+      report.diagnostics.push_back(
+          {"L5", Severity::kWarning, "rule " + rule.name,
+           "rule references component '" + comp +
+               "' which is not in the netlist; its conclusion points at "
+               "nothing the candidate generator knows",
+           "remove the rule or rename the component it targets"});
+    }
+  }
+  report.normalize();
+  return report;
+}
+
+LintReport lintExperience(const diagnosis::ExperienceBase& experience,
+                          const BuiltModel& built, const Netlist& net,
+                          const LintOptions& options) {
+  LintReport report;
+  if (!options.knowledgeBase) return report;
+
+  for (const diagnosis::SymptomRule& rule : experience.rules()) {
+    const std::string loc =
+        "experience rule " + rule.component + "/" + rule.mode;
+    if (!net.hasComponent(rule.component)) {
+      report.diagnostics.push_back(
+          {"L5", Severity::kWarning, loc,
+           "learned rule blames component '" + rule.component +
+               "' which is not in this netlist; the hint can never be acted "
+               "on (experience file from another unit type?)",
+           "load the experience base that matches this unit type"});
+    }
+    for (const diagnosis::Symptom& s : rule.symptoms) {
+      if (!built.model.findQuantity(s.quantity).has_value()) {
+        report.diagnostics.push_back(
+            {"L5", Severity::kWarning, loc,
+             "learned rule keys on quantity '" + s.quantity +
+                 "' which this model does not define; the signature can "
+                 "never match a session on this unit",
+             "load the experience base that matches this unit type"});
+      }
+    }
+  }
+  report.normalize();
+  return report;
+}
+
+LintReport lintDiagnosability(const Netlist& net,
+                              const diagnosis::SensitivitySigns& signs,
+                              const LintOptions& options) {
+  LintReport report;
+  if (!options.diagnosability) return report;
+
+  const std::vector<std::string> points =
+      resolveMeasurementPoints(net, options);
+  std::vector<std::string> allNodes;
+  for (NodeId n = 1; n < net.nodeCount(); ++n) {
+    allNodes.push_back(net.nodeName(n));
+  }
+
+  // Sign column of each component over the declared measurement points.
+  std::map<std::vector<int>, std::vector<std::string>> groups;
+  for (const std::string& comp : signs.components()) {
+    std::vector<int> column;
+    column.reserve(points.size());
+    bool visible = false;
+    for (const std::string& node : points) {
+      const int s = signs.sign(node, comp);
+      column.push_back(s);
+      if (s != 0) visible = true;
+    }
+    if (!visible) {
+      // Detectability first: a fault nobody can see is worse than one that
+      // is merely confusable with a neighbour.
+      std::string probe;
+      for (const std::string& node : allNodes) {
+        if (signs.sign(node, comp) != 0) {
+          probe = node;
+          break;
+        }
+      }
+      report.diagnostics.push_back(
+          {"L6", Severity::kWarning, "component " + comp,
+           "fault is invisible at the declared measurement points (zero "
+           "sensitivity everywhere measured)",
+           probe.empty()
+               ? "no node-voltage probe sees this component; add a current "
+                 "measurement or accept the coverage gap"
+               : "probe V(" + probe + ") to make this fault visible"});
+      continue;
+    }
+    groups[column].push_back(comp);
+  }
+
+  for (const auto& [column, members] : groups) {
+    if (members.size() < 2) continue;
+    // The minimal extra probe: one un-declared node that splits the most
+    // member pairs; members with equal signs there stay confusable.
+    std::string bestProbe;
+    std::size_t bestSplits = 0;
+    for (const std::string& node : allNodes) {
+      if (std::find(points.begin(), points.end(), node) != points.end()) {
+        continue;
+      }
+      std::size_t splits = 0;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (signs.sign(node, members[i]) != signs.sign(node, members[j])) {
+            ++splits;
+          }
+        }
+      }
+      if (splits > bestSplits) {
+        bestSplits = splits;
+        bestProbe = node;
+      }
+    }
+    Diagnostic d;
+    d.rule = "L6";
+    d.location = "component " + members.front();
+    d.message = "components {" + joinNames(members) +
+                "} have identical sensitivity-sign columns over the "
+                "measurement points {" + joinNames(points) +
+                "}; their faults are indistinguishable from those readings";
+    if (!bestProbe.empty()) {
+      d.severity = Severity::kWarning;
+      d.fixHint = "probe V(" + bestProbe + ") to split the group (" +
+                  std::to_string(bestSplits) + " pair(s) separated)";
+    } else {
+      // Nothing measurable separates them: an inherent ambiguity class of
+      // the circuit, not a fixable gap in the declared probe set.
+      d.severity = Severity::kInfo;
+      d.fixHint = "no node-voltage probe separates these components; they "
+                  "form an inherent ambiguity class";
+    }
+    report.diagnostics.push_back(std::move(d));
+  }
+  report.normalize();
+  return report;
+}
+
+LintReport lintModel(const ModelLintInputs& inputs,
+                     const LintOptions& options) {
+  if (inputs.netlist == nullptr) {
+    throw std::invalid_argument("lintModel: netlist input is required");
+  }
+  LintReport report = lintNetlist(*inputs.netlist, options);
+
+  // Declared measurement points must name real nodes (L5): a typo here
+  // silently hides every reading the bench takes at that point.
+  if (options.knowledgeBase) {
+    for (const std::string& point : options.measurementPoints) {
+      bool found = point == "0" || point == "gnd" || point == "GND";
+      for (NodeId n = 0; !found && n < inputs.netlist->nodeCount(); ++n) {
+        found = inputs.netlist->nodeName(n) == point;
+      }
+      if (!found) {
+        report.diagnostics.push_back(
+            {"L5", Severity::kError, "measurement point " + point,
+             "declared measurement point is not a node of the netlist",
+             "fix the probe name or add the node"});
+      }
+    }
+  }
+
+  if (inputs.built != nullptr) {
+    report.merge(lintBuiltModel(*inputs.built, options));
+    if (inputs.kb != nullptr) {
+      report.merge(
+          lintKnowledgeBase(*inputs.kb, *inputs.built, *inputs.netlist,
+                            options));
+    }
+    if (inputs.experience != nullptr) {
+      report.merge(lintExperience(*inputs.experience, *inputs.built,
+                                  *inputs.netlist, options));
+    }
+  }
+  if (inputs.signs != nullptr) {
+    report.merge(lintDiagnosability(*inputs.netlist, *inputs.signs, options));
+  }
+  report.normalize();
+  return report;
+}
+
+}  // namespace flames::lint

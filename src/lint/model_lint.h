@@ -1,0 +1,72 @@
+// flames::lint — model/KB/diagnosability rules (L2, L5, L6).
+//
+// These rules need more than the netlist: L2 walks the built constraint
+// network's incidence index, L5 cross-checks knowledge-base and experience
+// rules against the model and netlist they will run against, and L6 audits
+// whether the declared measurement points can distinguish the component
+// faults at all (identical sensitivity-sign columns = indistinguishable).
+// They live apart from lint/lint.h so that flames_circuit-level consumers
+// (the model builder's own gate) need not drag in the diagnosis layer.
+//
+// Cost note: L1-L5 are linear scans and safe to run on every compile; L6
+// costs one bump simulation per component unless a prebuilt
+// SensitivitySigns is supplied, which is why lintModel() skips L6 when
+// `inputs.signs` is null — audit surfaces (CLI --lint) pass one explicitly.
+#pragma once
+
+#include "constraints/model_builder.h"
+#include "diagnosis/deviation_analysis.h"
+#include "diagnosis/knowledge_base.h"
+#include "diagnosis/learning.h"
+#include "lint/lint.h"
+
+namespace flames::lint {
+
+/// Everything the model-level pass may look at. `netlist` is required;
+/// every other input is optional and its rules are skipped when null.
+struct ModelLintInputs {
+  const circuit::Netlist* netlist = nullptr;
+  const constraints::BuiltModel* built = nullptr;        ///< L2, L5
+  const diagnosis::KnowledgeBase* kb = nullptr;          ///< L5
+  const diagnosis::ExperienceBase* experience = nullptr; ///< L5
+  const diagnosis::SensitivitySigns* signs = nullptr;    ///< L6
+};
+
+/// L2: quantities that no constraint touches and no prediction seeds.
+/// Such a quantity can never receive a predicted value, so measurements
+/// there can never corroborate or conflict — the model is silently blind.
+[[nodiscard]] LintReport lintBuiltModel(const constraints::BuiltModel& built,
+                                        const LintOptions& options = {});
+
+/// L5 (knowledge base): rules whose antecedents reference quantity ids
+/// outside the model, or whose name/conclusion names a component absent
+/// from the netlist. Such rules either crash rule evaluation or silently
+/// never fire.
+[[nodiscard]] LintReport lintKnowledgeBase(
+    const diagnosis::KnowledgeBase& kb, const constraints::BuiltModel& built,
+    const circuit::Netlist& net, const LintOptions& options = {});
+
+/// L5 (experience base): learned rules whose symptom quantities or target
+/// component do not exist in this model/netlist — they can never match and
+/// usually indicate an experience file from a different unit type.
+[[nodiscard]] LintReport lintExperience(
+    const diagnosis::ExperienceBase& experience,
+    const constraints::BuiltModel& built, const circuit::Netlist& net,
+    const LintOptions& options = {});
+
+/// L6: diagnosability audit. Components whose sensitivity-sign columns over
+/// the measurement points (options.measurementPoints; empty = every named
+/// non-ground node) are identical cannot be told apart by any measurement
+/// there; the diagnostic reports the smallest extra probe that splits the
+/// group, or downgrades to info when no node-voltage probe can.
+[[nodiscard]] LintReport lintDiagnosability(
+    const circuit::Netlist& net, const diagnosis::SensitivitySigns& signs,
+    const LintOptions& options = {});
+
+/// Runs the netlist rules (L1/L3/L4) plus every model-level rule whose
+/// inputs are present, in one merged, severity-ordered report. Also checks
+/// that every declared measurement point names a netlist node (L5).
+[[nodiscard]] LintReport lintModel(const ModelLintInputs& inputs,
+                                   const LintOptions& options = {});
+
+}  // namespace flames::lint

@@ -41,6 +41,15 @@ CompiledModel::CompiledModel(std::shared_ptr<const circuit::Netlist> net,
   if (options.installRegionRules) {
     diagnosis::addTransistorRegionRules(kb_, *net_, built_);
   }
+  // One lint pass per compiled unit type, cached alongside the model. L6
+  // (signs == nullptr) is deliberately left out: its per-component bump
+  // simulations would dominate the compile and the build gate has already
+  // guaranteed there are no error-grade netlist findings.
+  lint::ModelLintInputs lintInputs;
+  lintInputs.netlist = net_.get();
+  lintInputs.built = &built_;
+  lintInputs.kb = &kb_;
+  lint_ = lint::lintModel(lintInputs, options.lint);
 }
 
 const diagnosis::SensitivitySigns& CompiledModel::sensitivitySigns(
@@ -72,7 +81,13 @@ std::string modelCacheKey(const circuit::Netlist& net,
      << options.model.addNominalPredictions << '|';
   putDouble(os, options.model.sensitivityThreshold);
   putDouble(os, options.model.spreadScale);
-  os << '|' << options.installRegionRules;
+  os << '|' << options.installRegionRules << '|'
+     << options.model.lintBeforeBuild;
+  // The cached lint report depends on the rule toggles, so they are part of
+  // the model identity too.
+  os << '|' << options.lint.connectivity << options.lint.reachability
+     << options.lint.fuzzyValues << options.lint.names
+     << options.lint.knowledgeBase;
   return os.str();
 }
 

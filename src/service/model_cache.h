@@ -25,6 +25,7 @@
 #include "diagnosis/deviation_analysis.h"
 #include "diagnosis/flames.h"
 #include "diagnosis/knowledge_base.h"
+#include "lint/model_lint.h"
 
 namespace flames::service {
 
@@ -49,6 +50,13 @@ class CompiledModel {
     return kb_;
   }
 
+  /// The static-analysis report for this unit type (rules L1-L5; L6 is
+  /// excluded because it costs one bump simulation per component — audit
+  /// surfaces run it explicitly). Computed once at compile time and shared
+  /// by every job that hits this cache entry, so per-job lint cost on a
+  /// cache hit is zero.
+  [[nodiscard]] const lint::LintReport& lintReport() const { return lint_; }
+
   /// The sensitivity-sign matrix (one bump simulation per component), built
   /// on first use and reused by every later job on this unit type. The
   /// first caller's options win; requests sharing a cache entry share their
@@ -61,6 +69,7 @@ class CompiledModel {
   std::shared_ptr<const circuit::Netlist> net_;
   constraints::BuiltModel built_;
   diagnosis::KnowledgeBase kb_;
+  lint::LintReport lint_;
   mutable std::once_flag signsOnce_;
   mutable std::optional<diagnosis::SensitivitySigns> signs_;
 };

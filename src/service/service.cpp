@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lint/lint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 
@@ -90,6 +91,16 @@ DiagnosisService::~DiagnosisService() {
 }
 
 JobHandle DiagnosisService::submit(DiagnosisRequest request) {
+  if (options_.lintOnSubmit && request.netlist != nullptr) {
+    // Netlist-level rules only (L1/L3/L4): cheap enough for the intake
+    // path, and the model-level rules run once per unit type inside the
+    // compile cache anyway. Error-grade findings reject the job here,
+    // before it costs a queue slot.
+    const lint::LintReport report =
+        lint::lintNetlist(*request.netlist, request.options.lint);
+    lint::recordObsCounters(report);
+    lint::enforce(report, request.options.lint.warningsAsErrors);
+  }
   auto job = std::make_shared<Job>();
   job->request_ = std::move(request);
   job->future_ = job->promise_.get_future().share();

@@ -115,6 +115,13 @@ struct ServiceOptions {
   /// Applied to requests that carry no deadline of their own; 0 = none.
   std::chrono::nanoseconds defaultDeadline{0};
   diagnosis::LearningOptions learning;
+  /// Run the cheap netlist-level lint rules at submit() and reject
+  /// error-grade requests with lint::LintError before they ever reach the
+  /// worker pool — a job against a broken netlist would only fail later,
+  /// after occupying a queue slot and a worker. Findings are mirrored into
+  /// the obs counters lint_errors_total / lint_warnings_total. The rule
+  /// toggles come from each request's options.lint.
+  bool lintOnSubmit = true;
 };
 
 struct ServiceStats {
@@ -140,7 +147,9 @@ class DiagnosisService {
   DiagnosisService& operator=(const DiagnosisService&) = delete;
 
   /// Enqueues a job, blocking while the queue is full (backpressure).
-  /// Throws std::runtime_error after shutdown began.
+  /// Throws std::runtime_error after shutdown began, lint::LintError when
+  /// ServiceOptions::lintOnSubmit finds error-grade netlist problems (the
+  /// job is rejected without touching the queue or the worker pool).
   JobHandle submit(DiagnosisRequest request);
 
   /// Non-blocking variant: returns nullptr instead of waiting for a slot.

@@ -109,6 +109,30 @@ TEST(Parser, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(Parser, ErrorsCarryTheRawCard) {
+  try {
+    (void)parseNetlistString("V1 a 0 1\nR1 a 0 zzz tol=1%\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.card(), "R1 a 0 zzz tol=1%");
+    EXPECT_FALSE(e.message().empty());
+    // what() stays self-contained for callers that only log the exception.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+    EXPECT_NE(what.find("card: R1 a 0 zzz tol=1%"), std::string::npos);
+  }
+}
+
+TEST(Parser, DirectiveErrorsCarryTheRawCard) {
+  try {
+    (void)parseNetlistString(".include foo\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.card(), ".include foo");
+  }
+}
+
 TEST(Parser, UnknownKindRejected) {
   EXPECT_THROW(parseNetlistString("X1 a b 1\n"), ParseError);
 }

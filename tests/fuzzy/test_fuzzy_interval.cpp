@@ -20,6 +20,38 @@ TEST(FuzzyInterval, ConstructorValidation) {
   EXPECT_THROW(FuzzyInterval(0.0, 1.0, 0.0, -0.1), std::invalid_argument);
 }
 
+TEST(FuzzyInterval, InvariantViolationsThrowTypedException) {
+  // The typed exception derives from std::invalid_argument (so the checks
+  // above keep passing) and carries the offending parameters.
+  try {
+    FuzzyInterval f(2.0, 1.0, 0.0, 0.0);
+    FAIL() << "expected InvalidFuzzyInterval";
+  } catch (const InvalidFuzzyInterval& e) {
+    EXPECT_DOUBLE_EQ(e.m1(), 2.0);
+    EXPECT_DOUBLE_EQ(e.m2(), 1.0);
+    EXPECT_NE(std::string(e.what()).find("m1 > m2"), std::string::npos);
+  }
+  try {
+    FuzzyInterval f(0.0, 1.0, -0.5, 0.0);
+    FAIL() << "expected InvalidFuzzyInterval";
+  } catch (const InvalidFuzzyInterval& e) {
+    EXPECT_DOUBLE_EQ(e.alpha(), -0.5);
+    EXPECT_NE(std::string(e.what()).find("negative spread"),
+              std::string::npos);
+  }
+}
+
+TEST(FuzzyInterval, NonFiniteParametersRejected) {
+  const double nan = std::nan("");
+  EXPECT_THROW(FuzzyInterval(nan, 1.0, 0.0, 0.0), InvalidFuzzyInterval);
+  EXPECT_THROW(FuzzyInterval(0.0, 1.0, nan, 0.0), InvalidFuzzyInterval);
+}
+
+TEST(FuzzyInterval, FromSupportCoreInvertedCoreThrowsTyped) {
+  EXPECT_THROW(FuzzyInterval::fromSupportCore(0.0, 2.0, 1.0, 3.0),
+               InvalidFuzzyInterval);
+}
+
 TEST(FuzzyInterval, UniformRepresentation) {
   // Paper §3.2: crisp number, crisp interval, fuzzy number, fuzzy interval
   // all share the 4-tuple form.

@@ -1,0 +1,295 @@
+// Unit tests for the netlist-level lint rules (L1/L3/L4), the report
+// infrastructure, the renderers and the obs counter bridge.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.h"
+#include "obs/obs.h"
+
+namespace flames::lint {
+namespace {
+
+using circuit::Netlist;
+
+// A small healthy divider every negative test perturbs.
+Netlist divider() {
+  Netlist net;
+  net.addVSource("V1", "in", "0", 10.0);
+  net.addResistor("R1", "in", "out", 1e3, 0.01);
+  net.addResistor("R2", "out", "0", 1e3, 0.01);
+  return net;
+}
+
+bool hasDiagnostic(const LintReport& report, const std::string& rule,
+                   Severity severity, const std::string& locationPart) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule == rule && d.severity == severity &&
+        d.location.find(locationPart) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- report infrastructure -------------------------------------------------
+
+TEST(LintReport, CountsAndPredicates) {
+  LintReport r;
+  r.diagnostics.push_back({"L1", Severity::kError, "a", "m", ""});
+  r.diagnostics.push_back({"L3", Severity::kWarning, "b", "m", ""});
+  r.diagnostics.push_back({"L3", Severity::kWarning, "c", "m", ""});
+  r.diagnostics.push_back({"L6", Severity::kInfo, "d", "m", ""});
+  EXPECT_EQ(r.errors(), 1u);
+  EXPECT_EQ(r.warnings(), 2u);
+  EXPECT_EQ(r.count(Severity::kInfo), 1u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.byRule("L3").size(), 2u);
+  EXPECT_TRUE(r.byRule("L2").empty());
+}
+
+TEST(LintReport, NormalizeOrdersErrorsFirstStably) {
+  LintReport r;
+  r.diagnostics.push_back({"L3", Severity::kWarning, "w1", "m", ""});
+  r.diagnostics.push_back({"L6", Severity::kInfo, "i1", "m", ""});
+  r.diagnostics.push_back({"L1", Severity::kError, "e1", "m", ""});
+  r.diagnostics.push_back({"L4", Severity::kWarning, "w2", "m", ""});
+  r.normalize();
+  ASSERT_EQ(r.diagnostics.size(), 4u);
+  EXPECT_EQ(r.diagnostics[0].location, "e1");
+  EXPECT_EQ(r.diagnostics[1].location, "w1");  // stable within a severity
+  EXPECT_EQ(r.diagnostics[2].location, "w2");
+  EXPECT_EQ(r.diagnostics[3].location, "i1");
+}
+
+TEST(LintReport, MergeCombinesAndReorders) {
+  LintReport a, b;
+  a.diagnostics.push_back({"L3", Severity::kWarning, "w", "m", ""});
+  b.diagnostics.push_back({"L1", Severity::kError, "e", "m", ""});
+  a.merge(std::move(b));
+  ASSERT_EQ(a.diagnostics.size(), 2u);
+  EXPECT_EQ(a.diagnostics[0].severity, Severity::kError);
+}
+
+TEST(LintReport, CleanNetlistProducesNoFindings) {
+  const LintReport r = lintNetlist(divider());
+  EXPECT_TRUE(r.clean()) << renderLintReport(r);
+}
+
+// --- L1: connectivity -------------------------------------------------------
+
+TEST(LintL1, EmptyNetlistIsAnError) {
+  const LintReport r = lintNetlist(Netlist{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L1", Severity::kError, "netlist"));
+}
+
+TEST(LintL1, FloatingIslandIsAnError) {
+  Netlist net = divider();
+  net.addResistor("R3", "a", "b", 1e3, 0.01);  // island {a, b}, no ground
+  const LintReport r = lintNetlist(net);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L1", Severity::kError, "node a"));
+  const auto l1 = r.byRule("L1");
+  ASSERT_FALSE(l1.empty());
+  EXPECT_NE(l1.front()->message.find("no path to ground"), std::string::npos);
+}
+
+TEST(LintL1, DanglingNodeIsAWarning) {
+  Netlist net = divider();
+  net.addResistor("R3", "out", "stub", 1e3, 0.01);  // stub: degree 1
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L1", Severity::kWarning, "node stub"));
+}
+
+TEST(LintL1, UnusedNodeIsAWarning) {
+  Netlist net = divider();
+  net.node("orphan");  // declared, touched by nothing
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L1", Severity::kWarning, "node orphan"));
+}
+
+TEST(LintL1, SelfShortedComponentIsAWarning) {
+  Netlist net = divider();
+  net.addResistor("R3", "out", "out", 1e3, 0.01);
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L1", Severity::kWarning, "component R3"));
+}
+
+TEST(LintL1, DisabledRuleReportsNothing) {
+  LintOptions opts;
+  opts.connectivity = false;
+  const LintReport r = lintNetlist(Netlist{}, opts);
+  EXPECT_TRUE(r.clean());
+}
+
+// --- L3: fuzzy-value sanity -------------------------------------------------
+
+TEST(LintL3, NegativeToleranceIsAnError) {
+  Netlist net = divider();
+  net.component("R1").relTol = -0.05;
+  const LintReport r = lintNetlist(net);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L3", Severity::kError, "component R1"));
+}
+
+TEST(LintL3, NegativeVbeSpreadIsAnError) {
+  Netlist net = divider();
+  net.addNpn("Q1", "in", "out", "0", 100.0, 0.02, 0.7, 0.01);
+  net.component("Q1").vbeSpread = -0.01;
+  const LintReport r = lintNetlist(net);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L3", Severity::kError, "component Q1"));
+}
+
+TEST(LintL3, CrispNominalOnTolerancedClassIsAWarning) {
+  Netlist net = divider();
+  net.component("R2").relTol = 0.0;
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L3", Severity::kWarning, "component R2"));
+}
+
+TEST(LintL3, CrispSourceAndDiodeAreFine) {
+  // Trusted equipment and the paper's deliberately crisp diodes must not
+  // drown the report in warnings (Fig. 5 uses crisp Vf).
+  Netlist net;
+  net.addVSource("V1", "in", "0", 5.0);
+  net.addDiode("D1", "in", "mid", 0.6);
+  net.addResistor("R1", "mid", "0", 1e3, 0.01);
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.clean()) << renderLintReport(r);
+}
+
+TEST(LintL3, ZeroAreaCurrentRatingIsAWarning) {
+  Netlist net;
+  net.addVSource("V1", "in", "0", 5.0);
+  net.addResistor("R1", "mid", "0", 1e3, 0.01);
+  net.addDiode("D1", "in", "mid", 0.6).maxCurrent =
+      fuzzy::FuzzyInterval::crisp(1e-3);
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasDiagnostic(r, "L3", Severity::kWarning, "component D1"));
+}
+
+TEST(LintL3, DisabledRuleReportsNothing) {
+  Netlist net = divider();
+  net.component("R1").relTol = -0.05;
+  LintOptions opts;
+  opts.fuzzyValues = false;
+  EXPECT_TRUE(lintNetlist(net, opts).clean());
+}
+
+// --- L4: names and source ambiguities ---------------------------------------
+
+TEST(LintL4, CaseShadowedNodeNamesWarn) {
+  Netlist net = divider();
+  net.addResistor("R3", "OUT", "0", 1e3, 0.01);  // "OUT" vs "out"
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(r.ok());
+  bool found = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    found = found || (d.rule == "L4" &&
+                      d.message.find("differ only by case") !=
+                          std::string::npos);
+  }
+  EXPECT_TRUE(found) << renderLintReport(r);
+}
+
+TEST(LintL4, CaseShadowedComponentNamesWarn) {
+  Netlist net = divider();
+  net.addResistor("r1", "in", "0", 1e3, 0.01);  // shadows "R1"
+  const LintReport r = lintNetlist(net);
+  EXPECT_TRUE(hasDiagnostic(r, "L4", Severity::kWarning, "component"));
+}
+
+TEST(LintL4, SourceMegaSuffixAmbiguityWarnsAndQuotesCard) {
+  const LintReport r = lintSource(
+      "V1 in 0 10\nR1 in out 1M tol=1%\nR2 out 0 1k tol=1%\n.end\n");
+  EXPECT_TRUE(r.ok());
+  const auto l4 = r.byRule("L4");
+  ASSERT_EQ(l4.size(), 1u);
+  EXPECT_EQ(l4.front()->location, "line 2");
+  EXPECT_NE(l4.front()->message.find("card: R1 in out 1M tol=1%"),
+            std::string::npos);
+}
+
+TEST(LintL4, SourceChecksKeyValueOptionValues) {
+  const LintReport r =
+      lintSource("R1 in 0 1k tol=1%\nR2 in 0 1k tol=1M\n.end\n");
+  EXPECT_FALSE(r.byRule("L4").empty());
+}
+
+TEST(LintL4, UnparseableCardIsAnErrorCarryingTheCard) {
+  const LintReport r = lintSource("V1 in 0 10\nR1 in\n.end\n");
+  EXPECT_FALSE(r.ok());
+  const auto l4 = r.byRule("L4");
+  ASSERT_FALSE(l4.empty());
+  EXPECT_EQ(l4.front()->severity, Severity::kError);
+  EXPECT_EQ(l4.front()->location, "line 2");
+  EXPECT_NE(l4.front()->message.find("card: R1 in"), std::string::npos);
+}
+
+// --- renderers, enforcement, counters ---------------------------------------
+
+TEST(LintRender, TextIncludesSeverityRuleAndSummary) {
+  LintReport r;
+  r.diagnostics.push_back(
+      {"L1", Severity::kError, "node a", "broken", "fix it"});
+  const std::string text = renderLintReport(r);
+  EXPECT_NE(text.find("error [L1] node a: broken"), std::string::npos);
+  EXPECT_NE(text.find("fix: fix it"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(LintRender, JsonEscapesAndCounts) {
+  LintReport r;
+  r.diagnostics.push_back(
+      {"L4", Severity::kWarning, "line 1", "bad \"card\"\n", ""});
+  const std::string json = lintReportJson(r);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(json.find("bad \\\"card\\\"\\n"), std::string::npos);
+}
+
+TEST(LintEnforce, ThrowsTypedErrorCarryingTheReport) {
+  LintReport r;
+  r.diagnostics.push_back({"L1", Severity::kError, "node a", "broken", ""});
+  try {
+    enforce(r);
+    FAIL() << "enforce() did not throw";
+  } catch (const LintError& e) {
+    EXPECT_EQ(e.report().errors(), 1u);
+    EXPECT_NE(std::string(e.what()).find("[L1] node a"), std::string::npos);
+  }
+}
+
+TEST(LintEnforce, WarningsPassUnlessEscalated) {
+  LintReport r;
+  r.diagnostics.push_back({"L3", Severity::kWarning, "c", "m", ""});
+  EXPECT_NO_THROW(enforce(r));
+  EXPECT_THROW(enforce(r, /*warningsAsErrors=*/true), LintError);
+}
+
+TEST(LintObs, CountersRecordErrorsAndWarnings) {
+  obs::setEnabled(true);
+  obs::Counter& errors = obs::counter("lint_errors_total");
+  obs::Counter& warnings = obs::counter("lint_warnings_total");
+  const auto e0 = errors.value();
+  const auto w0 = warnings.value();
+  LintReport r;
+  r.diagnostics.push_back({"L1", Severity::kError, "a", "m", ""});
+  r.diagnostics.push_back({"L3", Severity::kWarning, "b", "m", ""});
+  r.diagnostics.push_back({"L3", Severity::kWarning, "c", "m", ""});
+  recordObsCounters(r);
+  EXPECT_EQ(errors.value(), e0 + 1);
+  EXPECT_EQ(warnings.value(), w0 + 2);
+  obs::setEnabled(false);
+}
+
+}  // namespace
+}  // namespace flames::lint

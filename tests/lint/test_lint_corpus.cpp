@@ -1,0 +1,112 @@
+// Corpus driver: every netlist under tests/lint/corpus/ encodes its own
+// expectation in its file name.
+//
+//   <rule>_<severity>_<slug>.cir  — the source+netlist lint pass must report
+//                                   at least one <rule> diagnostic at exactly
+//                                   <severity>, and nothing *more* severe
+//                                   than <severity> from any rule;
+//   clean_<slug>.cir              — the pass must report no errors and no
+//                                   warnings at all.
+//
+// This keeps the corpus self-describing: adding a regression netlist is one
+// file with the right name, no driver edit.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/parser.h"
+#include "lint/lint.h"
+
+#ifndef FLAMES_LINT_CORPUS_DIR
+#error "FLAMES_LINT_CORPUS_DIR must point at tests/lint/corpus"
+#endif
+
+namespace flames::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CorpusCase {
+  std::string name;  ///< file stem, e.g. "L1_error_floating_island"
+  std::string rule;  ///< "" for clean cases
+  Severity severity = Severity::kInfo;
+  bool clean = false;
+  std::string text;
+};
+
+Severity parseSeverity(const std::string& word) {
+  if (word == "error") return Severity::kError;
+  if (word == "warning") return Severity::kWarning;
+  if (word == "info") return Severity::kInfo;
+  ADD_FAILURE() << "corpus file name with unknown severity '" << word << "'";
+  return Severity::kInfo;
+}
+
+std::vector<CorpusCase> loadCorpus() {
+  std::vector<CorpusCase> cases;
+  for (const auto& entry : fs::directory_iterator(FLAMES_LINT_CORPUS_DIR)) {
+    if (entry.path().extension() != ".cir") continue;
+    CorpusCase c;
+    c.name = entry.path().stem().string();
+    std::ifstream is(entry.path());
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    c.text = buffer.str();
+    if (c.name.rfind("clean_", 0) == 0) {
+      c.clean = true;
+    } else {
+      const auto first = c.name.find('_');
+      const auto second = c.name.find('_', first + 1);
+      c.rule = c.name.substr(0, first);
+      c.severity = parseSeverity(c.name.substr(first + 1, second - first - 1));
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+// The same source-then-netlist sequence the CLI lint mode runs.
+LintReport lintCorpusText(const std::string& text) {
+  LintReport report = lintSource(text);
+  if (report.ok()) {
+    report.merge(lintNetlist(circuit::parseNetlistString(text)));
+  }
+  return report;
+}
+
+int rank(Severity s) { return static_cast<int>(s); }
+
+TEST(LintCorpus, EveryNetlistMatchesItsEncodedExpectation) {
+  const auto cases = loadCorpus();
+  // Guards against a wrong CORPUS_DIR silently testing nothing.
+  ASSERT_GE(cases.size(), 9u);
+
+  for (const CorpusCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    const LintReport report = lintCorpusText(c.text);
+    if (c.clean) {
+      EXPECT_EQ(report.errors(), 0u) << renderLintReport(report);
+      EXPECT_EQ(report.warnings(), 0u) << renderLintReport(report);
+      continue;
+    }
+    bool matched = false;
+    for (const Diagnostic& d : report.diagnostics) {
+      matched = matched || (d.rule == c.rule && d.severity == c.severity);
+      // Nothing may out-rank the encoded severity: a warning-grade corpus
+      // netlist that suddenly reports an error is a policy regression.
+      EXPECT_LE(rank(d.severity), rank(c.severity))
+          << "unexpected " << severityName(d.severity) << " [" << d.rule
+          << "] " << d.location << ": " << d.message;
+    }
+    EXPECT_TRUE(matched) << "expected a " << severityName(c.severity) << " ["
+                         << c.rule << "] finding; got:\n"
+                         << renderLintReport(report);
+  }
+}
+
+}  // namespace
+}  // namespace flames::lint

@@ -1,0 +1,172 @@
+// Integration tests for the lint enforcement surfaces: the model builder's
+// lint-before-build gate, the compile cache's per-unit-type report, and the
+// batch service's submit-time rejection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "diagnosis/flames.h"
+#include "lint/lint.h"
+#include "obs/obs.h"
+#include "service/model_cache.h"
+#include "service/service.h"
+
+namespace flames {
+namespace {
+
+circuit::Netlist healthyDivider() {
+  circuit::Netlist net;
+  net.addVSource("V1", "in", "0", 10.0);
+  net.addResistor("R1", "in", "out", 1e3, 0.01);
+  net.addResistor("R2", "out", "0", 1e3, 0.01);
+  return net;
+}
+
+circuit::Netlist floatingIsland() {
+  circuit::Netlist net = healthyDivider();
+  net.addResistor("R3", "a", "b", 1e3, 0.01);  // {a, b} never reach ground
+  return net;
+}
+
+TEST(LintGate, BuildRefusesBrokenNetlistWithTypedError) {
+  try {
+    (void)constraints::buildDiagnosticModel(floatingIsland());
+    FAIL() << "gate did not fire";
+  } catch (const lint::LintError& e) {
+    EXPECT_GE(e.report().errors(), 1u);
+    EXPECT_FALSE(e.report().byRule("L1").empty());
+  }
+}
+
+TEST(LintGate, GateCanBeDisabled) {
+  constraints::ModelBuildOptions opts;
+  opts.lintBeforeBuild = false;
+  // Without the gate the same netlist fails later and worse: the MNA solve
+  // on the floating subcircuit is singular.
+  EXPECT_THROW((void)constraints::buildDiagnosticModel(floatingIsland(), opts),
+               std::runtime_error);
+  try {
+    (void)constraints::buildDiagnosticModel(floatingIsland(), opts);
+  } catch (const lint::LintError&) {
+    FAIL() << "gate fired although disabled";
+  } catch (const std::exception&) {
+    // expected: the raw solver failure
+  }
+}
+
+TEST(LintGate, EngineConstructionIsGatedToo) {
+  EXPECT_THROW(diagnosis::FlamesEngine engine(floatingIsland()),
+               lint::LintError);
+}
+
+TEST(LintGate, HealthyNetlistBuildsThroughTheGate) {
+  EXPECT_NO_THROW((void)constraints::buildDiagnosticModel(healthyDivider()));
+}
+
+TEST(CompiledModelLint, CachesTheReportPerUnitType) {
+  auto net = std::make_shared<const circuit::Netlist>(healthyDivider());
+  const service::CompiledModel model(net, diagnosis::FlamesOptions{});
+  EXPECT_TRUE(model.lintReport().clean())
+      << lint::renderLintReport(model.lintReport());
+}
+
+TEST(CompiledModelLint, WarningsSurviveIntoTheCachedReport) {
+  circuit::Netlist warned = healthyDivider();
+  warned.component("R2").relTol = 0.0;  // L3 crisp-nominal warning
+  auto net = std::make_shared<const circuit::Netlist>(std::move(warned));
+  const service::CompiledModel model(net, diagnosis::FlamesOptions{});
+  EXPECT_TRUE(model.lintReport().ok());
+  EXPECT_FALSE(model.lintReport().byRule("L3").empty());
+}
+
+TEST(CompiledModelLint, RuleTogglesChangeTheCacheKey) {
+  const circuit::Netlist net = healthyDivider();
+  diagnosis::FlamesOptions a, b;
+  b.lint.fuzzyValues = false;
+  EXPECT_NE(service::modelCacheKey(net, a), service::modelCacheKey(net, b));
+  b = a;
+  b.model.lintBeforeBuild = false;
+  EXPECT_NE(service::modelCacheKey(net, a), service::modelCacheKey(net, b));
+}
+
+TEST(ServiceLintGate, RejectsErrorGradeJobBeforeTheWorkerPool) {
+  service::ServiceOptions sopts;
+  sopts.workers = 2;
+  service::DiagnosisService svc(sopts);
+
+  service::DiagnosisRequest bad;
+  bad.netlist = std::make_shared<const circuit::Netlist>(floatingIsland());
+  bad.measurements.push_back(service::crispMeasurement("out", 5.0));
+  EXPECT_THROW((void)svc.submit(bad), lint::LintError);
+
+  // The rejection happened at intake: nothing was submitted, queued or run,
+  // and the model cache never saw the broken netlist.
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.queueDepth, 0u);
+  EXPECT_EQ(stats.modelCache.misses, 0u);
+
+  // The same service keeps accepting healthy work.
+  service::DiagnosisRequest good;
+  good.netlist = std::make_shared<const circuit::Netlist>(healthyDivider());
+  good.measurements.push_back(service::crispMeasurement("out", 5.0));
+  auto job = svc.submit(good);
+  EXPECT_EQ(job->wait().status, service::JobStatus::kDone);
+}
+
+TEST(ServiceLintGate, WarningsAsErrorsEscalatesAtSubmit) {
+  service::ServiceOptions sopts;
+  sopts.workers = 1;
+  service::DiagnosisService svc(sopts);
+
+  circuit::Netlist warned = healthyDivider();
+  warned.component("R2").relTol = 0.0;  // warning-grade only
+  service::DiagnosisRequest req;
+  req.netlist = std::make_shared<const circuit::Netlist>(std::move(warned));
+  req.measurements.push_back(service::crispMeasurement("out", 5.0));
+
+  auto job = svc.submit(req);  // warnings alone do not block
+  EXPECT_EQ(job->wait().status, service::JobStatus::kDone);
+
+  req.options.lint.warningsAsErrors = true;
+  EXPECT_THROW((void)svc.submit(req), lint::LintError);
+}
+
+TEST(ServiceLintGate, CanBeDisabled) {
+  service::ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.lintOnSubmit = false;
+  service::DiagnosisService svc(sopts);
+
+  service::DiagnosisRequest bad;
+  bad.netlist = std::make_shared<const circuit::Netlist>(floatingIsland());
+  bad.measurements.push_back(service::crispMeasurement("out", 5.0));
+  // Accepted at intake; the builder's own gate then fails the job on a
+  // worker instead of throwing at the caller.
+  auto job = svc.submit(bad);
+  const auto& result = job->wait();
+  EXPECT_EQ(result.status, service::JobStatus::kFailed);
+  EXPECT_NE(result.error.find("lint failed"), std::string::npos)
+      << result.error;
+}
+
+TEST(ServiceLintGate, MirrorsCountsIntoObs) {
+  obs::setEnabled(true);
+  obs::Counter& errors = obs::counter("lint_errors_total");
+  const auto e0 = errors.value();
+
+  service::ServiceOptions sopts;
+  sopts.workers = 1;
+  service::DiagnosisService svc(sopts);
+  service::DiagnosisRequest bad;
+  bad.netlist = std::make_shared<const circuit::Netlist>(floatingIsland());
+  EXPECT_THROW((void)svc.submit(bad), lint::LintError);
+
+  EXPECT_GT(errors.value(), e0);
+  obs::setEnabled(false);
+}
+
+}  // namespace
+}  // namespace flames

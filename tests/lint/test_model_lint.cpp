@@ -1,0 +1,239 @@
+// Unit tests for the model-level lint rules: L2 (unreachable quantities),
+// L5 (KB/experience cross-checks), L6 (diagnosability audit) and the
+// lintModel() aggregator.
+#include "lint/model_lint.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "diagnosis/deviation_analysis.h"
+#include "diagnosis/knowledge_base.h"
+#include "diagnosis/learning.h"
+
+namespace flames::lint {
+namespace {
+
+using circuit::Netlist;
+
+// Series chain in → a → b → 0: from node "a" alone, R2 and R3 shift V(a)
+// the same way, so their faults are indistinguishable there; node "b"
+// separates them.
+Netlist seriesChain() {
+  Netlist net;
+  net.addVSource("V1", "in", "0", 10.0);
+  net.addResistor("R1", "in", "a", 1e3, 0.01);
+  net.addResistor("R2", "a", "b", 1e3, 0.01);
+  net.addResistor("R3", "b", "0", 1e3, 0.01);
+  return net;
+}
+
+bool hasRule(const LintReport& r, const std::string& rule, Severity sev) {
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.rule == rule && d.severity == sev) return true;
+  }
+  return false;
+}
+
+// --- L2: unreachable quantities ---------------------------------------------
+
+TEST(LintL2, OrphanQuantityWarns) {
+  // Hand-built model: one quantity nothing constrains or predicts. (A real
+  // netlist cannot easily produce this — an isolated node makes the MNA
+  // solve fail first — which is exactly why the rule exists for
+  // hand-assembled or future model sources.)
+  constraints::BuiltModel built;
+  built.model.addQuantity("V(orphan)");
+  const LintReport r = lintBuiltModel(built);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "L2");
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::kWarning);
+  EXPECT_NE(r.diagnostics[0].location.find("V(orphan)"), std::string::npos);
+}
+
+TEST(LintL2, FullyBuiltModelHasNoOrphans) {
+  const Netlist net = seriesChain();
+  const auto built = constraints::buildDiagnosticModel(net);
+  const LintReport r = lintBuiltModel(built);
+  EXPECT_TRUE(r.clean()) << renderLintReport(r);
+}
+
+TEST(LintL2, DisabledRuleReportsNothing) {
+  constraints::BuiltModel built;
+  built.model.addQuantity("V(orphan)");
+  LintOptions opts;
+  opts.reachability = false;
+  EXPECT_TRUE(lintBuiltModel(built, opts).clean());
+}
+
+// --- L5: knowledge base and experience --------------------------------------
+
+TEST(LintL5, RuleWithOutOfRangeQuantityIdIsAnError) {
+  const Netlist net = seriesChain();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::KnowledgeBase kb;
+  diagnosis::FuzzyRule rule;
+  rule.name = "bogus";
+  rule.antecedents.push_back(
+      {static_cast<constraints::QuantityId>(built.model.quantityCount() + 7),
+       fuzzy::FuzzyInterval::crisp(1.0)});
+  kb.addRule(rule);
+  const LintReport r = lintKnowledgeBase(kb, built, net);
+  EXPECT_TRUE(hasRule(r, "L5", Severity::kError));
+}
+
+TEST(LintL5, RuleNamingAbsentComponentWarns) {
+  const Netlist net = seriesChain();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::KnowledgeBase kb;
+  diagnosis::FuzzyRule rule;
+  rule.name = "region(T9)/saturated";  // no T9 in the chain
+  rule.antecedents.push_back({built.voltage("a"),
+                              fuzzy::FuzzyInterval::crisp(1.0)});
+  kb.addRule(rule);
+  const LintReport r = lintKnowledgeBase(kb, built, net);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasRule(r, "L5", Severity::kWarning));
+}
+
+TEST(LintL5, GeneratedRegionRulesLintClean) {
+  const Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::KnowledgeBase kb;
+  diagnosis::addTransistorRegionRules(kb, net, built);
+  ASSERT_GT(kb.size(), 0u);
+  EXPECT_TRUE(lintKnowledgeBase(kb, built, net).clean());
+}
+
+TEST(LintL5, ExperienceFromAnotherUnitTypeWarns) {
+  const Netlist net = seriesChain();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::ExperienceBase experience;
+  // Blames a component this netlist lacks, keyed on a quantity it lacks.
+  experience.recordSuccess({{"V(n99)", -0.8, -1}}, "R77", "short");
+  const LintReport r = lintExperience(experience, built, net);
+  EXPECT_TRUE(r.ok());
+  std::size_t l5 = r.byRule("L5").size();
+  EXPECT_EQ(l5, 2u) << renderLintReport(r);  // component + quantity finding
+}
+
+TEST(LintL5, MatchingExperienceLintsClean) {
+  const Netlist net = seriesChain();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::ExperienceBase experience;
+  experience.recordSuccess({{"V(a)", -0.8, -1}}, "R2", "short");
+  EXPECT_TRUE(lintExperience(experience, built, net).clean());
+}
+
+// --- L6: diagnosability ------------------------------------------------------
+
+TEST(LintL6, IndistinguishableGroupReportsSplittingProbe) {
+  const Netlist net = seriesChain();
+  const diagnosis::SensitivitySigns signs(net);
+  LintOptions opts;
+  opts.measurementPoints = {"a"};
+  const LintReport r = lintDiagnosability(net, signs, opts);
+  const Diagnostic* group = nullptr;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.rule == "L6" && d.message.find("R2") != std::string::npos &&
+        d.message.find("R3") != std::string::npos) {
+      group = &d;
+    }
+  }
+  ASSERT_NE(group, nullptr) << renderLintReport(r);
+  EXPECT_EQ(group->severity, Severity::kWarning);
+  EXPECT_NE(group->fixHint.find("probe V(b)"), std::string::npos)
+      << group->fixHint;
+}
+
+TEST(LintL6, InvisibleFaultWarnsWithProbeHint) {
+  // V(in) is pinned by the source, so from {in} alone every resistor fault
+  // is invisible; the rule must say so and point at a node that sees it.
+  const Netlist net = seriesChain();
+  const diagnosis::SensitivitySigns signs(net);
+  LintOptions opts;
+  opts.measurementPoints = {"in"};
+  const LintReport r = lintDiagnosability(net, signs, opts);
+  bool invisible = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.rule == "L6" && d.message.find("invisible") != std::string::npos) {
+      invisible = true;
+      EXPECT_NE(d.fixHint.find("probe V("), std::string::npos) << d.fixHint;
+    }
+  }
+  EXPECT_TRUE(invisible) << renderLintReport(r);
+}
+
+TEST(LintL6, FullProbeCoverageOfChainIsQuiet) {
+  // With every node measurable the chain's neighbouring resistors remain
+  // confusable only as inherent (info-grade) ambiguity classes, never as
+  // warnings.
+  const Netlist net = seriesChain();
+  const diagnosis::SensitivitySigns signs(net);
+  const LintReport r = lintDiagnosability(net, signs, {});
+  EXPECT_EQ(r.errors(), 0u);
+  EXPECT_EQ(r.warnings(), 0u);
+}
+
+TEST(LintL6, DisabledRuleReportsNothing) {
+  const Netlist net = seriesChain();
+  const diagnosis::SensitivitySigns signs(net);
+  LintOptions opts;
+  opts.diagnosability = false;
+  opts.measurementPoints = {"a"};
+  EXPECT_TRUE(lintDiagnosability(net, signs, opts).clean());
+}
+
+// --- lintModel() aggregator --------------------------------------------------
+
+TEST(LintModel, RequiresANetlist) {
+  EXPECT_THROW(lintModel(ModelLintInputs{}), std::invalid_argument);
+}
+
+TEST(LintModel, TypoedMeasurementPointIsAnError) {
+  const Netlist net = seriesChain();
+  ModelLintInputs inputs;
+  inputs.netlist = &net;
+  LintOptions opts;
+  opts.measurementPoints = {"a", "nope"};
+  const LintReport r = lintModel(inputs, opts);
+  EXPECT_FALSE(r.ok());
+  bool found = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    found = found || (d.rule == "L5" &&
+                      d.location == "measurement point nope");
+  }
+  EXPECT_TRUE(found) << renderLintReport(r);
+}
+
+TEST(LintModel, SkipsRulesWhoseInputsAreAbsent) {
+  const Netlist net = seriesChain();
+  ModelLintInputs inputs;
+  inputs.netlist = &net;  // no model, no KB, no signs
+  const LintReport r = lintModel(inputs);
+  EXPECT_TRUE(r.byRule("L2").empty());
+  EXPECT_TRUE(r.byRule("L6").empty());
+}
+
+TEST(LintModel, PaperThreeStageAmpLintsClean) {
+  // The acceptance circuit: Fig. 6/7 of the paper. The full pass — source
+  // to diagnosability — must produce no errors and no warnings (inherent
+  // info-grade ambiguity classes are allowed).
+  const Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  diagnosis::KnowledgeBase kb;
+  diagnosis::addTransistorRegionRules(kb, net, built);
+  const diagnosis::SensitivitySigns signs(net);
+  ModelLintInputs inputs;
+  inputs.netlist = &net;
+  inputs.built = &built;
+  inputs.kb = &kb;
+  inputs.signs = &signs;
+  const LintReport r = lintModel(inputs);
+  EXPECT_EQ(r.errors(), 0u) << renderLintReport(r);
+  EXPECT_EQ(r.warnings(), 0u) << renderLintReport(r);
+}
+
+}  // namespace
+}  // namespace flames::lint
