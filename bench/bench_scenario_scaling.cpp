@@ -1,0 +1,107 @@
+// Scenario-harness scaling: end-to-end diagnosis cost on *generated*
+// circuits as the topology grows, per family. bench_atms_scaling measures
+// the candidate-space explosion on synthetic nogood databases; this bench
+// drives the same question through the whole pipeline — netlist generation,
+// bench simulation, fuzzy propagation, conflict recording, hitting sets,
+// fault-mode refinement — exactly as the fuzzer's oracle runs it.
+//
+// The propagation-entry cap is the lever that keeps mesh families tractable
+// (see scenario::defaultOracleFlamesOptions); BM_BridgeEntryCap sweeps it on
+// a fixed bridge so the cubic per-step cost is visible in one table.
+#include <benchmark/benchmark.h>
+
+#include "obs_optin.h"
+
+#include <string>
+
+#include "scenario/oracle.h"
+#include "scenario/scenario.h"
+#include "scenario/topology.h"
+#include "workload/rng.h"
+
+namespace {
+
+using namespace flames;
+
+// One observable scenario of the given family/depth: resample value seeds
+// until the observability gate passes, exactly like the harness does.
+scenario::Scenario scenarioFor(scenario::Family family, std::size_t depth) {
+  scenario::GeneratorOptions opts;
+  opts.topology.families = {family};
+  opts.topology.minDepth = depth;
+  opts.topology.maxDepth = depth;
+  return scenario::sampleScenario(
+      workload::deriveSeed(1, static_cast<std::uint64_t>(depth)), opts);
+}
+
+void runDiagnosis(benchmark::State& state, scenario::Family family) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const scenario::Scenario s = scenarioFor(family, depth);
+  const auto net = scenario::buildNetlist(s);
+  std::size_t candidates = 0;
+  for (auto _ : state) {
+    const scenario::OracleResult r = scenario::runOracle(s);
+    candidates = r.report.candidates.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["components"] =
+      static_cast<double>(net.components().size());
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+
+void BM_LadderDiagnosis(benchmark::State& state) {
+  runDiagnosis(state, scenario::Family::kLadder);
+}
+BENCHMARK(BM_LadderDiagnosis)->Arg(2)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DividerDiagnosis(benchmark::State& state) {
+  runDiagnosis(state, scenario::Family::kDivider);
+}
+BENCHMARK(BM_DividerDiagnosis)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BridgeDiagnosis(benchmark::State& state) {
+  runDiagnosis(state, scenario::Family::kBridge);
+}
+BENCHMARK(BM_BridgeDiagnosis)->Arg(2)->Arg(3)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AmpChainDiagnosis(benchmark::State& state) {
+  runDiagnosis(state, scenario::Family::kAmpChain);
+}
+BENCHMARK(BM_AmpChainDiagnosis)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The mesh pathology in isolation: one bridge scenario, rising entry cap.
+// Beyond ~8 the per-step coincidence work dominates everything else in the
+// pipeline; this is the regression canary for the oracle's budget choice.
+void BM_BridgeEntryCap(benchmark::State& state) {
+  const scenario::Scenario s = scenarioFor(scenario::Family::kBridge, 3);
+  scenario::OracleOptions opts;
+  opts.flames.propagation.maxEntriesPerQuantity =
+      static_cast<std::size_t>(state.range(0));
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const scenario::OracleResult r = scenario::runOracle(s, opts);
+    steps = r.report.propagationSteps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_BridgeEntryCap)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Generation alone (no diagnosis): the harness-side overhead per scenario.
+void BM_SampleScenario(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scenario::sampleScenario(workload::deriveSeed(2, i++)));
+  }
+}
+BENCHMARK(BM_SampleScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

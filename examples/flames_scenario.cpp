@@ -1,0 +1,184 @@
+// flames_scenario — randomized circuit/fault fuzzing of the diagnosis
+// pipeline with a one-command repro workflow.
+//
+// Harness mode (default): sample `--count` scenarios from `--seed`, run the
+// diagnosis oracle on each, shrink any failure to a minimal scenario and
+// write it as a replayable `.scenario` file into `--out`.
+//
+//   flames_scenario --count=200 --seed=1
+//   flames_scenario --count=500 --seed=3 --via=service --out=repros
+//
+// Replay mode: re-run one recorded scenario; add --shrink to minimize a
+// failing one before reporting.
+//
+//   flames_scenario --replay=repros/repro_1_17.scenario
+//   flames_scenario --replay=failure.scenario --shrink --out=.
+//
+// --require-rank=1 tightens the oracle to "culprit must rank first", which
+// sign-ambiguous topologies legitimately violate — useful as a deliberately
+// broken oracle to watch the shrinker work.
+//
+// Exit codes: 0 = all scenarios passed, 1 = failures, 2 = usage error.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "diagnosis/report.h"
+#include "scenario/harness.h"
+
+namespace {
+
+using namespace flames;
+
+struct Args {
+  std::uint32_t seed = 1;
+  std::size_t count = 100;
+  scenario::OracleVia via = scenario::OracleVia::kEngine;
+  std::size_t requireRank = 0;
+  std::size_t maxDepth = 6;
+  std::string families;  // comma-separated; empty = all
+  std::string out = ".";
+  std::string replay;
+  bool shrink = false;
+  bool noShrink = false;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage(const std::string& bad = {}) {
+  if (!bad.empty()) std::cerr << "flames_scenario: unknown argument " << bad << "\n";
+  std::cerr
+      << "usage: flames_scenario [--count=N] [--seed=N] [--via=engine|service]\n"
+         "                       [--require-rank=N] [--max-depth=N]\n"
+         "                       [--families=ladder,divider,bridge,ampchain]\n"
+         "                       [--out=DIR|--out=] [--no-shrink] [-v]\n"
+         "       flames_scenario --replay=FILE [--shrink] [--out=DIR] [-v]\n";
+  std::exit(2);
+}
+
+bool numArg(const std::string& arg, const std::string& key, std::size_t* out) {
+  const std::string prefix = "--" + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = static_cast<std::size_t>(std::stoul(arg.substr(prefix.size())));
+  return true;
+}
+
+bool strArg(const std::string& arg, const std::string& key, std::string* out) {
+  const std::string prefix = "--" + key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Args parseArgs(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t n = 0;
+    std::string s;
+    if (numArg(arg, "count", &a.count) ||
+        numArg(arg, "require-rank", &a.requireRank) ||
+        numArg(arg, "max-depth", &a.maxDepth) ||
+        strArg(arg, "families", &a.families) ||
+        strArg(arg, "replay", &a.replay)) {
+      continue;
+    }
+    if (numArg(arg, "seed", &n)) {
+      a.seed = static_cast<std::uint32_t>(n);
+    } else if (strArg(arg, "via", &s)) {
+      if (s == "engine") {
+        a.via = scenario::OracleVia::kEngine;
+      } else if (s == "service") {
+        a.via = scenario::OracleVia::kService;
+      } else {
+        usage(arg);
+      }
+    } else if (strArg(arg, "out", &s)) {
+      a.out = s;
+    } else if (arg == "--shrink") {
+      a.shrink = true;
+    } else if (arg == "--no-shrink") {
+      a.noShrink = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      a.verbose = true;
+    } else {
+      usage(arg);
+    }
+  }
+  return a;
+}
+
+scenario::GeneratorOptions generatorOptions(const Args& a) {
+  scenario::GeneratorOptions g;
+  g.topology.maxDepth = a.maxDepth;
+  if (!a.families.empty()) {
+    std::istringstream fs(a.families);
+    std::string name;
+    while (std::getline(fs, name, ',')) {
+      if (!name.empty()) {
+        g.topology.families.push_back(scenario::familyFromName(name));
+      }
+    }
+  }
+  return g;
+}
+
+int replayMode(const Args& a) {
+  const scenario::Scenario s = scenario::loadScenarioFile(a.replay);
+  std::cout << "replaying " << scenario::describe(s) << "\n";
+
+  scenario::OracleOptions oracle;
+  oracle.via = a.via;
+  oracle.requireRankAtMost = a.requireRank;
+  scenario::OracleResult r = scenario::runOracle(s, oracle);
+
+  if (!r.passed() && a.shrink) {
+    std::cout << "shrinking...\n";
+    const scenario::ShrinkResult sr = scenario::shrink(s, oracle);
+    std::cout << "  " << sr.accepted << " reductions accepted ("
+              << sr.attempted << " oracle runs)\n";
+    std::cout << "minimal: " << scenario::describe(sr.scenario) << "\n";
+    const std::string path =
+        (a.out.empty() ? std::string(".") : a.out) + "/shrunk.scenario";
+    scenario::writeScenarioFile(path, sr.scenario);
+    std::cout << "wrote " << path << "\n";
+    r = scenario::runOracle(sr.scenario, oracle);
+  }
+
+  if (a.verbose) std::cout << diagnosis::renderReport(r.report);
+  if (r.passed()) {
+    std::cout << "PASS: culprit rank " << r.culpritRank << " (degree "
+              << r.culpritDegree << ")\n";
+    return 0;
+  }
+  std::cout << "FAIL:\n";
+  for (const std::string& v : r.violations) std::cout << "  " << v << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  try {
+    if (!args.replay.empty()) return replayMode(args);
+
+    scenario::HarnessOptions opts;
+    opts.seed = args.seed;
+    opts.count = args.count;
+    opts.generator = generatorOptions(args);
+    opts.oracle.via = args.via;
+    opts.oracle.requireRankAtMost = args.requireRank;
+    opts.shrinkFailures = !args.noShrink;
+    opts.reproDir = args.out;
+    opts.verbose = args.verbose;
+
+    const scenario::HarnessResult result =
+        scenario::runHarness(opts, &std::cout);
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "flames_scenario: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -46,6 +46,8 @@ struct Fault {
   }
 
   [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
 };
 
 /// Resistance used to emulate an open connection (kOhm units: 1e9 = 1 TOhm).

@@ -150,4 +150,147 @@ std::string summarizeReport(const DiagnosisReport& report) {
   return os.str();
 }
 
+namespace {
+
+// Minimal JSON writer for the golden files: values the tests compare are
+// strings, bools, integers and 6-decimal numbers, so no general-purpose
+// serializer is needed. Rounding happens in the *text*, which is what gets
+// diffed, so equal-to-1e-6 reports produce byte-identical goldens.
+
+void jsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void jsonNumber(std::ostream& os, double x) {
+  // -0.0 and 0.0 must render identically.
+  if (x == 0.0) x = 0.0;
+  std::ostringstream tmp;
+  tmp << std::fixed << std::setprecision(6) << x;
+  os << tmp.str();
+}
+
+void jsonStringArray(std::ostream& os, const std::vector<std::string>& xs) {
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ',';
+    jsonString(os, xs[i]);
+  }
+  os << ']';
+}
+
+void jsonInterval(std::ostream& os, const fuzzy::FuzzyInterval& v) {
+  os << "{\"m1\":";
+  jsonNumber(os, v.m1());
+  os << ",\"m2\":";
+  jsonNumber(os, v.m2());
+  os << ",\"alpha\":";
+  jsonNumber(os, v.alpha());
+  os << ",\"beta\":";
+  jsonNumber(os, v.beta());
+  os << '}';
+}
+
+}  // namespace
+
+std::string reportJson(const DiagnosisReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"propagationCompleted\": "
+     << (report.propagationCompleted ? "true" : "false") << ",\n";
+  os << "  \"faultDetected\": " << (report.faultDetected() ? "true" : "false")
+     << ",\n";
+
+  os << "  \"measurements\": [";
+  for (std::size_t i = 0; i < report.measurements.size(); ++i) {
+    const MeasurementSummary& m = report.measurements[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"quantity\":";
+    jsonString(os, m.quantity);
+    os << ",\"measured\":";
+    jsonInterval(os, m.measured);
+    os << ",\"nominal\":";
+    jsonInterval(os, m.nominal);
+    os << ",\"dc\":";
+    jsonNumber(os, m.dc);
+    os << ",\"signedDc\":";
+    jsonNumber(os, m.signedDc);
+    os << ",\"direction\":" << m.direction << '}';
+  }
+  os << (report.measurements.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"nogoods\": [";
+  for (std::size_t i = 0; i < report.nogoods.size(); ++i) {
+    const RankedNogood& n = report.nogoods[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"components\":";
+    jsonStringArray(os, n.components);
+    os << ",\"degree\":";
+    jsonNumber(os, n.degree);
+    os << '}';
+  }
+  os << (report.nogoods.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"candidates\": [";
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    const RankedCandidate& c = report.candidates[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"components\":";
+    jsonStringArray(os, c.components);
+    os << ",\"suspicion\":";
+    jsonNumber(os, c.suspicion);
+    os << ",\"plausibility\":";
+    jsonNumber(os, c.plausibility);
+    if (c.modeMatch) {
+      os << ",\"mode\":";
+      jsonString(os, c.modeMatch->mode);
+      os << ",\"matchDegree\":";
+      jsonNumber(os, c.modeMatch->matchDegree);
+      if (c.modeMatch->estimatedValue) {
+        os << ",\"estimatedValue\":";
+        jsonNumber(os, *c.modeMatch->estimatedValue);
+      }
+    }
+    os << '}';
+  }
+  os << (report.candidates.empty() ? "]" : "\n  ]") << ",\n";
+
+  os << "  \"suspicion\": {";
+  std::size_t i = 0;
+  for (const auto& [comp, s] : report.suspicion) {
+    os << (i++ ? ",\n    " : "\n    ");
+    jsonString(os, comp);
+    os << ": ";
+    jsonNumber(os, s);
+  }
+  os << (report.suspicion.empty() ? "}" : "\n  }") << ",\n";
+
+  os << "  \"directedHypotheses\": [";
+  for (std::size_t h = 0; h < report.directedHypotheses.size(); ++h) {
+    const DirectedHypothesis& d = report.directedHypotheses[h];
+    os << (h ? ",\n    " : "\n    ") << "{\"component\":";
+    jsonString(os, d.component);
+    os << ",\"direction\":";
+    jsonString(os, std::string(deviationDirectionName(d.direction)));
+    os << ",\"agreement\":";
+    jsonNumber(os, d.agreement);
+    os << ",\"symptomCount\":" << d.symptomCount << '}';
+  }
+  os << (report.directedHypotheses.empty() ? "]" : "\n  ]") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
 }  // namespace flames::diagnosis

@@ -18,6 +18,11 @@ namespace flames::diagnosis {
 /// One-line summary: "fault detected; best candidate {R2} (short, 0.97)".
 [[nodiscard]] std::string summarizeReport(const DiagnosisReport& report);
 
+/// Deterministic JSON rendering for golden-file regression tests: stable
+/// key order, every number rounded to 6 decimals (so LU-pivot-order noise
+/// below 1e-6 does not churn the goldens), wall-clock stats omitted.
+[[nodiscard]] std::string reportJson(const DiagnosisReport& report);
+
 /// Renders a component list like "{R1,R2,T1}".
 [[nodiscard]] std::string renderComponents(
     const std::vector<std::string>& components);

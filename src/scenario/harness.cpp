@@ -1,0 +1,109 @@
+#include "scenario/harness.h"
+
+#include <memory>
+#include <ostream>
+
+#include "service/service.h"
+#include "workload/rng.h"
+
+namespace flames::scenario {
+
+HarnessResult runHarness(const HarnessOptions& options, std::ostream* log) {
+  HarnessResult result;
+
+  std::unique_ptr<service::DiagnosisService> svc;
+  if (options.oracle.via == OracleVia::kService) {
+    service::ServiceOptions sopts;
+    sopts.workers = 1;
+    svc = std::make_unique<service::DiagnosisService>(sopts);
+  }
+
+  double rankSum = 0.0;
+  std::size_t ranked = 0;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    const std::uint32_t scenarioSeed =
+        workload::deriveSeed(options.seed, i);
+    ++result.runs;
+
+    Scenario s;
+    OracleResult oracle;
+    try {
+      s = sampleScenario(scenarioSeed, options.generator);
+      oracle = runOracle(s, options.oracle, svc.get());
+    } catch (const std::exception& e) {
+      HarnessFailure f;
+      f.index = i;
+      f.seed = scenarioSeed;
+      f.shrunk = s;
+      f.violations = {std::string("harness: ") + e.what()};
+      result.failures.push_back(std::move(f));
+      continue;
+    }
+
+    if (oracle.passed()) {
+      ++result.passed;
+      if (oracle.culpritRank > 0) {
+        ++ranked;
+        rankSum += oracle.culpritRank;
+        result.worstRank = std::max(result.worstRank, oracle.culpritRank);
+        if (oracle.culpritRank == 1) ++result.rankFirst;
+        if (oracle.culpritRank <= 3) ++result.rankTop3;
+      }
+      if (options.verbose && log != nullptr) {
+        *log << "  ok   " << describe(s) << " — rank " << oracle.culpritRank
+             << " (degree " << oracle.culpritDegree << ")\n";
+      }
+      continue;
+    }
+
+    HarnessFailure f;
+    f.index = i;
+    f.seed = scenarioSeed;
+    f.shrunk = s;
+    f.violations = oracle.violations;
+    if (options.shrinkFailures) {
+      const ShrinkResult sr = shrink(s, options.oracle, options.shrinkOptions);
+      f.shrunk = sr.scenario;
+      // Re-evaluate so the recorded violations describe the *minimal* repro.
+      try {
+        f.violations = runOracle(f.shrunk, options.oracle, svc.get()).violations;
+        if (f.violations.empty()) f.violations = oracle.violations;
+      } catch (const std::exception&) {
+        f.violations = oracle.violations;
+      }
+    }
+    if (!options.reproDir.empty()) {
+      f.reproPath = options.reproDir + "/repro_" +
+                    std::to_string(options.seed) + "_" + std::to_string(i) +
+                    ".scenario";
+      try {
+        writeScenarioFile(f.reproPath, f.shrunk);
+      } catch (const std::exception& e) {
+        f.violations.push_back(std::string("repro write failed: ") + e.what());
+        f.reproPath.clear();
+      }
+    }
+    if (log != nullptr) {
+      *log << "  FAIL " << describe(f.shrunk) << "\n";
+      for (const std::string& v : f.violations) *log << "       " << v << "\n";
+      if (!f.reproPath.empty()) *log << "       repro: " << f.reproPath << "\n";
+    }
+    result.failures.push_back(std::move(f));
+  }
+
+  result.meanRank = ranked == 0 ? 0.0 : rankSum / static_cast<double>(ranked);
+
+  if (log != nullptr) {
+    *log << "scenario harness: " << result.passed << "/" << result.runs
+         << " passed";
+    if (ranked != 0) {
+      *log << "; culprit rank mean " << result.meanRank << ", worst "
+           << result.worstRank << ", #1 in " << result.rankFirst
+           << ", top-3 in " << result.rankTop3;
+    }
+    *log << "\n";
+  }
+  return result;
+}
+
+}  // namespace flames::scenario

@@ -1,0 +1,62 @@
+// The randomized scenario harness: sample N scenarios from a master seed,
+// run the oracle on each, shrink failures, and write replayable `.scenario`
+// repro files.
+//
+// Per-scenario seeds derive from the master seed via workload::deriveSeed,
+// so `--seed S --count N` always replays the same N scenarios and scenario
+// i can be regenerated alone from its recorded seed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/oracle.h"
+#include "scenario/scenario.h"
+#include "scenario/shrink.h"
+
+namespace flames::scenario {
+
+struct HarnessOptions {
+  std::uint32_t seed = 1;
+  std::size_t count = 100;
+  GeneratorOptions generator;
+  OracleOptions oracle;
+  bool shrinkFailures = true;
+  ShrinkOptions shrinkOptions;
+  /// Directory for shrunk `.scenario` repro files; empty = do not write.
+  std::string reproDir;
+  /// Per-scenario progress lines on the log stream (harness summary prints
+  /// regardless).
+  bool verbose = false;
+};
+
+struct HarnessFailure {
+  std::size_t index = 0;       ///< scenario index within the run
+  std::uint32_t seed = 0;      ///< derived scenario seed
+  Scenario shrunk;             ///< minimal repro (== original if no shrink)
+  std::vector<std::string> violations;
+  std::string reproPath;       ///< written file, empty if none
+};
+
+struct HarnessResult {
+  std::size_t runs = 0;
+  std::size_t passed = 0;
+  std::vector<HarnessFailure> failures;
+  /// Culprit-rank quality over passing runs.
+  std::size_t rankFirst = 0;   ///< culprit ranked #1
+  std::size_t rankTop3 = 0;    ///< culprit within the top 3
+  double meanRank = 0.0;
+  int worstRank = 0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Runs the harness. `log` (optional) receives progress and the summary.
+/// When oracle.via == kService one shared single-service is used for every
+/// scenario, exercising the batch path's cache and shared experience base.
+[[nodiscard]] HarnessResult runHarness(const HarnessOptions& options,
+                                       std::ostream* log = nullptr);
+
+}  // namespace flames::scenario

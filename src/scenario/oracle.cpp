@@ -1,0 +1,270 @@
+#include "scenario/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "lint/lint.h"
+#include "service/service.h"
+
+namespace flames::scenario {
+
+using diagnosis::DiagnosisReport;
+using diagnosis::MeasurementSummary;
+using diagnosis::RankedCandidate;
+using diagnosis::RankedNogood;
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+bool inUnit(double x) { return x >= -kTol && x <= 1.0 + kTol; }
+
+std::string joinComponents(const std::vector<std::string>& comps) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    if (i != 0) os << ',';
+    os << comps[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+bool strictSubset(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  if (a.size() >= b.size()) return false;
+  const std::set<std::string> bs(b.begin(), b.end());
+  return std::all_of(a.begin(), a.end(),
+                     [&](const std::string& c) { return bs.count(c) != 0; });
+}
+
+bool intersects(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  return std::any_of(a.begin(), a.end(), [&](const std::string& c) {
+    return std::find(b.begin(), b.end(), c) != b.end();
+  });
+}
+
+}  // namespace
+
+std::vector<std::string> checkReportInvariants(const DiagnosisReport& report) {
+  std::vector<std::string> v;
+  auto fail = [&](const std::string& msg) { v.push_back(msg); };
+
+  // I1 — propagation must have completed.
+  if (!report.propagationCompleted) {
+    fail("I1: propagation budget exhausted");
+  }
+
+  // I2 — Dc table sanity.
+  for (const MeasurementSummary& m : report.measurements) {
+    if (!inUnit(m.dc)) {
+      fail("I2: Dc(" + m.quantity + ") = " + std::to_string(m.dc) +
+           " outside [0,1]");
+    }
+    if (std::abs(std::abs(m.signedDc) - m.dc) > kTol) {
+      fail("I2: |signedDc| != dc for " + m.quantity);
+    }
+    if (m.direction == -1 && m.signedDc > kTol) {
+      fail("I2: below-nominal deviation with positive signed Dc for " +
+           m.quantity);
+    }
+    if (m.direction == 1 && m.signedDc < -kTol) {
+      fail("I2: above-nominal deviation with negative signed Dc for " +
+           m.quantity);
+    }
+  }
+
+  // I3 — nogood degrees and subset-minimality.
+  for (const RankedNogood& n : report.nogoods) {
+    if (n.components.empty()) fail("I3: empty nogood");
+    if (n.degree <= kTol || n.degree > 1.0 + kTol) {
+      fail("I3: nogood " + joinComponents(n.components) + " degree " +
+           std::to_string(n.degree) + " outside (0,1]");
+    }
+  }
+  for (std::size_t i = 0; i < report.nogoods.size(); ++i) {
+    for (std::size_t j = 0; j < report.nogoods.size(); ++j) {
+      if (i == j) continue;
+      if (strictSubset(report.nogoods[i].components,
+                       report.nogoods[j].components)) {
+        fail("I3: nogood " + joinComponents(report.nogoods[j].components) +
+             " is subsumed by " + joinComponents(report.nogoods[i].components));
+      }
+    }
+  }
+
+  // I4 — candidate structure.
+  for (const RankedCandidate& c : report.candidates) {
+    if (c.components.empty()) fail("I4: empty candidate");
+    if (!inUnit(c.suspicion)) {
+      fail("I4: candidate " + joinComponents(c.components) + " suspicion " +
+           std::to_string(c.suspicion) + " outside [0,1]");
+    }
+    if (!inUnit(c.plausibility)) {
+      fail("I4: candidate " + joinComponents(c.components) + " plausibility " +
+           std::to_string(c.plausibility) + " outside [0,1]");
+    }
+    if (!inUnit(c.prior)) {
+      fail("I4: candidate " + joinComponents(c.components) + " prior " +
+           std::to_string(c.prior) + " outside [0,1]");
+    }
+    const std::set<std::string> unique(c.components.begin(),
+                                       c.components.end());
+    if (unique.size() != c.components.size()) {
+      fail("I4: candidate " + joinComponents(c.components) +
+           " repeats a component");
+    }
+  }
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.candidates.size(); ++j) {
+      const auto si = std::set<std::string>(
+          report.candidates[i].components.begin(),
+          report.candidates[i].components.end());
+      const auto sj = std::set<std::string>(
+          report.candidates[j].components.begin(),
+          report.candidates[j].components.end());
+      if (si == sj) {
+        fail("I4: duplicate candidate " +
+             joinComponents(report.candidates[i].components));
+      }
+    }
+  }
+
+  // I5 — every conflict is explained by some candidate.
+  if (!report.candidates.empty()) {
+    for (const RankedNogood& n : report.nogoods) {
+      const bool hit = std::any_of(
+          report.candidates.begin(), report.candidates.end(),
+          [&](const RankedCandidate& c) {
+            return intersects(c.components, n.components);
+          });
+      if (!hit) {
+        fail("I5: nogood " + joinComponents(n.components) +
+             " is hit by no candidate");
+      }
+    }
+  }
+
+  // I6 — suspicion table range.
+  for (const auto& [comp, s] : report.suspicion) {
+    if (!inUnit(s)) {
+      fail("I6: suspicion(" + comp + ") = " + std::to_string(s) +
+           " outside [0,1]");
+    }
+  }
+
+  return v;
+}
+
+diagnosis::FlamesOptions defaultOracleFlamesOptions() {
+  diagnosis::FlamesOptions fopts;
+  // See oracle.h: per-step propagation cost is cubic in this cap, and mesh
+  // topologies explode at the stock 24. Six keeps every corpus diagnosis
+  // sub-second without changing any conflict set or candidate list.
+  fopts.propagation.maxEntriesPerQuantity = 6;
+  return fopts;
+}
+
+OracleResult runOracle(const Scenario& s, const OracleOptions& options,
+                       service::DiagnosisService* svc) {
+  OracleResult result;
+
+  circuit::Netlist net;
+  std::vector<workload::ProbeReading> readings;
+  try {
+    net = buildNetlist(s);
+    readings = synthesize(s);
+  } catch (const std::exception& e) {
+    result.violations.emplace_back(std::string("bench: ") + e.what());
+    return result;
+  }
+
+  // I7 — generated netlists must lint clean of errors.
+  const lint::LintReport lintReport = lint::lintNetlist(net, options.flames.lint);
+  if (!lintReport.ok()) {
+    for (const lint::Diagnostic& d : lintReport.diagnostics) {
+      if (d.severity == lint::Severity::kError) {
+        result.violations.push_back("I7: lint " + d.rule + " " + d.location +
+                                    ": " + d.message);
+      }
+    }
+  }
+
+  diagnosis::FlamesOptions fopts = options.flames;
+  fopts.measurementSpread = s.measurementSpread;
+
+  try {
+    if (options.via == OracleVia::kService) {
+      std::unique_ptr<service::DiagnosisService> local;
+      if (svc == nullptr) {
+        service::ServiceOptions sopts;
+        sopts.workers = 1;
+        local = std::make_unique<service::DiagnosisService>(sopts);
+        svc = local.get();
+      }
+      service::DiagnosisRequest req;
+      req.netlist = std::make_shared<const circuit::Netlist>(net);
+      req.options = fopts;
+      for (const auto& r : readings) {
+        req.measurements.push_back(
+            service::crispMeasurement(r.node, r.volts, s.measurementSpread));
+      }
+      const service::JobHandle job = svc->submit(req);
+      const service::JobResult& jr = job->wait();
+      if (jr.status != service::JobStatus::kDone) {
+        result.violations.push_back(
+            "service: job resolved " +
+            std::string(service::jobStatusName(jr.status)) +
+            (jr.error.empty() ? "" : " (" + jr.error + ")"));
+        return result;
+      }
+      result.report = jr.report;
+    } else {
+      diagnosis::FlamesEngine engine(net, fopts);
+      for (const auto& r : readings) engine.measure(r.node, r.volts);
+      result.report = engine.diagnose();
+    }
+  } catch (const std::exception& e) {
+    result.violations.emplace_back(std::string("diagnose: ") + e.what());
+    return result;
+  }
+
+  for (std::string& msg : checkReportInvariants(result.report)) {
+    result.violations.push_back(std::move(msg));
+  }
+
+  result.faultDetected = result.report.faultDetected();
+  if (!result.faultDetected) {
+    result.violations.push_back("detect: injected fault " + s.fault.describe() +
+                                " raised no discrepancy");
+  }
+
+  for (std::size_t i = 0; i < result.report.candidates.size(); ++i) {
+    const RankedCandidate& c = result.report.candidates[i];
+    if (std::find(c.components.begin(), c.components.end(),
+                  s.fault.component) != c.components.end()) {
+      result.culpritRank = static_cast<int>(i) + 1;
+      result.culpritDegree = c.plausibility;
+      break;
+    }
+  }
+  if (result.culpritRank < 0) {
+    result.violations.push_back("recovery: culprit " + s.fault.component +
+                                " absent from the ranked candidates");
+  } else if (options.requireRankAtMost > 0 &&
+             static_cast<std::size_t>(result.culpritRank) >
+                 options.requireRankAtMost) {
+    result.violations.push_back(
+        "rank: culprit " + s.fault.component + " ranked " +
+        std::to_string(result.culpritRank) + ", required top-" +
+        std::to_string(options.requireRankAtMost));
+  }
+
+  return result;
+}
+
+}  // namespace flames::scenario

@@ -1,0 +1,101 @@
+// The diagnosis oracle: runs the full pipeline over a scenario's synthetic
+// measurements and checks (a) structural invariants every DiagnosisReport
+// must satisfy and (b) that the injected culprit is recovered in the ranked
+// candidate list.
+//
+// Report invariants (DESIGN.md §8):
+//   I1  propagation completed within budget
+//   I2  every Dc magnitude lies in [0, 1], |signedDc| == dc, and the sign
+//       agrees with the recorded deviation direction
+//   I3  nogood degrees lie in (0, 1]; nogood component sets are non-empty
+//       and pairwise subset-minimal (no reported nogood strictly contains
+//       another — the λ-cut subsumption contract of NogoodDb)
+//   I4  candidate suspicion / plausibility / prior lie in [0, 1]; candidate
+//       component sets are non-empty, duplicate-free, and pairwise distinct
+//   I5  hitting-set coverage: every reported nogood is explained by (i.e.
+//       intersects) at least one ranked candidate
+//   I6  the per-component suspicion table lies in [0, 1]
+//   I7  the generated netlist passes flames::lint with zero errors (the
+//       generator must not emit degenerate topologies)
+//
+// Culprit recovery: the faulted component must appear in some ranked
+// candidate; its rank (1-based index of the first containing candidate) and
+// that candidate's plausibility are recorded. `requireRankAtMost` tightens
+// the check to the top-N — N = 1 is deliberately too strict for
+// sign-ambiguous topologies and is the harness's built-in "broken oracle"
+// used to demonstrate shrinking.
+//
+// Every violation message is prefixed with its class followed by ':' —
+// "I1".."I7", "bench" (synthesis failed), "diagnose"/"service" (pipeline
+// threw), "detect" (no discrepancy raised), "recovery" (culprit absent),
+// "rank" (requireRankAtMost exceeded). The shrinker keys on these prefixes
+// to reject reductions that change the failure class.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "diagnosis/flames.h"
+#include "scenario/scenario.h"
+
+namespace flames::service {
+class DiagnosisService;
+}
+
+namespace flames::scenario {
+
+enum class OracleVia {
+  kEngine,   ///< single-session FlamesEngine::diagnose()
+  kService,  ///< DiagnosisService::submit() (the concurrent batch path)
+};
+
+/// Engine configuration tuned for fuzz throughput. Identical to the stock
+/// FlamesOptions except maxEntriesPerQuantity is lowered from 24 to 6: a
+/// propagation "step" fires a constraint over the cartesian product of the
+/// other participants' value entries (cap^(arity-1) derivations for a KCL
+/// constraint) and resolves each against every retained entry. Mesh
+/// topologies — the bridge family's galvanometer-coupled cells — accumulate
+/// entries along multiple derivation paths and hit minutes per diagnosis at
+/// the stock cap, but stay sub-second at 6 with identical conflicts and
+/// candidates on every corpus seed: the extra entries are redundant
+/// re-derivations of the same quantities along longer mesh paths.
+[[nodiscard]] diagnosis::FlamesOptions defaultOracleFlamesOptions();
+
+struct OracleOptions {
+  OracleVia via = OracleVia::kEngine;
+  /// 0 = the culprit may sit anywhere in the candidate list; N > 0 requires
+  /// it within the top N.
+  std::size_t requireRankAtMost = 0;
+  /// Engine configuration for the run (measurementSpread is overridden by
+  /// the scenario's own spread).
+  diagnosis::FlamesOptions flames = defaultOracleFlamesOptions();
+};
+
+struct OracleResult {
+  std::vector<std::string> violations;
+  /// 1-based rank of the first candidate containing the culprit; -1 absent.
+  int culpritRank = -1;
+  /// Plausibility of that candidate (0 when absent).
+  double culpritDegree = 0.0;
+  bool faultDetected = false;
+  diagnosis::DiagnosisReport report;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+/// Checks invariants I1-I6 on any report (I7 needs the netlist and is
+/// checked by runOracle). Returns one message per violation; empty = clean.
+[[nodiscard]] std::vector<std::string> checkReportInvariants(
+    const diagnosis::DiagnosisReport& report);
+
+/// Synthesizes the scenario's measurements, diagnoses them through the
+/// chosen path and evaluates invariants + culprit recovery. A scenario
+/// whose bench simulation fails to converge surfaces as a violation, not an
+/// exception. `svc` is used when via == kService; if null, a temporary
+/// single-worker service is spun up for the call.
+[[nodiscard]] OracleResult runOracle(const Scenario& s,
+                                     const OracleOptions& options = {},
+                                     service::DiagnosisService* svc = nullptr);
+
+}  // namespace flames::scenario

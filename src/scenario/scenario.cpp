@@ -1,0 +1,273 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/mna.h"
+
+namespace flames::scenario {
+
+using circuit::Component;
+using circuit::ComponentKind;
+using circuit::Fault;
+using circuit::FaultKind;
+using circuit::Netlist;
+
+circuit::Netlist buildNetlist(const Scenario& s) {
+  Topology t = buildTopology(s.topology);
+  if (s.dropped.empty()) {
+    if (!t.net.hasComponent(s.fault.component)) {
+      throw std::invalid_argument("scenario fault targets missing component " +
+                                  s.fault.component);
+    }
+    return std::move(t.net);
+  }
+  // Rebuild without the dropped components. Netlist has no erase (nodes are
+  // interned), so copy the survivors into a fresh netlist with the same
+  // node names.
+  Netlist out;
+  for (const Component& c : t.net.components()) {
+    if (std::find(s.dropped.begin(), s.dropped.end(), c.name) !=
+        s.dropped.end()) {
+      continue;
+    }
+    Component copy = c;
+    std::vector<circuit::NodeId> pins;
+    pins.reserve(copy.pins.size());
+    for (circuit::NodeId pin : copy.pins) {
+      pins.push_back(out.node(t.net.nodeName(pin)));
+    }
+    copy.pins = std::move(pins);
+    out.components().push_back(std::move(copy));
+  }
+  if (!out.hasComponent(s.fault.component)) {
+    throw std::invalid_argument("scenario fault targets missing component " +
+                                s.fault.component);
+  }
+  return out;
+}
+
+std::vector<workload::ProbeReading> synthesize(const Scenario& s) {
+  const Netlist net = buildNetlist(s);
+  return workload::simulateMeasurements(net, {s.fault}, s.probes);
+}
+
+namespace {
+
+/// Menu of injectable faults for one component (mirrors the bench's common
+/// defect classes: hard opens/shorts for resistors, parameter drift for
+/// resistors and gain blocks; sources are trusted equipment).
+std::vector<Fault> faultMenu(const Component& c,
+                             const GeneratorOptions& options) {
+  std::vector<Fault> menu;
+  switch (c.kind) {
+    case ComponentKind::kResistor:
+      if (options.includeOpens) menu.push_back(Fault::open(c.name));
+      if (options.includeShorts) menu.push_back(Fault::shortCircuit(c.name));
+      for (double f : options.resistorScales) {
+        menu.push_back(Fault::paramScale(c.name, f));
+      }
+      break;
+    case ComponentKind::kGain:
+      for (double f : options.gainScales) {
+        menu.push_back(Fault::paramScale(c.name, f));
+      }
+      break;
+    default:
+      break;
+  }
+  return menu;
+}
+
+/// True when the faulted operating point moves some probe observably.
+bool observable(const Netlist& net, const Fault& fault,
+                const std::vector<std::string>& probes, double minRel) {
+  const auto nominal = circuit::DcSolver(net).solve();
+  if (!nominal.converged) return false;
+  circuit::Netlist faultedNet = circuit::applyFaults(net, {fault});
+  circuit::OperatingPoint faulted;
+  try {
+    faulted = circuit::DcSolver(faultedNet).solve();
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  if (!faulted.converged) return false;
+  for (const std::string& p : probes) {
+    const double vn = nominal.v(net.findNode(p));
+    const double vf = faulted.v(faultedNet.findNode(p));
+    const double scale = std::max(std::abs(vn), 1.0);
+    if (std::abs(vf - vn) / scale >= minRel) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Scenario sampleScenario(std::uint32_t seed, const GeneratorOptions& options) {
+  std::mt19937 rng(seed);
+  for (std::size_t t = 0; t < options.topologyAttempts; ++t) {
+    const TopologySpec spec = sampleSpec(rng, options.topology);
+    Topology topo = buildTopology(spec);
+
+    // Faultable pool: everything with a non-empty menu.
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < topo.net.components().size(); ++i) {
+      if (!faultMenu(topo.net.components()[i], options).empty()) {
+        pool.push_back(i);
+      }
+    }
+    if (pool.empty()) continue;
+
+    std::uniform_int_distribution<std::size_t> pickComp(0, pool.size() - 1);
+    for (std::size_t a = 0; a < options.faultAttemptsPerTopology; ++a) {
+      const Component& c = topo.net.components()[pool[pickComp(rng)]];
+      const auto menu = faultMenu(c, options);
+      std::uniform_int_distribution<std::size_t> pickFault(0, menu.size() - 1);
+      const Fault fault = menu[pickFault(rng)];
+      if (!observable(topo.net, fault, topo.probes,
+                      options.minRelativeDeviation)) {
+        continue;
+      }
+      Scenario s;
+      s.seed = seed;
+      s.topology = spec;
+      s.fault = fault;
+      s.probes = topo.probes;
+      s.measurementSpread = options.measurementSpread;
+      return s;
+    }
+  }
+  throw std::runtime_error("sampleScenario: attempt budget exhausted for seed " +
+                           std::to_string(seed));
+}
+
+// --- serialization -----------------------------------------------------------
+
+std::string serialize(const Scenario& s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# flames scenario v1\n";
+  os << "seed " << s.seed << "\n";
+  os << "family " << familyName(s.topology.family) << "\n";
+  os << "depth " << s.topology.depth << "\n";
+  os << "width " << s.topology.width << "\n";
+  os << "values " << s.topology.valueSeed << "\n";
+  os << "spread " << s.measurementSpread << "\n";
+  os << "fault " << s.fault.component << " "
+     << circuit::faultKindName(s.fault.kind) << " " << s.fault.param << "\n";
+  for (const std::string& p : s.probes) os << "probe " << p << "\n";
+  for (const std::string& d : s.dropped) os << "drop " << d << "\n";
+  return os.str();
+}
+
+namespace {
+
+circuit::FaultKind faultKindFromName(const std::string& name) {
+  for (FaultKind k :
+       {FaultKind::kOpen, FaultKind::kShort, FaultKind::kParamExact,
+        FaultKind::kParamScale, FaultKind::kPinOpen}) {
+    if (circuit::faultKindName(k) == name) return k;
+  }
+  throw std::runtime_error("unknown fault kind: " + name);
+}
+
+}  // namespace
+
+Scenario parseScenario(const std::string& text) {
+  Scenario s;
+  bool sawFault = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    try {
+      if (key == "seed") {
+        ls >> s.seed;
+      } else if (key == "family") {
+        std::string name;
+        ls >> name;
+        s.topology.family = familyFromName(name);
+      } else if (key == "depth") {
+        ls >> s.topology.depth;
+      } else if (key == "width") {
+        ls >> s.topology.width;
+      } else if (key == "values") {
+        ls >> s.topology.valueSeed;
+      } else if (key == "spread") {
+        ls >> s.measurementSpread;
+      } else if (key == "fault") {
+        std::string comp, kind;
+        double param = 0.0;
+        if (!(ls >> comp >> kind >> param)) {
+          throw std::runtime_error("expected: fault <component> <kind> <param>");
+        }
+        s.fault = {comp, faultKindFromName(kind), param};
+        sawFault = true;
+      } else if (key == "probe") {
+        std::string p;
+        ls >> p;
+        s.probes.push_back(p);
+      } else if (key == "drop") {
+        std::string d;
+        ls >> d;
+        s.dropped.push_back(d);
+      } else {
+        throw std::runtime_error("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error("scenario line " + std::to_string(lineNo) +
+                               ": " + e.what());
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("scenario line " + std::to_string(lineNo) +
+                               ": " + e.what());
+    }
+    if (ls.fail()) {
+      throw std::runtime_error("scenario line " + std::to_string(lineNo) +
+                               ": malformed value for '" + key + "'");
+    }
+  }
+  if (!sawFault) {
+    throw std::runtime_error("scenario file has no 'fault' line");
+  }
+  if (s.probes.empty()) {
+    throw std::runtime_error("scenario file has no 'probe' lines");
+  }
+  return s;
+}
+
+void writeScenarioFile(const std::string& path, const Scenario& s) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write scenario file " + path);
+  out << serialize(s);
+}
+
+Scenario loadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read scenario file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseScenario(buf.str());
+}
+
+std::string describe(const Scenario& s) {
+  std::ostringstream os;
+  os << "seed " << s.seed << ": " << familyName(s.topology.family) << " d"
+     << s.topology.depth;
+  if (s.topology.width > 1) os << "w" << s.topology.width;
+  os << " — " << s.fault.describe() << " (" << s.probes.size() << " probes";
+  if (!s.dropped.empty()) os << ", " << s.dropped.size() << " dropped";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace flames::scenario

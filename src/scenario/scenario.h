@@ -1,0 +1,100 @@
+// One replayable fuzzing scenario: a generated topology, one injected
+// fault, and the probes the bench reads.
+//
+// A scenario is *fully determined by its serialized form* — seed, topology
+// spec, fault, probe list, optional dropped components — so any harness
+// failure becomes a one-command repro:
+//
+//   flames_scenario --replay=failure.scenario
+//
+// Measurement synthesis plays the bench exactly like the rest of the repo:
+// the fault is injected into a copy of the netlist (circuit/fault.h) and the
+// faulted DC operating point is read at the probes
+// (workload::simulateMeasurements); the diagnosis engine never sees the
+// fault, only the readings.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "circuit/fault.h"
+#include "scenario/topology.h"
+#include "workload/scenarios.h"
+
+namespace flames::scenario {
+
+/// A generated circuit/fault scenario. Value-semantic and fully replayable.
+struct Scenario {
+  /// The seed this scenario was sampled from (0 for hand-written files).
+  std::uint32_t seed = 0;
+  TopologySpec topology;
+  circuit::Fault fault;
+  /// Probe nodes the bench reads (subset of the topology's probe points
+  /// after shrinking).
+  std::vector<std::string> probes;
+  /// Components removed from the generated netlist after generation (the
+  /// shrinker's component-level reductions). Names absent from the current
+  /// topology are ignored, so depth reductions stay composable with drops.
+  std::vector<std::string> dropped;
+  /// Equipment imprecision attached to each crisp reading.
+  double measurementSpread = 0.05;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Builds the scenario's nominal netlist: the generated topology minus the
+/// dropped components. Throws std::invalid_argument if the fault's target
+/// component does not exist in the result.
+[[nodiscard]] circuit::Netlist buildNetlist(const Scenario& s);
+
+/// Forward-simulates the faulted netlist and reads the scenario's probes.
+/// Throws std::runtime_error when the faulted circuit cannot be solved.
+[[nodiscard]] std::vector<workload::ProbeReading> synthesize(
+    const Scenario& s);
+
+/// Knobs for scenario sampling.
+struct GeneratorOptions {
+  TopologyOptions topology;
+  /// Soft-deviation scale factors injectable into resistors.
+  std::vector<double> resistorScales = {0.3, 0.5, 2.0, 3.0};
+  /// Soft-deviation scale factors injectable into gain blocks.
+  std::vector<double> gainScales = {0.1, 0.5, 1.6, 2.2};
+  bool includeOpens = true;
+  bool includeShorts = true;
+  /// Observability gate: the faulted circuit must move at least one probe by
+  /// `minRelativeDeviation` of max(|nominal|, 1 V); scenarios below the gate
+  /// are resampled. Keeps the oracle's "culprit must be recovered" check
+  /// meaningful — a fault nothing can see is not a diagnosis failure.
+  double minRelativeDeviation = 0.10;
+  /// Fault redraws per topology before a fresh topology is drawn.
+  std::size_t faultAttemptsPerTopology = 8;
+  /// Topology redraws before sampleScenario gives up.
+  std::size_t topologyAttempts = 64;
+  double measurementSpread = 0.05;
+};
+
+/// Deterministically samples one observable, solvable scenario from `seed`.
+/// The sampler redraws (bounded by the options' attempt budgets) until the
+/// faulted circuit converges and passes the observability gate; throws
+/// std::runtime_error if the budget is exhausted (practically unreachable
+/// with the default families).
+[[nodiscard]] Scenario sampleScenario(std::uint32_t seed,
+                                      const GeneratorOptions& options = {});
+
+/// One line per field, `#` comments ignored; see DESIGN.md §8 for the
+/// grammar. Round-trips exactly: parseScenario(serialize(s)) == s.
+[[nodiscard]] std::string serialize(const Scenario& s);
+[[nodiscard]] Scenario parseScenario(const std::string& text);
+
+/// File convenience wrappers; load throws std::runtime_error on a missing
+/// or malformed file (message carries the offending line).
+void writeScenarioFile(const std::string& path, const Scenario& s);
+[[nodiscard]] Scenario loadScenarioFile(const std::string& path);
+
+/// Human-readable one-liner: "seed 7: ladder d4 — Rs2: open (3 probes)".
+[[nodiscard]] std::string describe(const Scenario& s);
+
+}  // namespace flames::scenario

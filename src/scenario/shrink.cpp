@@ -1,0 +1,180 @@
+#include "scenario/shrink.h"
+
+#include <algorithm>
+
+#include "circuit/netlist.h"
+
+namespace flames::scenario {
+
+namespace {
+
+using circuit::Component;
+using circuit::ComponentKind;
+
+/// The class of a violation message is its prefix up to the first ':'
+/// ("rank", "I3", "bench", ...). Shrinking must preserve the failure class:
+/// a reduction that swaps a rank violation for a bench error has found a
+/// *different* (and usually self-inflicted) bug, not a smaller instance of
+/// the original one.
+std::string violationClass(const std::string& violation) {
+  const std::size_t colon = violation.find(':');
+  return colon == std::string::npos ? violation : violation.substr(0, colon);
+}
+
+/// Drops probes that no longer name a node of the candidate's (possibly
+/// depth- or width-reduced) topology. Returns false when the candidate is
+/// not worth running: unbuildable, or no probes left to read.
+bool pruneStaleProbes(Scenario& candidate) {
+  try {
+    const Topology topo = buildTopology(candidate.topology);
+    auto& probes = candidate.probes;
+    probes.erase(std::remove_if(probes.begin(), probes.end(),
+                                [&](const std::string& name) {
+                                  try {
+                                    (void)topo.net.findNode(name);
+                                    return false;
+                                  } catch (const std::exception&) {
+                                    return true;
+                                  }
+                                }),
+                 probes.end());
+    return !probes.empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// True iff the oracle still fails on the candidate *in one of the original
+/// failure's violation classes*. Any exception (unbuildable topology,
+/// missing culprit, unsolvable bench) counts as "does not reproduce" — the
+/// shrinker must only keep diagnosable failures.
+bool reproduces(const Scenario& candidate, const OracleOptions& oracle,
+                const std::vector<std::string>& originalClasses) {
+  try {
+    const OracleResult r = runOracle(candidate, oracle);
+    return std::any_of(r.violations.begin(), r.violations.end(),
+                       [&](const std::string& v) {
+                         return std::find(originalClasses.begin(),
+                                          originalClasses.end(),
+                                          violationClass(v)) !=
+                                originalClasses.end();
+                       });
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const OracleOptions& oracle,
+                    const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.scenario = failing;
+
+  // Record which way the original scenario fails; every accepted reduction
+  // must keep at least one violation of the same class.
+  std::vector<std::string> originalClasses;
+  try {
+    for (const std::string& v : runOracle(failing, oracle).violations) {
+      const std::string cls = violationClass(v);
+      if (std::find(originalClasses.begin(), originalClasses.end(), cls) ==
+          originalClasses.end()) {
+        originalClasses.push_back(cls);
+      }
+    }
+  } catch (const std::exception&) {
+    return result;  // not diagnosable at all; nothing to shrink
+  }
+  if (originalClasses.empty()) return result;  // passing scenario
+
+  auto tryReduce = [&](Scenario candidate) {
+    if (result.attempted >= options.maxAttempts) return false;
+    if (!pruneStaleProbes(candidate)) return false;
+    ++result.attempted;
+    if (!reproduces(candidate, oracle, originalClasses)) return false;
+    result.scenario = std::move(candidate);
+    ++result.accepted;
+    return true;
+  };
+
+  bool changed = true;
+  while (changed && result.attempted < options.maxAttempts) {
+    changed = false;
+
+    // 1. Depth: halve first (logarithmic progress), then decrement.
+    while (result.scenario.topology.depth > 1) {
+      Scenario c = result.scenario;
+      c.topology.depth /= 2;
+      if (c.topology.depth == result.scenario.topology.depth) break;
+      if (!tryReduce(c)) break;
+      changed = true;
+    }
+    while (result.scenario.topology.depth > 1) {
+      Scenario c = result.scenario;
+      --c.topology.depth;
+      if (!tryReduce(c)) break;
+      changed = true;
+    }
+
+    // 2. Width.
+    while (result.scenario.topology.width > 1) {
+      Scenario c = result.scenario;
+      --c.topology.width;
+      if (!tryReduce(c)) break;
+      changed = true;
+    }
+
+    // 3. Probes: drop one at a time, keeping at least one.
+    for (std::size_t i = 0; result.scenario.probes.size() > 1 &&
+                            i < result.scenario.probes.size();) {
+      Scenario c = result.scenario;
+      c.probes.erase(c.probes.begin() + static_cast<std::ptrdiff_t>(i));
+      if (tryReduce(c)) {
+        changed = true;  // same index now names the next probe
+      } else {
+        ++i;
+      }
+    }
+
+    // 4. Components: drop everything droppable, one at a time. Sources and
+    // the culprit stay (dropping the culprit changes the question, and the
+    // bench needs power).
+    const circuit::Netlist net = [&] {
+      try {
+        return buildNetlist(result.scenario);
+      } catch (const std::exception&) {
+        return circuit::Netlist{};
+      }
+    }();
+    for (const Component& comp : net.components()) {
+      if (comp.kind == ComponentKind::kVSource) continue;
+      if (comp.name == result.scenario.fault.component) continue;
+      if (std::find(result.scenario.dropped.begin(),
+                    result.scenario.dropped.end(),
+                    comp.name) != result.scenario.dropped.end()) {
+        continue;
+      }
+      Scenario c = result.scenario;
+      c.dropped.push_back(comp.name);
+      if (tryReduce(c)) changed = true;
+    }
+  }
+
+  // Dropped names referring to components outside the final (possibly
+  // depth-reduced) topology are dead weight in the repro file; prune them.
+  try {
+    const Topology topo = buildTopology(result.scenario.topology);
+    auto& dropped = result.scenario.dropped;
+    dropped.erase(std::remove_if(dropped.begin(), dropped.end(),
+                                 [&](const std::string& name) {
+                                   return !topo.net.hasComponent(name);
+                                 }),
+                  dropped.end());
+  } catch (const std::exception&) {
+    // Unbuildable final topology would have failed reproduces(); keep as-is.
+  }
+
+  return result;
+}
+
+}  // namespace flames::scenario

@@ -1,0 +1,48 @@
+// Greedy scenario shrinking: reduce a failing scenario to a minimal
+// replayable repro while the oracle failure still reproduces.
+//
+// The reduction moves, tried round-robin until a full sweep changes
+// nothing (QuickCheck-style greedy fixpoint):
+//   1. depth reduction  — halve, then decrement, the topology depth
+//   2. width reduction  — decrement the ampchain fan-out
+//   3. probe removal    — drop one probe at a time (at least one stays)
+//   4. component drops  — remove one non-source, non-culprit component
+//
+// A candidate reduction is accepted iff the oracle still fails on it *in a
+// violation class the original failure exhibited* (message prefix up to the
+// first ':' — "rank", "I3", "bench", ...). Matching on class prevents
+// failure slippage: without it, a depth reduction that strands a probe
+// trades the real violation for a self-inflicted bench error and the
+// shrinker happily "minimizes" the wrong bug. Probes invalidated by a
+// depth/width reduction are pruned from the candidate before it runs.
+// Reductions that make the scenario unbuildable, unsolvable, or passing are
+// rejected. Every accepted scenario is replayable from its serialized form,
+// so the shrunk result is exactly what `flames_scenario --replay` takes.
+#pragma once
+
+#include <cstddef>
+
+#include "scenario/oracle.h"
+#include "scenario/scenario.h"
+
+namespace flames::scenario {
+
+struct ShrinkResult {
+  Scenario scenario;       ///< the minimal failing scenario found
+  std::size_t accepted = 0;  ///< reductions that kept the failure
+  std::size_t attempted = 0; ///< oracle runs spent shrinking
+};
+
+struct ShrinkOptions {
+  /// Upper bound on oracle evaluations (each is a full diagnose).
+  std::size_t maxAttempts = 400;
+};
+
+/// Shrinks `failing` (which must fail `oracle` — callers pass the options
+/// that produced the original failure). Returns the smallest still-failing
+/// scenario reached; if `failing` actually passes, it is returned unchanged.
+[[nodiscard]] ShrinkResult shrink(const Scenario& failing,
+                                  const OracleOptions& oracle,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace flames::scenario

@@ -1,0 +1,175 @@
+#include "scenario/topology.h"
+
+#include <stdexcept>
+
+namespace flames::scenario {
+
+using circuit::Netlist;
+
+std::string_view familyName(Family f) {
+  switch (f) {
+    case Family::kLadder: return "ladder";
+    case Family::kDivider: return "divider";
+    case Family::kBridge: return "bridge";
+    case Family::kAmpChain: return "ampchain";
+  }
+  return "unknown";
+}
+
+Family familyFromName(std::string_view name) {
+  for (Family f : allFamilies()) {
+    if (familyName(f) == name) return f;
+  }
+  throw std::invalid_argument("unknown topology family: " + std::string(name));
+}
+
+const std::vector<Family>& allFamilies() {
+  static const std::vector<Family> kAll = {Family::kLadder, Family::kDivider,
+                                           Family::kBridge, Family::kAmpChain};
+  return kAll;
+}
+
+namespace {
+
+/// Per-spec value perturbation stream. Each draw scales a nominal parameter
+/// within [lo, hi] of itself, so generated circuits differ in values (not
+/// just shape) while every component keeps a physically sensible magnitude.
+class ValueStream {
+ public:
+  explicit ValueStream(std::uint32_t seed) : rng_(seed) {}
+
+  double around(double nominal, double lo = 0.7, double hi = 1.4) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return nominal * d(rng_);
+  }
+
+ private:
+  std::mt19937 rng_;
+};
+
+Topology buildLadder(const TopologySpec& spec) {
+  ValueStream vs(spec.valueSeed);
+  Topology t;
+  Netlist& net = t.net;
+  net.addVSource("Vin", "t0", "0", vs.around(10.0), 0.0);
+  t.probes.push_back("t0");
+  for (std::size_t i = 1; i <= spec.depth; ++i) {
+    const std::string prev = "t" + std::to_string(i - 1);
+    const std::string cur = "t" + std::to_string(i);
+    net.addResistor("Rs" + std::to_string(i), prev, cur, vs.around(1.0), 0.02);
+    net.addResistor("Rp" + std::to_string(i), cur, "0", vs.around(2.5), 0.02);
+    t.probes.push_back(cur);
+  }
+  return t;
+}
+
+Topology buildDivider(const TopologySpec& spec) {
+  ValueStream vs(spec.valueSeed);
+  Topology t;
+  Netlist& net = t.net;
+  net.addVSource("Vin", "t0", "0", vs.around(8.0), 0.0);
+  t.probes.push_back("t0");
+  for (std::size_t i = 1; i <= spec.depth; ++i) {
+    const std::string in = "t" + std::to_string(i - 1);
+    const std::string mid = "d" + std::to_string(i);
+    const std::string out = "t" + std::to_string(i);
+    net.addResistor("Rt" + std::to_string(i), in, mid, vs.around(10.0), 0.02);
+    net.addResistor("Rb" + std::to_string(i), mid, "0", vs.around(10.0), 0.02);
+    net.addGain("buf" + std::to_string(i), mid, out, vs.around(2.0, 0.8, 1.3),
+                0.02);
+    t.probes.push_back(mid);
+    t.probes.push_back(out);
+  }
+  return t;
+}
+
+Topology buildBridge(const TopologySpec& spec) {
+  // A chain of `depth` Wheatstone cells: cell i has two half-bridges
+  // in -> a_i -> gnd and in -> b_i -> gnd joined by a detector resistor
+  // a_i -> b_i, and a_i feeds the next cell. Both midpoints are probed, so
+  // any arm deviation unbalances an observable pair.
+  //
+  // Chaining (rather than hanging every cell off one source node) keeps the
+  // maximum node degree at 5 for every depth. That bound matters: a KCL
+  // constraint over a degree-k node makes fuzzy propagation enumerate the
+  // cartesian product of the k-1 source quantities' value entries per
+  // firing, so a shared source node of degree 2*depth+1 turns mesh
+  // diagnosis exponential in depth.
+  ValueStream vs(spec.valueSeed);
+  Topology t;
+  Netlist& net = t.net;
+  net.addVSource("Vin", "a0", "0", vs.around(10.0), 0.0);
+  t.probes.push_back("a0");
+  for (std::size_t i = 1; i <= spec.depth; ++i) {
+    const std::string s = std::to_string(i);
+    const std::string in = "a" + std::to_string(i - 1);
+    const std::string a = "a" + s;
+    const std::string b = "b" + s;
+    net.addResistor("Ra" + s, in, a, vs.around(1.0), 0.02);
+    net.addResistor("Rc" + s, a, "0", vs.around(4.0), 0.02);
+    net.addResistor("Rb" + s, in, b, vs.around(1.2), 0.02);
+    net.addResistor("Rd" + s, b, "0", vs.around(3.5), 0.02);
+    net.addResistor("Rg" + s, a, b, vs.around(5.0), 0.02);
+    t.probes.push_back(a);
+    t.probes.push_back(b);
+  }
+  return t;
+}
+
+Topology buildAmpChain(const TopologySpec& spec) {
+  // Stage i fans `width` gain blocks out of the previous main tap; branch 0
+  // continues the chain (the Fig. 2 shape: amp2 and amp3 both driven from
+  // node B, generalised to arbitrary depth and fan-out).
+  ValueStream vs(spec.valueSeed);
+  Topology t;
+  Netlist& net = t.net;
+  net.addVSource("Vin", "t0", "0", vs.around(2.0), 0.0);
+  t.probes.push_back("t0");
+  for (std::size_t i = 1; i <= spec.depth; ++i) {
+    const std::string in = "t" + std::to_string(i - 1);
+    for (std::size_t w = 0; w < spec.width; ++w) {
+      const std::string suffix =
+          std::to_string(i) + (w == 0 ? "" : "_" + std::to_string(w));
+      const std::string out = "t" + suffix;
+      const double gain = vs.around(1.6, 0.75, 1.5);
+      net.addGain("amp" + suffix, in, out, gain, 0.05 / gain);
+      t.probes.push_back(out);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Topology buildTopology(const TopologySpec& spec) {
+  if (spec.depth == 0) throw std::invalid_argument("topology depth == 0");
+  if (spec.width == 0) throw std::invalid_argument("topology width == 0");
+  switch (spec.family) {
+    case Family::kLadder: return buildLadder(spec);
+    case Family::kDivider: return buildDivider(spec);
+    case Family::kBridge: return buildBridge(spec);
+    case Family::kAmpChain: return buildAmpChain(spec);
+  }
+  throw std::logic_error("buildTopology: unhandled family");
+}
+
+TopologySpec sampleSpec(std::mt19937& rng, const TopologyOptions& options) {
+  const std::vector<Family>& pool =
+      options.families.empty() ? allFamilies() : options.families;
+  std::uniform_int_distribution<std::size_t> pickFamily(0, pool.size() - 1);
+  std::uniform_int_distribution<std::size_t> pickDepth(
+      std::max<std::size_t>(1, options.minDepth),
+      std::max<std::size_t>(options.minDepth, options.maxDepth));
+  TopologySpec spec;
+  spec.family = pool[pickFamily(rng)];
+  spec.depth = pickDepth(rng);
+  spec.width = 1;
+  if (spec.family == Family::kAmpChain && options.maxWidth > 1) {
+    std::uniform_int_distribution<std::size_t> pickWidth(1, options.maxWidth);
+    spec.width = pickWidth(rng);
+  }
+  spec.valueSeed = static_cast<std::uint32_t>(rng());
+  return spec;
+}
+
+}  // namespace flames::scenario

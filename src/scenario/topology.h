@@ -1,0 +1,80 @@
+// Seeded topology generation for the scenario harness.
+//
+// A TopologySpec is a tiny, fully replayable description of one generated
+// circuit: a structural family, a depth/width, and a value seed that
+// perturbs every component parameter inside its family's range. The same
+// spec always rebuilds the same circuit::Netlist — the spec (not the
+// netlist) is what a `.scenario` repro file stores.
+//
+// Families (the generator grammar, DESIGN.md §8):
+//   ladder    — resistive ladder: `depth` series sections, each with a shunt
+//               to ground; every tap observable.
+//   divider   — cascade of buffered voltage dividers: `depth` stages of
+//               rTop/rBottom dividers isolated by ideal gain blocks.
+//   bridge    — chain of `depth` Wheatstone cells: two half-bridges per cell
+//               joined by a detector resistor, both midpoints observable;
+//               each cell's a-midpoint feeds the next cell (bounded node
+//               degree — see buildBridge).
+//   ampchain  — multi-stage amplifier tree: `depth` stages, each fanning out
+//               to `width` gain blocks driven from the previous main tap
+//               (the Fig. 2 pattern generalised in both dimensions).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace flames::scenario {
+
+enum class Family : std::uint8_t {
+  kLadder,
+  kDivider,
+  kBridge,
+  kAmpChain,
+};
+
+[[nodiscard]] std::string_view familyName(Family f);
+/// Inverse of familyName; throws std::invalid_argument on unknown names.
+[[nodiscard]] Family familyFromName(std::string_view name);
+/// All families, in declaration order.
+[[nodiscard]] const std::vector<Family>& allFamilies();
+
+/// Replayable description of one generated circuit.
+struct TopologySpec {
+  Family family = Family::kLadder;
+  std::size_t depth = 3;  ///< sections / stages / cells
+  std::size_t width = 1;  ///< fan-out per stage (ampchain only)
+  /// Seed of the per-component value perturbation stream.
+  std::uint32_t valueSeed = 1;
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// A generated circuit plus its observable probe points.
+struct Topology {
+  circuit::Netlist net;
+  std::vector<std::string> probes;
+};
+
+/// Deterministically builds the circuit described by the spec. Throws
+/// std::invalid_argument on degenerate specs (depth == 0, width == 0).
+[[nodiscard]] Topology buildTopology(const TopologySpec& spec);
+
+/// Bounds for spec sampling.
+struct TopologyOptions {
+  std::size_t minDepth = 2;
+  std::size_t maxDepth = 6;
+  std::size_t maxWidth = 3;  ///< ampchain fan-out bound
+  /// Families eligible for sampling; empty = all.
+  std::vector<Family> families;
+};
+
+/// Draws a spec from the options' ranges using the caller's RNG.
+[[nodiscard]] TopologySpec sampleSpec(std::mt19937& rng,
+                                      const TopologyOptions& options = {});
+
+}  // namespace flames::scenario

@@ -1,0 +1,32 @@
+// Deterministic seed derivation shared by every randomized workload.
+//
+// All generated workloads (traffic synthesis, scenario fuzzing) must be
+// replayable from a single user-visible seed. Deriving per-item sub-seeds by
+// plain addition (`seed + index`) makes adjacent master seeds share streams
+// (seed 1 / item 2 collides with seed 2 / item 1); splitmix64 finalization
+// decorrelates the (seed, stream) pairs so every master seed owns a disjoint
+// family of sub-streams.
+#pragma once
+
+#include <cstdint>
+
+namespace flames::workload {
+
+/// splitmix64 finalizer (Steele, Lea & Flood) — bijective avalanche mix.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Sub-seed for stream `stream` of master seed `seed`. Distinct (seed,
+/// stream) pairs map to distinct mixer inputs, so no two streams of any two
+/// master seeds coincide by construction (the mix is bijective).
+[[nodiscard]] constexpr std::uint32_t deriveSeed(std::uint32_t seed,
+                                                 std::uint64_t stream) {
+  return static_cast<std::uint32_t>(
+      splitmix64((static_cast<std::uint64_t>(seed) << 32) ^ stream));
+}
+
+}  // namespace flames::workload

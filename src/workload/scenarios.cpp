@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/mna.h"
+#include "workload/rng.h"
 
 namespace flames::workload {
 
@@ -101,12 +102,17 @@ std::vector<TrafficItem> synthesizeTraffic(const Netlist& net,
   std::vector<TrafficItem> traffic;
   traffic.reserve(count);
   std::size_t index = 0;
+  // The scenario sampler consumes the master seed directly; each item's
+  // meter-noise stream gets its own derived sub-seed so that (a) two runs
+  // with the same seed replay bit-identically and (b) no stream is shared
+  // with the sampler or with any other master seed (the old `seed + index`
+  // derivation collided across adjacent seeds).
   for (FaultScenario& s : sampleScenarios(net, count, seed, options)) {
     ++index;
     try {
-      auto readings = simulateMeasurements(
-          net, s.faults, probes, noise,
-          seed + static_cast<std::uint32_t>(index));
+      auto readings =
+          simulateMeasurements(net, s.faults, probes, noise,
+                               deriveSeed(seed, index));
       traffic.push_back({std::move(s), std::move(readings)});
     } catch (const std::runtime_error&) {
       // Non-convergent faulted circuit: the bench cannot read it; skip.

@@ -60,11 +60,14 @@ struct TrafficItem {
 };
 
 /// Deterministically synthesises a diagnosis-request stream: samples
-/// `count` fault scenarios and simulates the given probes for each.
-/// Scenarios whose faulted circuit fails to converge are dropped (the
-/// bench cannot read a board it cannot power), so the result may hold
-/// fewer than `count` items. The per-item noise seed varies with the item
-/// index so identical faults still yield distinct meter readings.
+/// `count` fault scenarios and simulates the given probes for each. All
+/// randomness flows from the explicit `seed` — two calls with identical
+/// arguments return bit-identical streams. Scenarios whose faulted circuit
+/// fails to converge are dropped (the bench cannot read a board it cannot
+/// power), so the result may hold fewer than `count` items. Each item's
+/// meter-noise stream uses a splitmix64-derived sub-seed (rng.h) so
+/// identical faults still yield distinct readings and no stream is shared
+/// between master seeds.
 [[nodiscard]] std::vector<TrafficItem> synthesizeTraffic(
     const circuit::Netlist& net, const std::vector<std::string>& probes,
     std::size_t count, std::uint32_t seed, double noise = 0.0,

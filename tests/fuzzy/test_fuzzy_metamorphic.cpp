@@ -1,0 +1,195 @@
+// Metamorphic tests for the fuzzy arithmetic the diagnoser is built on.
+//
+// Unlike tests/fuzzy/test_fuzzy_properties.cpp (hand-picked algebraic
+// identities over a few seeds), each test here drives ~1000 independently
+// seeded cases through a *relation between two executions* of the code under
+// test — commuted operands, jointly widened operands, nested operands — so a
+// regression anywhere in the trapezoid algebra or the Dc kernel trips a
+// reproducible case index. Sub-seeds come from workload::deriveSeed, the
+// same splitmix64 derivation the scenario fuzzer uses, so a failing case
+// can be replayed in isolation from (kMasterSeed, case index).
+//
+// The relations asserted here were validated against the implementation's
+// actual semantics first; notably Dc is NOT monotone under widening only
+// one operand (the max(ia/am, ia/an) normalisation can flip sides), so the
+// monotonicity law is stated for joint widening only.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fuzzy/consistency.h"
+#include "fuzzy/fuzzy_interval.h"
+#include "workload/rng.h"
+
+namespace flames::fuzzy {
+namespace {
+
+constexpr std::uint32_t kMasterSeed = 20260807;
+constexpr int kCases = 1000;
+
+/// Fresh engine for case `i`: failures report the case index, and the case
+/// is replayable without running its predecessors.
+std::mt19937 caseRng(std::uint64_t stream, int i) {
+  return std::mt19937(
+      workload::deriveSeed(kMasterSeed, (stream << 32) | std::uint64_t(i)));
+}
+
+FuzzyInterval randomInterval(std::mt19937& rng) {
+  std::uniform_real_distribution<double> mid(-10.0, 10.0);
+  std::uniform_real_distribution<double> width(0.0, 3.0);
+  std::uniform_real_distribution<double> spread(0.0, 2.0);
+  const double m1 = mid(rng);
+  return {m1, m1 + width(rng), spread(rng), spread(rng)};
+}
+
+/// Trapezoid with nonempty area (Dc's area-ratio path, not the point
+/// degenerations).
+FuzzyInterval randomWideInterval(std::mt19937& rng) {
+  std::uniform_real_distribution<double> mid(-10.0, 10.0);
+  std::uniform_real_distribution<double> width(0.1, 3.0);
+  std::uniform_real_distribution<double> spread(0.05, 2.0);
+  const double m1 = mid(rng);
+  return {m1, m1 + width(rng), spread(rng), spread(rng)};
+}
+
+TEST(FuzzyMetamorphic, AdditionCommutes) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(1, i);
+    const FuzzyInterval a = randomInterval(rng);
+    const FuzzyInterval b = randomInterval(rng);
+    const FuzzyInterval ab = a.add(b);
+    const FuzzyInterval ba = b.add(a);
+    // Componentwise double addition commutes exactly; demand bit equality.
+    EXPECT_EQ(ab.m1(), ba.m1()) << "case " << i;
+    EXPECT_EQ(ab.m2(), ba.m2()) << "case " << i;
+    EXPECT_EQ(ab.alpha(), ba.alpha()) << "case " << i;
+    EXPECT_EQ(ab.beta(), ba.beta()) << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, SubtractionAntiCommutes) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(2, i);
+    const FuzzyInterval a = randomInterval(rng);
+    const FuzzyInterval b = randomInterval(rng);
+    // a - b == -(b - a)
+    EXPECT_TRUE(a.sub(b).approxEquals(b.sub(a).negate(), 1e-9)) << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, MultiplicationCommutes) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(3, i);
+    const FuzzyInterval a = randomInterval(rng);
+    const FuzzyInterval b = randomInterval(rng);
+    EXPECT_TRUE(a.mul(b).approxEquals(b.mul(a), 1e-9)) << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, IntersectionAreaIsSymmetric) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(4, i);
+    const FuzzyInterval a = randomInterval(rng);
+    const FuzzyInterval b = randomInterval(rng);
+    const double ab =
+        a.toPiecewiseLinear().min(b.toPiecewiseLinear()).area();
+    const double ba =
+        b.toPiecewiseLinear().min(a.toPiecewiseLinear()).area();
+    EXPECT_NEAR(ab, ba, 1e-12 * std::max(1.0, std::abs(ab))) << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, DcIsSymmetric) {
+  // The max(ia/am, ia/an) normalisation makes Dc order-independent even
+  // though the paper's raw formula is not; the engine relies on this when
+  // it scores derived-vs-derived coincidences in either encounter order.
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(5, i);
+    const FuzzyInterval a = randomWideInterval(rng);
+    const FuzzyInterval b = randomWideInterval(rng);
+    EXPECT_NEAR(degreeOfConsistency(a, b).dc, degreeOfConsistency(b, a).dc,
+                1e-12)
+        << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, DcOfValueWithItselfIsOne) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(6, i);
+    const FuzzyInterval a = randomWideInterval(rng);
+    const Consistency c = degreeOfConsistency(a, a);
+    EXPECT_NEAR(c.dc, 1.0, 1e-12) << "case " << i;
+    EXPECT_EQ(c.deviation, Deviation::kNone) << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, DcStaysInUnitIntervalAndSignAgrees) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(7, i);
+    const FuzzyInterval a = randomInterval(rng);
+    const FuzzyInterval b = randomInterval(rng);
+    const Consistency c = degreeOfConsistency(a, b);
+    EXPECT_GE(c.dc, 0.0) << "case " << i;
+    EXPECT_LE(c.dc, 1.0) << "case " << i;
+    EXPECT_NEAR(std::abs(c.signedDc()), c.dc, 0.0) << "case " << i;
+    if (c.deviation == Deviation::kBelow) {
+      EXPECT_LE(c.signedDc(), 0.0) << "case " << i;
+    } else {
+      EXPECT_GE(c.signedDc(), 0.0) << "case " << i;
+    }
+  }
+}
+
+TEST(FuzzyMetamorphic, DcMonotoneUnderJointSupportWidening) {
+  // Widening BOTH operands by the same margin can only grow the overlap
+  // relative to either side, so Dc must not decrease. (Widening one side
+  // alone is NOT monotone — the overlap grows but so does that side's
+  // normalising area — which is why the oracle never asserts it.)
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(8, i);
+    const FuzzyInterval a = randomWideInterval(rng);
+    const FuzzyInterval b = randomWideInterval(rng);
+    std::uniform_real_distribution<double> marginDist(0.0, 2.0);
+    const double margin = marginDist(rng);
+    const double before = degreeOfConsistency(a, b).dc;
+    const double after =
+        degreeOfConsistency(a.widened(margin), b.widened(margin)).dc;
+    EXPECT_GE(after, before - 1e-9) << "case " << i << " margin " << margin;
+  }
+}
+
+TEST(FuzzyMetamorphic, DisjointSupportsScoreZero) {
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(9, i);
+    const FuzzyInterval a = randomWideInterval(rng);
+    std::uniform_real_distribution<double> gapDist(0.1, 5.0);
+    // Shift a copy strictly past a's support: no overlap, hard conflict.
+    const double shift = a.support().width() + gapDist(rng);
+    const FuzzyInterval b(a.m1() + shift, a.m2() + shift, a.alpha(), a.beta());
+    const Consistency c = degreeOfConsistency(a, b);
+    EXPECT_LE(c.dc, 1e-12) << "case " << i;
+    EXPECT_TRUE(c.isHardConflict()) << "case " << i;
+    EXPECT_EQ(c.deviation, Deviation::kBelow) << "case " << i;
+  }
+}
+
+TEST(FuzzyMetamorphic, NestedValueScoresFullConsistency) {
+  // A value whose distribution nests inside the nominal's is fully
+  // consistent with it — the containment normalisation of Dc.
+  for (int i = 0; i < kCases; ++i) {
+    auto rng = caseRng(10, i);
+    const FuzzyInterval outer = randomWideInterval(rng);
+    std::uniform_real_distribution<double> t(0.1, 0.9);
+    const double shrink = t(rng);
+    const double mid = outer.coreMidpoint();
+    const FuzzyInterval inner(mid - shrink * (mid - outer.m1()),
+                              mid + shrink * (outer.m2() - mid),
+                              shrink * outer.alpha(), shrink * outer.beta());
+    EXPECT_NEAR(degreeOfConsistency(inner, outer).dc, 1.0, 1e-9)
+        << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace flames::fuzzy

@@ -1,0 +1,85 @@
+// Golden-file regression tests for the full diagnosis pipeline.
+//
+// Each case diagnoses a canonical paper scenario (Fig. 6 amplifier, Fig. 7
+// fault rows) and compares reportJson() byte-for-byte against a committed
+// snapshot under tests/integration/golden/. Any behavioural drift in
+// propagation, Dc scoring, candidate generation, ranking or fault-mode
+// refinement shows up as a readable JSON diff instead of a distant
+// downstream assertion.
+//
+// Updating intentionally-changed goldens:
+//
+//   FLAMES_UPDATE_GOLDEN=1 ctest --test-dir build -R GoldenReport
+//
+// rewrites the snapshots in the source tree; review the diff like any other
+// code change. (The binary honours the variable too:
+// FLAMES_UPDATE_GOLDEN=1 ./build/tests/test_golden.)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/catalog.h"
+#include "diagnosis/flames.h"
+#include "diagnosis/report.h"
+#include "workload/scenarios.h"
+
+#ifndef FLAMES_GOLDEN_DIR
+#error "FLAMES_GOLDEN_DIR must point at tests/integration/golden"
+#endif
+
+namespace flames {
+namespace {
+
+std::string goldenPath(const std::string& name) {
+  return std::string(FLAMES_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+std::string diagnoseToJson(const std::vector<circuit::Fault>& faults) {
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto readings =
+      workload::simulateMeasurements(net, faults, {"V1", "V2", "Vs"});
+  diagnosis::FlamesEngine engine(net);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  return diagnosis::reportJson(engine.diagnose());
+}
+
+void compareGolden(const std::string& name, const std::string& actual) {
+  const std::string path = goldenPath(name);
+  if (std::getenv("FLAMES_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << path << " missing - run with FLAMES_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "report drifted from " << path
+      << "; if intentional, re-run with FLAMES_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+TEST(GoldenReport, Fig7OpenR3) {
+  compareGolden("fig7_open_r3", diagnoseToJson({circuit::Fault::open("R3")}));
+}
+
+TEST(GoldenReport, Fig7ShortR2) {
+  compareGolden("fig7_short_r2",
+                diagnoseToJson({circuit::Fault::shortCircuit("R2")}));
+}
+
+TEST(GoldenReport, Fig6Nominal) {
+  // The healthy amplifier: golden pins "no conflicts, no candidates" so a
+  // future false-positive regression (spurious nogoods on a clean board)
+  // cannot slip through.
+  compareGolden("fig6_nominal", diagnoseToJson({}));
+}
+
+}  // namespace
+}  // namespace flames

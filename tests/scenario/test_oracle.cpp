@@ -1,0 +1,161 @@
+// Oracle tests: invariant checking on synthetic reports (each Ix trips on a
+// hand-built violation) and end-to-end culprit recovery through both the
+// engine and service paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "scenario/oracle.h"
+#include "service/service.h"
+
+namespace flames::scenario {
+namespace {
+
+using diagnosis::DiagnosisReport;
+using diagnosis::MeasurementSummary;
+using diagnosis::RankedCandidate;
+using diagnosis::RankedNogood;
+
+bool hasViolation(const std::vector<std::string>& vs, const std::string& tag) {
+  return std::any_of(vs.begin(), vs.end(), [&](const std::string& v) {
+    return v.rfind(tag, 0) == 0;
+  });
+}
+
+DiagnosisReport cleanReport() {
+  DiagnosisReport r;
+  r.propagationCompleted = true;
+  MeasurementSummary m;
+  m.quantity = "V1";
+  m.dc = 0.4;
+  m.signedDc = -0.4;
+  m.direction = -1;
+  r.measurements.push_back(m);
+  r.nogoods.push_back({{"R1", "R2"}, 0.6, ""});
+  RankedCandidate c;
+  c.components = {"R1"};
+  c.suspicion = 0.6;
+  c.plausibility = 0.9;
+  r.candidates.push_back(c);
+  r.suspicion["R1"] = 0.6;
+  return r;
+}
+
+TEST(OracleInvariants, CleanReportHasNoViolations) {
+  EXPECT_TRUE(checkReportInvariants(cleanReport()).empty());
+}
+
+TEST(OracleInvariants, I1IncompletePropagation) {
+  auto r = cleanReport();
+  r.propagationCompleted = false;
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r), "I1:"));
+}
+
+TEST(OracleInvariants, I2DcOutOfRangeAndSignMismatch) {
+  auto r = cleanReport();
+  r.measurements[0].dc = 1.5;
+  r.measurements[0].signedDc = 1.5;
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r), "I2:"));
+
+  auto r2 = cleanReport();
+  r2.measurements[0].signedDc = +0.4;  // direction says below nominal
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r2), "I2:"));
+
+  auto r3 = cleanReport();
+  r3.measurements[0].signedDc = -0.2;  // |signedDc| != dc
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r3), "I2:"));
+}
+
+TEST(OracleInvariants, I3DegreeRangeAndMinimality) {
+  auto r = cleanReport();
+  r.nogoods[0].degree = 0.0;
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r), "I3:"));
+
+  auto r2 = cleanReport();
+  // {R1} strictly inside {R1,R2}: the λ-cut subsumption contract is broken.
+  r2.nogoods.push_back({{"R1"}, 0.5, ""});
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r2), "I3:"));
+}
+
+TEST(OracleInvariants, I4CandidateStructure) {
+  auto r = cleanReport();
+  r.candidates[0].suspicion = -0.2;
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r), "I4:"));
+
+  auto r2 = cleanReport();
+  r2.candidates[0].components = {"R1", "R1"};
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r2), "I4:"));
+
+  auto r3 = cleanReport();
+  r3.candidates.push_back(r3.candidates[0]);  // exact duplicate set
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r3), "I4:"));
+}
+
+TEST(OracleInvariants, I5UncoveredNogood) {
+  auto r = cleanReport();
+  r.nogoods.push_back({{"R9"}, 0.4, ""});
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r), "I5:"));
+}
+
+TEST(OracleInvariants, I6SuspicionRange) {
+  auto r = cleanReport();
+  r.suspicion["R1"] = 2.0;
+  EXPECT_TRUE(hasViolation(checkReportInvariants(r), "I6:"));
+}
+
+TEST(Oracle, RecoversInjectedFaultThroughEngine) {
+  for (std::uint32_t seed : {1u, 7u, 42u}) {
+    const Scenario s = sampleScenario(seed);
+    const OracleResult r = runOracle(s);
+    EXPECT_TRUE(r.passed()) << describe(s) << (r.violations.empty()
+                                                   ? ""
+                                                   : "\n" + r.violations[0]);
+    EXPECT_TRUE(r.faultDetected) << describe(s);
+    EXPECT_GE(r.culpritRank, 1) << describe(s);
+  }
+}
+
+TEST(Oracle, ServicePathAgreesWithEngine) {
+  const Scenario s = sampleScenario(7);
+  const OracleResult viaEngine = runOracle(s);
+
+  OracleOptions opts;
+  opts.via = OracleVia::kService;
+  service::ServiceOptions sopts;
+  sopts.workers = 1;
+  service::DiagnosisService svc(sopts);
+  const OracleResult viaService = runOracle(s, opts, &svc);
+
+  EXPECT_TRUE(viaService.passed())
+      << (viaService.violations.empty() ? "" : viaService.violations[0]);
+  EXPECT_EQ(viaEngine.culpritRank, viaService.culpritRank);
+  EXPECT_EQ(viaEngine.report.nogoods.size(), viaService.report.nogoods.size());
+  EXPECT_EQ(viaEngine.report.candidates.size(),
+            viaService.report.candidates.size());
+}
+
+TEST(Oracle, RequireRankTightensTheCheck) {
+  const Scenario s = sampleScenario(1);
+  OracleOptions strict;
+  strict.requireRankAtMost = 1;
+  const OracleResult r = runOracle(s, strict);
+  // Seed 1 recovers its culprit at rank 1 (pinned by the harness smoke run),
+  // so even the strict oracle passes; rank 0 is rejected at option level by
+  // construction — a failing strict run is exercised on the committed repro
+  // in test_shrink.cpp.
+  EXPECT_TRUE(r.passed());
+  EXPECT_EQ(r.culpritRank, 1);
+}
+
+TEST(Oracle, UnbuildableScenarioIsAViolationNotACrash) {
+  Scenario s = sampleScenario(1);
+  s.fault.component = "R_missing";
+  const OracleResult r = runOracle(s);
+  EXPECT_FALSE(r.passed());
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].rfind("bench:", 0), 0u) << r.violations[0];
+}
+
+}  // namespace
+}  // namespace flames::scenario

@@ -1,0 +1,117 @@
+// Scenario sampling, bench synthesis and the .scenario wire format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/mna.h"
+#include "scenario/scenario.h"
+#include "workload/rng.h"
+
+namespace flames::scenario {
+namespace {
+
+TEST(Scenario, SamplingIsDeterministic) {
+  const Scenario a = sampleScenario(7);
+  const Scenario b = sampleScenario(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Scenario, DistinctSeedsExploreTheSpace) {
+  int distinct = 0;
+  const Scenario base = sampleScenario(workload::deriveSeed(3, 0));
+  for (std::uint64_t i = 1; i < 12; ++i) {
+    const Scenario s = sampleScenario(workload::deriveSeed(3, i));
+    if (s.topology != base.topology || !(s.fault.component ==
+                                         base.fault.component)) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 8) << "sampler collapsed onto one scenario shape";
+}
+
+TEST(Scenario, SynthesisIsDeterministicAndObservable) {
+  const Scenario s = sampleScenario(7);
+  const auto r1 = synthesize(s);
+  const auto r2 = synthesize(s);
+  ASSERT_EQ(r1.size(), s.probes.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].node, r2[i].node);
+    EXPECT_DOUBLE_EQ(r1[i].volts, r2[i].volts);
+  }
+
+  // The observability gate: some probe must move by >= 10% of max(|vn|, 1)
+  // relative to the nominal circuit, else the sampler must have resampled.
+  const auto nominalOp = circuit::DcSolver(buildNetlist(s)).solve();
+  ASSERT_TRUE(nominalOp.converged);
+  double worst = 0.0;
+  const auto net = buildNetlist(s);
+  for (const auto& r : r1) {
+    const double vn = nominalOp.v(net.findNode(r.node));
+    worst = std::max(worst,
+                     std::abs(r.volts - vn) / std::max(std::abs(vn), 1.0));
+  }
+  EXPECT_GE(worst, 0.10);
+}
+
+TEST(Scenario, BuildNetlistRejectsMissingFaultTarget) {
+  Scenario s = sampleScenario(7);
+  s.fault.component = "R_nonexistent";
+  EXPECT_THROW((void)buildNetlist(s), std::invalid_argument);
+}
+
+TEST(Scenario, DroppedComponentsAreRemoved) {
+  Scenario s = sampleScenario(7);
+  const auto full = buildNetlist(s);
+  // Drop some non-culprit, non-source component.
+  std::string victim;
+  for (const auto& c : full.components()) {
+    if (c.kind != circuit::ComponentKind::kVSource &&
+        c.name != s.fault.component) {
+      victim = c.name;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  s.dropped.push_back(victim);
+  const auto reduced = buildNetlist(s);
+  EXPECT_EQ(reduced.components().size(), full.components().size() - 1);
+  for (const auto& c : reduced.components()) EXPECT_NE(c.name, victim);
+}
+
+TEST(Scenario, SerializationRoundTripsExactly) {
+  for (std::uint32_t seed : {1u, 7u, 99u, 123456u}) {
+    const Scenario s = sampleScenario(seed);
+    EXPECT_EQ(parseScenario(serialize(s)), s) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, SerializationSurvivesCommentsAndBlankLines) {
+  const Scenario s = sampleScenario(7);
+  const std::string decorated =
+      "# hand-annotated repro\n\n" + serialize(s) + "\n# trailing note\n";
+  EXPECT_EQ(parseScenario(decorated), s);
+}
+
+TEST(Scenario, ParserReportsOffendingLine) {
+  try {
+    (void)parseScenario("seed 1\nfrobnicate yes\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Scenario, FileRoundTrip) {
+  const Scenario s = sampleScenario(7);
+  const std::string path = ::testing::TempDir() + "roundtrip.scenario";
+  writeScenarioFile(path, s);
+  EXPECT_EQ(loadScenarioFile(path), s);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)loadScenarioFile(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flames::scenario

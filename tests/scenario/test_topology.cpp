@@ -1,0 +1,109 @@
+// Generator-level tests: every family must build deterministically, solve at
+// DC, expose its advertised probes, and (the oracle's I7 gate, asserted here
+// directly across a seed sweep) lint clean of errors.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "circuit/mna.h"
+#include "lint/lint.h"
+#include "scenario/topology.h"
+#include "workload/rng.h"
+
+namespace flames::scenario {
+namespace {
+
+TEST(Topology, SameSpecRebuildsIdenticalNetlist) {
+  const TopologySpec spec{Family::kBridge, 3, 1, 42};
+  const Topology a = buildTopology(spec);
+  const Topology b = buildTopology(spec);
+  ASSERT_EQ(a.net.components().size(), b.net.components().size());
+  for (std::size_t i = 0; i < a.net.components().size(); ++i) {
+    EXPECT_EQ(a.net.components()[i].name, b.net.components()[i].name);
+    EXPECT_DOUBLE_EQ(a.net.components()[i].value, b.net.components()[i].value);
+  }
+  EXPECT_EQ(a.probes, b.probes);
+}
+
+TEST(Topology, ValueSeedPerturbsParameters) {
+  const Topology a = buildTopology({Family::kLadder, 4, 1, 1});
+  const Topology b = buildTopology({Family::kLadder, 4, 1, 2});
+  ASSERT_EQ(a.net.components().size(), b.net.components().size());
+  bool anyDiffers = false;
+  for (std::size_t i = 0; i < a.net.components().size(); ++i) {
+    if (a.net.components()[i].value != b.net.components()[i].value) {
+      anyDiffers = true;
+    }
+  }
+  EXPECT_TRUE(anyDiffers);
+}
+
+TEST(Topology, DegenerateSpecsThrow) {
+  EXPECT_THROW(buildTopology({Family::kLadder, 0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(buildTopology({Family::kAmpChain, 3, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Topology, FamilyNamesRoundTrip) {
+  for (const Family f : allFamilies()) {
+    EXPECT_EQ(familyFromName(familyName(f)), f);
+  }
+  EXPECT_THROW((void)familyFromName("mesh"), std::invalid_argument);
+}
+
+TEST(Topology, SampleSpecStaysInBounds) {
+  TopologyOptions opts;
+  opts.minDepth = 2;
+  opts.maxDepth = 4;
+  opts.maxWidth = 2;
+  std::mt19937 rng(11);
+  std::set<Family> seen;
+  for (int i = 0; i < 200; ++i) {
+    const TopologySpec s = sampleSpec(rng, opts);
+    EXPECT_GE(s.depth, 2u);
+    EXPECT_LE(s.depth, 4u);
+    EXPECT_GE(s.width, 1u);
+    EXPECT_LE(s.width, 2u);
+    seen.insert(s.family);
+  }
+  EXPECT_EQ(seen.size(), allFamilies().size()) << "sampler skipped a family";
+}
+
+class FamilySweep : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilySweep, EverySolvedDepthIsCleanAndObservable) {
+  for (std::size_t depth = 2; depth <= 6; ++depth) {
+    for (std::uint32_t vs = 1; vs <= 5; ++vs) {
+      const TopologySpec spec{GetParam(), depth,
+                              GetParam() == Family::kAmpChain ? 2u : 1u,
+                              workload::deriveSeed(99, vs)};
+      const Topology t = buildTopology(spec);
+      EXPECT_FALSE(t.probes.empty());
+      for (const std::string& p : t.probes) {
+        EXPECT_NO_THROW((void)t.net.findNode(p)) << p;
+      }
+      const auto op = circuit::DcSolver(t.net).solve();
+      EXPECT_TRUE(op.converged)
+          << familyName(spec.family) << " d" << depth << " vs" << vs;
+
+      // Satellite invariant: generated netlists never trip the linter
+      // (I7 — the oracle enforces this per scenario; the sweep pins it
+      // across the whole spec grid, independent of fault sampling).
+      const lint::LintReport lr = lint::lintNetlist(t.net);
+      EXPECT_TRUE(lr.ok()) << familyName(spec.family) << " d" << depth
+                           << " vs" << vs << "\n"
+                           << lint::renderLintReport(lr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::ValuesIn(allFamilies()),
+                         [](const auto& paramInfo) {
+                           return std::string(familyName(paramInfo.param));
+                         });
+
+}  // namespace
+}  // namespace flames::scenario

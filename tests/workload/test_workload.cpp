@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "circuit/mna.h"
 #include "workload/generators.h"
+#include "workload/rng.h"
 #include "workload/scenarios.h"
 
 namespace flames::workload {
@@ -115,6 +117,63 @@ TEST(Scenarios, SimulateMeasurementsMatchesDirectSolve) {
   for (const auto& r : readings) {
     EXPECT_NEAR(r.volts, op.v(faulted.findNode(r.node)), 1e-12);
   }
+}
+
+TEST(Traffic, SameSeedIsBitIdentical) {
+  const auto net = resistorLadder(4);
+  const std::vector<std::string> probes = {"t1", "t3"};
+  const auto a = synthesizeTraffic(net, probes, 24, 7, 0.02);
+  const auto b = synthesizeTraffic(net, probes, 24, 7, 0.02);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].scenario.faults.size(), b[i].scenario.faults.size());
+    for (std::size_t f = 0; f < a[i].scenario.faults.size(); ++f) {
+      EXPECT_EQ(a[i].scenario.faults[f].component,
+                b[i].scenario.faults[f].component);
+    }
+    ASSERT_EQ(a[i].readings.size(), b[i].readings.size());
+    for (std::size_t r = 0; r < a[i].readings.size(); ++r) {
+      EXPECT_EQ(a[i].readings[r].node, b[i].readings[r].node);
+      // Bit-identical, not merely close: replayability is the contract.
+      EXPECT_DOUBLE_EQ(a[i].readings[r].volts, b[i].readings[r].volts);
+    }
+  }
+}
+
+TEST(Traffic, DifferentSeedsDiverge) {
+  const auto net = resistorLadder(4);
+  const std::vector<std::string> probes = {"t1", "t3"};
+  const auto a = synthesizeTraffic(net, probes, 24, 7, 0.02);
+  const auto b = synthesizeTraffic(net, probes, 24, 8, 0.02);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    if (a[i].scenario.faults.size() != b[i].scenario.faults.size() ||
+        (!a[i].scenario.faults.empty() &&
+         a[i].scenario.faults[0].component !=
+             b[i].scenario.faults[0].component)) {
+      differs = true;
+    }
+    for (std::size_t r = 0; !differs && r < a[i].readings.size(); ++r) {
+      if (a[i].readings[r].volts != b[i].readings[r].volts) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Traffic, SubSeedDerivationHasNoAdjacentSeedCollisions) {
+  // The old `seed + index` sub-seed derivation made (seed 7, item 1) reuse
+  // (seed 8, item 0)'s noise stream. The splitmix64 derivation must keep
+  // every (seed, stream) pair on a distinct sub-seed across a dense window
+  // of master seeds — exactly the regime the additive scheme collided in.
+  std::set<std::uint32_t> seen;
+  std::size_t pairs = 0;
+  for (std::uint32_t seed = 0; seed < 64; ++seed) {
+    for (std::uint64_t stream = 0; stream < 64; ++stream) {
+      seen.insert(deriveSeed(seed, stream));
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(seen.size(), pairs);
 }
 
 TEST(Scenarios, NoiseIsBoundedAndDeterministic) {
