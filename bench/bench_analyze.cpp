@@ -1,0 +1,139 @@
+// bench_analyze — cost of the pre-propagation static analysis relative to
+// what it buys.
+//
+// The analysis is paid once per compiled unit type (cached on the
+// CompiledModel next to the lint report), so its absolute cost matters on
+// the cold path only; these benchmarks pin it against the work it
+// replaces or gates:
+//   * AnalyzeModel/* — the full three-pass analysis per topology family,
+//     scaled by circuit size (the envelope pass dominates: maxDepth rounds
+//     of solveFor over every constraint);
+//   * per-pass splits (Envelopes / CostModel / Decompose) on the paper amp,
+//     so a regression can be attributed to one pass;
+//   * DiagnoseWithDerivedCap vs DiagnoseWithStockCap on the 4x4 grid mesh —
+//     the payoff measurement: the derived cap turns the mesh's stock-cap
+//     propagation blowup into a bounded run (this is the gap the A2
+//     admission gate protects the service queue from).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "analyze/analyze.h"
+#include "analyze/cost.h"
+#include "analyze/decompose.h"
+#include "analyze/envelope.h"
+#include "circuit/catalog.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "fuzzy/fuzzy_interval.h"
+#include "obs_optin.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace flames;
+
+void BM_AnalyzeModel_Fig6Amp(benchmark::State& state) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::analyzeModel(built));
+  }
+}
+BENCHMARK(BM_AnalyzeModel_Fig6Amp);
+
+void BM_AnalyzeModel_Ladder(benchmark::State& state) {
+  const auto built = constraints::buildDiagnosticModel(
+      workload::resistorLadder(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::analyzeModel(built));
+  }
+}
+BENCHMARK(BM_AnalyzeModel_Ladder)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AnalyzeModel_Grid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto built =
+      constraints::buildDiagnosticModel(workload::resistorGrid(n, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::analyzeModel(built));
+  }
+}
+BENCHMARK(BM_AnalyzeModel_Grid)->Arg(3)->Arg(5);
+
+void BM_Envelopes_Fig6Amp(benchmark::State& state) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::computeEnvelopes(built.model));
+  }
+}
+BENCHMARK(BM_Envelopes_Fig6Amp);
+
+void BM_CostModel_Fig6Amp(benchmark::State& state) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::computeCostModel(built.model));
+  }
+}
+BENCHMARK(BM_CostModel_Fig6Amp);
+
+void BM_Decompose_Fig6Amp(benchmark::State& state) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::computeDecomposition(built));
+  }
+}
+BENCHMARK(BM_Decompose_Fig6Amp);
+
+/// One fully measured propagation of the 4x4 grid mesh under a given entry
+/// cap: an open fault is simulated on the bench and every node is probed,
+/// the service's "deliberately heavy request" shape. The grid couples every
+/// node through KCL, the topology class whose stock-cap propagation cost
+/// the derived cap exists to contain (the analysis clamps this model from
+/// the stock 24 down to 16).
+void propagateGridUnderCap(benchmark::State& state, bool derived) {
+  const circuit::Netlist net = workload::resistorGrid(4, 4);
+  const auto built = constraints::buildDiagnosticModel(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {circuit::Fault::open("Rh1_1")}, workload::tapsOf(net, "g"));
+  constraints::PropagatorOptions popts;
+  if (derived) {
+    const auto report = analyze::analyzeModel(
+        built, analyze::analysisOptionsFor(popts));
+    popts.maxEntriesPerQuantity = analyze::recommendedEntryCap(
+        report, popts.maxEntriesPerQuantity);
+  }
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    constraints::Propagator p(built.model, popts);
+    for (const workload::ProbeReading& r : readings) {
+      p.addMeasurement(built.voltage(r.node),
+                       fuzzy::FuzzyInterval::about(r.volts, 0.05));
+    }
+    p.run();
+    steps = p.steps();
+    benchmark::DoNotOptimize(steps);
+  }
+  state.counters["cap"] =
+      static_cast<double>(popts.maxEntriesPerQuantity);
+  state.counters["steps"] = static_cast<double>(steps);
+}
+
+void BM_DiagnoseWithStockCap_Grid(benchmark::State& state) {
+  propagateGridUnderCap(state, false);
+}
+BENCHMARK(BM_DiagnoseWithStockCap_Grid)->Unit(benchmark::kMillisecond);
+
+void BM_DiagnoseWithDerivedCap_Grid(benchmark::State& state) {
+  propagateGridUnderCap(state, true);
+}
+BENCHMARK(BM_DiagnoseWithDerivedCap_Grid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

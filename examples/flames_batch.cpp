@@ -3,12 +3,15 @@
 // percentiles and model-cache effectiveness.
 //
 //   flames_batch [--workers=N] [--jobs=N] [--sections=N] [--seed=N]
-//                [--noise=V] [--deadline-ms=N] [--obs] [--lint] [--Werror]
+//                [--noise=V] [--deadline-ms=N] [--obs] [--lint] [--analyze]
+//                [--Werror]
 //
-// --lint prints the static-analysis report for the generated netlist before
+// --lint prints the syntactic lint report for the generated netlist before
 // any job is submitted and aborts (exit 2) on error-grade findings;
-// --Werror escalates lint warnings to errors both in that report and in the
-// service's own submit gate.
+// --analyze does the same with the semantic analysis report (static
+// envelopes, cost bounds, ambiguity groups — lint tier A1-A3), mirroring
+// the checks the service itself applies per unit type; --Werror escalates
+// warnings to errors in both reports and in the service's own submit gate.
 //
 // The workload is workload::synthesizeTraffic over a resistor ladder: each
 // item is one board on the bench with a sampled injected fault and the
@@ -25,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "analyze/analyze.h"
+#include "constraints/model_builder.h"
 #include "lint/lint.h"
 #include "obs/obs.h"
 #include "service/service.h"
@@ -44,6 +49,7 @@ struct Args {
   long deadlineMs = 0;
   bool obs = false;
   bool lint = false;
+  bool analyze = false;
   bool werror = false;
 };
 
@@ -75,13 +81,15 @@ Args parseArgs(int argc, char** argv) {
       a.obs = true;
     } else if (arg == "--lint") {
       a.lint = true;
+    } else if (arg == "--analyze") {
+      a.analyze = true;
     } else if (arg == "--Werror") {
       a.werror = true;
     } else {
       std::cerr << "flames_batch: unknown argument " << arg << "\n"
                 << "usage: flames_batch [--workers=N] [--jobs=N] "
                    "[--sections=N] [--seed=N] [--noise=V] [--deadline-ms=N] "
-                   "[--obs] [--lint] [--Werror]\n";
+                   "[--obs] [--lint] [--analyze] [--Werror]\n";
       std::exit(2);
     }
   }
@@ -124,6 +132,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.analyze) {
+    // The same semantic analysis the service runs once per unit type:
+    // printed up front so an operator sees the envelopes, the derived entry
+    // cap and any A1-A3 findings before committing the bench to the stream.
+    diagnosis::FlamesOptions fopts;
+    const constraints::BuiltModel built =
+        constraints::buildDiagnosticModel(*net, fopts.model);
+    const analyze::AnalysisReport report = analyze::analyzeModel(
+        built, analyze::analysisOptionsFor(fopts.propagation));
+    std::cout << analyze::renderAnalysisReport(report);
+    if (!report.ok() ||
+        (args.werror && report.findings.warnings() > 0)) {
+      std::cerr << "flames_batch: analysis failed, submitting nothing\n";
+      return 2;
+    }
+  }
+
   service::ServiceOptions sopts;
   sopts.workers = args.workers;
   service::DiagnosisService svc(sopts);
@@ -149,6 +174,7 @@ int main(int argc, char** argv) {
   }
 
   std::size_t done = 0, failed = 0, expired = 0, detected = 0;
+  std::size_t entryCapUsed = 0;
   std::vector<double> latenciesMs;
   latenciesMs.reserve(handles.size());
   for (std::size_t i = 0; i < handles.size(); ++i) {
@@ -157,6 +183,7 @@ int main(int argc, char** argv) {
       case service::JobStatus::kDone:
         ++done;
         if (r.report.faultDetected()) ++detected;
+        entryCapUsed = r.entryCapUsed;
         break;
       case service::JobStatus::kDeadlineExceeded:
         ++expired;
@@ -192,6 +219,11 @@ int main(int argc, char** argv) {
             << stats.modelCache.misses << " misses, "
             << stats.modelCache.evictions << " evictions (size "
             << stats.modelCache.size << ")\n";
+  if (done > 0) {
+    std::cout << "  entry cap: " << entryCapUsed
+              << " (analysis-derived per unit type), cost rejections "
+              << stats.costRejections << "\n";
+  }
 
   if (args.obs) {
     std::cout << "\n";

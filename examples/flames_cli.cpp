@@ -3,6 +3,7 @@
 //   flames_cli [--trace=<file.json>] [--metrics]
 //              <netlist.cir> <measurements.txt> [experience.txt]
 //   flames_cli --lint [--lint-json] [--Werror] <netlist.cir>
+//   flames_cli --analyze [--analyze-json] [--Werror] <netlist.cir>
 //
 // The netlist uses the SPICE-style card format of circuit/parser.h; the
 // measurements file holds one "<node> <volts>" pair per line ('#' comments).
@@ -15,17 +16,25 @@
 // Chrome trace_event JSON (open in chrome://tracing or Perfetto);
 // --metrics prints the flames::obs counter/histogram dump after the report.
 //
-// --lint runs the full static-analysis pass (rules L1-L6, including the
-// per-component-simulation L6 diagnosability audit that the build gate
-// skips) and exits without diagnosing: 0 when the model is usable, 2 when
+// --lint runs the full static-analysis pass — the syntactic rules L1-L6
+// (including the per-component-simulation L6 diagnosability audit that the
+// build gate skips) plus the semantic tier A1-A3 when the model builds —
+// and exits without diagnosing: 0 when the model is usable, 2 when
 // error-grade findings (or any finding under --Werror) were reported.
 // --lint-json emits the machine-readable report instead of text.
+//
+// --analyze runs only the semantic analysis (flames::analyze) and prints
+// the full report: per-quantity static envelopes, the certified propagation
+// cost bounds with the derived entry cap, the structural decomposition and
+// ambiguity groups, and the A1-A3 findings. Exit codes mirror --lint.
+// --analyze-json emits the machine-readable report instead.
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "circuit/parser.h"
 #include "diagnosis/experience_io.h"
 #include "diagnosis/flames.h"
@@ -47,6 +56,8 @@ struct CliOptions {
   bool metrics = false;
   bool lint = false;      ///< lint-only mode, no diagnosis
   bool lintJson = false;  ///< machine-readable lint output (implies --lint)
+  bool analyze = false;   ///< semantic-analysis-only mode, no diagnosis
+  bool analyzeJson = false;  ///< machine-readable analysis (implies --analyze)
   bool werror = false;    ///< escalate lint warnings to errors
   std::vector<std::string> positional;
 };
@@ -67,6 +78,11 @@ CliOptions parseArgs(int argc, char** argv) {
     } else if (arg == "--lint-json") {
       opts.lint = true;
       opts.lintJson = true;
+    } else if (arg == "--analyze") {
+      opts.analyze = true;
+    } else if (arg == "--analyze-json") {
+      opts.analyze = true;
+      opts.analyzeJson = true;
     } else if (arg == "--Werror") {
       opts.werror = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -125,6 +141,16 @@ int runLint(const CliOptions& cli) {
     // build failure they usually explain.
     report.merge(lint::lintModel(inputs, lopts));
     report.merge(buildFailure);
+
+    // The semantic tier A1-A3 rides along whenever the model builds: the
+    // envelopes/cost/structure findings extend the syntactic rules in the
+    // same report, so one --lint invocation covers both tiers.
+    if (built.has_value()) {
+      const analyze::AnalysisReport analysis = analyze::analyzeModel(
+          *built,
+          analyze::analysisOptionsFor(constraints::PropagatorOptions{}));
+      report.merge(analysis.findings);
+    }
   }
 
   if (cli.lintJson) {
@@ -134,6 +160,29 @@ int runLint(const CliOptions& cli) {
   }
   const bool pass =
       report.ok() && (!cli.werror || report.warnings() == 0);
+  return pass ? 0 : 2;
+}
+
+// Semantic-analysis-only mode: parse, build the diagnostic model, run the
+// A1-A3 passes under the stock propagation knobs and print the full report.
+// A netlist that does not parse or build aborts via the usual exception
+// path (exit 2) — for pre-build findings, --lint is the right tool.
+int runAnalyze(const CliOptions& cli) {
+  using namespace flames;
+  const circuit::Netlist net = circuit::parseNetlistFile(cli.positional[0]);
+  constraints::ModelBuildOptions buildOpts;
+  const constraints::BuiltModel built =
+      constraints::buildDiagnosticModel(net, buildOpts);
+  const analyze::AnalysisReport report = analyze::analyzeModel(
+      built, analyze::analysisOptionsFor(constraints::PropagatorOptions{}));
+
+  if (cli.analyzeJson) {
+    std::cout << analyze::analysisReportJson(report) << '\n';
+  } else {
+    std::cout << analyze::renderAnalysisReport(report);
+  }
+  const bool pass =
+      report.ok() && (!cli.werror || report.findings.warnings() == 0);
   return pass ? 0 : 2;
 }
 
@@ -173,10 +222,20 @@ int main(int argc, char** argv) {
       }
       return runLint(cli);
     }
+    if (cli.analyze) {
+      if (cli.positional.size() != 1) {
+        std::cerr << "usage: flames_cli --analyze [--analyze-json] "
+                     "[--Werror] <netlist.cir>\n";
+        return 2;
+      }
+      return runAnalyze(cli);
+    }
     if (cli.positional.size() < 2 || cli.positional.size() > 3) {
       std::cerr << "usage: flames_cli [--trace=<file.json>] [--metrics] "
                    "<netlist.cir> <measurements.txt> [experience.txt]\n"
                    "       flames_cli --lint [--lint-json] [--Werror] "
+                   "<netlist.cir>\n"
+                   "       flames_cli --analyze [--analyze-json] [--Werror] "
                    "<netlist.cir>\n";
       return 2;
     }

@@ -1,0 +1,362 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace flames::analyze {
+
+namespace {
+
+std::string joinNames(const std::vector<std::string>& names) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) os << ',';
+    os << names[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string formatBound(double x) {
+  std::ostringstream os;
+  os << std::setprecision(6) << x;
+  return os.str();
+}
+
+/// A1: envelope pathologies.
+void envelopeFindings(const AnalysisReport& report, double maxDerivedWidth,
+                      lint::LintReport& out) {
+  for (const QuantityEnvelope& q : report.envelopes.quantities) {
+    if (q.envelope.bottom) continue;
+    if (q.envelope.unbounded()) {
+      lint::Diagnostic d;
+      d.rule = "A1";
+      d.severity = lint::Severity::kWarning;
+      d.location = "quantity " + q.name;
+      d.message =
+          "static envelope is unbounded: a derivation path divides by a "
+          "zero-straddling fuzzy factor (or feeds an unbounded input), so no "
+          "static bound covers the runtime values here";
+      d.fixHint =
+          "tighten the parameter tolerance so its support excludes zero, or "
+          "add a rating prediction bounding " +
+          q.name;
+      out.diagnostics.push_back(std::move(d));
+    } else if (q.kind != constraints::QuantityKind::kVoltage &&
+               q.envelope.width() > maxDerivedWidth) {
+      // Voltages are exempt: their envelopes are wide by the instrument-
+      // range assumption, not by weak static knowledge.
+      lint::Diagnostic d;
+      d.rule = "A1";
+      d.severity = lint::Severity::kInfo;
+      d.location = "quantity " + q.name;
+      d.message = "static envelope [" + formatBound(q.envelope.lo) + ", " +
+                  formatBound(q.envelope.hi) +
+                  "] is wider than the propagation width cutoff (" +
+                  formatBound(maxDerivedWidth) +
+                  "): static knowledge here is weaker than anything the "
+                  "propagator would retain";
+      out.diagnostics.push_back(std::move(d));
+    }
+  }
+}
+
+/// A2: tractability.
+void costFindings(const AnalysisReport& report, const CostOptions& options,
+                  lint::LintReport& out) {
+  const CostModel& cost = report.cost;
+  if (cost.intractableAtFloor) {
+    lint::Diagnostic d;
+    d.rule = "A2";
+    d.severity = lint::Severity::kError;
+    d.location = "model";
+    d.message = "propagation work estimate " +
+                formatBound(cost.workEstimateAtDerived) +
+                " exceeds the admission budget " +
+                formatBound(options.workBudget) +
+                " even at the floor entry cap " +
+                std::to_string(options.floorEntryCap) +
+                ": the model is intractable for interactive diagnosis";
+    if (!cost.perConstraint.empty()) {
+      d.fixHint = "highest-fan-in constraint is " +
+                  cost.perConstraint.front().name + " (" +
+                  formatBound(cost.perConstraint.front().workPerSweep) +
+                  " derivations per sweep); split that node or reduce its "
+                  "degree";
+    }
+    out.diagnostics.push_back(std::move(d));
+  } else if (cost.derivedEntryCap < options.stockEntryCap) {
+    lint::Diagnostic d;
+    d.rule = "A2";
+    d.severity = lint::Severity::kInfo;
+    d.location = "model";
+    d.message = "derived entry cap " + std::to_string(cost.derivedEntryCap) +
+                " (stock cap " + std::to_string(options.stockEntryCap) +
+                " costs " + formatBound(cost.workEstimateAtStock) +
+                " derivations per sweep, over the budget " +
+                formatBound(options.workBudget) + ")";
+    out.diagnostics.push_back(std::move(d));
+  }
+  if (!cost.fixpointCertified) {
+    lint::Diagnostic d;
+    d.rule = "A2";
+    d.severity = lint::Severity::kInfo;
+    d.location = "model";
+    d.message =
+        "fixpoint not certified within the step budget: the layered "
+        "derivation bound exceeds maxSteps (" +
+        std::to_string(options.maxStepsBudget) +
+        "), so worst-case propagation is truncated by the runtime budget "
+        "rather than guaranteed to converge";
+    out.diagnostics.push_back(std::move(d));
+  }
+}
+
+/// A3: structural ambiguity groups.
+void structureFindings(const AnalysisReport& report, lint::LintReport& out) {
+  for (const AmbiguityGroup& g : report.decomposition.ambiguityGroups) {
+    lint::Diagnostic d;
+    d.rule = "A3";
+    d.location = "components " + joinNames(g.components);
+    if (g.inherent()) {
+      d.severity = lint::Severity::kInfo;
+      d.message =
+          "structurally indistinguishable from every probe set: no "
+          "node-voltage probe separates these components (inherent to the "
+          "topology)";
+    } else {
+      d.severity = lint::Severity::kWarning;
+      d.message =
+          "structurally indistinguishable from the declared probe set: no "
+          "measurement outcome can implicate one of these components "
+          "without the others";
+      d.fixHint = "probe " + g.splittingProbe +
+                  (g.unresolvedPairs == 0
+                       ? " to fully separate the group"
+                       : " to separate all but " +
+                             std::to_string(g.unresolvedPairs) +
+                             " member pair(s)");
+    }
+    out.diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+AnalysisOptions analysisOptionsFor(
+    const constraints::PropagatorOptions& propagation) {
+  AnalysisOptions o;
+  o.envelope.maxDepth = propagation.maxDepth;
+  o.envelope.maxDerivedWidth = propagation.maxDerivedWidth;
+  o.cost.maxDepth = propagation.maxDepth;
+  o.cost.maxStepsBudget = propagation.maxSteps;
+  o.cost.stockEntryCap = propagation.maxEntriesPerQuantity;
+  return o;
+}
+
+AnalysisReport analyzeModel(const constraints::BuiltModel& built,
+                            const AnalysisOptions& options) {
+  AnalysisReport report;
+  if (options.runEnvelopes) {
+    report.envelopes = computeEnvelopes(built.model, options.envelope);
+  }
+  if (options.runCost) {
+    report.cost = computeCostModel(built.model, options.cost);
+  }
+  if (options.runDecomposition) {
+    DecomposeOptions d;
+    for (const std::string& node : options.probeNodes) {
+      const auto q = built.model.findQuantity(
+          constraints::voltageQuantityName(node));
+      if (q) d.probes.push_back(*q);
+    }
+    report.decomposition = computeDecomposition(built, d);
+  }
+
+  if (options.runEnvelopes) {
+    envelopeFindings(report, options.envelope.maxDerivedWidth,
+                     report.findings);
+  }
+  if (options.runCost) costFindings(report, options.cost, report.findings);
+  if (options.runDecomposition) structureFindings(report, report.findings);
+  report.findings.normalize();
+  return report;
+}
+
+std::size_t recommendedEntryCap(const AnalysisReport& report,
+                                std::size_t requested) {
+  if (report.cost.derivedEntryCap == 0) return requested;
+  return std::min(requested, report.cost.derivedEntryCap);
+}
+
+std::string renderAnalysisReport(const AnalysisReport& report) {
+  std::ostringstream os;
+
+  os << "== static envelopes ==\n";
+  std::size_t bottoms = 0;
+  for (const QuantityEnvelope& q : report.envelopes.quantities) {
+    if (q.envelope.bottom) {
+      ++bottoms;
+      continue;
+    }
+    os << "  " << q.name << ": [" << formatBound(q.envelope.lo) << ", "
+       << formatBound(q.envelope.hi) << ']';
+    if (q.widened) os << " (widened)";
+    os << '\n';
+  }
+  os << "  " << report.envelopes.quantities.size() << " quantities, "
+     << bottoms << " unreachable, " << report.envelopes.unboundedCount()
+     << " unbounded; " << report.envelopes.rounds << " rounds, "
+     << report.envelopes.widenings << " widenings\n";
+
+  os << "== propagation cost ==\n";
+  os << "  derived entry cap: " << report.cost.derivedEntryCap << '\n';
+  os << "  certified step bound: " << report.cost.stepBound << '\n';
+  os << "  fixpoint: ";
+  if (report.cost.fixpointCertified) {
+    os << "certified within budget (bound " << report.cost.fixpointBound
+       << ")";
+  } else if (report.cost.fixpointBound >= kCostSaturated) {
+    os << "not certified (layered bound saturated)";
+  } else {
+    os << "not certified (layered bound " << report.cost.fixpointBound << ")";
+  }
+  os << '\n';
+  os << "  work estimate/sweep: " << formatBound(report.cost.workEstimateAtDerived)
+     << " at derived cap, " << formatBound(report.cost.workEstimateAtStock)
+     << " at stock cap\n";
+  os << "  max retained entries: " << report.cost.maxRetainedEntries << '\n';
+  const std::size_t top = std::min<std::size_t>(3, report.cost.perConstraint.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const ConstraintCost& c = report.cost.perConstraint[i];
+    os << "  hottest[" << i << "]: " << c.name << " ("
+       << formatBound(c.workPerSweep) << " derivations/sweep)\n";
+  }
+
+  os << "== structure ==\n";
+  os << "  graph components: " << report.decomposition.graphComponents
+     << ", biconnected blocks: " << report.decomposition.biconnectedBlocks
+     << '\n';
+  for (const auto& sub : report.decomposition.independentSubproblems) {
+    os << "  subproblem: " << joinNames(sub) << '\n';
+  }
+  if (!report.decomposition.articulationQuantities.empty()) {
+    os << "  articulation quantities: "
+       << joinNames(report.decomposition.articulationQuantities) << '\n';
+  }
+  for (const AmbiguityGroup& g : report.decomposition.ambiguityGroups) {
+    os << "  ambiguity group " << joinNames(g.components);
+    if (g.inherent()) {
+      os << " (inherent)";
+    } else {
+      os << " (split with probe " << g.splittingProbe << ")";
+    }
+    os << '\n';
+  }
+
+  os << "== findings ==\n" << lint::renderLintReport(report.findings);
+  return os.str();
+}
+
+namespace {
+
+void jsonEscape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void jsonBound(std::ostream& os, double x) {
+  if (std::isinf(x)) {
+    os << (x < 0 ? "\"-inf\"" : "\"inf\"");
+  } else {
+    os << std::setprecision(17) << x;
+  }
+}
+
+void jsonNames(std::ostream& os, const std::vector<std::string>& names) {
+  os << '[';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) os << ',';
+    jsonEscape(os, names[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string analysisReportJson(const AnalysisReport& report) {
+  std::ostringstream os;
+  os << "{\"envelopes\":[";
+  bool first = true;
+  for (const QuantityEnvelope& q : report.envelopes.quantities) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"quantity\":";
+    jsonEscape(os, q.name);
+    os << ",\"bottom\":" << (q.envelope.bottom ? "true" : "false");
+    if (!q.envelope.bottom) {
+      os << ",\"lo\":";
+      jsonBound(os, q.envelope.lo);
+      os << ",\"hi\":";
+      jsonBound(os, q.envelope.hi);
+    }
+    os << ",\"widened\":" << (q.widened ? "true" : "false") << '}';
+  }
+  os << "],\"cost\":{\"derived_entry_cap\":" << report.cost.derivedEntryCap
+     << ",\"step_bound\":" << report.cost.stepBound
+     << ",\"fixpoint_bound\":" << report.cost.fixpointBound
+     << ",\"fixpoint_certified\":"
+     << (report.cost.fixpointCertified ? "true" : "false")
+     << ",\"work_estimate_derived\":";
+  jsonBound(os, report.cost.workEstimateAtDerived);
+  os << ",\"work_estimate_stock\":";
+  jsonBound(os, report.cost.workEstimateAtStock);
+  os << ",\"intractable_at_floor\":"
+     << (report.cost.intractableAtFloor ? "true" : "false")
+     << ",\"max_retained_entries\":" << report.cost.maxRetainedEntries
+     << "},\"structure\":{\"graph_components\":"
+     << report.decomposition.graphComponents
+     << ",\"biconnected_blocks\":" << report.decomposition.biconnectedBlocks
+     << ",\"independent_subproblems\":[";
+  first = true;
+  for (const auto& sub : report.decomposition.independentSubproblems) {
+    if (!first) os << ',';
+    first = false;
+    jsonNames(os, sub);
+  }
+  os << "],\"articulation_quantities\":";
+  jsonNames(os, report.decomposition.articulationQuantities);
+  os << ",\"ambiguity_groups\":[";
+  first = true;
+  for (const AmbiguityGroup& g : report.decomposition.ambiguityGroups) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"components\":";
+    jsonNames(os, g.components);
+    os << ",\"splitting_probe\":";
+    jsonEscape(os, g.splittingProbe);
+    os << ",\"inherent\":" << (g.inherent() ? "true" : "false") << '}';
+  }
+  os << "]},\"findings\":" << lint::lintReportJson(report.findings) << '}';
+  return os.str();
+}
+
+}  // namespace flames::analyze

@@ -1,0 +1,101 @@
+// flames::analyze — whole-model semantic analysis before any propagation.
+//
+// Aggregates the three static passes over a built diagnostic model:
+//
+//   envelope.h   static envelopes     (abstract interpretation, widening)
+//   cost.h       propagation bounds   (certified step bound, derived cap)
+//   decompose.h  structure            (subproblems, articulation points,
+//                                      ambiguity groups)
+//
+// and distils their results into a semantic lint tier that extends the
+// syntactic L1-L6 rules:
+//
+//   A1  unbounded static envelope: some derivation path can blow a quantity
+//       up without bound (division through a zero-straddling fuzzy factor),
+//       so no static guarantee covers its runtime values — warning. A
+//       non-voltage quantity whose envelope is wider than the propagation
+//       width cutoff is an info note: static knowledge there is weaker than
+//       anything the propagator would even retain.
+//   A2  intractability: the per-sweep work estimate exceeds the admission
+//       budget even at the floor entry cap — error (the service submit gate
+//       refuses such models). A derived cap below the stock cap is an info
+//       note; a saturated certified step bound is a warning.
+//   A3  structural ambiguity groups: component sets no probe set can
+//       distinguish (see decompose.h) — warning with the suggested
+//       splitting probe, downgraded to info when the group is inherent to
+//       the topology (no node-voltage probe splits it), matching L6's
+//       severity policy.
+//
+// The findings reuse lint::Diagnostic / lint::LintReport so every existing
+// rendering, merging and enforcement surface (--Werror, the service gate,
+// obs counters) applies unchanged.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analyze/cost.h"
+#include "analyze/decompose.h"
+#include "analyze/envelope.h"
+#include "constraints/model_builder.h"
+#include "lint/lint.h"
+
+namespace flames::analyze {
+
+struct AnalysisOptions {
+  EnvelopeOptions envelope;
+  CostOptions cost;
+  bool runEnvelopes = true;
+  bool runCost = true;
+  bool runDecomposition = true;
+  /// Node names the bench can probe, for the ambiguity analysis; empty =
+  /// every voltage quantity (the L6 default). Names are netlist node names
+  /// ("n3"), not quantity names.
+  std::vector<std::string> probeNodes;
+};
+
+struct AnalysisReport {
+  EnvelopeAnalysis envelopes;
+  CostModel cost;
+  Decomposition decomposition;
+  /// A1-A3 findings (severity-ordered, lint-compatible).
+  lint::LintReport findings;
+
+  /// No error-grade findings (mirrors lint::LintReport::ok()).
+  [[nodiscard]] bool ok() const { return findings.ok(); }
+};
+
+/// Thrown by enforcement points (the service admission gate) when analysis
+/// marks a model intractable. Carries the A2 message.
+class AnalysisError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Maps the runtime propagation knobs onto the matching analysis knobs, so
+/// the envelopes and cost bounds certify the configuration that actually
+/// runs: depth limit, derivation width cutoff, step budget and the
+/// requested (stock) entry cap are taken from the propagator options.
+[[nodiscard]] AnalysisOptions analysisOptionsFor(
+    const constraints::PropagatorOptions& propagation);
+
+/// Runs the enabled passes over a built model.
+[[nodiscard]] AnalysisReport analyzeModel(const constraints::BuiltModel& built,
+                                          const AnalysisOptions& options = {});
+
+/// The per-model propagation entry cap the analysis recommends, clamped to
+/// [floor, requested]: min(requested, derivedEntryCap) but never below the
+/// floor. `requested` is the cap the caller would otherwise use.
+[[nodiscard]] std::size_t recommendedEntryCap(const AnalysisReport& report,
+                                              std::size_t requested);
+
+/// Human-readable rendering (envelope table, cost summary, structure,
+/// findings).
+[[nodiscard]] std::string renderAnalysisReport(const AnalysisReport& report);
+
+/// Machine-readable rendering.
+[[nodiscard]] std::string analysisReportJson(const AnalysisReport& report);
+
+}  // namespace flames::analyze

@@ -1,0 +1,159 @@
+#include "analyze/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flames::analyze {
+
+namespace {
+
+using constraints::QuantityId;
+
+std::uint64_t satAdd(std::uint64_t a, std::uint64_t b) {
+  if (a >= kCostSaturated || b >= kCostSaturated || a > kCostSaturated - b) {
+    return kCostSaturated;
+  }
+  return a + b;
+}
+
+std::uint64_t satMul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a >= kCostSaturated || b >= kCostSaturated || a > kCostSaturated / b) {
+    return kCostSaturated;
+  }
+  return a * b;
+}
+
+/// roots(q): predictions on q plus the assumed measurements on voltages.
+std::vector<std::uint64_t> rootCounts(const constraints::Model& model,
+                                      const CostOptions& options) {
+  std::vector<std::uint64_t> roots(model.quantityCount(), 0);
+  for (const constraints::Model::Prediction& p : model.predictions()) {
+    ++roots[p.quantity];
+  }
+  for (std::size_t q = 0; q < roots.size(); ++q) {
+    if (model.quantityInfo(static_cast<QuantityId>(q)).kind ==
+        constraints::QuantityKind::kVoltage) {
+      roots[q] += options.assumedMeasurements;
+    }
+  }
+  return roots;
+}
+
+}  // namespace
+
+double workEstimate(const constraints::Model& model, std::size_t entryCap,
+                    const CostOptions& options) {
+  const std::vector<std::uint64_t> roots = rootCounts(model, options);
+  double total = 0.0;
+  for (const constraints::ConstraintPtr& c : model.constraints()) {
+    const std::vector<QuantityId>& vars = c->variables();
+    for (std::size_t t = 0; t < vars.size(); ++t) {
+      double prod = 1.0;
+      for (std::size_t s = 0; s < vars.size(); ++s) {
+        if (s == t) continue;
+        prod *= static_cast<double>(entryCap + roots[vars[s]]);
+      }
+      total += prod;
+    }
+  }
+  return total;
+}
+
+std::uint64_t fixpointBound(const constraints::Model& model,
+                            std::size_t entryCap, const CostOptions& options) {
+  const std::size_t n = model.quantityCount();
+  const std::vector<std::uint64_t> roots = rootCounts(model, options);
+  std::vector<std::uint64_t> retain(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    retain[q] = satAdd(static_cast<std::uint64_t>(entryCap), roots[q]);
+  }
+
+  std::vector<std::uint64_t> prev = roots;  // B_0
+  std::vector<std::uint64_t> cur(n, 0);
+  for (int d = 1; d <= options.maxDepth; ++d) {
+    cur = roots;
+    for (const constraints::ConstraintPtr& c : model.constraints()) {
+      const std::vector<QuantityId>& vars = c->variables();
+      for (std::size_t t = 0; t < vars.size(); ++t) {
+        std::uint64_t contribution = 0;
+        for (std::size_t s = 0; s < vars.size(); ++s) {
+          if (s == t) continue;
+          std::uint64_t term = prev[vars[s]];
+          for (std::size_t o = 0; o < vars.size(); ++o) {
+            if (o == t || o == s) continue;
+            term = satMul(term, retain[vars[o]]);
+          }
+          contribution = satAdd(contribution, term);
+        }
+        cur[vars[t]] = satAdd(cur[vars[t]], contribution);
+      }
+    }
+    // B is monotone in d by construction; once every quantity saturates
+    // there is nothing left to refine.
+    if (std::all_of(cur.begin(), cur.end(), [](std::uint64_t b) {
+          return b >= kCostSaturated;
+        })) {
+      prev = cur;
+      break;
+    }
+    prev = cur;
+  }
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : prev) total = satAdd(total, b);
+  return total;
+}
+
+CostModel computeCostModel(const constraints::Model& model,
+                           const CostOptions& options) {
+  CostModel out;
+  const std::vector<std::uint64_t> roots = rootCounts(model, options);
+
+  // Cap selection: W is monotone in cap, so scan down from the stock cap.
+  const std::size_t floorCap =
+      std::min(options.floorEntryCap, options.stockEntryCap);
+  std::size_t cap = options.stockEntryCap;
+  while (cap > floorCap && workEstimate(model, cap, options) > options.workBudget) {
+    --cap;
+  }
+  out.derivedEntryCap = cap;
+  out.workEstimateAtStock = workEstimate(model, options.stockEntryCap, options);
+  out.workEstimateAtDerived = workEstimate(model, cap, options);
+  out.intractableAtFloor = out.workEstimateAtDerived > options.workBudget;
+
+  out.fixpointBound = fixpointBound(model, cap, options);
+  out.fixpointCertified = out.fixpointBound <= options.maxStepsBudget;
+  out.stepBound = std::min<std::uint64_t>(
+      out.fixpointBound, static_cast<std::uint64_t>(options.maxStepsBudget) + 1);
+
+  for (std::size_t q = 0; q < model.quantityCount(); ++q) {
+    out.maxRetainedEntries = satAdd(
+        out.maxRetainedEntries,
+        satAdd(static_cast<std::uint64_t>(cap), roots[q]));
+  }
+
+  const std::vector<constraints::ConstraintPtr>& cs = model.constraints();
+  out.perConstraint.reserve(cs.size());
+  for (std::size_t ci = 0; ci < cs.size(); ++ci) {
+    const std::vector<QuantityId>& vars = cs[ci]->variables();
+    double work = 0.0;
+    for (std::size_t t = 0; t < vars.size(); ++t) {
+      double prod = 1.0;
+      for (std::size_t s = 0; s < vars.size(); ++s) {
+        if (s == t) continue;
+        prod *= static_cast<double>(cap + roots[vars[s]]);
+      }
+      work += prod;
+    }
+    out.perConstraint.push_back({ci, cs[ci]->name(), work});
+  }
+  std::stable_sort(out.perConstraint.begin(), out.perConstraint.end(),
+                   [](const ConstraintCost& a, const ConstraintCost& b) {
+                     return a.workPerSweep > b.workPerSweep;
+                   });
+
+  return out;
+}
+
+}  // namespace flames::analyze

@@ -1,0 +1,128 @@
+// flames::analyze — propagation-cost bounds (fan-in × entry-cap counting).
+//
+// The Propagator's cost is dominated by constraint firings: popping one
+// entry of quantity q fires every constraint on q over the cartesian product
+// of the *other* participants' retained entries — cap^(arity-1) derivations
+// per firing for a KCL constraint (the explosion PR 4 found empirically and
+// papered over with a hardcoded entry cap of 6). This pass derives the same
+// conclusion statically, per model:
+//
+// Retention bound. addEntry() rejects derived entries once a quantity holds
+// maxEntriesPerQuantity of them but always keeps roots (predictions and
+// measurements), so a quantity never retains more than
+//     R(q) = cap + roots(q)
+// entries, where roots(q) counts the model's predictions on q plus one
+// assumed measurement for each voltage quantity (measurements only enter
+// there).
+//
+// Certified step bound. Propagator::steps() counts queue pops, and every
+// pop corresponds to one previously kept entry, so steps <= total kept
+// entries. A kept derived entry of depth d is produced by a firing whose
+// popped input had depth <= d-1 (the entry's depth is 1 + the max input
+// depth, and each retained entry is popped exactly once). Writing B_d(q)
+// for a bound on the kept entries of depth <= d at q:
+//
+//   B_0(q) = roots(q)
+//   B_d(q) = roots(q) + sum over constraints c and target slots t with
+//            var_t == q of  sum over source slots s != t of
+//              B_{d-1}(var_s) * prod over remaining slots o of R(var_o)
+//
+// iterated to the propagation depth limit; steps <= sum_q B_maxDepth(q).
+// All arithmetic saturates. This *fixpoint bound* is doubly exponential in
+// depth, so on cyclic constraint graphs it saturates — the honest reading
+// is "reaching fixpoint is not certified below the step budget" — while on
+// tree-shaped models (the ampchain family) it lands far under the runtime
+// budget and certifies completion outright. Either way the runtime budget
+// PropagatorOptions::maxSteps caps the observed count, so the *certified
+// step bound* the oracle checks against is
+//     stepBound = min(fixpointBound, maxStepsBudget + 1)
+// (run() counts one extra step when it trips the budget). The bound
+// certifies the fuzzy conflict policy; the crisp baseline policy
+// additionally queues intersection refinements that this count does not
+// model.
+//
+// Work estimate and the derived cap. The step bound is doubly exponential
+// in depth and useless as an admission metric, so the gate uses the
+// per-sweep work estimate
+//     W(cap) = sum_c sum_t prod_{s != t} R(var_s)
+// — the derivations performed if every constraint fired once in every
+// direction with saturated entry lists. W is monotone in cap, so the
+// derived per-model cap is simply the largest cap in [floor, stock] whose
+// estimate fits the budget; a model whose estimate exceeds the budget even
+// at the floor is flagged intractable (lint rule A2, error).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/propagator.h"
+
+namespace flames::analyze {
+
+/// Saturation ceiling for the certified bound ("at least this many").
+inline constexpr std::uint64_t kCostSaturated = UINT64_C(1) << 62;
+
+struct CostOptions {
+  /// The stock PropagatorOptions entry cap — the ceiling for derivation.
+  std::size_t stockEntryCap = 24;
+  /// Never derive a cap below this (PR 4's empirically safe value).
+  std::size_t floorEntryCap = 6;
+  /// Assumed measurements per voltage quantity when counting roots.
+  std::size_t assumedMeasurements = 1;
+  /// Propagation depth limit the bound is iterated to.
+  int maxDepth = 12;
+  /// The runtime step budget (PropagatorOptions::maxSteps) the certified
+  /// step bound folds in.
+  std::size_t maxStepsBudget = 500000;
+  /// Admission budget on the per-sweep work estimate W(cap).
+  double workBudget = 1e5;
+};
+
+/// Per-constraint share of the work estimate (for the report's top list).
+struct ConstraintCost {
+  std::size_t constraintIndex = 0;
+  std::string name;
+  /// Derivations this constraint contributes to one full sweep, at the
+  /// derived cap.
+  double workPerSweep = 0.0;
+};
+
+struct CostModel {
+  /// Recommended per-model entry cap in [floorEntryCap, stockEntryCap].
+  std::size_t derivedEntryCap = 0;
+  /// Certified upper bound on Propagator::steps() at derivedEntryCap:
+  /// min(fixpointBound, maxStepsBudget + 1).
+  std::uint64_t stepBound = 0;
+  /// The layered derivation-count bound B (saturates at kCostSaturated).
+  std::uint64_t fixpointBound = 0;
+  /// True when fixpointBound <= maxStepsBudget: propagation provably
+  /// reaches its fixpoint without tripping the runtime step budget.
+  bool fixpointCertified = false;
+  /// Per-sweep work estimates at the stock and derived caps.
+  double workEstimateAtStock = 0.0;
+  double workEstimateAtDerived = 0.0;
+  /// True when even the floor cap exceeds the budget (A2 error).
+  bool intractableAtFloor = false;
+  /// Sum of retention bounds R(q) — the most entries the model can hold.
+  std::uint64_t maxRetainedEntries = 0;
+  /// Constraints sorted by descending workPerSweep (full list).
+  std::vector<ConstraintCost> perConstraint;
+};
+
+/// The per-sweep work estimate W(cap) for a model (monotone in cap).
+[[nodiscard]] double workEstimate(const constraints::Model& model,
+                                  std::size_t entryCap,
+                                  const CostOptions& options = {});
+
+/// The layered fixpoint bound B at a specific entry cap (saturating).
+[[nodiscard]] std::uint64_t fixpointBound(const constraints::Model& model,
+                                          std::size_t entryCap,
+                                          const CostOptions& options = {});
+
+/// Derives the full cost model (cap selection + bound + top offenders).
+[[nodiscard]] CostModel computeCostModel(const constraints::Model& model,
+                                         const CostOptions& options = {});
+
+}  // namespace flames::analyze

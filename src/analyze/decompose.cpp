@@ -1,0 +1,293 @@
+#include "analyze/decompose.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace flames::analyze {
+
+namespace {
+
+using constraints::QuantityId;
+
+/// The bipartite quantity/constraint graph. Vertices [0, nq) are
+/// quantities, [nq, nq + nc) are constraints.
+struct Graph {
+  std::size_t nq = 0;
+  std::size_t nc = 0;
+  std::vector<std::vector<std::size_t>> adj;
+
+  [[nodiscard]] std::size_t size() const { return nq + nc; }
+  [[nodiscard]] std::size_t constraintVertex(std::size_t ci) const {
+    return nq + ci;
+  }
+};
+
+Graph buildGraph(const constraints::Model& model) {
+  Graph g;
+  g.nq = model.quantityCount();
+  g.nc = model.constraints().size();
+  g.adj.resize(g.size());
+  for (std::size_t ci = 0; ci < g.nc; ++ci) {
+    const std::size_t cv = g.constraintVertex(ci);
+    for (const QuantityId q : model.constraints()[ci]->variables()) {
+      g.adj[q].push_back(cv);
+      g.adj[cv].push_back(q);
+    }
+  }
+  return g;
+}
+
+/// Labels connected components, optionally with one vertex removed
+/// (skip == size() means no removal). Returns -1 for the removed vertex.
+std::vector<int> componentLabels(const Graph& g, std::size_t skip) {
+  std::vector<int> label(g.size(), -1);
+  int next = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (v == skip || label[v] != -1) continue;
+    label[v] = next;
+    stack.push_back(v);
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (const std::size_t w : g.adj[u]) {
+        if (w == skip || label[w] != -1) continue;
+        label[w] = next;
+        stack.push_back(w);
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+/// Iterative lowlink DFS: articulation vertices + biconnected block count.
+void findArticulations(const Graph& g, std::vector<char>& isArticulation,
+                       std::size_t& blocks) {
+  const std::size_t n = g.size();
+  isArticulation.assign(n, 0);
+  blocks = 0;
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<std::size_t> parent(n, n);
+  std::vector<std::size_t> childIndex(n, 0);
+  int dfsTime = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::size_t rootChildCount = 0;
+    std::vector<std::size_t> stack = {root};
+    disc[root] = low[root] = dfsTime++;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      if (childIndex[u] < g.adj[u].size()) {
+        const std::size_t w = g.adj[u][childIndex[u]++];
+        if (disc[w] == -1) {
+          parent[w] = u;
+          disc[w] = low[w] = dfsTime++;
+          stack.push_back(w);
+        } else if (w != parent[u]) {
+          low[u] = std::min(low[u], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          const std::size_t p = stack.back();
+          low[p] = std::min(low[p], low[u]);
+          if (low[u] >= disc[p]) {
+            // The edge (p, u) closes a biconnected block.
+            ++blocks;
+            if (p != root) isArticulation[p] = 1;
+          }
+          if (p == root) ++rootChildCount;
+        }
+      }
+    }
+    if (rootChildCount >= 2) isArticulation[root] = 1;
+  }
+}
+
+/// Site vertices of each circuit component: constraints guarded by its
+/// assumption plus quantities whose predictions carry it.
+std::map<std::string, std::vector<std::size_t>> componentSites(
+    const constraints::BuiltModel& built, const Graph& g) {
+  std::map<std::string, std::vector<std::size_t>> sites;
+  const constraints::Model& model = built.model;
+  for (const auto& [name, aid] : built.assumptionOf) {
+    std::vector<std::size_t>& s = sites[name];
+    for (std::size_t ci = 0; ci < model.constraints().size(); ++ci) {
+      if (model.constraints()[ci]->validity().contains(aid)) {
+        s.push_back(g.constraintVertex(ci));
+      }
+    }
+    for (const constraints::Model::Prediction& p : model.predictions()) {
+      if (p.env.contains(aid)) s.push_back(p.quantity);
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return sites;
+}
+
+/// The structural signature of every component over a probe set: per probe
+/// m, the set of reachable-probe index lists of the component's sites in
+/// G \ {m} ("@" marks a site that *is* the removed probe). Serialized for
+/// cheap grouping and comparison.
+std::map<std::string, std::string> signatures(
+    const Graph& g,
+    const std::map<std::string, std::vector<std::size_t>>& sites,
+    const std::vector<std::size_t>& probeVerts) {
+  std::map<std::string, std::ostringstream> sigs;
+  for (std::size_t mi = 0; mi < probeVerts.size(); ++mi) {
+    const std::size_t m = probeVerts[mi];
+    const std::vector<int> label = componentLabels(g, m);
+    // Probe indices reachable within each graph component of G \ {m}.
+    std::map<int, std::vector<std::size_t>> reach;
+    for (std::size_t pi = 0; pi < probeVerts.size(); ++pi) {
+      if (pi == mi) continue;
+      reach[label[probeVerts[pi]]].push_back(pi);
+    }
+    for (const auto& [name, siteList] : sites) {
+      std::set<std::string> parts;
+      for (const std::size_t site : siteList) {
+        if (site == m) {
+          parts.insert("@");
+          continue;
+        }
+        std::ostringstream part;
+        const auto it = reach.find(label[site]);
+        if (it != reach.end()) {
+          for (const std::size_t pi : it->second) part << pi << ',';
+        }
+        parts.insert(part.str());
+      }
+      std::ostringstream& sig = sigs[name];
+      for (const std::string& p : parts) sig << p << '|';
+      sig << ';';
+    }
+  }
+  std::map<std::string, std::string> out;
+  for (auto& [name, os] : sigs) out[name] = os.str();
+  // Components with no sites at all (possible only for assumption-less
+  // models) still need an entry so grouping sees them.
+  for (const auto& entry : sites) out.try_emplace(entry.first, "");
+  return out;
+}
+
+}  // namespace
+
+Decomposition computeDecomposition(const constraints::BuiltModel& built,
+                                   const DecomposeOptions& options) {
+  Decomposition out;
+  const constraints::Model& model = built.model;
+  const Graph g = buildGraph(model);
+
+  // --- Connected components -> independent subproblems. ---
+  const std::vector<int> label = componentLabels(g, g.size());
+  int maxLabel = -1;
+  for (const int l : label) maxLabel = std::max(maxLabel, l);
+  out.graphComponents = static_cast<std::size_t>(maxLabel + 1);
+
+  const std::map<std::string, std::vector<std::size_t>> sites =
+      componentSites(built, g);
+  std::map<int, std::vector<std::string>> byGraphComponent;
+  for (const auto& [name, siteList] : sites) {
+    if (siteList.empty()) continue;
+    byGraphComponent[label[siteList.front()]].push_back(name);
+  }
+  for (auto& [l, names] : byGraphComponent) {
+    std::sort(names.begin(), names.end());
+    out.independentSubproblems.push_back(std::move(names));
+  }
+
+  // --- Articulation quantities + biconnected blocks. ---
+  std::vector<char> isArticulation;
+  findArticulations(g, isArticulation, out.biconnectedBlocks);
+  for (std::size_t q = 0; q < g.nq; ++q) {
+    if (isArticulation[q]) {
+      out.articulationQuantities.push_back(
+          model.quantityInfo(static_cast<QuantityId>(q)).name);
+    }
+  }
+  std::sort(out.articulationQuantities.begin(),
+            out.articulationQuantities.end());
+
+  // --- Ambiguity groups over the probe set. ---
+  std::vector<std::size_t> probeVerts;
+  if (options.probes.empty()) {
+    for (std::size_t q = 0; q < g.nq; ++q) {
+      if (model.quantityInfo(static_cast<QuantityId>(q)).kind ==
+          constraints::QuantityKind::kVoltage) {
+        probeVerts.push_back(q);
+      }
+    }
+  } else {
+    for (const QuantityId q : options.probes) probeVerts.push_back(q);
+    std::sort(probeVerts.begin(), probeVerts.end());
+    probeVerts.erase(std::unique(probeVerts.begin(), probeVerts.end()),
+                     probeVerts.end());
+  }
+
+  // With no probes at all, every component is vacuously indistinguishable;
+  // that degenerate case is L2/L6 territory, not a useful A3 group list.
+  if (probeVerts.empty()) return out;
+
+  const std::map<std::string, std::string> sig =
+      signatures(g, sites, probeVerts);
+  std::map<std::string, std::vector<std::string>> groups;
+  for (const auto& [name, s] : sig) groups[s].push_back(name);
+
+  // Candidate splitting probes: voltage quantities outside the probe set.
+  std::vector<std::size_t> candidates;
+  for (std::size_t q = 0; q < g.nq; ++q) {
+    if (model.quantityInfo(static_cast<QuantityId>(q)).kind !=
+        constraints::QuantityKind::kVoltage) {
+      continue;
+    }
+    if (!std::binary_search(probeVerts.begin(), probeVerts.end(), q)) {
+      candidates.push_back(q);
+    }
+  }
+
+  for (auto& [s, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    AmbiguityGroup group;
+    group.components = members;
+    const std::size_t totalPairs = members.size() * (members.size() - 1) / 2;
+    group.unresolvedPairs = totalPairs;
+
+    std::size_t bestSeparated = 0;
+    for (const std::size_t cand : candidates) {
+      std::vector<std::size_t> extended = probeVerts;
+      extended.push_back(cand);
+      std::sort(extended.begin(), extended.end());
+      const std::map<std::string, std::string> newSig =
+          signatures(g, sites, extended);
+      std::size_t separated = 0;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (newSig.at(members[i]) != newSig.at(members[j])) ++separated;
+        }
+      }
+      if (separated > bestSeparated) {
+        bestSeparated = separated;
+        group.splittingProbe =
+            model.quantityInfo(static_cast<QuantityId>(cand)).name;
+        group.unresolvedPairs = totalPairs - separated;
+      }
+    }
+    out.ambiguityGroups.push_back(std::move(group));
+  }
+  std::sort(out.ambiguityGroups.begin(), out.ambiguityGroups.end(),
+            [](const AmbiguityGroup& a, const AmbiguityGroup& b) {
+              return a.components < b.components;
+            });
+
+  return out;
+}
+
+}  // namespace flames::analyze

@@ -1,0 +1,79 @@
+// flames::analyze — structural decomposition of the constraint network.
+//
+// Views the model as a bipartite graph: quantity vertices on one side,
+// constraint vertices on the other, an edge where a constraint mentions a
+// quantity. Three structural results fall out:
+//
+// Independent subproblems. Connected components of the graph partition the
+// diagnosis: a conflict can only ever involve components whose constraints
+// share a graph component with the measurements that raised it, so each
+// graph component is an independently solvable diagnosis subproblem.
+//
+// Articulation quantities. Cut vertices (computed with the usual lowlink
+// DFS, together with the biconnected block count) that are quantities.
+// Removing such a quantity disconnects the network — these are the shared
+// rails and coupling nodes whose measurement carves the model apart, and the
+// natural probe suggestions.
+//
+// Ambiguity groups (lint rule A3 — the structural generalisation of L6's
+// sensitivity-sign audit). A circuit component occupies a set of *sites*:
+// the constraint vertices guarded by its correctness assumption plus the
+// quantity vertices of predictions carrying it. A probe at quantity m can
+// structurally discriminate component A from component B only through how
+// their sites connect to the *other* probes once m itself is removed. The
+// signature of a component is therefore, per probe m, the set of
+// reachable-probe bitmasks of its sites in G \ {m}; components with equal
+// signatures cannot be told apart by any subset of the probe set — no
+// measurement outcome at any probe can implicate one without the other.
+// This is a conservative (purely structural) notion: L6's sign analysis may
+// still separate a pair the topology cannot. For each group the pass
+// searches the non-probe voltage quantities for a *splitting probe* whose
+// addition separates the most member pairs; a group with no splitting probe
+// is inherent to the topology (reported as info, matching L6's policy).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "constraints/model_builder.h"
+
+namespace flames::analyze {
+
+struct AmbiguityGroup {
+  /// Component names, sorted; always >= 2 members.
+  std::vector<std::string> components;
+  /// Voltage quantity whose addition as a probe separates the most member
+  /// pairs; empty when the group is inherent (no node voltage splits it).
+  std::string splittingProbe;
+  /// Member pairs the splitting probe still cannot separate (0 when the
+  /// probe fully resolves the group).
+  std::size_t unresolvedPairs = 0;
+
+  [[nodiscard]] bool inherent() const { return splittingProbe.empty(); }
+};
+
+struct Decomposition {
+  /// Connected components of the bipartite quantity/constraint graph.
+  std::size_t graphComponents = 0;
+  /// Circuit components grouped by graph component (only groups that
+  /// contain at least one circuit component; names sorted).
+  std::vector<std::vector<std::string>> independentSubproblems;
+  /// Quantity names that are articulation (cut) vertices, sorted.
+  std::vector<std::string> articulationQuantities;
+  std::size_t biconnectedBlocks = 0;
+  /// Structurally indistinguishable component groups over the probe set.
+  std::vector<AmbiguityGroup> ambiguityGroups;
+};
+
+struct DecomposeOptions {
+  /// Quantity ids of the probe set for the ambiguity analysis; empty =
+  /// every voltage quantity (matching lint L6's "every named node" default,
+  /// under which any remaining group is inherent by construction).
+  std::vector<constraints::QuantityId> probes;
+};
+
+[[nodiscard]] Decomposition computeDecomposition(
+    const constraints::BuiltModel& built, const DecomposeOptions& options = {});
+
+}  // namespace flames::analyze

@@ -1,0 +1,209 @@
+#include "analyze/envelope.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace flames::analyze {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The widening ladder: after the delay, a growing bound snaps outward onto
+/// the nearest of these magnitudes (negated for the lower side), so each
+/// bound can change only O(ladder) more times. Covers everything from
+/// sub-microamp currents to the overflow clamp.
+constexpr double kLadder[] = {0.0,  1e-9, 1e-6, 1e-3, 1e-2, 1e-1, 1.0,
+                              10.0, 1e2,  1e3,  1e4,  1e6,  1e9,  1e12};
+
+/// Rounds x outward (away from zero for the growing direction) onto the
+/// ladder: the result w satisfies w <= x for lower bounds.
+double widenDown(double x) {
+  if (!std::isfinite(x)) return -kInf;
+  if (x >= 0.0) {
+    // A positive lower bound: largest ladder value <= x.
+    double best = 0.0;
+    for (double t : kLadder) {
+      if (t <= x) best = t;
+    }
+    return best;
+  }
+  // Negative lower bound: -(smallest ladder value >= -x).
+  for (double t : kLadder) {
+    if (t >= -x) return -t;
+  }
+  return -kInf;
+}
+
+double widenUp(double x) { return -widenDown(-x); }
+
+}  // namespace
+
+bool Envelope::contains(const fuzzy::Cut& support, double absTol,
+                        double relTol) const {
+  if (bottom) return false;
+  const double slackLo = absTol + relTol * std::abs(lo);
+  const double slackHi = absTol + relTol * std::abs(hi);
+  return support.lo >= lo - slackLo && support.hi <= hi + slackHi;
+}
+
+bool Envelope::join(double jlo, double jhi) {
+  if (bottom) {
+    bottom = false;
+    lo = jlo;
+    hi = jhi;
+    return true;
+  }
+  bool grew = false;
+  if (jlo < lo) {
+    lo = jlo;
+    grew = true;
+  }
+  if (jhi > hi) {
+    hi = jhi;
+    grew = true;
+  }
+  return grew;
+}
+
+std::size_t EnvelopeAnalysis::unboundedCount() const {
+  std::size_t n = 0;
+  for (const QuantityEnvelope& q : quantities) {
+    if (q.envelope.unbounded()) ++n;
+  }
+  return n;
+}
+
+EnvelopeAnalysis computeEnvelopes(const constraints::Model& model,
+                                  const EnvelopeOptions& options) {
+  using constraints::QuantityId;
+
+  EnvelopeAnalysis out;
+  const std::size_t n = model.quantityCount();
+  out.quantities.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    QuantityEnvelope& row = out.quantities[i];
+    row.quantity = static_cast<QuantityId>(i);
+    row.name = model.quantityInfo(row.quantity).name;
+    row.kind = model.quantityInfo(row.quantity).kind;
+  }
+
+  // Clamps overflowing bounds to ±inf so solveFor never sees non-finite
+  // inputs while the envelope still records the blow-up.
+  auto clamp = [&](Envelope& e) {
+    if (e.bottom) return;
+    if (e.lo < -options.infinityThreshold) e.lo = -kInf;
+    if (e.hi > options.infinityThreshold) e.hi = kInf;
+  };
+
+  // --- Seed: prediction supports plus the instrument range on voltages. ---
+  // Seeds model root entries, which the propagator keeps unconditionally —
+  // the derivation width cutoff below does not apply to them.
+  for (const constraints::Model::Prediction& p : model.predictions()) {
+    const fuzzy::Cut s = p.value.support();
+    out.quantities[p.quantity].envelope.join(s.lo, s.hi);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.quantities[i].kind == constraints::QuantityKind::kVoltage) {
+      out.quantities[i].envelope.join(-options.measurementRange,
+                                      options.measurementRange);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) clamp(out.quantities[i].envelope);
+
+  // --- Depth-bounded chaotic iteration. ---
+  // Round d extends every envelope with all one-step derivations over the
+  // current envelopes. Because envelopes only grow, after round d each one
+  // contains every runtime entry of derivation depth <= d; the propagator
+  // refuses to derive past maxDepth, so maxDepth rounds cover everything.
+  // Reading the in-place (already partially updated) envelopes within a
+  // round is sound — it can only widen inputs further.
+  const std::vector<constraints::ConstraintPtr>& cs = model.constraints();
+  const int rounds = std::max(options.maxDepth, 1);
+  for (int round = 1; round <= rounds; ++round) {
+    bool changed = false;
+    ++out.rounds;
+
+    for (const constraints::ConstraintPtr& cp : cs) {
+      const constraints::Constraint& c = *cp;
+      const std::vector<QuantityId>& vars = c.variables();
+      for (std::size_t t = 0; t < vars.size(); ++t) {
+        // Gather abstract inputs for every other slot.
+        bool feasible = true;
+        bool anyUnbounded = false;
+        std::vector<fuzzy::FuzzyInterval> inputs(vars.size());
+        std::vector<fuzzy::Cut> ranges(vars.size(), fuzzy::Cut{-kInf, kInf});
+        for (std::size_t s = 0; s < vars.size() && feasible; ++s) {
+          if (s == t) continue;
+          const Envelope& in = out.quantities[vars[s]].envelope;
+          if (in.bottom) {
+            feasible = false;
+          } else if (!in.bounded()) {
+            anyUnbounded = true;
+            ranges[s] = fuzzy::Cut{in.lo, in.hi};
+          } else {
+            inputs[s] = fuzzy::FuzzyInterval::crispInterval(in.lo, in.hi);
+            ranges[s] = fuzzy::Cut{in.lo, in.hi};
+          }
+        }
+        if (!feasible) continue;
+
+        double jlo = -kInf;
+        double jhi = kInf;
+        if (!anyUnbounded) {
+          try {
+            const std::optional<fuzzy::FuzzyInterval> v = c.solveFor(t, inputs);
+            if (!v) continue;
+            const fuzzy::Cut s = v->support();
+            jlo = s.lo;
+            jhi = s.hi;
+          } catch (const std::domain_error&) {
+            // Division through a zero-straddling support. A concrete run
+            // with narrower inputs might still divide cleanly, so the
+            // abstraction stays at top (subject to the retention clip
+            // below). This is the A1 blow-up finding.
+          } catch (const std::invalid_argument&) {
+            // Interval arithmetic overflowed the trapezoid invariants
+            // (non-finite parameter): likewise top.
+          }
+        }
+        // An unbounded input (or a blow-up above) leaves the *location* of
+        // a derived entry unconstrained even though each concrete entry is
+        // narrow. The retention cutoff still applies, though: the
+        // propagator keeps a derivation only if its support width fits
+        // maxDerivedWidth, and the constraint's fuzzy parameter forces a
+        // width that grows with the operating point, which caps the
+        // magnitude of keepable results no matter how narrow the concrete
+        // inputs are. This clip is what tames the expansive V -> I -> V
+        // cycles (and most top-cascades).
+        const double keep =
+            c.keptMagnitudeBound(t, ranges, options.maxDerivedWidth);
+        jlo = std::max(jlo, -keep);
+        jhi = std::min(jhi, keep);
+        if (jlo > jhi) continue;  // nothing retainable from this direction
+
+        Envelope& e = out.quantities[vars[t]].envelope;
+        if (!e.join(jlo, jhi)) continue;
+        changed = true;
+        if (round > options.wideningDelay) {
+          const double wlo = widenDown(e.lo);
+          const double whi = widenUp(e.hi);
+          if (wlo < e.lo || whi > e.hi) {
+            e.lo = wlo;
+            e.hi = whi;
+            out.quantities[vars[t]].widened = true;
+            ++out.widenings;
+          }
+        }
+        clamp(e);
+      }
+    }
+
+    if (!changed) break;  // converged before the depth limit
+  }
+
+  return out;
+}
+
+}  // namespace flames::analyze

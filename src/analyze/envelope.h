@@ -1,0 +1,164 @@
+// flames::analyze — static envelope analysis (abstract interpretation).
+//
+// Computes, per quantity, a guaranteed crisp envelope [lo, hi] that contains
+// the support of every value entry the Propagator can ever hold for that
+// quantity, for ANY admissible measurement sequence. The abstract domain is
+// the interval lattice with two distinguished elements:
+//
+//   bottom        no value can ever reach the quantity
+//   [lo, hi]      every runtime support is contained in [lo, hi]
+//   top (±inf)    unbounded — some derivation path divides by a
+//                 zero-straddling fuzzy factor (or feeds an unbounded input)
+//
+// Seeding (the concretisation of "admissible"):
+//   * every a-priori prediction contributes its support;
+//   * every voltage quantity additionally receives the assumed instrument
+//     range ±measurementRange, because measurements enter the network only
+//     at voltage quantities (FlamesEngine::measure / crispMeasurement).
+//
+// Iteration strategy. Naive interval iteration diverges on analog models:
+// the cycle V -> I -> V through Ohm's law is expansive (each round trip
+// multiplies the interval width by ~Rmax/Rmin), so a classic fixpoint
+// climbs to top everywhere and learns nothing. The concrete system is
+// better-behaved than that, in two ways the analysis mirrors exactly:
+//
+//   * runtime derivations are depth-bounded (PropagatorOptions::maxDepth):
+//     an entry of depth d is produced from entries of depth < d, so the
+//     union of maxDepth transfer rounds over the seed already covers every
+//     reachable value — no fixpoint is required for soundness;
+//   * runtime derivations wider than PropagatorOptions::maxDerivedWidth are
+//     discarded on arrival, and each constraint's fuzzy parameter forces a
+//     support width that grows with the operating point (a kept
+//     I = (Va-Vb)/R entry must satisfy |Va-Vb| * width(1/R) <= cutoff), so
+//     the magnitude of retainable derivations is capped no matter how
+//     narrow the concrete inputs are. Each abstract transfer is clipped to
+//     that cap (Constraint::keptMagnitudeBound) — this is what keeps the
+//     expansive cycles from mattering. Note the clip keys on the *concrete*
+//     width a derivation must carry, not on the width of the abstract hull:
+//     concrete inputs are narrower than the envelopes, so skipping on
+//     abstract width would be unsound.
+//
+// On top of that, bounds still growing after `wideningDelay` rounds are
+// widened onto a fixed magnitude ladder (…,1e3,1e6,1e9,1e12,∞) — the classic
+// threshold-widening accelerator, which guarantees convergence in O(ladder)
+// further rounds even if maxDepth is configured huge. The default delay is
+// set above any realistic depth: within the depth bound the precise rounds
+// are affordable, and widening mid-iteration would trade away exactly the
+// precision the depth bound preserves.
+//
+// Transfer functions reuse the constraints' own solveFor() on the crisp
+// hulls FuzzyInterval::crispInterval(lo, hi). Soundness rests on the
+// inclusion monotonicity of the possibilistic arithmetic in the supports:
+// +/-/negate/scaled are exact interval operations, and mul/div rebuild the
+// trapezoid from the exact support-cut interval product, so widening every
+// input to its envelope hull can only widen the derived support. Runtime
+// pruning (entry caps, env-size limits, crisp intersection refinements)
+// only ever discards or narrows values. A solveFor() that throws (division
+// through a zero-straddling support, or interval arithmetic overflowing
+// the trapezoid invariants) is conservatively treated as top — that is
+// exactly the A1 finding.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "constraints/propagator.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::analyze {
+
+/// One abstract value of the interval domain.
+struct Envelope {
+  /// True while no value can reach the quantity (the lattice bottom).
+  bool bottom = true;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] static Envelope top() {
+    Envelope e;
+    e.bottom = false;
+    e.lo = -std::numeric_limits<double>::infinity();
+    e.hi = std::numeric_limits<double>::infinity();
+    return e;
+  }
+
+  [[nodiscard]] bool isTop() const {
+    return !bottom && std::isinf(lo) && std::isinf(hi) && lo < 0 && hi > 0;
+  }
+  /// Finite on both sides (and not bottom).
+  [[nodiscard]] bool bounded() const {
+    return !bottom && std::isfinite(lo) && std::isfinite(hi);
+  }
+  [[nodiscard]] bool unbounded() const {
+    return !bottom && (!std::isfinite(lo) || !std::isfinite(hi));
+  }
+  [[nodiscard]] double width() const { return bottom ? 0.0 : hi - lo; }
+
+  /// Containment of a crisp support interval, with absolute + relative slack.
+  [[nodiscard]] bool contains(const fuzzy::Cut& support, double absTol = 1e-6,
+                              double relTol = 1e-9) const;
+
+  /// Lattice join with [jlo, jhi]; returns true if this envelope grew.
+  bool join(double jlo, double jhi);
+};
+
+struct EnvelopeOptions {
+  /// Assumed instrument range: any measurement entered at a voltage
+  /// quantity has support within ±measurementRange volts.
+  double measurementRange = 1e3;
+  /// Derivation depth limit to iterate to (PropagatorOptions::maxDepth).
+  int maxDepth = 12;
+  /// The runtime derivation width cutoff (PropagatorOptions::
+  /// maxDerivedWidth): abstract derivations wider than this are skipped,
+  /// exactly as the propagator discards their concrete counterparts.
+  double maxDerivedWidth = 1e3;
+  /// Rounds before still-growing bounds are widened onto the ladder. The
+  /// iteration terminates after maxDepth rounds regardless, so widening is
+  /// purely an accelerator for configurations with a huge maxDepth; the
+  /// default delay sits above any realistic depth so that normal runs keep
+  /// the full depth-bounded precision (additive growth — e.g. a voltage
+  /// envelope gaining ~productCap per round through Ohm's law — would
+  /// otherwise be snapped up the ladder to top in O(ladder) rounds).
+  int wideningDelay = 64;
+  /// Bounds beyond this magnitude are treated as infinite (top on that
+  /// side). This is an overflow guard, not a precision knob: rounding a
+  /// bound outward to ±inf is always sound, rounding inward never is. It
+  /// must sit well above the depth-bounded worst case — KCL nodes have no
+  /// fuzzy parameter to clip on, so current envelopes legitimately amplify
+  /// by the node fan-in each round (fan^maxDepth * productCap can reach
+  /// ~1e12 on dense meshes); a low threshold would snap those finite
+  /// envelopes to top and cascade.
+  double infinityThreshold = 1e30;
+};
+
+/// Per-quantity result row (indexed by QuantityId in EnvelopeAnalysis).
+struct QuantityEnvelope {
+  constraints::QuantityId quantity = 0;
+  std::string name;
+  constraints::QuantityKind kind = constraints::QuantityKind::kOther;
+  Envelope envelope;
+  /// True if the ladder widening fired for this quantity — its envelope is
+  /// a widened over-approximation, not the tightest depth-bounded one.
+  bool widened = false;
+};
+
+struct EnvelopeAnalysis {
+  /// Indexed by QuantityId (size == model.quantityCount()).
+  std::vector<QuantityEnvelope> quantities;
+  std::size_t rounds = 0;     ///< Jacobi rounds executed
+  std::size_t widenings = 0;  ///< ladder widenings applied
+
+  [[nodiscard]] const Envelope& of(constraints::QuantityId q) const {
+    return quantities.at(q).envelope;
+  }
+  [[nodiscard]] std::size_t unboundedCount() const;
+};
+
+/// Runs the abstract interpreter over the model.
+[[nodiscard]] EnvelopeAnalysis computeEnvelopes(
+    const constraints::Model& model, const EnvelopeOptions& options = {});
+
+}  // namespace flames::analyze

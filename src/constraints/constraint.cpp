@@ -3,9 +3,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <algorithm>
+#include <limits>
+
 namespace flames::constraints {
 
 using fuzzy::FuzzyInterval;
+
+namespace {
+
+constexpr double kNoBound = std::numeric_limits<double>::infinity();
+
+double maxAbs(const fuzzy::Cut& c) {
+  return std::max(std::abs(c.lo), std::abs(c.hi));
+}
+
+}  // namespace
 
 // --- SumConstraint -----------------------------------------------------------
 
@@ -39,6 +52,19 @@ std::optional<FuzzyInterval> SumConstraint::solveFor(
   return acc.scaled(1.0 / coefficients_[target]);
 }
 
+double SumConstraint::keptMagnitudeBound(
+    std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+    double widthCutoff) const {
+  (void)inputRanges;
+  if (target >= variables().size()) return kNoBound;
+  // Crisp coefficients: the only irreducible width is the fuzzy rhs's,
+  // scaled by 1/|c_t|. If that floor already exceeds the cutoff, nothing
+  // derived this way is ever retained (bound 0 over-approximates "empty").
+  const fuzzy::Cut rhs = rhs_.support();
+  if (rhs.width() / std::abs(coefficients_[target]) > widthCutoff) return 0.0;
+  return kNoBound;
+}
+
 // --- DiffConstraint ----------------------------------------------------------
 
 DiffConstraint::DiffConstraint(std::string name, QuantityId a, QuantityId b,
@@ -52,6 +78,16 @@ std::optional<FuzzyInterval> DiffConstraint::solveFor(
   if (target == 0) return inputs[1].add(drop_);   // a = b + drop
   if (target == 1) return inputs[0].sub(drop_);   // b = a - drop
   return std::nullopt;
+}
+
+double DiffConstraint::keptMagnitudeBound(
+    std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+    double widthCutoff) const {
+  (void)target;
+  (void)inputRanges;
+  // The drop's width is an irreducible floor on any derivation's width.
+  if (drop_.support().width() > widthCutoff) return 0.0;
+  return kNoBound;
 }
 
 // --- ScaleConstraint ---------------------------------------------------------
@@ -74,6 +110,21 @@ std::optional<FuzzyInterval> ScaleConstraint::solveFor(
   if (target == 1) return inputs[0].mul(factor_);  // out = in * k
   if (target == 0) return inputs[1].div(factor_);  // in = out / k
   return std::nullopt;
+}
+
+double ScaleConstraint::keptMagnitudeBound(
+    std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+    double widthCutoff) const {
+  (void)target;
+  (void)inputRanges;
+  // out = in * k with crisp in: width >= |in| * width(k), so a retained
+  // entry has |in| <= cutoff / width(k) and |out| <= |in| * maxAbs(k).
+  // in = out / k symmetrically: width >= |out| * width(1/k) =
+  // |out| * width(k) / |klo*khi|, so |out| <= cutoff * |klo*khi| / width(k)
+  // and |in| <= |out| / minAbs(k) — the same cutoff * maxAbs(k) / width(k).
+  const fuzzy::Cut k = factor_.support();
+  if (k.width() <= 0.0) return kNoBound;
+  return widthCutoff * maxAbs(k) / k.width();
 }
 
 // --- OhmConstraint -----------------------------------------------------------
@@ -100,6 +151,28 @@ std::optional<FuzzyInterval> OhmConstraint::solveFor(
       return inputs[0].sub(inputs[1]).div(resistance_);
     default:
       return std::nullopt;
+  }
+}
+
+double OhmConstraint::keptMagnitudeBound(
+    std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+    double widthCutoff) const {
+  const fuzzy::Cut r = resistance_.support();
+  if (r.width() <= 0.0) return kNoBound;
+  // A retained I*R product has |I| <= cutoff / width(R) (the fuzzy R
+  // contributes width |I| * width(R) even to a crisp I), so its magnitude
+  // is at most cutoff * sup(R) / width(R). Equivalently for target I: the
+  // dividend Va-Vb is capped by |Va-Vb| * width(1/R) <= cutoff.
+  const double productCap = widthCutoff * r.hi / r.width();
+  switch (target) {
+    case 0:  // Va = Vb + I*R
+      return maxAbs(inputRanges[1]) + productCap;
+    case 1:  // Vb = Va - I*R
+      return maxAbs(inputRanges[0]) + productCap;
+    case 2:  // I = (Va - Vb) / R
+      return productCap;
+    default:
+      return kNoBound;
   }
 }
 

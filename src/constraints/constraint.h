@@ -9,6 +9,7 @@
 // governing its validity (typically {component-is-correct}).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +51,29 @@ class Constraint {
       std::size_t target,
       const std::vector<fuzzy::FuzzyInterval>& inputs) const = 0;
 
+  /// Upper bound on |derived value| over every derivation toward
+  /// variables()[target] whose result the propagator could retain under the
+  /// given support-width cutoff (PropagatorOptions::maxDerivedWidth), when
+  /// each input may be an arbitrarily narrow interval anywhere inside
+  /// inputRanges[i] (aligned with variables(); inputRanges[target] is
+  /// ignored, infinities mean "unknown").
+  ///
+  /// The bound exists because a constraint's fuzzy parameter contributes an
+  /// irreducible width that scales with the operating point — e.g. a kept
+  /// I = (Va-Vb)/R entry must satisfy |Va-Vb| * width(1/R) <= cutoff, which
+  /// caps |I| at cutoff * sup(R) / width(R) no matter how crisp the inputs
+  /// are. Used by the static envelope analysis (flames::analyze) to clip
+  /// abstract transfers to what the runtime would actually keep; returning
+  /// +infinity (the default) is always sound and means "no bound".
+  [[nodiscard]] virtual double keptMagnitudeBound(
+      std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+      double widthCutoff) const {
+    (void)target;
+    (void)inputRanges;
+    (void)widthCutoff;
+    return std::numeric_limits<double>::infinity();
+  }
+
  private:
   std::string name_;
   std::vector<QuantityId> variables_;
@@ -69,6 +93,10 @@ class SumConstraint final : public Constraint {
       std::size_t target,
       const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
 
+  [[nodiscard]] double keptMagnitudeBound(
+      std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+      double widthCutoff) const override;
+
  private:
   std::vector<double> coefficients_;
   fuzzy::FuzzyInterval rhs_;
@@ -86,6 +114,10 @@ class DiffConstraint final : public Constraint {
       std::size_t target,
       const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
 
+  [[nodiscard]] double keptMagnitudeBound(
+      std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+      double widthCutoff) const override;
+
  private:
   fuzzy::FuzzyInterval drop_;
 };
@@ -102,6 +134,10 @@ class ScaleConstraint final : public Constraint {
       std::size_t target,
       const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
 
+  [[nodiscard]] double keptMagnitudeBound(
+      std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+      double widthCutoff) const override;
+
  private:
   fuzzy::FuzzyInterval factor_;
 };
@@ -116,6 +152,10 @@ class OhmConstraint final : public Constraint {
   [[nodiscard]] std::optional<fuzzy::FuzzyInterval> solveFor(
       std::size_t target,
       const std::vector<fuzzy::FuzzyInterval>& inputs) const override;
+
+  [[nodiscard]] double keptMagnitudeBound(
+      std::size_t target, const std::vector<fuzzy::Cut>& inputRanges,
+      double widthCutoff) const override;
 
  private:
   fuzzy::FuzzyInterval resistance_;

@@ -1,6 +1,7 @@
 #include "diagnosis/flames.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "atms/candidates.h"
@@ -11,6 +12,8 @@ namespace flames::diagnosis {
 
 using atms::AssumptionId;
 using constraints::Propagator;
+using constraints::QuantityId;
+using constraints::ValueEntry;
 using fuzzy::FuzzyInterval;
 
 namespace {
@@ -111,6 +114,21 @@ DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
   if (stats) {
     stats->propagationSteps = prop.steps();
     stats->coincidences = prop.coincidences().size();
+  }
+  for (std::size_t q = 0; q < built.model.quantityCount(); ++q) {
+    const auto& entries = prop.values(static_cast<QuantityId>(q));
+    if (entries.empty()) continue;
+    QuantityValueHull hull;
+    hull.quantity = built.model.quantityInfo(static_cast<QuantityId>(q)).name;
+    hull.lo = std::numeric_limits<double>::infinity();
+    hull.hi = -hull.lo;
+    hull.entries = entries.size();
+    for (const ValueEntry& e : entries) {
+      const fuzzy::Cut s = e.value.support();
+      hull.lo = std::min(hull.lo, s.lo);
+      hull.hi = std::max(hull.hi, s.hi);
+    }
+    report.valueHulls.push_back(std::move(hull));
   }
 
   // --- per-measurement Dc summaries (the Fig. 7 table rows) ---

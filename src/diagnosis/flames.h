@@ -80,6 +80,17 @@ struct RankedCandidate {
   std::vector<ExperienceHint> hints;        ///< matching learned rules
 };
 
+/// Crisp hull of every value entry a quantity held after propagation.
+/// This is the runtime counterpart of the static envelope flames::analyze
+/// computes: soundness (oracle invariant I8) says hull ⊆ envelope. Only
+/// quantities that held at least one entry appear.
+struct QuantityValueHull {
+  std::string quantity;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t entries = 0;  ///< entries retained after propagation
+};
+
 /// Per-measurement consistency summary (the Fig. 7 Dc row).
 struct MeasurementSummary {
   std::string quantity;
@@ -117,6 +128,11 @@ struct DiagnosisReport {
   bool propagationCompleted = false;
   std::size_t propagationSteps = 0;
   std::vector<MeasurementSummary> measurements;
+  /// Post-propagation value hulls, one per quantity that held a value
+  /// (sorted by quantity id). Checked against the static envelopes by the
+  /// scenario oracle; deliberately absent from reportJson() so the golden
+  /// corpus does not churn.
+  std::vector<QuantityValueHull> valueHulls;
   std::vector<RankedNogood> nogoods;       ///< sorted by degree desc
   std::vector<RankedCandidate> candidates; ///< best explanation first
   std::map<std::string, double> suspicion; ///< per-component

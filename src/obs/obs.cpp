@@ -7,6 +7,8 @@
 #include <memory>
 #include <mutex>
 
+#include "util/thread_safety.h"
+
 namespace flames::obs {
 
 namespace {
@@ -70,9 +72,11 @@ void Histogram::reset() {
 // std::map keeps iteration (and therefore every metrics dump) sorted by
 // name; node-based storage keeps handle addresses stable across inserts.
 struct Registry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  mutable util::Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      FLAMES_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      FLAMES_GUARDED_BY(mutex);
 };
 
 Registry& Registry::global() {
@@ -97,7 +101,7 @@ const Registry::Impl& Registry::impl() const {
 
 Counter& Registry::counter(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard lock(i.mutex);
+  util::MutexLock lock(i.mutex);
   auto it = i.counters.find(name);
   if (it == i.counters.end()) {
     it = i.counters
@@ -110,7 +114,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name) {
   Impl& i = impl();
-  std::lock_guard lock(i.mutex);
+  util::MutexLock lock(i.mutex);
   auto it = i.histograms.find(name);
   if (it == i.histograms.end()) {
     it = i.histograms
@@ -123,7 +127,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 std::vector<const Counter*> Registry::counters() const {
   const Impl& i = impl();
-  std::lock_guard lock(i.mutex);
+  util::MutexLock lock(i.mutex);
   std::vector<const Counter*> out;
   out.reserve(i.counters.size());
   for (const auto& [name, c] : i.counters) out.push_back(c.get());
@@ -132,7 +136,7 @@ std::vector<const Counter*> Registry::counters() const {
 
 std::vector<const Histogram*> Registry::histograms() const {
   const Impl& i = impl();
-  std::lock_guard lock(i.mutex);
+  util::MutexLock lock(i.mutex);
   std::vector<const Histogram*> out;
   out.reserve(i.histograms.size());
   for (const auto& [name, h] : i.histograms) out.push_back(h.get());
@@ -141,7 +145,7 @@ std::vector<const Histogram*> Registry::histograms() const {
 
 void Registry::resetAll() {
   Impl& i = impl();
-  std::lock_guard lock(i.mutex);
+  util::MutexLock lock(i.mutex);
   for (auto& [name, c] : i.counters) c->reset();
   for (auto& [name, h] : i.histograms) h->reset();
 }

@@ -36,22 +36,22 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::record(TraceEvent event) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_;
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   events_.clear();
 }
 

@@ -13,12 +13,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/thread_safety.h"
 
 namespace flames::obs {
 
@@ -50,8 +50,8 @@ class Tracer {
 
  private:
   Tracer() = default;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ FLAMES_GUARDED_BY(mutex_);
 };
 
 /// RAII span. Records into Tracer::global() iff tracing was enabled at

@@ -5,7 +5,9 @@
 #include <memory>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
+#include "constraints/model_builder.h"
 #include "lint/lint.h"
 #include "service/service.h"
 
@@ -161,12 +163,11 @@ std::vector<std::string> checkReportInvariants(const DiagnosisReport& report) {
 }
 
 diagnosis::FlamesOptions defaultOracleFlamesOptions() {
-  diagnosis::FlamesOptions fopts;
-  // See oracle.h: per-step propagation cost is cubic in this cap, and mesh
-  // topologies explode at the stock 24. Six keeps every corpus diagnosis
-  // sub-second without changing any conflict set or candidate list.
-  fopts.propagation.maxEntriesPerQuantity = 6;
-  return fopts;
+  // Stock options. The per-model entry cap is derived by runOracle from the
+  // static cost model (see oracle.h): mesh topologies explode at the stock
+  // 24 while tree-shaped families are fine there, and the work-budget
+  // derivation reproduces exactly that distinction.
+  return diagnosis::FlamesOptions{};
 }
 
 OracleResult runOracle(const Scenario& s, const OracleOptions& options,
@@ -196,6 +197,27 @@ OracleResult runOracle(const Scenario& s, const OracleOptions& options,
 
   diagnosis::FlamesOptions fopts = options.flames;
   fopts.measurementSpread = s.measurementSpread;
+
+  // Pre-propagation static analysis: derives the per-model entry cap and
+  // produces the certificates I8/I9 are checked against. The analysis knobs
+  // mirror the propagation configuration so the certificates cover the run
+  // that actually happens.
+  if (options.deriveEntryCap || options.checkAnalysis) {
+    try {
+      const constraints::BuiltModel built =
+          constraints::buildDiagnosticModel(net, fopts.model);
+      result.analysis = analyze::analyzeModel(
+          built, analyze::analysisOptionsFor(fopts.propagation));
+      if (options.deriveEntryCap) {
+        fopts.propagation.maxEntriesPerQuantity = analyze::recommendedEntryCap(
+            *result.analysis, fopts.propagation.maxEntriesPerQuantity);
+      }
+    } catch (const std::exception& e) {
+      result.violations.emplace_back(std::string("analyze: ") + e.what());
+      return result;
+    }
+  }
+  result.appliedEntryCap = fopts.propagation.maxEntriesPerQuantity;
 
   try {
     if (options.via == OracleVia::kService) {
@@ -235,6 +257,39 @@ OracleResult runOracle(const Scenario& s, const OracleOptions& options,
 
   for (std::string& msg : checkReportInvariants(result.report)) {
     result.violations.push_back(std::move(msg));
+  }
+
+  if (options.checkAnalysis && result.analysis) {
+    // I8 — every post-propagation value hull sits inside its envelope.
+    std::unordered_map<std::string, const analyze::Envelope*> envByName;
+    for (const analyze::QuantityEnvelope& q : result.analysis->envelopes.quantities) {
+      envByName.emplace(q.name, &q.envelope);
+    }
+    for (const diagnosis::QuantityValueHull& h : result.report.valueHulls) {
+      const auto it = envByName.find(h.quantity);
+      if (it == envByName.end()) {
+        result.violations.push_back("I8: no static envelope for quantity " +
+                                    h.quantity);
+        continue;
+      }
+      if (!it->second->contains(fuzzy::Cut{h.lo, h.hi})) {
+        std::ostringstream os;
+        os << "I8: value hull of " << h.quantity << " [" << h.lo << ", "
+           << h.hi << "] escapes its static envelope [" << it->second->lo
+           << ", " << it->second->hi << "]";
+        result.violations.push_back(os.str());
+      }
+    }
+    // I9 — the certified step bound was not exceeded. The bound is
+    // certified at the derived entry cap (B is monotone in the cap), so it
+    // only applies when the run's cap did not exceed the derived one.
+    if (result.appliedEntryCap <= result.analysis->cost.derivedEntryCap &&
+        result.report.propagationSteps > result.analysis->cost.stepBound) {
+      result.violations.push_back(
+          "I9: observed " + std::to_string(result.report.propagationSteps) +
+          " propagation steps exceed the certified bound " +
+          std::to_string(result.analysis->cost.stepBound));
+    }
   }
 
   result.faultDetected = result.report.faultDetected();

@@ -17,6 +17,11 @@
 //   I6  the per-component suspicion table lies in [0, 1]
 //   I7  the generated netlist passes flames::lint with zero errors (the
 //       generator must not emit degenerate topologies)
+//   I8  soundness of the static envelope analysis (flames::analyze): the
+//       post-propagation value hull of every quantity is contained in its
+//       statically computed envelope
+//   I9  soundness of the cost model: the observed propagation step count
+//       never exceeds the certified step bound
 //
 // Culprit recovery: the faulted component must appear in some ranked
 // candidate; its rank (1-based index of the first containing candidate) and
@@ -26,16 +31,20 @@
 // used to demonstrate shrinking.
 //
 // Every violation message is prefixed with its class followed by ':' —
-// "I1".."I7", "bench" (synthesis failed), "diagnose"/"service" (pipeline
-// threw), "detect" (no discrepancy raised), "recovery" (culprit absent),
-// "rank" (requireRankAtMost exceeded). The shrinker keys on these prefixes
-// to reject reductions that change the failure class.
+// "I1".."I9", "bench" (synthesis failed), "analyze" (static analysis
+// threw), "diagnose"/"service" (pipeline threw), "detect" (no discrepancy
+// raised), "recovery" (culprit absent), "rank" (requireRankAtMost
+// exceeded). The shrinker keys on these prefixes to reject reductions that
+// change the failure class.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include <optional>
+
+#include "analyze/analyze.h"
 #include "diagnosis/flames.h"
 #include "scenario/scenario.h"
 
@@ -50,16 +59,19 @@ enum class OracleVia {
   kService,  ///< DiagnosisService::submit() (the concurrent batch path)
 };
 
-/// Engine configuration tuned for fuzz throughput. Identical to the stock
-/// FlamesOptions except maxEntriesPerQuantity is lowered from 24 to 6: a
-/// propagation "step" fires a constraint over the cartesian product of the
-/// other participants' value entries (cap^(arity-1) derivations for a KCL
-/// constraint) and resolves each against every retained entry. Mesh
-/// topologies — the bridge family's galvanometer-coupled cells — accumulate
-/// entries along multiple derivation paths and hit minutes per diagnosis at
-/// the stock cap, but stay sub-second at 6 with identical conflicts and
-/// candidates on every corpus seed: the extra entries are redundant
-/// re-derivations of the same quantities along longer mesh paths.
+/// Engine configuration for the oracle. Stock FlamesOptions: the per-model
+/// propagation entry cap is no longer hardcoded here — runOracle derives it
+/// from the static cost model (flames::analyze::recommendedEntryCap, floor
+/// 6), which reproduces the old empirical tuning per topology instead of
+/// globally: a propagation "step" fires a constraint over the cartesian
+/// product of the other participants' value entries (cap^(arity-1)
+/// derivations for a KCL constraint), and mesh topologies — the bridge
+/// family's galvanometer-coupled cells — blow up at the stock 24 where
+/// tree-shaped families do not. The derived cap keeps every family inside
+/// the same work budget with the same detection verdict and culprit rank on
+/// every corpus seed: the extra entries are redundant re-derivations of the
+/// same quantities along longer mesh paths, which can only multiply nogoods
+/// restating conflicts the capped run already found.
 [[nodiscard]] diagnosis::FlamesOptions defaultOracleFlamesOptions();
 
 struct OracleOptions {
@@ -70,6 +82,12 @@ struct OracleOptions {
   /// Engine configuration for the run (measurementSpread is overridden by
   /// the scenario's own spread).
   diagnosis::FlamesOptions flames = defaultOracleFlamesOptions();
+  /// Replace flames.propagation.maxEntriesPerQuantity with the per-model
+  /// cap the static cost analysis derives (never below its floor of 6).
+  bool deriveEntryCap = true;
+  /// Check the static-analysis soundness invariants I8 (value hulls inside
+  /// envelopes) and I9 (steps within the certified bound).
+  bool checkAnalysis = true;
 };
 
 struct OracleResult {
@@ -80,6 +98,11 @@ struct OracleResult {
   double culpritDegree = 0.0;
   bool faultDetected = false;
   diagnosis::DiagnosisReport report;
+  /// The pre-propagation static analysis (present unless both deriveEntryCap
+  /// and checkAnalysis were off, or model construction failed).
+  std::optional<analyze::AnalysisReport> analysis;
+  /// The propagation entry cap the diagnosis actually ran with.
+  std::size_t appliedEntryCap = 0;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };

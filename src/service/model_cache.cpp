@@ -1,5 +1,6 @@
 #include "service/model_cache.h"
 
+#include <chrono>
 #include <iomanip>
 #include <sstream>
 
@@ -23,6 +24,18 @@ obs::Counter& cEvictions() {
 }
 obs::Histogram& hBuildNs() {
   static obs::Histogram& h = obs::histogram("service.model_cache.build_ns");
+  return h;
+}
+obs::Counter& cPeekHits() {
+  static obs::Counter& c = obs::counter("service.model_cache.peek_hits");
+  return c;
+}
+obs::Counter& cPeekMisses() {
+  static obs::Counter& c = obs::counter("service.model_cache.peek_misses");
+  return c;
+}
+obs::Histogram& hAnalyzeNs() {
+  static obs::Histogram& h = obs::histogram("service.model_cache.analyze_ns");
   return h;
 }
 
@@ -56,6 +69,17 @@ const diagnosis::SensitivitySigns& CompiledModel::sensitivitySigns(
     const diagnosis::DeviationAnalysisOptions& options) const {
   std::call_once(signsOnce_, [&] { signs_.emplace(*net_, options); });
   return *signs_;
+}
+
+const analyze::AnalysisReport& CompiledModel::analysis(
+    const constraints::PropagatorOptions& propagation) const {
+  std::call_once(analysisOnce_, [&] {
+    const std::uint64_t start = obs::monotonicNanos();
+    analysis_ = analyze::analyzeModel(built_,
+                                      analyze::analysisOptionsFor(propagation));
+    hAnalyzeNs().record(obs::monotonicNanos() - start);
+  });
+  return *analysis_;
 }
 
 std::string modelCacheKey(const circuit::Netlist& net,
@@ -113,7 +137,7 @@ std::shared_ptr<const CompiledModel> ModelCache::get(
   std::uint64_t slotId = 0;
   bool builder = false;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = slots_.find(key);
     if (it != slots_.end()) {
       ++hits_;
@@ -152,7 +176,7 @@ std::shared_ptr<const CompiledModel> ModelCache::get(
       promise.set_exception(std::current_exception());
       // Drop the failed slot (unless eviction already did, or a retry
       // replaced it) so the next request for this key can try again.
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       auto it = slots_.find(key);
       if (it != slots_.end() && it->second.id == slotId) {
         lru_.erase(it->second.lruIt);
@@ -163,8 +187,35 @@ std::shared_ptr<const CompiledModel> ModelCache::get(
   return future.get();  // rethrows the builder's exception for every waiter
 }
 
+std::shared_ptr<const CompiledModel> ModelCache::peek(
+    const circuit::Netlist& net,
+    const diagnosis::FlamesOptions& options) const {
+  const std::string key = modelCacheKey(net, options);
+  ModelFuture future;
+  {
+    util::MutexLock lock(mutex_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) future = it->second.future;
+  }
+  // The readiness probe happens outside the lock: wait_for(0) on a future
+  // another thread is still fulfilling is fine, blocking the cache on it
+  // would not be.
+  if (future.valid() &&
+      future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    try {
+      std::shared_ptr<const CompiledModel> model = future.get();
+      cPeekHits().add();
+      return model;
+    } catch (...) {
+      // A failed build: the owner is cleaning the slot up; report a miss.
+    }
+  }
+  cPeekMisses().add();
+  return nullptr;
+}
+
 ModelCacheStats ModelCache::stats() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ModelCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -175,7 +226,7 @@ ModelCacheStats ModelCache::stats() const {
 }
 
 void ModelCache::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   slots_.clear();
   lru_.clear();
 }

@@ -20,6 +20,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/thread_safety.h"
+
+#include "analyze/analyze.h"
 #include "circuit/netlist.h"
 #include "constraints/model_builder.h"
 #include "diagnosis/deviation_analysis.h"
@@ -65,6 +68,16 @@ class CompiledModel {
   [[nodiscard]] const diagnosis::SensitivitySigns& sensitivitySigns(
       const diagnosis::DeviationAnalysisOptions& options) const;
 
+  /// The pre-propagation static analysis (flames::analyze): envelopes, cost
+  /// bounds, derived entry cap and A1-A3 findings for this unit type. Built
+  /// on first use from the caller's propagation knobs and shared by every
+  /// later job on this cache entry — the same first-caller-wins policy as
+  /// sensitivitySigns(), and for the same reason: propagation options do
+  /// not vary within a unit type in practice, and the certificates only
+  /// need to cover the configuration the service actually runs.
+  [[nodiscard]] const analyze::AnalysisReport& analysis(
+      const constraints::PropagatorOptions& propagation) const;
+
  private:
   std::shared_ptr<const circuit::Netlist> net_;
   constraints::BuiltModel built_;
@@ -72,6 +85,8 @@ class CompiledModel {
   lint::LintReport lint_;
   mutable std::once_flag signsOnce_;
   mutable std::optional<diagnosis::SensitivitySigns> signs_;
+  mutable std::once_flag analysisOnce_;
+  mutable std::optional<analyze::AnalysisReport> analysis_;
 };
 
 /// Canonical content key of (netlist, model build options, region-rule
@@ -108,6 +123,16 @@ class ModelCache {
       std::shared_ptr<const circuit::Netlist> net,
       const diagnosis::FlamesOptions& options, bool* cacheHit = nullptr);
 
+  /// Non-blocking lookup: the compiled model if this key is cached and its
+  /// build already finished, nullptr otherwise (absent, still building, or
+  /// build failed). Never builds, never blocks on a build, and leaves the
+  /// LRU order and hit/miss stats untouched — intended for intake-path
+  /// consumers (the submit cost gate) that must not pay compile latency.
+  /// Mirrored into obs as "service.model_cache.peek_{hits,misses}".
+  [[nodiscard]] std::shared_ptr<const CompiledModel> peek(
+      const circuit::Netlist& net,
+      const diagnosis::FlamesOptions& options) const;
+
   [[nodiscard]] ModelCacheStats stats() const;
   void clear();
 
@@ -119,14 +144,15 @@ class ModelCache {
     std::uint64_t id = 0;  ///< generation tag for failure cleanup
   };
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::unordered_map<std::string, Slot> slots_;
-  std::list<std::string> lru_;  ///< front = most recently used
-  std::uint64_t nextSlotId_ = 1;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable util::Mutex mutex_;
+  std::size_t capacity_;  ///< immutable after construction
+  std::unordered_map<std::string, Slot> slots_ FLAMES_GUARDED_BY(mutex_);
+  /// front = most recently used
+  std::list<std::string> lru_ FLAMES_GUARDED_BY(mutex_);
+  std::uint64_t nextSlotId_ FLAMES_GUARDED_BY(mutex_) = 1;
+  std::uint64_t hits_ FLAMES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ FLAMES_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ FLAMES_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flames::service

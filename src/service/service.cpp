@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analyze/analyze.h"
 #include "lint/lint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -39,6 +40,15 @@ obs::Histogram& hQueueNs() {
 obs::Histogram& hRunNs() {
   static obs::Histogram& h = obs::histogram("service.job.run_ns");
   return h;
+}
+obs::Counter& cCostRejections() {
+  static obs::Counter& c =
+      obs::counter("service.analyze.cost_rejections_total");
+  return c;
+}
+obs::Counter& cCapClamped() {
+  static obs::Counter& c = obs::counter("service.analyze.cap_clamped_total");
+  return c;
 }
 
 std::uint64_t nanosBetween(std::chrono::steady_clock::time_point from,
@@ -82,11 +92,11 @@ DiagnosisService::DiagnosisService(ServiceOptions options)
 
 DiagnosisService::~DiagnosisService() {
   {
-    std::lock_guard lock(queueMutex_);
+    util::MutexLock lock(queueMutex_);
     stopping_ = true;
   }
-  notEmpty_.notify_all();
-  notFull_.notify_all();
+  notEmpty_.notifyAll();
+  notFull_.notifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -101,14 +111,38 @@ JobHandle DiagnosisService::submit(DiagnosisRequest request) {
     lint::recordObsCounters(report);
     lint::enforce(report, request.options.lint.warningsAsErrors);
   }
+  if (options_.analyzeOnSubmit && request.netlist != nullptr) {
+    // Static cost gate. Consult only the non-blocking cache peek: the gate
+    // must not compile on the intake path, so an uncached type passes (its
+    // first job compiles in a worker, bounded by maxSteps) and every later
+    // submission of a type known to be intractable is refused here.
+    if (const std::shared_ptr<const CompiledModel> model =
+            cache_.peek(*request.netlist, request.options)) {
+      const analyze::AnalysisReport& analysis =
+          model->analysis(request.options.propagation);
+      if (analysis.cost.intractableAtFloor) {
+        costRejections_.fetch_add(1, std::memory_order_relaxed);
+        cCostRejections().add();
+        std::string message =
+            "DiagnosisService: model rejected by the static cost gate";
+        for (const lint::Diagnostic& d : analysis.findings.diagnostics) {
+          if (d.severity == lint::Severity::kError) {
+            message += ": " + d.rule + " " + d.message;
+            break;
+          }
+        }
+        throw analyze::AnalysisError(message);
+      }
+    }
+  }
   auto job = std::make_shared<Job>();
   job->request_ = std::move(request);
   job->future_ = job->promise_.get_future().share();
   {
-    std::unique_lock lock(queueMutex_);
-    notFull_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queueCapacity;
-    });
+    util::MutexLock lock(queueMutex_);
+    while (!stopping_ && queue_.size() >= options_.queueCapacity) {
+      notFull_.wait(queueMutex_);
+    }
     if (stopping_) {
       throw std::runtime_error("DiagnosisService: submit after shutdown");
     }
@@ -121,13 +155,13 @@ JobHandle DiagnosisService::submit(DiagnosisRequest request) {
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   cSubmitted().add();
-  notEmpty_.notify_one();
+  notEmpty_.notifyOne();
   return job;
 }
 
 JobHandle DiagnosisService::trySubmit(DiagnosisRequest request) {
   {
-    std::lock_guard lock(queueMutex_);
+    util::MutexLock lock(queueMutex_);
     if (stopping_) {
       throw std::runtime_error("DiagnosisService: submit after shutdown");
     }
@@ -142,23 +176,23 @@ JobHandle DiagnosisService::trySubmit(DiagnosisRequest request) {
 void DiagnosisService::confirm(const diagnosis::DiagnosisReport& report,
                                const std::string& component,
                                const std::string& mode) {
-  std::unique_lock lock(experienceMutex_);
+  util::WriterLock lock(experienceMutex_);
   experience_.recordSuccess(report.signature, component, mode);
 }
 
 diagnosis::ExperienceBase DiagnosisService::snapshotExperience() const {
-  std::shared_lock lock(experienceMutex_);
+  util::ReaderLock lock(experienceMutex_);
   return experience_;
 }
 
 void DiagnosisService::seedExperience(diagnosis::ExperienceBase base) {
-  std::unique_lock lock(experienceMutex_);
+  util::WriterLock lock(experienceMutex_);
   experience_ = std::move(base);
 }
 
 void DiagnosisService::drain() {
-  std::unique_lock lock(queueMutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && activeJobs_ == 0; });
+  util::MutexLock lock(queueMutex_);
+  while (!queue_.empty() || activeJobs_ != 0) idle_.wait(queueMutex_);
 }
 
 ServiceStats DiagnosisService::stats() const {
@@ -168,13 +202,14 @@ ServiceStats DiagnosisService::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadlineExceeded = deadlineExceeded_.load(std::memory_order_relaxed);
+  s.costRejections = costRejections_.load(std::memory_order_relaxed);
   {
-    std::lock_guard lock(queueMutex_);
+    util::MutexLock lock(queueMutex_);
     s.queueDepth = queue_.size();
   }
   s.workers = workers_.size();
   {
-    std::shared_lock lock(experienceMutex_);
+    util::ReaderLock lock(experienceMutex_);
     s.experienceRules = experience_.size();
   }
   s.modelCache = cache_.stats();
@@ -185,19 +220,19 @@ void DiagnosisService::workerLoop() {
   for (;;) {
     JobHandle job;
     {
-      std::unique_lock lock(queueMutex_);
-      notEmpty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(queueMutex_);
+      while (!stopping_ && queue_.empty()) notEmpty_.wait(queueMutex_);
       if (queue_.empty()) return;  // stopping and fully drained
       job = std::move(queue_.front());
       queue_.pop_front();
       ++activeJobs_;
     }
-    notFull_.notify_one();
+    notFull_.notifyOne();
     runJob(*job);
     {
-      std::lock_guard lock(queueMutex_);
+      util::MutexLock lock(queueMutex_);
       --activeJobs_;
-      if (queue_.empty() && activeJobs_ == 0) idle_.notify_all();
+      if (queue_.empty() && activeJobs_ == 0) idle_.notifyAll();
     }
   }
 }
@@ -233,6 +268,15 @@ void DiagnosisService::runJob(Job& job) {
 
     // The job's options plus the cancellation hook the propagator polls.
     diagnosis::FlamesOptions opts = job.request_.options;
+    if (options_.applyDerivedEntryCap) {
+      const std::size_t requested = opts.propagation.maxEntriesPerQuantity;
+      opts.propagation.maxEntriesPerQuantity = analyze::recommendedEntryCap(
+          model->analysis(opts.propagation), requested);
+      if (opts.propagation.maxEntriesPerQuantity < requested) {
+        cCapClamped().add();
+      }
+    }
+    result.entryCapUsed = opts.propagation.maxEntriesPerQuantity;
     Job* jobPtr = &job;
     opts.propagation.cancelCheck = [jobPtr, deadlineExpired] {
       return jobPtr->cancelRequested() || deadlineExpired();
@@ -244,7 +288,7 @@ void DiagnosisService::runJob(Job& job) {
     ctx.kb = &model->knowledgeBase();
     ctx.options = &opts;
     ctx.hintSource = [this](const std::vector<diagnosis::Symptom>& signature) {
-      std::shared_lock lock(experienceMutex_);
+      util::ReaderLock lock(experienceMutex_);
       return experience_.match(signature);
     };
     const CompiledModel* modelPtr = model.get();

@@ -21,13 +21,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -36,6 +33,7 @@
 #include "diagnosis/flames.h"
 #include "diagnosis/learning.h"
 #include "service/model_cache.h"
+#include "util/thread_safety.h"
 
 namespace flames::service {
 
@@ -71,6 +69,10 @@ struct JobResult {
   diagnosis::DiagnosisReport report;  ///< meaningful iff status == kDone
   std::string error;                  ///< iff status == kFailed
   bool modelCacheHit = false;
+  /// The propagation entry cap the job actually ran with — the requested
+  /// cap, lowered to the analysis-derived one when
+  /// ServiceOptions::applyDerivedEntryCap is set.
+  std::size_t entryCapUsed = 0;
   std::uint64_t queueNanos = 0;  ///< submit -> worker pickup
   std::uint64_t runNanos = 0;    ///< pickup -> completion
 };
@@ -122,6 +124,22 @@ struct ServiceOptions {
   /// the obs counters lint_errors_total / lint_warnings_total. The rule
   /// toggles come from each request's options.lint.
   bool lintOnSubmit = true;
+  /// Gate submissions on the static cost analysis: a request whose unit
+  /// type is already compiled and whose cost model is intractable even at
+  /// the floor entry cap (the A2 error) is rejected with
+  /// analyze::AnalysisError before it costs a queue slot or a worker.
+  /// Only a non-blocking cache peek is consulted — the gate never compiles
+  /// a model on the intake path, so the first job of a type always runs
+  /// (bounded by maxSteps) and later submissions of a hopeless type are
+  /// refused. Rejections count into
+  /// "service.analyze.cost_rejections_total".
+  bool analyzeOnSubmit = true;
+  /// Cap each job's maxEntriesPerQuantity at the analysis-derived
+  /// per-model cap (analyze::recommendedEntryCap, never below the floor):
+  /// mesh-dense unit types run with a tighter cap so their propagation
+  /// work fits the admission budget, tree-shaped ones keep the requested
+  /// cap. Clamps count into "service.analyze.cap_clamped_total".
+  bool applyDerivedEntryCap = true;
 };
 
 struct ServiceStats {
@@ -130,6 +148,8 @@ struct ServiceStats {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t deadlineExceeded = 0;
+  /// Submissions refused by the static cost gate (analyzeOnSubmit).
+  std::uint64_t costRejections = 0;
   std::size_t queueDepth = 0;
   std::size_t workers = 0;
   std::size_t experienceRules = 0;
@@ -181,22 +201,23 @@ class DiagnosisService {
   ServiceOptions options_;
   ModelCache cache_;
 
-  mutable std::mutex queueMutex_;
-  std::condition_variable notEmpty_;
-  std::condition_variable notFull_;
-  std::condition_variable idle_;
-  std::deque<JobHandle> queue_;
-  std::size_t activeJobs_ = 0;
-  bool stopping_ = false;
+  mutable util::Mutex queueMutex_;
+  util::CondVar notEmpty_;
+  util::CondVar notFull_;
+  util::CondVar idle_;
+  std::deque<JobHandle> queue_ FLAMES_GUARDED_BY(queueMutex_);
+  std::size_t activeJobs_ FLAMES_GUARDED_BY(queueMutex_) = 0;
+  bool stopping_ FLAMES_GUARDED_BY(queueMutex_) = false;
 
-  mutable std::shared_mutex experienceMutex_;
-  diagnosis::ExperienceBase experience_;
+  mutable util::SharedMutex experienceMutex_;
+  diagnosis::ExperienceBase experience_ FLAMES_GUARDED_BY(experienceMutex_);
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> deadlineExceeded_{0};
+  std::atomic<std::uint64_t> costRejections_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,151 @@
+// Clang thread-safety annotations and annotated synchronization wrappers.
+//
+// The standard library's mutex types carry no capability annotations on
+// libstdc++, so clang's -Wthread-safety analysis cannot check code that
+// uses them directly. These thin wrappers attach the annotations:
+//
+//   util::Mutex / util::SharedMutex   annotated lockable types
+//   util::MutexLock                   scoped exclusive lock (lock_guard)
+//   util::ReaderLock / WriterLock     scoped shared/exclusive lock
+//   util::CondVar                     condition variable over util::Mutex
+//
+// Members protected by a mutex are declared with FLAMES_GUARDED_BY(mu);
+// functions that must be entered holding it use FLAMES_REQUIRES(mu). Under
+// any compiler other than clang the macros expand to nothing and the
+// wrappers degrade to the std primitives they hold, so the annotations are
+// compile-time documentation locally and an enforced error (-Wthread-safety
+// -Werror=thread-safety) in the clang CI job.
+//
+// CondVar deliberately exposes only the un-predicated wait(Mutex&): the
+// predicate overload of std::condition_variable::wait would re-lock inside
+// the callee where the analysis cannot see it. Callers hold the mutex via
+// MutexLock and loop:  while (!ready) cv.wait(mu);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define FLAMES_TSA(x) __attribute__((x))
+#else
+#define FLAMES_TSA(x)
+#endif
+
+#define FLAMES_CAPABILITY(x) FLAMES_TSA(capability(x))
+#define FLAMES_SCOPED_CAPABILITY FLAMES_TSA(scoped_lockable)
+#define FLAMES_GUARDED_BY(x) FLAMES_TSA(guarded_by(x))
+#define FLAMES_PT_GUARDED_BY(x) FLAMES_TSA(pt_guarded_by(x))
+#define FLAMES_ACQUIRE(...) FLAMES_TSA(acquire_capability(__VA_ARGS__))
+#define FLAMES_ACQUIRE_SHARED(...) \
+  FLAMES_TSA(acquire_shared_capability(__VA_ARGS__))
+#define FLAMES_RELEASE(...) FLAMES_TSA(release_capability(__VA_ARGS__))
+#define FLAMES_RELEASE_SHARED(...) \
+  FLAMES_TSA(release_shared_capability(__VA_ARGS__))
+#define FLAMES_REQUIRES(...) FLAMES_TSA(requires_capability(__VA_ARGS__))
+#define FLAMES_REQUIRES_SHARED(...) \
+  FLAMES_TSA(requires_shared_capability(__VA_ARGS__))
+#define FLAMES_EXCLUDES(...) FLAMES_TSA(locks_excluded(__VA_ARGS__))
+#define FLAMES_RETURN_CAPABILITY(x) FLAMES_TSA(lock_returned(x))
+#define FLAMES_NO_THREAD_SAFETY_ANALYSIS FLAMES_TSA(no_thread_safety_analysis)
+
+namespace flames::util {
+
+class CondVar;
+
+/// std::mutex with the clang capability annotation.
+class FLAMES_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FLAMES_ACQUIRE() { m_.lock(); }
+  void unlock() FLAMES_RELEASE() { m_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// std::shared_mutex with the clang capability annotation.
+class FLAMES_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() FLAMES_ACQUIRE() { m_.lock(); }
+  void unlock() FLAMES_RELEASE() { m_.unlock(); }
+  void lockShared() FLAMES_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlockShared() FLAMES_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock over Mutex (the annotated lock_guard).
+class FLAMES_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FLAMES_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FLAMES_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over SharedMutex.
+class FLAMES_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) FLAMES_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() FLAMES_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class FLAMES_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) FLAMES_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lockShared();
+  }
+  ~ReaderLock() FLAMES_RELEASE() { mu_.unlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex. wait() must be called with
+/// the mutex held (enforced by the annotation); it releases the mutex while
+/// blocked and re-acquires it before returning, exactly like
+/// std::condition_variable — the adopt/release dance just keeps ownership
+/// with the caller's MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) FLAMES_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.m_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // ownership stays with the caller's scoped lock
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace flames::util

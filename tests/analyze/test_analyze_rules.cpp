@@ -1,0 +1,187 @@
+// The aggregated analysis: A1-A3 findings, option mapping from the runtime
+// propagation knobs, entry-cap recommendation, report rendering, and the
+// lint-corpus sweep (clean fixtures must analyze without errors; the
+// committed three-stage amp pins its ambiguity-group golden).
+#include "analyze/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "circuit/parser.h"
+#include "constraints/model_builder.h"
+#include "lint/lint.h"
+
+#ifndef FLAMES_LINT_CORPUS_DIR
+#error "FLAMES_LINT_CORPUS_DIR must point at tests/lint/corpus"
+#endif
+
+namespace flames::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+circuit::Netlist divider() {
+  circuit::Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+circuit::Netlist star(std::size_t arms) {
+  circuit::Netlist n;
+  n.addVSource("V1", "hub", "0", 5.0);
+  for (std::size_t i = 1; i <= arms; ++i) {
+    n.addResistor("R" + std::to_string(i), "hub", "0", 1.0, 0.05);
+  }
+  return n;
+}
+
+bool hasFinding(const lint::LintReport& r, const std::string& rule,
+                lint::Severity severity, const std::string& fragment = "") {
+  return std::any_of(
+      r.diagnostics.begin(), r.diagnostics.end(),
+      [&](const lint::Diagnostic& d) {
+        return d.rule == rule && d.severity == severity &&
+               d.message.find(fragment) != std::string::npos;
+      });
+}
+
+TEST(AnalyzeRules, OptionsMirrorThePropagationKnobs) {
+  constraints::PropagatorOptions popts;
+  popts.maxDepth = 7;
+  popts.maxDerivedWidth = 123.0;
+  popts.maxSteps = 999;
+  popts.maxEntriesPerQuantity = 10;
+  const AnalysisOptions o = analysisOptionsFor(popts);
+  EXPECT_EQ(o.envelope.maxDepth, 7);
+  EXPECT_DOUBLE_EQ(o.envelope.maxDerivedWidth, 123.0);
+  EXPECT_EQ(o.cost.maxDepth, 7);
+  EXPECT_EQ(o.cost.maxStepsBudget, 999u);
+  EXPECT_EQ(o.cost.stockEntryCap, 10u);
+}
+
+TEST(AnalyzeRules, RecommendedCapClampsToTheDerivedOne) {
+  AnalysisReport r;
+  r.cost.derivedEntryCap = 10;
+  EXPECT_EQ(recommendedEntryCap(r, 24), 10u);
+  EXPECT_EQ(recommendedEntryCap(r, 8), 8u);
+  // An empty report (no cost pass ran) leaves the request alone.
+  AnalysisReport empty;
+  EXPECT_EQ(recommendedEntryCap(empty, 24), 24u);
+}
+
+TEST(AnalyzeRules, DividerAnalyzesCleanWithStructureNotes) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const AnalysisReport r = analyzeModel(built);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.findings.warnings(), 0u);
+  // The inherent R1/R2 group and the uncertified fixpoint are info notes.
+  EXPECT_TRUE(hasFinding(r.findings, "A3", lint::Severity::kInfo,
+                         "inherent to the topology"));
+  EXPECT_TRUE(hasFinding(r.findings, "A2", lint::Severity::kInfo,
+                         "fixpoint not certified"));
+}
+
+TEST(AnalyzeRules, AmpReportsItsDerivedCap) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const AnalysisReport r = analyzeModel(built);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(hasFinding(r.findings, "A2", lint::Severity::kInfo,
+                         "derived entry cap"));
+  EXPECT_LT(r.cost.derivedEntryCap, CostOptions{}.stockEntryCap);
+}
+
+TEST(AnalyzeRules, StarNodeIsAnA2ErrorWithA1Warnings) {
+  const AnalysisReport r =
+      analyzeModel(constraints::buildDiagnosticModel(star(8)));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(hasFinding(r.findings, "A2", lint::Severity::kError,
+                         "intractable"));
+  EXPECT_TRUE(hasFinding(r.findings, "A1", lint::Severity::kWarning,
+                         "unbounded"));
+  // Error-ordered: the report leads with the intractability finding.
+  ASSERT_FALSE(r.findings.diagnostics.empty());
+  EXPECT_EQ(r.findings.diagnostics.front().severity, lint::Severity::kError);
+}
+
+TEST(AnalyzeRules, PassesCanBeDisabledIndividually) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  AnalysisOptions opts;
+  opts.runEnvelopes = false;
+  opts.runCost = false;
+  opts.runDecomposition = false;
+  const AnalysisReport r = analyzeModel(built, opts);
+  EXPECT_TRUE(r.findings.diagnostics.empty());
+  EXPECT_TRUE(r.envelopes.quantities.empty());
+  EXPECT_EQ(r.cost.derivedEntryCap, 0u);
+  EXPECT_EQ(r.decomposition.graphComponents, 0u);
+}
+
+TEST(AnalyzeRules, RenderedReportHasitsSections) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const std::string text = renderAnalysisReport(analyzeModel(built));
+  EXPECT_NE(text.find("static envelopes"), std::string::npos);
+  EXPECT_NE(text.find("propagation cost"), std::string::npos);
+  EXPECT_NE(text.find("structure"), std::string::npos);
+  EXPECT_NE(text.find("R1"), std::string::npos);
+}
+
+TEST(AnalyzeRules, JsonReportIsBalancedAndKeyed) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const std::string json = analysisReportJson(analyzeModel(built));
+  for (const char* key : {"\"envelopes\"", "\"cost\"", "\"structure\"",
+                          "\"findings\"", "\"derived_entry_cap\"",
+                          "\"step_bound\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(AnalyzeRules, CleanCorpusFixturesAnalyzeWithoutErrorsOrWarnings) {
+  std::size_t seen = 0;
+  for (const auto& entry : fs::directory_iterator(FLAMES_LINT_CORPUS_DIR)) {
+    const std::string stem = entry.path().stem().string();
+    if (stem.rfind("clean_", 0) != 0) continue;
+    ++seen;
+    const auto net = circuit::parseNetlistFile(entry.path().string());
+    const AnalysisReport r =
+        analyzeModel(constraints::buildDiagnosticModel(net));
+    EXPECT_TRUE(r.ok()) << stem;
+    EXPECT_EQ(r.findings.warnings(), 0u) << stem;
+  }
+  EXPECT_GE(seen, 2u);
+}
+
+TEST(AnalyzeRules, CorpusAmpAmbiguityGolden) {
+  // The committed three-stage amp fixture pins the stage-local ambiguity
+  // groups: biasing network + driver of stage 2, and the output stage.
+  const auto net = circuit::parseNetlistFile(
+      std::string(FLAMES_LINT_CORPUS_DIR) + "/clean_three_stage_amp.cir");
+  const AnalysisReport r =
+      analyzeModel(constraints::buildDiagnosticModel(net));
+  ASSERT_EQ(r.decomposition.ambiguityGroups.size(), 2u);
+  EXPECT_EQ(r.decomposition.ambiguityGroups[0].components,
+            (std::vector<std::string>{"Q2", "R1", "R2", "R3", "R4"}));
+  EXPECT_EQ(r.decomposition.ambiguityGroups[1].components,
+            (std::vector<std::string>{"Q3", "R5", "R6"}));
+  for (const AmbiguityGroup& g : r.decomposition.ambiguityGroups) {
+    EXPECT_TRUE(g.inherent());
+  }
+}
+
+}  // namespace
+}  // namespace flames::analyze

@@ -1,0 +1,143 @@
+// Cost pass: monotonicity of the work estimate and fixpoint bound in the
+// entry cap, cap derivation against the admission budget, intractability
+// flagging, and the unit-level I9 check (observed steps within the
+// certified bound).
+#include "analyze/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::analyze {
+namespace {
+
+circuit::Netlist divider() {
+  circuit::Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+/// N resistors in parallel: one KCL node of fan-in N+1, the canonical
+/// work-estimate explosion (cap^arity derivations per firing).
+circuit::Netlist star(std::size_t arms) {
+  circuit::Netlist n;
+  n.addVSource("V1", "hub", "0", 5.0);
+  for (std::size_t i = 1; i <= arms; ++i) {
+    n.addResistor("R" + std::to_string(i), "hub", "0", 1.0, 0.05);
+  }
+  return n;
+}
+
+TEST(Cost, WorkEstimateIsMonotoneInTheCap) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const double w6 = workEstimate(built.model, 6);
+  const double w12 = workEstimate(built.model, 12);
+  const double w24 = workEstimate(built.model, 24);
+  EXPECT_GT(w6, 0.0);
+  EXPECT_LE(w6, w12);
+  EXPECT_LE(w12, w24);
+}
+
+TEST(Cost, FixpointBoundIsMonotoneInCapAndDepth) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  CostOptions shallow;
+  shallow.maxDepth = 2;
+  CostOptions deeper;
+  deeper.maxDepth = 4;
+  EXPECT_LE(fixpointBound(built.model, 6, shallow),
+            fixpointBound(built.model, 12, shallow));
+  EXPECT_LE(fixpointBound(built.model, 6, shallow),
+            fixpointBound(built.model, 6, deeper));
+}
+
+TEST(Cost, FixpointBoundSaturatesOnCyclicModelsAtFullDepth) {
+  // The V -> I -> V cycle through Ohm's law makes the layered bound doubly
+  // exponential in depth; at the stock depth it must saturate rather than
+  // overflow.
+  const auto built = constraints::buildDiagnosticModel(divider());
+  EXPECT_EQ(fixpointBound(built.model, 24), kCostSaturated);
+}
+
+TEST(Cost, TractableModelKeepsTheStockCap) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const CostModel cost = computeCostModel(built.model);
+  const CostOptions defaults;
+  EXPECT_EQ(cost.derivedEntryCap, defaults.stockEntryCap);
+  EXPECT_FALSE(cost.intractableAtFloor);
+  EXPECT_LE(cost.workEstimateAtDerived, defaults.workBudget);
+  // The cyclic bound saturates, so the certified bound is the runtime
+  // budget: min(fixpointBound, maxSteps + 1).
+  EXPECT_FALSE(cost.fixpointCertified);
+  EXPECT_EQ(cost.stepBound, defaults.maxStepsBudget + 1);
+}
+
+TEST(Cost, AmpCapIsLoweredToFitTheBudget) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const CostModel cost = computeCostModel(built.model);
+  const CostOptions defaults;
+  // The three-stage amp overruns the budget at the stock cap; the derived
+  // cap is the largest one that fits.
+  EXPECT_GT(cost.workEstimateAtStock, defaults.workBudget);
+  EXPECT_LT(cost.derivedEntryCap, defaults.stockEntryCap);
+  EXPECT_GE(cost.derivedEntryCap, defaults.floorEntryCap);
+  EXPECT_LE(cost.workEstimateAtDerived, defaults.workBudget);
+  EXPECT_FALSE(cost.intractableAtFloor);
+  // Largest: one cap higher must overrun.
+  EXPECT_GT(workEstimate(built.model, cost.derivedEntryCap + 1),
+            defaults.workBudget);
+}
+
+TEST(Cost, StarNodeIsIntractableEvenAtTheFloor) {
+  const auto built = constraints::buildDiagnosticModel(star(8));
+  const CostModel cost = computeCostModel(built.model);
+  const CostOptions defaults;
+  EXPECT_TRUE(cost.intractableAtFloor);
+  EXPECT_EQ(cost.derivedEntryCap, defaults.floorEntryCap);
+  EXPECT_GT(cost.workEstimateAtDerived, defaults.workBudget);
+}
+
+TEST(Cost, PerConstraintSharesAreSortedAndSumToTheEstimate) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const CostModel cost = computeCostModel(built.model);
+  ASSERT_EQ(cost.perConstraint.size(), built.model.constraints().size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cost.perConstraint.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(cost.perConstraint[i - 1].workPerSweep,
+                cost.perConstraint[i].workPerSweep);
+    }
+    EXPECT_FALSE(cost.perConstraint[i].name.empty());
+    sum += cost.perConstraint[i].workPerSweep;
+  }
+  EXPECT_NEAR(sum, cost.workEstimateAtDerived,
+              1e-9 * cost.workEstimateAtDerived);
+}
+
+// Unit-level I9: a real propagation under the derived cap never exceeds the
+// certified step bound.
+TEST(Cost, ObservedStepsStayWithinTheCertifiedBound) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const CostModel cost = computeCostModel(built.model);
+  constraints::PropagatorOptions popts;
+  popts.maxEntriesPerQuantity = cost.derivedEntryCap;
+  constraints::Propagator p(built.model, popts);
+  p.addMeasurement(built.voltage("mid"),
+                   fuzzy::FuzzyInterval::about(7.5, 0.05));
+  p.run();
+  EXPECT_LE(p.steps(), cost.stepBound);
+  EXPECT_LE(p.steps(), cost.maxRetainedEntries);
+}
+
+}  // namespace
+}  // namespace flames::analyze

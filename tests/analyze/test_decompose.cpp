@@ -1,0 +1,128 @@
+// Decomposition pass: graph components, articulation quantities,
+// biconnected blocks, and the structural ambiguity groups with their
+// splitting-probe suggestions.
+#include "analyze/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "workload/generators.h"
+
+namespace flames::analyze {
+namespace {
+
+circuit::Netlist divider() {
+  circuit::Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+TEST(Decompose, DividerStructure) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const Decomposition d = computeDecomposition(built);
+  EXPECT_EQ(d.graphComponents, 1u);
+  ASSERT_EQ(d.independentSubproblems.size(), 1u);
+  EXPECT_EQ(d.independentSubproblems[0],
+            (std::vector<std::string>{"R1", "R2"}));
+  // The shared series current is the cut vertex between the two Ohm blocks.
+  EXPECT_TRUE(contains(d.articulationQuantities, "I(R1)"));
+  EXPECT_EQ(d.biconnectedBlocks, 3u);
+}
+
+TEST(Decompose, DividerResistorsAreInherentlyAmbiguous) {
+  // With only V(in) and V(mid) observable, a high R1 is indistinguishable
+  // from a low R2: one inherent two-member group, no splitting probe.
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const Decomposition d = computeDecomposition(built);
+  ASSERT_EQ(d.ambiguityGroups.size(), 1u);
+  const AmbiguityGroup& g = d.ambiguityGroups[0];
+  EXPECT_EQ(g.components, (std::vector<std::string>{"R1", "R2"}));
+  EXPECT_TRUE(g.inherent());
+  EXPECT_EQ(g.unresolvedPairs, 1u);
+}
+
+TEST(Decompose, ThreeStageAmpGroupsMatchTheStages) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const Decomposition d = computeDecomposition(built);
+  ASSERT_EQ(d.ambiguityGroups.size(), 2u);
+  EXPECT_EQ(d.ambiguityGroups[0].components,
+            (std::vector<std::string>{"R1", "R2", "R3", "R4", "T2"}));
+  EXPECT_EQ(d.ambiguityGroups[1].components,
+            (std::vector<std::string>{"R5", "R6", "T3"}));
+  for (const AmbiguityGroup& g : d.ambiguityGroups) {
+    EXPECT_TRUE(g.inherent());
+  }
+}
+
+TEST(Decompose, BufferedStagesAreIndependentPerStage) {
+  // Each dividerCascade stage hides behind an ideal buffer, so ambiguity
+  // stays local: one {Rt_i, Rb_i} group per stage.
+  const auto built =
+      constraints::buildDiagnosticModel(workload::dividerCascade(3));
+  const Decomposition d = computeDecomposition(built);
+  ASSERT_EQ(d.ambiguityGroups.size(), 3u);
+  EXPECT_EQ(d.ambiguityGroups[0].components,
+            (std::vector<std::string>{"Rb1", "Rt1"}));
+  EXPECT_EQ(d.ambiguityGroups[1].components,
+            (std::vector<std::string>{"Rb2", "Rt2"}));
+  EXPECT_EQ(d.ambiguityGroups[2].components,
+            (std::vector<std::string>{"Rb3", "Rt3"}));
+  EXPECT_EQ(d.biconnectedBlocks, 5u);
+}
+
+TEST(Decompose, RestrictedProbeSetMergesGroupsAndSuggestsASplit) {
+  // Observing only the final tap collapses the cascade into one big group —
+  // and the pass recommends the mid node of stage 2 as the probe separating
+  // the most member pairs.
+  const auto built =
+      constraints::buildDiagnosticModel(workload::dividerCascade(3));
+  DecomposeOptions opts;
+  opts.probes = {built.voltage("t3")};
+  const Decomposition d = computeDecomposition(built, opts);
+  ASSERT_EQ(d.ambiguityGroups.size(), 1u);
+  const AmbiguityGroup& g = d.ambiguityGroups[0];
+  EXPECT_EQ(g.components.size(), 9u);
+  EXPECT_FALSE(g.inherent());
+  EXPECT_EQ(g.splittingProbe, "V(m2)");
+  EXPECT_GT(g.unresolvedPairs, 0u);
+}
+
+TEST(Decompose, GainChainIsFullyDistinguishableWithAllProbes) {
+  const auto built =
+      constraints::buildDiagnosticModel(workload::gainChain(3));
+  const Decomposition d = computeDecomposition(built);
+  EXPECT_TRUE(d.ambiguityGroups.empty());
+  // Every internal tap is a cut vertex of the chain.
+  EXPECT_TRUE(contains(d.articulationQuantities, "V(t1)"));
+  EXPECT_TRUE(contains(d.articulationQuantities, "V(t2)"));
+}
+
+TEST(Decompose, GainChainEndProbeOnlyIsAmbiguousWithASplit) {
+  const auto built =
+      constraints::buildDiagnosticModel(workload::gainChain(3));
+  DecomposeOptions opts;
+  opts.probes = {built.voltage("t3")};
+  const Decomposition d = computeDecomposition(built, opts);
+  ASSERT_EQ(d.ambiguityGroups.size(), 1u);
+  const AmbiguityGroup& g = d.ambiguityGroups[0];
+  EXPECT_EQ(g.components,
+            (std::vector<std::string>{"amp1", "amp2", "amp3"}));
+  EXPECT_EQ(g.splittingProbe, "V(t1)");
+  EXPECT_EQ(g.unresolvedPairs, 1u);
+}
+
+}  // namespace
+}  // namespace flames::analyze

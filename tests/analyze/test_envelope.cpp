@@ -1,0 +1,163 @@
+// Envelope pass: lattice operations, seeding, depth monotonicity, widening
+// soundness, and the unit-level I8 check (every retained propagator entry
+// sits inside its static envelope).
+#include "analyze/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::analyze {
+namespace {
+
+circuit::Netlist divider() {
+  circuit::Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+TEST(Envelope, BottomJoinAndContainment) {
+  Envelope e;
+  EXPECT_TRUE(e.bottom);
+  EXPECT_FALSE(e.bounded());
+  EXPECT_EQ(e.width(), 0.0);
+
+  EXPECT_TRUE(e.join(1.0, 2.0));
+  EXPECT_FALSE(e.bottom);
+  EXPECT_TRUE(e.bounded());
+  EXPECT_DOUBLE_EQ(e.lo, 1.0);
+  EXPECT_DOUBLE_EQ(e.hi, 2.0);
+
+  // A join inside the current bounds does not grow the envelope.
+  EXPECT_FALSE(e.join(1.2, 1.8));
+  EXPECT_TRUE(e.join(0.0, 3.0));
+  EXPECT_DOUBLE_EQ(e.lo, 0.0);
+  EXPECT_DOUBLE_EQ(e.hi, 3.0);
+
+  EXPECT_TRUE(e.contains(fuzzy::Cut{0.5, 2.5}));
+  EXPECT_FALSE(e.contains(fuzzy::Cut{-1.0, 2.0}));
+  // Tolerance slack admits supports that poke out by a rounding error.
+  EXPECT_TRUE(e.contains(fuzzy::Cut{-1e-9, 3.0}));
+}
+
+TEST(Envelope, TopPredicates) {
+  const Envelope t = Envelope::top();
+  EXPECT_TRUE(t.isTop());
+  EXPECT_TRUE(t.unbounded());
+  EXPECT_FALSE(t.bounded());
+  EXPECT_TRUE(t.contains(fuzzy::Cut{-1e30, 1e30}));
+
+  Envelope half;
+  half.join(0.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(half.unbounded());
+  EXPECT_FALSE(half.isTop());
+}
+
+TEST(Envelope, DividerIsFullyBoundedWithinDepthRounds) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const EnvelopeAnalysis a = computeEnvelopes(built.model);
+  EXPECT_EQ(a.quantities.size(), built.model.quantityCount());
+  EXPECT_EQ(a.rounds, static_cast<std::size_t>(EnvelopeOptions{}.maxDepth));
+  EXPECT_EQ(a.widenings, 0u);
+  EXPECT_EQ(a.unboundedCount(), 0u);
+}
+
+TEST(Envelope, SeedsCoverPredictionsAndMeasurementRange) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const EnvelopeOptions opts;
+  const EnvelopeAnalysis a = computeEnvelopes(built.model, opts);
+
+  // Every a-priori prediction support is contained (seed soundness).
+  for (const auto& p : built.model.predictions()) {
+    EXPECT_TRUE(a.of(p.quantity).contains(p.value.support()))
+        << built.model.quantityInfo(p.quantity).name;
+  }
+  // Voltage quantities additionally admit any instrument-range measurement.
+  for (constraints::QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    if (built.model.quantityInfo(q).kind != constraints::QuantityKind::kVoltage)
+      continue;
+    EXPECT_LE(a.of(q).lo, -opts.measurementRange);
+    EXPECT_GE(a.of(q).hi, opts.measurementRange);
+  }
+}
+
+TEST(Envelope, DeeperIterationOnlyWidens) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  EnvelopeOptions shallow;
+  shallow.maxDepth = 2;
+  EnvelopeOptions deep;
+  deep.maxDepth = 8;
+  const EnvelopeAnalysis a2 = computeEnvelopes(built.model, shallow);
+  const EnvelopeAnalysis a8 = computeEnvelopes(built.model, deep);
+  for (constraints::QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    if (a2.of(q).bottom) continue;
+    EXPECT_LE(a8.of(q).lo, a2.of(q).lo);
+    EXPECT_GE(a8.of(q).hi, a2.of(q).hi);
+  }
+}
+
+TEST(Envelope, EagerWideningStaysSound) {
+  // Forcing the ladder widening on from round one may only lose precision,
+  // never containment: every default-run envelope must sit inside the
+  // widened one.
+  const auto built = constraints::buildDiagnosticModel(divider());
+  EnvelopeOptions eager;
+  eager.wideningDelay = 1;
+  const EnvelopeAnalysis precise = computeEnvelopes(built.model);
+  const EnvelopeAnalysis widened = computeEnvelopes(built.model, eager);
+  for (constraints::QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    if (precise.of(q).bottom) continue;
+    EXPECT_LE(widened.of(q).lo, precise.of(q).lo)
+        << built.model.quantityInfo(q).name;
+    EXPECT_GE(widened.of(q).hi, precise.of(q).hi)
+        << built.model.quantityInfo(q).name;
+  }
+}
+
+// Unit-level I8: after a real propagation (nominal predictions plus a
+// deliberately faulty measurement), the support of every retained value
+// entry is contained in the statically computed envelope.
+void expectRuntimeInsideEnvelopes(const constraints::BuiltModel& built,
+                                  const constraints::Propagator& p,
+                                  const EnvelopeAnalysis& a) {
+  for (constraints::QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    for (const constraints::ValueEntry& e : p.values(q)) {
+      EXPECT_TRUE(a.of(q).contains(e.value.support()))
+          << built.model.quantityInfo(q).name << " ["
+          << e.value.support().lo << ", " << e.value.support().hi
+          << "] outside [" << a.of(q).lo << ", " << a.of(q).hi << "]";
+    }
+  }
+}
+
+TEST(Envelope, RuntimeEntriesStayInsideEnvelopesDivider) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const EnvelopeAnalysis a = computeEnvelopes(built.model);
+  constraints::Propagator p(built.model);
+  p.addMeasurement(built.voltage("mid"),
+                   fuzzy::FuzzyInterval::about(7.5, 0.05));
+  p.run();
+  ASSERT_TRUE(p.completed());
+  expectRuntimeInsideEnvelopes(built, p, a);
+}
+
+TEST(Envelope, RuntimeEntriesStayInsideEnvelopesThreeStageAmp) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const EnvelopeAnalysis a = computeEnvelopes(built.model);
+  constraints::Propagator p(built.model);
+  p.addMeasurement(built.voltage("V2"), fuzzy::FuzzyInterval::about(1.0, 0.1));
+  p.run();
+  expectRuntimeInsideEnvelopes(built, p, a);
+}
+
+}  // namespace
+}  // namespace flames::analyze

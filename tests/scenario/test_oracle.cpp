@@ -148,6 +148,63 @@ TEST(Oracle, RequireRankTightensTheCheck) {
   EXPECT_EQ(r.culpritRank, 1);
 }
 
+TEST(Oracle, DerivesTheEntryCapAndChecksAnalysisSoundness) {
+  for (std::uint32_t seed : {1u, 7u, 42u}) {
+    const Scenario s = sampleScenario(seed);
+    const OracleResult r = runOracle(s);
+    ASSERT_TRUE(r.analysis.has_value()) << describe(s);
+    // The applied cap is the analysis-derived one, clamped to [6, stock].
+    EXPECT_GE(r.appliedEntryCap, 6u) << describe(s);
+    EXPECT_LE(r.appliedEntryCap, 24u) << describe(s);
+    EXPECT_EQ(r.appliedEntryCap,
+              analyze::recommendedEntryCap(*r.analysis, 24))
+        << describe(s);
+    // I8/I9 ran as part of passed(): no envelope or step-bound violations.
+    EXPECT_TRUE(r.passed()) << describe(s) << (r.violations.empty()
+                                                   ? ""
+                                                   : "\n" + r.violations[0]);
+  }
+}
+
+TEST(Oracle, DerivedCapPreservesTheDiagnosis) {
+  // Capping entries drops redundant re-derivations along longer paths, not
+  // diagnostic outcomes: every seed must detect the fault and recover the
+  // culprit at the same rank as a stock-cap run. On tree-shaped topologies
+  // the derived cap equals the stock cap, so the reports match outright; on
+  // meshes (seed 14's bridge) the stock run manufactures extra redundant
+  // nogoods from the same conflicts, so only the outcome is compared.
+  // Deeper meshes (e.g. seed 3) take tens of seconds at the stock cap —
+  // which is the point of the derived cap, but too slow for a smoke test.
+  for (std::uint32_t seed : {1u, 7u, 14u}) {
+    const Scenario s = sampleScenario(seed);
+    OracleOptions stock;
+    stock.deriveEntryCap = false;
+    const OracleResult derived = runOracle(s);
+    const OracleResult full = runOracle(s, stock);
+    EXPECT_TRUE(derived.passed()) << describe(s);
+    EXPECT_EQ(derived.culpritRank, full.culpritRank) << describe(s);
+    EXPECT_EQ(derived.faultDetected, full.faultDetected) << describe(s);
+    if (derived.appliedEntryCap == 24u) {
+      EXPECT_EQ(derived.report.nogoods.size(), full.report.nogoods.size())
+          << describe(s);
+      EXPECT_EQ(derived.report.candidates.size(),
+                full.report.candidates.size())
+          << describe(s);
+    }
+  }
+}
+
+TEST(Oracle, AnalysisCanBeTurnedOffEntirely) {
+  Scenario s = sampleScenario(1);
+  OracleOptions off;
+  off.deriveEntryCap = false;
+  off.checkAnalysis = false;
+  const OracleResult r = runOracle(s, off);
+  EXPECT_FALSE(r.analysis.has_value());
+  EXPECT_EQ(r.appliedEntryCap, 24u);
+  EXPECT_TRUE(r.passed());
+}
+
 TEST(Oracle, UnbuildableScenarioIsAViolationNotACrash) {
   Scenario s = sampleScenario(1);
   s.fault.component = "R_missing";

@@ -1,0 +1,104 @@
+// The static-analysis intake gate and the derived entry cap in the service:
+// intractable unit types are refused once their compiled model is cached,
+// tractable ones run under the analysis-derived cap.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analyze/analyze.h"
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "service/service.h"
+
+namespace flames::service {
+namespace {
+
+/// Eight resistors on one KCL node: tractable to actually run (the runtime
+/// is bounded by the retained entries), but the worst-case work estimate
+/// overruns the admission budget even at the floor cap — the A2 error the
+/// gate keys on.
+std::shared_ptr<const circuit::Netlist> starNet() {
+  auto net = std::make_shared<circuit::Netlist>();
+  net->addVSource("V1", "hub", "0", 5.0);
+  for (int i = 1; i <= 8; ++i) {
+    net->addResistor("R" + std::to_string(i), "hub", "0", 1.0, 0.05);
+  }
+  return net;
+}
+
+std::shared_ptr<const circuit::Netlist> ampNet() {
+  return std::make_shared<const circuit::Netlist>(
+      circuit::paperFig6ThreeStageAmp());
+}
+
+DiagnosisRequest requestFor(std::shared_ptr<const circuit::Netlist> net,
+                            const std::string& node, double volts) {
+  DiagnosisRequest req;
+  req.netlist = std::move(net);
+  req.measurements.push_back(crispMeasurement(node, volts));
+  return req;
+}
+
+TEST(AnalyzeGate, IntractableModelIsRefusedOnceCached) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+  const auto net = starNet();
+
+  // First submission: nothing cached, the non-blocking peek misses, the job
+  // runs (clamped to the floor cap, so it finishes despite the estimate).
+  const auto handle = service.submit(requestFor(net, "hub", 4.2));
+  const JobResult& first = handle->wait();
+  ASSERT_EQ(first.status, JobStatus::kDone) << first.error;
+  EXPECT_EQ(first.entryCapUsed, 6u);
+  EXPECT_EQ(service.stats().costRejections, 0u);
+
+  // Now the compiled model (and its cached analysis) is visible to the
+  // intake gate: the same unit type is refused before it enters the queue.
+  EXPECT_THROW((void)service.submit(requestFor(net, "hub", 4.2)),
+               analyze::AnalysisError);
+  EXPECT_EQ(service.stats().costRejections, 1u);
+}
+
+TEST(AnalyzeGate, GateCanBeDisabled) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.analyzeOnSubmit = false;
+  DiagnosisService service(sopts);
+  const auto net = starNet();
+
+  (void)service.submit(requestFor(net, "hub", 4.2))->wait();
+  const auto handle = service.submit(requestFor(net, "hub", 4.2));
+  EXPECT_EQ(handle->wait().status, JobStatus::kDone);
+  EXPECT_EQ(service.stats().costRejections, 0u);
+}
+
+TEST(AnalyzeGate, JobsRunUnderTheDerivedCap) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  DiagnosisService service(sopts);
+
+  const auto handle = service.submit(requestFor(ampNet(), "V2", 8.0));
+  const JobResult& result = handle->wait();
+  ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+  // The three-stage amp overruns the work budget at the stock cap of 24;
+  // the analysis-derived cap for it is 21 (pinned by test_cost as well).
+  EXPECT_EQ(result.entryCapUsed, 21u);
+}
+
+TEST(AnalyzeGate, DerivedCapCanBeDisabled) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.applyDerivedEntryCap = false;
+  DiagnosisService service(sopts);
+
+  const auto handle = service.submit(requestFor(ampNet(), "V2", 8.0));
+  const JobResult& result = handle->wait();
+  ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+  EXPECT_EQ(result.entryCapUsed,
+            constraints::PropagatorOptions{}.maxEntriesPerQuantity);
+}
+
+}  // namespace
+}  // namespace flames::service

@@ -141,6 +141,40 @@ TEST(ModelCache, SensitivitySignsBuiltOnceAndShared) {
   for (auto& th : threads) th.join();
 }
 
+TEST(ModelCache, PeekNeverBuildsAndLeavesStatsAlone) {
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+
+  // Peek on an empty cache: miss, and crucially no build was started.
+  EXPECT_EQ(cache.peek(*divider(), opts), nullptr);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().size, 0u);
+
+  const auto model = cache.get(divider(), opts);
+  const auto before = cache.stats();
+  EXPECT_EQ(cache.peek(*divider(), opts).get(), model.get());
+  // A different key still misses without inserting a slot.
+  EXPECT_EQ(cache.peek(*divider(999.0), opts), nullptr);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.size, before.size);
+}
+
+TEST(ModelCache, AnalysisBuiltOnceAndShared) {
+  ModelCache cache(4);
+  diagnosis::FlamesOptions opts;
+  const auto model = cache.get(divider(), opts);
+  const constraints::PropagatorOptions popts;
+  const auto* first = &model->analysis(popts);
+  EXPECT_GT(first->cost.derivedEntryCap, 0u);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] { EXPECT_EQ(first, &model->analysis(popts)); });
+  }
+  for (auto& th : threads) th.join();
+}
+
 TEST(ModelCache, BuildFailurePropagatesAndAllowsRetry) {
   // Two parallel sources fighting over one node have no DC solution, so
   // prediction construction fails. The failure must reach the caller and
