@@ -132,6 +132,32 @@ void BM_Fig7PropagationOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig7PropagationOnly);
 
+// Same propagation with provenance recording on — the arena-backed log is
+// reused across iterations so the benchmark measures the recording cost, not
+// first-touch allocation. Paired with BM_Fig7PropagationOnly this is the
+// overhead budget check (DESIGN.md §10: enabled single-digit %, disabled
+// indistinguishable from baseline).
+void BM_Fig7PropagationOnlyProvenance(benchmark::State& state) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto built = constraints::buildDiagnosticModel(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  constraints::ProvenanceLog log;
+  for (auto _ : state) {
+    log.clear();
+    constraints::PropagatorOptions opts;
+    opts.provenance = &log;
+    constraints::Propagator p(built.model, opts);
+    for (const auto& r : readings) {
+      p.addMeasurement(built.voltage(r.node),
+                       fuzzy::FuzzyInterval::about(r.volts, 0.05));
+    }
+    p.run();
+    benchmark::DoNotOptimize(log.entries().size());
+  }
+}
+BENCHMARK(BM_Fig7PropagationOnlyProvenance);
+
 void BM_Fig7ModelBuild(benchmark::State& state) {
   const auto net = circuit::paperFig6ThreeStageAmp();
   for (auto _ : state) {

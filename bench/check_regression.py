@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compares a bench run against the committed baseline and flags regressions.
+
+Usage: bench/check_regression.py [--baseline=FILE] [--threshold=PCT]
+                                 [--github] current.json
+
+Both files are the merged format written by bench/run_benchmarks.sh:
+a map of bench binary name -> that run's full Google Benchmark JSON
+document. Benchmarks are matched by (binary, benchmark name); only
+`iteration` runs are compared, on cpu_time. A benchmark regresses when
+its cpu_time grows by more than --threshold percent (default 10) over
+the baseline; new and vanished benchmarks are reported but never fail
+the check.
+
+With --github, regressions are also emitted as ::warning workflow
+annotations and a markdown table is appended to $GITHUB_STEP_SUMMARY
+when set. Exit status: 0 = no regressions, 1 = at least one, 2 = usage
+or unreadable input. Single-machine noise easily exceeds a few percent,
+so CI runs this as a non-blocking annotating job — the gate is a
+tripwire for order-of-magnitude mistakes, not a microbenchmark referee.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def newest_baseline():
+    """The lexicographically last BENCH_*.json (dates sort correctly)."""
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    candidates = sorted(glob.glob(os.path.join(repo, "BENCH_*.json")))
+    return candidates[-1] if candidates else None
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def flatten(doc):
+    """{(binary, bench name): cpu_time_ns} over iteration runs."""
+    out = {}
+    for binary, run in doc.items():
+        for b in run.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if scale is None or "cpu_time" not in b:
+                continue
+            out[(binary, b["name"])] = b["cpu_time"] * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: newest committed BENCH_*.json)")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--github", action="store_true",
+                    help="emit GitHub workflow annotations and a step summary")
+    ap.add_argument("current", help="bench JSON to check")
+    args = ap.parse_args()
+
+    baseline_path = args.baseline or newest_baseline()
+    if baseline_path is None:
+        print("error: no BENCH_*.json baseline found", file=sys.stderr)
+        sys.exit(2)
+
+    base = flatten(load(baseline_path))
+    cur = flatten(load(args.current))
+
+    rows = []       # (binary, name, base_ns, cur_ns, delta_pct)
+    regressions = []
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        delta = (c - b) / b * 100.0 if b > 0 else 0.0
+        rows.append((*key, b, c, delta))
+        if delta > args.threshold:
+            regressions.append((*key, b, c, delta))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    print(f"baseline: {baseline_path} ({len(base)} benchmarks)")
+    print(f"current:  {args.current} ({len(cur)} benchmarks)")
+    print(f"compared: {len(rows)}, threshold: +{args.threshold:g}%")
+    for binary, name, b, c, delta in rows:
+        mark = "REGRESSED" if delta > args.threshold else "ok"
+        print(f"  {mark:9s} {binary}:{name}  {b:.0f}ns -> {c:.0f}ns "
+              f"({delta:+.1f}%)")
+    for key in only_base:
+        print(f"  vanished  {key[0]}:{key[1]} (baseline only)")
+    for key in only_cur:
+        print(f"  new       {key[0]}:{key[1]} (not in baseline)")
+
+    if args.github:
+        for binary, name, b, c, delta in regressions:
+            print(f"::warning title=bench regression::{binary}:{name} "
+                  f"cpu_time {b:.0f}ns -> {c:.0f}ns ({delta:+.1f}% "
+                  f"> +{args.threshold:g}%)")
+        summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary:
+            with open(summary, "a", encoding="utf-8") as f:
+                f.write(f"### Bench regression check (+{args.threshold:g}% "
+                        f"threshold)\n\n")
+                if regressions:
+                    f.write("| benchmark | baseline | current | delta |\n"
+                            "|---|---|---|---|\n")
+                    for binary, name, b, c, delta in regressions:
+                        f.write(f"| `{binary}:{name}` | {b:.0f}ns | {c:.0f}ns "
+                                f"| {delta:+.1f}% |\n")
+                else:
+                    f.write(f"No regressions across {len(rows)} compared "
+                            f"benchmarks.\n")
+
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond +{args.threshold:g}%")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,13 @@
 //
 //   flames_batch [--workers=N] [--jobs=N] [--sections=N] [--seed=N]
 //                [--noise=V] [--deadline-ms=N] [--obs] [--lint] [--analyze]
-//                [--Werror]
+//                [--Werror] [--explain=COMPONENT]
+//
+// --explain=COMPONENT turns provenance recording on for every request and,
+// after the stream drains, prints the derivation-level explanation for the
+// named component (nogoods, Dc values, constraint chains) from the first
+// completed job that detected a fault — the batch-side twin of
+// `flames_cli --explain`.
 //
 // --lint prints the syntactic lint report for the generated netlist before
 // any job is submitted and aborts (exit 2) on error-grade findings;
@@ -32,6 +38,7 @@
 #include "constraints/model_builder.h"
 #include "lint/lint.h"
 #include "obs/obs.h"
+#include "prov/explain.h"
 #include "service/service.h"
 #include "workload/generators.h"
 #include "workload/scenarios.h"
@@ -51,6 +58,7 @@ struct Args {
   bool lint = false;
   bool analyze = false;
   bool werror = false;
+  std::string explain;
 };
 
 bool parseSize(const std::string& arg, const std::string& key,
@@ -85,11 +93,18 @@ Args parseArgs(int argc, char** argv) {
       a.analyze = true;
     } else if (arg == "--Werror") {
       a.werror = true;
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      a.explain = arg.substr(10);
+      if (a.explain.empty()) {
+        std::cerr << "flames_batch: --explain needs a component name\n";
+        std::exit(2);
+      }
     } else {
       std::cerr << "flames_batch: unknown argument " << arg << "\n"
                 << "usage: flames_batch [--workers=N] [--jobs=N] "
                    "[--sections=N] [--seed=N] [--noise=V] [--deadline-ms=N] "
-                   "[--obs] [--lint] [--analyze] [--Werror]\n";
+                   "[--obs] [--lint] [--analyze] [--Werror] "
+                   "[--explain=COMPONENT]\n";
       std::exit(2);
     }
   }
@@ -164,6 +179,7 @@ int main(int argc, char** argv) {
     service::DiagnosisRequest req;
     req.netlist = net;
     req.options.lint.warningsAsErrors = args.werror;
+    if (!args.explain.empty()) req.options.recordProvenance = true;
     for (const auto& r : item.readings) {
       req.measurements.push_back(service::crispMeasurement(r.node, r.volts));
     }
@@ -223,6 +239,39 @@ int main(int argc, char** argv) {
     std::cout << "  entry cap: " << entryCapUsed
               << " (analysis-derived per unit type), cost rejections "
               << stats.costRejections << "\n";
+  }
+
+  if (!args.explain.empty()) {
+    // Explain from the first completed job that detected a fault (falling
+    // back to any completed job): the stream shares one unit type, so one
+    // job's derivation chain is representative.
+    const service::JobResult* pick = nullptr;
+    for (const auto& h : handles) {
+      const service::JobResult& r = h->wait();
+      if (r.status != service::JobStatus::kDone || !r.report.provenance) {
+        continue;
+      }
+      if (pick == nullptr) pick = &r;
+      if (r.report.faultDetected()) {
+        pick = &r;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      std::cout << "\nno completed job carries provenance to explain\n";
+    } else {
+      try {
+        diagnosis::FlamesOptions fopts;
+        const constraints::BuiltModel built =
+            constraints::buildDiagnosticModel(*net, fopts.model);
+        std::cout << "\njob " << pick->jobId << ":\n"
+                  << prov::renderExplanation(built, pick->report,
+                                             args.explain);
+      } catch (const std::exception& e) {
+        std::cerr << "flames_batch: explain failed: " << e.what() << "\n";
+        return 2;
+      }
+    }
   }
 
   if (args.obs) {

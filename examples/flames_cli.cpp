@@ -28,6 +28,13 @@
 // cost bounds with the derived entry cap, the structural decomposition and
 // ambiguity groups, and the A1-A3 findings. Exit codes mirror --lint.
 // --analyze-json emits the machine-readable report instead.
+//
+// --explain=<target> records the run's derivation provenance and, after the
+// report, prints why <target> (a component like R2, or a quantity like
+// "V(out)") is implicated: the nogoods naming it with their Dc values and
+// the constraint chains behind each colliding value. --explain-json=<t>
+// emits the machine form. --certificate=<file> writes the run's replayable
+// certificate (verify with flames_check <netlist.cir> <file>).
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -43,6 +50,8 @@
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "prov/certificate.h"
+#include "prov/explain.h"
 
 namespace {
 
@@ -59,6 +68,9 @@ struct CliOptions {
   bool analyze = false;   ///< semantic-analysis-only mode, no diagnosis
   bool analyzeJson = false;  ///< machine-readable analysis (implies --analyze)
   bool werror = false;    ///< escalate lint warnings to errors
+  std::string explainTarget;   ///< component/quantity to explain; empty = off
+  bool explainJson = false;    ///< machine-readable explanation
+  std::string certificateFile;  ///< write the replayable certificate here
   std::vector<std::string> positional;
 };
 
@@ -85,6 +97,23 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.analyzeJson = true;
     } else if (arg == "--Werror") {
       opts.werror = true;
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      opts.explainTarget = arg.substr(10);
+      if (opts.explainTarget.empty()) {
+        throw std::runtime_error("--explain= needs a component or quantity");
+      }
+    } else if (arg.rfind("--explain-json=", 0) == 0) {
+      opts.explainTarget = arg.substr(15);
+      opts.explainJson = true;
+      if (opts.explainTarget.empty()) {
+        throw std::runtime_error(
+            "--explain-json= needs a component or quantity");
+      }
+    } else if (arg.rfind("--certificate=", 0) == 0) {
+      opts.certificateFile = arg.substr(14);
+      if (opts.certificateFile.empty()) {
+        throw std::runtime_error("--certificate= needs a file name");
+      }
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown flag: " + arg);
     } else {
@@ -232,6 +261,8 @@ int main(int argc, char** argv) {
     }
     if (cli.positional.size() < 2 || cli.positional.size() > 3) {
       std::cerr << "usage: flames_cli [--trace=<file.json>] [--metrics] "
+                   "[--explain=<component|quantity>] "
+                   "[--certificate=<file>] "
                    "<netlist.cir> <measurements.txt> [experience.txt]\n"
                    "       flames_cli --lint [--lint-json] [--Werror] "
                    "<netlist.cir>\n"
@@ -250,7 +281,11 @@ int main(int argc, char** argv) {
     }
     const bool haveExperience = cli.positional.size() == 3;
 
-    diagnosis::FlamesEngine engine(net);
+    diagnosis::FlamesOptions engineOptions;
+    if (!cli.explainTarget.empty() || !cli.certificateFile.empty()) {
+      engineOptions.recordProvenance = true;
+    }
+    diagnosis::FlamesEngine engine(net, engineOptions);
     if (haveExperience) {
       const std::string& path = cli.positional[2];
       // A missing file is a normal first run; an unreadable or corrupt one
@@ -272,6 +307,24 @@ int main(int argc, char** argv) {
     std::cout << diagnosis::renderReport(report);
     std::cout << "=> " << diagnosis::summarizeReport(report) << '\n';
 
+    if (!cli.explainTarget.empty()) {
+      if (cli.explainJson) {
+        std::cout << prov::explanationJson(engine.builtModel(), report,
+                                           cli.explainTarget)
+                  << '\n';
+      } else {
+        std::cout << prov::renderExplanation(engine.builtModel(), report,
+                                             cli.explainTarget);
+      }
+    }
+    if (!cli.certificateFile.empty()) {
+      const prov::Certificate cert = prov::buildCertificate(
+          engine.builtModel(), *report.provenance, engine.observations());
+      prov::writeCertificateFile(cli.certificateFile, cert);
+      std::cout << "certificate written to " << cli.certificateFile
+                << " (verify: flames_check " << cli.positional[0] << ' '
+                << cli.certificateFile << ")\n";
+    }
     if (haveExperience) {
       diagnosis::saveExperienceFile(engine.experience(), cli.positional[2]);
     }

@@ -25,7 +25,9 @@
 #include <sstream>
 #include <string>
 
+#include "constraints/model_builder.h"
 #include "diagnosis/report.h"
+#include "prov/explain.h"
 #include "scenario/harness.h"
 
 namespace {
@@ -124,6 +126,24 @@ scenario::GeneratorOptions generatorOptions(const Args& a) {
   return g;
 }
 
+// On a failed replay with provenance recorded, print the derivation-level
+// explanation for the injected fault component: the nogoods implicating it,
+// their Dc values and the constraint chains behind them.
+void printFaultExplanation(const scenario::Scenario& s,
+                           const scenario::OracleOptions& oracle,
+                           const diagnosis::DiagnosisReport& report) {
+  if (!report.provenance) return;
+  try {
+    const circuit::Netlist net = scenario::buildNetlist(s);
+    const constraints::BuiltModel built =
+        constraints::buildDiagnosticModel(net, oracle.flames.model);
+    std::cout << "\n" << prov::renderExplanation(built, report,
+                                                 s.fault.component);
+  } catch (const std::exception& e) {
+    std::cout << "explanation unavailable: " << e.what() << "\n";
+  }
+}
+
 int replayMode(const Args& a) {
   const scenario::Scenario s = scenario::loadScenarioFile(a.replay);
   std::cout << "replaying " << scenario::describe(s) << "\n";
@@ -133,17 +153,33 @@ int replayMode(const Args& a) {
   oracle.requireRankAtMost = a.requireRank;
   scenario::OracleResult r = scenario::runOracle(s, oracle);
 
+  scenario::Scenario current = s;
   if (!r.passed() && a.shrink) {
     std::cout << "shrinking...\n";
-    const scenario::ShrinkResult sr = scenario::shrink(s, oracle);
-    std::cout << "  " << sr.accepted << " reductions accepted ("
-              << sr.attempted << " oracle runs)\n";
-    std::cout << "minimal: " << scenario::describe(sr.scenario) << "\n";
     const std::string path =
         (a.out.empty() ? std::string(".") : a.out) + "/shrunk.scenario";
-    scenario::writeScenarioFile(path, sr.scenario);
+    // Neither a throwing shrink probe nor a throwing post-shrink oracle run
+    // may lose the repro: the .scenario file is written before the re-run,
+    // and a throw downgrades to a reported failure, not a process abort.
+    try {
+      const scenario::ShrinkResult sr = scenario::shrink(s, oracle);
+      std::cout << "  " << sr.accepted << " reductions accepted ("
+                << sr.attempted << " oracle runs)\n";
+      std::cout << "minimal: " << scenario::describe(sr.scenario) << "\n";
+      current = sr.scenario;
+    } catch (const std::exception& e) {
+      std::cout << "shrink threw: " << e.what()
+                << "; keeping the unshrunk scenario\n";
+    }
+    scenario::writeScenarioFile(path, current);
     std::cout << "wrote " << path << "\n";
-    r = scenario::runOracle(sr.scenario, oracle);
+    try {
+      r = scenario::runOracle(current, oracle);
+    } catch (const std::exception& e) {
+      std::cout << "FAIL:\n  post-shrink oracle run threw: " << e.what()
+                << "\n  repro preserved: " << path << "\n";
+      return 1;
+    }
   }
 
   if (a.verbose) std::cout << diagnosis::renderReport(r.report);
@@ -154,6 +190,7 @@ int replayMode(const Args& a) {
   }
   std::cout << "FAIL:\n";
   for (const std::string& v : r.violations) std::cout << "  " << v << "\n";
+  printFaultExplanation(current, oracle, r.report);
   return 1;
 }
 

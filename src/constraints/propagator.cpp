@@ -230,7 +230,9 @@ std::optional<CoincidenceRecord> Propagator::worstCoincidence(
   return worst;
 }
 
-bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
+bool Propagator::addEntry(QuantityId q, ValueEntry entry,
+                          const ProvEntryId* parents,
+                          std::size_t parentCount) {
   if (q >= values_.size()) throw std::out_of_range("Propagator::addEntry");
   auto& entries = values_[q];
 
@@ -252,23 +254,57 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
     }
   }
 
+  // Record the derivation before coincidence resolution so nogoods can
+  // reference the incoming entry. Discards below (saturation) don't
+  // invalidate the record: the derivation stays valid whether or not the
+  // value is retained in the working set.
+  if (options_.provenance != nullptr) {
+    const ProvKind kind = entry.source != ValueSource::kDerived
+                              ? ProvKind::kRoot
+                              : (entry.fromConstraint >= 0
+                                     ? ProvKind::kDerived
+                                     : ProvKind::kRefinement);
+    entry.provId = options_.provenance->addEntry(q, kind, entry, parents,
+                                                 parentCount);
+  }
+
   // Resolve coincidences against the entries that will be kept.
   for (const ValueEntry& existing : entries) {
     resolveCoincidence(q, existing, entry);
   }
 
-  // Remove derived entries that the new one renders redundant.
+  // Remove derived entries that the new one renders redundant. Erasing
+  // shifts the survivors down, so pending work items on this quantity must
+  // follow the shift — and die outright when their entry was just erased;
+  // a stale index would make fire() read past the end of values_[q].
   if (entry.source != ValueSource::kDerived ||
       entries.size() < options_.maxEntriesPerQuantity) {
-    entries.erase(
-        std::remove_if(entries.begin(), entries.end(),
-                       [&](const ValueEntry& e) {
-                         return e.source == ValueSource::kDerived &&
-                                entry.degree >= e.degree &&
-                                entry.env.isSubsetOf(e.env) &&
-                                entry.value.subsetOf(e.value);
-                       }),
-        entries.end());
+    std::vector<std::size_t> removed;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const ValueEntry& e = entries[i];
+      if (e.source == ValueSource::kDerived && entry.degree >= e.degree &&
+          entry.env.isSubsetOf(e.env) && entry.value.subsetOf(e.value)) {
+        removed.push_back(i);
+      }
+    }
+    if (!removed.empty()) {
+      for (std::size_t k = 0; k < removed.size(); ++k) {
+        entries.erase(entries.begin() +
+                      static_cast<std::ptrdiff_t>(removed[k] - k));
+      }
+      queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                  [&](WorkItem& w) {
+                                    if (w.quantity != q) return false;
+                                    std::size_t shift = 0;
+                                    for (const std::size_t r : removed) {
+                                      if (r == w.entryIndex) return true;
+                                      if (r < w.entryIndex) ++shift;
+                                    }
+                                    w.entryIndex -= shift;
+                                    return false;
+                                  }),
+                   queue_.end());
+    }
     if (entries.size() >= options_.maxEntriesPerQuantity &&
         entry.source == ValueSource::kDerived) {
       cDiscardSaturated().add();
@@ -282,9 +318,9 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
     if (!drainingRefinements_ && !pendingRefinements_.empty()) {
       drainingRefinements_ = true;
       while (!pendingRefinements_.empty()) {
-        auto [rq, re] = std::move(pendingRefinements_.back());
+        PendingRefinement r = std::move(pendingRefinements_.back());
         pendingRefinements_.pop_back();
-        addEntry(rq, std::move(re));
+        addEntry(r.quantity, std::move(r.entry), r.parents, 2);
       }
       drainingRefinements_ = false;
     }
@@ -297,6 +333,7 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry) {
 void Propagator::fire(QuantityId q, std::size_t entryIndex) {
   // Copy: values_[q] may reallocate while deriving.
   const ValueEntry source = values_[q][entryIndex];
+  const bool recording = options_.provenance != nullptr;
 
   for (std::size_t ci : model_.constraintsOn(q)) {
     if (source.fromConstraint == static_cast<int>(ci)) continue;  // echo
@@ -377,7 +414,26 @@ void Propagator::fire(QuantityId q, std::size_t entryIndex) {
             e.fromMeasurement = fromMeasurement;
             e.degree = degree;
             e.depth = depth + 1;
-            addEntry(vars[target], std::move(e));
+            if (recording) {
+              // Slot-aligned parents, filled only for derivations that
+              // survive the width gate (most enumerated combinations are
+              // discarded before this point). The solved-for slot keeps the
+              // sentinel; values_ is untouched since the slot loop above, so
+              // the cursor still addresses the consumed entries.
+              provParentsScratch_.assign(vars.size(), kNoProvEntry);
+              for (std::size_t i = 0; i < vars.size(); ++i) {
+                if (i != target && vars[i] == q) {
+                  provParentsScratch_[i] = source.provId;
+                }
+              }
+              for (std::size_t s = 0; s < openSlots.size(); ++s) {
+                provParentsScratch_[openSlots[s]] =
+                    values_[vars[openSlots[s]]][cursor[s]].provId;
+              }
+            }
+            addEntry(vars[target], std::move(e),
+                     recording ? provParentsScratch_.data() : nullptr,
+                     recording ? provParentsScratch_.size() : 0);
           }
         }
         // Advance the cursor.
@@ -420,9 +476,12 @@ void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
     coincidences_.push_back(rec);
     if (!overlap) {
       const double degree = std::min({1.0, a.degree, b.degree});
-      if (nogoods_.add(rec.env, degree,
-                       "conflict on " + model_.quantityInfo(q).name)) {
-        cNogoods().add();
+      const bool kept = nogoods_.add(
+          rec.env, degree, "conflict on " + model_.quantityInfo(q).name);
+      if (kept) cNogoods().add();
+      if (options_.provenance != nullptr) {
+        options_.provenance->addNogood(q, a.provId, b.provId, 0.0, degree,
+                                       kept, rec.env);
       }
       return;
     }
@@ -439,7 +498,8 @@ void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
       refined.fromMeasurement = a.fromMeasurement || b.fromMeasurement;
       refined.degree = std::min(a.degree, b.degree);
       refined.depth = std::max(a.depth, b.depth) + 1;
-      pendingRefinements_.push_back({q, std::move(refined)});
+      pendingRefinements_.push_back(
+          {q, std::move(refined), {a.provId, b.provId}});
     }
     return;
   }
@@ -503,9 +563,12 @@ void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,
   const double nogoodDegree =
       std::min({cons.nogoodDegree(), a.degree, b.degree});
   if (nogoodDegree >= options_.minNogoodDegree) {
-    if (nogoods_.add(rec.env, nogoodDegree,
-                     "conflict on " + model_.quantityInfo(q).name)) {
-      cNogoods().add();
+    const bool kept = nogoods_.add(
+        rec.env, nogoodDegree, "conflict on " + model_.quantityInfo(q).name);
+    if (kept) cNogoods().add();
+    if (options_.provenance != nullptr) {
+      options_.provenance->addNogood(q, a.provId, b.provId, cons.dc,
+                                     nogoodDegree, kept, rec.env);
     }
   }
 }

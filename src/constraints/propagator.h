@@ -25,6 +25,7 @@
 
 #include "atms/atms.h"
 #include "constraints/constraint.h"
+#include "constraints/provenance.h"
 #include "constraints/quantity.h"
 #include "fuzzy/consistency.h"
 
@@ -136,6 +137,12 @@ struct PropagatorOptions {
   /// returns true, run() throws CancelledError. Null = never cancelled.
   /// The service layer points this at a per-job deadline/cancel flag.
   std::function<bool()> cancelCheck;
+  /// Derivation recording sink (constraints/provenance.h). Null (the
+  /// default) disables recording, and the only hot-path cost is the null
+  /// test itself; non-null, every kept entry and every recorded nogood is
+  /// appended to the log and each ValueEntry carries a stable provId. The
+  /// log must outlive the propagator's run.
+  ProvenanceLog* provenance = nullptr;
 };
 
 /// Thrown by Propagator::run() (and propagated through diagnoseWith) when
@@ -183,8 +190,13 @@ class Propagator {
   };
 
   // Adds an entry (with coincidence resolution and subsumption); returns
-  // true if it was kept.
-  bool addEntry(QuantityId q, ValueEntry entry);
+  // true if it was kept. `parents` (optional, read only when a provenance
+  // log is attached) lists the recorded ids the entry was derived from —
+  // slot-aligned with the producing constraint's variables for derived
+  // entries, the coinciding pair for crisp refinements.
+  bool addEntry(QuantityId q, ValueEntry entry,
+                const ProvEntryId* parents = nullptr,
+                std::size_t parentCount = 0);
 
   // Fires all constraints incident on q using entry `idx` as one input.
   void fire(QuantityId q, std::size_t entryIndex);
@@ -199,7 +211,15 @@ class Propagator {
   /// Crisp-policy interval refinements discovered during coincidence
   /// resolution; drained after the triggering addEntry completes (adding
   /// entries while iterating the entry list would invalidate iterators).
-  std::vector<std::pair<QuantityId, ValueEntry>> pendingRefinements_;
+  struct PendingRefinement {
+    QuantityId quantity = 0;
+    ValueEntry entry;
+    ProvEntryId parents[2] = {kNoProvEntry, kNoProvEntry};
+  };
+  std::vector<PendingRefinement> pendingRefinements_;
+  /// Scratch for the slot-aligned parent ids while firing (avoids a heap
+  /// allocation per derived combination when recording).
+  std::vector<ProvEntryId> provParentsScratch_;
   bool drainingRefinements_ = false;
   atms::NogoodDb nogoods_;
   std::vector<CoincidenceRecord> coincidences_;

@@ -1,0 +1,57 @@
+#include "constraints/provenance.h"
+
+#include <stdexcept>
+
+namespace flames::constraints {
+
+std::string_view provKindName(ProvKind k) {
+  switch (k) {
+    case ProvKind::kRoot: return "root";
+    case ProvKind::kDerived: return "derived";
+    case ProvKind::kRefinement: return "refine";
+  }
+  return "?";
+}
+
+ProvEntryId ProvenanceLog::addEntry(QuantityId q, ProvKind kind,
+                                    const ValueEntry& e,
+                                    const ProvEntryId* parents,
+                                    std::size_t parentCount) {
+  if (entries_.size() >= kNoProvEntry) {
+    throw std::length_error("ProvenanceLog: entry id space exhausted");
+  }
+  ProvEntry p;
+  p.quantity = q;
+  p.kind = kind;
+  p.source = e.source;
+  p.constraintIndex = kind == ProvKind::kDerived ? e.fromConstraint : -1;
+  p.value = e.value;
+  p.env = e.env;
+  p.degree = e.degree;
+  p.depth = e.depth;
+  p.parentsBegin = static_cast<std::uint32_t>(parents_.size());
+  if (parents != nullptr) {
+    parents_.insert(parents_.end(), parents, parents + parentCount);
+  }
+  p.parentsEnd = static_cast<std::uint32_t>(parents_.size());
+  entries_.push_back(std::move(p));
+  return static_cast<ProvEntryId>(entries_.size() - 1);
+}
+
+void ProvenanceLog::addNogood(QuantityId q, ProvEntryId a, ProvEntryId b,
+                              double dc, double degree, bool kept,
+                              atms::Environment env) {
+  nogoods_.push_back({q, a, b, dc, degree, kept, std::move(env)});
+}
+
+std::vector<ProvEntryId> ProvenanceLog::parentsOf(const ProvEntry& e) const {
+  return {parents_.begin() + e.parentsBegin, parents_.begin() + e.parentsEnd};
+}
+
+void ProvenanceLog::clear() {
+  entries_.clear();
+  parents_.clear();
+  nogoods_.clear();
+}
+
+}  // namespace flames::constraints

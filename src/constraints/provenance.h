@@ -1,0 +1,105 @@
+// Derivation provenance for fuzzy propagation (the flames::prov substrate).
+//
+// When a ProvenanceLog is attached to a Propagator
+// (PropagatorOptions::provenance), every kept value entry and every recorded
+// nogood is appended here with enough structure to *replay* it without the
+// engine: which constraint fired, which parent entries it consumed (one per
+// constraint slot, with a sentinel at the solved-for slot), and — for
+// nogoods — the two colliding entries plus the Dc area computation that
+// condemned their combined environment.
+//
+// The log is append-only and arena-backed: parent lists live in one flat
+// vector referenced by (begin, end) ranges, so recording costs one
+// std::vector append per entry and the disabled path costs only the null
+// check at the call sites. Entries are identified by their append index
+// (ProvEntryId), which stays valid after the propagator erases subsumed
+// entries from its working set; a parent id is therefore always smaller
+// than the id of the entry that consumed it (the chains are acyclic by
+// construction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "atms/environment.h"
+#include "constraints/quantity.h"
+#include "fuzzy/fuzzy_interval.h"
+
+namespace flames::constraints {
+
+/// How a recorded entry came to be.
+enum class ProvKind {
+  kRoot,        ///< measurement or nominal prediction (no parents)
+  kDerived,     ///< constraint application (slot-aligned parents)
+  kRefinement,  ///< crisp-policy support intersection (two parents)
+};
+
+[[nodiscard]] std::string_view provKindName(ProvKind k);
+
+/// One recorded derivation step. For kDerived, the parent range is aligned
+/// with the constraint's variable slots and holds kNoProvEntry at the
+/// solved-for slot; for kRefinement it holds the two coinciding entries.
+struct ProvEntry {
+  QuantityId quantity = 0;
+  ProvKind kind = ProvKind::kRoot;
+  ValueSource source = ValueSource::kDerived;
+  int constraintIndex = -1;  ///< kDerived only
+  fuzzy::FuzzyInterval value;
+  atms::Environment env;
+  double degree = 1.0;
+  int depth = 0;
+  std::uint32_t parentsBegin = 0;  ///< range into ProvenanceLog's arena
+  std::uint32_t parentsEnd = 0;
+};
+
+/// One recorded conflict: the coincidence of entries `a` and `b` on
+/// `quantity` evaluated to consistency `dc`, condemning `env` (the union of
+/// both supports) with `degree`. `kept` mirrors NogoodDb::add's subsumption
+/// verdict at insertion time.
+struct ProvNogood {
+  QuantityId quantity = 0;
+  ProvEntryId a = kNoProvEntry;
+  ProvEntryId b = kNoProvEntry;
+  double dc = 0.0;
+  double degree = 0.0;
+  bool kept = false;
+  atms::Environment env;
+};
+
+class ProvenanceLog {
+ public:
+  /// Appends an entry; returns its stable id. `parents` may be null.
+  ProvEntryId addEntry(QuantityId q, ProvKind kind, const ValueEntry& e,
+                       const ProvEntryId* parents, std::size_t parentCount);
+
+  void addNogood(QuantityId q, ProvEntryId a, ProvEntryId b, double dc,
+                 double degree, bool kept, atms::Environment env);
+
+  [[nodiscard]] const std::vector<ProvEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::vector<ProvNogood>& nogoods() const {
+    return nogoods_;
+  }
+
+  /// The parent ids of an entry, in slot order (kDerived) or pair order
+  /// (kRefinement); empty for roots.
+  [[nodiscard]] std::vector<ProvEntryId> parentsOf(const ProvEntry& e) const;
+  [[nodiscard]] const ProvEntryId* parentsData(const ProvEntry& e) const {
+    return parents_.data() + e.parentsBegin;
+  }
+  [[nodiscard]] std::size_t parentCount(const ProvEntry& e) const {
+    return e.parentsEnd - e.parentsBegin;
+  }
+
+  void clear();
+
+ private:
+  std::vector<ProvEntry> entries_;
+  std::vector<ProvEntryId> parents_;  ///< arena for all parent lists
+  std::vector<ProvNogood> nogoods_;
+};
+
+}  // namespace flames::constraints

@@ -20,6 +20,12 @@ namespace flames::constraints {
 
 using QuantityId = std::uint32_t;
 
+/// Stable id of a recorded derivation step (constraints/provenance.h).
+/// Entry indices inside the propagator are unstable — subsumption can erase
+/// kept entries — so everything provenance-related keys on this instead.
+using ProvEntryId = std::uint32_t;
+inline constexpr ProvEntryId kNoProvEntry = 0xffffffffu;
+
 /// What a quantity measures.
 enum class QuantityKind { kVoltage, kCurrent, kOther };
 
@@ -51,6 +57,9 @@ struct ValueEntry {
   double degree = 1.0;
   /// Derivation depth (0 for roots), used to bound propagation.
   int depth = 0;
+  /// Stable provenance id; kNoProvEntry unless a ProvenanceLog is attached
+  /// to the propagator (PropagatorOptions::provenance).
+  ProvEntryId provId = kNoProvEntry;
 };
 
 }  // namespace flames::constraints

@@ -104,7 +104,17 @@ DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
   PipelineClock clock(stats);
 
   clock.stage("propagation");
-  Propagator prop(built.model, options.propagation);
+  std::shared_ptr<DiagnosisProvenance> prov;
+  constraints::PropagatorOptions propOptions = options.propagation;
+  if (options.recordProvenance) {
+    prov = std::make_shared<DiagnosisProvenance>();
+    prov->lambda = propOptions.minNogoodDegree;
+    prov->maxCardinality = options.maxFaultCardinality;
+    prov->policy = propOptions.policy;
+    prov->crispifyValues = propOptions.crispifyValues;
+    propOptions.provenance = &prov->log;
+  }
+  Propagator prop(built.model, propOptions);
   for (const Observation& obs : observations) {
     prop.addMeasurement(built.voltage(obs.node), obs.value);
   }
@@ -195,6 +205,16 @@ DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
       atms::candidatesAt(db, options.propagation.minNogoodDegree,
                          options.maxFaultCardinality);
   if (stats) stats->candidatesGenerated = candidates.size();
+  if (prov) {
+    for (const atms::Candidate& c : candidates) {
+      std::vector<std::string> members;
+      members.reserve(c.members.size());
+      for (AssumptionId id : c.members) {
+        members.push_back(built.model.assumptionName(id));
+      }
+      prov->hittingSets.push_back(std::move(members));
+    }
+  }
 
   clock.stage("refinement");
   for (const atms::Candidate& c : candidates) {
@@ -334,6 +354,7 @@ DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
   }
 
   clock.close();
+  report.provenance = std::move(prov);
   if (stats) {
     stats->nogoodsRecorded = prop.nogoods().size();
     stats->dcTableRows = report.measurements.size();

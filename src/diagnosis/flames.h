@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "circuit/netlist.h"
 #include "constraints/model_builder.h"
 #include "constraints/propagator.h"
+#include "constraints/provenance.h"
 #include "diagnosis/deviation_analysis.h"
 #include "diagnosis/fault_modes.h"
 #include "diagnosis/knowledge_base.h"
@@ -61,6 +63,13 @@ struct FlamesOptions {
   /// test-selection estimations (paper §5, §6.3: "he can use the a priori
   /// estimations of faults to decide").
   std::map<std::string, std::string> expertPriors;
+  /// Record the full derivation provenance of the run into
+  /// DiagnosisReport::provenance: every kept value entry (which constraint
+  /// fired, which parents it consumed), every recorded nogood with its Dc,
+  /// and the λ-cut hitting-set candidates. Consumed by flames::prov
+  /// (explanations, certificates, the independent checker). Off by default;
+  /// recording costs a few percent of propagation time plus the log memory.
+  bool recordProvenance = false;
 };
 
 /// A conflict set rendered with component names.
@@ -123,6 +132,21 @@ struct PipelineStats {
   std::size_t faultModeScreens = 0;  ///< fault-mode simulations run
 };
 
+/// The raw material flames::prov consumers (explanation renderer,
+/// certificate builder, flames_check) need to reconstruct *why* the report
+/// says what it says. Shared out of the report so report copies stay cheap.
+struct DiagnosisProvenance {
+  constraints::ProvenanceLog log;
+  /// The λ-cut hitting-set candidates exactly as generated (assumption
+  /// names, member-sorted as emitted), captured *before* fault-mode rescue
+  /// appends screened candidates that are not hitting sets.
+  std::vector<std::vector<std::string>> hittingSets;
+  double lambda = 0.0;             ///< the λ-cut used (minNogoodDegree)
+  std::size_t maxCardinality = 0;  ///< candidate cardinality bound
+  constraints::ConflictPolicy policy = constraints::ConflictPolicy::kFuzzy;
+  bool crispifyValues = false;
+};
+
 /// Everything a session produces.
 struct DiagnosisReport {
   bool propagationCompleted = false;
@@ -146,6 +170,11 @@ struct DiagnosisReport {
   /// Per-stage timings and work counters; present iff flames::obs was
   /// enabled during diagnose().
   std::optional<PipelineStats> stats;
+
+  /// Derivation provenance; present iff FlamesOptions::recordProvenance.
+  /// Deliberately absent from reportJson() (the golden corpus must not
+  /// churn); rendered on demand by flames::prov.
+  std::shared_ptr<const DiagnosisProvenance> provenance;
 
   /// True if some discrepancy was detected at all.
   [[nodiscard]] bool faultDetected() const { return !nogoods.empty(); }

@@ -50,6 +50,30 @@ std::string renderMetrics(const Registry& registry) {
   return os.str();
 }
 
+std::string renderMetricsJson(const Registry& registry) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const Counter* c : registry.counters()) {
+    os << (first ? "" : ",") << '"' << jsonEscape(std::string(c->name()))
+       << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const Histogram* h : registry.histograms()) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << (first ? "" : ",") << '"' << jsonEscape(std::string(h->name()))
+       << "\":{\"count\":" << s.count << ",\"sum\":" << s.sum
+       << ",\"min\":" << (s.count == 0 ? 0.0 : s.min)
+       << ",\"mean\":" << s.mean() << ",\"max\":" << s.max << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
 void writeChromeTrace(std::ostream& os, const Tracer& tracer) {
   const std::vector<TraceEvent> events = tracer.snapshot();
   os << "[";
@@ -71,7 +95,9 @@ void writeChromeTrace(std::ostream& os, const Tracer& tracer) {
        << jsonEscape(e.category) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
        << e.tid << ",\"ts\":" << static_cast<double>(e.startNs) / 1e3
        << ",\"dur\":" << static_cast<double>(e.durationNs) / 1e3
-       << ",\"args\":{\"depth\":" << e.depth << "}}";
+       << ",\"args\":{\"depth\":" << e.depth;
+    if (e.jobId != 0) os << ",\"job\":" << e.jobId;
+    os << "}}";
   }
   os << "\n]\n";
 }

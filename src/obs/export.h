@@ -17,6 +17,13 @@ namespace flames::obs {
 [[nodiscard]] std::string renderMetrics(
     const Registry& registry = Registry::global());
 
+/// The same registry snapshot as machine-readable JSON:
+///   {"counters":{"<name>":<value>,...},
+///    "histograms":{"<name>":{"count":N,"sum":S,"min":m,"mean":M,"max":X}}}
+/// Names are sorted; doubles render at full precision.
+[[nodiscard]] std::string renderMetricsJson(
+    const Registry& registry = Registry::global());
+
 /// Writes the tracer's events as Chrome trace_event JSON: a single array of
 /// complete ("ph":"X") events with microsecond timestamps. Also appends one
 /// metadata event naming the process.

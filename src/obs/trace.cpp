@@ -18,8 +18,17 @@ std::uint64_t threadIndex() {
 }
 
 thread_local int t_depth = 0;
+thread_local std::uint64_t t_jobId = 0;
 
 }  // namespace
+
+JobScope::JobScope(std::uint64_t jobId) : previous_(t_jobId) {
+  t_jobId = jobId;
+}
+
+JobScope::~JobScope() { t_jobId = previous_; }
+
+std::uint64_t JobScope::current() { return t_jobId; }
 
 bool tracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
 
@@ -74,6 +83,7 @@ Span::~Span() {
   e.durationNs = monotonicNanos() - start_;
   e.depth = depth_;
   e.tid = threadIndex();
+  e.jobId = t_jobId;
   Tracer::global().record(std::move(e));
 }
 

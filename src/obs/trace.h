@@ -36,6 +36,25 @@ struct TraceEvent {
   std::uint64_t durationNs = 0;
   int depth = 0;          ///< nesting level at the recording thread
   std::uint64_t tid = 0;  ///< recording thread (stable small index)
+  std::uint64_t jobId = 0;  ///< enclosing service job, 0 = none
+};
+
+/// Tags every span ended on this thread while in scope with a service job
+/// id, so Chrome traces can be filtered per job ("args.job == 17"). Scopes
+/// nest; the innermost wins. Cost when tracing is off: nothing beyond the
+/// thread_local store/restore.
+class JobScope {
+ public:
+  explicit JobScope(std::uint64_t jobId);
+  ~JobScope();
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+  /// The job id spans on this thread are currently tagged with (0 = none).
+  [[nodiscard]] static std::uint64_t current();
+
+ private:
+  std::uint64_t previous_;
 };
 
 /// Collects completed spans. Thread-safe; events are appended on span end.

@@ -1,0 +1,345 @@
+#include "prov/certificate.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace flames::prov {
+
+namespace {
+
+using constraints::ConflictPolicy;
+using constraints::ProvEntry;
+using constraints::ProvKind;
+using constraints::ProvNogood;
+using constraints::ValueSource;
+
+CertValue certValue(const fuzzy::FuzzyInterval& v) {
+  return {v.m1(), v.m2(), v.alpha(), v.beta()};
+}
+
+std::vector<std::string> envNames(const constraints::Model& model,
+                                  const atms::Environment& env) {
+  std::vector<std::string> names;
+  for (atms::AssumptionId id : env.ids()) {
+    names.push_back(model.assumptionName(id));
+  }
+  return names;
+}
+
+const char* kindToken(CertKind k) {
+  switch (k) {
+    case CertKind::kRoot: return "root";
+    case CertKind::kDerived: return "derived";
+    case CertKind::kRefinement: return "refine";
+  }
+  return "?";
+}
+
+const char* sourceToken(ValueSource s) {
+  switch (s) {
+    case ValueSource::kNominal: return "nominal";
+    case ValueSource::kMeasured: return "measured";
+    case ValueSource::kDerived: return "derived";
+  }
+  return "?";
+}
+
+CertKind parseKind(const std::string& t, std::size_t line) {
+  if (t == "root") return CertKind::kRoot;
+  if (t == "derived") return CertKind::kDerived;
+  if (t == "refine") return CertKind::kRefinement;
+  throw std::runtime_error("certificate line " + std::to_string(line) +
+                           ": unknown entry kind '" + t + "'");
+}
+
+ValueSource parseSource(const std::string& t, std::size_t line) {
+  if (t == "nominal") return ValueSource::kNominal;
+  if (t == "measured") return ValueSource::kMeasured;
+  if (t == "derived") return ValueSource::kDerived;
+  throw std::runtime_error("certificate line " + std::to_string(line) +
+                           ": unknown value source '" + t + "'");
+}
+
+/// "env=-" or "env=R1,R3" -> name list.
+std::vector<std::string> parseNameList(const std::string& token,
+                                       const std::string& prefix,
+                                       std::size_t line) {
+  if (token.rfind(prefix, 0) != 0) {
+    throw std::runtime_error("certificate line " + std::to_string(line) +
+                             ": expected '" + prefix + "...', got '" + token +
+                             "'");
+  }
+  std::vector<std::string> names;
+  const std::string body = token.substr(prefix.size());
+  if (body == "-") return names;
+  std::istringstream is(body);
+  std::string name;
+  while (std::getline(is, name, ',')) {
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+std::string renderNameList(const std::string& prefix,
+                           const std::vector<std::string>& names) {
+  if (names.empty()) return prefix + "-";
+  std::string out = prefix;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out += ',';
+    out += names[i];
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> parseParents(const std::string& token,
+                                        std::size_t line) {
+  if (token.rfind("parents=", 0) != 0) {
+    throw std::runtime_error("certificate line " + std::to_string(line) +
+                             ": expected 'parents=...', got '" + token + "'");
+  }
+  std::vector<std::uint32_t> parents;
+  const std::string body = token.substr(8);
+  if (body == "-") return parents;
+  std::istringstream is(body);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item == "_") {
+      parents.push_back(kNoParent);
+    } else {
+      parents.push_back(
+          static_cast<std::uint32_t>(std::stoul(item)));
+    }
+  }
+  return parents;
+}
+
+std::string renderParents(const std::vector<std::uint32_t>& parents) {
+  if (parents.empty()) return "parents=-";
+  std::string out = "parents=";
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    if (i != 0) out += ',';
+    out += parents[i] == kNoParent ? "_" : std::to_string(parents[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Certificate buildCertificate(
+    const constraints::BuiltModel& built,
+    const diagnosis::DiagnosisProvenance& provenance,
+    const std::vector<diagnosis::Observation>& observations) {
+  const constraints::Model& model = built.model;
+  Certificate cert;
+  cert.policy = provenance.policy;
+  cert.crispify = provenance.crispifyValues;
+  cert.lambda = provenance.lambda;
+  cert.maxCardinality = provenance.maxCardinality;
+
+  for (const diagnosis::Observation& obs : observations) {
+    CertObservation co;
+    co.quantity = "V(" + obs.node + ")";
+    co.value = certValue(obs.value);
+    cert.observations.push_back(std::move(co));
+  }
+
+  const constraints::ProvenanceLog& log = provenance.log;
+  for (std::size_t i = 0; i < log.entries().size(); ++i) {
+    const ProvEntry& e = log.entries()[i];
+    CertEntry ce;
+    ce.id = static_cast<std::uint32_t>(i);
+    ce.quantity = model.quantityInfo(e.quantity).name;
+    switch (e.kind) {
+      case ProvKind::kRoot: ce.kind = CertKind::kRoot; break;
+      case ProvKind::kDerived: ce.kind = CertKind::kDerived; break;
+      case ProvKind::kRefinement: ce.kind = CertKind::kRefinement; break;
+    }
+    ce.source = e.source;
+    ce.constraintIndex = e.constraintIndex;
+    ce.value = certValue(e.value);
+    ce.env = envNames(model, e.env);
+    ce.degree = e.degree;
+    ce.depth = e.depth;
+    ce.parents = log.parentsOf(e);
+    cert.entries.push_back(std::move(ce));
+  }
+
+  for (const ProvNogood& n : log.nogoods()) {
+    CertNogood cn;
+    cn.quantity = model.quantityInfo(n.quantity).name;
+    cn.a = n.a;
+    cn.b = n.b;
+    cn.dc = n.dc;
+    cn.degree = n.degree;
+    cn.kept = n.kept;
+    cn.env = envNames(model, n.env);
+    cert.nogoods.push_back(std::move(cn));
+  }
+
+  for (const std::vector<std::string>& members : provenance.hittingSets) {
+    cert.candidates.push_back({members});
+  }
+  return cert;
+}
+
+std::string renderCertificate(const Certificate& cert) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "flames-certificate v" << cert.version << "\n";
+  os << "policy "
+     << (cert.policy == ConflictPolicy::kCrisp ? "crisp" : "fuzzy") << "\n";
+  os << "crispify " << (cert.crispify ? 1 : 0) << "\n";
+  os << "lambda " << cert.lambda << "\n";
+  os << "maxcard " << cert.maxCardinality << "\n";
+  for (const CertObservation& o : cert.observations) {
+    os << "obs " << o.quantity << ' ' << o.value.m1 << ' ' << o.value.m2
+       << ' ' << o.value.alpha << ' ' << o.value.beta << ' '
+       << renderNameList("env=", o.env) << "\n";
+  }
+  for (const CertEntry& e : cert.entries) {
+    os << "entry " << e.id << ' ' << e.quantity << ' ' << kindToken(e.kind)
+       << ' ' << sourceToken(e.source) << ' ';
+    if (e.constraintIndex < 0) {
+      os << '-';
+    } else {
+      os << e.constraintIndex;
+    }
+    os << ' ' << e.value.m1 << ' ' << e.value.m2 << ' ' << e.value.alpha
+       << ' ' << e.value.beta << ' ' << e.degree << ' ' << e.depth << ' '
+       << renderParents(e.parents) << ' ' << renderNameList("env=", e.env)
+       << "\n";
+  }
+  for (const CertNogood& n : cert.nogoods) {
+    os << "nogood " << n.quantity << ' ' << n.a << ' ' << n.b << ' ' << n.dc
+       << ' ' << n.degree << ' ' << (n.kept ? 1 : 0) << ' '
+       << renderNameList("env=", n.env) << "\n";
+  }
+  for (const CertCandidate& c : cert.candidates) {
+    os << renderNameList("cand ", c.members) << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Certificate parseCertificate(const std::string& text) {
+  Certificate cert;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  bool sawHeader = false, sawEnd = false;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    const auto fail = [&](const std::string& what) -> std::runtime_error {
+      return std::runtime_error("certificate line " + std::to_string(lineNo) +
+                                ": " + what);
+    };
+    if (!sawHeader) {
+      if (tag != "flames-certificate") {
+        throw fail("expected 'flames-certificate v1' header");
+      }
+      std::string version;
+      is >> version;
+      if (version != "v1") throw fail("unsupported version '" + version + "'");
+      sawHeader = true;
+      continue;
+    }
+    if (tag == "policy") {
+      std::string p;
+      is >> p;
+      if (p == "fuzzy") {
+        cert.policy = ConflictPolicy::kFuzzy;
+      } else if (p == "crisp") {
+        cert.policy = ConflictPolicy::kCrisp;
+      } else {
+        throw fail("unknown policy '" + p + "'");
+      }
+    } else if (tag == "crispify") {
+      int v = 0;
+      is >> v;
+      cert.crispify = v != 0;
+    } else if (tag == "lambda") {
+      is >> cert.lambda;
+    } else if (tag == "maxcard") {
+      is >> cert.maxCardinality;
+    } else if (tag == "obs") {
+      CertObservation o;
+      std::string envTok;
+      is >> o.quantity >> o.value.m1 >> o.value.m2 >> o.value.alpha >>
+          o.value.beta >> envTok;
+      if (!is) throw fail("malformed obs record");
+      o.env = parseNameList(envTok, "env=", lineNo);
+      cert.observations.push_back(std::move(o));
+    } else if (tag == "entry") {
+      CertEntry e;
+      std::string kindTok, sourceTok, cidxTok, parentsTok, envTok;
+      is >> e.id >> e.quantity >> kindTok >> sourceTok >> cidxTok >>
+          e.value.m1 >> e.value.m2 >> e.value.alpha >> e.value.beta >>
+          e.degree >> e.depth >> parentsTok >> envTok;
+      if (!is) throw fail("malformed entry record");
+      e.kind = parseKind(kindTok, lineNo);
+      e.source = parseSource(sourceTok, lineNo);
+      e.constraintIndex = cidxTok == "-" ? -1 : std::stoi(cidxTok);
+      e.parents = parseParents(parentsTok, lineNo);
+      e.env = parseNameList(envTok, "env=", lineNo);
+      cert.entries.push_back(std::move(e));
+    } else if (tag == "nogood") {
+      CertNogood n;
+      int kept = 0;
+      std::string envTok;
+      is >> n.quantity >> n.a >> n.b >> n.dc >> n.degree >> kept >> envTok;
+      if (!is) throw fail("malformed nogood record");
+      n.kept = kept != 0;
+      n.env = parseNameList(envTok, "env=", lineNo);
+      cert.nogoods.push_back(std::move(n));
+    } else if (tag == "cand") {
+      std::string members;
+      is >> members;
+      CertCandidate c;
+      if (members != "-") {
+        std::istringstream ms(members);
+        std::string m;
+        while (std::getline(ms, m, ',')) {
+          if (!m.empty()) c.members.push_back(m);
+        }
+      }
+      cert.candidates.push_back(std::move(c));
+    } else if (tag == "end") {
+      sawEnd = true;
+      break;
+    } else {
+      throw fail("unknown record '" + tag + "'");
+    }
+  }
+  if (!sawHeader) throw std::runtime_error("certificate: missing header");
+  if (!sawEnd) throw std::runtime_error("certificate: missing 'end' trailer");
+  return cert;
+}
+
+void writeCertificateFile(const std::string& path, const Certificate& cert) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("cannot write certificate file " + path);
+  }
+  out << renderCertificate(cert);
+  if (!out.good()) {
+    throw std::runtime_error("failed writing certificate file " + path);
+  }
+}
+
+Certificate loadCertificateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("cannot read certificate file " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseCertificate(buf.str());
+}
+
+}  // namespace flames::prov

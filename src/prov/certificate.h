@@ -1,0 +1,108 @@
+// Diagnosis certificates (ROADMAP item 2: proof-logging the fuzzy ATMS).
+//
+// A certificate is the self-contained, name-based cut of one diagnosis
+// run's provenance: the observations entered, every recorded derivation
+// step (roots, constraint applications, crisp refinements), every recorded
+// nogood with the Dc that condemned it, and the λ-cut hitting-set
+// candidates. Everything an *independent* checker needs to replay the run
+// against a freshly built model — and nothing engine-internal: entries are
+// keyed by stable ids, environments and candidate members by assumption
+// name, quantities by name, constraints by their index in the deterministic
+// model build.
+//
+// The text format (renderCertificate/parseCertificate) is line-based like
+// the .scenario files: one record per line, `flames-certificate v1` header,
+// `end` trailer. flames_cli --certificate writes it; flames_check replays
+// it; the scenario oracle skips the round-trip and checks the in-memory
+// form directly (invariant I10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/model_builder.h"
+#include "diagnosis/flames.h"
+
+namespace flames::prov {
+
+/// Sentinel parent id marking the solved-for slot of a derived entry.
+inline constexpr std::uint32_t kNoParent = constraints::kNoProvEntry;
+
+/// A trapezoid [m1, m2, alpha, beta] by value (decoupled from FuzzyInterval
+/// so a parsed certificate cannot fail interval validation before the
+/// checker gets to report *where* it is malformed).
+struct CertValue {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+
+enum class CertKind { kRoot, kDerived, kRefinement };
+
+struct CertEntry {
+  std::uint32_t id = 0;
+  std::string quantity;
+  CertKind kind = CertKind::kRoot;
+  constraints::ValueSource source = constraints::ValueSource::kDerived;
+  int constraintIndex = -1;  ///< kDerived only
+  CertValue value;
+  std::vector<std::string> env;  ///< assumption names, id order
+  double degree = 1.0;
+  int depth = 0;
+  /// Slot-aligned (kDerived, kNoParent at the solved-for slot) or the
+  /// coinciding pair (kRefinement); empty for roots.
+  std::vector<std::uint32_t> parents;
+};
+
+struct CertNogood {
+  std::string quantity;  ///< where the coincidence happened
+  std::uint32_t a = kNoParent;
+  std::uint32_t b = kNoParent;
+  double dc = 0.0;     ///< degree of consistency that condemned the pair
+  double degree = 0.0; ///< recorded nogood degree
+  bool kept = false;   ///< NogoodDb subsumption verdict at insertion
+  std::vector<std::string> env;
+};
+
+struct CertCandidate {
+  std::vector<std::string> members;  ///< assumption names
+};
+
+struct CertObservation {
+  std::string quantity;
+  CertValue value;
+  std::vector<std::string> env;
+};
+
+struct Certificate {
+  int version = 1;
+  constraints::ConflictPolicy policy = constraints::ConflictPolicy::kFuzzy;
+  bool crispify = false;
+  double lambda = 0.0;
+  std::size_t maxCardinality = 0;
+  std::vector<CertObservation> observations;
+  std::vector<CertEntry> entries;
+  std::vector<CertNogood> nogoods;
+  std::vector<CertCandidate> candidates;
+};
+
+/// Cuts a certificate from a recorded run. `built` must be the model the
+/// run recorded against (or a deterministic rebuild of it — the builder is
+/// deterministic for a given netlist + ModelBuildOptions); it supplies the
+/// quantity and assumption names.
+[[nodiscard]] Certificate buildCertificate(
+    const constraints::BuiltModel& built,
+    const diagnosis::DiagnosisProvenance& provenance,
+    const std::vector<diagnosis::Observation>& observations);
+
+/// Line-based text round-trip. parseCertificate throws std::runtime_error
+/// with a line number on malformed input.
+[[nodiscard]] std::string renderCertificate(const Certificate& cert);
+[[nodiscard]] Certificate parseCertificate(const std::string& text);
+
+void writeCertificateFile(const std::string& path, const Certificate& cert);
+[[nodiscard]] Certificate loadCertificateFile(const std::string& path);
+
+}  // namespace flames::prov

@@ -1,0 +1,538 @@
+#include "prov/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "fuzzy/consistency.h"
+
+namespace flames::prov {
+
+namespace {
+
+using atms::AssumptionId;
+using atms::Environment;
+using constraints::ConflictPolicy;
+using constraints::ValueSource;
+using fuzzy::FuzzyInterval;
+
+/// Checker-side view of one replayed entry.
+struct Replayed {
+  FuzzyInterval value;
+  Environment env;
+  ValueSource source = ValueSource::kDerived;
+  double degree = 1.0;
+  int depth = 0;
+  bool fromMeasurement = false;
+  bool valid = false;  ///< false when this entry itself failed to replay
+};
+
+class Checker {
+ public:
+  Checker(const circuit::Netlist& net, const Certificate& cert,
+          const constraints::ModelBuildOptions& modelOptions,
+          const CheckOptions& options)
+      : cert_(cert),
+        options_(options),
+        built_(constraints::buildDiagnosticModel(net, modelOptions)) {}
+
+  CheckResult run() {
+    checkEntries();
+    checkNogoods();
+    checkCandidates();
+    return std::move(result_);
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (result_.violations.size() < options_.maxViolations) {
+      result_.violations.push_back(message);
+    } else if (result_.violations.size() == options_.maxViolations) {
+      result_.violations.push_back("... further violations truncated");
+    }
+  }
+
+  bool near(double a, double b) const {
+    return std::abs(a - b) <= options_.tolerance;
+  }
+
+  std::optional<Environment> envOf(const std::vector<std::string>& names,
+                                   const std::string& where) {
+    std::vector<AssumptionId> ids;
+    for (const std::string& name : names) {
+      const auto id = built_.model.findAssumption(name);
+      if (!id) {
+        fail(where + ": unknown assumption '" + name + "'");
+        return std::nullopt;
+      }
+      ids.push_back(*id);
+    }
+    return Environment::fromIds(ids);
+  }
+
+  static std::optional<FuzzyInterval> interval(const CertValue& v) {
+    try {
+      return FuzzyInterval(v.m1, v.m2, v.alpha, v.beta);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+
+  FuzzyInterval maybeCrisp(const FuzzyInterval& v) const {
+    if (!cert_.crispify) return v;
+    return FuzzyInterval::crispInterval(v.support().lo, v.support().hi);
+  }
+
+  // --- entries --------------------------------------------------------------
+
+  void checkEntries() {
+    replayed_.resize(cert_.entries.size());
+    for (std::size_t i = 0; i < cert_.entries.size(); ++i) {
+      const CertEntry& e = cert_.entries[i];
+      const std::string where =
+          "entry " + std::to_string(e.id) + " (" + e.quantity + ")";
+      ++result_.entriesChecked;
+      if (e.id != i) {
+        fail(where + ": ids must be dense and ascending (expected " +
+             std::to_string(i) + ")");
+        continue;
+      }
+      Replayed& r = replayed_[i];
+      const auto value = interval(e.value);
+      if (!value) {
+        fail(where + ": malformed trapezoid");
+        continue;
+      }
+      const auto env = envOf(e.env, where);
+      if (!env) continue;
+      if (!built_.model.findQuantity(e.quantity)) {
+        fail(where + ": unknown quantity");
+        continue;
+      }
+      r.value = *value;
+      r.env = *env;
+      r.source = e.source;
+      r.degree = e.degree;
+      r.depth = e.depth;
+      for (const std::uint32_t p : e.parents) {
+        if (p == kNoParent) continue;
+        if (p >= i) {
+          fail(where + ": parent " + std::to_string(p) +
+               " does not precede the entry (cycle)");
+          return;
+        }
+      }
+      switch (e.kind) {
+        case CertKind::kRoot: checkRoot(e, r, where); break;
+        case CertKind::kDerived: checkDerived(e, r, where); break;
+        case CertKind::kRefinement: checkRefinement(e, r, where); break;
+      }
+    }
+  }
+
+  void checkRoot(const CertEntry& e, Replayed& r, const std::string& where) {
+    if (!e.parents.empty()) {
+      fail(where + ": root entries have no parents");
+      return;
+    }
+    if (e.depth != 0) {
+      fail(where + ": root entries have depth 0");
+      return;
+    }
+    if (e.source == ValueSource::kMeasured) {
+      r.fromMeasurement = true;
+      for (const CertObservation& o : cert_.observations) {
+        if (o.quantity != e.quantity) continue;
+        const auto ov = interval(o.value);
+        const auto oenv = envOf(o.env, where);
+        if (!ov || !oenv) continue;
+        if (maybeCrisp(*ov).approxEquals(r.value, options_.tolerance) &&
+            *oenv == r.env && near(e.degree, 1.0)) {
+          r.valid = true;
+          return;
+        }
+      }
+      fail(where + ": measured root matches no recorded observation");
+      return;
+    }
+    if (e.source == ValueSource::kNominal) {
+      for (const constraints::Model::Prediction& p :
+           built_.model.predictions()) {
+        if (built_.model.quantityInfo(p.quantity).name != e.quantity) {
+          continue;
+        }
+        if (maybeCrisp(p.value).approxEquals(r.value, options_.tolerance) &&
+            p.env == r.env && near(p.degree, e.degree)) {
+          r.valid = true;
+          return;
+        }
+      }
+      fail(where + ": nominal root matches no model prediction");
+      return;
+    }
+    fail(where + ": root entries must be measured or nominal");
+  }
+
+  void checkDerived(const CertEntry& e, Replayed& r,
+                    const std::string& where) {
+    const auto& constraints = built_.model.constraints();
+    if (e.constraintIndex < 0 ||
+        static_cast<std::size_t>(e.constraintIndex) >= constraints.size()) {
+      fail(where + ": constraint index out of range");
+      return;
+    }
+    const constraints::Constraint& c = *constraints[e.constraintIndex];
+    const auto& vars = c.variables();
+    if (e.parents.size() != vars.size()) {
+      fail(where + ": parent list not aligned with constraint '" + c.name() +
+           "' (" + std::to_string(e.parents.size()) + " slots, expected " +
+           std::to_string(vars.size()) + ")");
+      return;
+    }
+    std::size_t target = vars.size();
+    std::vector<FuzzyInterval> inputs(vars.size());
+    Environment env = c.validity();
+    double degree = c.degree();
+    int depth = 0;
+    bool fromMeasurement = false;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (e.parents[i] == kNoParent) {
+        if (target != vars.size()) {
+          fail(where + ": more than one solved-for slot");
+          return;
+        }
+        target = i;
+        continue;
+      }
+      const Replayed& p = replayed_[e.parents[i]];
+      if (!p.valid) {
+        fail(where + ": parent " + std::to_string(e.parents[i]) +
+             " did not replay");
+        return;
+      }
+      if (built_.model.quantityInfo(vars[i]).name !=
+          cert_.entries[e.parents[i]].quantity) {
+        fail(where + ": parent " + std::to_string(e.parents[i]) +
+             " is not a value of slot quantity '" +
+             built_.model.quantityInfo(vars[i]).name + "'");
+        return;
+      }
+      inputs[i] = p.value;
+      env = env.unionWith(p.env);
+      degree = std::min(degree, p.degree);
+      depth = std::max(depth, p.depth);
+      fromMeasurement = fromMeasurement || p.fromMeasurement;
+    }
+    if (target == vars.size()) {
+      fail(where + ": no solved-for slot");
+      return;
+    }
+    if (built_.model.quantityInfo(vars[target]).name != e.quantity) {
+      fail(where + ": solved-for slot is '" +
+           built_.model.quantityInfo(vars[target]).name +
+           "', entry claims '" + e.quantity + "'");
+      return;
+    }
+    std::optional<FuzzyInterval> derived;
+    try {
+      derived = c.solveFor(target, inputs);
+    } catch (const std::domain_error&) {
+      derived = std::nullopt;
+    }
+    if (!derived) {
+      fail(where + ": constraint '" + c.name() +
+           "' is unsolvable for the recorded parents");
+      return;
+    }
+    if (!maybeCrisp(*derived).approxEquals(r.value, options_.tolerance)) {
+      fail(where + ": value does not replay through '" + c.name() +
+           "' (recorded " + r.value.str() + ", replayed " +
+           maybeCrisp(*derived).str() + ")");
+      return;
+    }
+    if (!(env == r.env)) {
+      fail(where + ": environment is not the union of parent environments "
+                   "and the constraint validity");
+      return;
+    }
+    if (!near(degree, e.degree)) {
+      fail(where + ": degree is not the min over parents and constraint");
+      return;
+    }
+    if (e.depth != depth + 1) {
+      fail(where + ": depth is not max(parent depths) + 1");
+      return;
+    }
+    r.fromMeasurement = fromMeasurement;
+    r.valid = true;
+  }
+
+  void checkRefinement(const CertEntry& e, Replayed& r,
+                       const std::string& where) {
+    if (cert_.policy != ConflictPolicy::kCrisp) {
+      fail(where + ": refinement entries only arise under the crisp policy");
+      return;
+    }
+    if (e.parents.size() != 2 || e.parents[0] == kNoParent ||
+        e.parents[1] == kNoParent) {
+      fail(where + ": refinements have exactly two parents");
+      return;
+    }
+    const Replayed& a = replayed_[e.parents[0]];
+    const Replayed& b = replayed_[e.parents[1]];
+    if (!a.valid || !b.valid) {
+      fail(where + ": a parent did not replay");
+      return;
+    }
+    if (cert_.entries[e.parents[0]].quantity != e.quantity ||
+        cert_.entries[e.parents[1]].quantity != e.quantity) {
+      fail(where + ": refinement parents must share the entry's quantity");
+      return;
+    }
+    const fuzzy::Cut sa = a.value.support(), sb = b.value.support();
+    const fuzzy::Cut inter{std::max(sa.lo, sb.lo), std::min(sa.hi, sb.hi)};
+    if (inter.lo > inter.hi) {
+      fail(where + ": refinement of disjoint supports");
+      return;
+    }
+    if (!FuzzyInterval::crispInterval(inter.lo, inter.hi)
+             .approxEquals(r.value, options_.tolerance)) {
+      fail(where + ": value is not the support intersection of its parents");
+      return;
+    }
+    if (!(a.env.unionWith(b.env) == r.env)) {
+      fail(where + ": environment is not the union of the parents'");
+      return;
+    }
+    if (!near(std::min(a.degree, b.degree), e.degree)) {
+      fail(where + ": degree is not the min of the parents'");
+      return;
+    }
+    if (e.depth != std::max(a.depth, b.depth) + 1) {
+      fail(where + ": depth is not max(parent depths) + 1");
+      return;
+    }
+    r.fromMeasurement = a.fromMeasurement || b.fromMeasurement;
+    r.valid = true;
+  }
+
+  // --- nogoods --------------------------------------------------------------
+
+  void checkNogoods() {
+    for (std::size_t i = 0; i < cert_.nogoods.size(); ++i) {
+      const CertNogood& n = cert_.nogoods[i];
+      const std::string where = "nogood " + std::to_string(i) + " (" +
+                                n.quantity + ")";
+      ++result_.nogoodsChecked;
+      if (n.a >= replayed_.size() || n.b >= replayed_.size()) {
+        fail(where + ": entry reference out of range");
+        continue;
+      }
+      const Replayed& a = replayed_[n.a];
+      const Replayed& b = replayed_[n.b];
+      if (!a.valid || !b.valid) {
+        fail(where + ": a colliding entry did not replay");
+        continue;
+      }
+      if (cert_.entries[n.a].quantity != n.quantity ||
+          cert_.entries[n.b].quantity != n.quantity) {
+        fail(where + ": colliding entries are not values of the quantity");
+        continue;
+      }
+      const auto env = envOf(n.env, where);
+      if (!env) continue;
+      if (!(a.env.unionWith(b.env) == *env)) {
+        fail(where + ": environment is not the union of both supports");
+        continue;
+      }
+      double dc = 0.0, degree = 0.0;
+      if (cert_.policy == ConflictPolicy::kCrisp) {
+        if (a.value.supportsOverlap(b.value)) {
+          fail(where + ": crisp conflict but the supports overlap");
+          continue;
+        }
+        dc = 0.0;
+        degree = std::min({1.0, a.degree, b.degree});
+      } else {
+        // The paper's coincidence-resolution rule (§6.1.1), exactly as the
+        // engine applies it: the contained/containing case is a split, not
+        // a conflict; the measurement-rooted side is Vm; a tie evaluates
+        // both orders and keeps the worst; any pair involving a derived
+        // value is graded by Zadeh's compatibility instead of the area
+        // ratio alone.
+        if (a.value.subsetOf(b.value) || b.value.subsetOf(a.value)) {
+          fail(where + ": contained values are a split, never a conflict");
+          continue;
+        }
+        fuzzy::Consistency cons;
+        if (a.fromMeasurement != b.fromMeasurement) {
+          const Replayed& vm = a.fromMeasurement ? a : b;
+          const Replayed& vn = a.fromMeasurement ? b : a;
+          cons = fuzzy::degreeOfConsistency(vm.value, vn.value);
+        } else {
+          const fuzzy::Consistency ab =
+              fuzzy::degreeOfConsistency(a.value, b.value);
+          const fuzzy::Consistency ba =
+              fuzzy::degreeOfConsistency(b.value, a.value);
+          cons = ab.dc <= ba.dc ? ab : ba;
+        }
+        dc = cons.dc;
+        if (a.source == ValueSource::kDerived ||
+            b.source == ValueSource::kDerived) {
+          dc = std::max(dc, a.value.possibilityOfEquality(b.value));
+        }
+        degree = std::min({1.0 - dc, a.degree, b.degree});
+      }
+      if (!near(dc, n.dc)) {
+        std::ostringstream os;
+        os << where << ": Dc does not replay (recorded " << n.dc
+           << ", replayed " << dc << ")";
+        fail(os.str());
+        continue;
+      }
+      if (!near(degree, n.degree)) {
+        std::ostringstream os;
+        os << where << ": degree does not replay (recorded " << n.degree
+           << ", replayed " << degree << ")";
+        fail(os.str());
+        continue;
+      }
+    }
+  }
+
+  // --- candidates -----------------------------------------------------------
+
+  void checkCandidates() {
+    // Reconstruct the final nogood database by replaying the recorded
+    // insertion sequence through the subsumption rule (a re-implementation,
+    // not a call into atms::NogoodDb): an addition subsumed by an existing
+    // stronger-or-equal subset is dropped; otherwise it evicts everything
+    // it subsumes. The recorded `kept` flags must match.
+    struct Db {
+      Environment env;
+      double degree = 0.0;
+    };
+    std::vector<Db> db;
+    for (std::size_t i = 0; i < cert_.nogoods.size(); ++i) {
+      const CertNogood& n = cert_.nogoods[i];
+      const auto env = envOf(n.env, "nogood " + std::to_string(i));
+      if (!env) return;
+      const double degree = std::clamp(n.degree, 0.0, 1.0);
+      bool subsumed = false;
+      for (const Db& d : db) {
+        if (d.degree >= degree && d.env.isSubsetOf(*env)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed == n.kept) {
+        fail("nogood " + std::to_string(i) +
+             ": kept flag disagrees with the subsumption replay");
+        return;
+      }
+      if (subsumed) continue;
+      db.erase(std::remove_if(db.begin(), db.end(),
+                              [&](const Db& d) {
+                                return degree >= d.degree &&
+                                       env->isSubsetOf(d.env);
+                              }),
+               db.end());
+      db.push_back({*env, degree});
+    }
+
+    // The λ-cut minimal nogoods: strong enough, and no strict subset of
+    // them is also in the cut.
+    std::vector<Environment> minimal;
+    for (const Db& n : db) {
+      if (n.degree < cert_.lambda) continue;
+      bool dominated = false;
+      for (const Db& m : db) {
+        if (m.degree < cert_.lambda) continue;
+        if (&m != &n && m.env.isSubsetOf(n.env) && !(n.env == m.env)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) minimal.push_back(n.env);
+    }
+
+    for (std::size_t i = 0; i < cert_.candidates.size(); ++i) {
+      const CertCandidate& c = cert_.candidates[i];
+      const std::string where = "candidate " + std::to_string(i);
+      ++result_.candidatesChecked;
+      const auto members = envOf(c.members, where);
+      if (!members) continue;
+      if (members->size() != c.members.size()) {
+        fail(where + ": duplicate members");
+        continue;
+      }
+      if (c.members.empty()) {
+        fail(where + ": empty candidate");
+        continue;
+      }
+      if (cert_.maxCardinality != 0 &&
+          c.members.size() > cert_.maxCardinality) {
+        fail(where + ": exceeds the cardinality bound");
+        continue;
+      }
+      bool hits = true;
+      for (const Environment& m : minimal) {
+        if (!m.intersects(*members)) {
+          hits = false;
+          break;
+        }
+      }
+      if (!hits) {
+        fail(where + ": not a hitting set of the λ-cut minimal nogoods");
+        continue;
+      }
+      // Minimality witness: for every member there must be a nogood the
+      // candidate hits through that member alone.
+      for (const std::string& name : c.members) {
+        const auto id = built_.model.findAssumption(name);
+        Environment alone;
+        alone.insert(*id);
+        const Environment without = [&] {
+          std::vector<AssumptionId> rest;
+          for (const std::string& other : c.members) {
+            if (other != name) {
+              rest.push_back(*built_.model.findAssumption(other));
+            }
+          }
+          return Environment::fromIds(rest);
+        }();
+        bool witnessed = false;
+        for (const Environment& m : minimal) {
+          if (m.intersects(alone) && !m.intersects(without)) {
+            witnessed = true;
+            break;
+          }
+        }
+        if (!witnessed) {
+          fail(where + ": member '" + name +
+               "' has no witness nogood — the hitting set is not minimal");
+          break;
+        }
+      }
+    }
+  }
+
+  const Certificate& cert_;
+  const CheckOptions& options_;
+  constraints::BuiltModel built_;
+  std::vector<Replayed> replayed_;
+  CheckResult result_;
+};
+
+}  // namespace
+
+CheckResult checkCertificate(const circuit::Netlist& net,
+                             const Certificate& cert,
+                             const constraints::ModelBuildOptions& modelOptions,
+                             const CheckOptions& options) {
+  Checker checker(net, cert, modelOptions, options);
+  return checker.run();
+}
+
+}  // namespace flames::prov

@@ -1,0 +1,69 @@
+// Independent certificate replay (oracle invariant I10).
+//
+// checkCertificate() verifies a diagnosis certificate against a freshly
+// built model with *no engine code on the replay path*: it never touches
+// the Propagator, the Atms or the candidate generator. What it shares with
+// the engine is exactly the model semantics the certificate is *about* —
+// buildDiagnosticModel (deterministic: netlist + options -> the same
+// quantities, assumptions, constraints and predictions), Constraint::
+// solveFor for recomputing each derivation step, and the fuzzy primitives
+// (degreeOfConsistency, possibilityOfEquality) that define Dc. The
+// engine-side machinery being audited — queue scheduling, subsumption
+// erasure, entry caps, coincidence bookkeeping — is re-derived here from
+// first principles:
+//
+//   * every root entry must restate an observation or a model prediction;
+//   * every derived entry must equal solveFor over its recorded parents,
+//     with environment = union of parent environments + the constraint's
+//     validity, degree = min of parent degrees and the constraint degree,
+//     and depth = max parent depth + 1 (acyclic: parents have smaller ids);
+//   * every nogood must have env = the union of its two entries' supports
+//     and a Dc/degree that the checker reproduces from the paper's
+//     coincidence-resolution rule (§6.1.1, including the derived-value
+//     compatibility adjustment);
+//   * every candidate must be a *minimal* hitting set of the λ-cut minimal
+//     nogoods reconstructed from the certificate's nogood sequence (each
+//     member carries a witness nogood it alone hits).
+//
+// This is strictly stronger than the report-shape invariants I3/I5: those
+// check that nogoods and candidates are mutually consistent as printed,
+// I10 checks that they follow from the model and the observations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "prov/certificate.h"
+
+namespace flames::prov {
+
+struct CheckOptions {
+  /// Absolute tolerance for replayed values, degrees and Dc. The recorded
+  /// numbers come from the same double-precision arithmetic, so the slack
+  /// only needs to absorb the text round-trip (which is itself exact at 17
+  /// significant digits).
+  double tolerance = 1e-6;
+  /// Stop collecting after this many violations.
+  std::size_t maxViolations = 64;
+};
+
+struct CheckResult {
+  std::vector<std::string> violations;
+  std::size_t entriesChecked = 0;
+  std::size_t nogoodsChecked = 0;
+  std::size_t candidatesChecked = 0;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Replays `cert` against a model freshly built from `net`. `modelOptions`
+/// must match the build options of the recording run (the oracle and the
+/// CLIs pass their FlamesOptions::model through).
+[[nodiscard]] CheckResult checkCertificate(
+    const circuit::Netlist& net, const Certificate& cert,
+    const constraints::ModelBuildOptions& modelOptions = {},
+    const CheckOptions& options = {});
+
+}  // namespace flames::prov

@@ -1,0 +1,335 @@
+#include "prov/explain.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace flames::prov {
+
+namespace {
+
+using constraints::ProvEntry;
+using constraints::ProvEntryId;
+using constraints::ProvKind;
+using constraints::ProvNogood;
+using constraints::ProvenanceLog;
+using constraints::ValueSource;
+using diagnosis::DiagnosisProvenance;
+using diagnosis::DiagnosisReport;
+
+const char* sourceName(ValueSource s) {
+  switch (s) {
+    case ValueSource::kNominal: return "nominal";
+    case ValueSource::kMeasured: return "measured";
+    case ValueSource::kDerived: return "derived";
+  }
+  return "?";
+}
+
+void jsonEscape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Everything the renderers share: the target resolved to one of the two
+/// modes, the implicating nogoods (strongest first, capped), and per-nogood
+/// derivation chains (transitive ancestors of both colliding entries, in
+/// ascending id order — parents always precede children).
+struct Explanation {
+  std::string target;
+  bool isComponent = false;
+  const DiagnosisProvenance* prov = nullptr;
+  std::vector<std::size_t> nogoodIdx;            ///< into prov->log.nogoods()
+  std::vector<std::vector<ProvEntryId>> chains;  ///< parallel to nogoodIdx
+  std::size_t implicatingTotal = 0;  ///< before the maxNogoods cap
+};
+
+std::vector<ProvEntryId> chainOf(const ProvenanceLog& log, ProvEntryId a,
+                                 ProvEntryId b, std::size_t cap) {
+  std::set<ProvEntryId> seen;
+  std::vector<ProvEntryId> stack;
+  const auto push = [&](ProvEntryId id) {
+    if (id != constraints::kNoProvEntry && seen.insert(id).second) {
+      stack.push_back(id);
+    }
+  };
+  push(a);
+  push(b);
+  while (!stack.empty()) {
+    const ProvEntryId id = stack.back();
+    stack.pop_back();
+    const ProvEntry& e = log.entries()[id];
+    const ProvEntryId* parents = log.parentsData(e);
+    for (std::size_t i = 0; i < log.parentCount(e); ++i) push(parents[i]);
+  }
+  std::vector<ProvEntryId> chain(seen.begin(), seen.end());
+  if (chain.size() > cap) chain.resize(cap);
+  return chain;
+}
+
+Explanation resolve(const constraints::BuiltModel& built,
+                    const DiagnosisReport& report, const std::string& target,
+                    const ExplainOptions& options) {
+  if (!report.provenance) {
+    throw std::runtime_error(
+        "explain: the report carries no provenance — run the diagnosis with "
+        "recordProvenance (flames_cli/flames_batch --explain set it)");
+  }
+  Explanation ex;
+  ex.target = target;
+  ex.prov = report.provenance.get();
+  const ProvenanceLog& log = ex.prov->log;
+
+  const auto assumption = built.model.findAssumption(target);
+  const auto quantity = built.model.findQuantity(target);
+  if (assumption) {
+    ex.isComponent = true;
+  } else if (!quantity) {
+    throw std::invalid_argument("explain: '" + target +
+                                "' names neither a component assumption nor "
+                                "a quantity of this model");
+  }
+
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < log.nogoods().size(); ++i) {
+    const ProvNogood& n = log.nogoods()[i];
+    const bool implicates =
+        ex.isComponent
+            ? n.env.ids().end() != std::find(n.env.ids().begin(),
+                                             n.env.ids().end(), *assumption)
+            : n.quantity == *quantity;
+    if (implicates) idx.push_back(i);
+  }
+  ex.implicatingTotal = idx.size();
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return log.nogoods()[a].degree > log.nogoods()[b].degree;
+  });
+  if (idx.size() > options.maxNogoods) idx.resize(options.maxNogoods);
+  ex.nogoodIdx = std::move(idx);
+  for (const std::size_t i : ex.nogoodIdx) {
+    const ProvNogood& n = log.nogoods()[i];
+    ex.chains.push_back(chainOf(log, n.a, n.b, options.maxChainEntries));
+  }
+  return ex;
+}
+
+std::string constraintName(const constraints::BuiltModel& built, int idx) {
+  if (idx < 0 ||
+      static_cast<std::size_t>(idx) >= built.model.constraints().size()) {
+    return "";
+  }
+  return built.model.constraints()[idx]->name();
+}
+
+void renderEntryLine(std::ostream& os, const constraints::BuiltModel& built,
+                     const ProvenanceLog& log, ProvEntryId id) {
+  const ProvEntry& e = log.entries()[id];
+  os << "    #" << id << ' ' << built.model.quantityInfo(e.quantity).name
+     << ' ' << sourceName(e.source);
+  if (e.kind == ProvKind::kDerived) {
+    os << " via " << constraintName(built, e.constraintIndex);
+  } else if (e.kind == ProvKind::kRefinement) {
+    os << " by refinement";
+  }
+  os << " = " << e.value.str() << " degree " << e.degree << " depth "
+     << e.depth;
+  const auto parents = log.parentsOf(e);
+  bool any = false;
+  for (const ProvEntryId p : parents) {
+    if (p == constraints::kNoProvEntry) continue;
+    os << (any ? "," : " from #") << p;
+    any = true;
+  }
+  if (e.env.size() != 0) os << " env " << built.model.describe(e.env);
+  os << '\n';
+}
+
+}  // namespace
+
+std::string renderExplanation(const constraints::BuiltModel& built,
+                              const DiagnosisReport& report,
+                              const std::string& target,
+                              const ExplainOptions& options) {
+  const Explanation ex = resolve(built, report, target, options);
+  const ProvenanceLog& log = ex.prov->log;
+  std::ostringstream os;
+  os << std::setprecision(4);
+
+  if (ex.isComponent) {
+    os << "Explanation for component " << target << "\n";
+    const auto s = report.suspicion.find(target);
+    if (s != report.suspicion.end()) {
+      os << "  suspicion " << s->second << "\n";
+    }
+    bool anyCand = false;
+    for (const diagnosis::RankedCandidate& c : report.candidates) {
+      if (std::find(c.components.begin(), c.components.end(), target) ==
+          c.components.end()) {
+        continue;
+      }
+      if (!anyCand) os << "  candidate diagnoses containing it:\n";
+      anyCand = true;
+      os << "    {";
+      for (std::size_t i = 0; i < c.components.size(); ++i) {
+        os << (i ? "," : "") << c.components[i];
+      }
+      os << "} plausibility " << c.plausibility << "\n";
+    }
+    if (!anyCand) os << "  appears in no candidate diagnosis\n";
+  } else {
+    os << "Explanation for quantity " << target << "\n";
+    for (const diagnosis::MeasurementSummary& m : report.measurements) {
+      if (m.quantity != target) continue;
+      os << "  measured " << m.measured.str() << " vs nominal "
+         << m.nominal.str() << "  Dc " << m.signedDc << "\n";
+    }
+  }
+
+  if (ex.nogoodIdx.empty()) {
+    os << "  no recorded conflict "
+       << (ex.isComponent ? "implicates it" : "occurred here") << "\n";
+    return os.str();
+  }
+  os << "  " << (ex.isComponent ? "implicated by " : "conflicts here: ")
+     << ex.implicatingTotal << " recorded conflict(s)";
+  if (ex.implicatingTotal > ex.nogoodIdx.size()) {
+    os << " (showing the " << ex.nogoodIdx.size() << " strongest)";
+  }
+  os << "\n";
+
+  for (std::size_t k = 0; k < ex.nogoodIdx.size(); ++k) {
+    const ProvNogood& n = log.nogoods()[ex.nogoodIdx[k]];
+    os << "  conflict on " << built.model.quantityInfo(n.quantity).name
+       << ": Dc " << n.dc << " -> nogood degree " << n.degree << " against "
+       << built.model.describe(n.env)
+       << (n.kept ? "" : " (subsumed by a stronger conflict)") << "\n";
+    os << "    between #" << n.a << " and #" << n.b
+       << "; full derivation:\n";
+    for (const ProvEntryId id : ex.chains[k]) {
+      renderEntryLine(os, built, log, id);
+    }
+  }
+  return os.str();
+}
+
+std::string explanationJson(const constraints::BuiltModel& built,
+                            const DiagnosisReport& report,
+                            const std::string& target,
+                            const ExplainOptions& options) {
+  const Explanation ex = resolve(built, report, target, options);
+  const ProvenanceLog& log = ex.prov->log;
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"target\":\"";
+  jsonEscape(os, target);
+  os << "\",\"kind\":\"" << (ex.isComponent ? "component" : "quantity")
+     << "\"";
+  if (ex.isComponent) {
+    const auto s = report.suspicion.find(target);
+    if (s != report.suspicion.end()) {
+      os << ",\"suspicion\":" << s->second;
+    }
+    os << ",\"candidates\":[";
+    bool first = true;
+    for (const diagnosis::RankedCandidate& c : report.candidates) {
+      if (std::find(c.components.begin(), c.components.end(), target) ==
+          c.components.end()) {
+        continue;
+      }
+      if (!first) os << ',';
+      first = false;
+      os << "{\"members\":[";
+      for (std::size_t i = 0; i < c.components.size(); ++i) {
+        if (i) os << ',';
+        os << '"';
+        jsonEscape(os, c.components[i]);
+        os << '"';
+      }
+      os << "],\"plausibility\":" << c.plausibility << "}";
+    }
+    os << "]";
+  }
+
+  // Union of all rendered chains, each entry once.
+  std::set<ProvEntryId> entryIds;
+  for (const auto& chain : ex.chains) {
+    entryIds.insert(chain.begin(), chain.end());
+  }
+
+  os << ",\"nogoods\":[";
+  for (std::size_t k = 0; k < ex.nogoodIdx.size(); ++k) {
+    const ProvNogood& n = log.nogoods()[ex.nogoodIdx[k]];
+    if (k) os << ',';
+    os << "{\"quantity\":\"";
+    jsonEscape(os, built.model.quantityInfo(n.quantity).name);
+    os << "\",\"dc\":" << n.dc << ",\"degree\":" << n.degree
+       << ",\"kept\":" << (n.kept ? "true" : "false") << ",\"a\":" << n.a
+       << ",\"b\":" << n.b << ",\"env\":[";
+    const auto ids = n.env.ids();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i) os << ',';
+      os << '"';
+      jsonEscape(os, built.model.assumptionName(ids[i]));
+      os << '"';
+    }
+    os << "]}";
+  }
+  os << "],\"entries\":[";
+  bool firstEntry = true;
+  for (const ProvEntryId id : entryIds) {
+    const ProvEntry& e = log.entries()[id];
+    if (!firstEntry) os << ',';
+    firstEntry = false;
+    os << "{\"id\":" << id << ",\"quantity\":\"";
+    jsonEscape(os, built.model.quantityInfo(e.quantity).name);
+    os << "\",\"kind\":\"" << constraints::provKindName(e.kind)
+       << "\",\"source\":\"" << sourceName(e.source) << "\"";
+    const std::string cname = constraintName(built, e.constraintIndex);
+    if (!cname.empty()) {
+      os << ",\"constraint\":\"";
+      jsonEscape(os, cname);
+      os << "\"";
+    }
+    os << ",\"value\":[" << e.value.m1() << ',' << e.value.m2() << ','
+       << e.value.alpha() << ',' << e.value.beta()
+       << "],\"degree\":" << e.degree << ",\"depth\":" << e.depth
+       << ",\"parents\":[";
+    const auto parents = log.parentsOf(e);
+    bool anyParent = false;
+    for (const ProvEntryId p : parents) {
+      if (p == constraints::kNoProvEntry) continue;
+      if (anyParent) os << ',';
+      anyParent = true;
+      os << p;
+    }
+    os << "],\"env\":[";
+    const auto ids = e.env.ids();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i) os << ',';
+      os << '"';
+      jsonEscape(os, built.model.assumptionName(ids[i]));
+      os << '"';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace flames::prov

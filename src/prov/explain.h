@@ -1,0 +1,46 @@
+// Explanation rendering over recorded diagnosis provenance.
+//
+// Turns the raw derivation log (constraints/provenance.h, recorded when
+// FlamesOptions::recordProvenance is set) into the answer to "why does the
+// report accuse X?": which nogoods implicate the component (with the Dc
+// that condemned each coincidence), and the full constraint-application
+// chain behind each colliding value, back to the observations and nominal
+// predictions it was derived from.
+//
+// The target can be a component (assumption) name — the usual question —
+// or a quantity name ("V(out)"), which explains every value and conflict
+// recorded at that node instead. renderExplanation produces the human
+// report flames_cli --explain prints; explanationJson the machine form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "constraints/model_builder.h"
+#include "diagnosis/flames.h"
+
+namespace flames::prov {
+
+struct ExplainOptions {
+  /// Render at most this many implicating nogoods (strongest first).
+  std::size_t maxNogoods = 8;
+  /// Cap on derivation-chain entries rendered per nogood.
+  std::size_t maxChainEntries = 32;
+};
+
+/// Renders the explanation for `target` (a component/assumption name or a
+/// quantity name). Throws std::invalid_argument when the target names
+/// neither, and std::runtime_error when the report carries no provenance
+/// (recordProvenance was off).
+[[nodiscard]] std::string renderExplanation(
+    const constraints::BuiltModel& built,
+    const diagnosis::DiagnosisReport& report, const std::string& target,
+    const ExplainOptions& options = {});
+
+/// Same content as a JSON object (stable keys; see DESIGN.md §10).
+[[nodiscard]] std::string explanationJson(
+    const constraints::BuiltModel& built,
+    const diagnosis::DiagnosisReport& report, const std::string& target,
+    const ExplainOptions& options = {});
+
+}  // namespace flames::prov

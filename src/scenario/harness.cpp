@@ -1,5 +1,6 @@
 #include "scenario/harness.h"
 
+#include <fstream>
 #include <memory>
 #include <ostream>
 
@@ -62,8 +63,16 @@ HarnessResult runHarness(const HarnessOptions& options, std::ostream* log) {
     f.shrunk = s;
     f.violations = oracle.violations;
     if (options.shrinkFailures) {
-      const ShrinkResult sr = shrink(s, options.oracle, options.shrinkOptions);
-      f.shrunk = sr.scenario;
+      // A throwing shrink probe must not lose the failure: fall back to the
+      // unshrunk scenario so the repro file below is still written.
+      std::string shrinkError;
+      try {
+        const ShrinkResult sr = shrink(s, options.oracle, options.shrinkOptions);
+        f.shrunk = sr.scenario;
+      } catch (const std::exception& e) {
+        f.shrunk = s;
+        shrinkError = std::string("shrink threw: ") + e.what();
+      }
       // Re-evaluate so the recorded violations describe the *minimal* repro.
       try {
         f.violations = runOracle(f.shrunk, options.oracle, svc.get()).violations;
@@ -71,6 +80,7 @@ HarnessResult runHarness(const HarnessOptions& options, std::ostream* log) {
       } catch (const std::exception&) {
         f.violations = oracle.violations;
       }
+      if (!shrinkError.empty()) f.violations.push_back(std::move(shrinkError));
     }
     if (!options.reproDir.empty()) {
       f.reproPath = options.reproDir + "/repro_" +
@@ -82,11 +92,35 @@ HarnessResult runHarness(const HarnessOptions& options, std::ostream* log) {
         f.violations.push_back(std::string("repro write failed: ") + e.what());
         f.reproPath.clear();
       }
+      // On the service path the shared flight recorder has just replayed
+      // this failure (original run, shrink probes, re-evaluation): dump it
+      // next to the repro so a red CI night uploads the service's view of
+      // the failing jobs alongside the one-command reproduction.
+      if (svc != nullptr) {
+        const std::string dumpPath =
+            (f.reproPath.empty()
+                 ? options.reproDir + "/repro_" +
+                       std::to_string(options.seed) + "_" + std::to_string(i)
+                 : f.reproPath) +
+            ".flightrec";
+        try {
+          std::ofstream dump(dumpPath);
+          if (dump) {
+            dump << svc->dumpFlightRecorder();
+            f.flightDumpPath = dumpPath;
+          }
+        } catch (const std::exception&) {
+          // A failed dump must never mask the scenario failure itself.
+        }
+      }
     }
     if (log != nullptr) {
       *log << "  FAIL " << describe(f.shrunk) << "\n";
       for (const std::string& v : f.violations) *log << "       " << v << "\n";
       if (!f.reproPath.empty()) *log << "       repro: " << f.reproPath << "\n";
+      if (!f.flightDumpPath.empty()) {
+        *log << "       flight recorder: " << f.flightDumpPath << "\n";
+      }
     }
     result.failures.push_back(std::move(f));
   }

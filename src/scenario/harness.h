@@ -38,6 +38,10 @@ struct HarnessFailure {
   Scenario shrunk;             ///< minimal repro (== original if no shrink)
   std::vector<std::string> violations;
   std::string reproPath;       ///< written file, empty if none
+  /// Flight-recorder dump captured at failure time (service path only):
+  /// the shared service's recent-job ring, written next to the repro as
+  /// `<repro>.flightrec` so CI can upload both as one artifact.
+  std::string flightDumpPath;
 };
 
 struct HarnessResult {

@@ -9,6 +9,8 @@
 
 #include "constraints/model_builder.h"
 #include "lint/lint.h"
+#include "prov/certificate.h"
+#include "prov/check.h"
 #include "service/service.h"
 
 namespace flames::scenario {
@@ -197,6 +199,7 @@ OracleResult runOracle(const Scenario& s, const OracleOptions& options,
 
   diagnosis::FlamesOptions fopts = options.flames;
   fopts.measurementSpread = s.measurementSpread;
+  if (options.checkCertificates) fopts.recordProvenance = true;
 
   // Pre-propagation static analysis: derives the per-model entry cap and
   // produces the certificates I8/I9 are checked against. The analysis knobs
@@ -289,6 +292,33 @@ OracleResult runOracle(const Scenario& s, const OracleOptions& options,
           "I9: observed " + std::to_string(result.report.propagationSteps) +
           " propagation steps exceed the certified bound " +
           std::to_string(result.analysis->cost.stepBound));
+    }
+  }
+
+  // I10 — replay the run's certificate through the independent checker. The
+  // model is rebuilt from the netlist (deterministic) so the replay shares
+  // no state with the diagnosis that produced the log; both diagnosis paths
+  // fuzzify crisp probe readings identically (about(volts, spread)), so the
+  // certificate's observation list is reconstructed the same way.
+  if (options.checkCertificates && result.report.provenance) {
+    try {
+      std::vector<diagnosis::Observation> certObs;
+      for (const auto& r : readings) {
+        certObs.push_back(
+            service::crispMeasurement(r.node, r.volts, s.measurementSpread));
+      }
+      const constraints::BuiltModel built =
+          constraints::buildDiagnosticModel(net, fopts.model);
+      const prov::Certificate cert =
+          prov::buildCertificate(built, *result.report.provenance, certObs);
+      const prov::CheckResult check =
+          prov::checkCertificate(net, cert, fopts.model);
+      for (const std::string& v : check.violations) {
+        result.violations.push_back("I10: " + v);
+      }
+    } catch (const std::exception& e) {
+      result.violations.emplace_back(
+          std::string("I10: certificate replay threw: ") + e.what());
     }
   }
 

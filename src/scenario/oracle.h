@@ -22,6 +22,14 @@
 //       statically computed envelope
 //   I9  soundness of the cost model: the observed propagation step count
 //       never exceeds the certified step bound
+//   I10 certificate replay: the run's provenance log, cut into a
+//       certificate, replays clean through the independent checker
+//       (flames::prov::checkCertificate) — every derivation recomputed via
+//       the constraint's own solveFor, every nogood Dc via the fuzzy
+//       primitives, every candidate re-verified as a minimal hitting set.
+//       Strictly stronger than I3/I5: those check shape (degrees in range,
+//       coverage), I10 re-derives the values themselves with no engine
+//       code on the replay path.
 //
 // Culprit recovery: the faulted component must appear in some ranked
 // candidate; its rank (1-based index of the first containing candidate) and
@@ -31,7 +39,7 @@
 // used to demonstrate shrinking.
 //
 // Every violation message is prefixed with its class followed by ':' —
-// "I1".."I9", "bench" (synthesis failed), "analyze" (static analysis
+// "I1".."I10", "bench" (synthesis failed), "analyze" (static analysis
 // threw), "diagnose"/"service" (pipeline threw), "detect" (no discrepancy
 // raised), "recovery" (culprit absent), "rank" (requireRankAtMost
 // exceeded). The shrinker keys on these prefixes to reject reductions that
@@ -88,6 +96,9 @@ struct OracleOptions {
   /// Check the static-analysis soundness invariants I8 (value hulls inside
   /// envelopes) and I9 (steps within the certified bound).
   bool checkAnalysis = true;
+  /// Check invariant I10: force provenance recording on and replay the
+  /// run's certificate through the independent checker.
+  bool checkCertificates = true;
 };
 
 struct OracleResult {

@@ -1,0 +1,72 @@
+#include "service/flight_recorder.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace flames::service {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+void FlightRecorder::record(FlightRecord rec) {
+  if (capacity_ == 0) return;
+  util::MutexLock lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  ring_[next_] = std::move(rec);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  util::MutexLock lock(mutex_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  util::MutexLock lock(mutex_);
+  return total_;
+}
+
+std::string renderFlightRecords(const std::vector<FlightRecord>& records,
+                                std::uint64_t totalRecorded) {
+  std::ostringstream os;
+  os << "=== flames flight recorder: " << records.size() << " of "
+     << totalRecorded << " job(s) retained ===\n";
+  os << std::fixed << std::setprecision(3);
+  for (const FlightRecord& r : records) {
+    os << "job " << r.jobId << ' ' << r.event;
+    if (!r.error.empty()) os << " (" << r.error << ")";
+    os << " queue=" << static_cast<double>(r.queueNanos) / 1e6
+       << "ms run=" << static_cast<double>(r.runNanos) / 1e6 << "ms";
+    if (r.entryCapUsed != 0) {
+      os << " cap=" << r.entryCapUsed << (r.modelCacheHit ? " (cached)" : "");
+    }
+    if (r.provenanceSampled) {
+      os << " | prov: " << r.provEntries << " entries, " << r.provNogoods
+         << " nogoods";
+      if (r.provNogoods != 0) {
+        os << " (worst degree " << r.worstNogoodDegree << ")";
+      }
+      if (!r.candidates.empty()) {
+        os << ", candidates";
+        for (const std::string& c : r.candidates) os << ' ' << c;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace flames::service

@@ -1,0 +1,70 @@
+// Per-service flight recorder: the last N jobs' outcome + provenance
+// summaries in a bounded ring buffer.
+//
+// The service records one FlightRecord per resolved job (and one per
+// cost-gate rejection). Records are cheap — outcome, timings, and, for
+// jobs whose provenance was sampled, the counts and the hitting sets — so
+// the buffer can stay on in production. When a job ends anomalously
+// (failure, cancellation, deadline expiry, cost rejection) the service
+// renders the whole buffer through ServiceOptions::flightDumpSink, giving
+// the postmortem the context of what the workers were doing *around* the
+// anomaly, not just the anomaly itself. On-demand:
+// DiagnosisService::dumpFlightRecorder().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/thread_safety.h"
+
+namespace flames::service {
+
+/// One recorded job outcome.
+struct FlightRecord {
+  std::uint64_t jobId = 0;
+  /// Outcome: done | failed | cancelled | deadline_exceeded | cost_rejected.
+  std::string event;
+  std::string error;  ///< failure detail, if any
+  std::uint64_t queueNanos = 0;
+  std::uint64_t runNanos = 0;
+  bool modelCacheHit = false;
+  std::size_t entryCapUsed = 0;
+  /// Provenance summary — meaningful iff provenanceSampled.
+  bool provenanceSampled = false;
+  std::size_t provEntries = 0;
+  std::size_t provNogoods = 0;
+  double worstNogoodDegree = 0.0;
+  /// The λ-cut hitting sets, rendered "{R2,R3}".
+  std::vector<std::string> candidates;
+};
+
+/// Bounded, thread-safe ring buffer of FlightRecords. Capacity 0 disables
+/// recording entirely (record() returns immediately).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  void record(FlightRecord rec);
+
+  /// The retained records, oldest first.
+  [[nodiscard]] std::vector<FlightRecord> snapshot() const;
+
+  /// Total records ever offered (including those since overwritten).
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable util::Mutex mutex_;
+  std::vector<FlightRecord> ring_ FLAMES_GUARDED_BY(mutex_);
+  std::size_t next_ FLAMES_GUARDED_BY(mutex_) = 0;  ///< ring write cursor
+  std::uint64_t total_ FLAMES_GUARDED_BY(mutex_) = 0;
+};
+
+/// Human-readable dump, one line per record, oldest first.
+[[nodiscard]] std::string renderFlightRecords(
+    const std::vector<FlightRecord>& records, std::uint64_t totalRecorded);
+
+}  // namespace flames::service

@@ -81,6 +81,7 @@ std::string_view jobStatusName(JobStatus s) {
 DiagnosisService::DiagnosisService(ServiceOptions options)
     : options_(options),
       cache_(options.modelCacheCapacity),
+      recorder_(options.flightRecorderCapacity),
       experience_(options.learning) {
   std::size_t n = options_.workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
@@ -131,11 +132,20 @@ JobHandle DiagnosisService::submit(DiagnosisRequest request) {
             break;
           }
         }
+        FlightRecord rec;
+        rec.jobId = nextJobId_.fetch_add(1, std::memory_order_relaxed);
+        rec.event = "cost_rejected";
+        rec.error = message;
+        recorder_.record(std::move(rec));
+        if (options_.flightDumpSink) {
+          options_.flightDumpSink(dumpFlightRecorder());
+        }
         throw analyze::AnalysisError(message);
       }
     }
   }
   auto job = std::make_shared<Job>();
+  job->id_ = nextJobId_.fetch_add(1, std::memory_order_relaxed);
   job->request_ = std::move(request);
   job->future_ = job->promise_.get_future().share();
   {
@@ -238,9 +248,13 @@ void DiagnosisService::workerLoop() {
 }
 
 void DiagnosisService::runJob(Job& job) {
+  // Every span the job produces (propagation stages, cache compiles, ...)
+  // carries the job id, so a Chrome trace filters to one job's timeline.
+  obs::JobScope jobScope(job.id_);
   obs::Span span("service.job", "service");
   const auto pickup = std::chrono::steady_clock::now();
   JobResult result;
+  result.jobId = job.id_;
   result.queueNanos = nanosBetween(job.submitted_, pickup);
 
   const bool hasDeadline =
@@ -277,6 +291,12 @@ void DiagnosisService::runJob(Job& job) {
       }
     }
     result.entryCapUsed = opts.propagation.maxEntriesPerQuantity;
+    // Provenance sampling: every Nth job pays the recording cost so the
+    // flight recorder carries derivation summaries under sustained load.
+    if (options_.provenanceSampleEvery != 0 &&
+        job.id_ % options_.provenanceSampleEvery == 0) {
+      opts.recordProvenance = true;
+    }
     Job* jobPtr = &job;
     opts.propagation.cancelCheck = [jobPtr, deadlineExpired] {
       return jobPtr->cancelRequested() || deadlineExpired();
@@ -335,7 +355,42 @@ void DiagnosisService::finish(Job& job, JobResult result) {
   }
   hQueueNs().record(result.queueNanos);
   hRunNs().record(result.runNanos);
+
+  FlightRecord rec;
+  rec.jobId = job.id_;
+  rec.event = std::string(jobStatusName(result.status));
+  rec.error = result.error;
+  rec.queueNanos = result.queueNanos;
+  rec.runNanos = result.runNanos;
+  rec.modelCacheHit = result.modelCacheHit;
+  rec.entryCapUsed = result.entryCapUsed;
+  if (result.report.provenance) {
+    const diagnosis::DiagnosisProvenance& p = *result.report.provenance;
+    rec.provenanceSampled = true;
+    rec.provEntries = p.log.entries().size();
+    rec.provNogoods = p.log.nogoods().size();
+    for (const constraints::ProvNogood& n : p.log.nogoods()) {
+      rec.worstNogoodDegree = std::max(rec.worstNogoodDegree, n.degree);
+    }
+    for (const std::vector<std::string>& hs : p.hittingSets) {
+      std::string rendered = "{";
+      for (std::size_t i = 0; i < hs.size(); ++i) {
+        rendered += (i ? "," : "") + hs[i];
+      }
+      rec.candidates.push_back(rendered + "}");
+    }
+  }
+  const bool anomaly = result.status != JobStatus::kDone;
+  recorder_.record(std::move(rec));
+
   job.promise_.set_value(std::move(result));
+  if (anomaly && options_.flightDumpSink) {
+    options_.flightDumpSink(dumpFlightRecorder());
+  }
+}
+
+std::string DiagnosisService::dumpFlightRecorder() const {
+  return renderFlightRecords(recorder_.snapshot(), recorder_.recorded());
 }
 
 }  // namespace flames::service

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -32,6 +33,7 @@
 
 #include "diagnosis/flames.h"
 #include "diagnosis/learning.h"
+#include "service/flight_recorder.h"
 #include "service/model_cache.h"
 #include "util/thread_safety.h"
 
@@ -66,6 +68,9 @@ enum class JobStatus {
 
 struct JobResult {
   JobStatus status = JobStatus::kFailed;
+  /// Service-assigned id, correlating this result with the flight recorder
+  /// and with trace spans (Chrome trace "args.job").
+  std::uint64_t jobId = 0;
   diagnosis::DiagnosisReport report;  ///< meaningful iff status == kDone
   std::string error;                  ///< iff status == kFailed
   bool modelCacheHit = false;
@@ -95,9 +100,12 @@ class Job {
   [[nodiscard]] bool cancelRequested() const {
     return cancelled_.load(std::memory_order_relaxed);
   }
+  /// Service-assigned id (1, 2, ...), stable across the job's lifetime.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
 
  private:
   friend class DiagnosisService;
+  std::uint64_t id_ = 0;
   DiagnosisRequest request_;
   std::promise<JobResult> promise_;
   std::shared_future<JobResult> future_;
@@ -140,6 +148,21 @@ struct ServiceOptions {
   /// work fits the admission budget, tree-shaped ones keep the requested
   /// cap. Clamps count into "service.analyze.cap_clamped_total".
   bool applyDerivedEntryCap = true;
+  /// Flight-recorder ring capacity (recent job records retained for
+  /// postmortems); 0 disables the recorder.
+  std::size_t flightRecorderCapacity = 64;
+  /// Sample full derivation provenance on every Nth job (by job id) so the
+  /// flight recorder carries derivation summaries without paying the
+  /// recording cost on every job. 1 = every job, 0 = never. A request that
+  /// itself sets options.recordProvenance is always recorded.
+  std::uint64_t provenanceSampleEvery = 16;
+  /// Sink for automatic flight-recorder dumps, invoked with the rendered
+  /// buffer whenever a job resolves anomalously (failed, cancelled,
+  /// deadline exceeded) or a submission is rejected by the cost gate.
+  /// Null (default) disables automatic dumps; dumpFlightRecorder() always
+  /// works. Called from worker (or submitting) threads — keep it cheap and
+  /// thread-safe.
+  std::function<void(const std::string&)> flightDumpSink;
 };
 
 struct ServiceStats {
@@ -193,6 +216,14 @@ class DiagnosisService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] std::size_t workerCount() const { return workers_.size(); }
 
+  /// Renders the flight recorder's current contents (on-demand postmortem;
+  /// the automatic path goes through ServiceOptions::flightDumpSink).
+  [[nodiscard]] std::string dumpFlightRecorder() const;
+  /// The raw retained records, oldest first.
+  [[nodiscard]] std::vector<FlightRecord> flightRecords() const {
+    return recorder_.snapshot();
+  }
+
  private:
   void workerLoop();
   void runJob(Job& job);
@@ -200,6 +231,8 @@ class DiagnosisService {
 
   ServiceOptions options_;
   ModelCache cache_;
+  FlightRecorder recorder_;
+  std::atomic<std::uint64_t> nextJobId_{1};
 
   mutable util::Mutex queueMutex_;
   util::CondVar notEmpty_;

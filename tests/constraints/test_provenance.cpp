@@ -1,0 +1,168 @@
+// Structural tests for the propagator's provenance recording
+// (constraints/provenance.h): the log is off by default, and when attached
+// it records an acyclic, slot-aligned derivation forest whose roots are
+// exactly the measurements and nominal predictions entered.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+
+#include "circuit/catalog.h"
+#include "constraints/model_builder.h"
+#include "constraints/propagator.h"
+#include "workload/scenarios.h"
+
+namespace flames::constraints {
+namespace {
+
+struct RecordedRun {
+  BuiltModel built;
+  ProvenanceLog log;
+  std::size_t nogoodsInDb = 0;
+};
+
+RecordedRun recordedRun() {
+  RecordedRun r{buildDiagnosticModel(circuit::paperFig6ThreeStageAmp()), {}, 0};
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const auto readings = workload::simulateMeasurements(
+      net, {circuit::Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  PropagatorOptions opts;
+  opts.provenance = &r.log;
+  Propagator p(r.built.model, opts);
+  for (const auto& reading : readings) {
+    p.addMeasurement(r.built.voltage(reading.node),
+                     fuzzy::FuzzyInterval::about(reading.volts, 0.05));
+  }
+  p.run();
+  r.nogoodsInDb = p.nogoods().all().size();
+  return r;
+}
+
+TEST(Provenance, DisabledByDefault) {
+  const BuiltModel built =
+      buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  Propagator p(built.model);
+  p.addMeasurement(built.voltage("V1"), fuzzy::FuzzyInterval::about(18.0, 0.05));
+  p.run();
+  for (QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    for (const ValueEntry& e : p.values(q)) {
+      EXPECT_EQ(e.provId, kNoProvEntry);
+    }
+  }
+}
+
+TEST(Provenance, RecordsRootsAndDerivations) {
+  RecordedRun r = recordedRun();
+  ASSERT_FALSE(r.log.entries().empty());
+  std::size_t roots = 0, derived = 0;
+  for (const ProvEntry& e : r.log.entries()) {
+    if (e.kind == ProvKind::kRoot) {
+      ++roots;
+      EXPECT_EQ(r.log.parentCount(e), 0u);
+      EXPECT_EQ(e.depth, 0);
+      EXPECT_NE(e.source, ValueSource::kDerived);
+    } else {
+      ++derived;
+      EXPECT_GT(r.log.parentCount(e), 0u);
+      EXPECT_GT(e.depth, 0);
+    }
+  }
+  // 3 measurements plus at least the probed nominal predictions.
+  EXPECT_GE(roots, 3u);
+  EXPECT_GT(derived, 0u);
+}
+
+TEST(Provenance, ParentIdsPrecedeChildren) {
+  RecordedRun r = recordedRun();
+  for (std::size_t id = 0; id < r.log.entries().size(); ++id) {
+    const ProvEntry& e = r.log.entries()[id];
+    for (ProvEntryId parent : r.log.parentsOf(e)) {
+      if (parent == kNoProvEntry) continue;  // solved-for sentinel
+      EXPECT_LT(parent, id) << "entry " << id << " consumes a later entry";
+    }
+  }
+}
+
+TEST(Provenance, DerivedEntriesAreSlotAligned) {
+  RecordedRun r = recordedRun();
+  for (const ProvEntry& e : r.log.entries()) {
+    if (e.kind != ProvKind::kDerived) continue;
+    ASSERT_GE(e.constraintIndex, 0);
+    ASSERT_LT(static_cast<std::size_t>(e.constraintIndex),
+              r.built.model.constraints().size());
+    const auto& vars =
+        r.built.model.constraints()[static_cast<std::size_t>(
+                                        e.constraintIndex)]
+            ->variables();
+    ASSERT_EQ(r.log.parentCount(e), vars.size());
+    std::size_t sentinels = 0;
+    const ProvEntryId* parents = r.log.parentsData(e);
+    for (std::size_t slot = 0; slot < vars.size(); ++slot) {
+      if (parents[slot] == kNoProvEntry) {
+        ++sentinels;
+        // The solved-for slot is the entry's own quantity.
+        EXPECT_EQ(vars[slot], e.quantity);
+      } else {
+        // Every consumed parent carries the slot's quantity.
+        EXPECT_EQ(r.log.entries()[parents[slot]].quantity, vars[slot]);
+      }
+    }
+    EXPECT_EQ(sentinels, 1u);
+  }
+}
+
+TEST(Provenance, NogoodsReferenceRecordedEntries) {
+  RecordedRun r = recordedRun();
+  ASSERT_FALSE(r.log.nogoods().empty());
+  std::size_t kept = 0;
+  for (const ProvNogood& n : r.log.nogoods()) {
+    ASSERT_LT(n.a, r.log.entries().size());
+    ASSERT_LT(n.b, r.log.entries().size());
+    EXPECT_EQ(r.log.entries()[n.a].quantity, n.quantity);
+    EXPECT_EQ(r.log.entries()[n.b].quantity, n.quantity);
+    EXPECT_GE(n.dc, 0.0);
+    EXPECT_LE(n.dc, 1.0 + 1e-9);
+    EXPECT_GT(n.degree, 0.0);
+    EXPECT_LE(n.degree, 1.0);
+    if (n.kept) ++kept;
+  }
+  // Kept verdicts mirror the NogoodDb working set.
+  EXPECT_EQ(kept, r.nogoodsInDb);
+}
+
+TEST(Provenance, RecordingDoesNotChangeTheDiagnosis) {
+  const auto net = circuit::paperFig6ThreeStageAmp();
+  const BuiltModel built = buildDiagnosticModel(net);
+  const auto readings = workload::simulateMeasurements(
+      net, {circuit::Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+
+  auto run = [&](ProvenanceLog* log) {
+    PropagatorOptions opts;
+    opts.provenance = log;
+    Propagator p(built.model, opts);
+    for (const auto& reading : readings) {
+      p.addMeasurement(built.voltage(reading.node),
+                       fuzzy::FuzzyInterval::about(reading.volts, 0.05));
+    }
+    p.run();
+    std::set<std::pair<double, std::string>> nogoods;
+    for (const auto& n : p.nogoods().all()) {
+      nogoods.emplace(n.degree, n.env.str());
+    }
+    return nogoods;
+  };
+
+  ProvenanceLog log;
+  EXPECT_EQ(run(nullptr), run(&log));
+  EXPECT_FALSE(log.entries().empty());
+}
+
+TEST(Provenance, ClearEmptiesTheLog) {
+  RecordedRun r = recordedRun();
+  r.log.clear();
+  EXPECT_TRUE(r.log.entries().empty());
+  EXPECT_TRUE(r.log.nogoods().empty());
+}
+
+}  // namespace
+}  // namespace flames::constraints

@@ -1,0 +1,161 @@
+// Golden-schema tests for the obs exporters: the Chrome trace_event JSON
+// dialect (required keys, event phases, job tagging, monotone end
+// timestamps) and the metrics JSON snapshot. These pin the *shape* of the
+// output — the contract chrome://tracing, Perfetto and the bench tooling
+// consume — while letting the timing values vary run to run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace flames::obs {
+namespace {
+
+class ExportFormatTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    setTracing(true);
+  }
+  void TearDown() override {
+    setTracing(false);
+    Tracer::global().clear();
+  }
+};
+
+std::string traceJson() {
+  std::ostringstream os;
+  writeChromeTrace(os);
+  return os.str();
+}
+
+// Splits the trace into its event object lines (skipping the metadata
+// line); every event is rendered on one line.
+std::vector<std::string> eventLines(const std::string& json) {
+  std::vector<std::string> out;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("{\"name\":", 0) == 0 &&
+        line.find("\"ph\":\"M\"") == std::string::npos) {
+      out.push_back(line);
+    }
+  }
+  return out;
+}
+
+TEST_F(ExportFormatTest, TraceIsAJsonArrayWithProcessMetadata) {
+  { Span s("alpha"); }
+  const std::string json = traceJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  EXPECT_NE(json.find(R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("args":{"name":"flames"}})"), std::string::npos);
+}
+
+TEST_F(ExportFormatTest, EventsCarryTheRequiredKeysAndPhase) {
+  {
+    Span outer("diagnose");
+    Span inner("propagate");
+  }
+  const std::vector<std::string> events = eventLines(traceJson());
+  ASSERT_EQ(events.size(), 2u);
+  for (const std::string& e : events) {
+    for (const char* key :
+         {"\"name\":", "\"cat\":", "\"ph\":\"X\"", "\"pid\":1", "\"tid\":",
+          "\"ts\":", "\"dur\":", "\"args\":{\"depth\":"}) {
+      EXPECT_NE(e.find(key), std::string::npos) << key << " missing in " << e;
+    }
+  }
+  // Spans record on destruction: the inner span ends first.
+  EXPECT_NE(events[0].find("\"name\":\"propagate\""), std::string::npos);
+  EXPECT_NE(events[1].find("\"name\":\"diagnose\""), std::string::npos);
+}
+
+TEST_F(ExportFormatTest, EndTimestampsAreMonotone) {
+  for (int i = 0; i < 4; ++i) {
+    Span a("stage");
+    Span b("substage");
+  }
+  double prevEnd = 0.0;
+  for (const std::string& e : eventLines(traceJson())) {
+    double ts = 0.0, dur = 0.0;
+    ASSERT_EQ(std::sscanf(e.c_str() + e.find("\"ts\":"), "\"ts\":%lf", &ts),
+              1);
+    ASSERT_EQ(
+        std::sscanf(e.c_str() + e.find("\"dur\":"), "\"dur\":%lf", &dur), 1);
+    const double end = ts + dur;
+    EXPECT_GE(end + 1e-6, prevEnd)
+        << "events must be recorded in completion order";
+    prevEnd = end;
+  }
+}
+
+TEST_F(ExportFormatTest, JobScopeTagsSpansWithTheJobId) {
+  {
+    JobScope job(17);
+    Span tagged("inside-job");
+  }
+  { Span untagged("outside-job"); }
+  const std::vector<std::string> events = eventLines(traceJson());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].find("\"job\":17"), std::string::npos);
+  EXPECT_EQ(events[1].find("\"job\":"), std::string::npos)
+      << "spans outside a JobScope must not carry a job key";
+}
+
+TEST_F(ExportFormatTest, JobScopesNestInnermostWins) {
+  EXPECT_EQ(JobScope::current(), 0u);
+  {
+    JobScope outer(3);
+    EXPECT_EQ(JobScope::current(), 3u);
+    {
+      JobScope inner(4);
+      EXPECT_EQ(JobScope::current(), 4u);
+      Span s("inner-span");
+    }
+    EXPECT_EQ(JobScope::current(), 3u);
+  }
+  EXPECT_EQ(JobScope::current(), 0u);
+  const std::vector<std::string> events = eventLines(traceJson());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"job\":4"), std::string::npos);
+}
+
+TEST_F(ExportFormatTest, NamesAreJsonEscaped) {
+  { Span s("weird \"name\"\twith\nescapes"); }
+  const std::string json = traceJson();
+  EXPECT_NE(json.find(R"(weird \"name\"\twith\nescapes)"), std::string::npos);
+}
+
+TEST(MetricsJson, SnapshotHasTheDocumentedShape) {
+  Registry& reg = Registry::global();
+  reg.resetAll();
+  setEnabled(true);
+  reg.counter("test.export.alpha").add(3);
+  reg.counter("test.export.alpha").add(2);
+  reg.histogram("test.export.lat").record(10);
+  reg.histogram("test.export.lat").record(30);
+  setEnabled(false);
+
+  const std::string json = renderMetricsJson(reg);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.alpha\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.lat\":{\"count\":2,\"sum\":40,"
+                      "\"min\":10,\"mean\":20,\"max\":30}"),
+            std::string::npos);
+  reg.resetAll();
+}
+
+}  // namespace
+}  // namespace flames::obs

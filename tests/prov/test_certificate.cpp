@@ -1,0 +1,135 @@
+// Certificate build + text round-trip tests (prov/certificate.h): cutting a
+// certificate from a recorded Fig. 6 diagnosis, rendering it to the
+// line-based text format and parsing it back must be lossless, and the
+// parser must reject malformed input with a line number.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuit/catalog.h"
+#include "diagnosis/flames.h"
+#include "prov/certificate.h"
+#include "workload/scenarios.h"
+
+namespace flames::prov {
+namespace {
+
+struct RecordedDiagnosis {
+  diagnosis::DiagnosisReport report;
+  Certificate cert;
+};
+
+RecordedDiagnosis shortR2Diagnosis() {
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto readings = workload::simulateMeasurements(
+      net, {circuit::Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  diagnosis::FlamesOptions opts;
+  opts.recordProvenance = true;
+  diagnosis::FlamesEngine engine(net, opts);
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  RecordedDiagnosis out;
+  out.report = engine.diagnose();
+  out.cert = buildCertificate(engine.builtModel(), *out.report.provenance,
+                              engine.observations());
+  return out;
+}
+
+TEST(Certificate, BuildCutsTheWholeLog) {
+  const RecordedDiagnosis d = shortR2Diagnosis();
+  ASSERT_TRUE(d.report.provenance);
+  EXPECT_EQ(d.cert.entries.size(), d.report.provenance->log.entries().size());
+  EXPECT_EQ(d.cert.nogoods.size(), d.report.provenance->log.nogoods().size());
+  EXPECT_EQ(d.cert.candidates.size(), d.report.provenance->hittingSets.size());
+  EXPECT_EQ(d.cert.observations.size(), 3u);
+  EXPECT_EQ(d.cert.lambda, d.report.provenance->lambda);
+  EXPECT_EQ(d.cert.maxCardinality, d.report.provenance->maxCardinality);
+}
+
+TEST(Certificate, TextRoundTripIsLossless) {
+  const Certificate cert = shortR2Diagnosis().cert;
+  const std::string text = renderCertificate(cert);
+  const Certificate back = parseCertificate(text);
+
+  EXPECT_EQ(back.version, cert.version);
+  EXPECT_EQ(back.policy, cert.policy);
+  EXPECT_EQ(back.crispify, cert.crispify);
+  EXPECT_EQ(back.lambda, cert.lambda);
+  EXPECT_EQ(back.maxCardinality, cert.maxCardinality);
+
+  ASSERT_EQ(back.entries.size(), cert.entries.size());
+  for (std::size_t i = 0; i < cert.entries.size(); ++i) {
+    const CertEntry& a = cert.entries[i];
+    const CertEntry& b = back.entries[i];
+    EXPECT_EQ(b.id, a.id);
+    EXPECT_EQ(b.quantity, a.quantity);
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.source, a.source);
+    EXPECT_EQ(b.constraintIndex, a.constraintIndex);
+    // setprecision(17) makes the doubles round-trip exactly.
+    EXPECT_EQ(b.value.m1, a.value.m1);
+    EXPECT_EQ(b.value.m2, a.value.m2);
+    EXPECT_EQ(b.value.alpha, a.value.alpha);
+    EXPECT_EQ(b.value.beta, a.value.beta);
+    EXPECT_EQ(b.env, a.env);
+    EXPECT_EQ(b.degree, a.degree);
+    EXPECT_EQ(b.depth, a.depth);
+    EXPECT_EQ(b.parents, a.parents);
+  }
+
+  ASSERT_EQ(back.nogoods.size(), cert.nogoods.size());
+  for (std::size_t i = 0; i < cert.nogoods.size(); ++i) {
+    const CertNogood& a = cert.nogoods[i];
+    const CertNogood& b = back.nogoods[i];
+    EXPECT_EQ(b.quantity, a.quantity);
+    EXPECT_EQ(b.a, a.a);
+    EXPECT_EQ(b.b, a.b);
+    EXPECT_EQ(b.dc, a.dc);
+    EXPECT_EQ(b.degree, a.degree);
+    EXPECT_EQ(b.kept, a.kept);
+    EXPECT_EQ(b.env, a.env);
+  }
+
+  ASSERT_EQ(back.candidates.size(), cert.candidates.size());
+  for (std::size_t i = 0; i < cert.candidates.size(); ++i) {
+    EXPECT_EQ(back.candidates[i].members, cert.candidates[i].members);
+  }
+
+  ASSERT_EQ(back.observations.size(), cert.observations.size());
+  for (std::size_t i = 0; i < cert.observations.size(); ++i) {
+    EXPECT_EQ(back.observations[i].quantity, cert.observations[i].quantity);
+    EXPECT_EQ(back.observations[i].value.m1, cert.observations[i].value.m1);
+    EXPECT_EQ(back.observations[i].env, cert.observations[i].env);
+  }
+
+  // Render of the parse reproduces the text byte-for-byte.
+  EXPECT_EQ(renderCertificate(back), text);
+}
+
+TEST(Certificate, FileRoundTrip) {
+  const Certificate cert = shortR2Diagnosis().cert;
+  const std::string path =
+      testing::TempDir() + "/flames_cert_roundtrip.txt";
+  writeCertificateFile(path, cert);
+  const Certificate back = loadCertificateFile(path);
+  EXPECT_EQ(renderCertificate(back), renderCertificate(cert));
+}
+
+TEST(Certificate, ParseRejectsMissingHeader) {
+  EXPECT_THROW((void)parseCertificate("policy fuzzy\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Certificate, ParseRejectsTruncatedFile) {
+  std::string text = renderCertificate(shortR2Diagnosis().cert);
+  text.resize(text.rfind("end"));
+  EXPECT_THROW((void)parseCertificate(text), std::runtime_error);
+}
+
+TEST(Certificate, ParseRejectsMalformedRecord) {
+  EXPECT_THROW(
+      (void)parseCertificate("flames-certificate v1\nnogood oops\nend\n"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flames::prov

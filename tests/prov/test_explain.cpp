@@ -1,0 +1,116 @@
+// Explanation renderer tests (prov/explain.h), including a golden snapshot
+// of the Fig. 6 / Fig. 7 "short circuit on R2" explanation — the walkthrough
+// README.md reproduces. Update intentionally-changed goldens with
+//
+//   FLAMES_UPDATE_GOLDEN=1 ctest --test-dir build -R Explain
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/catalog.h"
+#include "diagnosis/flames.h"
+#include "prov/explain.h"
+#include "workload/scenarios.h"
+
+#ifndef FLAMES_PROV_GOLDEN_DIR
+#error "FLAMES_PROV_GOLDEN_DIR must point at tests/prov/golden"
+#endif
+
+namespace flames::prov {
+namespace {
+
+diagnosis::FlamesEngine& engineShortR2() {
+  static diagnosis::FlamesEngine* engine = [] {
+    const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+    const auto readings = workload::simulateMeasurements(
+        net, {circuit::Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+    diagnosis::FlamesOptions opts;
+    opts.recordProvenance = true;
+    auto* e = new diagnosis::FlamesEngine(net, opts);
+    for (const auto& r : readings) e->measure(r.node, r.volts);
+    return e;
+  }();
+  return *engine;
+}
+
+const diagnosis::DiagnosisReport& reportShortR2() {
+  static const diagnosis::DiagnosisReport report = engineShortR2().diagnose();
+  return report;
+}
+
+void compareGolden(const std::string& name, const std::string& actual) {
+  const std::string path =
+      std::string(FLAMES_PROV_GOLDEN_DIR) + "/" + name + ".txt";
+  if (std::getenv("FLAMES_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << path << " missing - run with FLAMES_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "explanation drifted from " << path
+      << "; if intentional, re-run with FLAMES_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+TEST(Explain, GoldenShortR2Component) {
+  compareGolden("explain_short_r2",
+                renderExplanation(engineShortR2().builtModel(),
+                                  reportShortR2(), "R2"));
+}
+
+TEST(Explain, ComponentExplanationNamesTheEvidence) {
+  const std::string text = renderExplanation(engineShortR2().builtModel(),
+                                             reportShortR2(), "R2");
+  // The narrative must name the target, at least one conflict with its Dc,
+  // and at least one constraint application in the derivation chain.
+  EXPECT_NE(text.find("R2"), std::string::npos);
+  EXPECT_NE(text.find("Dc"), std::string::npos);
+  EXPECT_NE(text.find("nogood degree"), std::string::npos);
+  EXPECT_NE(text.find("via ohm(R2)"), std::string::npos);
+}
+
+TEST(Explain, QuantityTargetSelectsConflictsThere) {
+  const std::string text = renderExplanation(engineShortR2().builtModel(),
+                                             reportShortR2(), "V(V1)");
+  EXPECT_NE(text.find("V(V1)"), std::string::npos);
+  EXPECT_NE(text.find("conflict"), std::string::npos);
+}
+
+TEST(Explain, JsonCarriesTheSameStructure) {
+  const std::string json = explanationJson(engineShortR2().builtModel(),
+                                           reportShortR2(), "R2");
+  EXPECT_NE(json.find("\"target\":\"R2\""), std::string::npos);
+  EXPECT_NE(json.find("\"nogoods\""), std::string::npos);
+  EXPECT_NE(json.find("\"entries\""), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\""), std::string::npos);
+}
+
+TEST(Explain, UnknownTargetThrows) {
+  EXPECT_THROW((void)renderExplanation(engineShortR2().builtModel(),
+                                       reportShortR2(), "R99"),
+               std::invalid_argument);
+}
+
+TEST(Explain, MissingProvenanceThrows) {
+  const circuit::Netlist net = circuit::paperFig6ThreeStageAmp();
+  const auto readings = workload::simulateMeasurements(
+      net, {circuit::Fault::shortCircuit("R2")}, {"V1", "V2", "Vs"});
+  diagnosis::FlamesEngine engine(net);  // recordProvenance off
+  for (const auto& r : readings) engine.measure(r.node, r.volts);
+  const diagnosis::DiagnosisReport report = engine.diagnose();
+  EXPECT_THROW(
+      (void)renderExplanation(engine.builtModel(), report, "R2"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flames::prov

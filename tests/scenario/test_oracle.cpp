@@ -205,6 +205,26 @@ TEST(Oracle, AnalysisCanBeTurnedOffEntirely) {
   EXPECT_TRUE(r.passed());
 }
 
+TEST(Oracle, I10RecordsProvenanceAndReplaysTheCertificate) {
+  const Scenario s = sampleScenario(1);
+  const OracleResult r = runOracle(s);  // checkCertificates defaults on
+  EXPECT_TRUE(r.passed()) << (r.violations.empty() ? ""
+                                                   : r.violations.front());
+  ASSERT_TRUE(r.report.provenance != nullptr)
+      << "I10 must force provenance recording on";
+  EXPECT_FALSE(r.report.provenance->log.entries().empty());
+}
+
+TEST(Oracle, I10CanBeTurnedOff) {
+  const Scenario s = sampleScenario(1);
+  OracleOptions off;
+  off.checkCertificates = false;
+  const OracleResult r = runOracle(s, off);
+  EXPECT_TRUE(r.passed());
+  EXPECT_TRUE(r.report.provenance == nullptr)
+      << "without I10 the oracle must not pay for recording";
+}
+
 TEST(Oracle, UnbuildableScenarioIsAViolationNotACrash) {
   Scenario s = sampleScenario(1);
   s.fault.component = "R_missing";
