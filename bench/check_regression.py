@@ -2,22 +2,30 @@
 """Compares a bench run against the committed baseline and flags regressions.
 
 Usage: bench/check_regression.py [--baseline=FILE] [--threshold=PCT]
-                                 [--github] current.json
+                                 [--tolerances=FILE] [--github] current.json
 
 Both files are the merged format written by bench/run_benchmarks.sh:
 a map of bench binary name -> that run's full Google Benchmark JSON
 document. Benchmarks are matched by (binary, benchmark name); only
 `iteration` runs are compared, on cpu_time. A benchmark regresses when
-its cpu_time grows by more than --threshold percent (default 10) over
-the baseline; new and vanished benchmarks are reported but never fail
-the check.
+its cpu_time grows by more than the suite's threshold percent over the
+baseline; new and vanished benchmarks are reported but never fail the
+check.
 
-With --github, regressions are also emitted as ::warning workflow
-annotations and a markdown table is appended to $GITHUB_STEP_SUMMARY
-when set. Exit status: 0 = no regressions, 1 = at least one, 2 = usage
-or unreadable input. Single-machine noise easily exceeds a few percent,
-so CI runs this as a non-blocking annotating job — the gate is a
-tripwire for order-of-magnitude mistakes, not a microbenchmark referee.
+Thresholds come from --tolerances, a JSON file mapping bench binary
+names to {"threshold": PCT, "blocking": bool} under "suites", with a
+"default" entry for everything unlisted (see bench/tolerances.json).
+Only regressions in *blocking* suites fail the check (exit 1); the rest
+annotate. Without --tolerances every suite uses --threshold (default
+10) and every regression blocks — the pre-tolerance behaviour.
+
+With --github, regressions are also emitted as workflow annotations
+(::error for blocking suites, ::warning otherwise) and a markdown table
+is appended to $GITHUB_STEP_SUMMARY when set. Exit status: 0 = no
+blocking regression, 1 = at least one, 2 = usage or unreadable input.
+The stable propagation/lint/analyze suites have low enough variance to
+gate; the rest stay advisory tripwires for order-of-magnitude mistakes,
+not microbenchmark referees.
 """
 
 import argparse
@@ -58,12 +66,27 @@ def flatten(doc):
     return out
 
 
+def suite_policy(tolerances, binary, fallback_threshold):
+    """(threshold_pct, blocking) for one bench binary."""
+    if tolerances is None:
+        return fallback_threshold, True
+    default = tolerances.get("default", {})
+    suite = tolerances.get("suites", {}).get(binary, default)
+    return (float(suite.get("threshold",
+                            default.get("threshold", fallback_threshold))),
+            bool(suite.get("blocking", default.get("blocking", False))))
+
+
 def main():
     ap = argparse.ArgumentParser(add_help=True)
     ap.add_argument("--baseline", default=None,
                     help="baseline JSON (default: newest committed BENCH_*.json)")
     ap.add_argument("--threshold", type=float, default=10.0,
-                    help="regression threshold in percent (default 10)")
+                    help="fallback threshold in percent when no tolerance "
+                         "file is given (default 10)")
+    ap.add_argument("--tolerances", default=None,
+                    help="per-suite tolerance JSON (bench/tolerances.json); "
+                         "only blocking suites fail the check")
     ap.add_argument("--github", action="store_true",
                     help="emit GitHub workflow annotations and a step summary")
     ap.add_argument("current", help="bench JSON to check")
@@ -74,55 +97,64 @@ def main():
         print("error: no BENCH_*.json baseline found", file=sys.stderr)
         sys.exit(2)
 
+    tolerances = load(args.tolerances) if args.tolerances else None
     base = flatten(load(baseline_path))
     cur = flatten(load(args.current))
 
-    rows = []       # (binary, name, base_ns, cur_ns, delta_pct)
-    regressions = []
+    rows = []        # (binary, name, base_ns, cur_ns, delta_pct, threshold)
+    regressions = [] # same + blocking flag
     for key in sorted(set(base) & set(cur)):
         b, c = base[key], cur[key]
         delta = (c - b) / b * 100.0 if b > 0 else 0.0
-        rows.append((*key, b, c, delta))
-        if delta > args.threshold:
-            regressions.append((*key, b, c, delta))
+        threshold, blocking = suite_policy(tolerances, key[0], args.threshold)
+        rows.append((*key, b, c, delta, threshold))
+        if delta > threshold:
+            regressions.append((*key, b, c, delta, threshold, blocking))
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
 
     print(f"baseline: {baseline_path} ({len(base)} benchmarks)")
     print(f"current:  {args.current} ({len(cur)} benchmarks)")
-    print(f"compared: {len(rows)}, threshold: +{args.threshold:g}%")
-    for binary, name, b, c, delta in rows:
-        mark = "REGRESSED" if delta > args.threshold else "ok"
+    print(f"compared: {len(rows)}"
+          + (f", tolerances: {args.tolerances}" if tolerances is not None
+             else f", threshold: +{args.threshold:g}%"))
+    for binary, name, b, c, delta, threshold in rows:
+        mark = "REGRESSED" if delta > threshold else "ok"
         print(f"  {mark:9s} {binary}:{name}  {b:.0f}ns -> {c:.0f}ns "
-              f"({delta:+.1f}%)")
+              f"({delta:+.1f}% vs +{threshold:g}%)")
     for key in only_base:
         print(f"  vanished  {key[0]}:{key[1]} (baseline only)")
     for key in only_cur:
         print(f"  new       {key[0]}:{key[1]} (not in baseline)")
 
+    blocking_hits = [r for r in regressions if r[6]]
     if args.github:
-        for binary, name, b, c, delta in regressions:
-            print(f"::warning title=bench regression::{binary}:{name} "
+        for binary, name, b, c, delta, threshold, blocking in regressions:
+            level = "error" if blocking else "warning"
+            print(f"::{level} title=bench regression::{binary}:{name} "
                   f"cpu_time {b:.0f}ns -> {c:.0f}ns ({delta:+.1f}% "
-                  f"> +{args.threshold:g}%)")
+                  f"> +{threshold:g}%)")
         summary = os.environ.get("GITHUB_STEP_SUMMARY")
         if summary:
             with open(summary, "a", encoding="utf-8") as f:
-                f.write(f"### Bench regression check (+{args.threshold:g}% "
-                        f"threshold)\n\n")
+                f.write("### Bench regression check\n\n")
                 if regressions:
-                    f.write("| benchmark | baseline | current | delta |\n"
-                            "|---|---|---|---|\n")
-                    for binary, name, b, c, delta in regressions:
+                    f.write("| benchmark | baseline | current | delta "
+                            "| gate |\n|---|---|---|---|---|\n")
+                    for (binary, name, b, c, delta, threshold,
+                         blocking) in regressions:
                         f.write(f"| `{binary}:{name}` | {b:.0f}ns | {c:.0f}ns "
-                                f"| {delta:+.1f}% |\n")
+                                f"| {delta:+.1f}% (>+{threshold:g}%) "
+                                f"| {'blocking' if blocking else 'advisory'} "
+                                f"|\n")
                 else:
                     f.write(f"No regressions across {len(rows)} compared "
                             f"benchmarks.\n")
 
     if regressions:
-        print(f"{len(regressions)} regression(s) beyond +{args.threshold:g}%")
-        return 1
+        print(f"{len(regressions)} regression(s), "
+              f"{len(blocking_hits)} in blocking suites")
+        return 1 if blocking_hits else 0
     print("no regressions")
     return 0
 

@@ -24,6 +24,17 @@
 // probe readings it produces. All items share one netlist, so after the
 // first job compiles the diagnostic model every later job should hit the
 // cache — the printed hit/miss counters verify that.
+//
+// --kb-dir=<dir> backs the service's experience base with a durable
+// flames::kb store (WAL + snapshot) in <dir>, so rules confirmed by this
+// instance survive the process and merge across the fleet;
+// --kb-origin=<id> names a freshly created store (merging instances need
+// distinct origins — an existing dir keeps its recorded identity).
+// --kb-merge=<peer-dir> (repeatable) joins peer stores before the stream;
+// --kb-confirm records each detected fault's injected culprit back into
+// the store as a confirmed diagnosis (the generator knows the truth, so
+// the batch driver can close the learning loop); --kb-stats prints the
+// store counters after the stream drains.
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
@@ -35,7 +46,9 @@
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "circuit/fault.h"
 #include "constraints/model_builder.h"
+#include "kb/store.h"
 #include "lint/lint.h"
 #include "obs/obs.h"
 #include "prov/explain.h"
@@ -59,6 +72,11 @@ struct Args {
   bool analyze = false;
   bool werror = false;
   std::string explain;
+  std::string kbDir;                 ///< durable experience store; empty = off
+  std::string kbOrigin = "batch";    ///< identity for a *fresh* store dir
+  std::vector<std::string> kbMerge;  ///< peer store dirs to join first
+  bool kbStats = false;
+  bool kbConfirm = false;  ///< confirm injected culprits into the store
 };
 
 bool parseSize(const std::string& arg, const std::string& key,
@@ -99,12 +117,23 @@ Args parseArgs(int argc, char** argv) {
         std::cerr << "flames_batch: --explain needs a component name\n";
         std::exit(2);
       }
+    } else if (arg.rfind("--kb-dir=", 0) == 0) {
+      a.kbDir = arg.substr(9);
+    } else if (arg.rfind("--kb-origin=", 0) == 0) {
+      a.kbOrigin = arg.substr(12);
+    } else if (arg.rfind("--kb-merge=", 0) == 0) {
+      a.kbMerge.push_back(arg.substr(11));
+    } else if (arg == "--kb-stats") {
+      a.kbStats = true;
+    } else if (arg == "--kb-confirm") {
+      a.kbConfirm = true;
     } else {
       std::cerr << "flames_batch: unknown argument " << arg << "\n"
                 << "usage: flames_batch [--workers=N] [--jobs=N] "
                    "[--sections=N] [--seed=N] [--noise=V] [--deadline-ms=N] "
                    "[--obs] [--lint] [--analyze] [--Werror] "
-                   "[--explain=COMPONENT]\n";
+                   "[--explain=COMPONENT] [--kb-dir=DIR] [--kb-origin=ID] "
+                   "[--kb-merge=PEER-DIR] [--kb-confirm] [--kb-stats]\n";
       std::exit(2);
     }
   }
@@ -131,7 +160,9 @@ int main(int argc, char** argv) {
   const auto traffic =
       workload::synthesizeTraffic(*net, probes, args.jobs, args.seed,
                                   args.noise);
-  if (traffic.empty()) {
+  // --jobs=0 is KB maintenance mode: open the store, run the merges,
+  // print the stats — submit nothing.
+  if (traffic.empty() && args.jobs > 0) {
     std::cerr << "flames_batch: no convergent scenarios sampled\n";
     return 1;
   }
@@ -166,7 +197,28 @@ int main(int argc, char** argv) {
 
   service::ServiceOptions sopts;
   sopts.workers = args.workers;
+  if (!args.kbDir.empty()) {
+    sopts.kb.dir = args.kbDir;
+    sopts.kb.origin = args.kbOrigin;
+    sopts.kb.snapshotEveryEvents = 64;  // periodic compaction cadence
+  }
   service::DiagnosisService svc(sopts);
+
+  for (const std::string& peer : args.kbMerge) {
+    try {
+      kb::KbOptions po;
+      po.dir = peer;
+      po.origin = "batch-peer";  // read-only open; an existing store keeps
+                                 // its durable identity anyway
+      const kb::KbStore peerStore(po);
+      svc.mergeExperienceState(peerStore.serialize());
+      std::cout << "flames_batch: merged KB from " << peer << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "flames_batch: --kb-merge " << peer << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+  }
 
   std::cout << "flames_batch: " << traffic.size() << " jobs, "
             << svc.workerCount() << " workers, ladder(" << args.sections
@@ -189,7 +241,7 @@ int main(int argc, char** argv) {
     handles.push_back(svc.submit(req));
   }
 
-  std::size_t done = 0, failed = 0, expired = 0, detected = 0;
+  std::size_t done = 0, failed = 0, expired = 0, detected = 0, confirmed = 0;
   std::size_t entryCapUsed = 0;
   std::vector<double> latenciesMs;
   latenciesMs.reserve(handles.size());
@@ -200,6 +252,16 @@ int main(int argc, char** argv) {
         ++done;
         if (r.report.faultDetected()) ++detected;
         entryCapUsed = r.entryCapUsed;
+        // Close the learning loop: the generator knows which fault it
+        // injected, so the detected diagnosis can be confirmed into the
+        // (durable) experience base like a technician would at the bench.
+        if (args.kbConfirm && r.report.faultDetected() &&
+            traffic[i].scenario.faults.size() == 1) {
+          const circuit::Fault& f = traffic[i].scenario.faults.front();
+          svc.confirm(r.report, f.component,
+                      std::string(circuit::faultKindName(f.kind)));
+          ++confirmed;
+        }
         break;
       case service::JobStatus::kDeadlineExceeded:
         ++expired;
@@ -239,6 +301,21 @@ int main(int argc, char** argv) {
     std::cout << "  entry cap: " << entryCapUsed
               << " (analysis-derived per unit type), cost rejections "
               << stats.costRejections << "\n";
+  }
+  if (args.kbConfirm) {
+    std::cout << "  kb: confirmed " << confirmed << " diagnoses ("
+              << stats.experienceRules << " rule(s) in the experience base)\n";
+  }
+  if (args.kbStats) {
+    const kb::KbStats& k = stats.kb;
+    std::cout << "  kb stats: rules=" << k.rules << " live=" << k.liveRules
+              << " tombstones=" << k.tombstoneSlots << " origins=" << k.origins
+              << " localTick=" << k.localTick << " walEvents=" << k.walEvents
+              << " walReplayed=" << k.walReplayed
+              << " recoveredTail=" << (k.walRecoveredTail ? "yes" : "no")
+              << " compactions=" << k.compactions
+              << " evictions=" << k.evictions << " merges=" << k.merges
+              << "\n";
   }
 
   if (!args.explain.empty()) {

@@ -35,6 +35,19 @@
 // the constraint chains behind each colliding value. --explain-json=<t>
 // emits the machine form. --certificate=<file> writes the run's replayable
 // certificate (verify with flames_check <netlist.cir> <file>).
+//
+// --kb-dir=<dir> opens a durable experience store (flames::kb — write-ahead
+// log + snapshot) in <dir>; its learned rules seed the engine before the
+// diagnosis, and --kb-confirm=<component>:<mode> records the run's symptom
+// signature back into the store afterwards (the WAL makes this
+// crash-safe). --kb-origin=<id> names a freshly created store (instances
+// that will merge must use distinct origins; an existing dir keeps its
+// recorded identity). --kb-merge=<peer-dir> (repeatable) joins a peer
+// instance's store into ours before diagnosing; --kb-stats prints the
+// store counters.
+// With --kb-dir but no netlist/measurements, flames_cli runs in KB
+// maintenance mode: apply the merges, print the stats, exit 0.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -46,6 +59,7 @@
 #include "diagnosis/experience_io.h"
 #include "diagnosis/flames.h"
 #include "diagnosis/report.h"
+#include "kb/store.h"
 #include "lint/model_lint.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -71,6 +85,11 @@ struct CliOptions {
   std::string explainTarget;   ///< component/quantity to explain; empty = off
   bool explainJson = false;    ///< machine-readable explanation
   std::string certificateFile;  ///< write the replayable certificate here
+  std::string kbDir;            ///< durable experience store; empty = off
+  std::string kbOrigin = "cli";  ///< identity for a *fresh* store dir
+  std::vector<std::string> kbMerge;  ///< peer store dirs to join first
+  bool kbStats = false;              ///< print KB counters
+  std::string kbConfirm;  ///< "<component>:<mode>" to confirm after the run
   std::vector<std::string> positional;
 };
 
@@ -113,6 +132,29 @@ CliOptions parseArgs(int argc, char** argv) {
       opts.certificateFile = arg.substr(14);
       if (opts.certificateFile.empty()) {
         throw std::runtime_error("--certificate= needs a file name");
+      }
+    } else if (arg.rfind("--kb-dir=", 0) == 0) {
+      opts.kbDir = arg.substr(9);
+      if (opts.kbDir.empty()) {
+        throw std::runtime_error("--kb-dir= needs a directory");
+      }
+    } else if (arg.rfind("--kb-origin=", 0) == 0) {
+      opts.kbOrigin = arg.substr(12);
+      if (opts.kbOrigin.empty()) {
+        throw std::runtime_error("--kb-origin= needs an id");
+      }
+    } else if (arg.rfind("--kb-merge=", 0) == 0) {
+      opts.kbMerge.push_back(arg.substr(11));
+      if (opts.kbMerge.back().empty()) {
+        throw std::runtime_error("--kb-merge= needs a peer directory");
+      }
+    } else if (arg == "--kb-stats") {
+      opts.kbStats = true;
+    } else if (arg.rfind("--kb-confirm=", 0) == 0) {
+      opts.kbConfirm = arg.substr(13);
+      if (opts.kbConfirm.find(':') == std::string::npos) {
+        throw std::runtime_error(
+            "--kb-confirm= needs <component>:<mode>");
       }
     } else if (arg.rfind("--", 0) == 0) {
       throw std::runtime_error("unknown flag: " + arg);
@@ -215,6 +257,43 @@ int runAnalyze(const CliOptions& cli) {
   return pass ? 0 : 2;
 }
 
+flames::kb::KbOptions makeKbOptions(const std::string& dir,
+                                    const std::string& origin) {
+  flames::kb::KbOptions ko;
+  ko.dir = dir;
+  ko.origin = origin;
+  return ko;
+}
+
+// Joins each peer directory's store into ours. A missing peer is an error
+// (opening it would silently create an empty store and merge nothing).
+void applyKbMerges(flames::kb::KbStore& store,
+                   const std::vector<std::string>& peers) {
+  namespace fs = std::filesystem;
+  for (const std::string& peer : peers) {
+    if (!fs::exists(peer)) {
+      throw std::runtime_error("--kb-merge: no store at " + peer);
+    }
+    // The id here only names a peer dir that is brand new (an existing
+    // store keeps its durable identity); we never write to it either way.
+    const flames::kb::KbStore peerStore(makeKbOptions(peer, "cli-peer"));
+    store.mergeFrom(peerStore);
+    std::cout << "merged KB from " << peer << "\n";
+  }
+}
+
+void printKbStats(const flames::kb::KbStore& store) {
+  const flames::kb::KbStats s = store.stats();
+  std::cout << "kb stats: rules=" << s.rules << " live=" << s.liveRules
+            << " tombstones=" << s.tombstoneSlots << " origins=" << s.origins
+            << " localTick=" << s.localTick << " walEvents=" << s.walEvents
+            << " walReplayed=" << s.walReplayed
+            << " recoveredTail=" << (s.walRecoveredTail ? "yes" : "no")
+            << " compactions=" << s.compactions
+            << " evictions=" << s.evictions << " merges=" << s.merges
+            << "\n";
+}
+
 std::vector<Measurement> readMeasurements(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open measurements: " + path);
@@ -259,15 +338,30 @@ int main(int argc, char** argv) {
       }
       return runAnalyze(cli);
     }
+    // KB maintenance mode: no board to diagnose, just merge peers into the
+    // store and report on it.
+    if (!cli.kbDir.empty() && cli.positional.empty()) {
+      kb::KbStore store(makeKbOptions(cli.kbDir, cli.kbOrigin));
+      applyKbMerges(store, cli.kbMerge);
+      if (cli.kbStats) printKbStats(store);
+      std::cout << "kb at " << cli.kbDir << ": " << store.stats().liveRules
+                << " live rule(s)\n";
+      return 0;
+    }
     if (cli.positional.size() < 2 || cli.positional.size() > 3) {
       std::cerr << "usage: flames_cli [--trace=<file.json>] [--metrics] "
                    "[--explain=<component|quantity>] "
                    "[--certificate=<file>] "
+                   "[--kb-dir=<dir>] [--kb-origin=<id>] "
+                   "[--kb-merge=<peer-dir>] [--kb-stats] "
+                   "[--kb-confirm=<component>:<mode>] "
                    "<netlist.cir> <measurements.txt> [experience.txt]\n"
                    "       flames_cli --lint [--lint-json] [--Werror] "
                    "<netlist.cir>\n"
                    "       flames_cli --analyze [--analyze-json] [--Werror] "
-                   "<netlist.cir>\n";
+                   "<netlist.cir>\n"
+                   "       flames_cli --kb-dir=<dir> [--kb-merge=<peer-dir>] "
+                   "[--kb-stats]\n";
       return 2;
     }
     if (cli.metrics) obs::setEnabled(true);
@@ -285,7 +379,24 @@ int main(int argc, char** argv) {
     if (!cli.explainTarget.empty() || !cli.certificateFile.empty()) {
       engineOptions.recordProvenance = true;
     }
+    std::optional<kb::KbStore> kbStore;
+    if (!cli.kbDir.empty()) {
+      kbStore.emplace(makeKbOptions(cli.kbDir, cli.kbOrigin));
+      applyKbMerges(*kbStore, cli.kbMerge);
+    }
+
     diagnosis::FlamesEngine engine(net, engineOptions);
+    if (kbStore.has_value()) {
+      // Learned rules from the durable store seed the session's experience
+      // base (alongside any experience.txt rules loaded below).
+      std::size_t seeded = 0;
+      for (const diagnosis::SymptomRule& r : kbStore->materialized().rules()) {
+        engine.experience().restoreRule(r);
+        ++seeded;
+      }
+      std::cout << "kb at " << cli.kbDir << ": seeded " << seeded
+                << " learned rule(s)\n";
+    }
     if (haveExperience) {
       const std::string& path = cli.positional[2];
       // A missing file is a normal first run; an unreadable or corrupt one
@@ -325,6 +436,16 @@ int main(int argc, char** argv) {
                 << " (verify: flames_check " << cli.positional[0] << ' '
                 << cli.certificateFile << ")\n";
     }
+    if (kbStore.has_value() && !cli.kbConfirm.empty()) {
+      const auto colon = cli.kbConfirm.find(':');
+      const std::string component = cli.kbConfirm.substr(0, colon);
+      const std::string mode = cli.kbConfirm.substr(colon + 1);
+      kbStore->recordSuccess(report.signature, component, mode);
+      std::cout << "confirmed " << component << ":" << mode
+                << " into the KB (" << report.signature.size()
+                << " symptom(s))\n";
+    }
+    if (kbStore.has_value() && cli.kbStats) printKbStats(*kbStore);
     if (haveExperience) {
       diagnosis::saveExperienceFile(engine.experience(), cli.positional[2]);
     }

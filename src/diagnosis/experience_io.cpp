@@ -1,20 +1,44 @@
 #include "diagnosis/experience_io.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace flames::diagnosis {
 
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "# FLAMES experience base v";
+constexpr int kFormatVersion = 2;
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Parses the complete token as a double; rejects trailing junk.
+bool parseDoubleTok(const std::string& tok, double& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
 void saveExperience(const ExperienceBase& base, std::ostream& os) {
-  os << "# FLAMES experience base v1\n";
+  os << kHeaderPrefix << kFormatVersion << '\n';
   for (const SymptomRule& r : base.rules()) {
-    os << "rule " << r.component << ' ' << r.mode << ' ' << r.certainty << ' '
-       << r.confirmations << ' ' << r.symptoms.size() << '\n';
+    os << "rule " << r.component << ' ' << r.mode << ' ' << fmt17(r.certainty)
+       << ' ' << r.confirmations << ' ' << r.symptoms.size() << '\n';
     for (const Symptom& s : r.symptoms) {
-      os << "sym " << s.quantity << ' ' << s.signedDc << ' ' << s.direction
-         << '\n';
+      os << "sym " << s.quantity << ' ' << fmt17(s.signedDc) << ' '
+         << s.direction << '\n';
     }
   }
 }
@@ -22,33 +46,68 @@ void saveExperience(const ExperienceBase& base, std::ostream& os) {
 std::size_t loadExperience(ExperienceBase& base, std::istream& is) {
   std::size_t loaded = 0;
   std::string line;
+  std::size_t lineNo = 0;
+  // v1 files may carry no header at all (or a "# ..." comment that is not
+  // a version marker); everything they omit gets the lenient treatment.
+  int version = 1;
+  bool sawContent = false;
+
   while (std::getline(is, line)) {
-    if (line.empty() || line.front() == '#') continue;
+    ++lineNo;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      if (!sawContent && line.rfind(kHeaderPrefix, 0) == 0) {
+        const std::string tok(line.substr(kHeaderPrefix.size()));
+        char* end = nullptr;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        if (tok.empty() || end == nullptr || *end != '\0' || v < 1) {
+          throw ExperienceFormatError(lineNo, "malformed version header");
+        }
+        if (v > kFormatVersion) {
+          throw ExperienceFormatError(
+              lineNo, "unsupported experience format version " + tok);
+        }
+        version = static_cast<int>(v);
+      }
+      continue;
+    }
+    sawContent = true;
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
     if (tag != "rule") {
-      throw std::runtime_error("loadExperience: expected 'rule', got '" +
-                               tag + "'");
+      throw ExperienceFormatError(lineNo, "expected 'rule', got '" + tag +
+                                              "'");
     }
     SymptomRule rule;
     std::size_t nSymptoms = 0;
-    if (!(ls >> rule.component >> rule.mode >> rule.certainty >>
-          rule.confirmations >> nSymptoms)) {
-      throw std::runtime_error("loadExperience: malformed rule line");
+    std::string cert;
+    if (!(ls >> rule.component >> rule.mode >> cert >> rule.confirmations >>
+          nSymptoms) ||
+        !parseDoubleTok(cert, rule.certainty)) {
+      throw ExperienceFormatError(lineNo, "malformed rule line");
     }
     for (std::size_t i = 0; i < nSymptoms; ++i) {
       if (!std::getline(is, line)) {
-        throw std::runtime_error("loadExperience: truncated rule body");
+        throw ExperienceFormatError(lineNo, "truncated rule body");
       }
+      ++lineNo;
       std::istringstream ss(line);
       std::string symTag;
+      std::string dc;
       Symptom sym;
-      if (!(ss >> symTag >> sym.quantity >> sym.signedDc) || symTag != "sym") {
-        throw std::runtime_error("loadExperience: malformed symptom line");
+      if (!(ss >> symTag >> sym.quantity >> dc) || symTag != "sym" ||
+          !parseDoubleTok(dc, sym.signedDc)) {
+        throw ExperienceFormatError(lineNo, "malformed symptom line");
       }
-      // Direction is optional for backwards compatibility with v1 files.
-      if (!(ss >> sym.direction)) sym.direction = 0;
+      if (!(ss >> sym.direction)) {
+        // Direction is optional only in v1 files (it predates the column).
+        if (version >= 2) {
+          throw ExperienceFormatError(lineNo,
+                                      "missing symptom direction (v2)");
+        }
+        sym.direction = 0;
+      }
       rule.symptoms.push_back(std::move(sym));
     }
     base.restoreRule(std::move(rule));

@@ -3,28 +3,50 @@
 // Learning from experience is only useful if it survives the session: the
 // symptom-failure rules are serialised to a small line-oriented text format
 //
+//   # FLAMES experience base v2
 //   rule <component> <mode> <certainty> <confirmations> <n>
 //   sym <quantity> <signedDc> <direction>     (n times)
 //
 // chosen for diffability and hand-editability (an expert can curate the
-// rule base, which the paper explicitly wants to allow).
+// rule base, which the paper explicitly wants to allow). The header line
+// is a *versioned* format marker: v2 writes doubles with 17 significant
+// digits (certainties round-trip bit-exactly, matching the certificate
+// format of src/prov) and requires the symptom direction column; v1 files
+// (default stream precision, optional direction) still load. Parse errors
+// carry the 1-based line number of the offending line.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "diagnosis/learning.h"
 
 namespace flames::diagnosis {
 
+/// Malformed experience stream; `line()` is the 1-based source line.
+class ExperienceFormatError : public std::runtime_error {
+ public:
+  ExperienceFormatError(std::size_t line, const std::string& what)
+      : std::runtime_error("loadExperience: line " + std::to_string(line) +
+                           ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
 /// Writes every rule of the base to the stream.
 void saveExperience(const ExperienceBase& base, std::ostream& os);
 
 /// Parses rules from the stream into `base` (appended via the base's
-/// merge-or-add logic is NOT used — rules are restored verbatim).
-/// Returns the number of rules loaded; throws std::runtime_error on a
-/// malformed stream.
+/// merge-or-add logic is NOT used — rules are restored verbatim). Accepts
+/// v1 and v2 files; an unknown format version is an error. Returns the
+/// number of rules loaded; throws ExperienceFormatError (a
+/// std::runtime_error) on a malformed stream, with the offending line
+/// number.
 std::size_t loadExperience(ExperienceBase& base, std::istream& is);
 
 /// Convenience file wrappers; throw std::runtime_error on I/O failure.

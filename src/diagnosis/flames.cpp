@@ -106,6 +106,45 @@ DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
   clock.stage("propagation");
   std::shared_ptr<DiagnosisProvenance> prov;
   constraints::PropagatorOptions propOptions = options.propagation;
+  if (options.hintGuidedPropagation && ctx.hintSource) {
+    // Pre-propagation signature: each measurement scored directly against
+    // the model's nominal prediction. Cheap (no constraint network), and
+    // close enough to the post-propagation signature learned rules were
+    // recorded from for similarity matching to work.
+    std::vector<Symptom> pre;
+    for (const Observation& obs : observations) {
+      const QuantityId q = built.voltage(obs.node);
+      const constraints::Model::Prediction* nominal = nullptr;
+      for (const auto& p : built.model.predictions()) {
+        if (p.quantity == q) {
+          nominal = &p;
+          break;
+        }
+      }
+      if (nominal == nullptr) continue;
+      const fuzzy::Consistency c =
+          fuzzy::degreeOfConsistency(obs.value, nominal->value);
+      int direction = 0;
+      switch (c.deviation) {
+        case fuzzy::Deviation::kBelow: direction = -1; break;
+        case fuzzy::Deviation::kAbove: direction = 1; break;
+        case fuzzy::Deviation::kNone: direction = 0; break;
+      }
+      pre.push_back(
+          {built.model.quantityInfo(q).name, c.signedDc(), direction});
+    }
+    if (!pre.empty()) {
+      const std::vector<ExperienceHint> hints = ctx.hintSource(pre);
+      if (!hints.empty() &&
+          hints.front().score >= options.hintGuidedThreshold) {
+        propOptions.maxEntriesPerQuantity = std::min(
+            propOptions.maxEntriesPerQuantity, options.hintGuidedEntryCap);
+        report.hintGuided = true;
+        static obs::Counter& cGuided = obs::counter("kb.hint_guided_runs");
+        cGuided.add();
+      }
+    }
+  }
   if (options.recordProvenance) {
     prov = std::make_shared<DiagnosisProvenance>();
     prov->lambda = propOptions.minNogoodDegree;

@@ -63,6 +63,24 @@ struct FlamesOptions {
   /// test-selection estimations (paper §5, §6.3: "he can use the a priori
   /// estimations of faults to decide").
   std::map<std::string, std::string> expertPriors;
+  /// Consult the experience base *before* propagation: the pre-propagation
+  /// signature (each measurement's signed Dc against the model's nominal
+  /// prediction, no constraint network involved) is matched against the
+  /// learned rules, and when the best hint scores at least
+  /// `hintGuidedThreshold` the propagation entry cap is clamped down to
+  /// `hintGuidedEntryCap` (never raised). A warmed KB thus turns the
+  /// exhaustive derivation sweep into a confirmation pass — measurably
+  /// fewer propagation steps on repeat sessions (bench_kb) — while a cold
+  /// or unconvinced KB leaves the run untouched. The cap floor mirrors the
+  /// static analysis floor (DESIGN.md §9): the dropped entries re-derive
+  /// the same quantities along longer paths. Off by default.
+  bool hintGuidedPropagation = false;
+  /// Minimum hint score (signature similarity x rule certainty) before the
+  /// guidance engages. 0.45 = a once-confirmed rule (certainty 0.5) with a
+  /// near-exact signature match qualifies; weak or dissimilar rules do not.
+  double hintGuidedThreshold = 0.45;
+  /// The clamped entry cap used when guidance engages.
+  std::size_t hintGuidedEntryCap = 6;
   /// Record the full derivation provenance of the run into
   /// DiagnosisReport::provenance: every kept value entry (which constraint
   /// fired, which parents it consumed), every recorded nogood with its Dc,
@@ -151,6 +169,9 @@ struct DiagnosisProvenance {
 struct DiagnosisReport {
   bool propagationCompleted = false;
   std::size_t propagationSteps = 0;
+  /// True when FlamesOptions::hintGuidedPropagation found a confident
+  /// experience hint and ran with the clamped entry cap.
+  bool hintGuided = false;
   std::vector<MeasurementSummary> measurements;
   /// Post-propagation value hulls, one per quantity that held a value
   /// (sorted by quantity id). Checked against the static envelopes by the

@@ -29,25 +29,63 @@ double ExperienceBase::similarity(const std::vector<Symptom>& a,
   return 1.0 - sum / static_cast<double>(a.size());
 }
 
+std::string ExperienceBase::quantityKey(
+    const std::vector<Symptom>& sortedSignature) {
+  std::string key;
+  for (const Symptom& s : sortedSignature) {
+    key += s.quantity;
+    key += '\x1f';
+  }
+  return key;
+}
+
+void ExperienceBase::indexRule(std::size_t i) {
+  index_[quantityKey(rules_[i].symptoms)].push_back(i);
+}
+
+void ExperienceBase::rebuildIndex() {
+  index_.clear();
+  for (std::size_t i = 0; i < rules_.size(); ++i) indexRule(i);
+}
+
 void ExperienceBase::recordSuccess(std::vector<Symptom> signature,
                                    const std::string& component,
                                    const std::string& mode) {
   sortSignature(signature);
-  for (SymptomRule& r : rules_) {
-    if (r.component != component || r.mode != mode) continue;
-    const double sim = similarity(r.symptoms, signature);
-    if (sim >= options_.mergeSimilarity) {
-      // Reinforce and pull the stored signature towards the new evidence.
-      r.certainty += (1.0 - r.certainty) * options_.reinforcement;
-      const double w = 1.0 / (r.confirmations + 1.0);
-      for (std::size_t i = 0; i < r.symptoms.size(); ++i) {
-        r.symptoms[i].signedDc =
-            (1.0 - w) * r.symptoms[i].signedDc + w * signature[i].signedDc;
+
+  const auto reinforce = [&](SymptomRule& r) {
+    // Reinforce and pull the stored signature towards the new evidence.
+    r.certainty += (1.0 - r.certainty) * options_.reinforcement;
+    const double w = 1.0 / (r.confirmations + 1.0);
+    for (std::size_t i = 0; i < r.symptoms.size(); ++i) {
+      r.symptoms[i].signedDc =
+          (1.0 - w) * r.symptoms[i].signedDc + w * signature[i].signedDc;
+    }
+    ++r.confirmations;
+  };
+
+  if (options_.useSignatureIndex) {
+    const auto bucket = index_.find(quantityKey(signature));
+    if (bucket != index_.end()) {
+      for (const std::size_t i : bucket->second) {
+        SymptomRule& r = rules_[i];
+        if (r.component != component || r.mode != mode) continue;
+        if (similarity(r.symptoms, signature) >= options_.mergeSimilarity) {
+          reinforce(r);
+          return;
+        }
       }
-      ++r.confirmations;
-      return;
+    }
+  } else {
+    for (SymptomRule& r : rules_) {
+      if (r.component != component || r.mode != mode) continue;
+      if (similarity(r.symptoms, signature) >= options_.mergeSimilarity) {
+        reinforce(r);
+        return;
+      }
     }
   }
+
   SymptomRule rule;
   rule.symptoms = std::move(signature);
   rule.component = component;
@@ -55,6 +93,7 @@ void ExperienceBase::recordSuccess(std::vector<Symptom> signature,
   rule.certainty = options_.initialCertainty;
   rule.confirmations = 1;
   rules_.push_back(std::move(rule));
+  indexRule(rules_.size() - 1);
 }
 
 void ExperienceBase::recordFailure(const std::string& component,
@@ -64,16 +103,21 @@ void ExperienceBase::recordFailure(const std::string& component,
       r.certainty *= 1.0 - options_.reinforcement;
     }
   }
+  const std::size_t before = rules_.size();
   rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
                               [](const SymptomRule& r) {
                                 return r.certainty < 0.05;
                               }),
                rules_.end());
+  // Erasure shifts rule indices; the index must never go stale (match()
+  // reads it under a shared lock and cannot rebuild lazily).
+  if (rules_.size() != before) rebuildIndex();
 }
 
 void ExperienceBase::restoreRule(SymptomRule rule) {
   sortSignature(rule.symptoms);
   rules_.push_back(std::move(rule));
+  indexRule(rules_.size() - 1);
 }
 
 std::vector<ExperienceHint> ExperienceBase::match(
@@ -81,15 +125,29 @@ std::vector<ExperienceHint> ExperienceBase::match(
   std::vector<Symptom> sorted = current;
   sortSignature(sorted);
   std::vector<ExperienceHint> hints;
-  for (const SymptomRule& r : rules_) {
+
+  const auto consider = [&](const SymptomRule& r) {
     const double sim = similarity(r.symptoms, sorted);
-    if (sim <= 0.0) continue;
+    if (sim <= 0.0) return;
     hints.push_back({r.component, r.mode, sim * r.certainty, r.certainty});
+  };
+
+  if (options_.useSignatureIndex) {
+    const auto bucket = index_.find(quantityKey(sorted));
+    if (bucket != index_.end()) {
+      for (const std::size_t i : bucket->second) consider(rules_[i]);
+    }
+  } else {
+    for (const SymptomRule& r : rules_) consider(r);
   }
+
   std::sort(hints.begin(), hints.end(),
             [](const ExperienceHint& a, const ExperienceHint& b) {
               if (a.score != b.score) return a.score > b.score;
-              return a.component < b.component;
+              if (a.component != b.component) return a.component < b.component;
+              // Mode tie-break: makes the order independent of rule
+              // insertion order, so the indexed and legacy paths agree.
+              return a.mode < b.mode;
             });
   return hints;
 }

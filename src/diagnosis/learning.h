@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace flames::diagnosis {
@@ -52,6 +53,13 @@ struct LearningOptions {
   double reinforcement = 0.3;
   /// Initial certainty of a freshly learned rule.
   double initialCertainty = 0.5;
+  /// Route match()/recordSuccess() through the signature index: a hash
+  /// probe on the sorted quantity-name set of the signature, scanning only
+  /// rules over the *same* quantities. Exact — similarity() is 0 whenever
+  /// the quantity sets differ, so the skipped rules could never have
+  /// matched. The legacy O(rules) linear scan stays reachable with `false`
+  /// for the A/B comparison in bench_kb.
+  bool useSignatureIndex = true;
 };
 
 /// The experience base.
@@ -82,15 +90,33 @@ class ExperienceBase {
   [[nodiscard]] std::vector<ExperienceHint> match(
       const std::vector<Symptom>& current) const;
 
+  /// Index key of a signature (must be sorted by quantity): the quantity
+  /// names joined with an unprintable separator. Signatures over different
+  /// quantity sets can never match (similarity() == 0), so bucketing rules
+  /// by this key loses nothing.
+  [[nodiscard]] static std::string quantityKey(
+      const std::vector<Symptom>& sortedSignature);
+
   [[nodiscard]] const std::vector<SymptomRule>& rules() const {
     return rules_;
   }
   [[nodiscard]] std::size_t size() const { return rules_.size(); }
-  void clear() { rules_.clear(); }
+  void clear() {
+    rules_.clear();
+    index_.clear();
+  }
 
  private:
+  void indexRule(std::size_t i);
+  void rebuildIndex();
+
   LearningOptions options_;
   std::vector<SymptomRule> rules_;
+  /// quantityKey -> indices into rules_ (insertion order preserved within a
+  /// bucket, so the indexed paths visit candidates in the same order as the
+  /// legacy scan). Maintained eagerly — never mutated from const methods,
+  /// so concurrent match() calls under a shared lock stay race-free.
+  std::unordered_map<std::string, std::vector<std::size_t>> index_;
 };
 
 }  // namespace flames::diagnosis

@@ -1,0 +1,650 @@
+#include "kb/store.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace flames::kb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void sortSignature(std::vector<diagnosis::Symptom>& s) {
+  std::sort(s.begin(), s.end(),
+            [](const diagnosis::Symptom& a, const diagnosis::Symptom& b) {
+              return a.quantity < b.quantity;
+            });
+}
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw KbIoError("kb: cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Canonical rendering of one slot line (trailing newline included). Also
+/// the deterministic tie-break for merge conflicts between equal versions.
+std::string renderSlot(const std::string& origin, const OriginSlot& slot) {
+  std::ostringstream os;
+  os << "slot " << origin << ' ' << slot.version << ' '
+     << formatDouble(slot.certainty) << ' ' << slot.confirmations << ' '
+     << slot.failures << ' ' << slot.lastEvent << ' ' << (slot.evicted ? 1 : 0)
+     << ' ' << slot.symptoms.size();
+  for (const diagnosis::Symptom& s : slot.symptoms) {
+    os << ' ' << s.quantity << ' ' << formatDouble(s.signedDc) << ' '
+       << s.direction;
+  }
+  os << '\n';
+  return os.str();
+}
+
+bool parseDoubleTok(const std::string& tok, double& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+struct ParsedState {
+  std::map<std::string, std::uint64_t> ticks;
+  std::map<RuleKey, std::map<std::string, OriginSlot>> rules;
+};
+
+/// Parses a serialize() payload. Throws KbFormatError with the 1-based
+/// line number of the first problem.
+ParsedState parseState(const std::string& bytes) {
+  std::istringstream is(bytes);
+  std::string line;
+  std::size_t lineNo = 0;
+  const auto next = [&]() -> bool {
+    ++lineNo;
+    return static_cast<bool>(std::getline(is, line));
+  };
+  const auto fail = [&](const std::string& what) -> KbFormatError {
+    return {lineNo, what};
+  };
+
+  if (!next() || line != "flames-kb-snapshot v1") {
+    throw fail("expected 'flames-kb-snapshot v1' header");
+  }
+
+  ParsedState state;
+  std::size_t nTicks = 0;
+  {
+    if (!next()) throw fail("missing 'ticks' section");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> nTicks) || tag != "ticks") {
+      throw fail("expected 'ticks <count>'");
+    }
+  }
+  for (std::size_t i = 0; i < nTicks; ++i) {
+    if (!next()) throw fail("truncated ticks section");
+    std::istringstream ls(line);
+    std::string tag;
+    std::string origin;
+    std::uint64_t tick = 0;
+    if (!(ls >> tag >> origin >> tick) || tag != "tick") {
+      throw fail("expected 'tick <origin> <value>'");
+    }
+    if (!state.ticks.emplace(origin, tick).second) {
+      throw fail("duplicate origin in ticks section");
+    }
+  }
+
+  std::size_t nRules = 0;
+  {
+    if (!next()) throw fail("missing 'rules' section");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> nRules) || tag != "rules") {
+      throw fail("expected 'rules <count>'");
+    }
+  }
+  for (std::size_t i = 0; i < nRules; ++i) {
+    if (!next()) throw fail("truncated rules section");
+    RuleKey key;
+    {
+      std::istringstream ls(line);
+      std::string tag;
+      std::string extra;
+      if (!(ls >> tag >> key.component >> key.mode >> key.shape) ||
+          tag != "rule" || (ls >> extra)) {
+        throw fail("expected 'rule <component> <mode> <shape>'");
+      }
+    }
+    auto [ruleIt, fresh] = state.rules.emplace(
+        std::move(key), std::map<std::string, OriginSlot>{});
+    if (!fresh) throw fail("duplicate rule key");
+    // Slot lines until the next 'rule'/'end'.
+    while (is.peek() == 's') {
+      if (!next()) break;
+      std::istringstream ls(line);
+      std::string tag;
+      std::string origin;
+      std::string cert;
+      int evicted = 0;
+      std::size_t nSyms = 0;
+      OriginSlot slot;
+      if (!(ls >> tag >> origin >> slot.version >> cert >>
+            slot.confirmations >> slot.failures >> slot.lastEvent >> evicted >>
+            nSyms) ||
+          tag != "slot" || !parseDoubleTok(cert, slot.certainty) ||
+          (evicted != 0 && evicted != 1) || slot.version == 0) {
+        throw fail("malformed slot line");
+      }
+      slot.evicted = evicted == 1;
+      for (std::size_t j = 0; j < nSyms; ++j) {
+        diagnosis::Symptom sym;
+        std::string dc;
+        if (!(ls >> sym.quantity >> dc >> sym.direction) ||
+            !parseDoubleTok(dc, sym.signedDc)) {
+          throw fail("malformed slot symptoms");
+        }
+        slot.symptoms.push_back(std::move(sym));
+      }
+      std::string extra;
+      if (ls >> extra) throw fail("trailing tokens on slot line");
+      if (!ruleIt->second.emplace(std::move(origin), std::move(slot)).second) {
+        throw fail("duplicate origin slot for rule");
+      }
+    }
+    if (ruleIt->second.empty()) throw fail("rule without slots");
+  }
+  if (!next() || line != "end") throw fail("expected 'end' trailer");
+  if (next()) throw fail("trailing content after 'end'");
+  return state;
+}
+
+obs::Counter& eventsCounter() {
+  static obs::Counter& c = obs::counter("kb.events_total");
+  return c;
+}
+
+}  // namespace
+
+std::string_view fusionPolicyName(FusionPolicy p) {
+  switch (p) {
+    case FusionPolicy::kMax: return "max";
+    case FusionPolicy::kMin: return "min";
+  }
+  return "?";
+}
+
+std::string signatureShape(std::vector<diagnosis::Symptom> signature) {
+  sortSignature(signature);
+  std::string shape;
+  for (const diagnosis::Symptom& s : signature) {
+    if (!shape.empty()) shape += '|';
+    const double clamped = std::clamp(s.signedDc, -1.0, 1.0);
+    const long bucket = std::lround(clamped * 4.0);
+    shape += s.quantity;
+    shape += '~';
+    shape += std::to_string(s.direction);
+    shape += '~';
+    shape += std::to_string(bucket);
+  }
+  return shape;
+}
+
+KbStore::KbStore(KbOptions options)
+    : options_(std::move(options)), view_(options_.learning) {
+  // Origins are embedded as whitespace-delimited tokens in the WAL header
+  // and the snapshot's tick/slot lines.
+  if (options_.origin.empty() ||
+      options_.origin.find_first_of(" \t\r\n") != std::string::npos) {
+    throw KbError("kb: origin must be non-empty and whitespace-free: '" +
+                  options_.origin + "'");
+  }
+  open();
+}
+
+std::string KbStore::snapshotPath() const {
+  return (fs::path(options_.dir) / "snapshot.kb").string();
+}
+
+std::string KbStore::walPath() const {
+  return (fs::path(options_.dir) / "wal.log").string();
+}
+
+bool KbStore::injectedCrash(std::string_view stage) const {
+  return options_.hooks.failAt && options_.hooks.failAt(stage);
+}
+
+void KbStore::open() {
+  if (!durable()) {
+    rebuildView();
+    return;
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) throw KbIoError("kb: cannot create " + options_.dir);
+  // Orphaned temporaries from a crash mid-compaction are dead weight.
+  fs::remove(snapshotPath() + ".tmp", ec);
+  fs::remove(walPath() + ".tmp", ec);
+
+  if (fs::exists(snapshotPath())) {
+    const std::string bytes = readFileBytes(snapshotPath());
+    // A corrupt snapshot is fatal by design (mirrors experience_io: silently
+    // starting fresh would destroy learned experience on the next save).
+    ParsedState state = parseState(bytes);
+    ticks_ = std::move(state.ticks);
+    rules_ = std::move(state.rules);
+    hasSnapshot_ = true;
+    snapshotCrc_ = crc32(bytes);
+  }
+
+  static obs::Counter& cRecoveries = obs::counter("kb.wal_recoveries_total");
+  if (fs::exists(walPath())) {
+    const std::string bytes = readFileBytes(walPath());
+    const WalReadResult wal = readWal(bytes);
+    // The directory's durable identity wins over the requested one: WAL
+    // records are local events of whoever wrote them, and replaying them
+    // under a different origin would re-attribute history (the canonical
+    // state must not depend on who opens the store). Adopt it even when the
+    // snapshot binding below rejects the events — the identity is header
+    // data, not event data.
+    if (wal.headerOk) options_.origin = wal.origin;
+    if (!wal.headerOk || wal.boundToSnapshot != hasSnapshot_ ||
+        (wal.boundToSnapshot && wal.snapshotCrc != snapshotCrc_)) {
+      // A log from another snapshot generation: either the pre-compaction
+      // log whose events the (renamed-into-place) snapshot already holds,
+      // or garbage. Discard it.
+      resetWal();
+      if (!bytes.empty()) {
+        walRecoveredTail_ = true;
+        cRecoveries.add();
+      }
+    } else {
+      // Byte offset of the end of the last *accepted* record: recovery
+      // truncates everything after it.
+      std::size_t durableBytes =
+          renderWalHeader(options_.origin, snapshotCrc_, hasSnapshot_).size();
+      bool tornTail = !wal.cleanTail;
+      for (const WalEvent& ev : wal.events) {
+        const auto tickIt = ticks_.find(options_.origin);
+        const std::uint64_t tick = tickIt == ticks_.end() ? 0 : tickIt->second;
+        if (ev.tick != tick + 1) {
+          // The log does not continue the snapshot's clock: everything from
+          // this record on is a stale or spliced tail.
+          tornTail = true;
+          break;
+        }
+        applyLocal(ev);
+        ++walReplayed_;
+        ++walEvents_;
+        durableBytes = ev.endOffset;
+      }
+      if (tornTail) {
+        fs::resize_file(walPath(), durableBytes, ec);
+        if (ec) throw KbIoError("kb: cannot truncate corrupt WAL tail");
+        walRecoveredTail_ = true;
+        cRecoveries.add();
+      }
+    }
+  } else {
+    resetWal();
+  }
+  rebuildView();
+}
+
+void KbStore::appendWal(const WalEvent& ev) {
+  const std::string line = renderWalEvent(ev);
+  std::ofstream os(walPath(), std::ios::binary | std::ios::app);
+  if (!os) throw KbIoError("kb: cannot append to " + walPath());
+  if (injectedCrash("wal_append")) {
+    // Die mid-record: half the bytes reach the disk, no newline — exactly
+    // the torn tail recovery must truncate.
+    os.write(line.data(), static_cast<std::streamsize>(line.size() / 2));
+    os.flush();
+    throw KbIoError("kb: injected crash at wal_append");
+  }
+  os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  os.flush();
+  if (!os) throw KbIoError("kb: WAL append failed");
+}
+
+void KbStore::resetWal() {
+  if (injectedCrash("wal_reset")) {
+    throw KbIoError("kb: injected crash at wal_reset");
+  }
+  const std::string tmp = walPath() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw KbIoError("kb: cannot write " + tmp);
+    const std::string header =
+        renderWalHeader(options_.origin, snapshotCrc_, hasSnapshot_);
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.flush();
+    if (!os) throw KbIoError("kb: WAL header write failed");
+  }
+  std::error_code ec;
+  fs::rename(tmp, walPath(), ec);
+  if (ec) throw KbIoError("kb: cannot replace " + walPath());
+  walEvents_ = 0;
+}
+
+void KbStore::compact() {
+  if (!durable()) return;
+  const std::string state = serialize();
+  const std::string tmp = snapshotPath() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw KbIoError("kb: cannot write " + tmp);
+    if (injectedCrash("snapshot_write")) {
+      os.write(state.data(), static_cast<std::streamsize>(state.size() / 2));
+      os.flush();
+      throw KbIoError("kb: injected crash at snapshot_write");
+    }
+    os.write(state.data(), static_cast<std::streamsize>(state.size()));
+    os.flush();
+    if (!os) throw KbIoError("kb: snapshot write failed");
+  }
+  if (injectedCrash("snapshot_rename")) {
+    throw KbIoError("kb: injected crash at snapshot_rename");
+  }
+  std::error_code ec;
+  fs::rename(tmp, snapshotPath(), ec);
+  if (ec) throw KbIoError("kb: cannot replace " + snapshotPath());
+  hasSnapshot_ = true;
+  snapshotCrc_ = crc32(state);
+  // Crash window: the snapshot is in place but the WAL still belongs to the
+  // previous generation. resetWal() throwing here is safe — open() sees the
+  // CRC mismatch and discards the old log, whose events the new snapshot
+  // already contains.
+  resetWal();
+  ++compactions_;
+  static obs::Counter& c = obs::counter("kb.compactions_total");
+  c.add();
+}
+
+void KbStore::applyLocal(const WalEvent& ev) {
+  const std::string& origin = options_.origin;
+  ticks_[origin] = ev.tick;
+  static obs::Counter& cEvict = obs::counter("kb.evictions_total");
+  const auto evict = [&](OriginSlot& slot) {
+    slot.evicted = true;
+    slot.symptoms.clear();
+    ++evictions_;
+    cEvict.add();
+  };
+
+  switch (ev.kind) {
+    case WalEventKind::kSuccess: {
+      std::vector<diagnosis::Symptom> symptoms = ev.symptoms;
+      sortSignature(symptoms);
+      const RuleKey key{ev.component, ev.mode, signatureShape(symptoms)};
+      OriginSlot& slot = rules_[key][origin];
+      if (slot.version == 0 || slot.evicted) {
+        // Fresh rule (or resurrection of a tombstone — the failure count
+        // survives as history).
+        ++slot.version;
+        slot.certainty = options_.learning.initialCertainty;
+        slot.confirmations = 1;
+        slot.evicted = false;
+        slot.symptoms = std::move(symptoms);
+      } else {
+        slot.certainty +=
+            (1.0 - slot.certainty) * options_.learning.reinforcement;
+        const double w = 1.0 / (slot.confirmations + 1.0);
+        for (std::size_t i = 0; i < slot.symptoms.size(); ++i) {
+          slot.symptoms[i].signedDc = (1.0 - w) * slot.symptoms[i].signedDc +
+                                      w * symptoms[i].signedDc;
+        }
+        ++slot.confirmations;
+        ++slot.version;
+      }
+      slot.lastEvent = ev.tick;
+      break;
+    }
+    case WalEventKind::kFailure: {
+      for (auto& [key, slots] : rules_) {
+        if (key.component != ev.component || key.mode != ev.mode) continue;
+        auto it = slots.find(origin);
+        if (it == slots.end() || it->second.version == 0 ||
+            it->second.evicted) {
+          continue;
+        }
+        OriginSlot& slot = it->second;
+        slot.certainty *= 1.0 - options_.learning.reinforcement;
+        ++slot.failures;
+        ++slot.version;
+        slot.lastEvent = ev.tick;
+        if (slot.certainty < options_.decay.evictBelow) evict(slot);
+      }
+      break;
+    }
+    case WalEventKind::kDecay: {
+      for (auto& [key, slots] : rules_) {
+        auto it = slots.find(origin);
+        if (it == slots.end() || it->second.version == 0 ||
+            it->second.evicted) {
+          continue;
+        }
+        OriginSlot& slot = it->second;
+        const std::uint64_t horizon =
+            options_.decay.staleAfterEvents +
+            slot.confirmations * options_.decay.horizonPerConfirmation;
+        if (ev.tick - slot.lastEvent < horizon) continue;
+        slot.certainty *= options_.decay.factor;
+        ++slot.version;
+        if (slot.certainty < options_.decay.evictBelow) evict(slot);
+      }
+      break;
+    }
+    case WalEventKind::kRestore: {
+      std::vector<diagnosis::Symptom> symptoms = ev.symptoms;
+      sortSignature(symptoms);
+      const RuleKey key{ev.component, ev.mode, signatureShape(symptoms)};
+      OriginSlot& slot = rules_[key][origin];
+      ++slot.version;
+      slot.certainty = ev.certainty;
+      slot.confirmations = ev.confirmations;
+      slot.failures = ev.failures;
+      slot.evicted = false;
+      slot.symptoms = std::move(symptoms);
+      slot.lastEvent = ev.tick;
+      break;
+    }
+  }
+}
+
+void KbStore::commitLocal(WalEvent ev) {
+  // Look up (not operator[]) so a failed append leaves ticks_ untouched —
+  // the in-memory state must stay exactly pre-crash when the WAL rejects.
+  const auto tickIt = ticks_.find(options_.origin);
+  ev.tick = (tickIt == ticks_.end() ? 0 : tickIt->second) + 1;
+  if (durable()) {
+    appendWal(ev);
+    ++walEvents_;
+  }
+  applyLocal(ev);
+  rebuildView();
+  eventsCounter().add();
+  if (durable() && options_.snapshotEveryEvents > 0 &&
+      walEvents_ >= options_.snapshotEveryEvents) {
+    compact();
+  }
+}
+
+void KbStore::recordSuccess(std::vector<diagnosis::Symptom> signature,
+                            const std::string& component,
+                            const std::string& mode) {
+  if (signature.empty()) return;  // no symptoms, nothing to key the rule on
+  WalEvent ev;
+  ev.kind = WalEventKind::kSuccess;
+  ev.component = component;
+  ev.mode = mode;
+  ev.symptoms = std::move(signature);
+  commitLocal(std::move(ev));
+}
+
+void KbStore::recordFailure(const std::string& component,
+                            const std::string& mode) {
+  WalEvent ev;
+  ev.kind = WalEventKind::kFailure;
+  ev.component = component;
+  ev.mode = mode;
+  commitLocal(std::move(ev));
+}
+
+void KbStore::decay() {
+  WalEvent ev;
+  ev.kind = WalEventKind::kDecay;
+  commitLocal(std::move(ev));
+}
+
+void KbStore::seed(const diagnosis::ExperienceBase& base) {
+  ticks_.clear();
+  rules_.clear();
+  if (durable()) compact();  // the clear must be durable before the restores
+  for (const diagnosis::SymptomRule& r : base.rules()) {
+    if (r.symptoms.empty()) continue;
+    WalEvent ev;
+    ev.kind = WalEventKind::kRestore;
+    ev.component = r.component;
+    ev.mode = r.mode;
+    ev.symptoms = r.symptoms;
+    ev.certainty = r.certainty;
+    ev.confirmations = static_cast<std::uint32_t>(std::max(0, r.confirmations));
+    ev.failures = 0;
+    commitLocal(std::move(ev));
+  }
+  rebuildView();
+}
+
+std::string KbStore::serialize() const {
+  std::ostringstream os;
+  os << "flames-kb-snapshot v1\n";
+  os << "ticks " << ticks_.size() << '\n';
+  for (const auto& [origin, tick] : ticks_) {
+    os << "tick " << origin << ' ' << tick << '\n';
+  }
+  os << "rules " << rules_.size() << '\n';
+  for (const auto& [key, slots] : rules_) {
+    os << "rule " << key.component << ' ' << key.mode << ' ' << key.shape
+       << '\n';
+    for (const auto& [origin, slot] : slots) os << renderSlot(origin, slot);
+  }
+  os << "end\n";
+  return os.str();
+}
+
+void KbStore::mergeState(const std::string& canonicalState) {
+  ParsedState other = parseState(canonicalState);
+  for (const auto& [origin, tick] : other.ticks) {
+    std::uint64_t& mine = ticks_[origin];
+    mine = std::max(mine, tick);
+  }
+  for (auto& [key, slots] : other.rules) {
+    auto& mine = rules_[key];
+    for (auto& [origin, slot] : slots) {
+      OriginSlot& current = mine[origin];
+      if (slot.version > current.version ||
+          (slot.version == current.version &&
+           renderSlot(origin, slot) > renderSlot(origin, current))) {
+        current = std::move(slot);
+      }
+    }
+  }
+  ++merges_;
+  static obs::Counter& c = obs::counter("kb.merges_total");
+  c.add();
+  rebuildView();
+  // A merge is a bulk state change the event log cannot express: make it
+  // durable (and atomic on disk) by folding it straight into a snapshot.
+  if (durable()) compact();
+}
+
+void KbStore::rebuildView() {
+  diagnosis::ExperienceBase view(options_.learning);
+  for (const auto& [key, slots] : rules_) {
+    diagnosis::SymptomRule rule;
+    rule.component = key.component;
+    rule.mode = key.mode;
+    bool any = false;
+    double fused = 0.0;
+    std::uint64_t confirmations = 0;
+    double weightSum = 0.0;
+    std::vector<double> dcSum;
+    std::vector<std::array<double, 3>> dirWeight;
+    for (const auto& [origin, slot] : slots) {
+      if (slot.version == 0 || slot.evicted) continue;
+      const double w = std::max<std::uint32_t>(1, slot.confirmations);
+      if (!any) {
+        fused = slot.certainty;
+        rule.symptoms = slot.symptoms;  // quantity template (shared shape)
+        dcSum.assign(slot.symptoms.size(), 0.0);
+        dirWeight.assign(slot.symptoms.size(), {0.0, 0.0, 0.0});
+        any = true;
+      } else {
+        fused = options_.fusion == FusionPolicy::kMax
+                    ? std::max(fused, slot.certainty)
+                    : std::min(fused, slot.certainty);
+      }
+      confirmations += slot.confirmations;
+      weightSum += w;
+      for (std::size_t i = 0;
+           i < slot.symptoms.size() && i < dcSum.size(); ++i) {
+        dcSum[i] += w * slot.symptoms[i].signedDc;
+        const int d = std::clamp(slot.symptoms[i].direction, -1, 1);
+        dirWeight[i][static_cast<std::size_t>(d + 1)] += w;
+      }
+    }
+    if (!any) continue;
+    for (std::size_t i = 0; i < rule.symptoms.size(); ++i) {
+      rule.symptoms[i].signedDc = dcSum[i] / weightSum;
+      // Deterministic argmax by weight, ties towards the larger direction.
+      int dir = -1;
+      for (int d = 0; d <= 1; ++d) {
+        if (dirWeight[i][static_cast<std::size_t>(d + 1)] >=
+            dirWeight[i][static_cast<std::size_t>(dir + 1)]) {
+          dir = d;
+        }
+      }
+      rule.symptoms[i].direction = dir;
+    }
+    rule.certainty = fused;
+    rule.confirmations = static_cast<int>(std::min<std::uint64_t>(
+        confirmations, std::numeric_limits<int>::max()));
+    view.restoreRule(std::move(rule));
+  }
+  view_ = std::move(view);
+}
+
+KbStats KbStore::stats() const {
+  KbStats s;
+  s.rules = rules_.size();
+  for (const auto& [key, slots] : rules_) {
+    bool live = false;
+    for (const auto& [origin, slot] : slots) {
+      if (slot.evicted) {
+        ++s.tombstoneSlots;
+      } else if (slot.version > 0) {
+        live = true;
+      }
+    }
+    if (live) ++s.liveRules;
+  }
+  s.origins = ticks_.size();
+  const auto it = ticks_.find(options_.origin);
+  s.localTick = it == ticks_.end() ? 0 : it->second;
+  s.walEvents = walEvents_;
+  s.walReplayed = walReplayed_;
+  s.walRecoveredTail = walRecoveredTail_;
+  s.compactions = compactions_;
+  s.evictions = evictions_;
+  s.merges = merges_;
+  return s;
+}
+
+}  // namespace flames::kb

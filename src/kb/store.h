@@ -1,0 +1,272 @@
+// flames::kb — a durable, mergeable, fleet-scale experience store.
+//
+// Paper §7's learning compounds with traffic, but one in-memory
+// ExperienceBase dies with its process and cannot be combined across
+// service instances. KbStore wraps the learning semantics in a
+// durability/replication layer:
+//
+//   * every mutation is a write-ahead-log record (kb/wal.h) applied to an
+//     in-memory state that snapshot compaction (tmp file + atomic rename +
+//     WAL reset) folds into `snapshot.kb`; a crash at any instant recovers
+//     to the durable prefix;
+//   * the state is a join-semilattice so merging two stores is
+//     commutative, associative and idempotent **by construction**: rules
+//     are keyed by their quantized symptom signature, and each rule holds
+//     one slot per *origin* (service instance). A store only ever mutates
+//     its own origin's slots, bumping a per-slot version; merge takes, per
+//     (rule, origin), the slot with the higher version. Two instances that
+//     learned from disjoint scenario streams therefore converge to the
+//     identical rule set — and because serialize() is canonical (sorted
+//     keys, sorted origins, 17-digit doubles), to byte-identical
+//     snapshots — regardless of merge order;
+//   * certainty degrees from different origins are *fused* at read time
+//     with a possibilistic combination rule (Monai & Chehire's possibilistic
+//     ATMS data fusion): the disjunctive max (some source is right) or the
+//     conjunctive min (consensus of reliable sources). Both are idempotent
+//     t-(co)norms, so fusion never manufactures certainty from repetition —
+//     merging the same evidence twice is a no-op;
+//   * stale rules decay: a decay() sweep multiplies the certainty of local
+//     slots that have not been touched for an age horizon that *grows* with
+//     the slot's confirmation count (often-hit rules age slower), and
+//     tombstones slots that fall below the eviction floor. Tombstones carry
+//     versions so an eviction survives merges instead of being resurrected
+//     by a peer's stale copy. Because decay touches only local slots, it
+//     commutes with merge: merge-then-decay == decay-then-merge.
+//
+// Lookups go through a cached, fused ExperienceBase view (rebuilt eagerly
+// on mutation), which itself uses the signature index — the hot path is a
+// hash probe over rules sharing the symptom's quantity set, not a linear
+// scan. KbStore is not internally synchronized; DiagnosisService wraps it
+// in its experience lock (reads shared, writes exclusive).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "diagnosis/learning.h"
+#include "kb/wal.h"
+
+namespace flames::kb {
+
+/// How certainty degrees of the *same* rule learned by different origins
+/// combine into the effective certainty served to the diagnosis pipeline.
+enum class FusionPolicy {
+  /// Disjunctive (possibilistic max): believe the most convinced source.
+  kMax,
+  /// Conjunctive (possibilistic min): only believe what every source that
+  /// has seen the rule agrees on.
+  kMin,
+};
+
+[[nodiscard]] std::string_view fusionPolicyName(FusionPolicy p);
+
+/// Age- and hit-count-weighted staleness policy for decay() sweeps.
+struct DecayPolicy {
+  /// Certainty multiplier applied to a stale slot per decay() call.
+  double factor = 0.8;
+  /// Base staleness horizon: a local slot untouched for this many local
+  /// events is stale...
+  std::uint64_t staleAfterEvents = 64;
+  /// ...except that every confirmation extends its horizon by this many
+  /// events — rules that keep getting hit stay fresh longer.
+  std::uint64_t horizonPerConfirmation = 16;
+  /// Slots decayed below this certainty are tombstoned (evicted).
+  double evictBelow = 0.05;
+};
+
+/// Crash-injection hooks for tests and the CI crash-recovery job. `failAt`
+/// is consulted at the named stages of the durability protocol —
+/// "wal_append", "snapshot_write", "snapshot_rename", "wal_reset" —
+/// and returning true makes the store die mid-operation (KbIoError) leaving
+/// exactly the on-disk state a process crash at that point would leave
+/// (partial record, orphaned tmp file, snapshot/WAL generation mismatch).
+struct IoHooks {
+  std::function<bool(std::string_view stage)> failAt;
+};
+
+struct KbOptions {
+  /// Durability directory (snapshot.kb + wal.log). Empty = in-memory only.
+  std::string dir;
+  /// This instance's origin id — non-empty, whitespace-free. Every local
+  /// mutation lands in this origin's slots; instances that will merge with
+  /// each other MUST use distinct origins (convergence is per-origin
+  /// single-writer). Names only a *fresh* store: a directory that already
+  /// has a WAL keeps the origin durably recorded in its header (adopted at
+  /// open), so reopening someone else's store — e.g. to merge from it —
+  /// can never re-attribute their history.
+  std::string origin = "local";
+  FusionPolicy fusion = FusionPolicy::kMax;
+  DecayPolicy decay;
+  /// Learning semantics of the wrapped ExperienceBase (reinforcement,
+  /// initial certainty, signature index flag).
+  diagnosis::LearningOptions learning;
+  /// Auto-compact after this many WAL records (0 = manual compact() only).
+  std::uint64_t snapshotEveryEvents = 0;
+  IoHooks hooks;
+};
+
+struct KbStats {
+  std::size_t rules = 0;           ///< rule keys (incl. fully-tombstoned)
+  std::size_t liveRules = 0;       ///< rules with at least one live slot
+  std::size_t tombstoneSlots = 0;  ///< evicted (origin, rule) slots
+  std::size_t origins = 0;         ///< distinct origins seen
+  std::uint64_t localTick = 0;     ///< local events applied over all time
+  std::uint64_t walEvents = 0;     ///< records in the current WAL generation
+  std::uint64_t walReplayed = 0;   ///< records replayed at open()
+  bool walRecoveredTail = false;   ///< open() truncated a corrupt tail
+  std::uint64_t compactions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t merges = 0;
+};
+
+class KbError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Durability-layer failure (I/O error or injected crash).
+class KbIoError : public KbError {
+ public:
+  using KbError::KbError;
+};
+
+/// Malformed snapshot / merge payload; carries the 1-based line number.
+class KbFormatError : public KbError {
+ public:
+  KbFormatError(std::size_t line, const std::string& what)
+      : KbError("kb snapshot line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// One origin's locally-evolved state for one rule. Only the owning origin
+/// ever mutates a slot (bumping `version`); everyone else replicates it
+/// verbatim, so "higher version wins" is a total order per slot.
+struct OriginSlot {
+  std::uint64_t version = 0;
+  double certainty = 0.5;
+  std::uint32_t confirmations = 0;
+  std::uint32_t failures = 0;
+  /// Owning origin's local tick when the slot was last reinforced (decay
+  /// measures staleness against this; meaningless across origins).
+  std::uint64_t lastEvent = 0;
+  /// Tombstone: the slot was evicted. Kept (with its version) so the
+  /// eviction wins merges against older live copies.
+  bool evicted = false;
+  std::vector<diagnosis::Symptom> symptoms;  ///< empty when evicted
+};
+
+/// Rule identity: component + mode + quantized symptom-signature shape.
+struct RuleKey {
+  std::string component;
+  std::string mode;
+  std::string shape;
+
+  bool operator<(const RuleKey& o) const {
+    if (component != o.component) return component < o.component;
+    if (mode != o.mode) return mode < o.mode;
+    return shape < o.shape;
+  }
+  bool operator==(const RuleKey& o) const = default;
+};
+
+/// Canonical shape of a signature: symptoms sorted by quantity, each
+/// rendered as `quantity~direction~bucket` (signed Dc quantized to
+/// round(4*dc) in -4..4) joined with '|'. Quantization makes the key stable
+/// under measurement noise so repeated confirmations of the same fault land
+/// in the same slot on every instance.
+[[nodiscard]] std::string signatureShape(
+    std::vector<diagnosis::Symptom> signature);
+
+class KbStore {
+ public:
+  /// Opens the store. With a durability dir: loads `snapshot.kb` if
+  /// present, then replays `wal.log` on top (discarding it if it is bound
+  /// to a different snapshot generation, truncating a corrupt tail).
+  explicit KbStore(KbOptions options = {});
+
+  // --- local learning ops (ExperienceBase semantics, WAL-logged) ---
+  void recordSuccess(std::vector<diagnosis::Symptom> signature,
+                     const std::string& component, const std::string& mode);
+  void recordFailure(const std::string& component, const std::string& mode);
+  /// One age sweep over local slots (see DecayPolicy).
+  void decay();
+  /// Destructively replaces the store's content with `base` (compat with
+  /// DiagnosisService::seedExperience and legacy experience files): clears
+  /// every origin, then restores each rule verbatim into the local origin.
+  void seed(const diagnosis::ExperienceBase& base);
+
+  // --- lookup hot path ---
+  [[nodiscard]] std::vector<diagnosis::ExperienceHint> match(
+      const std::vector<diagnosis::Symptom>& current) const {
+    return view_.match(current);
+  }
+  /// The fused per-rule view (one SymptomRule per rule key with at least
+  /// one live slot: certainty fused per FusionPolicy over origins,
+  /// confirmations summed, signature confirmation-weighted).
+  [[nodiscard]] const diagnosis::ExperienceBase& materialized() const {
+    return view_;
+  }
+
+  // --- merge ---
+  /// Canonical serialization of the whole state. Equal states produce
+  /// byte-identical strings; this is also the snapshot file format and the
+  /// merge payload.
+  [[nodiscard]] std::string serialize() const;
+  /// Joins a peer state (a serialize() payload) into this store: ticks
+  /// pointwise max, slots per (rule, origin) by higher version. Durable
+  /// stores compact() immediately afterwards so the merge is atomic on
+  /// disk. Throws KbFormatError on a malformed payload.
+  void mergeState(const std::string& canonicalState);
+  void mergeFrom(const KbStore& other) { mergeState(other.serialize()); }
+
+  // --- durability ---
+  /// Folds the WAL into a fresh snapshot: write `snapshot.kb.tmp`, fsync-
+  /// less flush, atomic rename over `snapshot.kb`, then reset `wal.log` to
+  /// a header bound to the new snapshot's CRC. No-op for in-memory stores.
+  void compact();
+
+  [[nodiscard]] KbStats stats() const;
+  [[nodiscard]] const KbOptions& options() const { return options_; }
+  [[nodiscard]] bool durable() const { return !options_.dir.empty(); }
+
+ private:
+  void open();
+  void applyLocal(const WalEvent& ev);
+  void commitLocal(WalEvent ev);
+  void appendWal(const WalEvent& ev);
+  void resetWal();
+  void rebuildView();
+  [[nodiscard]] bool injectedCrash(std::string_view stage) const;
+
+  [[nodiscard]] std::string snapshotPath() const;
+  [[nodiscard]] std::string walPath() const;
+
+  KbOptions options_;
+  /// origin -> local event count; merged by pointwise max so converged
+  /// stores agree on every origin's clock.
+  std::map<std::string, std::uint64_t> ticks_;
+  std::map<RuleKey, std::map<std::string, OriginSlot>> rules_;
+  /// Cached fused view, rebuilt eagerly after every mutation so match()
+  /// stays const (callable under a shared lock).
+  diagnosis::ExperienceBase view_;
+
+  bool hasSnapshot_ = false;
+  std::uint32_t snapshotCrc_ = 0;
+  std::uint64_t walEvents_ = 0;
+  std::uint64_t walReplayed_ = 0;
+  bool walRecoveredTail_ = false;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace flames::kb

@@ -1,0 +1,246 @@
+#include "kb/wal.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace flames::kb {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::string_view kHeaderPrefix = "flames-kb-wal v1 origin ";
+constexpr std::string_view kSnapMarker = " snap ";
+constexpr std::string_view kCrcMarker = " crc=";
+
+std::string crcHex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+/// Parses the complete token as a double; returns false on trailing junk.
+bool parseDoubleToken(const std::string& tok, double& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(tok.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool parseU64Token(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(tok.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// Parses the body of one record (the part before " crc=") into `ev`.
+bool parseEventBody(const std::string& body, WalEvent& ev) {
+  std::istringstream is(body);
+  std::string tag;
+  std::string tick;
+  std::string kind;
+  if (!(is >> tag >> tick >> kind) || tag != "ev") return false;
+  if (!parseU64Token(tick, ev.tick)) return false;
+
+  const auto readSymptoms = [&is, &ev](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      diagnosis::Symptom s;
+      std::string dc;
+      if (!(is >> s.quantity >> dc >> s.direction)) return false;
+      if (!parseDoubleToken(dc, s.signedDc)) return false;
+      ev.symptoms.push_back(std::move(s));
+    }
+    return true;
+  };
+  const auto atEnd = [&is] {
+    std::string extra;
+    return !(is >> extra);
+  };
+
+  if (kind == "success") {
+    ev.kind = WalEventKind::kSuccess;
+    std::size_t n = 0;
+    if (!(is >> ev.component >> ev.mode >> n)) return false;
+    return readSymptoms(n) && atEnd();
+  }
+  if (kind == "failure") {
+    ev.kind = WalEventKind::kFailure;
+    return static_cast<bool>(is >> ev.component >> ev.mode) && atEnd();
+  }
+  if (kind == "decay") {
+    ev.kind = WalEventKind::kDecay;
+    return atEnd();
+  }
+  if (kind == "restore") {
+    ev.kind = WalEventKind::kRestore;
+    std::size_t n = 0;
+    std::string cert;
+    if (!(is >> ev.component >> ev.mode >> cert >> ev.confirmations >>
+          ev.failures >> n)) {
+      return false;
+    }
+    if (!parseDoubleToken(cert, ev.certainty)) return false;
+    return readSymptoms(n) && atEnd();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFU] ^ (c >> 8U);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string_view walEventKindName(WalEventKind k) {
+  switch (k) {
+    case WalEventKind::kSuccess: return "success";
+    case WalEventKind::kFailure: return "failure";
+    case WalEventKind::kDecay: return "decay";
+    case WalEventKind::kRestore: return "restore";
+  }
+  return "?";
+}
+
+std::string renderWalHeader(std::string_view origin,
+                            std::uint32_t snapshotCrc, bool hasSnapshot) {
+  std::string line(kHeaderPrefix);
+  line += origin;
+  line += kSnapMarker;
+  line += hasSnapshot ? crcHex(snapshotCrc) : "none";
+  line += '\n';
+  return line;
+}
+
+std::string renderWalEvent(const WalEvent& ev) {
+  std::ostringstream os;
+  os << "ev " << ev.tick << ' ' << walEventKindName(ev.kind);
+  switch (ev.kind) {
+    case WalEventKind::kSuccess:
+      os << ' ' << ev.component << ' ' << ev.mode << ' ' << ev.symptoms.size();
+      break;
+    case WalEventKind::kFailure:
+      os << ' ' << ev.component << ' ' << ev.mode;
+      break;
+    case WalEventKind::kDecay:
+      break;
+    case WalEventKind::kRestore:
+      os << ' ' << ev.component << ' ' << ev.mode << ' '
+         << formatDouble(ev.certainty) << ' ' << ev.confirmations << ' '
+         << ev.failures << ' ' << ev.symptoms.size();
+      break;
+  }
+  if (ev.kind == WalEventKind::kSuccess || ev.kind == WalEventKind::kRestore) {
+    for (const diagnosis::Symptom& s : ev.symptoms) {
+      os << ' ' << s.quantity << ' ' << formatDouble(s.signedDc) << ' '
+         << s.direction;
+    }
+  }
+  std::string body = os.str();
+  const std::uint32_t crc = crc32(body);
+  body += kCrcMarker;
+  body += crcHex(crc);
+  body += '\n';
+  return body;
+}
+
+WalReadResult readWal(std::string_view bytes) {
+  WalReadResult result;
+
+  // --- header ---
+  const std::size_t headerEnd = bytes.find('\n');
+  if (headerEnd == std::string_view::npos) return result;
+  const std::string_view header = bytes.substr(0, headerEnd);
+  if (header.substr(0, kHeaderPrefix.size()) != kHeaderPrefix) return result;
+  const std::string_view rest = header.substr(kHeaderPrefix.size());
+  const std::size_t snapAt = rest.find(kSnapMarker);
+  if (snapAt == std::string_view::npos || snapAt == 0) return result;
+  const std::string_view origin = rest.substr(0, snapAt);
+  if (origin.find_first_of(" \t") != std::string_view::npos) return result;
+  const std::string snap(rest.substr(snapAt + kSnapMarker.size()));
+  if (snap == "none") {
+    result.boundToSnapshot = false;
+  } else {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(snap.c_str(), &end, 16);
+    if (snap.empty() || end == nullptr || *end != '\0') return result;
+    result.boundToSnapshot = true;
+    result.snapshotCrc = static_cast<std::uint32_t>(v);
+  }
+  result.origin = std::string(origin);
+  result.headerOk = true;
+  result.goodBytes = headerEnd + 1;
+
+  // --- records ---
+  std::uint64_t expectedTick = 0;
+  std::size_t pos = headerEnd + 1;
+  while (pos < bytes.size()) {
+    const std::size_t eol = bytes.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      result.cleanTail = false;
+      result.tailError = "truncated record (no trailing newline)";
+      return result;
+    }
+    const std::string line(bytes.substr(pos, eol - pos));
+    const std::size_t crcAt = line.rfind(kCrcMarker);
+    if (crcAt == std::string::npos) {
+      result.cleanTail = false;
+      result.tailError = "record without checksum";
+      return result;
+    }
+    const std::string body = line.substr(0, crcAt);
+    const std::string crcTok = line.substr(crcAt + kCrcMarker.size());
+    char* end = nullptr;
+    const unsigned long stored = std::strtoul(crcTok.c_str(), &end, 16);
+    if (crcTok.size() != 8 || end == nullptr || *end != '\0' ||
+        static_cast<std::uint32_t>(stored) != crc32(body)) {
+      result.cleanTail = false;
+      result.tailError = "checksum mismatch";
+      return result;
+    }
+    WalEvent ev;
+    if (!parseEventBody(body, ev)) {
+      result.cleanTail = false;
+      result.tailError = "malformed record body";
+      return result;
+    }
+    if (ev.tick != expectedTick + 1 && !(expectedTick == 0 && ev.tick > 0)) {
+      // The first record may start above 1 (events after a seed/compaction
+      // carry the store's running tick); later records must be sequential.
+      result.cleanTail = false;
+      result.tailError = "tick sequence break";
+      return result;
+    }
+    expectedTick = ev.tick;
+    pos = eol + 1;
+    ev.endOffset = pos;
+    result.events.push_back(std::move(ev));
+    result.goodBytes = pos;
+  }
+  return result;
+}
+
+}  // namespace flames::kb

@@ -1,0 +1,114 @@
+// Write-ahead log for the persistent experience store (src/kb/store.h).
+//
+// Every local mutation of a KbStore — recordSuccess, recordFailure, decay,
+// restore (seeding) — is appended to `wal.log` as one self-checksummed text
+// line *before* it is applied in memory, so a crash at any instant loses at
+// most the record being written. The line format is
+//
+//   ev <tick> <kind> <payload...> crc=<8 hex digits>
+//
+// where the CRC-32 covers everything before " crc=". Records carry the
+// store's local event tick (1, 2, ...) so replay can detect reordered or
+// spliced logs. Recovery scans from the top and stops at the first record
+// that fails its checksum, is truncated (no trailing newline), or breaks
+// the tick sequence: everything before that byte offset is the durable
+// prefix, everything after is discarded — exactly the state an append-crash
+// leaves behind.
+//
+// The header line records the directory's owning origin and binds the log
+// to one snapshot *generation*:
+//
+//   flames-kb-wal v1 origin <id> snap <crc|none>
+//
+// WAL records carry no origin of their own — they are by definition local
+// events of the directory's owner — so the owner's id must live in the
+// header: replaying the log under any other identity would re-attribute its
+// events and make the store's canonical state depend on who opened it
+// (breaking merge convergence). open() adopts the recorded origin; the
+// KbOptions origin only names stores whose directory is fresh.
+//
+// `crc` is the CRC-32 of the snapshot file the log's events apply on top of
+// ("none" for a fresh store). Compaction writes the new snapshot first
+// (tmp + atomic rename) and only then resets the log; a crash between the
+// two leaves a log bound to the *old* snapshot CRC, which open() detects
+// and discards — its events are already folded into the new snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "diagnosis/learning.h"
+
+namespace flames::kb {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// Shortest round-trip decimal rendering of a double (printf %.17g):
+/// parsing the result with strtod restores the exact bit pattern.
+[[nodiscard]] std::string formatDouble(double v);
+
+enum class WalEventKind {
+  kSuccess,  ///< ExperienceBase::recordSuccess — confirmed diagnosis
+  kFailure,  ///< recordFailure — a rule's suggestion proved wrong
+  kDecay,    ///< age-based decay sweep over stale local rules
+  kRestore,  ///< verbatim rule restore (seeding from a legacy experience file)
+};
+
+[[nodiscard]] std::string_view walEventKindName(WalEventKind k);
+
+/// One logged mutation. `tick` is the store's local event counter *after*
+/// applying this event (the first event of a fresh store has tick 1).
+struct WalEvent {
+  WalEventKind kind = WalEventKind::kSuccess;
+  std::uint64_t tick = 0;
+  /// Set by readWal: byte offset just past this record's newline, so a
+  /// caller that rejects the record (e.g. a tick that does not continue the
+  /// snapshot's clock) can truncate the file right before it.
+  std::size_t endOffset = 0;
+  std::string component;                       ///< success/failure/restore
+  std::string mode;                            ///< success/failure/restore
+  std::vector<diagnosis::Symptom> symptoms;    ///< success/restore
+  double certainty = 0.0;                      ///< restore only
+  std::uint32_t confirmations = 0;             ///< restore only
+  std::uint32_t failures = 0;                  ///< restore only
+};
+
+/// Renders the header line (including the trailing newline).
+/// `hasSnapshot` false renders "snap none". `origin` must be non-empty and
+/// whitespace-free (KbStore validates this at construction).
+[[nodiscard]] std::string renderWalHeader(std::string_view origin,
+                                          std::uint32_t snapshotCrc,
+                                          bool hasSnapshot);
+
+/// Renders one event as a checksummed line (including the trailing newline).
+[[nodiscard]] std::string renderWalEvent(const WalEvent& ev);
+
+struct WalReadResult {
+  /// False if the header line is missing or malformed — the whole log is
+  /// untrusted and must be discarded (the events are unusable without
+  /// knowing which snapshot they apply to).
+  bool headerOk = false;
+  /// The directory's owning origin, from the header.
+  std::string origin;
+  /// Snapshot binding from the header.
+  bool boundToSnapshot = false;
+  std::uint32_t snapshotCrc = 0;
+  /// Events of the durable prefix, in order.
+  std::vector<WalEvent> events;
+  /// False when a corrupt/truncated tail was found after the good prefix.
+  bool cleanTail = true;
+  /// Byte offset of the first non-durable byte: truncating the file here
+  /// removes the corrupt tail while keeping every good record.
+  std::size_t goodBytes = 0;
+  /// Human-readable description of the tail problem (empty when clean).
+  std::string tailError;
+};
+
+/// Parses a WAL image. Never throws: corruption is data, not an error —
+/// the caller decides whether to truncate, discard, or refuse.
+[[nodiscard]] WalReadResult readWal(std::string_view bytes);
+
+}  // namespace flames::kb

@@ -1,13 +1,19 @@
 #include "scenario/oracle.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 
+#include "circuit/fault.h"
 #include "constraints/model_builder.h"
+#include "kb/store.h"
 #include "lint/lint.h"
 #include "prov/certificate.h"
 #include "prov/check.h"
@@ -320,6 +326,50 @@ OracleResult runOracle(const Scenario& s, const OracleOptions& options,
       result.violations.emplace_back(
           std::string("I10: certificate replay threw: ") + e.what());
     }
+  }
+
+  // I11 — KB durability. Drive the run's own symptom signature through a
+  // durable experience store in a scratch directory: confirm, compact (so a
+  // snapshot exists), then confirm/fail/decay again so the state is a
+  // snapshot plus a live WAL tail — the exact shape crash recovery has to
+  // handle. Reopening the directory must reproduce the in-memory canonical
+  // serialization byte for byte.
+  if (options.checkKbDurability) {
+    namespace fs = std::filesystem;
+    static std::atomic<std::uint64_t> kbRun{0};
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("flames-kb-oracle-" + std::to_string(::getpid()) + "-" +
+         std::to_string(s.seed) + "-" + std::to_string(kbRun.fetch_add(1)));
+    try {
+      kb::KbOptions ko;
+      ko.dir = dir.string();
+      ko.origin = "oracle";
+      const std::string mode(circuit::faultKindName(s.fault.kind));
+      std::string live;
+      {
+        kb::KbStore store(ko);
+        store.recordSuccess(result.report.signature, s.fault.component, mode);
+        store.compact();
+        store.recordSuccess(result.report.signature, s.fault.component, mode);
+        store.recordFailure(s.fault.component, mode);
+        store.decay();
+        live = store.serialize();
+      }
+      const kb::KbStore reopened(ko);
+      const std::string replayed = reopened.serialize();
+      if (replayed != live) {
+        result.violations.push_back(
+            "I11: reopened KB state diverges from the in-memory store (live " +
+            std::to_string(live.size()) + " bytes, replayed " +
+            std::to_string(replayed.size()) + " bytes)");
+      }
+    } catch (const std::exception& e) {
+      result.violations.emplace_back(std::string("I11: kb store threw: ") +
+                                     e.what());
+    }
+    std::error_code ec;
+    fs::remove_all(dir, ec);
   }
 
   result.faultDetected = result.report.faultDetected();

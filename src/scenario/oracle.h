@@ -30,6 +30,12 @@
 //       Strictly stronger than I3/I5: those check shape (degrees in range,
 //       coverage), I10 re-derives the values themselves with no engine
 //       code on the replay path.
+//   I11 KB durability: feeding the run's symptom signature through a
+//       durable flames::kb::KbStore (success + snapshot compaction +
+//       failure + decay, so the state is a snapshot with a live WAL tail)
+//       and reopening the directory reproduces the in-memory store's
+//       canonical serialization byte for byte — WAL replay over the
+//       snapshot loses nothing.
 //
 // Culprit recovery: the faulted component must appear in some ranked
 // candidate; its rank (1-based index of the first containing candidate) and
@@ -39,7 +45,7 @@
 // used to demonstrate shrinking.
 //
 // Every violation message is prefixed with its class followed by ':' —
-// "I1".."I10", "bench" (synthesis failed), "analyze" (static analysis
+// "I1".."I11", "bench" (synthesis failed), "analyze" (static analysis
 // threw), "diagnose"/"service" (pipeline threw), "detect" (no discrepancy
 // raised), "recovery" (culprit absent), "rank" (requireRankAtMost
 // exceeded). The shrinker keys on these prefixes to reject reductions that
@@ -99,6 +105,10 @@ struct OracleOptions {
   /// Check invariant I10: force provenance recording on and replay the
   /// run's certificate through the independent checker.
   bool checkCertificates = true;
+  /// Check invariant I11: round-trip the run's symptom signature through a
+  /// durable kb::KbStore in a scratch directory and verify that reopening
+  /// (snapshot load + WAL replay) reproduces the in-memory state exactly.
+  bool checkKbDurability = true;
 };
 
 struct OracleResult {

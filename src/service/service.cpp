@@ -78,11 +78,21 @@ std::string_view jobStatusName(JobStatus s) {
   return "?";
 }
 
+namespace {
+
+kb::KbOptions mergedKbOptions(const ServiceOptions& options) {
+  kb::KbOptions ko = options.kb;
+  ko.learning = options.learning;  // ServiceOptions::learning is authoritative
+  return ko;
+}
+
+}  // namespace
+
 DiagnosisService::DiagnosisService(ServiceOptions options)
     : options_(options),
       cache_(options.modelCacheCapacity),
       recorder_(options.flightRecorderCapacity),
-      experience_(options.learning) {
+      experience_(mergedKbOptions(options)) {
   std::size_t n = options_.workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -190,14 +200,47 @@ void DiagnosisService::confirm(const diagnosis::DiagnosisReport& report,
   experience_.recordSuccess(report.signature, component, mode);
 }
 
+void DiagnosisService::recordFailure(const std::string& component,
+                                     const std::string& mode) {
+  util::WriterLock lock(experienceMutex_);
+  experience_.recordFailure(component, mode);
+}
+
 diagnosis::ExperienceBase DiagnosisService::snapshotExperience() const {
   util::ReaderLock lock(experienceMutex_);
-  return experience_;
+  return experience_.materialized();
 }
 
 void DiagnosisService::seedExperience(diagnosis::ExperienceBase base) {
   util::WriterLock lock(experienceMutex_);
-  experience_ = std::move(base);
+  experience_.seed(base);
+}
+
+std::string DiagnosisService::exportExperienceState() const {
+  util::ReaderLock lock(experienceMutex_);
+  return experience_.serialize();
+}
+
+void DiagnosisService::mergeExperienceFrom(const DiagnosisService& other) {
+  // Two-phase to keep lock acquisition strictly sequential: copy the peer
+  // state under *its* reader lock, then join under *our* writer lock. Safe
+  // for concurrent a.mergeExperienceFrom(b) / b.mergeExperienceFrom(a).
+  mergeExperienceState(other.exportExperienceState());
+}
+
+void DiagnosisService::mergeExperienceState(const std::string& state) {
+  util::WriterLock lock(experienceMutex_);
+  experience_.mergeState(state);
+}
+
+void DiagnosisService::compactExperience() {
+  util::WriterLock lock(experienceMutex_);
+  experience_.compact();
+}
+
+void DiagnosisService::decayExperience() {
+  util::WriterLock lock(experienceMutex_);
+  experience_.decay();
 }
 
 void DiagnosisService::drain() {
@@ -220,7 +263,8 @@ ServiceStats DiagnosisService::stats() const {
   s.workers = workers_.size();
   {
     util::ReaderLock lock(experienceMutex_);
-    s.experienceRules = experience_.size();
+    s.experienceRules = experience_.materialized().size();
+    s.kb = experience_.stats();
   }
   s.modelCache = cache_.stats();
   return s;

@@ -33,6 +33,7 @@
 
 #include "diagnosis/flames.h"
 #include "diagnosis/learning.h"
+#include "kb/store.h"
 #include "service/flight_recorder.h"
 #include "service/model_cache.h"
 #include "util/thread_safety.h"
@@ -125,6 +126,12 @@ struct ServiceOptions {
   /// Applied to requests that carry no deadline of their own; 0 = none.
   std::chrono::nanoseconds defaultDeadline{0};
   diagnosis::LearningOptions learning;
+  /// Configuration of the persistent experience store (src/kb) every
+  /// worker shares: durability directory (empty = in-memory), this
+  /// instance's origin id for cross-instance merges, fusion policy, decay
+  /// policy, auto-snapshot cadence, crash-injection hooks. `kb.learning`
+  /// is ignored — `learning` above is authoritative for both.
+  kb::KbOptions kb;
   /// Run the cheap netlist-level lint rules at submit() and reject
   /// error-grade requests with lint::LintError before they ever reach the
   /// worker pool — a job against a broken netlist would only fail later,
@@ -176,6 +183,9 @@ struct ServiceStats {
   std::size_t queueDepth = 0;
   std::size_t workers = 0;
   std::size_t experienceRules = 0;
+  /// Persistent-store accounting (rules, tombstones, WAL depth,
+  /// compactions, merges — see kb::KbStats).
+  kb::KbStats kb;
   ModelCacheStats modelCache;
 };
 
@@ -198,17 +208,43 @@ class DiagnosisService {
   /// Non-blocking variant: returns nullptr instead of waiting for a slot.
   JobHandle trySubmit(DiagnosisRequest request);
 
-  /// Records a confirmed diagnosis into the shared experience base (§7
-  /// learning). Takes the exclusive lock; every job submitted afterwards
-  /// sees the new rule.
+  /// Records a confirmed diagnosis into the shared experience store (§7
+  /// learning; WAL-logged when the store is durable). Takes the exclusive
+  /// lock; every job submitted afterwards sees the new rule.
   void confirm(const diagnosis::DiagnosisReport& report,
                const std::string& component, const std::string& mode);
 
-  /// Copy of the shared experience base (for persistence via experience_io).
+  /// Records that a learned rule's suggestion proved wrong: every rule for
+  /// this component/mode decays (and is evicted below the floor).
+  void recordFailure(const std::string& component, const std::string& mode);
+
+  /// Copy of the *fused* experience view (for persistence via
+  /// experience_io): one rule per signature with certainties fused across
+  /// origins per the store's FusionPolicy.
   [[nodiscard]] diagnosis::ExperienceBase snapshotExperience() const;
 
-  /// Replaces the shared experience base (for loading persisted rules).
+  /// Destructively replaces the experience store's content with `base`
+  /// (for loading legacy persisted rules; kb-native flows use
+  /// mergeExperienceFrom / the durability directory instead).
   void seedExperience(diagnosis::ExperienceBase base);
+
+  /// Canonical serialization of the experience store — the merge payload
+  /// and the convergence witness: two stores with equal state export
+  /// byte-identical strings.
+  [[nodiscard]] std::string exportExperienceState() const;
+
+  /// Joins a peer instance's experience into this one (order-independent:
+  /// a.mergeExperienceFrom(b) and b.mergeExperienceFrom(a) converge to the
+  /// identical store). Durable stores compact immediately so the merge is
+  /// atomic on disk.
+  void mergeExperienceFrom(const DiagnosisService& other);
+  void mergeExperienceState(const std::string& state);
+
+  /// Forces a snapshot compaction of a durable experience store.
+  void compactExperience();
+
+  /// One age-based decay sweep over this instance's learned rules.
+  void decayExperience();
 
   /// Blocks until every job submitted so far has resolved.
   void drain();
@@ -243,7 +279,7 @@ class DiagnosisService {
   bool stopping_ FLAMES_GUARDED_BY(queueMutex_) = false;
 
   mutable util::SharedMutex experienceMutex_;
-  diagnosis::ExperienceBase experience_ FLAMES_GUARDED_BY(experienceMutex_);
+  kb::KbStore experience_ FLAMES_GUARDED_BY(experienceMutex_);
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

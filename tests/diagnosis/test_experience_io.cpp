@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#ifndef FLAMES_EXPERIENCE_GOLDEN_DIR
+#error "FLAMES_EXPERIENCE_GOLDEN_DIR must point at tests/diagnosis/golden"
+#endif
 
 namespace flames::diagnosis {
 namespace {
@@ -143,6 +148,130 @@ TEST(ExperienceIo, LoadIfExistsStillThrowsOnCorruptFile) {
   EXPECT_THROW((void)loadExperienceFileIfExists(base, path),
                std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(ExperienceIo, SaveWritesVersionedHeader) {
+  std::stringstream stream;
+  saveExperience(sampleBase(), stream);
+  std::string first;
+  std::getline(stream, first);
+  EXPECT_EQ(first, "# FLAMES experience base v2");
+}
+
+TEST(ExperienceIo, SeventeenDigitFidelity) {
+  // Certainties and signed Dc values round-trip bit-exactly (%.17g), so
+  // repeated save/load cycles can never drift a rule's strength.
+  ExperienceBase original;
+  SymptomRule rule;
+  rule.component = "R7";
+  rule.mode = "drift";
+  rule.certainty = 0.1 + 0.2;  // 0.30000000000000004
+  rule.confirmations = 3;
+  rule.symptoms = {{"V(x)", 1.0 / 3.0, 1}, {"V(y)", -2.0 / 7.0, -1}};
+  original.restoreRule(rule);
+
+  std::stringstream stream;
+  saveExperience(original, stream);
+  ExperienceBase restored;
+  ASSERT_EQ(loadExperience(restored, stream), 1u);
+  const SymptomRule& r = restored.rules().front();
+  EXPECT_EQ(r.certainty, 0.1 + 0.2);  // exact, not just approximate
+  EXPECT_EQ(r.symptoms[0].signedDc, 1.0 / 3.0);
+  EXPECT_EQ(r.symptoms[1].signedDc, -2.0 / 7.0);
+  EXPECT_EQ(r.symptoms[0].direction, 1);
+  EXPECT_EQ(r.symptoms[1].direction, -1);
+}
+
+TEST(ExperienceIo, GoldenV2FileRoundTrip) {
+  // The committed golden pins the v2 byte format: load it, re-save it, and
+  // the bytes must match exactly. Refresh intentionally-changed formats
+  // with FLAMES_UPDATE_GOLDEN=1 and review the diff.
+  const std::string path =
+      std::string(FLAMES_EXPERIENCE_GOLDEN_DIR) + "/experience_v2.txt";
+  ExperienceBase base;
+  SymptomRule rule;
+  rule.component = "R2";
+  rule.mode = "short";
+  rule.certainty = 0.65;
+  rule.confirmations = 2;
+  rule.symptoms = {{"V(V1)", 0.1 + 0.2, 1}, {"V(Vs)", -1.0 / 3.0, -1}};
+  base.restoreRule(rule);
+  std::stringstream stream;
+  saveExperience(base, stream);
+  const std::string actual = stream.str();
+
+  if (std::getenv("FLAMES_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << path << " missing - run with FLAMES_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str());
+
+  // And the golden bytes load back to the exact same base.
+  std::stringstream replay(expected.str());
+  ExperienceBase restored;
+  ASSERT_EQ(loadExperience(restored, replay), 1u);
+  EXPECT_EQ(restored.rules().front().certainty, 0.65);
+  EXPECT_EQ(restored.rules().front().symptoms[0].signedDc, 0.1 + 0.2);
+}
+
+TEST(ExperienceIo, ErrorsCarryLineNumbers) {
+  {
+    std::stringstream bad;
+    bad << "# FLAMES experience base v2\n"
+        << "rule R1 open 0.5 1 1\n"
+        << "sym V(a) -0.5\n";  // v2 requires the direction column
+    ExperienceBase base;
+    try {
+      loadExperience(base, bad);
+      FAIL() << "expected ExperienceFormatError";
+    } catch (const ExperienceFormatError& e) {
+      EXPECT_EQ(e.line(), 3u);
+      EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("direction"), std::string::npos);
+    }
+  }
+  {
+    std::stringstream bad;
+    bad << "rule R1 open not_a_number 1 0\n";
+    ExperienceBase base;
+    try {
+      loadExperience(base, bad);
+      FAIL() << "expected ExperienceFormatError";
+    } catch (const ExperienceFormatError& e) {
+      EXPECT_EQ(e.line(), 1u);
+    }
+  }
+}
+
+TEST(ExperienceIo, V1FilesLoadWithLenientDirection) {
+  // Pre-v2 files have no direction column; it defaults to 0 on load.
+  std::stringstream v1;
+  v1 << "# FLAMES experience base v1\n"
+     << "rule R1 open 0.5 1 1\n"
+     << "sym V(a) -0.5\n";
+  ExperienceBase base;
+  ASSERT_EQ(loadExperience(base, v1), 1u);
+  EXPECT_EQ(base.rules().front().symptoms.front().direction, 0);
+}
+
+TEST(ExperienceIo, FutureFormatVersionRejected) {
+  std::stringstream future;
+  future << "# FLAMES experience base v3\n";
+  ExperienceBase base;
+  try {
+    loadExperience(base, future);
+    FAIL() << "expected ExperienceFormatError";
+  } catch (const ExperienceFormatError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("unsupported"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 namespace flames::diagnosis {
 namespace {
 
@@ -106,6 +110,112 @@ TEST(ExperienceBase, ClearEmpties) {
   eb.clear();
   EXPECT_EQ(eb.size(), 0u);
   EXPECT_TRUE(eb.match(signatureA()).empty());
+}
+
+// --- signature-index A/B equivalence ---
+//
+// The indexed match path (LearningOptions::useSignatureIndex) must be
+// observationally identical to the legacy linear scan: the index only
+// skips rules whose quantity sets differ, which similarity() scores 0
+// anyway. Both configurations are driven with the same event stream and
+// must produce hint lists that agree element by element.
+
+ExperienceBase withIndex(bool enabled) {
+  LearningOptions opts;
+  opts.useSignatureIndex = enabled;
+  return ExperienceBase(opts);
+}
+
+void feedStream(ExperienceBase& eb, std::uint64_t seed, std::size_t events) {
+  const std::vector<std::string> comps = {"R1", "R2", "R3", "Q1"};
+  const std::vector<std::string> modes = {"short", "open"};
+  const std::vector<std::vector<std::string>> quantitySets = {
+      {"V(V1)"},
+      {"V(V1)", "V(V2)"},
+      {"V(V1)", "V(V2)", "V(Vs)"},
+      {"V(V2)", "V(Vs)"},
+  };
+  std::uint64_t state = seed * 2654435761u + 1;
+  const auto next = [&state](std::uint32_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>((state >> 33) % bound);
+  };
+  for (std::size_t i = 0; i < events; ++i) {
+    if (next(8) == 0) {
+      eb.recordFailure(comps[next(4)], modes[next(2)]);
+      continue;
+    }
+    std::vector<Symptom> sig;
+    for (const std::string& q : quantitySets[next(4)]) {
+      const double dc = (static_cast<double>(next(9)) - 4.0) / 4.0;
+      sig.push_back({q, dc, dc < 0 ? -1 : (dc > 0 ? 1 : 0)});
+    }
+    eb.recordSuccess(std::move(sig), comps[next(4)], modes[next(2)]);
+  }
+}
+
+TEST(SignatureIndex, MatchAgreesWithLinearScan) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ExperienceBase indexed = withIndex(true);
+    ExperienceBase linear = withIndex(false);
+    feedStream(indexed, seed, 60);
+    feedStream(linear, seed, 60);
+    ASSERT_EQ(indexed.size(), linear.size()) << "seed " << seed;
+
+    const std::vector<std::vector<Symptom>> probes = {
+        {{"V(V1)", -0.4, -1}},
+        {{"V(V1)", 0.2, 1}, {"V(V2)", -0.6, -1}},
+        {{"V(V1)", 0.9, 1}, {"V(V2)", 0.9, 1}, {"V(Vs)", -0.9, -1}},
+        {{"V(x)", 1.0, 1}},  // quantity no rule has seen
+    };
+    for (const auto& probe : probes) {
+      const auto a = indexed.match(probe);
+      const auto b = linear.match(probe);
+      ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].component, b[i].component);
+        EXPECT_EQ(a[i].mode, b[i].mode);
+        EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+        EXPECT_DOUBLE_EQ(a[i].certainty, b[i].certainty);
+      }
+    }
+  }
+}
+
+TEST(SignatureIndex, SurvivesEvictionReindexing) {
+  // recordFailure erases rules (shifting every later index); the indexed
+  // path must keep matching exactly like the linear scan afterwards.
+  ExperienceBase indexed = withIndex(true);
+  ExperienceBase linear = withIndex(false);
+  for (ExperienceBase* eb : {&indexed, &linear}) {
+    eb->recordSuccess({{"V(V1)", -0.5, -1}}, "R1", "short");
+    eb->recordSuccess({{"V(V2)", 0.5, 1}}, "R2", "open");
+    eb->recordSuccess({{"V(V1)", 0.5, 1}}, "R3", "short");
+    // Hammer R2's certainty below the eviction floor.
+    for (int i = 0; i < 12; ++i) eb->recordFailure("R2", "open");
+  }
+  ASSERT_EQ(indexed.size(), linear.size());
+  for (const auto& probe : {std::vector<Symptom>{{"V(V1)", -0.4, -1}},
+                            std::vector<Symptom>{{"V(V2)", 0.4, 1}}}) {
+    const auto a = indexed.match(probe);
+    const auto b = linear.match(probe);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].component, b[i].component);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(SignatureIndex, QuantityKeyIsOrderSensitiveOnSortedInput) {
+  const std::vector<Symptom> sorted = {{"V(a)", 0.1, 1}, {"V(b)", 0.2, 1}};
+  const std::vector<Symptom> other = {{"V(a)", 0.9, 1}, {"V(b)", -0.9, -1}};
+  // Same quantity set => same bucket, regardless of Dc values.
+  EXPECT_EQ(ExperienceBase::quantityKey(sorted),
+            ExperienceBase::quantityKey(other));
+  const std::vector<Symptom> different = {{"V(a)", 0.1, 1}, {"V(c)", 0.2, 1}};
+  EXPECT_NE(ExperienceBase::quantityKey(sorted),
+            ExperienceBase::quantityKey(different));
 }
 
 }  // namespace

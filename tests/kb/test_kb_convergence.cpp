@@ -1,0 +1,157 @@
+// Fleet convergence: two DiagnosisService instances, each backed by its own
+// durable KB directory and origin, learn from disjoint scenario streams and
+// then merge from each other. Because the merge is a join over per-origin
+// versioned slots and serialize() is canonical, both instances must end
+// with byte-identical exported state AND byte-identical snapshot files on
+// disk — regardless of which instance merges first.
+//
+// The smoke test runs a small stream. The soak-scale variant (hundreds of
+// confirmations, both merge orders) is gated behind FLAMES_KB_SOAK=1 and
+// carries the nightly `soak` ctest label via its own registration; when the
+// states diverge it dumps both exports under FLAMES_KB_DUMP_DIR (or the
+// test temp dir) for offline diffing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "circuit/fault.h"
+#include "kb/store.h"
+#include "service/service.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace flames {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string readFileBytes(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void dumpDivergence(const std::string& label, const std::string& a,
+                    const std::string& b) {
+  const char* env = std::getenv("FLAMES_KB_DUMP_DIR");
+  const fs::path dir = env != nullptr ? fs::path(env)
+                                      : fs::path(::testing::TempDir());
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  std::ofstream(dir / (label + "_a.kb")) << a;
+  std::ofstream(dir / (label + "_b.kb")) << b;
+  ADD_FAILURE() << label << ": diverged KB states dumped to " << dir;
+}
+
+/// One fleet instance: a service with a durable KB, fed `jobs` scenarios
+/// from `seed` over a shared ladder topology, confirming every detected
+/// fault against the generator's ground truth.
+class Instance {
+ public:
+  Instance(fs::path dir, const std::string& origin)
+      : dir_(std::move(dir)) {
+    fs::remove_all(dir_);
+    service::ServiceOptions sopts;
+    sopts.workers = 1;
+    sopts.kb.dir = dir_.string();
+    sopts.kb.origin = origin;
+    svc_ = std::make_unique<service::DiagnosisService>(sopts);
+  }
+  ~Instance() {
+    svc_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void learn(std::uint32_t seed, std::size_t jobs) {
+    const auto net = std::make_shared<const circuit::Netlist>(
+        workload::resistorLadder(3));
+    const auto probes = workload::tapsOf(*net, "t");
+    const auto traffic =
+        workload::synthesizeTraffic(*net, probes, jobs, seed, 0.0);
+    for (const auto& item : traffic) {
+      service::DiagnosisRequest req;
+      req.netlist = net;
+      for (const auto& r : item.readings) {
+        req.measurements.push_back(service::crispMeasurement(r.node, r.volts));
+      }
+      const service::JobHandle job = svc_->submit(req);
+      const service::JobResult& result = job->wait();
+      if (result.status != service::JobStatus::kDone ||
+          !result.report.faultDetected() ||
+          item.scenario.faults.size() != 1) {
+        continue;
+      }
+      const circuit::Fault& f = item.scenario.faults.front();
+      svc_->confirm(result.report, f.component,
+                    std::string(circuit::faultKindName(f.kind)));
+    }
+  }
+
+  [[nodiscard]] service::DiagnosisService& service() { return *svc_; }
+  [[nodiscard]] std::string exportState() const {
+    return svc_->exportExperienceState();
+  }
+  [[nodiscard]] std::string snapshotBytes() const {
+    return readFileBytes(dir_ / "snapshot.kb");
+  }
+
+ private:
+  fs::path dir_;
+  std::unique_ptr<service::DiagnosisService> svc_;
+};
+
+void runConvergence(const std::string& label, std::size_t jobs,
+                    bool swapMergeOrder) {
+  const fs::path base = fs::path(::testing::TempDir()) / ("flames_" + label);
+  Instance a(base / "site_a", "site-a");
+  Instance b(base / "site_b", "site-b");
+  a.learn(101, jobs);
+  b.learn(202, jobs);  // disjoint stream
+
+  ASSERT_NE(a.exportState(), b.exportState());  // they really learned apart
+
+  if (swapMergeOrder) {
+    b.service().mergeExperienceFrom(a.service());
+    a.service().mergeExperienceFrom(b.service());
+  } else {
+    a.service().mergeExperienceFrom(b.service());
+    b.service().mergeExperienceFrom(a.service());
+  }
+
+  const std::string ea = a.exportState();
+  const std::string eb = b.exportState();
+  if (ea != eb) dumpDivergence(label + "_export", ea, eb);
+
+  // The durable artifacts converge too: merging compacts, so both snapshot
+  // files hold the canonical merged state.
+  const std::string sa = a.snapshotBytes();
+  const std::string sb = b.snapshotBytes();
+  ASSERT_FALSE(sa.empty());
+  if (sa != sb) dumpDivergence(label + "_snapshot", sa, sb);
+  EXPECT_EQ(sa, ea);  // snapshot == canonical serialization
+}
+
+TEST(KbConvergence, TwoServicesConvergeByteIdentical) {
+  runConvergence("kb_conv_smoke", 6, false);
+}
+
+TEST(KbConvergence, MergeOrderDoesNotMatter) {
+  runConvergence("kb_conv_order", 6, true);
+}
+
+TEST(KbConvergence, SoakScaleConvergence) {
+  if (std::getenv("FLAMES_KB_SOAK") == nullptr) {
+    GTEST_SKIP() << "set FLAMES_KB_SOAK=1 (nightly soak) to run";
+  }
+  runConvergence("kb_conv_soak", 60, false);
+  runConvergence("kb_conv_soak_swapped", 60, true);
+}
+
+}  // namespace
+}  // namespace flames

@@ -1,0 +1,181 @@
+// Crash-recovery tests: IoHooks inject a failure at each durability stage
+// (mid-WAL-append, mid-snapshot-write, at snapshot rename, at WAL reset)
+// and a reopened store must reproduce exactly the state that was durable
+// at the instant of the crash — which, because every mutation is logged
+// before it is applied, is exactly the in-memory state from before the
+// crashing operation (appends) or the full state (compaction stages, which
+// never lose events, only defer the snapshot).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/store.h"
+
+namespace flames::kb {
+namespace {
+
+namespace fs = std::filesystem;
+using diagnosis::Symptom;
+
+class KbCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("flames_kb_crash_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] KbOptions options() const {
+    KbOptions ko;
+    ko.dir = dir_.string();
+    ko.origin = "crash-test";
+    return ko;
+  }
+
+  /// Options whose sink dies at the first call of `stage`.
+  [[nodiscard]] KbOptions crashingAt(std::string stage) const {
+    KbOptions ko = options();
+    ko.hooks.failAt = [stage = std::move(stage)](std::string_view s) {
+      return s == stage;
+    };
+    return ko;
+  }
+
+  fs::path dir_;
+};
+
+std::vector<Symptom> sigA() { return {{"V(V1)", 0.5, 1}}; }
+std::vector<Symptom> sigB() { return {{"V(V2)", -0.5, -1}}; }
+
+TEST_F(KbCrashTest, CrashMidWalAppendLosesOnlyTheTornRecord) {
+  std::string beforeCrash;
+  {
+    KbStore store(crashingAt("wal_append"));
+    // The hook fires on the FIRST append — so build up prior state through
+    // a snapshot instead of the log.
+    // (compact() itself never appends; seed state via a fresh store.)
+    beforeCrash = store.serialize();
+    EXPECT_THROW(store.recordSuccess(sigA(), "R2", "short"), KbIoError);
+    // The in-memory state was not touched: WAL-first means the mutation is
+    // applied only after the log accepts it.
+    EXPECT_EQ(store.serialize(), beforeCrash);
+  }
+  const KbStore reopened(options());
+  EXPECT_EQ(reopened.serialize(), beforeCrash);
+  EXPECT_TRUE(reopened.stats().walRecoveredTail);  // torn half-record
+  EXPECT_EQ(reopened.stats().rules, 0u);
+
+  // The store is fully usable after recovery.
+  KbStore store(options());
+  store.recordSuccess(sigA(), "R2", "short");
+  EXPECT_EQ(store.stats().rules, 1u);
+}
+
+TEST_F(KbCrashTest, CrashMidWalAppendAfterExistingState) {
+  {
+    KbStore store(options());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.recordSuccess(sigB(), "R3", "open");
+  }
+  std::string beforeCrash;
+  {
+    KbStore store(crashingAt("wal_append"));
+    beforeCrash = store.serialize();
+    EXPECT_THROW(store.recordFailure("R2", "short"), KbIoError);
+    EXPECT_EQ(store.serialize(), beforeCrash);
+  }
+  const KbStore reopened(options());
+  EXPECT_EQ(reopened.serialize(), beforeCrash);
+  EXPECT_EQ(reopened.stats().rules, 2u);
+}
+
+TEST_F(KbCrashTest, CrashMidSnapshotWriteKeepsWalGeneration) {
+  std::string live;
+  {
+    KbStore store(crashingAt("snapshot_write"));
+    store.recordSuccess(sigA(), "R2", "short");
+    store.recordSuccess(sigB(), "R3", "open");
+    live = store.serialize();
+    EXPECT_THROW(store.compact(), KbIoError);
+    // Compaction is all-or-nothing: the in-memory state is unaffected.
+    EXPECT_EQ(store.serialize(), live);
+  }
+  // The half-written .tmp is discarded; the WAL still holds every event.
+  const KbStore reopened(options());
+  EXPECT_EQ(reopened.serialize(), live);
+  EXPECT_EQ(reopened.stats().walReplayed, 2u);
+  EXPECT_FALSE(fs::exists(dir_ / "snapshot.kb.tmp"));
+}
+
+TEST_F(KbCrashTest, CrashAtSnapshotRenameKeepsWalGeneration) {
+  std::string live;
+  {
+    KbStore store(crashingAt("snapshot_rename"));
+    store.recordSuccess(sigA(), "R2", "short");
+    live = store.serialize();
+    EXPECT_THROW(store.compact(), KbIoError);
+  }
+  const KbStore reopened(options());
+  EXPECT_EQ(reopened.serialize(), live);
+  EXPECT_EQ(reopened.stats().walReplayed, 1u);
+}
+
+TEST_F(KbCrashTest, CrashAtWalResetDiscardsSupersededLog) {
+  // The narrowest window: the new snapshot is renamed into place but the
+  // old-generation WAL was not reset. open() must detect the binding
+  // mismatch and discard the log — its events already live in the snapshot.
+  {
+    KbStore init(options());  // lay down the WAL generation without the hook
+  }                           // (a fresh dir resets the WAL during open())
+  std::string live;
+  {
+    KbStore store(crashingAt("wal_reset"));
+    store.recordSuccess(sigA(), "R2", "short");
+    store.recordSuccess(sigB(), "R3", "open");
+    live = store.serialize();
+    EXPECT_THROW(store.compact(), KbIoError);
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "snapshot.kb"));
+  const KbStore reopened(options());
+  EXPECT_EQ(reopened.serialize(), live);
+  EXPECT_EQ(reopened.stats().walReplayed, 0u);  // events came from snapshot
+  EXPECT_TRUE(reopened.stats().walRecoveredTail);
+
+  // Nothing was double-applied: each rule has exactly one confirmation.
+  for (const diagnosis::SymptomRule& r : reopened.materialized().rules()) {
+    EXPECT_EQ(r.confirmations, 1);
+  }
+}
+
+TEST_F(KbCrashTest, RepeatedCrashesNeverLoseDurableState) {
+  // A store that crashes at every stage in sequence, with reopen+retry in
+  // between, still converges to the full state.
+  {
+    KbStore store(crashingAt("wal_append"));
+    EXPECT_THROW(store.recordSuccess(sigA(), "R2", "short"), KbIoError);
+  }
+  {
+    KbStore store(options());
+    store.recordSuccess(sigA(), "R2", "short");  // retry succeeds
+  }
+  {
+    KbStore store(crashingAt("snapshot_write"));
+    EXPECT_THROW(store.compact(), KbIoError);
+  }
+  {
+    KbStore store(crashingAt("wal_reset"));
+    EXPECT_THROW(store.compact(), KbIoError);
+  }
+  const KbStore final_(options());
+  EXPECT_EQ(final_.stats().rules, 1u);
+  EXPECT_EQ(final_.materialized().rules().front().component, "R2");
+  EXPECT_EQ(final_.materialized().rules().front().confirmations, 1);
+}
+
+}  // namespace
+}  // namespace flames::kb

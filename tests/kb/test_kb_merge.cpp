@@ -1,0 +1,214 @@
+// Metamorphic properties of the KB merge operator. serialize() is the
+// canonical form, so every algebraic law is checked as byte equality:
+//
+//   commutativity   merge(A,B) == merge(B,A)
+//   associativity   merge(merge(A,B),C) == merge(A,merge(B,C))
+//   idempotence     merge(A,A) == A ; re-merging a peer changes nothing
+//   decay commutes  decay(merge(A,B)) == merge(decay(A),B)   (decay only
+//                   touches the local origin's slots; merge never does)
+//
+// The stores are driven by seeded pseudo-random event streams so the laws
+// are exercised over many shapes (reinforced rules, evictions, tombstone
+// resurrections), not one hand-picked state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/store.h"
+
+namespace flames::kb {
+namespace {
+
+using diagnosis::Symptom;
+
+/// Deterministic little generator (no std::random — identical everywhere).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint32_t next(std::uint32_t bound) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>((state_ >> 33) % bound);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+const std::vector<std::string> kComponents = {"R1", "R2", "R3", "Q1", "Q2"};
+const std::vector<std::string> kModes = {"short", "open", "drift"};
+
+std::vector<Symptom> randomSignature(Rng& rng) {
+  static const std::vector<std::string> quantities = {"V(V1)", "V(V2)",
+                                                      "V(Vs)", "V(out)"};
+  std::vector<Symptom> sig;
+  const std::uint32_t n = 1 + rng.next(3);
+  for (std::uint32_t i = 0; i < n && i < quantities.size(); ++i) {
+    Symptom s;
+    s.quantity = quantities[(rng.next(4) + i) % quantities.size()];
+    s.signedDc = (static_cast<double>(rng.next(9)) - 4.0) / 4.0;
+    s.direction = s.signedDc < 0 ? -1 : (s.signedDc > 0 ? 1 : 0);
+    // Distinct quantities only (duplicate keys would be one symptom).
+    bool dup = false;
+    for (const Symptom& prev : sig) dup = dup || prev.quantity == s.quantity;
+    if (!dup) sig.push_back(std::move(s));
+  }
+  return sig;
+}
+
+/// Drives `events` pseudo-random local events into a fresh store.
+KbStore makeStore(const std::string& origin, std::uint64_t seed,
+                  std::size_t events) {
+  KbOptions ko;
+  ko.origin = origin;
+  // Tight horizon so the streams' decay events actually age rules out
+  // (the default 64-event horizon would make every decay a no-op here).
+  ko.decay.staleAfterEvents = 6;
+  ko.decay.horizonPerConfirmation = 2;
+  KbStore store(ko);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < events; ++i) {
+    switch (rng.next(10)) {
+      case 0:
+        store.decay();
+        break;
+      case 1:
+      case 2:
+        store.recordFailure(kComponents[rng.next(5)], kModes[rng.next(3)]);
+        break;
+      default:
+        store.recordSuccess(randomSignature(rng), kComponents[rng.next(5)],
+                            kModes[rng.next(3)]);
+        break;
+    }
+  }
+  return store;
+}
+
+/// merge of payloads into a neutral (eventless) store — a value-level merge
+/// that leaves the operands untouched.
+std::string mergedState(const std::vector<std::string>& payloads) {
+  KbOptions ko;
+  ko.origin = "merger";
+  KbStore m(ko);
+  for (const std::string& p : payloads) m.mergeState(p);
+  return m.serialize();
+}
+
+TEST(KbMerge, CommutativityOverRandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const KbStore a = makeStore("site-a", seed, 40);
+    const KbStore b = makeStore("site-b", seed + 100, 40);
+    EXPECT_EQ(mergedState({a.serialize(), b.serialize()}),
+              mergedState({b.serialize(), a.serialize()}))
+        << "seed " << seed;
+  }
+}
+
+TEST(KbMerge, Associativity) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::string a = makeStore("site-a", seed, 30).serialize();
+    const std::string b = makeStore("site-b", seed + 100, 30).serialize();
+    const std::string c = makeStore("site-c", seed + 200, 30).serialize();
+    EXPECT_EQ(mergedState({mergedState({a, b}), c}),
+              mergedState({a, mergedState({b, c})}))
+        << "seed " << seed;
+  }
+}
+
+TEST(KbMerge, Idempotence) {
+  const KbStore a = makeStore("site-a", 7, 50);
+  const std::string payload = a.serialize();
+  EXPECT_EQ(mergedState({payload}), mergedState({payload, payload}));
+
+  // Merging a peer twice into a live store is also a no-op the second time.
+  KbStore b = makeStore("site-b", 8, 20);
+  b.mergeState(payload);
+  const std::string once = b.serialize();
+  b.mergeState(payload);
+  EXPECT_EQ(b.serialize(), once);
+}
+
+TEST(KbMerge, MergeIsAnUpperBound) {
+  // Every rule of each operand is present in the merge (join semilattice:
+  // merge only ever adds or upgrades slots).
+  const KbStore a = makeStore("site-a", 3, 40);
+  KbStore b = makeStore("site-b", 4, 40);
+  const std::size_t bRules = b.stats().rules;
+  b.mergeFrom(a);
+  EXPECT_GE(b.stats().rules, bRules);
+  EXPECT_GE(b.stats().rules, a.stats().rules);
+  EXPECT_EQ(b.stats().origins, 2u);
+}
+
+TEST(KbMerge, DecayCommutesWithMerge) {
+  // decay touches only the local origin's slots and merge never touches
+  // them, so the two operations commute. (The peer's payload is fixed; its
+  // own decay runs on the peer instance.)
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::string peer = makeStore("site-b", seed + 100, 40).serialize();
+
+    KbStore mergeThenDecay = makeStore("site-a", seed, 40);
+    mergeThenDecay.mergeState(peer);
+    mergeThenDecay.decay();
+
+    KbStore decayThenMerge = makeStore("site-a", seed, 40);
+    decayThenMerge.decay();
+    decayThenMerge.mergeState(peer);
+
+    EXPECT_EQ(mergeThenDecay.serialize(), decayThenMerge.serialize())
+        << "seed " << seed;
+  }
+}
+
+TEST(KbMerge, EvictionsSurviveMerges) {
+  // A tombstone must win against an older live copy of the same slot: a
+  // stale peer snapshot cannot resurrect rules the owner has retired.
+  KbOptions ko;
+  ko.origin = "site-a";
+  KbStore a(ko);
+  const std::vector<Symptom> sig = {{"V(V1)", 0.5, 1}};
+  a.recordSuccess(sig, "R2", "short");
+  const std::string staleCopy = a.serialize();  // peer saw the rule alive
+  for (int i = 0; i < 12; ++i) a.recordFailure("R2", "short");
+  ASSERT_EQ(a.stats().liveRules, 0u);
+
+  a.mergeState(staleCopy);
+  EXPECT_EQ(a.stats().liveRules, 0u) << "stale merge resurrected a tombstone";
+  EXPECT_EQ(a.stats().tombstoneSlots, 1u);
+}
+
+TEST(KbMerge, FusionCombinesCertaintiesAcrossOrigins) {
+  // Two origins confirm the same fault signature; the fused view surfaces
+  // one rule whose certainty is the possibilistic max of the two slots.
+  const std::vector<Symptom> sig = {{"V(V1)", 0.5, 1}};
+  KbOptions ka;
+  ka.origin = "site-a";
+  KbStore a(ka);
+  a.recordSuccess(sig, "R2", "short");
+  a.recordSuccess(sig, "R2", "short");  // reinforce: 0.5 -> 0.65
+
+  KbOptions kb_;
+  kb_.origin = "site-b";
+  KbStore b(kb_);
+  b.recordSuccess(sig, "R2", "short");  // 0.5
+
+  b.mergeFrom(a);
+  ASSERT_EQ(b.materialized().size(), 1u);
+  const diagnosis::SymptomRule& fused = b.materialized().rules().front();
+  EXPECT_DOUBLE_EQ(fused.certainty, 0.65);  // kMax fusion
+  EXPECT_EQ(fused.confirmations, 3);        // confirmations add up
+
+  KbOptions kmin;
+  kmin.origin = "site-c";
+  kmin.fusion = FusionPolicy::kMin;
+  KbStore c(kmin);
+  c.mergeState(a.serialize());
+  c.mergeState(b.serialize());
+  ASSERT_EQ(c.materialized().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.materialized().rules().front().certainty, 0.5);
+}
+
+}  // namespace
+}  // namespace flames::kb

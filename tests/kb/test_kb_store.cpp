@@ -1,0 +1,279 @@
+// KbStore unit tests: learning semantics of the wrapped ExperienceBase,
+// WAL+snapshot durability round-trips, recovery of torn logs, origin
+// identity adoption, auto-compaction, seeding and stats.
+#include "kb/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace flames::kb {
+namespace {
+
+namespace fs = std::filesystem;
+using diagnosis::Symptom;
+
+/// Fresh scratch directory per test (removed by the fixture).
+class KbStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("flames_kb_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] KbOptions durableOptions(const std::string& origin = "t") {
+    KbOptions ko;
+    ko.dir = dir_.string();
+    ko.origin = origin;
+    return ko;
+  }
+
+  fs::path dir_;
+};
+
+std::vector<Symptom> sigA() { return {{"V(V1)", 0.5, 1}, {"V(V2)", -0.5, -1}}; }
+std::vector<Symptom> sigB() { return {{"V(Vs)", -1.0, -1}}; }
+
+TEST_F(KbStoreTest, InMemoryLearningMirrorsExperienceBase) {
+  KbStore store;  // no dir: pure in-memory
+  store.recordSuccess(sigA(), "R2", "short");
+  store.recordSuccess(sigA(), "R2", "short");
+  store.recordSuccess(sigB(), "R3", "open");
+
+  const diagnosis::ExperienceBase& view = store.materialized();
+  ASSERT_EQ(view.size(), 2u);
+
+  diagnosis::ExperienceBase reference;
+  reference.recordSuccess(sigA(), "R2", "short");
+  reference.recordSuccess(sigA(), "R2", "short");
+  reference.recordSuccess(sigB(), "R3", "open");
+
+  const auto hints = store.match(sigA());
+  const auto expected = reference.match(sigA());
+  ASSERT_EQ(hints.size(), expected.size());
+  for (std::size_t i = 0; i < hints.size(); ++i) {
+    EXPECT_EQ(hints[i].component, expected[i].component);
+    EXPECT_DOUBLE_EQ(hints[i].score, expected[i].score);
+    EXPECT_DOUBLE_EQ(hints[i].certainty, expected[i].certainty);
+  }
+}
+
+TEST_F(KbStoreTest, WalOnlyRoundTrip) {
+  std::string live;
+  {
+    KbStore store(durableOptions());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.recordFailure("R2", "short");
+    store.decay();
+    live = store.serialize();
+  }
+  const KbStore reopened(durableOptions());
+  EXPECT_EQ(reopened.serialize(), live);
+  EXPECT_EQ(reopened.stats().walReplayed, 3u);
+  EXPECT_FALSE(reopened.stats().walRecoveredTail);
+}
+
+TEST_F(KbStoreTest, SnapshotPlusWalTailRoundTrip) {
+  std::string live;
+  {
+    KbStore store(durableOptions());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.compact();
+    store.recordSuccess(sigB(), "R3", "open");  // WAL tail over the snapshot
+    live = store.serialize();
+  }
+  const KbStore reopened(durableOptions());
+  EXPECT_EQ(reopened.serialize(), live);
+  EXPECT_EQ(reopened.stats().walReplayed, 1u);
+  EXPECT_EQ(reopened.stats().rules, 2u);
+}
+
+TEST_F(KbStoreTest, ReopenAdoptsDurableOrigin) {
+  {
+    KbStore store(durableOptions("site-a"));
+    store.recordSuccess(sigA(), "R2", "short");
+  }
+  // A different requested origin must NOT re-attribute site-a's history:
+  // the canonical state is independent of who opens the store.
+  std::string viaB;
+  {
+    const KbStore store(durableOptions("site-b"));
+    viaB = store.serialize();
+    EXPECT_EQ(store.stats().localTick, 1u);  // stats follow the adopted id
+  }
+  const KbStore store(durableOptions("site-a"));
+  EXPECT_EQ(store.serialize(), viaB);
+  EXPECT_NE(viaB.find("tick site-a 1"), std::string::npos);
+  EXPECT_EQ(viaB.find("site-b"), std::string::npos);
+}
+
+TEST_F(KbStoreTest, InvalidOriginRejected) {
+  EXPECT_THROW(KbStore((KbOptions{.origin = ""})), KbError);
+  EXPECT_THROW(KbStore((KbOptions{.origin = "a b"})), KbError);
+  EXPECT_THROW(KbStore((KbOptions{.origin = "a\tb"})), KbError);
+  EXPECT_THROW(KbStore((KbOptions{.origin = "a\nb"})), KbError);
+}
+
+TEST_F(KbStoreTest, TornWalTailIsTruncatedOnOpen) {
+  {
+    KbStore store(durableOptions());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.recordSuccess(sigB(), "R3", "open");
+  }
+  const fs::path wal = dir_ / "wal.log";
+  // Append half a record — the shape an append-crash leaves behind.
+  {
+    std::ofstream os(wal, std::ios::binary | std::ios::app);
+    os << "ev 3 failure R2 sh";
+  }
+  std::string afterRecovery;
+  {
+    const KbStore store(durableOptions());
+    EXPECT_TRUE(store.stats().walRecoveredTail);
+    EXPECT_EQ(store.stats().walReplayed, 2u);
+    EXPECT_EQ(store.stats().rules, 2u);
+    afterRecovery = store.serialize();
+  }
+  // Recovery truncated the file: the next open is clean.
+  const KbStore store(durableOptions());
+  EXPECT_FALSE(store.stats().walRecoveredTail);
+  EXPECT_EQ(store.serialize(), afterRecovery);
+}
+
+TEST_F(KbStoreTest, StaleWalGenerationIsDiscarded) {
+  {
+    KbStore store(durableOptions());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.compact();
+  }
+  // Simulate the crash window between snapshot rename and WAL reset: bind
+  // the log to a snapshot generation that no longer exists.
+  {
+    std::ofstream os(dir_ / "wal.log", std::ios::binary | std::ios::trunc);
+    os << renderWalHeader("t", 0x12345678u, true);
+    WalEvent ev;
+    ev.kind = WalEventKind::kFailure;
+    ev.tick = 2;
+    ev.component = "R2";
+    ev.mode = "short";
+    os << renderWalEvent(ev);
+  }
+  const KbStore store(durableOptions());
+  EXPECT_TRUE(store.stats().walRecoveredTail);
+  EXPECT_EQ(store.stats().walReplayed, 0u);
+  // The stale failure event was NOT applied.
+  EXPECT_EQ(store.materialized().rules().front().confirmations, 1);
+}
+
+TEST_F(KbStoreTest, CorruptSnapshotIsFatal) {
+  {
+    KbStore store(durableOptions());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.compact();
+  }
+  {
+    std::ofstream os(dir_ / "snapshot.kb", std::ios::binary | std::ios::trunc);
+    os << "flames-kb-snapshot v1\nticks zzz\n";
+  }
+  // Silently starting fresh would clobber learned experience on the next
+  // compaction; the caller must decide.
+  EXPECT_THROW(KbStore{durableOptions()}, KbError);
+}
+
+TEST_F(KbStoreTest, AutoCompactionAtConfiguredCadence) {
+  KbOptions ko = durableOptions();
+  ko.snapshotEveryEvents = 3;
+  KbStore store(ko);
+  store.recordSuccess(sigA(), "R2", "short");
+  store.recordSuccess(sigB(), "R3", "open");
+  EXPECT_EQ(store.stats().compactions, 0u);
+  store.decay();  // third event triggers the snapshot
+  EXPECT_EQ(store.stats().compactions, 1u);
+  EXPECT_EQ(store.stats().walEvents, 0u);
+  EXPECT_TRUE(fs::exists(dir_ / "snapshot.kb"));
+
+  const KbStore reopened(ko);
+  EXPECT_EQ(reopened.serialize(), store.serialize());
+  EXPECT_EQ(reopened.stats().walReplayed, 0u);  // all state in the snapshot
+}
+
+TEST_F(KbStoreTest, FailureEvictionTombstones) {
+  KbStore store;
+  store.recordSuccess(sigA(), "R2", "short");
+  // Repeated failures decay certainty below the eviction floor.
+  for (int i = 0; i < 12; ++i) store.recordFailure("R2", "short");
+  EXPECT_EQ(store.stats().liveRules, 0u);
+  EXPECT_EQ(store.stats().tombstoneSlots, 1u);
+  EXPECT_GE(store.stats().evictions, 1u);
+  EXPECT_TRUE(store.materialized().rules().empty());
+
+  // A later confirmation resurrects the rule (history of failures kept).
+  store.recordSuccess(sigA(), "R2", "short");
+  EXPECT_EQ(store.stats().liveRules, 1u);
+  EXPECT_EQ(store.stats().tombstoneSlots, 0u);
+}
+
+TEST_F(KbStoreTest, DecayOnlyTouchesStaleRules) {
+  KbOptions ko;
+  ko.decay.staleAfterEvents = 4;
+  ko.decay.horizonPerConfirmation = 0;
+  KbStore store(ko);
+  store.recordSuccess(sigA(), "R2", "short");
+  const double before = store.materialized().rules().front().certainty;
+  store.decay();  // tick 2, age 1 < 4: nothing happens
+  EXPECT_DOUBLE_EQ(store.materialized().rules().front().certainty, before);
+  store.decay();
+  store.decay();
+  store.decay();  // tick 5, age 4 >= 4: decays
+  EXPECT_LT(store.materialized().rules().front().certainty, before);
+}
+
+TEST_F(KbStoreTest, SeedReplacesContentDurably) {
+  diagnosis::ExperienceBase base;
+  base.recordSuccess(sigB(), "R9", "open");
+  std::string live;
+  {
+    KbStore store(durableOptions());
+    store.recordSuccess(sigA(), "R2", "short");
+    store.seed(base);
+    ASSERT_EQ(store.materialized().size(), 1u);
+    EXPECT_EQ(store.materialized().rules().front().component, "R9");
+    live = store.serialize();
+  }
+  const KbStore reopened(durableOptions());
+  EXPECT_EQ(reopened.serialize(), live);
+  EXPECT_EQ(reopened.materialized().rules().front().component, "R9");
+}
+
+TEST_F(KbStoreTest, SerializeIsCanonical) {
+  // Same logical content reached through different event orders must render
+  // identically (rules are keyed, origins sorted).
+  KbStore a;
+  a.recordSuccess(sigA(), "R2", "short");
+  a.recordSuccess(sigB(), "R3", "open");
+  KbStore b;
+  b.recordSuccess(sigB(), "R3", "open");
+  b.recordSuccess(sigA(), "R2", "short");
+  // Ticks differ per rule (different order), so full states differ — but
+  // rule ordering in the payload is canonical.
+  const std::string sa = a.serialize();
+  EXPECT_LT(sa.find("rule R2"), sa.find("rule R3"));
+  const std::string sb = b.serialize();
+  EXPECT_LT(sb.find("rule R2"), sb.find("rule R3"));
+}
+
+TEST_F(KbStoreTest, EmptySignatureIsIgnored) {
+  KbStore store(durableOptions());
+  store.recordSuccess({}, "R2", "short");
+  EXPECT_EQ(store.stats().rules, 0u);
+  EXPECT_EQ(store.stats().walEvents, 0u);
+}
+
+}  // namespace
+}  // namespace flames::kb

@@ -1,0 +1,194 @@
+// Unit tests for the KB write-ahead log primitives (src/kb/wal.h): CRC,
+// record rendering/parsing, header origin + snapshot binding, and the
+// recovery classification of every torn-tail shape readWal must survive.
+#include "kb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace flames::kb {
+namespace {
+
+WalEvent successEvent(std::uint64_t tick) {
+  WalEvent ev;
+  ev.kind = WalEventKind::kSuccess;
+  ev.tick = tick;
+  ev.component = "R2";
+  ev.mode = "short";
+  ev.symptoms = {{"V(V1)", 0.25, 1}, {"V(Vs)", -0.75, -1}};
+  return ev;
+}
+
+std::string walImage(const std::vector<WalEvent>& events) {
+  std::string image = renderWalHeader("tester", 0, false);
+  for (const WalEvent& ev : events) image += renderWalEvent(ev);
+  return image;
+}
+
+TEST(KbWal, Crc32MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(KbWal, FormatDoubleRoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, -0.0, 1e-300, 123456.789}) {
+    EXPECT_EQ(std::stod(formatDouble(v)), v);
+  }
+}
+
+TEST(KbWal, HeaderRoundTrip) {
+  const std::string fresh = renderWalHeader("site-a", 0, false);
+  WalReadResult r = readWal(fresh);
+  EXPECT_TRUE(r.headerOk);
+  EXPECT_EQ(r.origin, "site-a");
+  EXPECT_FALSE(r.boundToSnapshot);
+  EXPECT_TRUE(r.cleanTail);
+  EXPECT_TRUE(r.events.empty());
+
+  const std::string bound = renderWalHeader("site-b", 0xDEADBEEFu, true);
+  r = readWal(bound);
+  EXPECT_TRUE(r.headerOk);
+  EXPECT_EQ(r.origin, "site-b");
+  EXPECT_TRUE(r.boundToSnapshot);
+  EXPECT_EQ(r.snapshotCrc, 0xDEADBEEFu);
+}
+
+TEST(KbWal, MalformedHeaderRejectsWholeLog) {
+  EXPECT_FALSE(readWal("").headerOk);
+  EXPECT_FALSE(readWal("flames-kb-wal v1 snap none\n").headerOk);  // no origin
+  EXPECT_FALSE(readWal("flames-kb-wal v1 origin  snap none\n").headerOk);
+  EXPECT_FALSE(readWal("flames-kb-wal v1 origin x snap zz\n").headerOk);
+  EXPECT_FALSE(readWal("something else entirely\n").headerOk);
+  // No trailing newline: the header itself may be the torn write.
+  EXPECT_FALSE(readWal("flames-kb-wal v1 origin x snap none").headerOk);
+}
+
+TEST(KbWal, EventRoundTripAllKinds) {
+  WalEvent failure;
+  failure.kind = WalEventKind::kFailure;
+  failure.tick = 2;
+  failure.component = "R3";
+  failure.mode = "open";
+
+  WalEvent decay;
+  decay.kind = WalEventKind::kDecay;
+  decay.tick = 3;
+
+  WalEvent restore;
+  restore.kind = WalEventKind::kRestore;
+  restore.tick = 4;
+  restore.component = "Q1";
+  restore.mode = "saturated";
+  restore.certainty = 0.65;
+  restore.confirmations = 7;
+  restore.failures = 2;
+  restore.symptoms = {{"V(V2)", 0.125, 1}};
+
+  const WalReadResult r =
+      readWal(walImage({successEvent(1), failure, decay, restore}));
+  ASSERT_TRUE(r.headerOk);
+  EXPECT_TRUE(r.cleanTail);
+  ASSERT_EQ(r.events.size(), 4u);
+
+  const WalEvent& s = r.events[0];
+  EXPECT_EQ(s.kind, WalEventKind::kSuccess);
+  EXPECT_EQ(s.tick, 1u);
+  EXPECT_EQ(s.component, "R2");
+  EXPECT_EQ(s.mode, "short");
+  ASSERT_EQ(s.symptoms.size(), 2u);
+  EXPECT_EQ(s.symptoms[0].quantity, "V(V1)");
+  EXPECT_EQ(s.symptoms[0].signedDc, 0.25);
+  EXPECT_EQ(s.symptoms[0].direction, 1);
+  EXPECT_EQ(s.symptoms[1].quantity, "V(Vs)");
+  EXPECT_EQ(s.symptoms[1].signedDc, -0.75);
+  EXPECT_EQ(s.symptoms[1].direction, -1);
+
+  EXPECT_EQ(r.events[1].kind, WalEventKind::kFailure);
+  EXPECT_EQ(r.events[1].component, "R3");
+  EXPECT_EQ(r.events[2].kind, WalEventKind::kDecay);
+
+  const WalEvent& re = r.events[3];
+  EXPECT_EQ(re.kind, WalEventKind::kRestore);
+  EXPECT_EQ(re.certainty, 0.65);
+  EXPECT_EQ(re.confirmations, 7u);
+  EXPECT_EQ(re.failures, 2u);
+  ASSERT_EQ(re.symptoms.size(), 1u);
+}
+
+TEST(KbWal, TruncatedRecordStopsAtGoodPrefix) {
+  const std::string good = walImage({successEvent(1)});
+  const std::string torn = good + renderWalEvent(successEvent(2)).substr(0, 9);
+  const WalReadResult r = readWal(torn);
+  ASSERT_TRUE(r.headerOk);
+  EXPECT_FALSE(r.cleanTail);
+  EXPECT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.goodBytes, good.size());
+  EXPECT_NE(r.tailError.find("truncated"), std::string::npos);
+}
+
+TEST(KbWal, ChecksumFlipRejectsRecord) {
+  std::string image = walImage({successEvent(1)});
+  // Corrupt one payload byte; the stored CRC no longer matches.
+  image[image.find("R2")] = 'X';
+  const WalReadResult r = readWal(image);
+  ASSERT_TRUE(r.headerOk);
+  EXPECT_FALSE(r.cleanTail);
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_NE(r.tailError.find("checksum"), std::string::npos);
+}
+
+TEST(KbWal, RecordWithoutChecksumRejected) {
+  const std::string image =
+      renderWalHeader("t", 0, false) + "ev 1 decay\n";
+  const WalReadResult r = readWal(image);
+  ASSERT_TRUE(r.headerOk);
+  EXPECT_FALSE(r.cleanTail);
+  EXPECT_NE(r.tailError.find("checksum"), std::string::npos);
+}
+
+TEST(KbWal, TickSequenceBreakRejectsTail) {
+  const WalReadResult r =
+      readWal(walImage({successEvent(1), successEvent(5)}));
+  ASSERT_TRUE(r.headerOk);
+  EXPECT_FALSE(r.cleanTail);
+  EXPECT_EQ(r.events.size(), 1u);
+  EXPECT_NE(r.tailError.find("tick"), std::string::npos);
+}
+
+TEST(KbWal, FirstTickMayContinueACompactedClock) {
+  // After compaction the log restarts empty but the store's clock does not:
+  // the first record legitimately carries any tick > 0.
+  const WalReadResult r =
+      readWal(walImage({successEvent(41), successEvent(42)}));
+  ASSERT_TRUE(r.headerOk);
+  EXPECT_TRUE(r.cleanTail);
+  EXPECT_EQ(r.events.size(), 2u);
+}
+
+TEST(KbWal, GoodBytesTracksAcceptedRecords) {
+  const std::string header = renderWalHeader("t", 0, false);
+  const std::string e1 = renderWalEvent(successEvent(1));
+  const std::string e2 = renderWalEvent(successEvent(2));
+  const WalReadResult r = readWal(header + e1 + e2);
+  EXPECT_TRUE(r.cleanTail);
+  EXPECT_EQ(r.goodBytes, header.size() + e1.size() + e2.size());
+  EXPECT_EQ(r.events[0].endOffset, header.size() + e1.size());
+  EXPECT_EQ(r.events[1].endOffset, header.size() + e1.size() + e2.size());
+}
+
+TEST(KbWal, TrailingGarbageAfterChecksumRejected) {
+  std::string line = renderWalEvent(successEvent(1));
+  // Splice extra payload before the CRC marker: body no longer matches.
+  const std::string image = renderWalHeader("t", 0, false) +
+                            line.insert(line.find(" crc="), " extra");
+  const WalReadResult r = readWal(image);
+  EXPECT_FALSE(r.cleanTail);
+  EXPECT_TRUE(r.events.empty());
+}
+
+}  // namespace
+}  // namespace flames::kb
