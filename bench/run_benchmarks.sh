@@ -52,9 +52,9 @@ if [ "$found" = 0 ]; then
   exit 1
 fi
 
-python3 - "$tmp" "$out" <<'EOF'
+python3 - "$tmp" "$out" "$filter" <<'EOF'
 import json, pathlib, sys
-tmp, out = sys.argv[1], sys.argv[2]
+tmp, out, flt = sys.argv[1], sys.argv[2], sys.argv[3]
 merged = {}
 for path in sorted(pathlib.Path(tmp).glob("*.json")):
     text = path.read_text()
@@ -72,6 +72,14 @@ for path in sorted(pathlib.Path(tmp).glob("*.json")):
     if not doc.get("benchmarks"):
         continue  # everything filtered out by --filter
     merged[path.stem] = doc
+if flt and not merged:
+    # A filter that matches nothing is almost always a typo; writing an
+    # empty BENCH_*.json would silently poison the regression diff.
+    print(f"error: --filter={flt!r} matched no benchmarks; available suites:",
+          file=sys.stderr)
+    for path in sorted(pathlib.Path(tmp).glob("*.json")):
+        print(f"  {path.stem}", file=sys.stderr)
+    sys.exit(1)
 pathlib.Path(out).write_text(json.dumps(merged, indent=2) + "\n")
 print(f"wrote {out} ({len(merged)} suites)")
 EOF

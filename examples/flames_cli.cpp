@@ -1,6 +1,6 @@
 // flames_cli — diagnose a board from files, no C++ required.
 //
-//   flames_cli [--trace=<file.json>] [--metrics]
+//   flames_cli [--trace=<file.json>] [--metrics] [--probe=<node>=<volts>]...
 //              <netlist.cir> <measurements.txt> [experience.txt]
 //   flames_cli --lint [--lint-json] [--Werror] <netlist.cir>
 //   flames_cli --analyze [--analyze-json] [--Werror] <netlist.cir>
@@ -36,6 +36,15 @@
 // emits the machine form. --certificate=<file> writes the run's replayable
 // certificate (verify with flames_check <netlist.cir> <file>).
 //
+// --probe=<node>=<volts> (repeatable) applies follow-up probes after the
+// initial diagnosis, one at a time, through the incremental session
+// (FlamesEngine::addMeasurement): each probe extends the propagation state
+// inside its compiled impact cone instead of re-diagnosing from scratch.
+// A per-probe line reports the latency, the kept-entry delta and whether
+// the probe ran incrementally or fell back to a batch recompute (entry-cap
+// saturation); the final report follows the last probe. Incompatible with
+// --explain/--certificate (the incremental path records no provenance).
+//
 // --kb-dir=<dir> opens a durable experience store (flames::kb — write-ahead
 // log + snapshot) in <dir>; its learned rules seed the engine before the
 // diagnosis, and --kb-confirm=<component>:<mode> records the run's symptom
@@ -47,6 +56,7 @@
 // store counters.
 // With --kb-dir but no netlist/measurements, flames_cli runs in KB
 // maintenance mode: apply the merges, print the stats, exit 0.
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -90,6 +100,9 @@ struct CliOptions {
   std::vector<std::string> kbMerge;  ///< peer store dirs to join first
   bool kbStats = false;              ///< print KB counters
   std::string kbConfirm;  ///< "<component>:<mode>" to confirm after the run
+  /// Follow-up probes (--probe=node=volts, repeatable) applied one at a
+  /// time after the initial diagnosis through the incremental path.
+  std::vector<Measurement> probes;
   std::vector<std::string> positional;
 };
 
@@ -148,6 +161,20 @@ CliOptions parseArgs(int argc, char** argv) {
       if (opts.kbMerge.back().empty()) {
         throw std::runtime_error("--kb-merge= needs a peer directory");
       }
+    } else if (arg.rfind("--probe=", 0) == 0) {
+      const std::string spec = arg.substr(8);
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        throw std::runtime_error("--probe= needs <node>=<volts>");
+      }
+      Measurement probe;
+      probe.node = spec.substr(0, eq);
+      try {
+        probe.volts = std::stod(spec.substr(eq + 1));
+      } catch (const std::exception&) {
+        throw std::runtime_error("--probe=: bad voltage in " + spec);
+      }
+      opts.probes.push_back(std::move(probe));
     } else if (arg == "--kb-stats") {
       opts.kbStats = true;
     } else if (arg.rfind("--kb-confirm=", 0) == 0) {
@@ -161,6 +188,14 @@ CliOptions parseArgs(int argc, char** argv) {
     } else {
       opts.positional.push_back(arg);
     }
+  }
+  if (!opts.probes.empty() &&
+      (!opts.explainTarget.empty() || !opts.certificateFile.empty())) {
+    // The incremental session does not record provenance (see
+    // diagnosis::IncrementalSession); the explanation/certificate features
+    // need the batch pipeline.
+    throw std::runtime_error(
+        "--probe= cannot be combined with --explain/--certificate");
   }
   return opts;
 }
@@ -414,9 +449,43 @@ int main(int argc, char** argv) {
     for (const Measurement& m : measurements) {
       engine.measure(m.node, m.volts);
     }
-    const auto report = engine.diagnose();
+    auto report = engine.diagnose();
     std::cout << diagnosis::renderReport(report);
     std::cout << "=> " << diagnosis::summarizeReport(report) << '\n';
+
+    // Interactive follow-up probes: each one extends the session through the
+    // compiled-schedule incremental path instead of re-diagnosing from
+    // scratch (or, under entry-cap saturation, transparently recomputes —
+    // the per-probe line says which).
+    if (!cli.probes.empty()) {
+      for (const Measurement& p : cli.probes) {
+        const bool firstProbe = engine.incrementalSession() == nullptr;
+        const auto t0 = std::chrono::steady_clock::now();
+        report = engine.addMeasurement(p.node, p.volts);
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count();
+        const diagnosis::IncrementalSession* session =
+            engine.incrementalSession();
+        std::cout << "probe " << p.node << " = " << p.volts << " V: "
+                  << micros << " us, ";
+        if (session != nullptr && session->lastIncremental()) {
+          std::cout << session->lastStepsDelta() << " new entr"
+                    << (session->lastStepsDelta() == 1 ? "y" : "ies") << ", "
+                    << session->lastTouched().size()
+                    << " quantit" << (session->lastTouched().size() == 1
+                                          ? "y" : "ies")
+                    << " touched (incremental)\n";
+        } else if (firstProbe) {
+          std::cout << "session seed (from-scratch propagation)\n";
+        } else {
+          std::cout << "batch recompute (entry cap saturated)\n";
+        }
+      }
+      std::cout << diagnosis::renderReport(report);
+      std::cout << "=> " << diagnosis::summarizeReport(report) << '\n';
+    }
 
     if (!cli.explainTarget.empty()) {
       if (cli.explainJson) {

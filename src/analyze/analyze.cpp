@@ -144,6 +144,36 @@ void structureFindings(const AnalysisReport& report, lint::LintReport& out) {
   }
 }
 
+/// A4: propagation-schedule pathologies.
+void scheduleFindings(const AnalysisReport& report, lint::LintReport& out) {
+  for (const std::string& name : report.schedule.inertConstraints) {
+    lint::Diagnostic d;
+    d.rule = "A4";
+    d.severity = lint::Severity::kWarning;
+    d.location = "constraint " + name;
+    d.message =
+        "inert constraint: no target slot is statically solvable, so it "
+        "consumes activations but can never derive an entry";
+    d.fixHint =
+        "check the constraint's constants; a direction-blocking constant "
+        "(zero coefficient, zero-straddling factor) makes every solve abstain";
+    out.diagnostics.push_back(std::move(d));
+  }
+  if (report.schedule.wholeComponentCones > 0) {
+    lint::Diagnostic d;
+    d.rule = "A4";
+    d.severity = lint::Severity::kInfo;
+    d.location = "model";
+    d.message = std::to_string(report.schedule.wholeComponentCones) + " of " +
+                std::to_string(report.schedule.cones.size()) +
+                " impact cones span their whole connected component: a probe "
+                "there re-propagates everything reachable, so incremental "
+                "probes win through the watermarked delta discipline rather "
+                "than cone pruning";
+    out.diagnostics.push_back(std::move(d));
+  }
+}
+
 }  // namespace
 
 AnalysisOptions analysisOptionsFor(
@@ -175,6 +205,16 @@ AnalysisReport analyzeModel(const constraints::BuiltModel& built,
     }
     report.decomposition = computeDecomposition(built, d);
   }
+  if (options.runSchedule) {
+    // Certify the cone bounds at the cap diagnosis will actually apply:
+    // the derived cap when the cost pass ran, the stock cap otherwise.
+    ScheduleOptions s;
+    s.entryCap = options.runCost && report.cost.derivedEntryCap > 0
+                     ? report.cost.derivedEntryCap
+                     : options.cost.stockEntryCap;
+    s.assumedMeasurements = options.cost.assumedMeasurements;
+    report.schedule = computeSchedule(built.model, s);
+  }
 
   if (options.runEnvelopes) {
     envelopeFindings(report, options.envelope.maxDerivedWidth,
@@ -182,6 +222,7 @@ AnalysisReport analyzeModel(const constraints::BuiltModel& built,
   }
   if (options.runCost) costFindings(report, options.cost, report.findings);
   if (options.runDecomposition) structureFindings(report, report.findings);
+  if (options.runSchedule) scheduleFindings(report, report.findings);
   report.findings.normalize();
   return report;
 }
@@ -256,6 +297,8 @@ std::string renderAnalysisReport(const AnalysisReport& report) {
     }
     os << '\n';
   }
+
+  os << "== schedule ==\n" << renderScheduleReport(report.schedule);
 
   os << "== findings ==\n" << lint::renderLintReport(report.findings);
   return os.str();
@@ -355,7 +398,8 @@ std::string analysisReportJson(const AnalysisReport& report) {
     jsonEscape(os, g.splittingProbe);
     os << ",\"inherent\":" << (g.inherent() ? "true" : "false") << '}';
   }
-  os << "]},\"findings\":" << lint::lintReportJson(report.findings) << '}';
+  os << "]},\"schedule\":" << scheduleReportJson(report.schedule)
+     << ",\"findings\":" << lint::lintReportJson(report.findings) << '}';
   return os.str();
 }
 

@@ -26,6 +26,13 @@
 //       the topology (no node-voltage probe splits it), matching L6's
 //       severity policy.
 //
+//   A4  propagation schedule: an inert constraint (no statically solvable
+//       target — it consumes activations but can never derive) is a
+//       warning; quantities whose impact cone spans their whole connected
+//       component are an info note (every probe re-propagates everything
+//       reachable, so incremental probes win through the delta discipline
+//       only, not cone pruning).
+//
 // The findings reuse lint::Diagnostic / lint::LintReport so every existing
 // rendering, merging and enforcement surface (--Werror, the service gate,
 // obs counters) applies unchanged.
@@ -39,6 +46,7 @@
 #include "analyze/cost.h"
 #include "analyze/decompose.h"
 #include "analyze/envelope.h"
+#include "analyze/schedule.h"
 #include "constraints/model_builder.h"
 #include "lint/lint.h"
 
@@ -50,6 +58,10 @@ struct AnalysisOptions {
   bool runEnvelopes = true;
   bool runCost = true;
   bool runDecomposition = true;
+  /// Compile the propagation schedule (watch sets, layers, impact cones).
+  /// Runs after the cost pass so the cone step bounds are certified at the
+  /// derived entry cap (the cap diagnosis actually applies).
+  bool runSchedule = true;
   /// Node names the bench can probe, for the ambiguity analysis; empty =
   /// every voltage quantity (the L6 default). Names are netlist node names
   /// ("n3"), not quantity names.
@@ -60,6 +72,10 @@ struct AnalysisReport {
   EnvelopeAnalysis envelopes;
   CostModel cost;
   Decomposition decomposition;
+  /// The compiled propagation schedule plus its report summary. The
+  /// runtime plan (schedule.plan) is what PropagatorOptions::schedule
+  /// points at; it lives as long as this report.
+  ScheduleAnalysis schedule;
   /// A1-A3 findings (severity-ordered, lint-compatible).
   lint::LintReport findings;
 

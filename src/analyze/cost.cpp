@@ -60,6 +60,16 @@ double workEstimate(const constraints::Model& model, std::size_t entryCap,
   return total;
 }
 
+std::vector<std::uint64_t> retentionBounds(const constraints::Model& model,
+                                           std::size_t entryCap,
+                                           const CostOptions& options) {
+  std::vector<std::uint64_t> bounds = rootCounts(model, options);
+  for (std::uint64_t& b : bounds) {
+    b = satAdd(b, static_cast<std::uint64_t>(entryCap));
+  }
+  return bounds;
+}
+
 std::uint64_t fixpointBound(const constraints::Model& model,
                             std::size_t entryCap, const CostOptions& options) {
   const std::size_t n = model.quantityCount();

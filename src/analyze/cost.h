@@ -121,6 +121,15 @@ struct CostModel {
                                           std::size_t entryCap,
                                           const CostOptions& options = {});
 
+/// Per-quantity retention bounds R(q) = entryCap + roots(q) (saturating):
+/// the most entries a quantity ever holds, where roots(q) counts the
+/// model's predictions on q plus `assumedMeasurements` per voltage
+/// quantity. The schedule pass sums these over an impact cone to certify
+/// the step bound of an incremental probe (schedule.h).
+[[nodiscard]] std::vector<std::uint64_t> retentionBounds(
+    const constraints::Model& model, std::size_t entryCap,
+    const CostOptions& options = {});
+
 /// Derives the full cost model (cap selection + bound + top offenders).
 [[nodiscard]] CostModel computeCostModel(const constraints::Model& model,
                                          const CostOptions& options = {});

@@ -1,0 +1,441 @@
+#include "analyze/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace flames::analyze {
+
+namespace {
+
+using constraints::PropagationSchedule;
+using constraints::QuantityId;
+
+std::uint64_t satAddU(std::uint64_t a, std::uint64_t b) {
+  if (a >= kCostSaturated || b >= kCostSaturated || a > kCostSaturated - b) {
+    return kCostSaturated;
+  }
+  return a + b;
+}
+
+/// Bipartite incidence graph with explicit edge ids (the biconnected-block
+/// decomposition pops edges, so parallel edges — a constraint mentioning
+/// the same quantity in two slots — must stay distinguishable). Vertices
+/// [0, nq) are quantities, [nq, nq + nc) constraints.
+struct Graph {
+  std::size_t nq = 0;
+  std::size_t nc = 0;
+  /// adj[v]: (neighbour vertex, edge id).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj;
+  std::size_t edgeCount = 0;
+
+  [[nodiscard]] std::size_t size() const { return nq + nc; }
+  [[nodiscard]] std::size_t constraintVertex(std::size_t ci) const {
+    return nq + ci;
+  }
+};
+
+Graph buildGraph(const constraints::Model& model) {
+  Graph g;
+  g.nq = model.quantityCount();
+  g.nc = model.constraints().size();
+  g.adj.resize(g.size());
+  for (std::size_t ci = 0; ci < g.nc; ++ci) {
+    const std::size_t cv = g.constraintVertex(ci);
+    for (const QuantityId q : model.constraints()[ci]->variables()) {
+      const std::size_t e = g.edgeCount++;
+      g.adj[q].emplace_back(cv, e);
+      g.adj[cv].emplace_back(q, e);
+    }
+  }
+  return g;
+}
+
+/// Iterative Tarjan biconnected-component decomposition with an edge stack.
+/// Returns the block id of every edge (same partition decompose.cpp counts,
+/// but materialised: the layering needs block membership, not the count).
+std::vector<int> biconnectedBlocks(const Graph& g, int& blockCount) {
+  const std::size_t n = g.size();
+  const std::size_t none = static_cast<std::size_t>(-1);
+  std::vector<int> edgeBlock(g.edgeCount, -1);
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<std::size_t> parentEdge(n, none);
+  std::vector<std::size_t> adjIdx(n, 0);
+  std::vector<std::size_t> edgeStack;
+  blockCount = 0;
+  int dfsTime = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::vector<std::size_t> stack = {root};
+    disc[root] = low[root] = dfsTime++;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      if (adjIdx[u] < g.adj[u].size()) {
+        const auto [w, e] = g.adj[u][adjIdx[u]++];
+        if (disc[w] == -1) {
+          edgeStack.push_back(e);
+          parentEdge[w] = e;
+          disc[w] = low[w] = dfsTime++;
+          stack.push_back(w);
+        } else if (e != parentEdge[u] && disc[w] < disc[u]) {
+          edgeStack.push_back(e);
+          low[u] = std::min(low[u], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        if (stack.empty()) continue;
+        const std::size_t p = stack.back();
+        low[p] = std::min(low[p], low[u]);
+        if (low[u] >= disc[p]) {
+          const int b = blockCount++;
+          while (!edgeStack.empty()) {
+            const std::size_t e = edgeStack.back();
+            edgeStack.pop_back();
+            edgeBlock[e] = b;
+            if (e == parentEdge[u]) break;
+          }
+        }
+      }
+    }
+  }
+  return edgeBlock;
+}
+
+}  // namespace
+
+ScheduleAnalysis computeSchedule(const constraints::Model& model,
+                                 const ScheduleOptions& options) {
+  ScheduleAnalysis out;
+  out.entryCap = options.entryCap;
+  const std::size_t nq = model.quantityCount();
+  const std::size_t nc = model.constraints().size();
+  PropagationSchedule& plan = out.plan;
+  plan.constraints.resize(nc);
+  plan.watchers.assign(nq, {});
+  plan.cones.resize(nq);
+
+  // --- Watch sets: probe solveFor once per (constraint, target). The
+  // shipped constraint classes are solvable in a direction independently of
+  // the input values (their constructors reject the degenerate constants
+  // that would make a direction conditional), so one benign crisp probe
+  // answers the static question; a direction that throws or abstains is
+  // unsolvable and its target is pruned from the schedule.
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    const constraints::Constraint& c = *model.constraints()[ci];
+    const std::size_t arity = c.variables().size();
+    PropagationSchedule::ConstraintPlan& cp = plan.constraints[ci];
+    cp.watchedSlots.assign(arity, 0);
+    const std::vector<fuzzy::FuzzyInterval> probe(
+        arity, fuzzy::FuzzyInterval::crisp(1.0));
+    for (std::size_t t = 0; t < arity; ++t) {
+      bool solvable = false;
+      try {
+        solvable = c.solveFor(t, probe).has_value();
+      } catch (const std::exception&) {
+        solvable = false;
+      }
+      if (solvable) cp.solvableTargets.push_back(t);
+    }
+    // A slot is watched iff a solvable target *other than itself* exists:
+    // only then can an update there change an output.
+    for (std::size_t s = 0; s < arity; ++s) {
+      const bool watched =
+          std::any_of(cp.solvableTargets.begin(), cp.solvableTargets.end(),
+                      [&](std::size_t t) { return t != s; });
+      cp.watchedSlots[s] = watched ? 1 : 0;
+      ++out.totalSlotCount;
+      if (watched) ++out.watchedSlotCount;
+    }
+    out.solvableTargetCount += cp.solvableTargets.size();
+    if (cp.solvableTargets.empty()) {
+      out.inertConstraints.push_back(c.name());
+    }
+    // Watcher lists, one entry per watching constraint per quantity.
+    std::vector<QuantityId> seen;
+    for (std::size_t s = 0; s < arity; ++s) {
+      if (cp.watchedSlots[s] == 0) continue;
+      const QuantityId q = c.variables()[s];
+      if (std::find(seen.begin(), seen.end(), q) != seen.end()) continue;
+      seen.push_back(q);
+      plan.watchers[q].push_back(ci);
+    }
+  }
+
+  // --- Layering: biconnected blocks BFS-ordered in the block-cut tree. ---
+  const Graph g = buildGraph(model);
+  int blockCount = 0;
+  const std::vector<int> edgeBlock = biconnectedBlocks(g, blockCount);
+  // Block membership per vertex (a cut vertex belongs to several blocks).
+  std::vector<std::vector<int>> vertexBlocks(g.size());
+  {
+    std::size_t e = 0;
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      const std::size_t cv = g.constraintVertex(ci);
+      for (const QuantityId q : model.constraints()[ci]->variables()) {
+        const int b = edgeBlock[e++];
+        if (b < 0) continue;
+        vertexBlocks[q].push_back(b);
+        vertexBlocks[cv].push_back(b);
+      }
+    }
+    for (std::vector<int>& bs : vertexBlocks) {
+      std::sort(bs.begin(), bs.end());
+      bs.erase(std::unique(bs.begin(), bs.end()), bs.end());
+    }
+  }
+  // Seeds: quantities that hold root entries before any constraint fires —
+  // model predictions plus every measurable (voltage) quantity.
+  std::vector<char> isSeed(nq, 0);
+  for (const constraints::Model::Prediction& p : model.predictions()) {
+    isSeed[p.quantity] = 1;
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (model.quantityInfo(static_cast<QuantityId>(q)).kind ==
+        constraints::QuantityKind::kVoltage) {
+      isSeed[q] = 1;
+    }
+  }
+  // Multi-source BFS over the block-cut tree (blocks adjacent through
+  // shared cut vertices). Blocks in seedless components keep depth 0.
+  std::vector<int> blockDepth(static_cast<std::size_t>(blockCount), 0);
+  {
+    std::vector<char> visited(static_cast<std::size_t>(blockCount), 0);
+    std::vector<int> frontier;
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (!isSeed[q]) continue;
+      for (const int b : vertexBlocks[q]) {
+        if (visited[static_cast<std::size_t>(b)]) continue;
+        visited[static_cast<std::size_t>(b)] = 1;
+        blockDepth[static_cast<std::size_t>(b)] = 0;
+        frontier.push_back(b);
+      }
+    }
+    // Vertex-level visitation guard so shared cut vertices expand once.
+    std::vector<char> vertexDone(g.size(), 0);
+    std::vector<std::vector<std::size_t>> blockVertices(
+        static_cast<std::size_t>(blockCount));
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      for (const int b : vertexBlocks[v]) {
+        blockVertices[static_cast<std::size_t>(b)].push_back(v);
+      }
+    }
+    int depth = 0;
+    while (!frontier.empty()) {
+      std::vector<int> next;
+      for (const int b : frontier) {
+        for (const std::size_t v : blockVertices[static_cast<std::size_t>(b)]) {
+          if (vertexDone[v]) continue;
+          vertexDone[v] = 1;
+          for (const int nb : vertexBlocks[v]) {
+            if (visited[static_cast<std::size_t>(nb)]) continue;
+            visited[static_cast<std::size_t>(nb)] = 1;
+            blockDepth[static_cast<std::size_t>(nb)] = depth + 1;
+            next.push_back(nb);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++depth;
+    }
+  }
+  std::size_t maxLayer = 0;
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    const std::vector<int>& bs = vertexBlocks[g.constraintVertex(ci)];
+    int layer = 0;
+    bool first = true;
+    for (const int b : bs) {
+      const int d = blockDepth[static_cast<std::size_t>(b)];
+      layer = first ? d : std::min(layer, d);
+      first = false;
+    }
+    plan.constraints[ci].layer = static_cast<std::size_t>(layer);
+    maxLayer = std::max(maxLayer, plan.constraints[ci].layer);
+  }
+  plan.layerCount = nc == 0 ? 1 : maxLayer + 1;
+  out.layerCount = plan.layerCount;
+  out.constraintsPerLayer.assign(plan.layerCount, 0);
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    ++out.constraintsPerLayer[plan.constraints[ci].layer];
+  }
+
+  // --- Impact cones: directed reachability through solvable targets. ---
+  // Undirected component sizes, for the whole-component flag.
+  std::vector<int> compOf(g.size(), -1);
+  std::vector<std::size_t> compQuantities;
+  {
+    int comp = 0;
+    std::vector<std::size_t> stack;
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      if (compOf[v] != -1) continue;
+      compOf[v] = comp;
+      stack.push_back(v);
+      std::size_t quantities = 0;
+      while (!stack.empty()) {
+        const std::size_t u = stack.back();
+        stack.pop_back();
+        if (u < nq) ++quantities;
+        for (const auto& [w, e] : g.adj[u]) {
+          (void)e;
+          if (compOf[w] != -1) continue;
+          compOf[w] = comp;
+          stack.push_back(w);
+        }
+      }
+      compQuantities.push_back(quantities);
+      ++comp;
+    }
+  }
+  CostOptions costOptions;
+  costOptions.assumedMeasurements = options.assumedMeasurements;
+  const std::vector<std::uint64_t> retain =
+      retentionBounds(model, options.entryCap, costOptions);
+  std::vector<char> inCone(nq, 0);
+  std::vector<char> coneConstraint(nc, 0);
+  for (std::size_t q0 = 0; q0 < nq; ++q0) {
+    PropagationSchedule::ImpactCone& cone = plan.cones[q0];
+    std::fill(inCone.begin(), inCone.end(), 0);
+    std::fill(coneConstraint.begin(), coneConstraint.end(), 0);
+    std::vector<QuantityId> frontier = {static_cast<QuantityId>(q0)};
+    inCone[q0] = 1;
+    while (!frontier.empty()) {
+      const QuantityId q = frontier.back();
+      frontier.pop_back();
+      for (const std::size_t ci : plan.watchers[q]) {
+        coneConstraint[ci] = 1;
+        const constraints::Constraint& c = *model.constraints()[ci];
+        for (const std::size_t t : plan.constraints[ci].solvableTargets) {
+          const QuantityId qt = c.variables()[t];
+          if (qt == q || inCone[qt]) continue;
+          inCone[qt] = 1;
+          frontier.push_back(qt);
+        }
+      }
+    }
+    std::uint64_t bound = 0;
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (!inCone[q]) continue;
+      cone.quantities.push_back(static_cast<QuantityId>(q));
+      bound = satAddU(bound, retain[q]);
+    }
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      if (coneConstraint[ci]) cone.constraints.push_back(ci);
+    }
+    cone.stepBound = bound;
+    cone.wholeComponent =
+        cone.quantities.size() ==
+        compQuantities[static_cast<std::size_t>(compOf[q0])];
+    if (cone.wholeComponent) ++out.wholeComponentCones;
+
+    ConeSummary row;
+    row.quantity = model.quantityInfo(static_cast<QuantityId>(q0)).name;
+    row.quantityCount = cone.quantities.size();
+    row.constraintCount = cone.constraints.size();
+    row.stepBound = cone.stepBound;
+    row.wholeComponent = cone.wholeComponent;
+    out.cones.push_back(std::move(row));
+  }
+
+  return out;
+}
+
+namespace {
+
+void jsonEscape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void renderBound(std::ostream& os, std::uint64_t b) {
+  if (b >= kCostSaturated) {
+    os << "saturated";
+  } else {
+    os << b;
+  }
+}
+
+}  // namespace
+
+std::string renderScheduleReport(const ScheduleAnalysis& s) {
+  std::ostringstream os;
+  os << "  layers: " << s.layerCount << " (constraints per layer:";
+  for (std::size_t l = 0; l < s.constraintsPerLayer.size(); ++l) {
+    os << (l == 0 ? " " : ", ") << s.constraintsPerLayer[l];
+  }
+  os << ")\n";
+  os << "  watched slots: " << s.watchedSlotCount << '/' << s.totalSlotCount
+     << ", solvable targets: " << s.solvableTargetCount << '/'
+     << s.totalSlotCount << ", inert constraints: "
+     << s.inertConstraints.size() << '\n';
+  for (const std::string& name : s.inertConstraints) {
+    os << "  inert: " << name << '\n';
+  }
+  os << "  cone step bounds at entry cap " << s.entryCap << ":\n";
+  for (const ConeSummary& c : s.cones) {
+    os << "    " << c.quantity << ": " << c.quantityCount << " quantities, "
+       << c.constraintCount << " constraints, step bound ";
+    renderBound(os, c.stepBound);
+    if (c.wholeComponent) os << " (whole component)";
+    os << '\n';
+  }
+  os << "  whole-component cones: " << s.wholeComponentCones << '/'
+     << s.cones.size() << '\n';
+  return os.str();
+}
+
+std::string scheduleReportJson(const ScheduleAnalysis& s) {
+  std::ostringstream os;
+  os << "{\"entry_cap\":" << s.entryCap << ",\"layer_count\":" << s.layerCount
+     << ",\"constraints_per_layer\":[";
+  for (std::size_t l = 0; l < s.constraintsPerLayer.size(); ++l) {
+    if (l != 0) os << ',';
+    os << s.constraintsPerLayer[l];
+  }
+  os << "],\"watched_slots\":" << s.watchedSlotCount
+     << ",\"total_slots\":" << s.totalSlotCount
+     << ",\"solvable_targets\":" << s.solvableTargetCount
+     << ",\"inert_constraints\":[";
+  for (std::size_t i = 0; i < s.inertConstraints.size(); ++i) {
+    if (i != 0) os << ',';
+    jsonEscape(os, s.inertConstraints[i]);
+  }
+  os << "],\"whole_component_cones\":" << s.wholeComponentCones
+     << ",\"cones\":[";
+  for (std::size_t i = 0; i < s.cones.size(); ++i) {
+    const ConeSummary& c = s.cones[i];
+    if (i != 0) os << ',';
+    os << "{\"quantity\":";
+    jsonEscape(os, c.quantity);
+    os << ",\"quantities\":" << c.quantityCount
+       << ",\"constraints\":" << c.constraintCount << ",\"step_bound\":";
+    if (c.stepBound >= kCostSaturated) {
+      os << "\"saturated\"";
+    } else {
+      os << c.stepBound;
+    }
+    os << ",\"whole_component\":" << (c.wholeComponent ? "true" : "false")
+       << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace flames::analyze

@@ -1,0 +1,94 @@
+// flames::analyze — compiled propagation schedules (the fourth static pass).
+//
+// From the bipartite constraint graph alone — no propagation — this pass
+// compiles the constraints::PropagationSchedule the event-driven propagator
+// consumes (constraints/schedule.h documents the runtime contract), plus the
+// report-facing summary the A4 lint tier and --analyze render:
+//
+//   watch sets      per constraint, which target slots are statically
+//                   solvable (probed once through solveFor with benign crisp
+//                   inputs — solvability of the shipped constraint classes
+//                   is value-independent, their constructors reject the
+//                   degenerate constants) and hence which slots are watched.
+//                   A constraint with *no* solvable target is inert: it
+//                   consumes activations but can never derive — A4 warning.
+//   layering        biconnected blocks of the quantity/constraint graph
+//                   (the same decomposition decompose.cpp counts), arranged
+//                   in a block-cut tree and BFS-layered from the blocks
+//                   holding seeded quantities (predictions + measurable
+//                   voltages). Constraints inside one block share a layer —
+//                   cycles have no topological order, they re-activate
+//                   within their layer until quiescent — while tree-like
+//                   chains drain in topological order.
+//   impact cones    per quantity, directed reachability through solvable
+//                   directions, with the certified extra-step bound
+//                   sum R(q') (cost.h retentionBounds) over the cone. In a
+//                   connected analog model whose constraints are solvable
+//                   in every direction the cone is the whole component —
+//                   reported honestly (A4 info): the incremental win then
+//                   comes from the watermarked delta discipline, not cone
+//                   truncation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/cost.h"
+#include "constraints/propagator.h"
+#include "constraints/schedule.h"
+
+namespace flames::analyze {
+
+struct ScheduleOptions {
+  /// Entry cap the cone step bounds assume (R(q) = entryCap + roots(q)).
+  /// The runtime bound is valid whenever the propagator's cap does not
+  /// exceed this. analyzeModel passes the derived per-model cap.
+  std::size_t entryCap = 24;
+  /// Assumed measurements per voltage quantity when counting roots
+  /// (mirrors CostOptions::assumedMeasurements).
+  std::size_t assumedMeasurements = 1;
+};
+
+/// Report row for one quantity's impact cone.
+struct ConeSummary {
+  std::string quantity;
+  std::size_t quantityCount = 0;
+  std::size_t constraintCount = 0;
+  std::uint64_t stepBound = 0;
+  bool wholeComponent = false;
+};
+
+struct ScheduleAnalysis {
+  /// The runtime schedule (PropagatorOptions::schedule points here).
+  constraints::PropagationSchedule plan;
+  /// The entry cap the cone bounds were certified at.
+  std::size_t entryCap = 0;
+  std::size_t layerCount = 0;
+  /// constraintsPerLayer[l]: constraints assigned to layer l.
+  std::vector<std::size_t> constraintsPerLayer;
+  /// Watched slots over total slots (sum of arities).
+  std::size_t watchedSlotCount = 0;
+  std::size_t totalSlotCount = 0;
+  /// Solvable targets over total targets (== total slots).
+  std::size_t solvableTargetCount = 0;
+  /// Constraint names with no solvable target (A4 warning material).
+  std::vector<std::string> inertConstraints;
+  /// One row per quantity, in quantity-id order.
+  std::vector<ConeSummary> cones;
+  /// Quantities whose cone spans their whole connected component.
+  std::size_t wholeComponentCones = 0;
+};
+
+/// Compiles the schedule from the constraint graph (no propagation).
+[[nodiscard]] ScheduleAnalysis computeSchedule(
+    const constraints::Model& model, const ScheduleOptions& options = {});
+
+/// Human-readable rendering (the "== schedule ==" section of --analyze).
+[[nodiscard]] std::string renderScheduleReport(const ScheduleAnalysis& s);
+
+/// Machine-readable rendering (the "schedule" key of --analyze --json).
+[[nodiscard]] std::string scheduleReportJson(const ScheduleAnalysis& s);
+
+}  // namespace flames::analyze

@@ -1,8 +1,10 @@
 #include "constraints/propagator.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -104,8 +106,11 @@ std::string Model::describe(const Environment& env) const {
   bool first = true;
   for (atms::AssumptionId id : env.ids()) {
     if (!first) os << ',';
-    os << (id < assumptionNames_.size() ? assumptionNames_[id]
-                                        : "#" + std::to_string(id));
+    if (id < assumptionNames_.size()) {
+      os << assumptionNames_[id];
+    } else {
+      os << '#' << id;
+    }
     first = false;
   }
   os << '}';
@@ -152,8 +157,22 @@ void Model::warmIncidence() const {
 // --- Propagator --------------------------------------------------------------
 
 Propagator::Propagator(const Model& model, PropagatorOptions options)
-    : model_(model), options_(options) {
+    : model_(model), options_(std::move(options)) {
   values_.resize(model.quantityCount());
+  touched_.assign(model.quantityCount(), 0);
+  if (options_.schedule != nullptr) {
+    const PropagationSchedule& s = *options_.schedule;
+    if (!s.compatibleWith(model.quantityCount(), model.constraints().size())) {
+      throw std::invalid_argument(
+          "Propagator: schedule was compiled from a model of different shape");
+    }
+    activation_.resize(std::max<std::size_t>(s.layerCount, 1));
+    inQueue_.assign(model.constraints().size(), 0);
+    watermark_.resize(model.constraints().size());
+    for (std::size_t ci = 0; ci < watermark_.size(); ++ci) {
+      watermark_[ci].assign(model.constraints()[ci]->variables().size(), 0);
+    }
+  }
 }
 
 void Propagator::addMeasurement(QuantityId q, FuzzyInterval value,
@@ -186,6 +205,10 @@ void Propagator::run() {
     }
   }
   completed_ = true;
+  if (options_.schedule != nullptr) {
+    runScheduled();
+    return;
+  }
   const bool sampling = obs::enabled();
   while (!queue_.empty()) {
     if (options_.cancelCheck && options_.cancelCheck()) {
@@ -292,6 +315,7 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry,
         entries.erase(entries.begin() +
                       static_cast<std::ptrdiff_t>(removed[k] - k));
       }
+      touched_[q] = 1;
       queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
                                   [&](WorkItem& w) {
                                     if (w.quantity != q) return false;
@@ -304,15 +328,44 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry,
                                     return false;
                                   }),
                    queue_.end());
+      if (options_.schedule != nullptr) {
+        // Keep the consumption watermarks aligned with the surviving
+        // entries: every erased index below a constraint's mark on this
+        // quantity was already consumed, so the mark shifts down with it.
+        for (const std::size_t ci : model_.constraintsOn(q)) {
+          const std::vector<QuantityId>& vars =
+              model_.constraints()[ci]->variables();
+          for (std::size_t s = 0; s < vars.size(); ++s) {
+            if (vars[s] != q) continue;
+            std::size_t below = 0;
+            for (const std::size_t r : removed) {
+              if (r < watermark_[ci][s]) ++below;
+            }
+            watermark_[ci][s] -= below;
+          }
+        }
+      }
     }
     if (entries.size() >= options_.maxEntriesPerQuantity &&
         entry.source == ValueSource::kDerived) {
       cDiscardSaturated().add();
+      ++saturatedDiscards_;
       return false;  // quantity saturated; keep roots flowing regardless
     }
+    const int producedBy = entry.fromConstraint;
     entries.push_back(std::move(entry));
+    touched_[q] = 1;
     cEntriesAdded().add();
-    queue_.push_back({q, entries.size() - 1});
+    if (options_.schedule != nullptr) {
+      // Scheduled engine: a kept entry is one step of the certified bound
+      // (in the sweep engine every kept entry is popped exactly once, so
+      // the two counts are bounded by the same analysis).
+      if (obs::enabled()) cSteps().add();
+      if (++steps_ > options_.maxSteps) budgetExhausted_ = true;
+      notifyWatchers(q, producedBy);
+    } else {
+      queue_.push_back({q, entries.size() - 1});
+    }
 
     // Drain crisp-policy refinements queued by coincidence resolution.
     if (!drainingRefinements_ && !pendingRefinements_.empty()) {
@@ -327,6 +380,7 @@ bool Propagator::addEntry(QuantityId q, ValueEntry entry,
     return true;
   }
   cDiscardSaturated().add();
+  ++saturatedDiscards_;
   return false;
 }
 
@@ -389,6 +443,12 @@ void Propagator::fire(QuantityId q, std::size_t entryIndex) {
           fromMeasurement = fromMeasurement || e.fromMeasurement;
           depth = std::max(depth, e.depth);
         }
+        // Gate on the *deepest* input, not just the popped one: the set of
+        // derivable combinations is then a function of the entry set alone,
+        // independent of arrival order — the confluence property the
+        // incremental session's exactness argument rests on (and the same
+        // gate the scheduled engine applies).
+        if (ok && depth >= options_.maxDepth) ok = false;
         if (ok && env.size() <= options_.maxEnvSize &&
             !nogoods_.isInconsistent(env, 1.0)) {
           std::optional<FuzzyInterval> derived;
@@ -450,6 +510,195 @@ void Propagator::fire(QuantityId q, std::size_t entryIndex) {
       }
     }
   }
+}
+
+// --- Scheduled engine --------------------------------------------------------
+
+void Propagator::notifyWatchers(QuantityId q, int fromConstraint) {
+  const PropagationSchedule& s = *options_.schedule;
+  for (const std::size_t ci : s.watchers[q]) {
+    // Echo rule: an entry never participates in its producer's firings, so
+    // the producer need not re-activate for it.
+    if (fromConstraint == static_cast<int>(ci)) continue;
+    if (inQueue_[ci]) continue;
+    inQueue_[ci] = 1;
+    activation_[s.constraints[ci].layer].push_back(ci);
+  }
+}
+
+void Propagator::runScheduled() {
+  const bool sampling = obs::enabled();
+  while (true) {
+    std::size_t layer = activation_.size();
+    std::size_t pending = 0;
+    for (std::size_t l = 0; l < activation_.size(); ++l) {
+      if (layer == activation_.size() && !activation_[l].empty()) layer = l;
+      pending += activation_[l].size();
+    }
+    if (layer == activation_.size()) return;  // quiescent
+    if (options_.cancelCheck && options_.cancelCheck()) {
+      completed_ = false;
+      for (std::deque<std::size_t>& b : activation_) b.clear();
+      std::fill(inQueue_.begin(), inQueue_.end(), 0);
+      throw CancelledError("propagation cancelled");
+    }
+    if (sampling) hQueueDepth().record(pending);
+    const std::size_t ci = activation_[layer].front();
+    activation_[layer].pop_front();
+    inQueue_[ci] = 0;
+    fireConstraint(ci);
+    if (budgetExhausted_) {
+      completed_ = false;
+      for (std::deque<std::size_t>& b : activation_) b.clear();
+      std::fill(inQueue_.begin(), inQueue_.end(), 0);
+      return;
+    }
+  }
+}
+
+void Propagator::fireConstraint(std::size_t ci) {
+  const Constraint& c = *model_.constraints()[ci];
+  const std::vector<QuantityId>& vars = c.variables();
+  const std::size_t arity = vars.size();
+  const PropagationSchedule::ConstraintPlan& plan =
+      options_.schedule->constraints[ci];
+  const bool recording = options_.provenance != nullptr;
+
+  // Capture the entry counts and prior watermarks, then advance the marks
+  // immediately: erasures during this firing adjust the stored marks (and
+  // the local copies drive the enumeration — reads are clamped to the live
+  // lists, so a combination whose entry was erased mid-firing just drops).
+  std::vector<std::size_t> size(arity);
+  std::vector<std::size_t> oldMark = watermark_[ci];
+  for (std::size_t i = 0; i < arity; ++i) {
+    size[i] = values_[vars[i]].size();
+    watermark_[ci][i] = size[i];
+  }
+
+  std::vector<FuzzyInterval> inputs(arity);
+  std::vector<std::size_t> inputSlots;
+  std::vector<std::size_t> cursor;
+  std::vector<std::size_t> lo;
+  std::vector<std::size_t> hi;
+  for (const std::size_t target : plan.solvableTargets) {
+    inputSlots.clear();
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (i != target) inputSlots.push_back(i);
+    }
+    if (inputSlots.empty()) continue;  // nothing can trigger a 1-ary solve
+
+    // Delta join: partition the new combinations by the first input slot
+    // holding a not-yet-consumed entry (the *lead*). Slots before the lead
+    // stay below their old mark, the lead ranges over the new entries,
+    // slots after it over everything — each new combination is enumerated
+    // exactly once, and a fresh constraint (all marks zero) enumerates the
+    // full product through lead position 0.
+    for (std::size_t lead = 0; lead < inputSlots.size(); ++lead) {
+      if (oldMark[inputSlots[lead]] >= size[inputSlots[lead]]) continue;
+      cursor.assign(inputSlots.size(), 0);
+      lo.assign(inputSlots.size(), 0);
+      hi.assign(inputSlots.size(), 0);
+      bool feasible = true;
+      for (std::size_t p = 0; p < inputSlots.size(); ++p) {
+        const std::size_t s = inputSlots[p];
+        if (p < lead) {
+          hi[p] = oldMark[s];
+        } else if (p == lead) {
+          lo[p] = oldMark[s];
+          hi[p] = size[s];
+        } else {
+          hi[p] = size[s];
+        }
+        if (lo[p] >= hi[p]) {
+          feasible = false;
+          break;
+        }
+        cursor[p] = lo[p];
+      }
+      if (!feasible) continue;
+
+      while (true) {
+        if (budgetExhausted_) return;
+        Environment env = c.validity();
+        double degree = c.degree();
+        bool fromMeasurement = false;
+        int maxDepth = 0;
+        bool ok = true;
+        if (recording) provParentsScratch_.assign(arity, kNoProvEntry);
+        for (std::size_t p = 0; p < inputSlots.size(); ++p) {
+          const std::size_t s = inputSlots[p];
+          const std::vector<ValueEntry>& list = values_[vars[s]];
+          if (cursor[p] >= list.size()) {
+            ok = false;  // erased mid-firing
+            break;
+          }
+          const ValueEntry& e = list[cursor[p]];
+          if (e.fromConstraint == static_cast<int>(ci)) {
+            ok = false;  // echo through the same constraint
+            break;
+          }
+          inputs[s] = e.value;
+          env = env.unionWith(e.env);
+          degree = std::min(degree, e.degree);
+          fromMeasurement = fromMeasurement || e.fromMeasurement;
+          maxDepth = std::max(maxDepth, e.depth);
+          if (recording) provParentsScratch_[s] = e.provId;
+        }
+        // Depth gate, matched to the sweep engine: the deepest input decides
+        // (order-independent — both engines derive exactly the combinations
+        // whose every input is below the limit).
+        if (ok && maxDepth >= options_.maxDepth) ok = false;
+        if (ok && env.size() <= options_.maxEnvSize &&
+            !nogoods_.isInconsistent(env, 1.0)) {
+          std::optional<FuzzyInterval> derived;
+          try {
+            derived = c.solveFor(target, inputs);
+          } catch (const std::domain_error&) {
+            derived = std::nullopt;
+          }
+          if (derived &&
+              derived->support().width() > options_.maxDerivedWidth) {
+            cDiscardWidth().add();
+            derived = std::nullopt;
+          }
+          if (derived) {
+            ValueEntry e;
+            e.value = options_.crispifyValues
+                          ? FuzzyInterval::crispInterval(
+                                derived->support().lo, derived->support().hi)
+                          : *derived;
+            e.env = std::move(env);
+            e.source = ValueSource::kDerived;
+            e.fromConstraint = static_cast<int>(ci);
+            e.fromMeasurement = fromMeasurement;
+            e.degree = degree;
+            e.depth = maxDepth + 1;
+            addEntry(vars[target], std::move(e),
+                     recording ? provParentsScratch_.data() : nullptr,
+                     recording ? provParentsScratch_.size() : 0);
+          }
+        }
+        std::size_t p = 0;
+        for (; p < inputSlots.size(); ++p) {
+          if (++cursor[p] < hi[p]) break;
+          cursor[p] = lo[p];
+        }
+        if (p == inputSlots.size()) break;
+      }
+    }
+  }
+}
+
+std::vector<QuantityId> Propagator::touchedQuantities() const {
+  std::vector<QuantityId> out;
+  for (std::size_t q = 0; q < touched_.size(); ++q) {
+    if (touched_[q]) out.push_back(static_cast<QuantityId>(q));
+  }
+  return out;
+}
+
+void Propagator::markClean() {
+  std::fill(touched_.begin(), touched_.end(), 0);
 }
 
 void Propagator::resolveCoincidence(QuantityId q, const ValueEntry& a,

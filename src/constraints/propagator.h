@@ -27,6 +27,7 @@
 #include "constraints/constraint.h"
 #include "constraints/provenance.h"
 #include "constraints/quantity.h"
+#include "constraints/schedule.h"
 #include "fuzzy/consistency.h"
 
 namespace flames::constraints {
@@ -143,6 +144,16 @@ struct PropagatorOptions {
   /// appended to the log and each ValueEntry carries a stable provId. The
   /// log must outlive the propagator's run.
   ProvenanceLog* provenance = nullptr;
+  /// Compiled propagation schedule (constraints/schedule.h). Null (the
+  /// default) keeps the original per-entry FIFO sweep. Non-null switches to
+  /// the event-driven engine: constraints are *activated* when a watched
+  /// quantity gains an entry (lowest layer drains first) and fire over only
+  /// the delta of input combinations their per-slot watermarks have not yet
+  /// consumed. steps() then counts kept entries instead of queue pops — the
+  /// same certified bounds apply (every pop consumed one kept entry). The
+  /// schedule must have been compiled from a model of identical shape and
+  /// must outlive the propagator.
+  const PropagationSchedule* schedule = nullptr;
 };
 
 /// Thrown by Propagator::run() (and propagated through diagnoseWith) when
@@ -183,6 +194,23 @@ class Propagator {
 
   [[nodiscard]] const Model& model() const { return model_; }
 
+  /// Quantities whose entry list changed (gained or lost an entry) since
+  /// the last markClean(). Lets an incremental caller check that a probe's
+  /// effects stayed inside its static impact cone (oracle invariant I12).
+  [[nodiscard]] std::vector<QuantityId> touchedQuantities() const;
+  /// Resets the touched-quantity tracking (call between probes).
+  void markClean();
+
+  /// Derived entries discarded because their quantity was at the entry cap.
+  /// Zero means this run kept every informative derivation, which makes the
+  /// result arrival-order independent (confluence) — the exactness witness
+  /// the incremental session checks before trusting a delta extension. Any
+  /// saturation makes results order-sensitive: a value discarded today
+  /// cannot coincide with a measurement that arrives tomorrow.
+  [[nodiscard]] std::size_t saturatedDiscards() const {
+    return saturatedDiscards_;
+  }
+
  private:
   struct WorkItem {
     QuantityId quantity;
@@ -200,6 +228,15 @@ class Propagator {
 
   // Fires all constraints incident on q using entry `idx` as one input.
   void fire(QuantityId q, std::size_t entryIndex);
+
+  // --- Scheduled (event-driven) engine, active when options_.schedule is
+  // set. Constraints activate instead of entries queueing; each activation
+  // fires the constraint over the watermark delta of input combinations.
+  void runScheduled();
+  void fireConstraint(std::size_t ci);
+  // Activates the watchers of q (skipping `fromConstraint`: an entry never
+  // participates in its own producer's firings — the echo rule).
+  void notifyWatchers(QuantityId q, int fromConstraint);
 
   void resolveCoincidence(QuantityId q, const ValueEntry& a,
                           const ValueEntry& b);
@@ -226,6 +263,23 @@ class Propagator {
   std::size_t steps_ = 0;
   bool completed_ = false;
   bool seeded_ = false;
+
+  // --- Scheduled-engine state (sized only when options_.schedule is set).
+  /// Per-layer FIFO activation buckets (lowest non-empty layer pops first).
+  std::vector<std::deque<std::size_t>> activation_;
+  /// inQueue_[ci]: constraint ci is already activated (watch discipline).
+  std::vector<char> inQueue_;
+  /// watermark_[ci][slot]: entries of that slot's quantity already consumed
+  /// by ci's past firings; a firing enumerates only combinations with at
+  /// least one input above its slot's watermark. Erasures in addEntry keep
+  /// the marks aligned with the surviving entries.
+  std::vector<std::vector<std::size_t>> watermark_;
+  /// Kept-entry budget tripped (schedule mode's analogue of the legacy
+  /// step-budget abort).
+  bool budgetExhausted_ = false;
+  std::size_t saturatedDiscards_ = 0;
+  /// touched_[q]: values_[q] changed since the last markClean().
+  std::vector<char> touched_;
 };
 
 }  // namespace flames::constraints

@@ -1,0 +1,93 @@
+// Compiled propagation schedule — the runtime product of the static
+// watch-set / impact-cone analysis (flames::analyze::computeSchedule).
+//
+// The schedule is computed from the bipartite constraint graph alone, before
+// any propagation, and the Propagator consumes it as an alternative firing
+// discipline (PropagatorOptions::schedule): instead of sweeping a per-entry
+// FIFO, constraints are *activated* when a watched quantity gains an entry
+// and fired over only the delta of not-yet-consumed input combinations (the
+// geas propagator_ext / glasgow low_level_constraint_store idiom). Three
+// static facts make that sound:
+//
+//   watch sets    a slot is watched iff some *other* slot of the constraint
+//                 is statically solvable — an update there can change an
+//                 output. Unwatched slots never feed a derivation, so their
+//                 updates need not activate the constraint.
+//   layers        constraints carry a priority layer: the BFS depth of
+//                 their biconnected block in the block-cut tree, rooted at
+//                 the blocks holding seeded quantities (predictions and
+//                 measurable voltages). Activations drain lowest layer
+//                 first, so value flow follows the topological order of
+//                 blocks while constraints inside one block (a cycle) share
+//                 a layer and simply re-activate until their slots quiesce.
+//   impact cones  per quantity q, the set of quantities and constraints a
+//                 new entry at q can reach through solvable directions,
+//                 with a certified bound on the *extra* kept entries the
+//                 cascade can produce: sum of retention bounds R(q') over
+//                 the cone (analyze/cost.h). Incremental probes are checked
+//                 against this bound at runtime (oracle invariant I12).
+//
+// The struct lives in flames::constraints (not flames::analyze) so the
+// Propagator can consume it without depending on the analysis layer; the
+// analyzer fills it in and layers its report types on top.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "constraints/quantity.h"
+
+namespace flames::constraints {
+
+struct PropagationSchedule {
+  struct ConstraintPlan {
+    /// Slot indices the constraint can be solved for (value-independent:
+    /// probed through solveFor once, from the transfer structure alone).
+    std::vector<std::size_t> solvableTargets;
+    /// watchedSlots[i]: an entry landing in slot i's quantity can change
+    /// some output of this constraint (a solvable target other than i
+    /// exists). Sized to the constraint's arity.
+    std::vector<char> watchedSlots;
+    /// Priority layer (block-cut BFS depth; lower drains first).
+    std::size_t layer = 0;
+  };
+
+  /// The statically bounded blast radius of a new entry at one quantity.
+  struct ImpactCone {
+    /// Quantities reachable through solvable directions (sorted, includes
+    /// the source quantity itself).
+    std::vector<QuantityId> quantities;
+    /// Constraints fireable inside the cone (sorted indices).
+    std::vector<std::size_t> constraints;
+    /// Certified bound on the kept entries the cascade can add: the total
+    /// retention capacity sum R(q') over the cone's quantities, computed at
+    /// the entry cap the analysis assumed. Saturates (analyze::kCostSaturated).
+    std::uint64_t stepBound = 0;
+    /// True when the cone spans its entire connected component: a probe
+    /// here re-propagates everything reachable, so the incremental win
+    /// comes only from the watermarked delta discipline, not cone pruning.
+    bool wholeComponent = false;
+  };
+
+  /// Indexed by constraint. Empty solvableTargets = inert constraint.
+  std::vector<ConstraintPlan> constraints;
+  /// watchers[q]: constraints with a watched slot on quantity q (each
+  /// listed once, ascending). The activation sets of the scheduled engine.
+  std::vector<std::vector<std::size_t>> watchers;
+  /// Number of distinct layers (max layer + 1; at least 1 for any model
+  /// with constraints).
+  std::size_t layerCount = 1;
+  /// Indexed by quantity.
+  std::vector<ImpactCone> cones;
+
+  /// Structural compatibility with a model (the schedule must have been
+  /// compiled from a model of identical shape).
+  [[nodiscard]] bool compatibleWith(std::size_t quantityCount,
+                                    std::size_t constraintCount) const {
+    return watchers.size() == quantityCount && cones.size() == quantityCount &&
+           constraints.size() == constraintCount;
+  }
+};
+
+}  // namespace flames::constraints

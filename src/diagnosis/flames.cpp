@@ -52,112 +52,27 @@ class PipelineClock {
   std::uint64_t start_ = 0;
 };
 
-}  // namespace
-
-FlamesEngine::FlamesEngine(circuit::Netlist net, FlamesOptions options)
-    : net_(std::move(net)),
-      options_(options),
-      built_(constraints::buildDiagnosticModel(net_, options.model)),
-      experience_(options.learning) {
-  if (options_.installRegionRules) {
-    addTransistorRegionRules(kb_, net_, built_);
-  }
-}
-
-void FlamesEngine::measure(const std::string& node, double volts) {
-  measure(node, FuzzyInterval::about(
-                    volts, std::max(options_.measurementSpread, 1e-12)));
-}
-
-void FlamesEngine::measure(const std::string& node, FuzzyInterval value) {
-  (void)net_.findNode(node);  // validate early
-  observations_.push_back({node, std::move(value)});
-}
-
-void FlamesEngine::clearMeasurements() { observations_.clear(); }
-
-DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
-                             const std::vector<Observation>& observations) {
+// Everything downstream of propagation: value hulls, the Dc table, ranked
+// nogoods, candidates with refinement and rescue, ranking, rule evaluation,
+// deviation analysis, experience hints and the stats totals. Shared by the
+// batch pipeline (diagnoseWith) and the incremental probe session, which
+// reach this point with differently-driven propagators but identical
+// obligations. Expects clock to be inside its "propagation" stage.
+void finishDiagnosis(const DiagnosisContext& ctx,
+                     const std::vector<Observation>& observations,
+                     Propagator& prop,
+                     std::shared_ptr<DiagnosisProvenance> prov,
+                     DiagnosisReport& report, PipelineClock& clock,
+                     PipelineStats* stats, std::uint64_t wallStart) {
   const circuit::Netlist& net = *ctx.net;
   const constraints::BuiltModel& built = *ctx.built;
   const FlamesOptions& options = *ctx.options;
-  // Cooperative cancellation: the propagator polls the hook every step; the
-  // slower non-propagation stages (one simulation search per fault-mode
-  // screen) poll it here between units of work.
   const auto checkCancel = [&options] {
     if (options.propagation.cancelCheck && options.propagation.cancelCheck()) {
       throw constraints::CancelledError("diagnosis cancelled");
     }
   };
 
-  DiagnosisReport report;
-
-  obs::Span diagnoseSpan("diagnose", "pipeline");
-  static obs::Counter& cDiagnoseCalls = obs::counter("flames.diagnose_calls");
-  cDiagnoseCalls.add();
-  std::uint64_t wallStart = 0;
-  if (obs::enabled()) {
-    report.stats.emplace();
-    wallStart = obs::monotonicNanos();
-  }
-  PipelineStats* stats = report.stats ? &*report.stats : nullptr;
-  PipelineClock clock(stats);
-
-  clock.stage("propagation");
-  std::shared_ptr<DiagnosisProvenance> prov;
-  constraints::PropagatorOptions propOptions = options.propagation;
-  if (options.hintGuidedPropagation && ctx.hintSource) {
-    // Pre-propagation signature: each measurement scored directly against
-    // the model's nominal prediction. Cheap (no constraint network), and
-    // close enough to the post-propagation signature learned rules were
-    // recorded from for similarity matching to work.
-    std::vector<Symptom> pre;
-    for (const Observation& obs : observations) {
-      const QuantityId q = built.voltage(obs.node);
-      const constraints::Model::Prediction* nominal = nullptr;
-      for (const auto& p : built.model.predictions()) {
-        if (p.quantity == q) {
-          nominal = &p;
-          break;
-        }
-      }
-      if (nominal == nullptr) continue;
-      const fuzzy::Consistency c =
-          fuzzy::degreeOfConsistency(obs.value, nominal->value);
-      int direction = 0;
-      switch (c.deviation) {
-        case fuzzy::Deviation::kBelow: direction = -1; break;
-        case fuzzy::Deviation::kAbove: direction = 1; break;
-        case fuzzy::Deviation::kNone: direction = 0; break;
-      }
-      pre.push_back(
-          {built.model.quantityInfo(q).name, c.signedDc(), direction});
-    }
-    if (!pre.empty()) {
-      const std::vector<ExperienceHint> hints = ctx.hintSource(pre);
-      if (!hints.empty() &&
-          hints.front().score >= options.hintGuidedThreshold) {
-        propOptions.maxEntriesPerQuantity = std::min(
-            propOptions.maxEntriesPerQuantity, options.hintGuidedEntryCap);
-        report.hintGuided = true;
-        static obs::Counter& cGuided = obs::counter("kb.hint_guided_runs");
-        cGuided.add();
-      }
-    }
-  }
-  if (options.recordProvenance) {
-    prov = std::make_shared<DiagnosisProvenance>();
-    prov->lambda = propOptions.minNogoodDegree;
-    prov->maxCardinality = options.maxFaultCardinality;
-    prov->policy = propOptions.policy;
-    prov->crispifyValues = propOptions.crispifyValues;
-    propOptions.provenance = &prov->log;
-  }
-  Propagator prop(built.model, propOptions);
-  for (const Observation& obs : observations) {
-    prop.addMeasurement(built.voltage(obs.node), obs.value);
-  }
-  prop.run();
   report.propagationCompleted = prop.completed();
   report.propagationSteps = prop.steps();
   if (stats) {
@@ -399,10 +314,218 @@ DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
     stats->dcTableRows = report.measurements.size();
     stats->totalNanos = obs::monotonicNanos() - wallStart;
   }
+}
+
+}  // namespace
+
+FlamesEngine::FlamesEngine(circuit::Netlist net, FlamesOptions options)
+    : net_(std::move(net)),
+      options_(options),
+      built_(constraints::buildDiagnosticModel(net_, options.model)),
+      experience_(options.learning) {
+  if (options_.installRegionRules) {
+    addTransistorRegionRules(kb_, net_, built_);
+  }
+}
+
+void FlamesEngine::measure(const std::string& node, double volts) {
+  measure(node, FuzzyInterval::about(
+                    volts, std::max(options_.measurementSpread, 1e-12)));
+}
+
+void FlamesEngine::measure(const std::string& node, FuzzyInterval value) {
+  (void)net_.findNode(node);  // validate early
+  observations_.push_back({node, std::move(value)});
+  session_.reset();  // batch edits invalidate the incremental session
+}
+
+void FlamesEngine::clearMeasurements() {
+  observations_.clear();
+  session_.reset();
+}
+
+DiagnosisReport diagnoseWith(const DiagnosisContext& ctx,
+                             const std::vector<Observation>& observations) {
+  const constraints::BuiltModel& built = *ctx.built;
+  const FlamesOptions& options = *ctx.options;
+
+  DiagnosisReport report;
+
+  obs::Span diagnoseSpan("diagnose", "pipeline");
+  static obs::Counter& cDiagnoseCalls = obs::counter("flames.diagnose_calls");
+  cDiagnoseCalls.add();
+  std::uint64_t wallStart = 0;
+  if (obs::enabled()) {
+    report.stats.emplace();
+    wallStart = obs::monotonicNanos();
+  }
+  PipelineStats* stats = report.stats ? &*report.stats : nullptr;
+  PipelineClock clock(stats);
+
+  clock.stage("propagation");
+  std::shared_ptr<DiagnosisProvenance> prov;
+  constraints::PropagatorOptions propOptions = options.propagation;
+  if (options.hintGuidedPropagation && ctx.hintSource) {
+    // Pre-propagation signature: each measurement scored directly against
+    // the model's nominal prediction. Cheap (no constraint network), and
+    // close enough to the post-propagation signature learned rules were
+    // recorded from for similarity matching to work.
+    std::vector<Symptom> pre;
+    for (const Observation& obs : observations) {
+      const QuantityId q = built.voltage(obs.node);
+      const constraints::Model::Prediction* nominal = nullptr;
+      for (const auto& p : built.model.predictions()) {
+        if (p.quantity == q) {
+          nominal = &p;
+          break;
+        }
+      }
+      if (nominal == nullptr) continue;
+      const fuzzy::Consistency c =
+          fuzzy::degreeOfConsistency(obs.value, nominal->value);
+      int direction = 0;
+      switch (c.deviation) {
+        case fuzzy::Deviation::kBelow: direction = -1; break;
+        case fuzzy::Deviation::kAbove: direction = 1; break;
+        case fuzzy::Deviation::kNone: direction = 0; break;
+      }
+      pre.push_back(
+          {built.model.quantityInfo(q).name, c.signedDc(), direction});
+    }
+    if (!pre.empty()) {
+      const std::vector<ExperienceHint> hints = ctx.hintSource(pre);
+      if (!hints.empty() &&
+          hints.front().score >= options.hintGuidedThreshold) {
+        propOptions.maxEntriesPerQuantity = std::min(
+            propOptions.maxEntriesPerQuantity, options.hintGuidedEntryCap);
+        report.hintGuided = true;
+        static obs::Counter& cGuided = obs::counter("kb.hint_guided_runs");
+        cGuided.add();
+      }
+    }
+  }
+  if (options.recordProvenance) {
+    prov = std::make_shared<DiagnosisProvenance>();
+    prov->lambda = propOptions.minNogoodDegree;
+    prov->maxCardinality = options.maxFaultCardinality;
+    prov->policy = propOptions.policy;
+    prov->crispifyValues = propOptions.crispifyValues;
+    propOptions.provenance = &prov->log;
+  }
+  Propagator prop(built.model, propOptions);
+  for (const Observation& obs : observations) {
+    prop.addMeasurement(built.voltage(obs.node), obs.value);
+  }
+  prop.run();
+  finishDiagnosis(ctx, observations, prop, std::move(prov), report, clock,
+                  stats, wallStart);
   return report;
 }
 
-DiagnosisReport FlamesEngine::diagnose() {
+// --- IncrementalSession ------------------------------------------------------
+
+IncrementalSession::IncrementalSession(
+    const DiagnosisContext& ctx, const constraints::PropagationSchedule& schedule)
+    : ctx_(ctx), propOptions_(ctx.options->propagation) {
+  propOptions_.schedule = &schedule;
+  // Provenance and hint-guided cap clamping are batch-path features: the
+  // log would span the whole session, and a mid-session cap change would
+  // invalidate the incremental premise (see the class comment).
+  propOptions_.provenance = nullptr;
+}
+
+DiagnosisReport IncrementalSession::begin(
+    const std::vector<Observation>& observations) {
+  observations_ = observations;
+  pendingFrom_ = 0;
+  exact_ = true;
+  prop_.emplace(ctx_.built->model, propOptions_);
+  return propagateAndFinish(/*delta=*/false);
+}
+
+DiagnosisReport IncrementalSession::addMeasurement(const Observation& obs) {
+  if (!prop_) return begin({obs});
+  observations_.push_back(obs);
+  if (!exact_) return restart();  // batch mode: cap pressure already seen
+  return propagateAndFinish(/*delta=*/true);
+}
+
+DiagnosisReport IncrementalSession::propagateAndFinish(bool delta) {
+  DiagnosisReport report;
+  obs::Span diagnoseSpan("diagnose_incremental", "pipeline");
+  static obs::Counter& cProbes = obs::counter("flames.incremental_probes");
+  cProbes.add();
+  std::uint64_t wallStart = 0;
+  if (obs::enabled()) {
+    report.stats.emplace();
+    wallStart = obs::monotonicNanos();
+  }
+  PipelineStats* stats = report.stats ? &*report.stats : nullptr;
+  PipelineClock clock(stats);
+
+  clock.stage("propagation");
+  prop_->markClean();
+  const std::size_t stepsBefore = prop_->steps();
+  for (; pendingFrom_ < observations_.size(); ++pendingFrom_) {
+    const Observation& o = observations_[pendingFrom_];
+    prop_->addMeasurement(ctx_.built->voltage(o.node), o.value);
+  }
+  prop_->run();
+  if (prop_->saturatedDiscards() > 0) {
+    // The entry cap bit: some derivation was discarded, so the state now
+    // depends on arrival order and a value lost today could have coincided
+    // with a probe arriving tomorrow. Recompute exactly.
+    return restart();
+  }
+  lastStepsDelta_ = prop_->steps() - stepsBefore;
+  lastTouched_ = prop_->touchedQuantities();
+  lastIncremental_ = delta;
+  finishDiagnosis(ctx_, observations_, *prop_, nullptr, report, clock, stats,
+                  wallStart);
+  return report;
+}
+
+DiagnosisReport IncrementalSession::restart() {
+  // Exactness-guard fallback: one batch-ordered run over all observations,
+  // identical to measure() + diagnose() by construction (same seeding order,
+  // same sweep engine). The session stays in batch mode — the cap pressure
+  // that forced this recompute would recur on every later probe.
+  exact_ = false;
+  lastIncremental_ = false;
+  static obs::Counter& cFallbacks =
+      obs::counter("flames.incremental_fallbacks");
+  cFallbacks.add();
+
+  DiagnosisReport report;
+  obs::Span diagnoseSpan("diagnose_incremental_fallback", "pipeline");
+  std::uint64_t wallStart = 0;
+  if (obs::enabled()) {
+    report.stats.emplace();
+    wallStart = obs::monotonicNanos();
+  }
+  PipelineStats* stats = report.stats ? &*report.stats : nullptr;
+  PipelineClock clock(stats);
+
+  clock.stage("propagation");
+  constraints::PropagatorOptions batchOptions = propOptions_;
+  batchOptions.schedule = nullptr;
+  prop_.emplace(ctx_.built->model, batchOptions);
+  prop_->markClean();
+  for (const Observation& o : observations_) {
+    prop_->addMeasurement(ctx_.built->voltage(o.node), o.value);
+  }
+  pendingFrom_ = observations_.size();
+  prop_->run();
+  lastStepsDelta_ = prop_->steps();
+  lastTouched_ = prop_->touchedQuantities();
+  finishDiagnosis(ctx_, observations_, *prop_, nullptr, report, clock, stats,
+                  wallStart);
+  return report;
+}
+
+// --- FlamesEngine ------------------------------------------------------------
+
+DiagnosisContext FlamesEngine::context() {
   DiagnosisContext ctx;
   ctx.net = &net_;
   ctx.built = &built_;
@@ -417,7 +540,39 @@ DiagnosisReport FlamesEngine::diagnose() {
     }
     return *sensitivitySigns_;
   };
-  return diagnoseWith(ctx, observations_);
+  return ctx;
+}
+
+DiagnosisReport FlamesEngine::diagnose() {
+  return diagnoseWith(context(), observations_);
+}
+
+const analyze::ScheduleAnalysis& FlamesEngine::schedule() {
+  if (!schedule_) {
+    analyze::ScheduleOptions o;
+    o.entryCap = options_.propagation.maxEntriesPerQuantity;
+    schedule_ = analyze::computeSchedule(built_.model, o);
+  }
+  return *schedule_;
+}
+
+DiagnosisReport FlamesEngine::addMeasurement(const std::string& node,
+                                             double volts) {
+  return addMeasurement(
+      node, FuzzyInterval::about(volts,
+                                 std::max(options_.measurementSpread, 1e-12)));
+}
+
+DiagnosisReport FlamesEngine::addMeasurement(const std::string& node,
+                                             FuzzyInterval value) {
+  (void)net_.findNode(node);  // validate early
+  observations_.push_back({node, std::move(value)});
+  if (!session_) {
+    session_ = std::make_unique<IncrementalSession>(context(),
+                                                    schedule().plan);
+    return session_->begin(observations_);
+  }
+  return session_->addMeasurement(observations_.back());
 }
 
 void FlamesEngine::confirm(const DiagnosisReport& report,

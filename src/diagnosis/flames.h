@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/schedule.h"
 #include "circuit/netlist.h"
 #include "constraints/model_builder.h"
 #include "constraints/propagator.h"
@@ -236,6 +237,81 @@ struct DiagnosisContext {
 [[nodiscard]] DiagnosisReport diagnoseWith(
     const DiagnosisContext& ctx, const std::vector<Observation>& observations);
 
+/// An interactive probe session: one persistent scheduled propagator that
+/// measurements extend *incrementally*. begin() seeds and propagates the
+/// initial observations from scratch; each addMeasurement() then enters one
+/// more observation and re-propagates only inside its impact cone — the
+/// compiled schedule's watch/watermark discipline skips every input
+/// combination earlier probes already consumed. Both calls produce the same
+/// full DiagnosisReport diagnoseWith() would (ranked nogoods, candidates,
+/// rules, hints...), rebuilt from the accumulated propagation state.
+///
+/// Exactness guard: the delta extension is provably order-independent only
+/// while no derivation is ever discarded at the entry cap (confluence — see
+/// DESIGN.md §12). The session watches Propagator::saturatedDiscards();
+/// the moment any run hits the cap it transparently re-diagnoses from
+/// scratch through the batch pipeline (and stays in batch mode — the same
+/// cap pressure would recur on every later probe), so addMeasurement()
+/// always returns exactly what measure() + diagnose() would. Callers can
+/// tell which path produced the last report via lastIncremental().
+///
+/// Two FlamesOptions knobs are deliberately ignored on this path:
+/// hintGuidedPropagation (the cap clamp would change the propagation state
+/// mid-session, invalidating the incremental premise) and recordProvenance
+/// (the provenance log spans the whole session, not one report; use the
+/// batch path when certificates are needed).
+///
+/// The context's pointed-to state and the schedule must outlive the session.
+class IncrementalSession {
+ public:
+  IncrementalSession(const DiagnosisContext& ctx,
+                     const constraints::PropagationSchedule& schedule);
+
+  /// From-scratch propagation over the initial observations.
+  [[nodiscard]] DiagnosisReport begin(
+      const std::vector<Observation>& observations);
+  /// Extends the session with one more observation (incremental).
+  [[nodiscard]] DiagnosisReport addMeasurement(const Observation& obs);
+
+  /// Kept entries added by the last begin()/addMeasurement() call — the
+  /// quantity the oracle checks against the cone's certified step bound.
+  [[nodiscard]] std::size_t lastStepsDelta() const { return lastStepsDelta_; }
+  /// Quantities whose entry lists changed during the last call (checked
+  /// against the static impact cone — oracle invariant I12).
+  [[nodiscard]] const std::vector<constraints::QuantityId>& lastTouched()
+      const {
+    return lastTouched_;
+  }
+  /// True when the last report came from a delta extension that stayed
+  /// exact (no entry-cap saturation); false for begin(), and for any call
+  /// the exactness guard re-ran through the batch pipeline. The cone checks
+  /// (I12) only apply to incremental extensions.
+  [[nodiscard]] bool lastIncremental() const { return lastIncremental_; }
+  [[nodiscard]] const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+  [[nodiscard]] const constraints::Propagator& propagator() const {
+    return *prop_;
+  }
+
+ private:
+  DiagnosisReport propagateAndFinish(bool delta);
+  /// The exactness-guard fallback: re-runs the batch pipeline (no schedule,
+  /// all observations seeded up front) so the result is identical to
+  /// measure() + diagnose(). The session stays in batch mode afterwards.
+  DiagnosisReport restart();
+
+  DiagnosisContext ctx_;
+  constraints::PropagatorOptions propOptions_;
+  std::optional<constraints::Propagator> prop_;
+  std::vector<Observation> observations_;
+  std::size_t pendingFrom_ = 0;  ///< observations not yet propagated
+  std::size_t lastStepsDelta_ = 0;
+  std::vector<constraints::QuantityId> lastTouched_;
+  bool exact_ = true;  ///< no saturation seen; delta extensions are exact
+  bool lastIncremental_ = false;
+};
+
 /// The expert system.
 class FlamesEngine {
  public:
@@ -250,6 +326,26 @@ class FlamesEngine {
 
   /// Runs a full diagnosis over the current measurements.
   [[nodiscard]] DiagnosisReport diagnose();
+
+  /// Enters one more measurement and re-diagnoses *incrementally*: the
+  /// first call propagates all current observations from scratch through a
+  /// persistent scheduled propagator, later calls extend it inside the new
+  /// measurement's impact cone only (IncrementalSession). measure() and
+  /// clearMeasurements() invalidate the session — the next addMeasurement()
+  /// starts over from the accumulated observations.
+  [[nodiscard]] DiagnosisReport addMeasurement(const std::string& node,
+                                               double volts);
+  [[nodiscard]] DiagnosisReport addMeasurement(const std::string& node,
+                                               fuzzy::FuzzyInterval value);
+
+  /// The compiled propagation schedule for this model (computed once at
+  /// the configured entry cap, cached).
+  [[nodiscard]] const analyze::ScheduleAnalysis& schedule();
+
+  /// The live incremental session, if addMeasurement() started one.
+  [[nodiscard]] const IncrementalSession* incrementalSession() const {
+    return session_.get();
+  }
 
   /// Confirms the true culprit of the last session: compiles a
   /// symptom-failure rule into the experience base (§7).
@@ -283,6 +379,13 @@ class FlamesEngine {
   /// Lazily built sensitivity-sign matrix (one bump simulation per
   /// component, reused across sessions).
   std::optional<SensitivitySigns> sensitivitySigns_;
+  /// Compiled propagation schedule, cached for the incremental path.
+  std::optional<analyze::ScheduleAnalysis> schedule_;
+  /// Live incremental probe session (addMeasurement), reset by measure()
+  /// and clearMeasurements().
+  std::unique_ptr<IncrementalSession> session_;
+
+  [[nodiscard]] DiagnosisContext context();
 };
 
 }  // namespace flames::diagnosis

@@ -84,10 +84,14 @@ SessionResult runGuidedSession(FlamesEngine& engine,
                      [&](const TestPoint& p) { return p.node == node; }));
 
     const double volts = oracle(node);
-    engine.measure(node, volts);
     ++result.probesUsed;
     cProbes.add();
-    result.finalReport = engine.diagnose();
+    if (options.incremental) {
+      result.finalReport = engine.addMeasurement(node, volts);
+    } else {
+      engine.measure(node, volts);
+      result.finalReport = engine.diagnose();
+    }
     result.trail.push_back(snapshot(result.finalReport, node, volts));
   }
 

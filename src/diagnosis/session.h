@@ -27,6 +27,12 @@ struct SessionOptions {
   double margin = 0.05;
   /// Hard cap on guided probes (on top of the initial measurements).
   std::size_t maxProbes = 16;
+  /// Route each guided probe through FlamesEngine::addMeasurement — the
+  /// compiled-schedule incremental path that extends the existing entry
+  /// lists, ATMS labels and nogoods inside the probe's impact cone instead
+  /// of re-running diagnose() from scratch. Disable to reproduce the
+  /// original batch behaviour probe for probe.
+  bool incremental = true;
 };
 
 /// Why the session ended.

@@ -58,6 +58,26 @@ bool intersects(const std::vector<std::string>& a,
   });
 }
 
+std::string sortedKey(const std::vector<std::string>& comps) {
+  std::vector<std::string> s = comps;
+  std::sort(s.begin(), s.end());
+  return joinComponents(s);
+}
+
+/// (component-set key, degree) pairs in a canonical order, for comparing
+/// two reports' nogood lists as multisets (tie order within equal degrees
+/// is not part of the contract).
+std::vector<std::pair<std::string, double>> canonicalNogoods(
+    const DiagnosisReport& r) {
+  std::vector<std::pair<std::string, double>> v;
+  v.reserve(r.nogoods.size());
+  for (const RankedNogood& n : r.nogoods) {
+    v.emplace_back(sortedKey(n.components), n.degree);
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
 }  // namespace
 
 std::vector<std::string> checkReportInvariants(const DiagnosisReport& report) {
@@ -370,6 +390,125 @@ OracleResult runOracle(const Scenario& s, const OracleOptions& options,
     }
     std::error_code ec;
     fs::remove_all(dir, ec);
+  }
+
+  // I12 — incremental replay. A fresh engine replays the same readings one
+  // probe at a time through the compiled-schedule path
+  // (FlamesEngine::addMeasurement); the final report must match the batch
+  // diagnosis exactly, and each probe after the first (the first call is
+  // the from-scratch seed propagation) must stay inside its static impact
+  // cone: touched quantities ⊆ cone quantities, kept entries ≤ the cone's
+  // certified step bound. The oracle compiles its own ScheduleAnalysis at
+  // the applied entry cap and the actual probe count, independent of the
+  // engine's internal schedule.
+  if (options.checkIncremental && !readings.empty()) {
+    try {
+      diagnosis::FlamesEngine inc(net, fopts);
+      analyze::ScheduleOptions scheduleOpts;
+      scheduleOpts.entryCap = result.appliedEntryCap;
+      scheduleOpts.assumedMeasurements = readings.size();
+      const analyze::ScheduleAnalysis sched =
+          analyze::computeSchedule(inc.builtModel().model, scheduleOpts);
+      DiagnosisReport incReport;
+      for (std::size_t i = 0; i < readings.size(); ++i) {
+        incReport = inc.addMeasurement(readings[i].node, readings[i].volts);
+        if (i == 0) continue;  // from-scratch seed: every quantity is touched
+        const diagnosis::IncrementalSession* session = inc.incrementalSession();
+        if (session == nullptr) {
+          result.violations.push_back(
+              "I12: engine has no incremental session after probe " +
+              readings[i].node);
+          break;
+        }
+        // Cone containment and the step bound only apply to genuine delta
+        // extensions; the exactness guard's batch recomputes (entry-cap
+        // saturation) legitimately touch the whole model.
+        if (!session->lastIncremental()) continue;
+        const constraints::QuantityId q =
+            inc.builtModel().voltage(readings[i].node);
+        const constraints::PropagationSchedule::ImpactCone& cone =
+            sched.plan.cones[q];
+        const std::set<constraints::QuantityId> inCone(cone.quantities.begin(),
+                                                       cone.quantities.end());
+        for (const constraints::QuantityId t : session->lastTouched()) {
+          if (inCone.count(t) == 0) {
+            result.violations.push_back(
+                "I12: probe " + readings[i].node + " touched quantity " +
+                inc.builtModel().model.quantityInfo(t).name +
+                " outside its static impact cone");
+          }
+        }
+        if (result.appliedEntryCap <= sched.entryCap &&
+            cone.stepBound < analyze::kCostSaturated &&
+            session->lastStepsDelta() > cone.stepBound) {
+          result.violations.push_back(
+              "I12: probe " + readings[i].node + " kept " +
+              std::to_string(session->lastStepsDelta()) +
+              " entries, exceeding its cone's certified bound " +
+              std::to_string(cone.stepBound));
+        }
+      }
+      // Batch equivalence: nogoods as a canonical multiset, candidates in
+      // rank order, and the per-component suspicion table.
+      const auto batchNg = canonicalNogoods(result.report);
+      const auto incNg = canonicalNogoods(incReport);
+      if (batchNg.size() != incNg.size()) {
+        result.violations.push_back(
+            "I12: incremental replay produced " +
+            std::to_string(incNg.size()) + " nogoods, batch produced " +
+            std::to_string(batchNg.size()));
+      } else {
+        for (std::size_t i = 0; i < batchNg.size(); ++i) {
+          if (batchNg[i].first != incNg[i].first ||
+              std::abs(batchNg[i].second - incNg[i].second) > kTol) {
+            result.violations.push_back(
+                "I12: nogood mismatch at " + batchNg[i].first + " (batch " +
+                std::to_string(batchNg[i].second) + ", incremental " +
+                incNg[i].first + " " + std::to_string(incNg[i].second) + ")");
+            break;
+          }
+        }
+      }
+      if (result.report.candidates.size() != incReport.candidates.size()) {
+        result.violations.push_back(
+            "I12: incremental replay produced " +
+            std::to_string(incReport.candidates.size()) +
+            " candidates, batch produced " +
+            std::to_string(result.report.candidates.size()));
+      } else {
+        for (std::size_t i = 0; i < result.report.candidates.size(); ++i) {
+          const RankedCandidate& b = result.report.candidates[i];
+          const RankedCandidate& c = incReport.candidates[i];
+          if (sortedKey(b.components) != sortedKey(c.components) ||
+              std::abs(b.plausibility - c.plausibility) > kTol) {
+            result.violations.push_back(
+                "I12: candidate rank " + std::to_string(i + 1) +
+                " diverges (batch " + joinComponents(b.components) +
+                " p=" + std::to_string(b.plausibility) + ", incremental " +
+                joinComponents(c.components) +
+                " p=" + std::to_string(c.plausibility) + ")");
+            break;
+          }
+        }
+      }
+      if (result.report.suspicion.size() != incReport.suspicion.size()) {
+        result.violations.push_back("I12: suspicion table size diverges");
+      } else {
+        for (const auto& [comp, susp] : result.report.suspicion) {
+          const auto it = incReport.suspicion.find(comp);
+          if (it == incReport.suspicion.end() ||
+              std::abs(it->second - susp) > kTol) {
+            result.violations.push_back("I12: suspicion(" + comp +
+                                        ") diverges between batch and "
+                                        "incremental replay");
+            break;
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      result.violations.emplace_back(
+          std::string("I12: incremental replay threw: ") + e.what());
+    }
   }
 
   result.faultDetected = result.report.faultDetected();

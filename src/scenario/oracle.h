@@ -36,6 +36,16 @@
 //       and reopening the directory reproduces the in-memory store's
 //       canonical serialization byte for byte — WAL replay over the
 //       snapshot loses nothing.
+//   I12 incremental-replay equivalence and cone soundness: replaying the
+//       same readings one at a time through the compiled-schedule
+//       incremental path (FlamesEngine::addMeasurement) must reproduce the
+//       batch diagnosis exactly — the same nogoods (components and degree),
+//       the same candidates in the same rank order (components and
+//       plausibility) and the same suspicion table; and each probe after
+//       the first must stay inside its statically computed impact cone:
+//       the quantities it touches are a subset of the cone's quantity set
+//       and the kept entries it adds never exceed the cone's certified
+//       step bound (checked at the applied entry cap).
 //
 // Culprit recovery: the faulted component must appear in some ranked
 // candidate; its rank (1-based index of the first containing candidate) and
@@ -45,7 +55,7 @@
 // used to demonstrate shrinking.
 //
 // Every violation message is prefixed with its class followed by ':' —
-// "I1".."I11", "bench" (synthesis failed), "analyze" (static analysis
+// "I1".."I12", "bench" (synthesis failed), "analyze" (static analysis
 // threw), "diagnose"/"service" (pipeline threw), "detect" (no discrepancy
 // raised), "recovery" (culprit absent), "rank" (requireRankAtMost
 // exceeded). The shrinker keys on these prefixes to reject reductions that
@@ -109,6 +119,10 @@ struct OracleOptions {
   /// durable kb::KbStore in a scratch directory and verify that reopening
   /// (snapshot load + WAL replay) reproduces the in-memory state exactly.
   bool checkKbDurability = true;
+  /// Check invariant I12: replay the readings probe by probe through the
+  /// incremental path and verify batch equivalence plus per-probe impact-
+  /// cone containment and step-bound soundness.
+  bool checkIncremental = true;
 };
 
 struct OracleResult {

@@ -362,7 +362,22 @@ void DiagnosisService::runJob(Job& job) {
       return modelPtr->sensitivitySigns(devOpts);
     };
 
-    result.report = diagnoseWith(ctx, job.request_.measurements);
+    if (job.request_.probeSequence.empty()) {
+      result.report = diagnoseWith(ctx, job.request_.measurements);
+    } else {
+      // Probe-sequence jobs replay through the incremental session: one
+      // from-scratch propagation over the initial measurements, then each
+      // probe extends the state inside its impact cone. The compiled
+      // schedule comes from the unit type's cached analysis (its plan
+      // depends only on model shape, not on the entry cap).
+      diagnosis::IncrementalSession session(
+          ctx, model->analysis(opts.propagation).schedule.plan);
+      result.report = session.begin(job.request_.measurements);
+      for (const diagnosis::Observation& probe : job.request_.probeSequence) {
+        result.report = session.addMeasurement(probe);
+        ++result.incrementalProbes;
+      }
+    }
     result.status = JobStatus::kDone;
   } catch (const constraints::CancelledError&) {
     result.status = job.cancelRequested() ? JobStatus::kCancelled

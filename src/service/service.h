@@ -44,6 +44,13 @@ namespace flames::service {
 struct DiagnosisRequest {
   std::shared_ptr<const circuit::Netlist> netlist;
   std::vector<diagnosis::Observation> measurements;
+  /// Follow-up probes applied one at a time *after* the initial
+  /// measurements, through the compiled-schedule incremental path
+  /// (diagnosis::IncrementalSession): each probe extends the existing entry
+  /// lists, ATMS labels and nogoods inside its impact cone instead of
+  /// re-propagating from scratch. The job's report reflects the state after
+  /// the last probe. Empty = the ordinary single-shot diagnosis.
+  std::vector<diagnosis::Observation> probeSequence;
   diagnosis::FlamesOptions options;
   /// Wall-clock budget measured from submit; 0 = the service default (which
   /// itself defaults to "no deadline"). An expired job is abandoned at the
@@ -79,6 +86,9 @@ struct JobResult {
   /// cap, lowered to the analysis-derived one when
   /// ServiceOptions::applyDerivedEntryCap is set.
   std::size_t entryCapUsed = 0;
+  /// Probes from DiagnosisRequest::probeSequence that ran through the
+  /// incremental session (0 for single-shot jobs).
+  std::size_t incrementalProbes = 0;
   std::uint64_t queueNanos = 0;  ///< submit -> worker pickup
   std::uint64_t runNanos = 0;    ///< pickup -> completion
 };

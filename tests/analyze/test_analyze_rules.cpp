@@ -118,11 +118,13 @@ TEST(AnalyzeRules, PassesCanBeDisabledIndividually) {
   opts.runEnvelopes = false;
   opts.runCost = false;
   opts.runDecomposition = false;
+  opts.runSchedule = false;
   const AnalysisReport r = analyzeModel(built, opts);
   EXPECT_TRUE(r.findings.diagnostics.empty());
   EXPECT_TRUE(r.envelopes.quantities.empty());
   EXPECT_EQ(r.cost.derivedEntryCap, 0u);
   EXPECT_EQ(r.decomposition.graphComponents, 0u);
+  EXPECT_TRUE(r.schedule.cones.empty());
 }
 
 TEST(AnalyzeRules, RenderedReportHasitsSections) {

@@ -1,0 +1,204 @@
+// The compiled propagation schedule (flames::analyze fourth pass): watch
+// sets, block layering, impact cones with certified step bounds — plus
+// golden-file snapshots of the rendered report (text and JSON) for the four
+// generator families and the Fig. 6/7 amplifier, so any drift in the
+// compiled plan shows up as a readable diff.
+//
+// Updating intentionally-changed goldens:
+//
+//   FLAMES_UPDATE_GOLDEN=1 ctest --test-dir build -R ScheduleGolden
+#include "analyze/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/catalog.h"
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+#include "scenario/topology.h"
+
+#ifndef FLAMES_SCHEDULE_GOLDEN_DIR
+#error "FLAMES_SCHEDULE_GOLDEN_DIR must point at tests/analyze/golden"
+#endif
+
+namespace flames::analyze {
+namespace {
+
+circuit::Netlist divider() {
+  circuit::Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+TEST(Schedule, DividerPlanShape) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const ScheduleAnalysis s = computeSchedule(built.model);
+  const std::size_t nq = built.model.quantityCount();
+  const std::size_t nc = built.model.constraints().size();
+  ASSERT_TRUE(s.plan.compatibleWith(nq, nc));
+  EXPECT_EQ(s.plan.cones.size(), nq);
+  EXPECT_EQ(s.plan.constraints.size(), nc);
+  EXPECT_EQ(s.plan.watchers.size(), nq);
+  // Every shipped constraint class is solvable in every direction, so all
+  // slots are watched and nothing is inert.
+  EXPECT_EQ(s.watchedSlotCount, s.totalSlotCount);
+  EXPECT_EQ(s.solvableTargetCount, s.totalSlotCount);
+  EXPECT_TRUE(s.inertConstraints.empty());
+  EXPECT_GE(s.layerCount, 1u);
+}
+
+TEST(Schedule, WatchersAreConsistentWithWatchedSlots) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const ScheduleAnalysis s = computeSchedule(built.model);
+  // watchers[q] lists exactly the constraints with a watched slot on q.
+  for (std::size_t q = 0; q < s.plan.watchers.size(); ++q) {
+    for (const std::size_t ci : s.plan.watchers[q]) {
+      const auto& vars = built.model.constraints()[ci]->variables();
+      bool watchesQ = false;
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == q && s.plan.constraints[ci].watchedSlots[i] != 0) {
+          watchesQ = true;
+        }
+      }
+      EXPECT_TRUE(watchesQ) << "constraint " << ci << " listed on " << q;
+    }
+  }
+}
+
+TEST(Schedule, ConnectedModelConesSpanTheComponent) {
+  // The divider's constraint graph is one connected component of
+  // everywhere-solvable constraints: every cone must honestly report the
+  // whole component, and the summary must count them all.
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const ScheduleAnalysis s = computeSchedule(built.model);
+  EXPECT_EQ(s.wholeComponentCones, s.cones.size());
+  for (const ConeSummary& c : s.cones) {
+    EXPECT_TRUE(c.wholeComponent) << c.quantity;
+    EXPECT_GT(c.stepBound, 0u) << c.quantity;
+  }
+}
+
+TEST(Schedule, ConeStepBoundGrowsWithTheEntryCap) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  ScheduleOptions small;
+  small.entryCap = 4;
+  ScheduleOptions big;
+  big.entryCap = 24;
+  const ScheduleAnalysis a = computeSchedule(built.model, small);
+  const ScheduleAnalysis b = computeSchedule(built.model, big);
+  ASSERT_EQ(a.cones.size(), b.cones.size());
+  for (std::size_t i = 0; i < a.cones.size(); ++i) {
+    EXPECT_LE(a.cones[i].stepBound, b.cones[i].stepBound);
+  }
+  EXPECT_EQ(a.entryCap, 4u);
+  EXPECT_EQ(b.entryCap, 24u);
+}
+
+TEST(Schedule, CompatibleWithRejectsOtherShapes) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const ScheduleAnalysis s = computeSchedule(built.model);
+  const std::size_t nq = built.model.quantityCount();
+  const std::size_t nc = built.model.constraints().size();
+  EXPECT_TRUE(s.plan.compatibleWith(nq, nc));
+  EXPECT_FALSE(s.plan.compatibleWith(nq + 1, nc));
+  EXPECT_FALSE(s.plan.compatibleWith(nq, nc + 1));
+}
+
+TEST(Schedule, RenderedReportHasItsSections) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const std::string text = renderScheduleReport(computeSchedule(built.model));
+  EXPECT_NE(text.find("layers"), std::string::npos);
+  EXPECT_NE(text.find("watched slots"), std::string::npos);
+  EXPECT_NE(text.find("cone step bounds"), std::string::npos);
+}
+
+TEST(Schedule, JsonReportIsBalancedAndKeyed) {
+  const auto built = constraints::buildDiagnosticModel(divider());
+  const std::string json = scheduleReportJson(computeSchedule(built.model));
+  for (const char* key :
+       {"\"entry_cap\"", "\"layer_count\"", "\"watched_slots\"",
+        "\"cones\"", "\"step_bound\"", "\"whole_component\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// --- Golden snapshots --------------------------------------------------------
+
+std::string goldenPath(const std::string& name) {
+  return std::string(FLAMES_SCHEDULE_GOLDEN_DIR) + "/" + name;
+}
+
+void compareGolden(const std::string& name, const std::string& actual) {
+  const std::string path = goldenPath(name);
+  if (std::getenv("FLAMES_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << path << " missing - run with FLAMES_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "schedule drifted from " << path
+      << "; if intentional, re-run with FLAMES_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+void checkFamilyGolden(scenario::Family family, std::size_t depth,
+                       std::size_t width, const std::string& stem) {
+  scenario::TopologySpec spec;
+  spec.family = family;
+  spec.depth = depth;
+  spec.width = width;
+  spec.valueSeed = 42;
+  const scenario::Topology topo = scenario::buildTopology(spec);
+  const auto built = constraints::buildDiagnosticModel(topo.net);
+  const ScheduleAnalysis s = computeSchedule(built.model);
+  compareGolden(stem + ".txt", renderScheduleReport(s));
+  compareGolden(stem + ".json", scheduleReportJson(s));
+}
+
+TEST(ScheduleGolden, Ladder) {
+  checkFamilyGolden(scenario::Family::kLadder, 3, 1, "schedule_ladder_d3");
+}
+
+TEST(ScheduleGolden, Divider) {
+  checkFamilyGolden(scenario::Family::kDivider, 3, 1, "schedule_divider_d3");
+}
+
+TEST(ScheduleGolden, Bridge) {
+  checkFamilyGolden(scenario::Family::kBridge, 2, 1, "schedule_bridge_d2");
+}
+
+TEST(ScheduleGolden, AmpChain) {
+  checkFamilyGolden(scenario::Family::kAmpChain, 2, 2,
+                    "schedule_ampchain_d2w2");
+}
+
+TEST(ScheduleGolden, Fig6Amp) {
+  const auto built =
+      constraints::buildDiagnosticModel(circuit::paperFig6ThreeStageAmp());
+  const ScheduleAnalysis s = computeSchedule(built.model);
+  compareGolden("schedule_fig6_amp.txt", renderScheduleReport(s));
+  compareGolden("schedule_fig6_amp.json", scheduleReportJson(s));
+}
+
+}  // namespace
+}  // namespace flames::analyze

@@ -1,0 +1,210 @@
+// The event-driven (scheduled) propagation engine: equivalence with the
+// legacy FIFO sweep, the watch/watermark discipline's bookkeeping
+// (touchedQuantities, saturatedDiscards), budget abort, and shape checking.
+// The schedule itself is compiled by flames::analyze::computeSchedule — the
+// static pass tested in tests/analyze/test_schedule.cpp; here we care about
+// the runtime consuming it.
+#include "constraints/propagator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analyze/schedule.h"
+#include "circuit/netlist.h"
+#include "constraints/model_builder.h"
+
+namespace flames::constraints {
+namespace {
+
+using atms::Environment;
+using fuzzy::FuzzyInterval;
+
+circuit::Netlist divider() {
+  circuit::Netlist n;
+  n.addVSource("V1", "in", "0", 10.0);
+  n.addResistor("R1", "in", "mid", 1.0, 0.05);
+  n.addResistor("R2", "mid", "0", 1.0, 0.05);
+  return n;
+}
+
+/// Sorted (size, degree) view of the nogood database, insensitive to the
+/// recording order (the two engines fire constraints in different orders).
+std::vector<std::pair<std::size_t, double>> canonicalNogoods(
+    const Propagator& p) {
+  std::vector<std::pair<std::size_t, double>> out;
+  for (const auto& n : p.nogoods().all()) {
+    out.emplace_back(n.env.size(), n.degree);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expectSameValues(const Model& m, const Propagator& legacy,
+                      const Propagator& scheduled) {
+  for (QuantityId q = 0; q < m.quantityCount(); ++q) {
+    const auto& a = legacy.values(q);
+    const auto& b = scheduled.values(q);
+    ASSERT_EQ(a.size(), b.size()) << m.quantityInfo(q).name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].value.coreMidpoint(), b[i].value.coreMidpoint(), 1e-9)
+          << m.quantityInfo(q).name << " entry " << i;
+      EXPECT_EQ(a[i].env, b[i].env) << m.quantityInfo(q).name;
+    }
+  }
+}
+
+TEST(ScheduledPropagator, MatchesLegacyOnAChain) {
+  // x --(+5)--> y --(*2)--> z: pure forward flow, no coincidences.
+  Model m;
+  const auto x = m.addQuantity("x");
+  const auto y = m.addQuantity("y");
+  const auto z = m.addQuantity("z");
+  m.addConstraint(std::make_unique<DiffConstraint>(
+      "diff", y, x, FuzzyInterval::crisp(5.0), Environment{}));
+  m.addConstraint(std::make_unique<ScaleConstraint>(
+      "scale", y, z, FuzzyInterval::crisp(2.0), Environment{}));
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(m);
+
+  Propagator legacy(m);
+  legacy.addMeasurement(x, FuzzyInterval::crisp(1.0));
+  legacy.run();
+
+  PropagatorOptions opts;
+  opts.schedule = &s.plan;
+  Propagator scheduled(m, opts);
+  scheduled.addMeasurement(x, FuzzyInterval::crisp(1.0));
+  scheduled.run();
+
+  EXPECT_TRUE(scheduled.completed());
+  expectSameValues(m, legacy, scheduled);
+  EXPECT_EQ(canonicalNogoods(legacy), canonicalNogoods(scheduled));
+}
+
+TEST(ScheduledPropagator, MatchesLegacyOnAFaultedDivider) {
+  // The full diagnostic model (predictions + KCL/Ohm constraints) with a
+  // measurement far from nominal: both engines must record the same
+  // conflicts and keep the same entries.
+  const auto built = buildDiagnosticModel(divider());
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(built.model);
+  const QuantityId mid = built.model.quantity("V(mid)");
+
+  Propagator legacy(built.model);
+  legacy.addMeasurement(mid, FuzzyInterval::about(9.0, 0.05));
+  legacy.run();
+
+  PropagatorOptions opts;
+  opts.schedule = &s.plan;
+  Propagator scheduled(built.model, opts);
+  scheduled.addMeasurement(mid, FuzzyInterval::about(9.0, 0.05));
+  scheduled.run();
+
+  EXPECT_TRUE(legacy.completed());
+  EXPECT_TRUE(scheduled.completed());
+  ASSERT_FALSE(legacy.nogoods().all().empty());
+  expectSameValues(built.model, legacy, scheduled);
+  EXPECT_EQ(canonicalNogoods(legacy), canonicalNogoods(scheduled));
+  EXPECT_EQ(legacy.coincidences().size(), scheduled.coincidences().size());
+}
+
+TEST(ScheduledPropagator, StepsCountKeptEntries) {
+  // In schedule mode steps() counts kept entries — the unit the static
+  // cone bound certifies. Every quantity that holds entries contributes.
+  const auto built = buildDiagnosticModel(divider());
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(built.model);
+  PropagatorOptions opts;
+  opts.schedule = &s.plan;
+  Propagator p(built.model, opts);
+  p.addMeasurement(built.model.quantity("V(mid)"),
+                   FuzzyInterval::about(5.0, 0.05));
+  p.run();
+  std::size_t kept = 0;
+  for (QuantityId q = 0; q < built.model.quantityCount(); ++q) {
+    kept += p.values(q).size();
+  }
+  EXPECT_EQ(p.steps(), kept);
+}
+
+TEST(ScheduledPropagator, TouchedQuantitiesTrackTheDelta) {
+  const auto built = buildDiagnosticModel(divider());
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(built.model);
+  PropagatorOptions opts;
+  opts.schedule = &s.plan;
+  Propagator p(built.model, opts);
+  const QuantityId mid = built.model.quantity("V(mid)");
+  p.addMeasurement(mid, FuzzyInterval::about(5.0, 0.05));
+  p.run();
+  EXPECT_FALSE(p.touchedQuantities().empty());
+
+  p.markClean();
+  EXPECT_TRUE(p.touchedQuantities().empty());
+
+  // A second, consistent measurement touches at least the measured quantity
+  // itself, and everything touched lies inside its static impact cone.
+  p.addMeasurement(mid, FuzzyInterval::about(5.01, 0.05));
+  p.run();
+  const std::vector<QuantityId> touched = p.touchedQuantities();
+  ASSERT_FALSE(touched.empty());
+  EXPECT_NE(std::find(touched.begin(), touched.end(), mid), touched.end());
+  const PropagationSchedule::ImpactCone& cone = s.plan.cones[mid];
+  for (const QuantityId q : touched) {
+    EXPECT_TRUE(std::binary_search(cone.quantities.begin(),
+                                   cone.quantities.end(), q))
+        << built.model.quantityInfo(q).name << " outside the cone";
+  }
+}
+
+TEST(ScheduledPropagator, SaturatedDiscardsWitnessCapPressure) {
+  const auto built = buildDiagnosticModel(divider());
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(built.model);
+
+  // Ample cap: every informative derivation is kept — the confluence
+  // witness the incremental session relies on.
+  PropagatorOptions ample;
+  ample.schedule = &s.plan;
+  Propagator p(built.model, ample);
+  p.addMeasurement(built.model.quantity("V(mid)"),
+                   FuzzyInterval::about(5.0, 0.05));
+  p.run();
+  EXPECT_EQ(p.saturatedDiscards(), 0u);
+
+  // Cap of one entry per quantity: the predictions alone fill it, so the
+  // measurement-driven derivations must be discarded — and counted.
+  PropagatorOptions tight;
+  tight.schedule = &s.plan;
+  tight.maxEntriesPerQuantity = 1;
+  Propagator q(built.model, tight);
+  q.addMeasurement(built.model.quantity("V(mid)"),
+                   FuzzyInterval::about(5.0, 0.05));
+  q.run();
+  EXPECT_GT(q.saturatedDiscards(), 0u);
+}
+
+TEST(ScheduledPropagator, KeptEntryBudgetAbortsLikeTheLegacyStepBudget) {
+  const auto built = buildDiagnosticModel(divider());
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(built.model);
+  PropagatorOptions opts;
+  opts.schedule = &s.plan;
+  opts.maxSteps = 2;
+  Propagator p(built.model, opts);
+  p.addMeasurement(built.model.quantity("V(mid)"),
+                   FuzzyInterval::about(5.0, 0.05));
+  p.run();
+  EXPECT_FALSE(p.completed());
+}
+
+TEST(ScheduledPropagator, RejectsAScheduleOfTheWrongShape) {
+  const auto built = buildDiagnosticModel(divider());
+  const analyze::ScheduleAnalysis s = analyze::computeSchedule(built.model);
+
+  Model other;
+  other.addQuantity("lonely");
+  PropagatorOptions opts;
+  opts.schedule = &s.plan;
+  EXPECT_THROW(Propagator(other, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flames::constraints

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "circuit/catalog.h"
 #include "circuit/mna.h"
 #include "diagnosis/report.h"
@@ -184,6 +188,114 @@ TEST(Report, NoFaultSummary) {
   engine.measure("mid", 5.0);
   const auto report = engine.diagnose();
   EXPECT_EQ(summarizeReport(report), "no fault detected");
+}
+
+// --- Incremental probe sessions ----------------------------------------------
+
+/// Order-insensitive view of the nogood list (size, degree), sorted.
+std::vector<std::pair<std::size_t, double>> canonicalNogoods(
+    const DiagnosisReport& r) {
+  std::vector<std::pair<std::size_t, double>> out;
+  for (const auto& n : r.nogoods) out.emplace_back(n.components.size(), n.degree);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expectSameDiagnosis(const DiagnosisReport& batch,
+                         const DiagnosisReport& inc) {
+  EXPECT_EQ(canonicalNogoods(batch), canonicalNogoods(inc));
+  EXPECT_EQ(batch.bestCandidate(), inc.bestCandidate());
+  ASSERT_EQ(batch.candidates.size(), inc.candidates.size());
+  for (std::size_t i = 0; i < batch.candidates.size(); ++i) {
+    EXPECT_NEAR(batch.candidates[i].plausibility, inc.candidates[i].plausibility,
+                1e-9);
+  }
+  ASSERT_EQ(batch.suspicion.size(), inc.suspicion.size());
+  for (const auto& [comp, s] : batch.suspicion) {
+    const auto it = inc.suspicion.find(comp);
+    ASSERT_NE(it, inc.suspicion.end()) << comp;
+    EXPECT_NEAR(s, it->second, 1e-9) << comp;
+  }
+}
+
+TEST(FlamesEngine, AddMeasurementMatchesBatchDiagnosis) {
+  const Netlist net = divider();
+  const double vMid =
+      faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid");
+  const double vIn = faultedVoltage(net, {Fault::shortCircuit("R2")}, "in");
+
+  FlamesEngine batch(net);
+  batch.measure("mid", vMid);
+  batch.measure("in", vIn);
+  const auto batchReport = batch.diagnose();
+
+  FlamesEngine inc(net);
+  (void)inc.addMeasurement("mid", vMid);
+  const auto incReport = inc.addMeasurement("in", vIn);
+
+  expectSameDiagnosis(batchReport, incReport);
+  EXPECT_EQ(incReport.bestCandidate(), std::vector<std::string>{"R2"});
+}
+
+TEST(FlamesEngine, SecondProbeIsIncrementalAndStaysInsideItsCone) {
+  const Netlist net = divider();
+  FlamesEngine engine(net);
+  (void)engine.addMeasurement(
+      "mid", faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid"));
+  ASSERT_NE(engine.incrementalSession(), nullptr);
+  // begin() is a from-scratch seed, never an incremental extension.
+  EXPECT_FALSE(engine.incrementalSession()->lastIncremental());
+
+  (void)engine.addMeasurement(
+      "in", faultedVoltage(net, {Fault::shortCircuit("R2")}, "in"));
+  const IncrementalSession& session = *engine.incrementalSession();
+  // The divider at the stock entry cap never saturates, so the delta
+  // extension is exact and the I12 cone contract applies.
+  ASSERT_TRUE(session.lastIncremental());
+  const auto& cone =
+      engine.schedule().plan.cones[engine.builtModel().voltage("in")];
+  for (const auto q : session.lastTouched()) {
+    EXPECT_TRUE(std::binary_search(cone.quantities.begin(),
+                                   cone.quantities.end(), q));
+  }
+  EXPECT_LE(session.lastStepsDelta(), cone.stepBound);
+}
+
+TEST(FlamesEngine, SaturationFallsBackToExactBatchRecompute) {
+  const Netlist net = divider();
+  const double vMid =
+      faultedVoltage(net, {Fault::shortCircuit("R2")}, "mid");
+  const double vIn = faultedVoltage(net, {Fault::shortCircuit("R2")}, "in");
+
+  // An entry cap of one saturates immediately (the predictions alone fill
+  // it): the session must detect the discards and re-run the batch
+  // pipeline, so the answers still match diagnose() exactly.
+  FlamesOptions opts;
+  opts.propagation.maxEntriesPerQuantity = 1;
+
+  FlamesEngine batch(net, opts);
+  batch.measure("mid", vMid);
+  batch.measure("in", vIn);
+  const auto batchReport = batch.diagnose();
+
+  FlamesEngine inc(net, opts);
+  (void)inc.addMeasurement("mid", vMid);
+  const auto incReport = inc.addMeasurement("in", vIn);
+  ASSERT_NE(inc.incrementalSession(), nullptr);
+  EXPECT_FALSE(inc.incrementalSession()->lastIncremental());
+
+  expectSameDiagnosis(batchReport, incReport);
+}
+
+TEST(FlamesEngine, MeasureInvalidatesTheIncrementalSession) {
+  FlamesEngine engine(divider());
+  (void)engine.addMeasurement("mid", 9.0);
+  ASSERT_NE(engine.incrementalSession(), nullptr);
+  engine.measure("in", 10.0);
+  EXPECT_EQ(engine.incrementalSession(), nullptr);
+  engine.clearMeasurements();
+  (void)engine.addMeasurement("mid", 5.0);
+  EXPECT_NE(engine.incrementalSession(), nullptr);
 }
 
 }  // namespace
